@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures.
+
+The full sweeps behind Figures 11-17 are computed once per pytest session
+and shared by every per-figure benchmark, which then (a) times the core
+protocol operation behind its figure with pytest-benchmark and (b) prints
+the regenerated table and asserts the paper's qualitative shape.
+
+Benchmark sweep sizes default to 500-2000 peers so the whole suite runs
+in minutes on a laptop; set ``REPRO_FULL_SCALE=1`` to sweep the paper's
+1000-32000 range.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.deployment import build_deployment
+from repro.experiments import app_performance, service_lookup
+
+BENCH_SIZES = (
+    (1000, 2000, 4000, 8000, 16000, 32000)
+    if os.environ.get("REPRO_FULL_SCALE")
+    else (500, 1000, 2000)
+)
+
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def lookup_results():
+    """Figures 11-13 sweep, computed once."""
+    return service_lookup.run(sizes=BENCH_SIZES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def app_results():
+    """Figures 14-17 sweep, computed once."""
+    return app_performance.run(sizes=BENCH_SIZES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def groupcast_deployment():
+    """A mid-size GroupCast deployment for micro-benchmarks."""
+    return build_deployment(BENCH_SIZES[0], kind="groupcast", seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def plod_deployment():
+    """A mid-size PLOD deployment for micro-benchmarks."""
+    return build_deployment(BENCH_SIZES[0], kind="plod", seed=SEED)
+
+
+def print_result(result) -> None:
+    """Emit a regenerated table into the benchmark log."""
+    print()
+    print(result.format_table())
+
+
+def series(result, value: str, **filters):
+    """Extract one curve from an ExperimentResult as ``{peers: value}``.
+
+    ``filters`` fix column values (e.g. ``overlay="groupcast"``,
+    ``scheme="ssa"``); ``value`` names the column to read.
+    """
+    out = {}
+    for row in result.rows:
+        record = dict(zip(result.columns, row))
+        if all(record[k] == v for k, v in filters.items()):
+            out[record["peers"]] = record[value]
+    return out

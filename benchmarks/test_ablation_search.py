@@ -1,0 +1,80 @@
+"""Ablation: ripple flooding vs random walks for service lookup.
+
+Section 2.2's stated trade-off — "[flooding] results in heavy
+communication overheads, whereas [random walks] may generate very long
+search paths which would affect the communication latencies" — measured
+on a real GroupCast overlay: subscribers that missed the announcement
+search for an informed peer using each primitive.
+"""
+
+import numpy as np
+
+from conftest import SEED
+from repro.config import AnnouncementConfig
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.overlay.search import random_walk_search, ripple_search
+from repro.sim.random import spawn_rng
+
+SEARCHERS = 60
+
+
+def test_flooding_vs_random_walks(benchmark, groupcast_deployment):
+    deployment = groupcast_deployment
+    rng = spawn_rng(SEED, "search-ablation")
+    announcement = AnnouncementConfig(ssa_fanout_fraction=0.25)
+    outcome = propagate_advertisement(
+        deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+        deployment.peer_distance_ms, rng, announcement,
+        deployment.config.utility)
+    receipts = outcome.receipts
+    uninformed = [p for p in deployment.peer_ids()
+                  if p not in receipts][:SEARCHERS]
+    assert uninformed, "expected some peers to miss the announcement"
+
+    benchmark.pedantic(
+        lambda: ripple_search(
+            deployment.overlay, uninformed[0],
+            lambda p: p in receipts, 2, deployment.peer_distance_ms),
+        rounds=10, iterations=1)
+
+    def run_ripple(origin):
+        return ripple_search(
+            deployment.overlay, origin, lambda p: p in receipts, 2,
+            deployment.peer_distance_ms)
+
+    def run_walks(origin):
+        return random_walk_search(
+            deployment.overlay, origin, lambda p: p in receipts,
+            rng, walkers=2, walk_length=32,
+            latency_fn=deployment.peer_distance_ms)
+
+    stats = {"ripple": {"messages": [], "latency": [], "hits": 0},
+             "walks": {"messages": [], "latency": [], "hits": 0}}
+    for origin in uninformed:
+        for name, runner in (("ripple", run_ripple), ("walks", run_walks)):
+            result = runner(origin)
+            stats[name]["messages"].append(result.messages)
+            if result.found:
+                stats[name]["hits"] += 1
+                stats[name]["latency"].append(result.hit.latency_ms)
+
+    print()
+    print(f"Search ablation over {len(uninformed)} uninformed subscribers")
+    print(f"{'primitive':<10}{'success':>9}{'avg msgs':>10}"
+          f"{'avg latency ms':>16}")
+    rows = {}
+    for name in ("ripple", "walks"):
+        success = stats[name]["hits"] / len(uninformed)
+        messages = float(np.mean(stats[name]["messages"]))
+        latency = (float(np.mean(stats[name]["latency"]))
+                   if stats[name]["latency"] else float("nan"))
+        rows[name] = (success, messages, latency)
+        print(f"{name:<10}{success:>9.2f}{messages:>10.1f}{latency:>16.1f}")
+
+    # The paper's trade-off, reproduced:
+    # flooding pays more messages ...
+    assert rows["ripple"][1] > rows["walks"][1] * 0.9
+    # ... walks pay longer search paths (higher latency on hits).
+    assert rows["walks"][2] > rows["ripple"][2]
+    # Ripple within TTL 2 stays near-perfect on the GroupCast overlay.
+    assert rows["ripple"][0] > 0.95

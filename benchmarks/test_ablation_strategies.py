@@ -1,0 +1,79 @@
+"""Ablation: what does each half of the utility function buy?
+
+DESIGN.md calls out the combined utility function as the central design
+choice; this ablation isolates its components by swapping the SSA
+forwarding strategy:
+
+* ``random``   — the basic framework of Section 2.2 (no utility),
+* ``distance`` — proximity-only preference,
+* ``capacity`` — capacity-only preference,
+* ``utility``  — the paper's combined, resource-level-weighted function.
+
+Expectation (the paper's design rationale): distance-only minimises
+delay but concentrates load; capacity-only protects weak peers but pays
+latency; the combined function sits near the distance strategy on delay
+while staying near the capacity strategy on overload.
+"""
+
+import numpy as np
+
+from conftest import SEED
+from repro.config import AnnouncementConfig
+from repro.experiments.common import (
+    establish_and_measure_group,
+    experiment_rng,
+    pick_rendezvous_points,
+)
+from repro.metrics.tree_metrics import aggregate_workloads, overload_index
+
+STRATEGIES = ("random", "distance", "capacity", "utility")
+GROUPS = 8
+
+
+def measure(deployment, strategy):
+    rng = experiment_rng(SEED, f"ablation-{strategy}")
+    announcement = AnnouncementConfig(ssa_strategy=strategy)
+    runs = []
+    for point in pick_rendezvous_points(deployment, GROUPS, rng):
+        ids = deployment.peer_ids()
+        members = [ids[int(i)]
+                   for i in rng.choice(len(ids), size=100, replace=False)]
+        runs.append(establish_and_measure_group(
+            deployment, point, members, "ssa", rng,
+            announcement=announcement))
+    capacities = {info.peer_id: info.capacity
+                  for info in deployment.overlay.peers()}
+    return {
+        "delay_penalty": float(np.mean([r.delay_penalty for r in runs])),
+        "overload": overload_index(
+            aggregate_workloads([r.tree for r in runs]), capacities),
+    }
+
+
+def test_ablation_ssa_strategies(benchmark, groupcast_deployment):
+    results = {}
+    for strategy in STRATEGIES:
+        results[strategy] = measure(groupcast_deployment, strategy)
+
+    benchmark.pedantic(
+        lambda: measure(groupcast_deployment, "utility"),
+        rounds=1, iterations=1)
+
+    print()
+    print("Ablation: SSA forwarding strategy (8 groups, 100 members)")
+    print(f"{'strategy':<10}{'delay penalty':>15}{'overload index':>16}")
+    for strategy in STRATEGIES:
+        row = results[strategy]
+        print(f"{strategy:<10}{row['delay_penalty']:>15.3f}"
+              f"{row['overload']:>16.3f}")
+
+    # Capacity-awareness lowers overload versus the capacity-blind
+    # strategies.
+    assert results["utility"]["overload"] < results["random"]["overload"]
+    assert results["capacity"]["overload"] < results["distance"]["overload"]
+    # The combined function does not pay a large delay premium over the
+    # proximity-only variant and beats the random baseline.
+    assert (results["utility"]["delay_penalty"]
+            < 1.35 * results["distance"]["delay_penalty"])
+    assert (results["utility"]["delay_penalty"]
+            < 1.1 * results["random"]["delay_penalty"])

@@ -1,0 +1,65 @@
+"""Figures 1-6: selection preference vs distance and capacity.
+
+Regenerates the synthetic selection simulation of Section 3.1 (1000
+candidates, Zipf(2.0) capacities, Unif(0, 400 ms) distances, resource
+levels 0.05 / 0.50 / 0.95) and asserts the design rationale the figures
+illustrate: weak peers rank by proximity, powerful peers by capacity.
+"""
+
+import numpy as np
+
+from conftest import print_result
+from repro.experiments import preference
+from repro.utility.preference import selection_preference
+
+
+def test_fig01_06_preference_structure(benchmark):
+    capacities, distances = preference.generate_candidates()
+
+    benchmark.pedantic(
+        lambda: selection_preference(capacities, distances, 0.5),
+        rounds=20, iterations=5)
+
+    result = preference.run()
+    print_result(result)
+
+    by_level = {row[0]: dict(zip(result.columns, row))
+                for row in result.rows}
+    weak = by_level[0.05]
+    medium = by_level[0.50]
+    powerful = by_level[0.95]
+
+    # Figures 1 & 4: the weak peer's preference is dominated by distance.
+    assert weak["corr_pref_distance"] < -0.95
+    assert abs(weak["corr_pref_capacity"]) < 0.2
+
+    # Figures 3 & 6: the powerful peer's preference follows capacity; the
+    # top-20% powerful candidates absorb the bulk of the probability mass.
+    assert powerful["corr_pref_capacity"] > 0.8
+    assert powerful["top20_pref_share"] > 0.85
+
+    # Figures 2 & 5: the medium peer balances both signals.
+    assert weak["top20_pref_share"] < medium["top20_pref_share"] \
+        < powerful["top20_pref_share"]
+    assert medium["corr_pref_distance"] < -0.3
+    assert medium["corr_pref_capacity"] > 0.5
+
+    # In every case the preferences form a probability distribution whose
+    # powerful candidates outrank the rest on average (log-scale plots).
+    for level in (0.05, 0.50, 0.95):
+        row = by_level[level]
+        assert row["mean_pref_top20"] > 0.0
+        assert row["mean_pref_rest"] > 0.0
+    assert powerful["mean_pref_top20"] / powerful["mean_pref_rest"] > \
+        weak["mean_pref_top20"] / weak["mean_pref_rest"]
+
+
+def test_preference_is_valid_distribution_at_scale(benchmark):
+    """The Eq.5 computation over a big candidate list stays fast/correct."""
+    rng = np.random.default_rng(0)
+    capacities = rng.choice([1.0, 10.0, 100.0, 1000.0], size=10_000)
+    distances = rng.uniform(0.1, 400.0, size=10_000)
+
+    probs = benchmark(selection_preference, capacities, distances, 0.3)
+    assert probs.shape == (10_000,)
+    assert np.isclose(probs.sum(), 1.0)

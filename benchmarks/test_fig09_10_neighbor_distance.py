@@ -1,0 +1,34 @@
+"""Figures 9-10: average underlay distance to overlay neighbors.
+
+The paper plots per-peer average distance to neighbors for 1000-peer
+overlays: GroupCast's utility-aware construction places neighbors far
+closer in the physical network than the random power-law baseline, with
+a few long links retained by powerful peers (the forwarding backbone).
+"""
+
+from conftest import SEED, print_result
+from repro.experiments.overlay_structure import run_neighbor_distance
+from repro.metrics.overlay_metrics import average_neighbor_distance_ms
+
+PEERS = 1000  # the paper's scale for this experiment
+
+
+def test_fig09_10_neighbor_distance(benchmark, groupcast_deployment):
+    benchmark.pedantic(
+        lambda: average_neighbor_distance_ms(
+            groupcast_deployment.overlay, groupcast_deployment.underlay),
+        rounds=3, iterations=1)
+
+    result = run_neighbor_distance(PEERS, SEED)
+    print_result(result)
+    rows = {row[0]: dict(zip(result.columns, row)) for row in result.rows}
+    groupcast = rows["groupcast"]
+    plod = rows["plod"]
+
+    # The headline: GroupCast neighbors are much closer on the underlay.
+    assert groupcast["mean_ms"] < 0.6 * plod["mean_ms"]
+    assert groupcast["median_ms"] < 0.6 * plod["median_ms"]
+
+    # "A few long unicast links" remain (the powerful peers' backbone):
+    # the max is far above the median in the GroupCast overlay.
+    assert groupcast["max_ms"] > 2.0 * groupcast["median_ms"]

@@ -1,0 +1,35 @@
+"""Figure 13: service lookup latency.
+
+Peers that never received the announcement ripple-search their TTL-2
+neighborhood; on the GroupCast overlay their neighbors are physically
+close, so lookups resolve far faster than on the random power-law
+overlay (the paper reports a 74-84 % reduction).
+"""
+
+from conftest import BENCH_SIZES, print_result, series
+from repro.groupcast.rendezvous import select_rendezvous
+from repro.sim.random import spawn_rng
+
+
+def test_fig13_lookup_latency(benchmark, lookup_results,
+                              groupcast_deployment):
+    deployment = groupcast_deployment
+    rng = spawn_rng(0, "bench-fig13")
+    benchmark.pedantic(
+        lambda: select_rendezvous(
+            deployment.overlay, deployment.peer_ids()[5], rng,
+            deployment.config.rendezvous),
+        rounds=10, iterations=1)
+
+    fig13 = lookup_results["fig13"]
+    print_result(fig13)
+
+    groupcast = series(fig13, "lookup_latency_ms", overlay="groupcast")
+    plod = series(fig13, "lookup_latency_ms", overlay="plod")
+
+    for size in BENCH_SIZES:
+        # The paper reports 74-84 % lower lookup latency on GroupCast;
+        # assert at least a 50 % reduction at every size.
+        assert groupcast[size] < 0.5 * plod[size], (
+            f"size {size}: groupcast {groupcast[size]:.1f} ms "
+            f"vs plod {plod[size]:.1f} ms")

@@ -1,0 +1,40 @@
+"""Figure 15: link stress of ESM over the four combinations.
+
+The paper: ESM on GroupCast overlays produces ~2/3 of the IP traffic of
+ESM on random power-law overlays, because payloads travel shorter
+physical routes between proximity-matched neighbors.
+"""
+
+from conftest import BENCH_SIZES, print_result, series
+from repro.network.multicast import build_ip_multicast_tree
+
+
+def test_fig15_link_stress(benchmark, app_results, groupcast_deployment):
+    deployment = groupcast_deployment
+    members = deployment.peer_ids()[:80]
+    benchmark.pedantic(
+        lambda: build_ip_multicast_tree(
+            deployment.underlay, members[0], members[1:]),
+        rounds=5, iterations=1)
+
+    fig15 = app_results["fig15"]
+    print_result(fig15)
+
+    gc_ssa = series(fig15, "link_stress",
+                    overlay="groupcast", scheme="ssa")
+    gc_nssa = series(fig15, "link_stress",
+                     overlay="groupcast", scheme="nssa")
+    pl_ssa = series(fig15, "link_stress", overlay="plod", scheme="ssa")
+    pl_nssa = series(fig15, "link_stress", overlay="plod", scheme="nssa")
+
+    for size in BENCH_SIZES:
+        # Link stress is at least 1 (ESM cannot beat IP multicast).
+        assert gc_ssa[size] >= 1.0
+        # GroupCast generates less IP traffic at every size and scheme.
+        assert gc_ssa[size] < pl_ssa[size]
+        assert gc_nssa[size] < 0.75 * pl_nssa[size]
+
+    # The paper: GroupCast's stress is about 2/3 of the random power-law
+    # overlay's; assert the factor at the largest size of the sweep.
+    largest = BENCH_SIZES[-1]
+    assert gc_ssa[largest] < 0.8 * pl_ssa[largest]

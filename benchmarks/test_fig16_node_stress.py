@@ -1,0 +1,41 @@
+"""Figure 16: node stress of the group-communication trees.
+
+The paper: node stress (average children of non-leaf tree nodes) stays
+almost constant in GroupCast as the overlay scales — the capacity-aware
+construction spreads forwarding work instead of concentrating it.
+"""
+
+import numpy as np
+
+from conftest import BENCH_SIZES, print_result, series
+from repro.metrics.tree_metrics import node_stress
+
+
+def test_fig16_node_stress(benchmark, app_results, groupcast_deployment):
+    from repro.groupcast.advertisement import propagate_advertisement
+    from repro.groupcast.subscription import subscribe_members
+    from repro.sim.random import spawn_rng
+
+    deployment = groupcast_deployment
+    rng = spawn_rng(0, "bench-fig16")
+    advertisement = propagate_advertisement(
+        deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+        deployment.peer_distance_ms, rng,
+        deployment.config.announcement, deployment.config.utility)
+    tree, _ = subscribe_members(
+        deployment.overlay, advertisement, deployment.peer_ids()[1:60],
+        deployment.peer_distance_ms, deployment.config.announcement)
+    benchmark.pedantic(lambda: node_stress([tree]), rounds=10, iterations=1)
+
+    fig16 = app_results["fig16"]
+    print_result(fig16)
+
+    gc_ssa = series(fig16, "node_stress",
+                    overlay="groupcast", scheme="ssa")
+
+    values = [gc_ssa[size] for size in BENCH_SIZES]
+    # Bounded fan-out at every size...
+    assert all(1.0 <= v <= 4.0 for v in values)
+    # ...and almost constant across the sweep (the paper's headline):
+    # total variation across a size sweep stays within 35 %.
+    assert max(values) <= 1.35 * min(values)

@@ -1,0 +1,51 @@
+"""Figure 17: overload index of the four combinations.
+
+The paper: both utility-aware mechanisms cut overloading dramatically —
+SSA alone reduces overloading on the random power-law overlay, the
+GroupCast overlay reduces it by one-to-two orders of magnitude, and the
+combination wins at every scale.
+"""
+
+from conftest import BENCH_SIZES, print_result, series
+from repro.metrics.tree_metrics import aggregate_workloads, overload_index
+
+
+def test_fig17_overload_index(benchmark, app_results, groupcast_deployment):
+    from repro.groupcast.advertisement import propagate_advertisement
+    from repro.groupcast.subscription import subscribe_members
+    from repro.sim.random import spawn_rng
+
+    deployment = groupcast_deployment
+    rng = spawn_rng(0, "bench-fig17")
+    advertisement = propagate_advertisement(
+        deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+        deployment.peer_distance_ms, rng,
+        deployment.config.announcement, deployment.config.utility)
+    tree, _ = subscribe_members(
+        deployment.overlay, advertisement, deployment.peer_ids()[1:60],
+        deployment.peer_distance_ms, deployment.config.announcement)
+    capacities = {info.peer_id: info.capacity
+                  for info in deployment.overlay.peers()}
+    benchmark.pedantic(
+        lambda: overload_index(aggregate_workloads([tree]), capacities),
+        rounds=10, iterations=1)
+
+    fig17 = app_results["fig17"]
+    print_result(fig17)
+
+    gc_ssa = series(fig17, "overload_index",
+                    overlay="groupcast", scheme="ssa")
+    gc_nssa = series(fig17, "overload_index",
+                     overlay="groupcast", scheme="nssa")
+    pl_ssa = series(fig17, "overload_index", overlay="plod", scheme="ssa")
+    pl_nssa = series(fig17, "overload_index",
+                     overlay="plod", scheme="nssa")
+
+    for size in BENCH_SIZES:
+        # The full GroupCast stack (utility overlay + SSA) always wins.
+        assert gc_ssa[size] <= pl_ssa[size]
+        assert gc_ssa[size] <= gc_nssa[size] * 1.05
+        assert gc_ssa[size] < 0.5 * pl_nssa[size]
+        # The utility-aware overlay alone (even with NSSA) beats the
+        # random power-law overlay with NSSA.
+        assert gc_nssa[size] < pl_nssa[size]

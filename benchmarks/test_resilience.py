@@ -1,0 +1,81 @@
+"""Resilience extension bench: search repair vs backup-parent failover.
+
+The paper lists failure resilience via dynamic replication as ongoing
+work; this bench quantifies the trade on real GroupCast trees — backup
+parents absorb most failovers with a single message each, versus the
+ripple-search cost the plain repair pays, at equal (or better) member
+survival.
+"""
+
+import numpy as np
+
+from conftest import SEED
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.repair import repair_tree
+from repro.groupcast.replication import BackupPlan, failover
+from repro.groupcast.subscription import subscribe_members
+from repro.sim.random import spawn_rng
+
+FAILURES = 8
+
+
+def build_tree(deployment, seed):
+    rng = spawn_rng(seed, "resilience")
+    advertisement = propagate_advertisement(
+        deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+        deployment.peer_distance_ms, rng,
+        deployment.config.announcement, deployment.config.utility)
+    tree, _ = subscribe_members(
+        deployment.overlay, advertisement, deployment.peer_ids()[1:120],
+        deployment.peer_distance_ms, deployment.config.announcement)
+    return tree, rng
+
+
+def inject_failures(deployment, use_replication):
+    tree, rng = build_tree(deployment, SEED)
+    plan = BackupPlan()
+    if use_replication:
+        plan.refresh(tree)
+    messages = 0
+    lost = 0
+    for _ in range(FAILURES):
+        interior = [n for n in tree.nodes()
+                    if n != tree.root and tree.children(n)]
+        if not interior:
+            break
+        victim = interior[int(rng.integers(len(interior)))]
+        if use_replication:
+            report = failover(tree, plan, deployment.overlay, victim)
+            messages += report.messages
+        else:
+            report = repair_tree(tree, deployment.overlay, victim)
+            messages += report.search_messages
+        lost += len(report.lost_members)
+        tree.validate()
+    return messages, lost
+
+
+def test_backup_failover_beats_search_repair(benchmark,
+                                             groupcast_deployment):
+    deployment = groupcast_deployment
+
+    replicated_messages, replicated_lost = inject_failures(
+        deployment, use_replication=True)
+    search_messages, search_lost = inject_failures(
+        deployment, use_replication=False)
+
+    benchmark.pedantic(
+        lambda: inject_failures(deployment, use_replication=True),
+        rounds=3, iterations=1)
+
+    print()
+    print(f"Resilience under {FAILURES} interior-node failures")
+    print(f"{'scheme':<18}{'repair messages':>17}{'members lost':>14}")
+    print(f"{'search repair':<18}{search_messages:>17d}{search_lost:>14d}")
+    print(f"{'backup failover':<18}{replicated_messages:>17d}"
+          f"{replicated_lost:>14d}")
+
+    # Replication repairs with far fewer messages and loses no more
+    # members than plain search repair.
+    assert replicated_messages < search_messages
+    assert replicated_lost <= search_lost

@@ -1,0 +1,84 @@
+"""Extension bench: two-tier supernode GroupCast vs the flat overlay.
+
+The paper's conclusion suggests adapting GroupCast to supernode
+architectures; this bench quantifies the trade on one deployment: the
+capacity-elected core yields a competitive delay profile while the weak
+majority carries (almost) no forwarding load at all.
+"""
+
+import numpy as np
+
+from conftest import SEED
+from repro.experiments.common import (
+    establish_and_measure_group,
+    experiment_rng,
+)
+from repro.groupcast.dissemination import disseminate
+from repro.metrics.tree_metrics import aggregate_workloads
+from repro.overlay.supernode import (
+    build_two_tier_group_tree,
+    build_two_tier_overlay,
+)
+from repro.sim.random import spawn_rng
+
+GROUPS = 5
+MEMBERS = 80
+
+
+def test_two_tier_shifts_load_to_supernodes(benchmark,
+                                            groupcast_deployment):
+    deployment = groupcast_deployment
+    infos = list(deployment.overlay.peers())
+    two_tier = build_two_tier_overlay(
+        infos, spawn_rng(SEED, "bench-two-tier"))
+    rng = experiment_rng(SEED, "supernode-bench")
+
+    benchmark.pedantic(
+        lambda: build_two_tier_overlay(
+            infos, spawn_rng(SEED, "bench-two-tier-timed")),
+        rounds=3, iterations=1)
+
+    ids = deployment.peer_ids()
+    flat_delays, tiered_delays = [], []
+    flat_trees, tiered_trees = [], []
+    for _ in range(GROUPS):
+        picks = rng.choice(len(ids), size=MEMBERS, replace=False)
+        members = [ids[int(i)] for i in picks]
+        run = establish_and_measure_group(
+            deployment, members[0], members, "ssa", rng)
+        flat_trees.append(run.tree)
+        report = disseminate(run.tree, run.tree.root, deployment.underlay)
+        flat_delays.append(report.average_member_delay_ms)
+
+        tiered = build_two_tier_group_tree(
+            two_tier, members, members[0], deployment.peer_distance_ms,
+            rng, deployment.config.announcement, deployment.config.utility)
+        tiered_trees.append(tiered)
+        report = disseminate(tiered, tiered.root, deployment.underlay)
+        tiered_delays.append(report.average_member_delay_ms)
+
+    capacities = {info.peer_id: info.capacity for info in infos}
+    weak = {p for p, c in capacities.items() if c <= 10.0}
+
+    def weak_load_share(trees):
+        loads = aggregate_workloads(trees)
+        total = sum(loads.values())
+        return sum(load for peer, load in loads.items()
+                   if peer in weak) / max(total, 1)
+
+    flat_share = weak_load_share(flat_trees)
+    tiered_share = weak_load_share(tiered_trees)
+
+    print()
+    print(f"Two-tier vs flat over {GROUPS} groups of {MEMBERS}")
+    print(f"{'overlay':<10}{'avg delay ms':>14}{'weak-peer load share':>22}")
+    print(f"{'flat':<10}{np.mean(flat_delays):>14.1f}{flat_share:>22.2f}")
+    print(f"{'two-tier':<10}{np.mean(tiered_delays):>14.1f}"
+          f"{tiered_share:>22.2f}")
+
+    # The supernode core removes essentially all forwarding from the
+    # weak majority ...
+    assert tiered_share < 0.05
+    assert tiered_share < flat_share
+    # ... without giving up delivery performance (within 50 %).
+    assert np.mean(tiered_delays) < 1.5 * np.mean(flat_delays)

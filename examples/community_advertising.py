@@ -1,0 +1,81 @@
+"""Online community-based advertising over GroupCast.
+
+Run with::
+
+    python examples/community_advertising.py
+
+One of the motivating applications of the paper's introduction: an
+advertiser injects content into many overlapping interest communities.
+Each community is a GroupCast group whose rendezvous point is the
+advertiser's donated high-capacity server; peers belong to several
+communities at once.  The example measures per-community delivery and
+the aggregate load picture — including how the utility-aware stack keeps
+the (weak) majority of peers out of the forwarding hot path.
+"""
+
+import numpy as np
+
+from repro import GroupCastMiddleware
+from repro.metrics.tree_metrics import aggregate_workloads, overload_index
+
+SEED = 71
+PEERS = 800
+COMMUNITIES = 8
+COMMUNITY_SIZE = 90
+
+
+def main() -> None:
+    print(f"Building a {PEERS}-peer GroupCast deployment ...")
+    middleware = GroupCastMiddleware.build(peer_count=PEERS, seed=SEED)
+    deployment = middleware.deployment
+
+    # The advertiser donates the most capable peer as rendezvous server.
+    advertiser = max(deployment.overlay.peers(),
+                     key=lambda info: info.capacity).peer_id
+    capacity = deployment.peer_info(advertiser).capacity
+    print(f"  advertiser server: peer {advertiser} "
+          f"(capacity {capacity:.0f}x)\n")
+
+    groups = []
+    print(f"{'community':<12}{'members':>9}{'tree nodes':>12}"
+          f"{'recv rate':>11}{'avg delay ms':>14}")
+    for index in range(COMMUNITIES):
+        members = middleware.sample_members(COMMUNITY_SIZE)
+        group = middleware.create_group(members, rendezvous=advertiser)
+        report = middleware.publish(group.group_id, advertiser)
+        groups.append(group)
+        print(f"community-{index:<2}{len(group.members):>9d}"
+              f"{group.tree.node_count:>12d}"
+              f"{group.advertisement.receiving_rate(PEERS):>11.2f}"
+              f"{report.average_member_delay_ms:>14.1f}")
+
+    # Aggregate load across all communities.
+    trees = [group.tree for group in groups]
+    workloads = aggregate_workloads(trees)
+    capacities = {info.peer_id: info.capacity
+                  for info in deployment.overlay.peers()}
+    index = overload_index(workloads, capacities)
+
+    weak_loads = [load for peer, load in workloads.items()
+                  if capacities[peer] <= 10.0]
+    strong_loads = [load for peer, load in workloads.items()
+                    if capacities[peer] >= 100.0]
+    membership = {}
+    for group in groups:
+        for member in group.members:
+            membership[member] = membership.get(member, 0) + 1
+    multi = sum(1 for count in membership.values() if count > 1)
+
+    print(f"\n{multi} peers belong to 2+ communities "
+          f"(overlapping interest sets).")
+    print(f"Aggregate forwarding load: overload index {index:.3f}")
+    print(f"  mean fan-out carried by weak peers (<=10x): "
+          f"{np.mean(weak_loads):.2f}")
+    print(f"  mean fan-out carried by strong peers (>=100x): "
+          f"{np.mean(strong_loads):.2f}")
+    print("The capacity-aware utility keeps heavy forwarding on peers")
+    print("that declared the bandwidth for it.")
+
+
+if __name__ == "__main__":
+    main()

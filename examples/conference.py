@@ -1,0 +1,120 @@
+"""Online conference under churn.
+
+Run with::
+
+    python examples/conference.py
+
+Simulates the paper's motivating scenario: an ad-hoc online conference on
+an overlay whose peers keep arriving and leaving.  Peers join with
+exponential inter-arrival times, live exponentially distributed
+lifetimes, and half of the departures are silent crashes that the
+heartbeat maintenance daemon must detect and repair.  Once the population
+stabilises, the first participant random-walks for a rendezvous point and
+a conference group is established; every speaker then publishes a
+"turn" through the spanning tree.
+"""
+
+import numpy as np
+
+from repro.config import GroupCastConfig, OverlayConfig
+from repro.coords.gnp import GNPSystem
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.dissemination import disseminate
+from repro.groupcast.rendezvous import select_rendezvous
+from repro.groupcast.subscription import subscribe_members
+from repro.network.topology import generate_transit_stub
+from repro.overlay.bootstrap import UtilityBootstrap
+from repro.overlay.churn import ChurnConfig, ChurnProcess
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.hostcache import HostCacheServer
+from repro.overlay.maintenance import MaintenanceDaemon
+from repro.overlay.messages import MessageStats
+from repro.sim.engine import Simulator
+from repro.sim.random import spawn_rng
+
+SEED = 23
+
+
+def main() -> None:
+    config = GroupCastConfig(seed=SEED)
+    simulator = Simulator()
+    underlay = generate_transit_stub(
+        config.underlay, spawn_rng(SEED, "topology"))
+    gnp = GNPSystem()
+    gnp.fit_landmarks(underlay, spawn_rng(SEED, "landmarks"))
+    space = gnp.make_space()
+
+    overlay = OverlayNetwork()
+    stats = MessageStats()
+    host_cache = HostCacheServer(max_entries=512,
+                                 dimensions=space.dimensions,
+                                 rng=spawn_rng(SEED, "hostcache"))
+    bootstrap = UtilityBootstrap(
+        overlay=overlay, host_cache=host_cache,
+        rng=spawn_rng(SEED, "protocol"), overlay_config=config.overlay,
+        utility_config=config.utility, stats=stats)
+    maintenance = MaintenanceDaemon(
+        simulator=simulator, overlay=overlay, host_cache=host_cache,
+        bootstrap=bootstrap, rng=spawn_rng(SEED, "maintenance"),
+        config=OverlayConfig(heartbeat_interval_ms=2_000.0,
+                             epoch_ms=10_000.0, min_epoch_ms=4_000.0,
+                             max_epoch_ms=60_000.0),
+        stats=stats)
+    churn = ChurnProcess(
+        simulator=simulator, underlay=underlay, gnp=gnp, space=space,
+        bootstrap=bootstrap, maintenance=maintenance,
+        rng=spawn_rng(SEED, "churn"),
+        config=ChurnConfig(join_interarrival_ms=500.0,
+                           mean_lifetime_ms=600_000.0,
+                           crash_fraction=0.5, max_joins=300))
+
+    print("Running churn: 300 arrivals, Expo(0.5s) inter-arrival, "
+          "Expo(600s) lifetimes ...")
+    churn.start()
+    simulator.run(until=240_000.0)  # 4 simulated minutes
+
+    alive = maintenance.alive_peers()
+    print(f"  t={simulator.now / 1000:.0f}s: {len(alive)} peers alive, "
+          f"{len(churn.departed)} departed, {len(churn.crashed)} crashed")
+    print(f"  failures detected by heartbeats: "
+          f"{len(maintenance.detected_failures)}, "
+          f"epoch repairs: {len(maintenance.repairs)}")
+    sizes = overlay.connected_component_sizes()
+    print(f"  overlay: {overlay.peer_count} vertices, "
+          f"largest component {sizes[0]}")
+
+    # --- establish the conference ------------------------------------
+    rng = spawn_rng(SEED, "conference")
+    participants = [alive[int(i)]
+                    for i in rng.choice(len(alive), size=min(30, len(alive)),
+                                        replace=False)]
+    initiator = participants[0]
+    rendezvous = select_rendezvous(
+        overlay, initiator, rng, config.rendezvous, stats)
+    print(f"\nConference: initiator {initiator} random-walked to "
+          f"rendezvous {rendezvous} "
+          f"(capacity {overlay.peer(rendezvous).capacity:.0f}x)")
+
+    advertisement = propagate_advertisement(
+        overlay, rendezvous, 1, "ssa", underlay.peer_distance_ms,
+        rng, config.announcement, config.utility, stats)
+    tree, subscription = subscribe_members(
+        overlay, advertisement, participants, underlay.peer_distance_ms,
+        config.announcement, stats)
+    print(f"  {len(tree.members)} participants on a tree of "
+          f"{tree.node_count} nodes "
+          f"(subscription success {subscription.success_rate:.0%})")
+
+    # --- everyone speaks once -----------------------------------------
+    delays = []
+    for speaker in sorted(tree.members)[:10]:
+        report = disseminate(tree, speaker, underlay, stats)
+        delays.append(report.average_member_delay_ms)
+    print(f"  10 speaking turns: mean delivery delay "
+          f"{np.mean(delays):.1f} ms "
+          f"(worst {np.max(delays):.1f} ms)")
+    print(f"\nTotal protocol messages: {stats.total()}")
+
+
+if __name__ == "__main__":
+    main()

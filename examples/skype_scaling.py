@@ -1,0 +1,75 @@
+"""Why Skype capped conferences at 6: unicast fan-out vs GroupCast trees.
+
+Run with::
+
+    python examples/skype_scaling.py
+
+The paper's introduction observes that Skype carried conference payloads
+over direct IP unicast from each speaker to every listener, which capped
+the first release at 6 participants.  This example grows a conference
+from 4 to 128 participants and compares, per speaking turn:
+
+* the speaker's uplink fan-out under Skype-style full unicast,
+* the maximum per-peer fan-out under a GroupCast spanning tree,
+
+showing how the tree keeps every peer's load bounded while full unicast
+scales linearly at the speaker.
+"""
+
+import numpy as np
+
+from repro.baselines.client_server import skype_unicast_cost
+from repro.deployment import build_deployment
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.dissemination import disseminate
+from repro.groupcast.subscription import subscribe_members
+from repro.sim.random import spawn_rng
+
+SEED = 47
+PEERS = 600
+
+
+def main() -> None:
+    print(f"Building a {PEERS}-peer GroupCast deployment ...\n")
+    deployment = build_deployment(PEERS, kind="groupcast", seed=SEED)
+    rng = spawn_rng(SEED, "example")
+    ids = deployment.peer_ids()
+
+    header = (f"{'participants':>13}{'skype uplink copies':>21}"
+              f"{'tree max fanout':>17}{'tree delay ms':>15}"
+              f"{'unicast delay ms':>18}")
+    print(header)
+    print("-" * len(header))
+
+    for size in (4, 8, 16, 32, 64, 128):
+        picks = rng.choice(len(ids), size=size, replace=False)
+        members = [ids[int(i)] for i in picks]
+        speaker = members[0]
+
+        # Skype-style: the speaker unicasts to everyone directly.
+        _, unicast_delay = skype_unicast_cost(
+            deployment.underlay, speaker, members)
+
+        # GroupCast: advertisement + reverse-path tree, payload flood.
+        advertisement = propagate_advertisement(
+            deployment.overlay, speaker, 1, "ssa",
+            deployment.peer_distance_ms, rng,
+            deployment.config.announcement, deployment.config.utility)
+        tree, _ = subscribe_members(
+            deployment.overlay, advertisement, members,
+            deployment.peer_distance_ms, deployment.config.announcement)
+        report = disseminate(tree, speaker, deployment.underlay)
+        max_fanout = max(
+            len(tree.children(node)) for node in tree.nodes())
+
+        print(f"{size:>13d}{size - 1:>21d}{max_fanout:>17d}"
+              f"{report.average_member_delay_ms:>15.1f}"
+              f"{unicast_delay:>18.1f}")
+
+    print("\nSkype's speaker uplink grows linearly with the conference;")
+    print("the GroupCast tree bounds every peer's fan-out, trading a")
+    print("modest delay penalty for one-to-two orders more scalability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Trust-aware group communication with free-riders in the population.
+
+Run with::
+
+    python examples/trusted_groups.py
+
+10 % of the peers are free-riders: they join groups and accept tree
+children but silently drop every payload they should forward.  The
+example runs rounds of group communication twice — once trust-blind,
+once with SSA forwarding weighted by a TrustGuard-style reputation
+ledger — and shows the quarantine converging: delivery recovers and the
+ledger's suspect list pinpoints the actual free-riders.
+"""
+
+import numpy as np
+
+from repro.deployment import build_deployment
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.subscription import subscribe_members
+from repro.sim.random import spawn_rng
+from repro.trust.dissemination import disseminate_with_failures
+from repro.trust.reputation import ReputationLedger, TrustConfig
+
+SEED = 83
+PEERS = 500
+ROUNDS = 8
+GROUPS_PER_ROUND = 3
+MEMBERS = 80
+
+
+def run_round(deployment, ledger, free_riders, rng, trust_fn):
+    ids = deployment.peer_ids()
+    ratios = []
+    for _ in range(GROUPS_PER_ROUND):
+        picks = rng.choice(len(ids), size=MEMBERS, replace=False)
+        members = [ids[int(i)] for i in picks]
+        rendezvous = members[0]
+        while rendezvous in free_riders:
+            rendezvous = ids[int(rng.integers(len(ids)))]
+        advertisement = propagate_advertisement(
+            deployment.overlay, rendezvous, 0, "ssa",
+            deployment.peer_distance_ms, rng,
+            deployment.config.announcement, deployment.config.utility,
+            trust_fn=trust_fn)
+        tree, _ = subscribe_members(
+            deployment.overlay, advertisement, members,
+            deployment.peer_distance_ms, deployment.config.announcement)
+        report = disseminate_with_failures(
+            tree, rendezvous, deployment.underlay, rng,
+            free_riders=free_riders, drop_probability=1.0, ledger=ledger)
+        ratios.append(report.delivery_ratio)
+    return float(np.mean(ratios))
+
+
+def main() -> None:
+    print(f"Building a {PEERS}-peer GroupCast deployment ...")
+    deployment = build_deployment(PEERS, kind="groupcast", seed=SEED)
+    rng = spawn_rng(SEED, "example")
+    ids = deployment.peer_ids()
+    picks = rng.choice(len(ids), size=PEERS // 10, replace=False)
+    free_riders = {ids[int(i)] for i in picks}
+    print(f"  {len(free_riders)} free-riders planted (drop all payloads)\n")
+
+    ledger = ReputationLedger(TrustConfig(ewma_alpha=0.5))
+    blind_ledger = ReputationLedger()
+    print(f"{'round':<7}{'trust-aware delivery':>22}"
+          f"{'trust-blind delivery':>22}")
+    for round_index in range(ROUNDS):
+        aware = run_round(deployment, ledger, free_riders, rng,
+                          ledger.quarantine_fn(threshold=0.3))
+        blind = run_round(deployment, blind_ledger, free_riders, rng,
+                          trust_fn=None)
+        print(f"{round_index:<7d}{aware:>22.2f}{blind:>22.2f}")
+
+    suspects = ledger.suspects(threshold=0.3)
+    true_positives = len(suspects & free_riders)
+    print(f"\nSuspects after {ROUNDS} rounds: {len(suspects)} "
+          f"({true_positives} true free-riders, "
+          f"{len(suspects) - true_positives} false accusations)")
+    print("Trust-weighted SSA keeps announcements - and therefore")
+    print("spanning trees - away from peers that drop payloads.")
+
+
+if __name__ == "__main__":
+    main()

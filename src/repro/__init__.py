@@ -1,0 +1,80 @@
+"""GroupCast: utility-aware middleware for decentralized group communication.
+
+A full reproduction of *"A Utility-Aware Middleware Architecture for
+Decentralized Group Communication Applications"* (MIDDLEWARE 2007),
+including every substrate the paper depends on: a GT-ITM style
+transit-stub underlay, GNP/Vivaldi network coordinates, a discrete-event
+simulator, the utility-aware overlay protocol, SSA/NSSA announcement,
+utility-aware spanning trees, and the baselines (PLOD power-law overlays,
+random overlays, client/server and mesh-based ESM).
+
+Quickstart::
+
+    from repro import GroupCastMiddleware
+
+    mw = GroupCastMiddleware.build(peer_count=300, seed=11)
+    group = mw.create_group(members=mw.sample_members(30))
+    report = mw.publish(group.group_id, source=sorted(group.members)[0])
+    print(report.average_member_delay_ms)
+"""
+
+from .config import (
+    AnnouncementConfig,
+    GroupCastConfig,
+    OverlayConfig,
+    RendezvousConfig,
+    TransitStubConfig,
+    UtilityConfig,
+)
+from .deployment import Deployment, build_deployment
+from .errors import (
+    BootstrapError,
+    ConfigurationError,
+    GroupError,
+    OverlayError,
+    PeerNotFoundError,
+    RendezvousError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    SubscriptionError,
+    TopologyError,
+    TreeError,
+)
+from .groupcast.middleware import GroupCastMiddleware
+from .groupcast.group import CommunicationGroup
+from .groupcast.spanning_tree import SpanningTree
+from .peers.capacity import PAPER_CAPACITY_DISTRIBUTION, CapacityDistribution
+from .peers.peer import PeerInfo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnouncementConfig",
+    "GroupCastConfig",
+    "OverlayConfig",
+    "RendezvousConfig",
+    "TransitStubConfig",
+    "UtilityConfig",
+    "Deployment",
+    "build_deployment",
+    "GroupCastMiddleware",
+    "CommunicationGroup",
+    "SpanningTree",
+    "PAPER_CAPACITY_DISTRIBUTION",
+    "CapacityDistribution",
+    "PeerInfo",
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "RoutingError",
+    "OverlayError",
+    "PeerNotFoundError",
+    "BootstrapError",
+    "GroupError",
+    "RendezvousError",
+    "SubscriptionError",
+    "TreeError",
+    "SimulationError",
+    "__version__",
+]

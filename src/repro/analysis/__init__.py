@@ -1,0 +1,49 @@
+"""Analytical models of GroupCast's costs and benefits.
+
+The paper evaluates GroupCast "through analytical and experimental
+analysis of the costs and benefits of the proposed techniques"; this
+package carries the analytical half:
+
+* :mod:`.message_costs` — branching-process estimates of SSA/NSSA
+  advertisement traffic and the expected SSA savings;
+* :mod:`.powerlaw` — the hop-pair expansion ``P(h) ~ h**hbar`` of
+  Section 3.3 measured on real overlays, plus diameter estimation;
+* :mod:`.parameters` — exact (distribution-aware) derivation of
+  ``alpha/beta/gamma`` and the sampling error of the resource-level
+  estimator the protocol uses instead.
+"""
+
+from .message_costs import (
+    expected_reach,
+    nssa_expected_messages,
+    ssa_expected_messages,
+    ssa_savings,
+)
+from .powerlaw import hop_pair_counts, hop_pair_exponent
+from .parameters import (
+    analytic_parameters,
+    resource_level_estimation_error,
+)
+from .scalability import (
+    expected_scalability_gain,
+    max_group_star,
+    max_group_tree,
+    max_group_unicast,
+    tree_respects_capacities,
+)
+
+__all__ = [
+    "expected_scalability_gain",
+    "max_group_star",
+    "max_group_tree",
+    "max_group_unicast",
+    "tree_respects_capacities",
+    "expected_reach",
+    "nssa_expected_messages",
+    "ssa_expected_messages",
+    "ssa_savings",
+    "hop_pair_counts",
+    "hop_pair_exponent",
+    "analytic_parameters",
+    "resource_level_estimation_error",
+]

@@ -1,0 +1,109 @@
+"""Branching-process estimates of advertisement traffic.
+
+Model the overlay as a random graph with ``n`` nodes and mean degree
+``d``.  An announcement spreads as a branching process: the rendezvous
+forwards to ``f0`` neighbors; every newly informed node forwards to
+``f`` of its remaining ``d - 1`` neighbors, but only a fraction of those
+targets are *new* (the rest are duplicates that cost a message and die).
+
+With ``r_h`` nodes newly reached at hop ``h`` and ``S_h`` the total
+informed so far, the fraction of forwards that hit uninformed nodes is
+approximated by the uncovered fraction ``1 - S_h / n``, giving
+
+``r_{h+1} = r_h * f * (1 - S_h / n)``  and  ``messages += r_h * f``.
+
+NSSA uses ``f = d - 1`` (flood everything except the upstream); SSA uses
+``f = max(min_fanout, fanout_fraction * (d - 1))``.  The model is crude
+— it ignores degree correlations and clustering — but lands within a
+small factor of the simulated counts (validated by the test suite) and
+exposes the scaling law behind Figure 11: both schemes are ``O(n)``,
+with SSA's constant smaller by roughly ``d / (fanout * d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SpreadEstimate:
+    """Result of one branching-process evaluation."""
+
+    messages: float
+    reached: float
+    hops_used: int
+
+
+def _spread(n: float, mean_degree: float, fanout: float,
+            ttl: int) -> SpreadEstimate:
+    if n < 2:
+        raise ConfigurationError("need at least two nodes")
+    if mean_degree <= 1.0:
+        raise ConfigurationError("mean degree must exceed 1")
+    if fanout <= 0.0:
+        raise ConfigurationError("fanout must be positive")
+    if ttl < 1:
+        raise ConfigurationError("ttl must be >= 1")
+    messages = 0.0
+    informed = 1.0
+    newly = 1.0
+    hops = 0
+    for hop in range(ttl):
+        sends = newly * fanout
+        if sends <= 0.0:
+            break
+        messages += sends
+        fresh = sends * max(0.0, 1.0 - informed / n)
+        fresh = min(fresh, n - informed)
+        if fresh <= 1e-9:
+            hops = hop + 1
+            break
+        informed += fresh
+        newly = fresh
+        hops = hop + 1
+    return SpreadEstimate(messages=messages, reached=informed,
+                          hops_used=hops)
+
+
+def nssa_expected_messages(n: int, mean_degree: float,
+                           ttl: int) -> SpreadEstimate:
+    """Expected NSSA traffic: every node floods its remaining links."""
+    return _spread(float(n), mean_degree, mean_degree - 1.0, ttl)
+
+
+def ssa_expected_messages(n: int, mean_degree: float, ttl: int,
+                          fanout_fraction: float,
+                          min_fanout: int = 2) -> SpreadEstimate:
+    """Expected SSA traffic with utility-subset forwarding."""
+    if not 0.0 < fanout_fraction <= 1.0:
+        raise ConfigurationError("fanout_fraction must be in (0, 1]")
+    fanout = max(float(min_fanout),
+                 fanout_fraction * (mean_degree - 1.0))
+    fanout = min(fanout, mean_degree - 1.0) if mean_degree - 1.0 >= \
+        min_fanout else mean_degree - 1.0
+    return _spread(float(n), mean_degree, fanout, ttl)
+
+
+def expected_reach(n: int, mean_degree: float, ttl: int,
+                   fanout_fraction: float = 1.0,
+                   min_fanout: int = 2) -> float:
+    """Fraction of the overlay an announcement is expected to reach."""
+    if fanout_fraction >= 1.0:
+        estimate = nssa_expected_messages(n, mean_degree, ttl)
+    else:
+        estimate = ssa_expected_messages(
+            n, mean_degree, ttl, fanout_fraction, min_fanout)
+    return estimate.reached / n
+
+
+def ssa_savings(n: int, mean_degree: float, ttl: int,
+                fanout_fraction: float, min_fanout: int = 2) -> float:
+    """Expected fraction of NSSA's traffic that SSA avoids (0..1)."""
+    nssa = nssa_expected_messages(n, mean_degree, ttl)
+    ssa = ssa_expected_messages(
+        n, mean_degree, ttl, fanout_fraction, min_fanout)
+    if nssa.messages <= 0.0:
+        return 0.0
+    return max(0.0, 1.0 - ssa.messages / nssa.messages)

@@ -1,0 +1,75 @@
+"""Hop-pair expansion analysis of overlay topologies.
+
+Section 3.3 recalls the power-law expansion property: in a power-law
+graph the number of node pairs within ``h`` hops satisfies
+``P(h) ~ h**hbar`` for ``h`` well below the diameter.  Large-diameter
+overlays (the Gnutella pathology the paper cites) violate this and make
+scoped searches expensive; GroupCast's utility-based management keeps
+the diameter low.  These helpers measure the expansion curve and fit
+``hbar`` on real :class:`~repro.overlay.graph.OverlayNetwork` instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OverlayError
+from ..overlay.graph import OverlayNetwork
+from ..sim.random import RandomSource
+
+
+def hop_pair_counts(overlay: OverlayNetwork, rng: RandomSource,
+                    sample: int = 64) -> np.ndarray:
+    """Estimated ``P(h)``: node pairs within ``h`` hops, for h = 1..max.
+
+    BFS from a random sample of sources; counts are scaled up to the
+    full population.  Index 0 of the returned array corresponds to
+    ``h = 1``.
+    """
+    ids = overlay.peer_ids()
+    if len(ids) < 2:
+        raise OverlayError("need at least two peers")
+    sample = min(sample, len(ids))
+    picks = rng.choice(len(ids), size=sample, replace=False)
+    max_hops = 0
+    per_source: list[np.ndarray] = []
+    for index in picks:
+        distances = overlay.hop_distances_from(ids[int(index)])
+        hops = np.asarray([h for h in distances.values() if h > 0])
+        if hops.size == 0:
+            per_source.append(np.zeros(1))
+            continue
+        counts = np.bincount(hops)[1:]  # drop h=0
+        per_source.append(np.cumsum(counts))
+        max_hops = max(max_hops, counts.size)
+    if max_hops == 0:
+        raise OverlayError("overlay has no links")
+    totals = np.zeros(max_hops)
+    for cumulative in per_source:
+        padded = np.pad(cumulative,
+                        (0, max_hops - cumulative.size),
+                        mode="edge" if cumulative.size else "constant")
+        totals += padded
+    scale = len(ids) / sample
+    return totals * scale
+
+
+def hop_pair_exponent(overlay: OverlayNetwork, rng: RandomSource,
+                      sample: int = 64) -> tuple[float, int]:
+    """Fit ``hbar`` of ``P(h) ~ h**hbar`` and report the eccentricity.
+
+    The fit uses hops up to the curve's saturation point (90 % of all
+    pairs), as the law only holds for ``h`` much below the diameter.
+    Returns ``(hbar, max_hops_observed)``.
+    """
+    totals = hop_pair_counts(overlay, rng, sample)
+    saturation = 0.9 * totals[-1]
+    cutoff = int(np.searchsorted(totals, saturation)) + 1
+    cutoff = max(cutoff, 3)
+    hops = np.arange(1, min(cutoff, totals.size) + 1)
+    values = totals[: hops.size]
+    keep = values > 0
+    if keep.sum() < 2:
+        raise OverlayError("not enough expansion points for a fit")
+    slope, _ = np.polyfit(np.log10(hops[keep]), np.log10(values[keep]), 1)
+    return float(slope), int(totals.size)

@@ -1,0 +1,97 @@
+"""Group-size scalability models: unicast vs star vs GroupCast trees.
+
+The paper's abstract claims GroupCast "can improve the scalability of
+wide-area group communication services by one to two orders of
+magnitude"; the introduction grounds it in Skype's 6-party conference
+cap.  These models make the claim computable.  A peer of capacity ``C``
+can forward ``C`` concurrent payload copies (the 64 kbps-connection
+definition of Section 3.1).  The largest group a scheme can serve from a
+given speaker is then:
+
+* **full unicast** (Skype): the speaker sends every copy itself —
+  ``group <= C_speaker + 1``;
+* **client/server star**: the server relays every copy —
+  ``group <= C_server + 1`` (scaling requires buying a bigger server);
+* **GroupCast tree**: every member forwards within its own capacity, so
+  group size is bounded by the *total* forwarding capacity of the
+  population, growing with N rather than with any single node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..groupcast.spanning_tree import SpanningTree
+from ..peers.capacity import CapacityDistribution
+
+
+def max_group_unicast(speaker_capacity: float) -> int:
+    """Largest conference a speaker can serve over full unicast."""
+    if speaker_capacity <= 0:
+        raise ConfigurationError("capacity must be positive")
+    return int(speaker_capacity) + 1
+
+
+def max_group_star(server_capacity: float) -> int:
+    """Largest group a single relay server can serve."""
+    if server_capacity <= 0:
+        raise ConfigurationError("capacity must be positive")
+    return int(server_capacity) + 1
+
+
+def max_group_tree(capacities: np.ndarray) -> int:
+    """Largest group a capacity-respecting tree over ``capacities`` serves.
+
+    A tree over ``k`` nodes needs ``k - 1`` forwarded copies in total,
+    and a node of capacity ``C`` can supply at most ``C`` of them.
+    Greedily admitting the most capable peers first, the largest
+    feasible ``k`` satisfies ``sum of top-k capacities >= k - 1`` —
+    every member also brings its own forwarding budget, which is exactly
+    why end-system multicast scales with the population.
+    """
+    values = np.sort(np.asarray(capacities, dtype=float))[::-1]
+    if values.size == 0 or (values <= 0).any():
+        raise ConfigurationError("capacities must be positive")
+    total = 0.0
+    feasible = 0
+    for k, capacity in enumerate(values, start=1):
+        total += capacity
+        if total >= k - 1:
+            feasible = k
+    return feasible
+
+
+def expected_scalability_gain(
+    distribution: CapacityDistribution,
+    population: int,
+    rng,
+    speaker_percentile: float = 0.5,
+) -> dict[str, float]:
+    """Monte-Carlo the three bounds for one sampled population.
+
+    ``speaker_percentile`` picks the unicast speaker (and star server)
+    from the sampled capacity distribution — 0.5 models a typical user
+    hosting a call, higher values model provisioned servers.
+    Returns the three group-size bounds and the tree/unicast gain.
+    """
+    if not 0.0 <= speaker_percentile <= 1.0:
+        raise ConfigurationError("speaker_percentile must be in [0, 1]")
+    capacities = distribution.sample(rng, population)
+    speaker = float(np.quantile(capacities, speaker_percentile))
+    unicast = max_group_unicast(speaker)
+    star = max_group_star(speaker)
+    tree = min(max_group_tree(capacities), population)
+    return {
+        "unicast": float(unicast),
+        "star": float(star),
+        "tree": float(tree),
+        "gain_orders": float(np.log10(tree / unicast)),
+    }
+
+
+def tree_respects_capacities(tree: SpanningTree,
+                             capacities: dict[int, float]) -> bool:
+    """Check a concrete tree against the per-node forwarding budget."""
+    return all(len(tree.children(node)) <= capacities[node]
+               for node in tree.nodes())

@@ -1,0 +1,24 @@
+"""Alternative group-communication baselines discussed in Sections 1-2.
+
+* :mod:`.client_server` — the height-1 star tree of traditional
+  client/server group communication (and Skype's full-unicast conference
+  model), whose root fan-out is its scalability ceiling;
+* :mod:`.narada` — a Narada/Scattercast-style mesh-first ESM baseline:
+  build a connected random mesh among the members only, then run a
+  shortest-path tree over it;
+* :mod:`.nice` — a NICE-style proximity-clustered hierarchy, the
+  "explicitly choose parents" family of Section 2.1.
+"""
+
+from .client_server import build_client_server_tree, skype_unicast_cost
+from .narada import NaradaMesh, build_narada_tree
+from .nice import NiceConfig, build_nice_tree
+
+__all__ = [
+    "build_client_server_tree",
+    "skype_unicast_cost",
+    "NaradaMesh",
+    "build_narada_tree",
+    "NiceConfig",
+    "build_nice_tree",
+]

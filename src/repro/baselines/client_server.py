@@ -1,0 +1,55 @@
+"""Client/server and Skype-style unicast baselines.
+
+Section 2 frames the traditional client/server architecture as "a special
+spanning tree of height 1 with the server forming the root", with
+obviously poor scalability: the server relays every payload to every
+member, so its fan-out (and required capacity) grows linearly with the
+group.  Skype's early conference model is even more restrictive — each
+speaker unicasts to every listener directly, which is why the first
+release capped conferences at 6 participants.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import GroupError
+from ..groupcast.spanning_tree import SpanningTree
+from ..network.underlay import UnderlayNetwork
+
+
+def build_client_server_tree(server: int,
+                             members: Sequence[int]) -> SpanningTree:
+    """The height-1 star: every member hangs directly off the server."""
+    tree = SpanningTree(root=server)
+    for member in members:
+        if member == server:
+            continue
+        tree.graft_chain([member, server])
+        tree.mark_member(member)
+    if len(tree) < 2:
+        raise GroupError("client/server tree needs at least one client")
+    return tree
+
+
+def skype_unicast_cost(
+    underlay: UnderlayNetwork,
+    source: int,
+    members: Sequence[int],
+) -> tuple[int, float]:
+    """IP-message count and mean delay of full-unicast (Skype) delivery.
+
+    The source sends an individual copy to every other member; returns
+    ``(total_ip_messages, average_delay_ms)``.  Delay is optimal (direct
+    unicast) but the source's uplink carries ``len(members) - 1`` copies —
+    the scalability wall GroupCast removes.
+    """
+    receivers = [m for m in members if m != source]
+    if not receivers:
+        raise GroupError("unicast delivery needs at least one receiver")
+    ip_messages = 0
+    total_delay = 0.0
+    for receiver in receivers:
+        ip_messages += len(underlay.peer_path_links(source, receiver))
+        total_delay += underlay.peer_distance_ms(source, receiver)
+    return ip_messages, total_delay / len(receivers)

@@ -1,0 +1,145 @@
+"""Narada/Scattercast-style mesh-first end-system multicast baseline.
+
+Section 2.1 describes the two-step approach of Narada and Scattercast:
+first build a well-connected mesh over the group members, then run a
+standard shortest-path algorithm on the mesh to obtain the multicast
+tree.  The mesh needs "extensive messaging" to stay good, which is why
+those systems scale poorly under churn — but their tree quality is a
+useful reference point for GroupCast's spanning trees.
+
+The mesh here connects every member to its ``k`` nearest members (by
+underlay latency) plus a few random links for connectivity, and trees are
+shortest-path trees (Dijkstra over mesh latencies) rooted at the source.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GroupError
+from ..groupcast.spanning_tree import SpanningTree
+from ..network.underlay import UnderlayNetwork
+from ..sim.random import RandomSource
+
+
+@dataclass
+class NaradaMesh:
+    """A latency-weighted mesh over the members of one group."""
+
+    members: tuple[int, ...]
+    adjacency: dict[int, dict[int, float]] = field(default_factory=dict)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected mesh links."""
+        return sum(len(n) for n in self.adjacency.values()) // 2
+
+    def add_link(self, a: int, b: int, latency_ms: float) -> None:
+        """Insert an undirected weighted link."""
+        if a == b:
+            raise GroupError("mesh self-links are not allowed")
+        self.adjacency.setdefault(a, {})[b] = latency_ms
+        self.adjacency.setdefault(b, {})[a] = latency_ms
+
+    def shortest_path_tree(self, source: int) -> SpanningTree:
+        """Dijkstra over the mesh, returned as a spanning tree."""
+        if source not in self.adjacency:
+            raise GroupError(f"{source} is not in the mesh")
+        dist = {source: 0.0}
+        parent: dict[int, int] = {}
+        heap = [(0.0, source)]
+        visited: set[int] = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for neighbor, weight in self.adjacency[node].items():
+                candidate = d + weight
+                if candidate < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = candidate
+                    parent[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        tree = SpanningTree(root=source)
+        # Graft in distance order so parents always precede children.
+        for node in sorted(parent, key=dist.__getitem__):
+            tree.graft_chain([node, parent[node]])
+            tree.mark_member(node)
+        return tree
+
+
+def build_narada_mesh(
+    underlay: UnderlayNetwork,
+    members: Sequence[int],
+    rng: RandomSource,
+    nearest_links: int = 3,
+    random_links: int = 2,
+) -> NaradaMesh:
+    """Connect each member to its nearest members plus random shortcuts."""
+    members = list(dict.fromkeys(members))
+    if len(members) < 2:
+        raise GroupError("a mesh needs at least two members")
+    mesh = NaradaMesh(members=tuple(members))
+    for member in members:
+        mesh.adjacency.setdefault(member, {})
+    index = {m: i for i, m in enumerate(members)}
+    for member in members:
+        others = [m for m in members if m != member]
+        distances = underlay.peer_distances_ms(member, others)
+        order = np.argsort(distances, kind="stable")
+        for i in order[:nearest_links]:
+            mesh.add_link(member, others[int(i)], float(distances[int(i)]))
+        remaining = order[nearest_links:]
+        if remaining.size > 0 and random_links > 0:
+            picks = rng.choice(remaining,
+                               size=min(random_links, remaining.size),
+                               replace=False)
+            for i in picks:
+                mesh.add_link(member, others[int(i)],
+                              float(distances[int(i)]))
+    _ensure_connected(mesh, underlay, index)
+    return mesh
+
+
+def build_narada_tree(
+    underlay: UnderlayNetwork,
+    source: int,
+    members: Sequence[int],
+    rng: RandomSource,
+    nearest_links: int = 3,
+    random_links: int = 2,
+) -> SpanningTree:
+    """Mesh + shortest-path tree in one call (the full two-step scheme)."""
+    all_members = list(dict.fromkeys([source, *members]))
+    mesh = build_narada_mesh(
+        underlay, all_members, rng, nearest_links, random_links)
+    return mesh.shortest_path_tree(source)
+
+
+def _ensure_connected(mesh: NaradaMesh, underlay: UnderlayNetwork,
+                      index: dict[int, int]) -> None:
+    """Patch disconnected mesh components with direct links."""
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for start in mesh.members:
+        if start in seen:
+            continue
+        stack, component = [start], []
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in mesh.adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(component)
+    main = components[0]
+    for other in components[1:]:
+        a, b = main[0], other[0]
+        mesh.add_link(a, b, underlay.peer_distance_ms(a, b))
+        main = main + other

@@ -1,0 +1,145 @@
+"""NICE-style hierarchical-cluster end-system multicast.
+
+NICE (Banerjee, Bhattacharjee, Kommareddy, SIGCOMM'02) is the first of
+the three multicast-tree approaches Section 2.1 surveys: participants
+"explicitly choose their parents" through a proximity-clustered
+hierarchy.  Members are partitioned into latency-based clusters of size
+``[k, 3k-1]``; each cluster elects its graph centre as leader; leaders
+recursively form the next layer until one root remains.  The data path
+is the hierarchy itself: every member receives from the leader of its
+lowest-layer cluster.
+
+The paper cites NICE's protocol complexity as the reason such systems
+see few implementations; here the *structure* is reproduced so its tree
+quality can sit alongside GroupCast, SCRIBE, Narada and the star in the
+comparison benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, GroupError
+from ..groupcast.spanning_tree import SpanningTree
+from ..network.underlay import UnderlayNetwork
+from ..sim.random import RandomSource
+
+
+@dataclass(frozen=True)
+class NiceConfig:
+    """Cluster-size parameter of the NICE hierarchy."""
+
+    k: int = 3
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ConfigurationError("k must be >= 2")
+
+    @property
+    def max_cluster(self) -> int:
+        """NICE's upper cluster bound ``3k - 1``."""
+        return 3 * self.k - 1
+
+
+def build_nice_tree(
+    underlay: UnderlayNetwork,
+    members: list[int],
+    rng: RandomSource,
+    config: NiceConfig | None = None,
+) -> SpanningTree:
+    """Build the NICE hierarchy over ``members`` as a spanning tree."""
+    config = config or NiceConfig()
+    members = list(dict.fromkeys(members))
+    if len(members) < 2:
+        raise GroupError("NICE needs at least two members")
+
+    parent: dict[int, int] = {}
+    layer = list(members)
+    guard = len(members) + 4
+    while len(layer) > 1:
+        clusters = _proximity_clusters(underlay, layer, config, rng)
+        leaders: list[int] = []
+        for cluster in clusters:
+            leader = _graph_center(underlay, cluster)
+            for member in cluster:
+                if member != leader and member not in parent:
+                    parent[member] = leader
+            leaders.append(leader)
+        if len(leaders) >= len(layer):
+            raise GroupError("NICE hierarchy failed to converge")
+        layer = leaders
+        guard -= 1
+        if guard < 0:
+            raise GroupError("NICE hierarchy failed to converge")
+
+    root = layer[0]
+    tree = SpanningTree(root=root)
+    # Graft members in leader-first order so parents precede children.
+    remaining = set(parent)
+    while remaining:
+        progressed = False
+        for member in sorted(remaining):
+            anchor = parent[member]
+            if anchor in tree:
+                tree.graft_chain([member, anchor])
+                remaining.discard(member)
+                progressed = True
+        if not progressed:
+            raise GroupError("NICE hierarchy contains a parent cycle")
+    for member in members:
+        tree.mark_member(member)
+    tree.validate()
+    return tree
+
+
+def _proximity_clusters(
+    underlay: UnderlayNetwork,
+    layer: list[int],
+    config: NiceConfig,
+    rng: RandomSource,
+) -> list[list[int]]:
+    """Greedy latency clustering into groups of ``[k, 3k-1]`` members."""
+    unassigned = list(layer)
+    order = rng.permutation(len(unassigned))
+    unassigned = [unassigned[int(i)] for i in order]
+    clusters: list[list[int]] = []
+    while unassigned:
+        seed = unassigned.pop()
+        if not unassigned:
+            cluster = [seed]
+        else:
+            distances = underlay.peer_distances_ms(seed, unassigned)
+            take = min(config.k - 1, len(unassigned))
+            picks = np.argsort(distances, kind="stable")[:take]
+            chosen = {int(i) for i in picks}
+            cluster = [seed] + [unassigned[i] for i in sorted(chosen)]
+            unassigned = [m for i, m in enumerate(unassigned)
+                          if i not in chosen]
+        clusters.append(cluster)
+    # Fold a trailing undersized cluster into its nearest sibling.
+    if len(clusters) > 1 and len(clusters[-1]) < config.k:
+        tail = clusters.pop()
+        target = min(
+            range(len(clusters)),
+            key=lambda i: underlay.peer_distance_ms(
+                tail[0], clusters[i][0]))
+        if len(clusters[target]) + len(tail) <= config.max_cluster:
+            clusters[target].extend(tail)
+        else:
+            clusters.append(tail)  # keep it; splitting would ping-pong
+    return clusters
+
+
+def _graph_center(underlay: UnderlayNetwork, cluster: list[int]) -> int:
+    """The member minimising its maximum latency to the cluster."""
+    if len(cluster) == 1:
+        return cluster[0]
+    best, best_radius = cluster[0], float("inf")
+    for candidate in cluster:
+        radius = float(
+            underlay.peer_distances_ms(candidate, cluster).max())
+        if radius < best_radius:
+            best, best_radius = candidate, radius
+    return best

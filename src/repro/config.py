@@ -1,0 +1,204 @@
+"""Configuration objects for every subsystem of the GroupCast reproduction.
+
+All configuration is carried by small frozen dataclasses so experiments are
+reproducible from a single value and configs can be used as dict keys or
+cached safely.  Each dataclass validates its fields in ``__post_init__`` and
+raises :class:`~repro.errors.ConfigurationError` on out-of-range values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class TransitStubConfig:
+    """Parameters of the GT-ITM style transit-stub underlay generator.
+
+    The generated topology has ``transit_domains`` fully meshed transit
+    domains, each containing ``transit_routers_per_domain`` routers.  Every
+    transit router hosts ``stub_domains_per_transit`` stub domains of
+    ``routers_per_stub`` routers each.  Latencies (milliseconds) are drawn
+    uniformly from the per-level ranges below, mirroring the common GT-ITM
+    parameterisation where transit-transit links are long haul and
+    intra-stub links are short.
+    """
+
+    transit_domains: int = 4
+    transit_routers_per_domain: int = 4
+    stub_domains_per_transit: int = 3
+    routers_per_stub: int = 4
+    extra_transit_edge_prob: float = 0.4
+    extra_stub_edge_prob: float = 0.3
+    transit_transit_latency: tuple[float, float] = (20.0, 80.0)
+    intra_transit_latency: tuple[float, float] = (5.0, 20.0)
+    transit_stub_latency: tuple[float, float] = (2.0, 10.0)
+    intra_stub_latency: tuple[float, float] = (1.0, 5.0)
+    peer_access_latency: tuple[float, float] = (0.5, 3.0)
+
+    def __post_init__(self) -> None:
+        _require(self.transit_domains >= 1, "need at least one transit domain")
+        _require(self.transit_routers_per_domain >= 1,
+                 "need at least one transit router per domain")
+        _require(self.stub_domains_per_transit >= 1,
+                 "need at least one stub domain per transit router")
+        _require(self.routers_per_stub >= 1,
+                 "need at least one router per stub domain")
+        _require(0.0 <= self.extra_transit_edge_prob <= 1.0,
+                 "extra_transit_edge_prob must be a probability")
+        _require(0.0 <= self.extra_stub_edge_prob <= 1.0,
+                 "extra_stub_edge_prob must be a probability")
+        for name in ("transit_transit_latency", "intra_transit_latency",
+                     "transit_stub_latency", "intra_stub_latency",
+                     "peer_access_latency"):
+            low, high = getattr(self, name)
+            _require(0.0 < low <= high, f"{name} must be 0 < low <= high")
+
+    @property
+    def router_count(self) -> int:
+        """Total number of routers the generator will create."""
+        transit = self.transit_domains * self.transit_routers_per_domain
+        stubs = transit * self.stub_domains_per_transit * self.routers_per_stub
+        return transit + stubs
+
+
+@dataclass(frozen=True)
+class UtilityConfig:
+    """Tunables of the utility function (Section 3.1 of the paper).
+
+    ``alpha``, ``beta`` and ``gamma`` are normally derived from a peer's
+    resource level (``alpha = 1 - r``, ``beta = r``, ``gamma = r**(-ln r)``);
+    the fields here only bound the derivation to keep the preference
+    formulae well defined.
+    """
+
+    min_resource_level: float = 1e-3
+    max_resource_level: float = 1.0 - 1e-3
+    min_distance_ms: float = 1e-3
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.min_resource_level < self.max_resource_level < 1.0,
+                 "resource level bounds must satisfy 0 < min < max < 1")
+        _require(self.min_distance_ms > 0.0, "min_distance_ms must be positive")
+
+    def clamp_resource_level(self, resource_level: float) -> float:
+        """Clamp ``resource_level`` into the open interval (0, 1)."""
+        return min(max(resource_level, self.min_resource_level),
+                   self.max_resource_level)
+
+    def gamma(self, resource_level: float) -> float:
+        """Capacity-vs-distance weight ``gamma = r**(-ln r)`` of Eq. 5."""
+        r = self.clamp_resource_level(resource_level)
+        return r ** (-math.log(r))
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """Parameters of the utility-aware overlay protocol (Section 3.3)."""
+
+    bootstrap_list_size: int = 8
+    min_degree: int = 3
+    max_degree: int = 30
+    degree_capacity_slope: float = 1.5
+    back_link_fallback_prob: float = 0.5
+    resource_level_sample_size: int = 30
+    heartbeat_interval_ms: float = 5_000.0
+    missed_heartbeats_for_failure: int = 2
+    epoch_ms: float = 30_000.0
+    min_epoch_ms: float = 10_000.0
+    max_epoch_ms: float = 120_000.0
+
+    def __post_init__(self) -> None:
+        _require(2 <= self.bootstrap_list_size <= 64,
+                 "bootstrap_list_size must be in [2, 64]")
+        _require(1 <= self.min_degree <= self.max_degree,
+                 "need 1 <= min_degree <= max_degree")
+        _require(self.degree_capacity_slope >= 0.0,
+                 "degree_capacity_slope must be non-negative")
+        _require(0.0 <= self.back_link_fallback_prob <= 1.0,
+                 "back_link_fallback_prob must be a probability")
+        _require(self.resource_level_sample_size >= 1,
+                 "resource_level_sample_size must be positive")
+        _require(self.heartbeat_interval_ms > 0.0,
+                 "heartbeat_interval_ms must be positive")
+        _require(self.missed_heartbeats_for_failure >= 1,
+                 "missed_heartbeats_for_failure must be >= 1")
+        _require(0.0 < self.min_epoch_ms <= self.epoch_ms <= self.max_epoch_ms,
+                 "epoch bounds must satisfy 0 < min <= epoch <= max")
+
+    def target_degree(self, capacity: float) -> int:
+        """Desired number of overlay neighbors for a peer of ``capacity``.
+
+        Grows with the logarithm of capacity so that powerful peers form the
+        high-degree core of the overlay, clamped to the Gnutella-like range
+        ``[min_degree, max_degree]``.
+        """
+        _require(capacity > 0.0, "capacity must be positive")
+        raw = self.min_degree + self.degree_capacity_slope * math.log10(capacity)
+        return int(min(max(round(raw), self.min_degree), self.max_degree))
+
+
+#: Neighbor-selection strategies for SSA forwarding.  ``utility`` is the
+#: paper's contribution (Section 3.2); ``random`` is the basic framework's
+#: strategy (Section 2.2); ``distance`` and ``capacity`` isolate the two
+#: components of the utility function for ablation studies.
+SSA_STRATEGIES = ("utility", "random", "distance", "capacity")
+
+
+@dataclass(frozen=True)
+class AnnouncementConfig:
+    """Parameters of the SSA/NSSA advertisement schemes (Section 2.2)."""
+
+    ssa_fanout_fraction: float = 0.35
+    ssa_min_fanout: int = 2
+    ssa_strategy: str = "utility"
+    advertisement_ttl: int = 6
+    subscription_search_ttl: int = 2
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.ssa_fanout_fraction <= 1.0,
+                 "ssa_fanout_fraction must be in (0, 1]")
+        _require(self.ssa_min_fanout >= 1, "ssa_min_fanout must be >= 1")
+        _require(self.ssa_strategy in SSA_STRATEGIES,
+                 f"ssa_strategy must be one of {SSA_STRATEGIES}")
+        _require(self.advertisement_ttl >= 1, "advertisement_ttl must be >= 1")
+        _require(self.subscription_search_ttl >= 0,
+                 "subscription_search_ttl must be >= 0")
+
+
+@dataclass(frozen=True)
+class RendezvousConfig:
+    """Random-walk rendezvous selection (Step 1 of Section 2.2)."""
+
+    walk_length: int = 16
+    min_capacity: float = 100.0
+
+    def __post_init__(self) -> None:
+        _require(self.walk_length >= 1, "walk_length must be >= 1")
+        _require(self.min_capacity > 0.0, "min_capacity must be positive")
+
+
+@dataclass(frozen=True)
+class GroupCastConfig:
+    """Top-level configuration bundling every subsystem."""
+
+    underlay: TransitStubConfig = field(default_factory=TransitStubConfig)
+    utility: UtilityConfig = field(default_factory=UtilityConfig)
+    overlay: OverlayConfig = field(default_factory=OverlayConfig)
+    announcement: AnnouncementConfig = field(default_factory=AnnouncementConfig)
+    rendezvous: RendezvousConfig = field(default_factory=RendezvousConfig)
+    join_interarrival_ms: float = 1_000.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        _require(self.join_interarrival_ms > 0.0,
+                 "join_interarrival_ms must be positive")
+        _require(self.seed >= 0, "seed must be non-negative")

@@ -1,0 +1,13 @@
+"""Network coordinate systems (GNP landmarks, Vivaldi, oracle)."""
+
+from .base import CoordinateSpace
+from .gnp import GNPConfig, GNPSystem
+from .vivaldi import VivaldiConfig, VivaldiSystem
+
+__all__ = [
+    "CoordinateSpace",
+    "GNPConfig",
+    "GNPSystem",
+    "VivaldiConfig",
+    "VivaldiSystem",
+]

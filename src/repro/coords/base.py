@@ -1,0 +1,70 @@
+"""Shared coordinate-space container used by every embedding backend."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import PeerNotFoundError
+
+
+class CoordinateSpace:
+    """Euclidean coordinates for a set of peers.
+
+    GroupCast uses network coordinates (GNP in the paper) to estimate
+    inter-peer latency without measuring every pair: the utility function's
+    ``D(i, j)`` and the host cache's distance sort both read from this
+    object.  Coordinates are plain Euclidean vectors; distance is the
+    2-norm, interpreted in milliseconds.
+    """
+
+    def __init__(self, dimensions: int) -> None:
+        if dimensions < 1:
+            raise ValueError("coordinate space needs at least one dimension")
+        self.dimensions = dimensions
+        self._coords: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._coords
+
+    def set(self, peer_id: int, coordinate: Sequence[float]) -> None:
+        """Record the coordinate of ``peer_id`` (overwrites any previous)."""
+        vector = np.asarray(coordinate, dtype=float)
+        if vector.shape != (self.dimensions,):
+            raise ValueError(
+                f"coordinate must have {self.dimensions} dimensions, "
+                f"got shape {vector.shape}")
+        self._coords[peer_id] = vector
+
+    def get(self, peer_id: int) -> np.ndarray:
+        """Return the coordinate of ``peer_id``."""
+        try:
+            return self._coords[peer_id]
+        except KeyError:
+            raise PeerNotFoundError(f"no coordinate for peer {peer_id}")
+
+    def remove(self, peer_id: int) -> None:
+        """Forget the coordinate of a departed peer (idempotent)."""
+        self._coords.pop(peer_id, None)
+
+    def distance(self, a: int, b: int) -> float:
+        """Estimated latency (ms) between two peers."""
+        return float(np.linalg.norm(self.get(a) - self.get(b)))
+
+    def distances_from(self, peer_id: int,
+                       others: Iterable[int]) -> np.ndarray:
+        """Vector of estimated latencies from ``peer_id`` to ``others``."""
+        origin = self.get(peer_id)
+        other_list = list(others)
+        if not other_list:
+            return np.empty(0, dtype=float)
+        matrix = np.stack([self.get(other) for other in other_list])
+        return np.linalg.norm(matrix - origin, axis=1)
+
+    def peer_ids(self) -> list[int]:
+        """All peers with a recorded coordinate."""
+        return list(self._coords)

@@ -1,0 +1,129 @@
+"""Vivaldi decentralized network coordinates.
+
+The paper cites Vivaldi (Dabek et al., SIGCOMM'04) alongside GNP as a way
+to obtain network coordinates.  We implement the classic adaptive-timestep
+spring-relaxation algorithm: each sample pulls/pushes a node's coordinate
+along the unit vector to its neighbor proportionally to the embedding
+error, with a per-node confidence weight that damps updates as estimates
+converge.  Useful both as an alternative backend for the middleware and as
+an ablation target against GNP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ConfigurationError
+from ..network.underlay import UnderlayNetwork
+from ..sim.random import RandomSource
+from .base import CoordinateSpace
+
+
+@dataclass(frozen=True)
+class VivaldiConfig:
+    """Tunables of the Vivaldi relaxation."""
+
+    dimensions: int = 5
+    rounds: int = 30
+    samples_per_round: int = 8
+    cc: float = 0.25
+    ce: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise ConfigurationError("dimensions must be >= 1")
+        if self.rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        if self.samples_per_round < 1:
+            raise ConfigurationError("samples_per_round must be >= 1")
+        if not 0.0 < self.cc <= 1.0 or not 0.0 < self.ce <= 1.0:
+            raise ConfigurationError("cc and ce must be in (0, 1]")
+
+
+class VivaldiSystem:
+    """Decentralized coordinate computation over an underlay."""
+
+    def __init__(self, config: VivaldiConfig | None = None) -> None:
+        self.config = config or VivaldiConfig()
+
+    def make_space(self) -> CoordinateSpace:
+        """Create an empty coordinate space with this system's dimensions."""
+        return CoordinateSpace(self.config.dimensions)
+
+    def fit(
+        self,
+        underlay: UnderlayNetwork,
+        peer_ids: list[int],
+        rng: RandomSource,
+        space: CoordinateSpace | None = None,
+    ) -> CoordinateSpace:
+        """Run Vivaldi over ``peer_ids`` and return their coordinate space.
+
+        Each round, every peer samples ``samples_per_round`` random other
+        peers, measures the true latency on the underlay, and applies the
+        Vivaldi update rule.
+        """
+        cfg = self.config
+        if space is None:
+            space = self.make_space()
+        n = len(peer_ids)
+        if n == 0:
+            return space
+        if n == 1:
+            space.set(peer_ids[0], np.zeros(cfg.dimensions))
+            return space
+
+        positions = rng.normal(scale=1.0, size=(n, cfg.dimensions))
+        error = np.ones(n)
+        index = {peer: i for i, peer in enumerate(peer_ids)}
+
+        for _ in range(cfg.rounds):
+            for peer in peer_ids:
+                i = index[peer]
+                samples = rng.choice(n, size=min(cfg.samples_per_round, n - 1),
+                                     replace=False)
+                for j in samples:
+                    if j == i:
+                        continue
+                    rtt = underlay.peer_distance_ms(peer, peer_ids[j])
+                    self._update(positions, error, i, int(j), rtt, rng)
+
+        for peer, i in index.items():
+            space.set(peer, positions[i])
+        return space
+
+    def _update(self, positions: np.ndarray, error: np.ndarray,
+                i: int, j: int, rtt: float, rng: RandomSource) -> None:
+        cfg = self.config
+        delta_vec = positions[i] - positions[j]
+        dist = float(np.linalg.norm(delta_vec))
+        if dist < 1e-9:
+            # Coincident nodes: pick a random direction to separate them.
+            delta_vec = rng.normal(size=positions.shape[1])
+            dist = float(np.linalg.norm(delta_vec))
+        unit = delta_vec / dist
+
+        w = error[i] / max(error[i] + error[j], 1e-9)
+        sample_err = abs(dist - rtt) / max(rtt, 1e-9)
+        error[i] = min(
+            sample_err * cfg.ce * w + error[i] * (1.0 - cfg.ce * w), 10.0)
+        step = cfg.cc * w
+        positions[i] += step * (rtt - dist) * unit
+
+    def relative_error(self, underlay: UnderlayNetwork,
+                       space: CoordinateSpace, peer_ids: list[int],
+                       rng: RandomSource, samples: int = 500) -> float:
+        """Median relative embedding error over random peer pairs."""
+        n = len(peer_ids)
+        if n < 2:
+            return 0.0
+        errors = []
+        for _ in range(samples):
+            i, j = rng.choice(n, size=2, replace=False)
+            a, b = peer_ids[int(i)], peer_ids[int(j)]
+            true = underlay.peer_distance_ms(a, b)
+            est = space.distance(a, b)
+            errors.append(abs(est - true) / max(true, 1e-9))
+        return float(np.median(errors))

@@ -1,0 +1,179 @@
+"""End-to-end deployment assembly.
+
+A *deployment* bundles everything one experiment instance needs: a
+transit-stub underlay, a fitted GNP coordinate frame, a population of
+peers with Table-1 capacities attached to stub routers, and an overlay
+built by one of three construction schemes:
+
+* ``"groupcast"`` — the paper's utility-aware protocol (Section 3.3),
+* ``"plod"`` — the centralized random power-law baseline,
+* ``"random"`` — a plain Gnutella-style random overlay.
+
+All experiments and the public middleware facade build on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import GroupCastConfig
+from .coords.base import CoordinateSpace
+from .coords.gnp import GNPConfig, GNPSystem
+from .errors import ConfigurationError
+from .network.topology import generate_transit_stub
+from .network.underlay import UnderlayNetwork
+from .overlay.bootstrap import JoinResult, UtilityBootstrap
+from .overlay.graph import OverlayNetwork
+from .overlay.gnutella import generate_random_overlay
+from .overlay.hostcache import HostCacheServer
+from .overlay.messages import MessageStats
+from .overlay.plod import generate_plod_overlay
+from .peers.capacity import CapacityDistribution, PAPER_CAPACITY_DISTRIBUTION
+from .peers.peer import PeerInfo
+from .sim.random import RandomSource, spawn_rng
+
+#: Overlay construction schemes accepted by :func:`build_deployment`.
+OVERLAY_KINDS = ("groupcast", "plod", "random")
+
+
+@dataclass
+class Deployment:
+    """A fully assembled simulation instance."""
+
+    kind: str
+    config: GroupCastConfig
+    underlay: UnderlayNetwork
+    gnp: GNPSystem
+    space: CoordinateSpace
+    overlay: OverlayNetwork
+    host_cache: HostCacheServer
+    stats: MessageStats
+    protocol_rng: RandomSource
+    join_results: list[JoinResult] = field(default_factory=list)
+
+    @property
+    def peer_count(self) -> int:
+        """Number of peers in the overlay."""
+        return self.overlay.peer_count
+
+    def peer_ids(self) -> list[int]:
+        """All overlay peer ids."""
+        return self.overlay.peer_ids()
+
+    def peer_info(self, peer_id: int) -> PeerInfo:
+        """Metadata of a peer."""
+        return self.overlay.peer(peer_id)
+
+    def peer_distance_ms(self, a: int, b: int) -> float:
+        """True underlay latency between two peers (message transit)."""
+        return self.underlay.peer_distance_ms(a, b)
+
+    def coordinate_distance_ms(self, a: int, b: int) -> float:
+        """Latency estimate from network coordinates (protocol decisions)."""
+        return self.space.distance(a, b)
+
+
+#: Coordinate backends accepted by :func:`build_deployment`.
+COORDINATE_BACKENDS = ("gnp", "vivaldi")
+
+
+def build_deployment(
+    peer_count: int,
+    kind: str = "groupcast",
+    config: GroupCastConfig | None = None,
+    seed: int | None = None,
+    capacities: CapacityDistribution = PAPER_CAPACITY_DISTRIBUTION,
+    gnp_config: GNPConfig | None = None,
+    host_cache_size: int = 1024,
+    coordinates: str = "gnp",
+) -> Deployment:
+    """Build a complete deployment of ``peer_count`` peers.
+
+    ``seed`` overrides ``config.seed``; every subsystem draws from an
+    independent named random stream, so e.g. enlarging the overlay does
+    not perturb the underlay.  ``coordinates`` selects the network
+    coordinate backend: ``"gnp"`` (the paper's choice) or ``"vivaldi"``
+    (decentralized alternative, useful for ablation).
+    """
+    if peer_count < 2:
+        raise ConfigurationError("a deployment needs at least two peers")
+    if kind not in OVERLAY_KINDS:
+        raise ConfigurationError(
+            f"unknown overlay kind {kind!r}; expected one of {OVERLAY_KINDS}")
+    if coordinates not in COORDINATE_BACKENDS:
+        raise ConfigurationError(
+            f"unknown coordinate backend {coordinates!r}; "
+            f"expected one of {COORDINATE_BACKENDS}")
+    config = config or GroupCastConfig()
+    seed = config.seed if seed is None else seed
+
+    underlay = generate_transit_stub(
+        config.underlay, spawn_rng(seed, "topology"))
+
+    gnp = GNPSystem(gnp_config)
+    gnp.fit_landmarks(underlay, spawn_rng(seed, "landmarks"))
+
+    attach_rng = spawn_rng(seed, "attachment")
+    peer_ids = list(range(peer_count))
+    for peer_id in peer_ids:
+        underlay.attach_peer(peer_id, attach_rng)
+    if coordinates == "vivaldi":
+        from .coords.vivaldi import VivaldiSystem
+
+        vivaldi = VivaldiSystem()
+        space = vivaldi.fit(
+            underlay, peer_ids, spawn_rng(seed, "embedding"))
+    else:
+        space = gnp.make_space()
+        gnp.embed_peers(peer_ids, space, spawn_rng(seed, "embedding"))
+
+    capacity_values = capacities.sample(
+        spawn_rng(seed, "capacities"), peer_count)
+    infos = [
+        PeerInfo(peer_id=pid, capacity=float(capacity_values[i]),
+                 coordinate=space.get(pid))
+        for i, pid in enumerate(peer_ids)
+    ]
+
+    protocol_rng = spawn_rng(seed, "protocol")
+    stats = MessageStats()
+    host_cache = HostCacheServer(
+        max_entries=host_cache_size,
+        dimensions=space.dimensions,
+        rng=spawn_rng(seed, "hostcache"),
+    )
+
+    join_results: list[JoinResult] = []
+    if kind == "groupcast":
+        overlay = OverlayNetwork()
+        bootstrap = UtilityBootstrap(
+            overlay=overlay,
+            host_cache=host_cache,
+            rng=protocol_rng,
+            overlay_config=config.overlay,
+            utility_config=config.utility,
+            stats=stats,
+        )
+        for info in infos:
+            join_results.append(bootstrap.join(info))
+    elif kind == "plod":
+        overlay = generate_plod_overlay(infos, protocol_rng)
+        for info in infos:
+            host_cache.register(info)
+    else:  # "random"
+        overlay = generate_random_overlay(infos, protocol_rng)
+        for info in infos:
+            host_cache.register(info)
+
+    return Deployment(
+        kind=kind,
+        config=config,
+        underlay=underlay,
+        gnp=gnp,
+        space=space,
+        overlay=overlay,
+        host_cache=host_cache,
+        stats=stats,
+        protocol_rng=protocol_rng,
+        join_results=join_results,
+    )

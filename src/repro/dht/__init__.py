@@ -1,0 +1,30 @@
+"""Structured P2P comparator: Pastry-style DHT + SCRIBE-style multicast.
+
+The paper positions GroupCast against DHT-based application-level
+multicast (SCRIBE on Pastry [11], CAN-multicast [23]) and argues that
+unstructured overlays win under churn while matching tree quality.  To
+make that comparison runnable, this package implements the structured
+side from scratch:
+
+* :mod:`.pastry` — prefix-routing DHT with leaf sets and
+  proximity-aware routing tables;
+* :mod:`.scribe` — rendezvous-rooted multicast trees built from the
+  reverse DHT routes of subscriber joins;
+* :mod:`.can` — a d-dimensional CAN torus and CAN-multicast's
+  per-group mini-CAN flooding.
+"""
+
+from .can import CANNetwork, build_group_can, can_multicast
+from .pastry import PastryConfig, PastryNetwork, node_id_for_peer
+from .scribe import ScribeGroup, build_scribe_group
+
+__all__ = [
+    "CANNetwork",
+    "build_group_can",
+    "can_multicast",
+    "PastryConfig",
+    "PastryNetwork",
+    "node_id_for_peer",
+    "ScribeGroup",
+    "build_scribe_group",
+]

@@ -1,0 +1,301 @@
+"""A Pastry-style structured overlay (Rowstron & Druschel, 2001).
+
+Implements the parts of Pastry that SCRIBE-style multicast and the
+paper's structured-vs-unstructured comparison need:
+
+* 64-bit node identifiers viewed as ``ID_DIGITS`` digits of base
+  ``2**DIGIT_BITS`` (default 16 digits of base 16);
+* per-node state: a *leaf set* (the ``leaf_set_size`` numerically
+  closest nodes on each side of the circular id space) and a *routing
+  table* indexed by shared-prefix length and next digit, filled with the
+  underlay-closest qualifying candidate (Pastry's proximity heuristic);
+* greedy prefix routing: each hop either resolves within the leaf set or
+  forwards to a node sharing a strictly longer id prefix with the key
+  (falling back to any numerically closer node), which terminates in
+  ``O(log N)`` hops.
+
+The network is constructed centrally from the full membership — the
+usual simulator shortcut; Pastry's join protocol converges to the same
+state.  Churn cost is modelled by :meth:`PastryNetwork.join_state_cost`,
+the number of state entries a joining node must fetch and the peers it
+must notify, which is what makes DHT maintenance expensive under churn
+(Section 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, OverlayError, PeerNotFoundError
+from ..network.underlay import UnderlayNetwork
+
+ID_BITS = 64
+
+
+def node_id_for_peer(peer_id: int) -> int:
+    """Deterministic 64-bit DHT identifier for an application peer id."""
+    digest = hashlib.sha1(f"pastry-{peer_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class PastryConfig:
+    """Tunables of the Pastry substrate."""
+
+    digit_bits: int = 4
+    leaf_set_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.digit_bits not in (1, 2, 4, 8):
+            raise ConfigurationError("digit_bits must divide 64: 1/2/4/8")
+        if self.leaf_set_size < 2 or self.leaf_set_size % 2:
+            raise ConfigurationError("leaf_set_size must be even and >= 2")
+
+    @property
+    def digits(self) -> int:
+        """Number of id digits."""
+        return ID_BITS // self.digit_bits
+
+    @property
+    def base(self) -> int:
+        """Digit alphabet size."""
+        return 1 << self.digit_bits
+
+
+@dataclass
+class _NodeState:
+    peer_id: int
+    node_id: int
+    leaf_set: list[int] = field(default_factory=list)  # node ids
+    # routing_table[row][digit] -> node id (or None)
+    routing_table: list[list[int | None]] = field(default_factory=list)
+
+
+class PastryNetwork:
+    """A fully built Pastry overlay over underlay-attached peers."""
+
+    def __init__(self, underlay: UnderlayNetwork, peer_ids: list[int],
+                 config: PastryConfig | None = None) -> None:
+        if len(peer_ids) < 2:
+            raise OverlayError("Pastry needs at least two nodes")
+        self.config = config or PastryConfig()
+        self.underlay = underlay
+        self._by_node_id: dict[int, _NodeState] = {}
+        self._peer_of: dict[int, int] = {}
+        for peer_id in peer_ids:
+            node_id = node_id_for_peer(peer_id)
+            if node_id in self._by_node_id:
+                raise OverlayError(
+                    f"node id collision for peer {peer_id}")
+            self._by_node_id[node_id] = _NodeState(peer_id, node_id)
+            self._peer_of[node_id] = peer_id
+        self._sorted_ids = sorted(self._by_node_id)
+        self._build_leaf_sets()
+        self._build_routing_tables()
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of nodes in the DHT."""
+        return len(self._by_node_id)
+
+    def node_ids(self) -> list[int]:
+        """All node ids in ring order."""
+        return list(self._sorted_ids)
+
+    def peer_for(self, node_id: int) -> int:
+        """Application peer behind a DHT node id."""
+        try:
+            return self._peer_of[node_id]
+        except KeyError:
+            raise PeerNotFoundError(f"unknown node id {node_id:#x}")
+
+    def node_for_peer(self, peer_id: int) -> int:
+        """DHT node id of an application peer (must be a member)."""
+        node_id = node_id_for_peer(peer_id)
+        if node_id not in self._by_node_id:
+            raise PeerNotFoundError(f"peer {peer_id} is not in the DHT")
+        return node_id
+
+    def digit(self, node_id: int, position: int) -> int:
+        """The ``position``-th most significant digit of an id."""
+        cfg = self.config
+        shift = (cfg.digits - 1 - position) * cfg.digit_bits
+        return (node_id >> shift) & (cfg.base - 1)
+
+    def shared_prefix_length(self, a: int, b: int) -> int:
+        """Number of leading digits two ids share."""
+        for position in range(self.config.digits):
+            if self.digit(a, position) != self.digit(b, position):
+                return position
+        return self.config.digits
+
+    @staticmethod
+    def ring_distance(a: int, b: int) -> int:
+        """Circular distance in the 64-bit id space."""
+        diff = (a - b) % (1 << ID_BITS)
+        return min(diff, (1 << ID_BITS) - diff)
+
+    def root_of(self, key: int) -> int:
+        """The node id numerically closest to ``key`` (the key's root)."""
+        ids = self._sorted_ids
+        n = len(ids)
+        index = int(np.searchsorted(ids, key))
+        candidates = {ids[index % n], ids[(index - 1) % n],
+                      ids[(index + 1) % n]}
+        return min(candidates,
+                   key=lambda candidate: self.ring_distance(candidate, key))
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _build_leaf_sets(self) -> None:
+        half = self.config.leaf_set_size // 2
+        ids = self._sorted_ids
+        n = len(ids)
+        for index, node_id in enumerate(ids):
+            leaves = []
+            for offset in range(1, half + 1):
+                leaves.append(ids[(index - offset) % n])
+                leaves.append(ids[(index + offset) % n])
+            # Deduplicate (small rings wrap around).
+            state = self._by_node_id[node_id]
+            state.leaf_set = [leaf for leaf in dict.fromkeys(leaves)
+                              if leaf != node_id]
+
+    def _build_routing_tables(self) -> None:
+        cfg = self.config
+        # Candidates bucketed by (prefix with me up to row, digit at row).
+        for node_id, state in self._by_node_id.items():
+            state.routing_table = [
+                [None] * cfg.base for _ in range(cfg.digits)]
+        # For efficiency, bucket all nodes by digit prefix per row using a
+        # trie-like dict: prefix tuple -> list of node ids.
+        buckets: dict[tuple[int, ...], list[int]] = {(): self._sorted_ids}
+        for row in range(cfg.digits):
+            next_buckets: dict[tuple[int, ...], list[int]] = {}
+            for prefix, members in buckets.items():
+                if len(members) <= 1:
+                    continue
+                split: dict[int, list[int]] = {}
+                for node_id in members:
+                    split.setdefault(self.digit(node_id, row),
+                                     []).append(node_id)
+                for digit_value, sub in split.items():
+                    next_buckets[prefix + (digit_value,)] = sub
+                for node_id in members:
+                    state = self._by_node_id[node_id]
+                    own = self.digit(node_id, row)
+                    for digit_value, sub in split.items():
+                        if digit_value == own:
+                            continue
+                        state.routing_table[row][digit_value] = \
+                            self._closest_by_underlay(node_id, sub)
+            buckets = next_buckets
+            if not buckets:
+                break
+
+    def _closest_by_underlay(self, node_id: int,
+                             candidates: list[int]) -> int:
+        """Pastry's locality heuristic: prefer the underlay-closest entry."""
+        me = self._peer_of[node_id]
+        if len(candidates) == 1:
+            return candidates[0]
+        sample = candidates if len(candidates) <= 8 else candidates[:8]
+        best, best_distance = None, None
+        for candidate in sample:
+            distance = self.underlay.peer_distance_ms(
+                me, self._peer_of[candidate])
+            if best is None or distance < best_distance:
+                best, best_distance = candidate, distance
+        return best
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, source_peer: int, key: int) -> list[int]:
+        """Route from a peer toward ``key``; returns the peer-id path.
+
+        The path starts at ``source_peer`` and ends at the key's root.
+        """
+        current = self.node_for_peer(source_peer)
+        target_root = self.root_of(key)
+        path = [current]
+        guard = 4 * self.config.digits
+        while current != target_root:
+            nxt = self._next_hop(current, key)
+            if nxt is None or nxt == current:
+                raise OverlayError(
+                    f"routing stalled at {current:#x} for key {key:#x}")
+            current = nxt
+            path.append(current)
+            guard -= 1
+            if guard < 0:
+                raise OverlayError("routing loop detected")
+        return [self._peer_of[node_id] for node_id in path]
+
+    def _next_hop(self, current: int, key: int) -> int | None:
+        state = self._by_node_id[current]
+        my_distance = self.ring_distance(current, key)
+        # Leaf set first: if any leaf is closer, jump to the closest leaf.
+        leaf_best = min(
+            state.leaf_set,
+            key=lambda leaf: self.ring_distance(leaf, key),
+            default=None)
+        if leaf_best is not None:
+            leaf_distance = self.ring_distance(leaf_best, key)
+            if leaf_distance < my_distance and self._covers(state, key):
+                return leaf_best
+        # Routing table: longer shared prefix.
+        row = self.shared_prefix_length(current, key)
+        if row < self.config.digits:
+            entry = state.routing_table[row][self.digit(key, row)]
+            if entry is not None:
+                return entry
+        # Rare case: any known node strictly closer to the key.
+        candidates = list(state.leaf_set)
+        for table_row in state.routing_table:
+            candidates.extend(e for e in table_row if e is not None)
+        best = min(candidates,
+                   key=lambda c: self.ring_distance(c, key),
+                   default=None)
+        if best is not None and self.ring_distance(best, key) < my_distance:
+            return best
+        return None
+
+    def _covers(self, state: _NodeState, key: int) -> bool:
+        """True if ``key`` falls within the span of the node's leaf set."""
+        ids = [state.node_id, *state.leaf_set]
+        span = max(self.ring_distance(state.node_id, leaf)
+                   for leaf in state.leaf_set)
+        return self.ring_distance(state.node_id, key) <= span or len(
+            ids) >= self.size
+
+    def route_latency_ms(self, path: list[int]) -> float:
+        """End-to-end underlay latency along a routed peer path."""
+        return sum(self.underlay.peer_distance_ms(a, b)
+                   for a, b in zip(path, path[1:]))
+
+    # ------------------------------------------------------------------
+    # Maintenance cost model
+    # ------------------------------------------------------------------
+    def join_state_cost(self, node_id: int | None = None) -> int:
+        """State entries a joining node must acquire/notify.
+
+        Pastry joins fetch a full routing row per hop of the join route
+        plus the leaf set, and every entry's owner must be notified; this
+        counts those entries for a typical node — the per-churn-event
+        cost that Section 1 contrasts with unstructured overlays'
+        near-zero join state.
+        """
+        if node_id is None:
+            node_id = self._sorted_ids[len(self._sorted_ids) // 2]
+        state = self._by_node_id[node_id]
+        filled = sum(1 for row in state.routing_table
+                     for entry in row if entry is not None)
+        return filled + len(state.leaf_set)

@@ -1,0 +1,96 @@
+"""SCRIBE-style application-level multicast over the Pastry substrate.
+
+SCRIBE (Castro et al., 2002) maps each group to a key; the node whose id
+is numerically closest to the key becomes the *rendezvous root*.  A
+subscriber routes a JOIN toward the key; every node on the route becomes
+a forwarder, and the route's reverse forms its branch of the multicast
+tree — the join stops at the first node already in the tree.  Multicast
+payloads are injected at the root (member sources first unicast to the
+root) and flow down the tree.
+
+This is the second of the "three approaches" of Section 2.1 that the
+paper contrasts GroupCast against; the comparison bench measures both
+tree quality (delay penalty, stress) and the DHT's churn state cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import GroupError
+from ..groupcast.spanning_tree import SpanningTree
+from ..network.underlay import UnderlayNetwork
+from .pastry import PastryNetwork
+
+
+def group_key(group_name: str) -> int:
+    """Hash a group name into the 64-bit key space."""
+    digest = hashlib.sha1(f"scribe-{group_name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class ScribeGroup:
+    """One SCRIBE multicast group."""
+
+    key: int
+    root_peer: int
+    tree: SpanningTree
+    join_hops: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def members(self) -> frozenset[int]:
+        """Subscribed peers."""
+        return self.tree.members
+
+    def source_to_root_latency_ms(self, source: int,
+                                  underlay: UnderlayNetwork) -> float:
+        """Unicast cost a member source pays to inject at the root."""
+        if source not in self.members:
+            raise GroupError(f"{source} is not a member")
+        return underlay.peer_distance_ms(source, self.root_peer)
+
+
+def build_scribe_group(
+    pastry: PastryNetwork,
+    group_name: str,
+    members: Sequence[int],
+) -> ScribeGroup:
+    """Subscribe ``members`` and return the rendezvous-rooted tree."""
+    if not members:
+        raise GroupError("a SCRIBE group needs at least one member")
+    key = group_key(group_name)
+    root_node = pastry.root_of(key)
+    root_peer = pastry.peer_for(root_node)
+    tree = SpanningTree(root=root_peer)
+    join_hops: dict[int, int] = {}
+
+    for member in members:
+        if member == root_peer:
+            join_hops[member] = 0
+            continue
+        route = pastry.route(member, key)
+        # Route runs member -> ... -> root; truncate at the first node
+        # already in the tree (SCRIBE joins stop at existing forwarders).
+        chain: list[int] = []
+        for peer in route:
+            chain.append(peer)
+            if peer in tree:
+                break
+        if chain[-1] not in tree:
+            raise GroupError(
+                f"join route of {member} never reached the tree")
+        if len(chain) > 1:
+            tree.graft_chain(chain)
+        tree.mark_member(member)
+        join_hops[member] = len(chain) - 1
+
+    tree.validate()
+    return ScribeGroup(
+        key=key,
+        root_peer=root_peer,
+        tree=tree,
+        join_hops=join_hops,
+    )

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+==========  =======================================  =====================
+Figures     What is measured                         Module
+==========  =======================================  =====================
+1-6         selection preference vs distance/        :mod:`.preference`
+            capacity for three resource levels
+7-8         overlay degree distributions             :mod:`.overlay_structure`
+9-10        average distance to overlay neighbors    :mod:`.overlay_structure`
+11-13       service lookup: message counts,          :mod:`.service_lookup`
+            receiving/success rates, latency
+14-17       application performance: delay penalty,  :mod:`.app_performance`
+            link stress, node stress, overload
+==========  =======================================  =====================
+
+Run everything with ``python -m repro.experiments all`` (or the
+``groupcast-experiments`` console script); individual figures with e.g.
+``python -m repro.experiments fig11``.
+"""
+
+from .common import ExperimentResult, sweep_sizes
+
+__all__ = ["ExperimentResult", "sweep_sizes"]

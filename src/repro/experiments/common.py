@@ -1,0 +1,216 @@
+"""Shared experiment plumbing: sweep sizes, result tables, group workloads."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import GroupCastConfig
+from ..deployment import Deployment, build_deployment
+from ..groupcast.advertisement import propagate_advertisement
+from ..groupcast.dissemination import disseminate
+from ..groupcast.subscription import subscribe_members
+from ..sim.random import spawn_rng
+
+#: Overlay sizes of the paper's sweeps (Figures 11-17).
+PAPER_SIZES = (1000, 2000, 4000, 8000, 16000, 32000)
+
+#: Default laptop-friendly subset; set ``REPRO_FULL_SCALE=1`` for the full
+#: paper sweep.
+DEFAULT_SIZES = (1000, 2000, 4000, 8000)
+
+
+def sweep_sizes(requested: Sequence[int] | None = None) -> tuple[int, ...]:
+    """Overlay sizes to sweep, honouring ``REPRO_FULL_SCALE``."""
+    if requested is not None:
+        return tuple(requested)
+    if os.environ.get("REPRO_FULL_SCALE"):
+        return PAPER_SIZES
+    return DEFAULT_SIZES
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure, printable as aligned text."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def format_table(self) -> str:
+        """Render the rows as an aligned text table."""
+        rendered = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]),
+                max((len(r[i]) for r in rendered), default=0))
+            for i in range(len(self.columns))
+        ]
+        header = "  ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        rule = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(r[i].ljust(widths[i]) for i in range(len(r)))
+            for r in rendered
+        ]
+        return "\n".join([self.title, header, rule, *body])
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def group_member_count(overlay_size: int, fraction: float = 0.1,
+                       minimum: int = 16) -> int:
+    """Members per communication group for a given overlay size.
+
+    The paper does not state group sizes; we subscribe 10 % of the overlay
+    per group (at least 16 peers) so group workload scales with the system
+    as the load-balancing experiments require.
+    """
+    return max(minimum, int(overlay_size * fraction))
+
+
+def announcement_for_size(overlay_size: int,
+                          base: "AnnouncementConfig | None" = None):
+    """Announcement config with a TTL that grows with the overlay.
+
+    SSA must plant the advertisement "to different topological regions"
+    at every scale for the TTL-2 subscription search to succeed; a fixed
+    TTL that covers 8k peers starves a 32k overlay (uninformed peers
+    cluster in the regions the announcement never entered, so their
+    whole ripple neighborhood is blind too).  The schedule adds a hop
+    roughly per doubling beyond the laptop sizes.
+    """
+    from ..config import AnnouncementConfig
+
+    base = base or AnnouncementConfig()
+    if overlay_size <= 8_000:
+        scaled = 6
+    elif overlay_size <= 16_000:
+        scaled = 7
+    elif overlay_size <= 24_000:
+        scaled = 8
+    else:
+        scaled = 9
+    ttl = max(base.advertisement_ttl, scaled)
+    if ttl == base.advertisement_ttl:
+        return base
+    return AnnouncementConfig(
+        ssa_fanout_fraction=base.ssa_fanout_fraction,
+        ssa_min_fanout=base.ssa_min_fanout,
+        ssa_strategy=base.ssa_strategy,
+        advertisement_ttl=ttl,
+        subscription_search_ttl=base.subscription_search_ttl,
+    )
+
+
+@dataclass
+class GroupRun:
+    """Everything measured while establishing and exercising one group."""
+
+    rendezvous: int
+    advertisement_messages: int
+    subscription_messages: int
+    search_messages: int
+    receiving_rate: float
+    success_rate: float
+    lookup_latency_ms: float
+    tree: object
+    delay_penalty: float
+    link_stress: float
+
+
+def establish_and_measure_group(
+    deployment: Deployment,
+    rendezvous: int,
+    members: list[int],
+    scheme: str,
+    rng,
+    announcement=None,
+) -> GroupRun:
+    """Run advertisement + subscription + one payload for one group.
+
+    ``announcement`` overrides the deployment's announcement config
+    (used by strategy ablations).
+    """
+    from ..metrics.tree_metrics import link_stress, relative_delay_penalty
+    from ..network.multicast import build_ip_multicast_tree
+
+    config = deployment.config
+    announcement = announcement or announcement_for_size(
+        deployment.peer_count, config.announcement)
+    advertisement = propagate_advertisement(
+        overlay=deployment.overlay,
+        rendezvous=rendezvous,
+        group_id=0,
+        scheme=scheme,
+        latency_fn=deployment.peer_distance_ms,
+        rng=rng,
+        config=announcement,
+        utility_config=config.utility,
+    )
+    tree, subscription = subscribe_members(
+        overlay=deployment.overlay,
+        advertisement=advertisement,
+        members=members,
+        latency_fn=deployment.peer_distance_ms,
+        config=announcement,
+    )
+    joined = sorted(tree.members)
+    source = joined[int(rng.integers(len(joined)))]
+    report = disseminate(tree, source, deployment.underlay)
+    receivers = [m for m in tree.members if m != source]
+    if receivers:
+        ip_tree = build_ip_multicast_tree(
+            deployment.underlay, source, receivers)
+        penalty = relative_delay_penalty(report, ip_tree)
+        stress = link_stress(report, ip_tree)
+    else:  # pragma: no cover - degenerate single-member group
+        penalty, stress = 1.0, 1.0
+    return GroupRun(
+        rendezvous=rendezvous,
+        advertisement_messages=advertisement.messages_sent,
+        subscription_messages=subscription.subscription_messages,
+        search_messages=subscription.search_messages,
+        receiving_rate=advertisement.receiving_rate(deployment.peer_count),
+        success_rate=subscription.success_rate,
+        lookup_latency_ms=subscription.average_lookup_latency_ms(),
+        tree=tree,
+        delay_penalty=penalty,
+        link_stress=stress,
+    )
+
+
+def pick_rendezvous_points(deployment: Deployment, count: int,
+                           rng) -> list[int]:
+    """Random rendezvous points, as in the paper's Section 4.2 setup."""
+    ids = deployment.peer_ids()
+    picks = rng.choice(len(ids), size=min(count, len(ids)), replace=False)
+    return [ids[int(i)] for i in picks]
+
+
+def build_for_experiment(peer_count: int, kind: str,
+                         seed: int) -> Deployment:
+    """Deployment with the default experiment configuration."""
+    return build_deployment(
+        peer_count, kind=kind, config=GroupCastConfig(seed=seed))
+
+
+def experiment_rng(seed: int, label: str):
+    """Named random stream for experiment-level decisions."""
+    return spawn_rng(seed, "experiment", label)

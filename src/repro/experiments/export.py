@@ -1,0 +1,73 @@
+"""Serialization of experiment results (CSV / JSON / text).
+
+``groupcast-experiments --format csv --output results/`` writes one file
+per regenerated figure so downstream plotting (matplotlib, gnuplot,
+spreadsheets) can consume the sweeps without re-running them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import re
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .common import ExperimentResult
+
+FORMATS = ("text", "csv", "json")
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render a result as CSV (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.columns)
+    writer.writerows(result.rows)
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Render a result as a JSON document with title and records."""
+    records = [dict(zip(result.columns, row)) for row in result.rows]
+    return json.dumps(
+        {"title": result.title, "columns": list(result.columns),
+         "rows": records},
+        indent=2, default=_coerce)
+
+
+def render(result: ExperimentResult, fmt: str) -> str:
+    """Render a result in any supported format."""
+    if fmt == "text":
+        return result.format_table()
+    if fmt == "csv":
+        return to_csv(result)
+    if fmt == "json":
+        return to_json(result)
+    raise ConfigurationError(
+        f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def slug_for(result: ExperimentResult) -> str:
+    """A filesystem-safe name derived from the result title."""
+    head = result.title.split(":")[0].strip().lower()
+    slug = re.sub(r"[^a-z0-9]+", "-", head).strip("-")
+    return slug or "experiment"
+
+
+def write_result(result: ExperimentResult, fmt: str,
+                 directory: Path) -> Path:
+    """Write one result file into ``directory``; returns the path."""
+    extension = {"text": "txt", "csv": "csv", "json": "json"}[fmt]
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{slug_for(result)}.{extension}"
+    path.write_text(render(result, fmt), encoding="utf-8")
+    return path
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"unserializable value {value!r}")

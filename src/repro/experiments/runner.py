@@ -1,0 +1,144 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig1 fig11 fig14
+    groupcast-experiments fig9 --seed 3 --sizes 1000 2000
+
+Figure names map to the experiment modules; running ``all`` regenerates
+every table/figure of the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Iterable
+
+from . import (
+    app_performance,
+    churn_cost,
+    resilience,
+    overlay_structure,
+    preference,
+    service_lookup,
+)
+from . import export
+from .common import ExperimentResult
+
+
+def _preference(args) -> list[ExperimentResult]:
+    return [preference.run(seed=args.seed)]
+
+
+def _degree(args) -> list[ExperimentResult]:
+    peers = args.sizes[0] if args.sizes else overlay_structure.DEGREE_PEERS
+    return [overlay_structure.run_degree_distribution(peers, args.seed)]
+
+
+def _neighbor(args) -> list[ExperimentResult]:
+    peers = args.sizes[0] if args.sizes else overlay_structure.DISTANCE_PEERS
+    return [overlay_structure.run_neighbor_distance(peers, args.seed)]
+
+
+def _diameter(args) -> list[ExperimentResult]:
+    peers = args.sizes[0] if args.sizes else overlay_structure.DISTANCE_PEERS
+    return [overlay_structure.run_diameter(peers, args.seed)]
+
+
+def _lookup(figures: Iterable[str]) -> Callable:
+    def runner(args) -> list[ExperimentResult]:
+        results = service_lookup.run(
+            sizes=args.sizes or None, seed=args.seed,
+            topologies=args.topologies)
+        return [results[f] for f in figures]
+
+    return runner
+
+
+def _app(figures: Iterable[str]) -> Callable:
+    def runner(args) -> list[ExperimentResult]:
+        results = app_performance.run(
+            sizes=args.sizes or None, seed=args.seed,
+            topologies=args.topologies)
+        return [results[f] for f in figures]
+
+    return runner
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": _preference, "fig2": _preference, "fig3": _preference,
+    "fig4": _preference, "fig5": _preference, "fig6": _preference,
+    "preference": _preference,
+    "fig7": _degree, "fig8": _degree, "degree": _degree,
+    "fig9": _neighbor, "fig10": _neighbor, "neighbor": _neighbor,
+    "fig11": _lookup(["fig11"]),
+    "fig12": _lookup(["fig12"]),
+    "fig13": _lookup(["fig13"]),
+    "lookup": _lookup(["fig11", "fig12", "fig13"]),
+    "fig14": _app(["fig14"]),
+    "fig15": _app(["fig15"]),
+    "fig16": _app(["fig16"]),
+    "fig17": _app(["fig17"]),
+    "app": _app(["fig14", "fig15", "fig16", "fig17"]),
+    "churn": lambda args: [churn_cost.run(seed=args.seed)],
+    "diameter": _diameter,
+    "resilience": lambda args: [resilience.run(seed=args.seed)],
+}
+
+ALL_GROUPS = ("preference", "degree", "neighbor", "diameter", "lookup",
+              "app", "churn", "resilience")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``groupcast-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="groupcast-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}) or 'all'")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=None,
+        help="overlay sizes for sweep experiments "
+             "(default: 1k-8k, or 1k-32k with REPRO_FULL_SCALE=1)")
+    parser.add_argument(
+        "--topologies", type=int, default=1,
+        help="average sweep experiments over this many independent IP "
+             "topologies (the paper used 10)")
+    parser.add_argument(
+        "--format", choices=("text", "csv", "json"), default="text",
+        help="output format (default: aligned text tables)")
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="directory to write one file per figure instead of stdout")
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if "all" in names:
+        names = list(ALL_GROUPS)
+    seen: set[int] = set()
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            parser.error(f"unknown experiment {name!r}")
+        if id(runner) in seen:
+            continue
+        seen.add(id(runner))
+        for result in runner(args):
+            if args.output is not None:
+                path = export.write_result(result, args.format,
+                                           args.output)
+                print(f"wrote {path}")
+            else:
+                print(export.render(result, args.format))
+                print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Figures 11-13: service lookup efficiency.
+
+For every overlay size in the sweep and both overlay kinds (GroupCast
+utility-aware vs random power-law PLOD), 10 random rendezvous points each
+initiate a service announcement with both schemes (SSA and NSSA).  A
+member sample then subscribes — peers that received the announcement join
+over the reverse path, the rest run the TTL-2 ripple search.
+
+* Figure 11: total advertising + subscription messages per scheme;
+* Figure 12: advertisement receiving rate and subscription success rate;
+* Figure 13: service lookup latency (GroupCast vs random power-law, SSA).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .common import (
+    ExperimentResult,
+    build_for_experiment,
+    establish_and_measure_group,
+    experiment_rng,
+    group_member_count,
+    pick_rendezvous_points,
+    sweep_sizes,
+)
+
+RENDEZVOUS_POINTS = 10
+
+
+def run(sizes: Sequence[int] | None = None, seed: int = 7,
+        rendezvous_points: int = RENDEZVOUS_POINTS,
+        topologies: int = 1) -> dict[str, ExperimentResult]:
+    """Run the sweep and return the three figures' tables.
+
+    ``topologies`` repeats every configuration over that many
+    independently seeded IP topologies and averages the rows, as in the
+    paper's setup ("each experiment is repeated over 10 IP network
+    topologies"); the default of 1 keeps the laptop sweep fast.
+    """
+    sizes = sweep_sizes(sizes)
+    fig11 = ExperimentResult(
+        title="Figure 11: service lookup messages",
+        columns=("peers", "overlay", "scheme", "advertising_msgs",
+                 "subscription_msgs", "search_msgs"),
+    )
+    fig12 = ExperimentResult(
+        title="Figure 12: advertisement receiving / subscription success",
+        columns=("peers", "overlay", "scheme", "receiving_rate",
+                 "success_rate"),
+    )
+    fig13 = ExperimentResult(
+        title="Figure 13: service lookup latency (SSA)",
+        columns=("peers", "overlay", "lookup_latency_ms"),
+    )
+
+    for size in sizes:
+        for kind in ("groupcast", "plod"):
+            members_count = group_member_count(size)
+            runs_by_scheme: dict[str, list] = {"ssa": [], "nssa": []}
+            for topology in range(topologies):
+                deployment = build_for_experiment(
+                    size, kind, seed + topology)
+                rng = experiment_rng(
+                    seed + topology, f"lookup-{kind}-{size}")
+                rendezvous = pick_rendezvous_points(
+                    deployment, rendezvous_points, rng)
+                for scheme in ("ssa", "nssa"):
+                    for point in rendezvous:
+                        ids = deployment.peer_ids()
+                        picks = rng.choice(len(ids), size=members_count,
+                                           replace=False)
+                        members = [ids[int(i)] for i in picks]
+                        runs_by_scheme[scheme].append(
+                            establish_and_measure_group(
+                                deployment, point, members, scheme, rng))
+            for scheme in ("ssa", "nssa"):
+                runs = runs_by_scheme[scheme]
+                fig11.add_row(
+                    size, kind, scheme,
+                    int(np.mean([r.advertisement_messages for r in runs])),
+                    int(np.mean([r.subscription_messages for r in runs])),
+                    int(np.mean([r.search_messages for r in runs])),
+                )
+                fig12.add_row(
+                    size, kind, scheme,
+                    float(np.mean([r.receiving_rate for r in runs])),
+                    float(np.mean([r.success_rate for r in runs])),
+                )
+                if scheme == "ssa":
+                    latencies = [r.lookup_latency_ms for r in runs
+                                 if r.lookup_latency_ms > 0]
+                    fig13.add_row(
+                        size, kind,
+                        float(np.mean(latencies)) if latencies else 0.0,
+                    )
+    return {"fig11": fig11, "fig12": fig12, "fig13": fig13}
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    for result in run().values():
+        print(result.format_table())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

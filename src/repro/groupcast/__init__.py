@@ -1,0 +1,39 @@
+"""GroupCast core: the paper's primary contribution.
+
+Rendezvous selection, SSA/NSSA service announcement, reverse-path
+subscription with ripple-search fallback, utility-aware spanning trees,
+payload dissemination, and the :class:`GroupCastMiddleware` facade.
+"""
+
+from .advertisement import (
+    AdvertisementOutcome,
+    AdvertisementReceipt,
+    propagate_advertisement,
+)
+from .spanning_tree import SpanningTree
+from .subscription import SubscriptionOutcome, subscribe_members
+from .rendezvous import select_rendezvous
+from .dissemination import DisseminationReport, disseminate
+from .group import CommunicationGroup
+from .middleware import GroupCastMiddleware
+from .repair import RepairReport, repair_tree
+from .replication import BackupPlan, FailoverReport, failover
+
+__all__ = [
+    "AdvertisementOutcome",
+    "AdvertisementReceipt",
+    "propagate_advertisement",
+    "SpanningTree",
+    "SubscriptionOutcome",
+    "subscribe_members",
+    "select_rendezvous",
+    "DisseminationReport",
+    "disseminate",
+    "CommunicationGroup",
+    "GroupCastMiddleware",
+    "RepairReport",
+    "repair_tree",
+    "BackupPlan",
+    "FailoverReport",
+    "failover",
+]

@@ -1,0 +1,82 @@
+"""A live communication group: advertisement, tree, membership, payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GroupError
+from ..network.underlay import UnderlayNetwork
+from ..overlay.messages import MessageStats
+from .advertisement import AdvertisementOutcome
+from .dissemination import DisseminationReport, disseminate
+from .spanning_tree import SpanningTree
+from .subscription import SubscriptionOutcome
+
+
+@dataclass
+class CommunicationGroup:
+    """One established group communication channel.
+
+    Bundles the advertisement that seeded it, the spanning tree carrying
+    its payloads, and the subscription bookkeeping.  ``publish`` floods a
+    payload from any member through the tree.
+    """
+
+    group_id: int
+    rendezvous: int
+    advertisement: AdvertisementOutcome
+    tree: SpanningTree
+    subscription: SubscriptionOutcome
+    published: list[DisseminationReport] = field(default_factory=list)
+
+    @property
+    def members(self) -> frozenset[int]:
+        """Current participants."""
+        return self.tree.members
+
+    @property
+    def scheme(self) -> str:
+        """Announcement scheme used to establish the group (ssa/nssa)."""
+        return self.advertisement.scheme
+
+    def publish(self, source: int, underlay: UnderlayNetwork,
+                stats: MessageStats | None = None) -> DisseminationReport:
+        """Send one payload from ``source`` to all members."""
+        if source not in self.members:
+            raise GroupError(
+                f"peer {source} is not a member of group {self.group_id}")
+        report = disseminate(self.tree, source, underlay, stats)
+        self.published.append(report)
+        return report
+
+    def handle_failure(self, peer_id: int, overlay,
+                       stats: MessageStats | None = None):
+        """Repair the tree after a forwarding peer crashed.
+
+        Returns the :class:`~repro.groupcast.repair.RepairReport`.  Root
+        failures are not repairable here (a new rendezvous would have to
+        be elected); callers should re-establish the group instead.
+        """
+        from .repair import repair_tree
+
+        if peer_id not in self.tree:
+            raise GroupError(f"peer {peer_id} is not on the tree")
+        return repair_tree(self.tree, overlay, peer_id, stats=stats)
+
+    def leave(self, peer_id: int) -> None:
+        """Remove a member; its tree node stays as a relay if needed.
+
+        Leaf members are physically pruned; interior members keep
+        forwarding as relays, exactly like non-member forwarders on
+        advertisement paths.
+        """
+        if peer_id == self.rendezvous:
+            raise GroupError("the rendezvous point cannot leave the group")
+        if peer_id not in self.members:
+            raise GroupError(f"peer {peer_id} is not a member")
+        if not self.tree.children(peer_id):
+            self.tree.remove_leaf(peer_id)
+            self.tree.prune_relays()
+        else:
+            # Demote to relay: drop membership, keep the forwarding role.
+            self.tree.unmark_member(peer_id)

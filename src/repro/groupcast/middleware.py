@@ -1,0 +1,213 @@
+"""GroupCastMiddleware — the public facade of the library.
+
+A downstream application creates a middleware instance over a deployment
+(or lets the middleware build one), then opens communication groups and
+publishes payloads::
+
+    from repro import GroupCastMiddleware
+
+    mw = GroupCastMiddleware.build(peer_count=500, seed=11)
+    group = mw.create_group(members=mw.sample_members(50))
+    report = mw.publish(group.group_id, source=next(iter(group.members)))
+    print(report.average_member_delay_ms)
+
+The facade wires together rendezvous selection, advertisement
+(SSA by default, NSSA available for comparison), subscription, spanning
+trees and dissemination, and exposes the IP-multicast reference needed to
+compute the paper's efficiency metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..config import GroupCastConfig
+from ..deployment import Deployment, build_deployment
+from ..errors import GroupError
+from ..network.multicast import IPMulticastTree, build_ip_multicast_tree
+from ..overlay.messages import MessageStats
+from ..peers.capacity import CapacityDistribution, PAPER_CAPACITY_DISTRIBUTION
+from ..sim.random import spawn_rng
+from .advertisement import propagate_advertisement
+from .dissemination import DisseminationReport
+from .group import CommunicationGroup
+from .rendezvous import select_rendezvous
+from .subscription import subscribe_members
+
+
+class GroupCastMiddleware:
+    """Utility-aware group communication over an unstructured P2P overlay."""
+
+    def __init__(self, deployment: Deployment,
+                 default_scheme: str = "ssa",
+                 trust_ledger=None) -> None:
+        if default_scheme not in ("ssa", "nssa"):
+            raise GroupError(f"unknown scheme {default_scheme!r}")
+        self.deployment = deployment
+        self.default_scheme = default_scheme
+        self.trust_ledger = trust_ledger
+        self.stats = MessageStats()
+        self._groups: dict[int, CommunicationGroup] = {}
+        self._group_ids = itertools.count(1)
+        self._rng = spawn_rng(deployment.config.seed, "middleware")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        peer_count: int,
+        config: GroupCastConfig | None = None,
+        seed: int | None = None,
+        overlay_kind: str = "groupcast",
+        capacities: CapacityDistribution = PAPER_CAPACITY_DISTRIBUTION,
+        default_scheme: str = "ssa",
+    ) -> "GroupCastMiddleware":
+        """Build a full deployment and wrap it."""
+        deployment = build_deployment(
+            peer_count, kind=overlay_kind, config=config, seed=seed,
+            capacities=capacities)
+        return cls(deployment, default_scheme=default_scheme)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def peer_count(self) -> int:
+        """Number of peers in the overlay."""
+        return self.deployment.peer_count
+
+    def peer_ids(self) -> list[int]:
+        """All peer ids."""
+        return self.deployment.peer_ids()
+
+    def sample_members(self, count: int,
+                       exclude: Sequence[int] = ()) -> list[int]:
+        """Uniformly sample a candidate member set."""
+        pool = [p for p in self.deployment.peer_ids() if p not in set(exclude)]
+        if count > len(pool):
+            raise GroupError(
+                f"cannot sample {count} members from {len(pool)} peers")
+        picks = self._rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in picks]
+
+    def group(self, group_id: int) -> CommunicationGroup:
+        """Look up an established group."""
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise GroupError(f"unknown group {group_id}")
+
+    def groups(self) -> list[CommunicationGroup]:
+        """All established groups."""
+        return list(self._groups.values())
+
+    # ------------------------------------------------------------------
+    # Group lifecycle
+    # ------------------------------------------------------------------
+    def create_group(
+        self,
+        members: Sequence[int],
+        rendezvous: int | None = None,
+        scheme: str | None = None,
+    ) -> CommunicationGroup:
+        """Establish a communication group connecting ``members``.
+
+        Without an explicit ``rendezvous``, the first member initiates the
+        random-walk search of Section 2.2 to locate a capable node.
+        """
+        if not members:
+            raise GroupError("a group needs at least one member")
+        scheme = scheme or self.default_scheme
+        deployment = self.deployment
+        if rendezvous is None:
+            rendezvous = select_rendezvous(
+                deployment.overlay, members[0], self._rng,
+                deployment.config.rendezvous, self.stats)
+
+        group_id = next(self._group_ids)
+        trust_fn = (self.trust_ledger.trust_fn()
+                    if self.trust_ledger is not None else None)
+        advertisement = propagate_advertisement(
+            overlay=deployment.overlay,
+            rendezvous=rendezvous,
+            group_id=group_id,
+            scheme=scheme,
+            latency_fn=deployment.peer_distance_ms,
+            rng=self._rng,
+            config=deployment.config.announcement,
+            utility_config=deployment.config.utility,
+            stats=self.stats,
+            trust_fn=trust_fn,
+        )
+        tree, subscription = subscribe_members(
+            overlay=deployment.overlay,
+            advertisement=advertisement,
+            members=members,
+            latency_fn=deployment.peer_distance_ms,
+            config=deployment.config.announcement,
+            stats=self.stats,
+        )
+        group = CommunicationGroup(
+            group_id=group_id,
+            rendezvous=rendezvous,
+            advertisement=advertisement,
+            tree=tree,
+            subscription=subscription,
+        )
+        self._groups[group_id] = group
+        return group
+
+    def publish(self, group_id: int, source: int) -> DisseminationReport:
+        """Flood one payload from ``source`` through the group's tree."""
+        group = self.group(group_id)
+        return group.publish(source, self.deployment.underlay, self.stats)
+
+    def close_group(self, group_id: int) -> None:
+        """Tear down a group."""
+        self._groups.pop(group_id, None)
+
+    def handle_peer_failure(self, peer_id: int) -> dict[int, object]:
+        """Process a peer crash across the whole middleware.
+
+        Removes the peer from the overlay and host cache, then repairs
+        the spanning tree of every group the peer was forwarding for.
+        Groups whose *rendezvous* crashed are re-established from their
+        surviving members.  Returns per-group repair reports (or the new
+        group object where re-establishment was needed).
+        """
+        deployment = self.deployment
+        deployment.host_cache.unregister(peer_id)
+        if peer_id in deployment.overlay:
+            deployment.overlay.remove_peer(peer_id)
+
+        outcomes: dict[int, object] = {}
+        for group_id, group in list(self._groups.items()):
+            if peer_id not in group.tree:
+                continue
+            if peer_id == group.rendezvous:
+                survivors = [m for m in group.members
+                             if m != peer_id
+                             and m in deployment.overlay]
+                self.close_group(group_id)
+                if survivors:
+                    outcomes[group_id] = self.create_group(survivors)
+                continue
+            outcomes[group_id] = group.handle_failure(
+                peer_id, deployment.overlay, self.stats)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Evaluation support
+    # ------------------------------------------------------------------
+    def ip_multicast_reference(self, group_id: int,
+                               source: int) -> IPMulticastTree:
+        """IP multicast tree reaching the group's members from ``source``."""
+        group = self.group(group_id)
+        receivers = [m for m in group.members if m != source]
+        if not receivers:
+            raise GroupError("group has no receivers besides the source")
+        return build_ip_multicast_tree(
+            self.deployment.underlay, source, receivers)

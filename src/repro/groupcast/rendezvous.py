@@ -1,0 +1,60 @@
+"""Rendezvous point selection (Step 1 of Section 2.2).
+
+The rendezvous point seeds the advertisement and then behaves as a normal
+node of the spanning tree.  It may be a dedicated server donated by a
+provider, or — for ad-hoc groups like online conferences — "the first
+participant can initiate a random walk search to locate a node that has
+enough access network bandwidth and computational power".  This module
+implements that random-walk search.
+"""
+
+from __future__ import annotations
+
+from ..config import RendezvousConfig
+from ..errors import RendezvousError
+from ..overlay.graph import OverlayNetwork
+from ..overlay.messages import MessageKind, MessageStats
+from ..sim.random import RandomSource
+
+
+def select_rendezvous(
+    overlay: OverlayNetwork,
+    initiator: int,
+    rng: RandomSource,
+    config: RendezvousConfig | None = None,
+    stats: MessageStats | None = None,
+) -> int:
+    """Random-walk for a high-capacity rendezvous point.
+
+    Walks up to ``config.walk_length`` overlay hops from ``initiator``.
+    The walk stops at the first peer whose capacity reaches
+    ``config.min_capacity``; if none qualifies, the most capable peer
+    seen along the walk (including the initiator) is returned.
+    """
+    config = config or RendezvousConfig()
+    stats = stats or MessageStats()
+    if initiator not in overlay:
+        raise RendezvousError(f"initiator {initiator} is not in the overlay")
+
+    best = initiator
+    best_capacity = overlay.peer(initiator).capacity
+    if best_capacity >= config.min_capacity:
+        return initiator
+
+    current = initiator
+    previous: int | None = None
+    for _ in range(config.walk_length):
+        neighbors = overlay.neighbors(current)
+        if previous is not None and len(neighbors) > 1:
+            neighbors = [n for n in neighbors if n != previous]
+        if not neighbors:
+            break
+        step = neighbors[int(rng.integers(len(neighbors)))]
+        stats.record(MessageKind.RANDOM_WALK)
+        previous, current = current, step
+        capacity = overlay.peer(current).capacity
+        if capacity > best_capacity:
+            best, best_capacity = current, capacity
+        if capacity >= config.min_capacity:
+            return current
+    return best

@@ -1,0 +1,111 @@
+"""Spanning-tree repair after node failures.
+
+The paper lists failure resilience (dynamic replication [35]) as the
+first item of its ongoing work; this module supplies the mechanism the
+GroupCast tree needs when a forwarding peer crashes: every orphaned
+subtree root ripple-searches its overlay neighborhood for a surviving
+tree node and re-attaches there over a fresh unicast connection.  The
+search TTL escalates (2, 3, ..., ``max_search_ttl``) before a subtree is
+declared unreachable and dropped from the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TreeError
+from ..overlay.graph import OverlayNetwork
+from ..overlay.messages import MessageKind, MessageStats
+from ..overlay.search import ripple_search
+from .spanning_tree import SpanningTree
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of repairing one node failure."""
+
+    failed_node: int
+    reattached: dict[int, int] = field(default_factory=dict)
+    lost_members: frozenset[int] = frozenset()
+    search_messages: int = 0
+
+    @property
+    def fully_repaired(self) -> bool:
+        """True if no member was lost."""
+        return not self.lost_members
+
+
+def repair_tree(
+    tree: SpanningTree,
+    overlay: OverlayNetwork,
+    failed_node: int,
+    max_search_ttl: int = 4,
+    stats: MessageStats | None = None,
+) -> RepairReport:
+    """Excise ``failed_node`` from ``tree`` and re-home its subtrees.
+
+    The failed peer is assumed gone from the overlay as well (heartbeat
+    maintenance removes it); orphan roots search the *overlay* for any
+    surviving tree node outside their own subtree and re-attach directly.
+    Returns which orphan attached where, any members lost with an
+    unreachable subtree, and the search message cost.
+    """
+    if failed_node == tree.root:
+        raise TreeError("root failure requires rendezvous re-election, "
+                        "not tree repair")
+    stats = stats or MessageStats()
+    orphans = tree.remove_failed_node(failed_node)
+    reattached: dict[int, int] = {}
+    lost: set[int] = set()
+    messages = 0
+
+    for orphan in orphans:
+        if orphan not in overlay:
+            # The orphan crashed too; its subtree re-roots at each child.
+            orphans.extend(tree.remove_failed_node(orphan))
+            continue
+        subtree = tree.subtree_nodes(orphan)
+        target, cost = _search_tree_node(
+            overlay, orphan, tree, subtree, max_search_ttl)
+        messages += cost
+        stats.record(MessageKind.SUBSCRIPTION_SEARCH, cost)
+        if target is None:
+            lost.update(member for member in tree.members
+                        if member in subtree)
+            tree.drop_subtree(orphan)
+            continue
+        stats.record(MessageKind.SEARCH_RESPONSE)
+        stats.record(MessageKind.SUBSCRIPTION)
+        tree.reattach(orphan, target)
+        reattached[orphan] = target
+
+    tree.validate()
+    return RepairReport(
+        failed_node=failed_node,
+        reattached=reattached,
+        lost_members=frozenset(lost),
+        search_messages=messages,
+    )
+
+
+def _search_tree_node(
+    overlay: OverlayNetwork,
+    start: int,
+    tree: SpanningTree,
+    excluded: set[int],
+    max_ttl: int,
+) -> tuple[int | None, int]:
+    """Ripple-search the overlay for a tree node outside ``excluded``.
+
+    Returns ``(target, messages)``; the shared
+    :func:`~repro.overlay.search.ripple_search` widens the ring one hop
+    at a time so the shallowest repair anchor wins, and gives up beyond
+    ``max_ttl`` hops.
+    """
+    result = ripple_search(
+        overlay, start,
+        lambda peer: peer in tree and peer not in excluded,
+        max_ttl)
+    if result.hit is None:
+        return None, result.messages
+    return result.hit.target, result.messages

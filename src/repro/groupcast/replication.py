@@ -1,0 +1,140 @@
+"""Backup-parent replication for fast tree failover.
+
+The paper's conclusion proposes augmenting GroupCast with "dynamic
+replication [35]" (Zhang et al., *Reliable peer-to-peer end system
+multicasting through replication*, IEEE P2P 2004) for failure
+resilience.  This module implements the tree-side mechanism: every
+non-root node pre-arranges a *backup parent* — its grandparent where one
+exists (guaranteed to be outside its own subtree), else the root — so
+that when its parent crashes it re-attaches instantly with a single
+message instead of ripple-searching the overlay.
+
+:func:`failover` consumes a failure using the backups and falls back to
+:func:`repro.groupcast.repair.repair_tree`'s search only for orphans
+whose backup also died; :class:`FailoverReport` records how much of the
+repair was "free".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TreeError
+from ..overlay.graph import OverlayNetwork
+from ..overlay.messages import MessageKind, MessageStats
+from .repair import _search_tree_node
+from .spanning_tree import SpanningTree
+
+
+@dataclass
+class BackupPlan:
+    """Pre-arranged backup parents for one spanning tree."""
+
+    backup_parent: dict[int, int] = field(default_factory=dict)
+
+    def refresh(self, tree: SpanningTree) -> None:
+        """(Re)compute backups: grandparent where possible, else root.
+
+        Cheap (one pass) and safe: a grandparent can never sit inside the
+        node's own subtree, so failover never creates cycles.
+        """
+        self.backup_parent.clear()
+        for node in tree.nodes():
+            if node == tree.root:
+                continue
+            parent = tree.parent(node)
+            if parent is None:
+                continue  # floating orphan mid-repair; skip
+            grandparent = tree.parent(parent)
+            self.backup_parent[node] = (
+                grandparent if grandparent is not None else tree.root)
+
+    def backup_for(self, node: int) -> int | None:
+        """The stand-by parent of ``node`` (None if not planned)."""
+        return self.backup_parent.get(node)
+
+
+@dataclass(frozen=True)
+class FailoverReport:
+    """Outcome of consuming one failure with backup parents."""
+
+    failed_node: int
+    instant_failovers: dict[int, int]
+    searched_failovers: dict[int, int]
+    lost_members: frozenset[int]
+    messages: int
+
+    @property
+    def fully_repaired(self) -> bool:
+        """True if no member was lost."""
+        return not self.lost_members
+
+    @property
+    def instant_fraction(self) -> float:
+        """Share of orphans repaired without any search."""
+        total = len(self.instant_failovers) + len(self.searched_failovers)
+        if total == 0:
+            return 1.0
+        return len(self.instant_failovers) / total
+
+
+def failover(
+    tree: SpanningTree,
+    plan: BackupPlan,
+    overlay: OverlayNetwork,
+    failed_node: int,
+    max_search_ttl: int = 4,
+    stats: MessageStats | None = None,
+) -> FailoverReport:
+    """Excise ``failed_node`` and re-home orphans via their backups.
+
+    Orphans whose backup parent is alive re-attach with one message; the
+    rest fall back to the overlay ripple search of the repair module.
+    The plan is refreshed for the surviving tree before returning.
+    """
+    if failed_node == tree.root:
+        raise TreeError("root failure requires rendezvous re-election")
+    stats = stats or MessageStats()
+    orphans = tree.remove_failed_node(failed_node)
+    instant: dict[int, int] = {}
+    searched: dict[int, int] = {}
+    lost: set[int] = set()
+    messages = 0
+
+    for orphan in orphans:
+        if orphan not in overlay:
+            orphans.extend(tree.remove_failed_node(orphan))
+            continue
+        backup = plan.backup_for(orphan)
+        subtree = tree.subtree_nodes(orphan)
+        if (backup is not None and backup in tree
+                and backup != failed_node and backup not in subtree
+                and backup in overlay):
+            tree.reattach(orphan, backup)
+            instant[orphan] = backup
+            messages += 1
+            stats.record(MessageKind.SUBSCRIPTION)
+            continue
+        target, cost = _search_tree_node(
+            overlay, orphan, tree, subtree, max_search_ttl)
+        messages += cost
+        stats.record(MessageKind.SUBSCRIPTION_SEARCH, cost)
+        if target is None:
+            lost.update(member for member in tree.members
+                        if member in subtree)
+            tree.drop_subtree(orphan)
+            continue
+        stats.record(MessageKind.SUBSCRIPTION)
+        tree.reattach(orphan, target)
+        searched[orphan] = target
+        messages += 1
+
+    tree.validate()
+    plan.refresh(tree)
+    return FailoverReport(
+        failed_node=failed_node,
+        instant_failovers=instant,
+        searched_failovers=searched,
+        lost_members=frozenset(lost),
+        messages=messages,
+    )

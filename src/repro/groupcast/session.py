@@ -1,0 +1,381 @@
+"""Event-driven GroupCast protocol sessions.
+
+The procedural modules (:mod:`.advertisement`, :mod:`.subscription`,
+:mod:`.dissemination`) compute protocol outcomes directly, which is what
+the large parameter sweeps use.  This module is the *faithful* runtime:
+every peer is a :class:`GroupSessionNode` that owns only local state and
+reacts to messages delivered by a :class:`~repro.sim.messaging.
+MessageNetwork` over the discrete-event simulator — advertisement
+forwarding, reverse-path subscription, ripple search and payload
+flooding all happen as real timed message exchanges, including message
+loss if the transport is configured with any.
+
+The test suite cross-validates this runtime against the procedural fast
+path: same overlay, same seeds, equivalent trees and delivery delays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..config import AnnouncementConfig, UtilityConfig
+from ..errors import GroupError
+from ..overlay.graph import OverlayNetwork
+from ..overlay.messages import MessageKind
+from ..sim.engine import Simulator
+from ..sim.messaging import Envelope, MessageNetwork
+from ..sim.random import RandomSource
+from .advertisement import _forwarding_targets
+
+
+# ----------------------------------------------------------------------
+# Wire messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Advertise:
+    """A service announcement hop."""
+
+    group_id: int
+    rendezvous: int
+    path: tuple[int, ...]
+    ttl: int
+    scheme: str
+
+
+@dataclass(frozen=True)
+class Subscribe:
+    """A join request travelling up the reverse advertisement path."""
+
+    group_id: int
+    subscriber: int
+
+
+@dataclass(frozen=True)
+class Search:
+    """Ripple search for a peer holding the advertisement."""
+
+    group_id: int
+    origin: int
+    ttl: int
+
+
+@dataclass(frozen=True)
+class SearchReply:
+    """An informed peer answering a ripple search."""
+
+    group_id: int
+    informed_peer: int
+
+
+@dataclass(frozen=True)
+class Payload:
+    """A group payload flooding the spanning tree."""
+
+    group_id: int
+    payload_id: int
+    source: int
+
+
+# ----------------------------------------------------------------------
+# Per-peer protocol agent
+# ----------------------------------------------------------------------
+@dataclass
+class _GroupState:
+    upstream: int | None = None
+    has_advertisement: bool = False
+    on_tree: bool = False
+    is_member: bool = False
+    children: set[int] = field(default_factory=set)
+    seen_payloads: set[int] = field(default_factory=set)
+    search_answered: bool = False
+
+
+class GroupSessionNode:
+    """The GroupCast protocol state machine of one peer."""
+
+    def __init__(self, peer_id: int, coordinator: "GroupSession") -> None:
+        self.peer_id = peer_id
+        self.coordinator = coordinator
+        self.groups: dict[int, _GroupState] = {}
+
+    def state(self, group_id: int) -> _GroupState:
+        """Per-group protocol state (created on first touch)."""
+        return self.groups.setdefault(group_id, _GroupState())
+
+    # ------------------------------------------------------------------
+    def handle(self, envelope: Envelope) -> None:
+        """Dispatch one delivered message."""
+        payload = envelope.payload
+        if isinstance(payload, Advertise):
+            self._on_advertise(envelope, payload)
+        elif isinstance(payload, Subscribe):
+            self._on_subscribe(envelope, payload)
+        elif isinstance(payload, Search):
+            self._on_search(envelope, payload)
+        elif isinstance(payload, SearchReply):
+            self._on_search_reply(envelope, payload)
+        elif isinstance(payload, Payload):
+            self._on_payload(envelope, payload)
+        else:  # pragma: no cover - future message types
+            raise GroupError(f"unknown message {payload!r}")
+
+    # ------------------------------------------------------------------
+    def start_advertisement(self, group_id: int, scheme: str) -> None:
+        """Rendezvous entry point: seed the announcement."""
+        state = self.state(group_id)
+        state.has_advertisement = True
+        state.on_tree = True
+        state.is_member = True
+        config = self.coordinator.announcement
+        self._forward_advertisement(
+            Advertise(group_id, self.peer_id, (self.peer_id,),
+                      config.advertisement_ttl, scheme))
+
+    def _on_advertise(self, envelope: Envelope, message: Advertise) -> None:
+        state = self.state(message.group_id)
+        if state.has_advertisement:
+            self.coordinator.duplicates += 1
+            return
+        state.has_advertisement = True
+        state.upstream = envelope.sender
+        self.coordinator.record_receipt(
+            message.group_id, self.peer_id, envelope.delivered_at_ms)
+        if message.ttl > 0:
+            self._forward_advertisement(
+                Advertise(message.group_id, message.rendezvous,
+                          message.path + (self.peer_id,),
+                          message.ttl - 1, message.scheme))
+
+    def _forward_advertisement(self, message: Advertise) -> None:
+        coordinator = self.coordinator
+        targets = _forwarding_targets(
+            coordinator.overlay, self.peer_id, message.path,
+            message.scheme, coordinator.announcement, coordinator.utility,
+            coordinator.rng)
+        for target in targets:
+            coordinator.network.send(
+                self.peer_id, target, message, MessageKind.ADVERTISEMENT)
+
+    # ------------------------------------------------------------------
+    def start_subscription(self, group_id: int) -> None:
+        """Member entry point: join over the reverse path or search."""
+        state = self.state(group_id)
+        state.is_member = True
+        if state.on_tree:
+            return
+        if state.has_advertisement:
+            self._join_via_upstream(group_id)
+            return
+        ttl = self.coordinator.announcement.subscription_search_ttl
+        if ttl <= 0:
+            self.coordinator.record_failure(group_id, self.peer_id)
+            return
+        for neighbor in self.coordinator.overlay.neighbors(self.peer_id):
+            self.coordinator.network.send(
+                self.peer_id, neighbor,
+                Search(group_id, self.peer_id, ttl - 1),
+                MessageKind.SUBSCRIPTION_SEARCH)
+
+    def _join_via_upstream(self, group_id: int) -> None:
+        state = self.state(group_id)
+        state.on_tree = True
+        if state.upstream is not None:
+            self.coordinator.network.send(
+                self.peer_id, state.upstream,
+                Subscribe(group_id, self.peer_id),
+                MessageKind.SUBSCRIPTION)
+
+    def _on_subscribe(self, envelope: Envelope,
+                      message: Subscribe) -> None:
+        state = self.state(message.group_id)
+        state.children.add(envelope.sender)
+        if not state.on_tree:
+            state.on_tree = True
+            if state.upstream is not None:
+                self.coordinator.network.send(
+                    self.peer_id, state.upstream,
+                    Subscribe(message.group_id, self.peer_id),
+                    MessageKind.SUBSCRIPTION)
+
+    def _on_search(self, envelope: Envelope, message: Search) -> None:
+        state = self.state(message.group_id)
+        if state.has_advertisement:
+            self.coordinator.network.send(
+                self.peer_id, message.origin,
+                SearchReply(message.group_id, self.peer_id),
+                MessageKind.SEARCH_RESPONSE)
+            return
+        if message.ttl <= 0:
+            return
+        for neighbor in self.coordinator.overlay.neighbors(self.peer_id):
+            if neighbor in (message.origin, envelope.sender):
+                continue
+            self.coordinator.network.send(
+                self.peer_id, neighbor,
+                Search(message.group_id, message.origin, message.ttl - 1),
+                MessageKind.SUBSCRIPTION_SEARCH)
+
+    def _on_search_reply(self, envelope: Envelope,
+                         message: SearchReply) -> None:
+        state = self.state(message.group_id)
+        if state.search_answered or state.on_tree:
+            return  # first reply wins
+        state.search_answered = True
+        state.upstream = message.informed_peer
+        self._join_via_upstream(message.group_id)
+
+    # ------------------------------------------------------------------
+    def start_publish(self, group_id: int, payload_id: int) -> None:
+        """Member entry point: flood a payload through the tree."""
+        state = self.state(group_id)
+        if not state.is_member:
+            raise GroupError(
+                f"peer {self.peer_id} is not a member of {group_id}")
+        state.seen_payloads.add(payload_id)
+        self.coordinator.record_delivery(
+            group_id, payload_id, self.peer_id,
+            self.coordinator.simulator.now)
+        self._flood(group_id, Payload(group_id, payload_id, self.peer_id),
+                    exclude=None)
+
+    def _on_payload(self, envelope: Envelope, message: Payload) -> None:
+        state = self.state(message.group_id)
+        if message.payload_id in state.seen_payloads:
+            return
+        state.seen_payloads.add(message.payload_id)
+        self.coordinator.record_delivery(
+            message.group_id, message.payload_id, self.peer_id,
+            envelope.delivered_at_ms)
+        self._flood(message.group_id, message, exclude=envelope.sender)
+
+    def _flood(self, group_id: int, message: Payload,
+               exclude: int | None) -> None:
+        state = self.state(group_id)
+        links = set(state.children)
+        if state.upstream is not None and state.on_tree:
+            links.add(state.upstream)
+        links.discard(exclude)
+        links.discard(self.peer_id)
+        for link in links:
+            self.coordinator.network.send(
+                self.peer_id, link, message, MessageKind.PAYLOAD)
+
+
+# ----------------------------------------------------------------------
+# Session coordinator
+# ----------------------------------------------------------------------
+class GroupSession:
+    """Owns the nodes, transport and measurement state of one session."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        latency_fn,
+        rng: RandomSource,
+        announcement: AnnouncementConfig | None = None,
+        utility: UtilityConfig | None = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.overlay = overlay
+        self.rng = rng
+        self.announcement = announcement or AnnouncementConfig()
+        self.utility = utility or UtilityConfig()
+        self.simulator = Simulator()
+        self.network = MessageNetwork(
+            self.simulator, latency_fn, rng, loss_rate=loss_rate)
+        self.nodes: dict[int, GroupSessionNode] = {}
+        for peer_id in overlay.peer_ids():
+            node = GroupSessionNode(peer_id, self)
+            self.nodes[peer_id] = node
+            self.network.register(peer_id, node.handle)
+        self.duplicates = 0
+        self.receipts: dict[int, dict[int, float]] = {}
+        self.failures: dict[int, set[int]] = {}
+        self.deliveries: dict[tuple[int, int], dict[int, float]] = {}
+        self._payload_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Measurement hooks (called by nodes)
+    # ------------------------------------------------------------------
+    def record_receipt(self, group_id: int, peer_id: int,
+                       at_ms: float) -> None:
+        """Log a peer's first advertisement receipt time."""
+        self.receipts.setdefault(group_id, {})[peer_id] = at_ms
+
+    def record_failure(self, group_id: int, peer_id: int) -> None:
+        """Log a member whose subscription could not complete."""
+        self.failures.setdefault(group_id, set()).add(peer_id)
+
+    def record_delivery(self, group_id: int, payload_id: int,
+                        peer_id: int, at_ms: float) -> None:
+        """Log a payload delivery time at one peer."""
+        self.deliveries.setdefault(
+            (group_id, payload_id), {})[peer_id] = at_ms
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def establish(self, group_id: int, rendezvous: int,
+                  members: list[int], scheme: str = "ssa") -> None:
+        """Advertise, let the announcement settle, then subscribe."""
+        if rendezvous not in self.nodes:
+            raise GroupError(f"unknown rendezvous {rendezvous}")
+        self.nodes[rendezvous].start_advertisement(group_id, scheme)
+        self.simulator.run()  # announcement settles
+        for member in members:
+            if member not in self.nodes:
+                self.record_failure(group_id, member)
+                continue
+            self.nodes[member].start_subscription(group_id)
+        self.simulator.run()  # subscriptions settle
+
+    def publish(self, group_id: int, source: int) -> dict[int, float]:
+        """Flood one payload; returns member delivery delays (ms)."""
+        payload_id = next(self._payload_ids)
+        start = self.simulator.now
+        self.nodes[source].start_publish(group_id, payload_id)
+        self.simulator.run()
+        delivered = self.deliveries.get((group_id, payload_id), {})
+        return {
+            peer: at - start
+            for peer, at in delivered.items()
+            if peer != source and self.nodes[peer].state(group_id).is_member
+        }
+
+    def remove_peer(self, peer_id: int) -> None:
+        """A peer crashes mid-session.
+
+        It stops receiving (in-flight messages dead-letter) and stops
+        forwarding; downstream members lose payloads until they
+        :meth:`rejoin`.  The overlay graph is left to the maintenance
+        layer — this removes only the protocol agent.
+        """
+        self.network.unregister(peer_id)
+        self.nodes.pop(peer_id, None)
+
+    def rejoin(self, group_id: int, member: int) -> None:
+        """Re-subscribe a member whose branch died.
+
+        Resets the member's per-group state and re-runs the subscription
+        (ripple search included, since the old upstream may be gone),
+        then lets the simulator settle.
+        """
+        node = self.nodes.get(member)
+        if node is None:
+            raise GroupError(f"peer {member} is not in the session")
+        state = node.state(group_id)
+        state.on_tree = False
+        state.upstream = None
+        state.has_advertisement = False
+        state.search_answered = False
+        node.start_subscription(group_id)
+        self.simulator.run()
+
+    def members_on_tree(self, group_id: int) -> set[int]:
+        """Members that completed their subscription."""
+        return {
+            peer_id for peer_id, node in self.nodes.items()
+            if node.state(group_id).is_member
+            and node.state(group_id).on_tree
+        }

@@ -1,0 +1,293 @@
+"""Group-communication spanning trees.
+
+The spanning tree ``T < V_Pt, E_Pt >`` is a connected acyclic sub-graph of
+the overlay linking all participants of a communication group (Section 2).
+Trees here are rooted at the rendezvous point and grown by grafting
+reverse advertisement paths (parent chains), so acyclicity holds by
+construction; :meth:`SpanningTree.validate` re-checks it explicitly.
+
+Nodes are either *members* (subscribed participants) or *relays*
+(non-member peers that happen to lie on an advertisement path and forward
+payloads).  Node stress — "the average number of children that a non-leaf
+peer handles" — is computed over the rooted structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import TreeError
+
+
+class SpanningTree:
+    """A rooted tree over overlay peers for one communication group."""
+
+    def __init__(self, root: int) -> None:
+        self.root = root
+        self._parent: dict[int, int | None] = {root: None}
+        self._children: dict[int, set[int]] = {root: set()}
+        self._members: set[int] = {root}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes (members + relays)."""
+        return len(self._parent)
+
+    @property
+    def members(self) -> frozenset[int]:
+        """Subscribed participants."""
+        return frozenset(self._members)
+
+    @property
+    def relays(self) -> frozenset[int]:
+        """Non-member forwarding nodes."""
+        return frozenset(set(self._parent) - self._members)
+
+    def parent(self, peer_id: int) -> int | None:
+        """Parent of a node (None for the root)."""
+        self._require(peer_id)
+        return self._parent[peer_id]
+
+    def children(self, peer_id: int) -> list[int]:
+        """Children of a node."""
+        self._require(peer_id)
+        return list(self._children[peer_id])
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate all node ids."""
+        return iter(self._parent)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(parent, child)`` pairs."""
+        for child, parent in self._parent.items():
+            if parent is not None:
+                yield (parent, child)
+
+    def tree_degree(self, peer_id: int) -> int:
+        """Number of tree links at a node (parent + children)."""
+        self._require(peer_id)
+        degree = len(self._children[peer_id])
+        if self._parent[peer_id] is not None:
+            degree += 1
+        return degree
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def graft_chain(self, chain: list[int]) -> int:
+        """Graft a parent chain ending at the tree.
+
+        ``chain`` runs from the new node toward the tree,
+        ``[node, parent, grandparent, ..., anchor]`` where ``anchor`` must
+        already be in the tree.  All new nodes join as relays; callers
+        promote participants via :meth:`mark_member`.  Returns the number
+        of new edges added (the subscription message count of the graft).
+        """
+        if not chain:
+            raise TreeError("empty graft chain")
+        if chain[-1] not in self._parent:
+            raise TreeError(
+                f"graft anchor {chain[-1]} is not in the tree")
+        added = 0
+        # Walk from the anchor downward so parents exist before children.
+        top_down = list(reversed(chain))
+        for parent, child in zip(top_down, top_down[1:]):
+            if child in self._parent:
+                existing = self._parent[child]
+                if existing != parent and child != self.root:
+                    # The node already hangs elsewhere in the tree; the
+                    # existing attachment stands (first graft wins).
+                    continue
+                continue
+            if child == parent:
+                raise TreeError(f"self-edge {child} in graft chain")
+            self._parent[child] = parent
+            self._children[parent].add(child)
+            self._children[child] = set()
+            added += 1
+        if chain[0] not in self._parent:
+            raise TreeError(
+                f"chain head {chain[0]} did not end up in the tree")
+        return added
+
+    def mark_member(self, peer_id: int) -> None:
+        """Promote an existing relay node to member."""
+        self._require(peer_id)
+        self._members.add(peer_id)
+
+    def unmark_member(self, peer_id: int) -> None:
+        """Demote a member to relay (node keeps forwarding)."""
+        self._require(peer_id)
+        if peer_id == self.root:
+            raise TreeError("the root cannot be demoted")
+        self._members.discard(peer_id)
+
+    def remove_leaf(self, peer_id: int) -> None:
+        """Remove a leaf node (used by repair); root cannot be removed."""
+        self._require(peer_id)
+        if peer_id == self.root:
+            raise TreeError("cannot remove the root")
+        if self._children[peer_id]:
+            raise TreeError(f"node {peer_id} is not a leaf")
+        parent = self._parent[peer_id]
+        if parent is not None:
+            self._children[parent].discard(peer_id)
+        del self._parent[peer_id]
+        del self._children[peer_id]
+        self._members.discard(peer_id)
+
+    def subtree_nodes(self, node: int) -> set[int]:
+        """All nodes of the subtree rooted at ``node`` (inclusive)."""
+        self._require(node)
+        seen = {node}
+        queue = deque([node])
+        while queue:
+            current = queue.popleft()
+            for child in self._children[current]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+        return seen
+
+    def remove_failed_node(self, node: int) -> list[int]:
+        """Remove a non-root node whose peer crashed.
+
+        Its children become *floating orphans* (no parent) that must be
+        re-attached with :meth:`reattach` — or discarded with
+        :meth:`drop_subtree` — before the tree validates again.  Returns
+        the orphan roots.
+        """
+        self._require(node)
+        if node == self.root:
+            raise TreeError("cannot remove the root; elect a new one first")
+        orphans = list(self._children[node])
+        parent = self._parent[node]
+        if parent is not None:
+            self._children[parent].discard(node)
+        for orphan in orphans:
+            self._parent[orphan] = None
+        del self._parent[node]
+        del self._children[node]
+        self._members.discard(node)
+        return orphans
+
+    def reattach(self, orphan_root: int, new_parent: int) -> None:
+        """Hang a floating orphan subtree under ``new_parent``."""
+        self._require(orphan_root)
+        self._require(new_parent)
+        if self._parent[orphan_root] is not None or orphan_root == self.root:
+            raise TreeError(f"{orphan_root} is not a floating orphan")
+        if new_parent in self.subtree_nodes(orphan_root):
+            raise TreeError(
+                f"reattaching under {new_parent} would create a cycle")
+        self._parent[orphan_root] = new_parent
+        self._children[new_parent].add(orphan_root)
+
+    def drop_subtree(self, orphan_root: int) -> set[int]:
+        """Discard a floating orphan subtree entirely; returns its nodes."""
+        self._require(orphan_root)
+        if self._parent[orphan_root] is not None or orphan_root == self.root:
+            raise TreeError(f"{orphan_root} is not a floating orphan")
+        nodes = self.subtree_nodes(orphan_root)
+        for node in nodes:
+            del self._parent[node]
+            del self._children[node]
+            self._members.discard(node)
+        return nodes
+
+    def prune_relays(self) -> int:
+        """Drop relay leaves that serve no member downstream; returns count."""
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for node in list(self._parent):
+                if (node not in self._members and node != self.root
+                        and not self._children[node]):
+                    self.remove_leaf(node)
+                    removed += 1
+                    changed = True
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def path_to_root(self, peer_id: int) -> list[int]:
+        """Node chain from ``peer_id`` up to the root, inclusive."""
+        self._require(peer_id)
+        path = [peer_id]
+        node = peer_id
+        guard = len(self._parent) + 1
+        while (parent := self._parent[node]) is not None:
+            path.append(parent)
+            node = parent
+            guard -= 1
+            if guard < 0:
+                raise TreeError("parent-pointer cycle detected")
+        return path
+
+    def depth(self, peer_id: int) -> int:
+        """Edge count from the node to the root."""
+        return len(self.path_to_root(peer_id)) - 1
+
+    def height(self) -> int:
+        """Maximum node depth."""
+        return max((self.depth(node) for node in self._parent), default=0)
+
+    def node_stress(self) -> float:
+        """Average children count of non-leaf nodes (Figure 16 metric)."""
+        fanouts = [len(children) for children in self._children.values()
+                   if children]
+        if not fanouts:
+            return 0.0
+        return float(np.mean(fanouts))
+
+    def workloads(self) -> dict[int, int]:
+        """Per-node forwarding workload: children handled by each node."""
+        return {node: len(children)
+                for node, children in self._children.items()}
+
+    def tree_adjacency(self) -> dict[int, list[int]]:
+        """Undirected adjacency of the tree (for dissemination floods)."""
+        adjacency: dict[int, list[int]] = {n: [] for n in self._parent}
+        for parent, child in self.edges():
+            adjacency[parent].append(child)
+            adjacency[child].append(parent)
+        return adjacency
+
+    def validate(self) -> None:
+        """Assert the structure is a rooted tree covering all members."""
+        if self._parent.get(self.root, 0) is not None:
+            raise TreeError("root must have no parent")
+        seen = set()
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                raise TreeError(f"cycle through node {node}")
+            seen.add(node)
+            for child in self._children[node]:
+                if self._parent[child] != node:
+                    raise TreeError(
+                        f"child {child} disagrees about parent {node}")
+                queue.append(child)
+        if seen != set(self._parent):
+            raise TreeError("tree has nodes unreachable from the root")
+        if not self._members <= seen:
+            raise TreeError("a member is outside the tree")
+
+    def _require(self, peer_id: int) -> None:
+        if peer_id not in self._parent:
+            raise TreeError(f"node {peer_id} is not in the tree")

@@ -1,0 +1,164 @@
+"""Subscription management and spanning-tree assembly (Step 3, Section 2.2).
+
+A peer joining a communication group falls in one of two cases:
+
+1. **It received the advertisement.**  It is already on a forwarding path;
+   it subscribes by sending a join message in the *reverse direction* of
+   the incoming SSA/NSSA message — one subscription message per hop up the
+   reverse path until the chain meets the existing tree.  Lookup latency
+   is zero: the group information is local.
+2. **It never received the advertisement.**  It runs a *ripple search*
+   (scoped flood, TTL 2 by default) over its overlay neighborhood for a
+   peer holding the advertisement, then subscribes through the closest
+   hit.  Search messages and the out-and-back latency are charged to the
+   subscription (Figures 11-13); if no neighbor within the ripple holds
+   the ad, the subscription fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..config import AnnouncementConfig
+from ..errors import SubscriptionError
+from ..overlay.graph import OverlayNetwork
+from ..overlay.messages import MessageKind, MessageStats
+from ..overlay.search import ripple_search
+from .advertisement import AdvertisementOutcome, LatencyFn
+from .spanning_tree import SpanningTree
+
+
+@dataclass(frozen=True)
+class SubscriptionRecord:
+    """How one member got onto the tree."""
+
+    peer_id: int
+    via_search: bool
+    lookup_latency_ms: float
+    search_messages: int
+    subscription_messages: int
+
+
+@dataclass(frozen=True)
+class SubscriptionOutcome:
+    """Result of subscribing a member set to one group."""
+
+    group_id: int
+    records: Mapping[int, SubscriptionRecord]
+    failed: tuple[int, ...]
+    search_messages: int
+    subscription_messages: int
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of requested members that got onto the tree."""
+        attempted = len(self.records) + len(self.failed)
+        if attempted == 0:
+            return 1.0
+        return len(self.records) / attempted
+
+    def average_lookup_latency_ms(self,
+                                  searchers_only: bool = True) -> float:
+        """Mean service-lookup latency (Figure 13).
+
+        By default averages over members that had to search; peers already
+        holding the advertisement resolve locally at zero cost.
+        """
+        latencies = [r.lookup_latency_ms for r in self.records.values()
+                     if r.via_search or not searchers_only]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+
+def subscribe_members(
+    overlay: OverlayNetwork,
+    advertisement: AdvertisementOutcome,
+    members: Sequence[int],
+    latency_fn: LatencyFn,
+    config: AnnouncementConfig | None = None,
+    stats: MessageStats | None = None,
+) -> tuple[SpanningTree, SubscriptionOutcome]:
+    """Subscribe ``members`` and return the resulting spanning tree."""
+    config = config or AnnouncementConfig()
+    stats = stats or MessageStats()
+    tree = SpanningTree(advertisement.rendezvous)
+
+    records: dict[int, SubscriptionRecord] = {}
+    failed: list[int] = []
+    total_search = 0
+    total_subscription = 0
+
+    for member in members:
+        if member not in overlay:
+            failed.append(member)
+            continue
+        if member == advertisement.rendezvous:
+            records[member] = SubscriptionRecord(member, False, 0.0, 0, 0)
+            continue
+        if member in advertisement.receipts:
+            hops = _graft_reverse_path(tree, advertisement, member)
+            stats.record(MessageKind.SUBSCRIPTION, hops)
+            total_subscription += hops
+            records[member] = SubscriptionRecord(
+                member, False, 0.0, 0, hops)
+            continue
+
+        receipts = advertisement.receipts
+        found = ripple_search(
+            overlay, member, lambda peer: peer in receipts,
+            config.subscription_search_ttl, latency_fn)
+        total_search += found.messages
+        stats.record(MessageKind.SUBSCRIPTION_SEARCH, found.messages)
+        if found.hit is None:
+            failed.append(member)
+            continue
+        stats.record(MessageKind.SEARCH_RESPONSE)
+        total_search += 1
+        # Graft the informed peer's reverse path, then hang the searcher's
+        # overlay route to it underneath.
+        _graft_reverse_path(tree, advertisement, found.hit.target,
+                            as_member=False)
+        # hit.route runs searcher -> ... -> hop before target; append the
+        # target as the in-tree anchor.
+        chain = list(found.hit.route) + [found.hit.target]
+        hops = tree.graft_chain(chain)
+        tree.mark_member(member)
+        hops += 1  # the subscription message handed to the informed peer
+        stats.record(MessageKind.SUBSCRIPTION, hops)
+        total_subscription += hops
+        records[member] = SubscriptionRecord(
+            member, True, 2.0 * found.hit.latency_ms, found.messages + 1,
+            hops)
+
+    tree.validate()
+    outcome = SubscriptionOutcome(
+        group_id=advertisement.group_id,
+        records=records,
+        failed=tuple(failed),
+        search_messages=total_search,
+        subscription_messages=total_subscription,
+    )
+    return tree, outcome
+
+
+def _graft_reverse_path(tree: SpanningTree,
+                        advertisement: AdvertisementOutcome,
+                        peer_id: int, as_member: bool = True) -> int:
+    """Graft a receiver's reverse advertisement path into the tree."""
+    chain = advertisement.reverse_path(peer_id)  # peer ... rendezvous
+    # Trim the chain at the first node already in the tree.
+    trimmed: list[int] = []
+    for node in chain:
+        trimmed.append(node)
+        if node in tree:
+            break
+    if trimmed[-1] not in tree:
+        raise SubscriptionError(
+            f"reverse path of {peer_id} never reaches the tree")
+    if len(trimmed) > 1:
+        tree.graft_chain(trimmed)
+    if as_member:
+        tree.mark_member(peer_id)
+    return len(trimmed) - 1

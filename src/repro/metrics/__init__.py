@@ -1,0 +1,25 @@
+"""Evaluation metrics of Section 4."""
+
+from .tree_metrics import (
+    aggregate_workloads,
+    link_stress,
+    node_stress,
+    overload_index,
+    relative_delay_penalty,
+)
+from .overlay_metrics import (
+    average_neighbor_distance_ms,
+    degree_histogram,
+    power_law_fit,
+)
+
+__all__ = [
+    "aggregate_workloads",
+    "link_stress",
+    "node_stress",
+    "overload_index",
+    "relative_delay_penalty",
+    "average_neighbor_distance_ms",
+    "degree_histogram",
+    "power_law_fit",
+]

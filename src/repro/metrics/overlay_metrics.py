@@ -1,0 +1,58 @@
+"""Overlay-level structural metrics (Section 4.1).
+
+Covers the degree distribution / power-law analysis behind Figures 7-8
+and the neighbor-proximity measurements behind Figures 9-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OverlayError
+from ..network.underlay import UnderlayNetwork
+from ..overlay.graph import OverlayNetwork
+
+
+def degree_histogram(overlay: OverlayNetwork
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """``(degree, count)`` pairs with zero-degree peers dropped."""
+    values, counts = overlay.degree_distribution()
+    keep = values > 0
+    return values[keep], counts[keep]
+
+
+def power_law_fit(values: np.ndarray,
+                  counts: np.ndarray) -> tuple[float, float]:
+    """Fit ``count ~ degree**-k`` in log-log space.
+
+    Returns ``(exponent, r_squared)`` of the least-squares line; the
+    exponent is reported positive for a decaying distribution.
+    """
+    if len(values) != len(counts):
+        raise OverlayError("values and counts must have equal length")
+    keep = (np.asarray(values) > 0) & (np.asarray(counts) > 0)
+    x = np.log10(np.asarray(values, dtype=float)[keep])
+    y = np.log10(np.asarray(counts, dtype=float)[keep])
+    if x.size < 3:
+        raise OverlayError("need at least three points for a power-law fit")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+    return -float(slope), r_squared
+
+
+def average_neighbor_distance_ms(
+    overlay: OverlayNetwork, underlay: UnderlayNetwork
+) -> np.ndarray:
+    """Per-peer mean underlay latency to overlay neighbors (Figures 9-10)."""
+    values = []
+    for peer_id in overlay.peer_ids():
+        neighbors = overlay.neighbors(peer_id)
+        if not neighbors:
+            values.append(0.0)
+            continue
+        values.append(
+            float(underlay.peer_distances_ms(peer_id, neighbors).mean()))
+    return np.asarray(values, dtype=float)

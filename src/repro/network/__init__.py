@@ -1,0 +1,15 @@
+"""IP underlay substrate: GT-ITM style topologies, routing, IP multicast."""
+
+from .topology import Router, RouterLevel, generate_transit_stub
+from .underlay import Attachment, UnderlayNetwork
+from .multicast import IPMulticastTree, build_ip_multicast_tree
+
+__all__ = [
+    "Router",
+    "RouterLevel",
+    "generate_transit_stub",
+    "Attachment",
+    "UnderlayNetwork",
+    "IPMulticastTree",
+    "build_ip_multicast_tree",
+]

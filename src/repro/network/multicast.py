@@ -1,0 +1,77 @@
+"""IP multicast reference model.
+
+The paper simulates IP multicast "by merging the unicast routes into
+shortest path trees" (Section 4.3) and uses it as the efficiency reference
+for end-system multicast: *relative delay penalty* divides average ESM
+delay by average IP multicast delay, and *link stress* divides the number
+of IP messages an ESM tree generates by the number of links of the IP
+multicast tree reaching the same subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import GroupError
+from .underlay import UnderlayNetwork
+
+
+@dataclass(frozen=True)
+class IPMulticastTree:
+    """A shortest-path IP multicast tree rooted at ``source``.
+
+    ``links`` is the set of physical links in the merged tree (one IP
+    message traverses each link per multicast payload); ``delays_ms`` maps
+    each subscriber to its shortest-path latency from the source.
+    """
+
+    source: int
+    subscribers: tuple[int, ...]
+    links: frozenset[tuple[int, int]]
+    delays_ms: Mapping[int, float]
+
+    @property
+    def link_count(self) -> int:
+        """Number of physical links carrying the payload (one copy each)."""
+        return len(self.links)
+
+    @property
+    def average_delay_ms(self) -> float:
+        """Mean source-to-subscriber latency."""
+        if not self.delays_ms:
+            return 0.0
+        return sum(self.delays_ms.values()) / len(self.delays_ms)
+
+    @property
+    def max_delay_ms(self) -> float:
+        """Worst source-to-subscriber latency."""
+        if not self.delays_ms:
+            return 0.0
+        return max(self.delays_ms.values())
+
+
+def build_ip_multicast_tree(
+    underlay: UnderlayNetwork,
+    source: int,
+    subscribers: Sequence[int],
+) -> IPMulticastTree:
+    """Merge unicast routes from ``source`` into a shortest-path tree.
+
+    Because all routes share a single Dijkstra source, their union is
+    guaranteed to be a tree at the router level.
+    """
+    receivers = [peer for peer in subscribers if peer != source]
+    if not receivers:
+        raise GroupError("IP multicast tree needs at least one receiver")
+    links: set[tuple[int, int]] = set()
+    delays: dict[int, float] = {}
+    for peer in receivers:
+        delays[peer] = underlay.peer_distance_ms(source, peer)
+        links.update(underlay.peer_path_links(source, peer))
+    return IPMulticastTree(
+        source=source,
+        subscribers=tuple(receivers),
+        links=frozenset(links),
+        delays_ms=delays,
+    )

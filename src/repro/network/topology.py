@@ -1,0 +1,159 @@
+"""Transit-stub underlay topology generation.
+
+The paper simulates the IP network with the Transit-Stub model of the
+GT-ITM topology generator (Zegura, Calvert, Bhattacharjee, INFOCOM'96).
+This module is a from-scratch Python implementation of that model:
+
+* a top level of ``transit_domains`` domains whose routers form the long
+  haul backbone; domains are connected into a ring plus random extra
+  inter-domain edges so the backbone is 2-connected in expectation,
+* routers inside a transit domain are connected in a ring plus random
+  chords,
+* each transit router hosts ``stub_domains_per_transit`` stub domains;
+  each stub domain is a small connected graph (ring + chords) attached to
+  its transit router via one transit-stub edge.
+
+Edge latencies are drawn uniformly from per-level ranges, so backbone hops
+are expensive and intra-stub hops are cheap — the locality structure that
+proximity-aware protocols exploit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import TransitStubConfig
+from ..errors import TopologyError
+from ..sim.random import RandomSource
+from .underlay import UnderlayNetwork
+
+
+class RouterLevel(enum.Enum):
+    """Hierarchy level of a router in the transit-stub model."""
+
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+@dataclass(frozen=True)
+class Router:
+    """A router vertex of the underlay graph.
+
+    ``domain`` identifies the transit or stub domain the router belongs to;
+    stub domains are numbered globally across the topology.
+    """
+
+    router_id: int
+    level: RouterLevel
+    domain: int
+
+
+def generate_transit_stub(
+    config: TransitStubConfig, rng: RandomSource
+) -> UnderlayNetwork:
+    """Generate a transit-stub underlay following ``config``.
+
+    Returns a fully constructed :class:`UnderlayNetwork` whose router graph
+    is connected by construction (rings at every level, plus the
+    transit-stub attachment edges).
+    """
+    routers: list[Router] = []
+    edges: list[tuple[int, int, float]] = []
+
+    def latency(bounds: tuple[float, float]) -> float:
+        low, high = bounds
+        return float(rng.uniform(low, high))
+
+    # --- transit level -------------------------------------------------
+    transit_ids: list[list[int]] = []
+    for domain in range(config.transit_domains):
+        ids = []
+        for _ in range(config.transit_routers_per_domain):
+            router_id = len(routers)
+            routers.append(Router(router_id, RouterLevel.TRANSIT, domain))
+            ids.append(router_id)
+        transit_ids.append(ids)
+        _connect_ring_with_chords(
+            ids, edges, rng,
+            chord_prob=config.extra_transit_edge_prob,
+            latency_bounds=config.intra_transit_latency,
+        )
+
+    # Inter-domain backbone: ring over domains plus random extra edges.
+    domains = config.transit_domains
+    if domains > 1:
+        for d in range(domains):
+            a = int(rng.choice(transit_ids[d]))
+            b = int(rng.choice(transit_ids[(d + 1) % domains]))
+            edges.append((a, b, latency(config.transit_transit_latency)))
+        for d1 in range(domains):
+            for d2 in range(d1 + 2, domains):
+                if (d1 == 0 and d2 == domains - 1) or domains == 2:
+                    continue  # already joined by the ring
+                if rng.random() < config.extra_transit_edge_prob:
+                    a = int(rng.choice(transit_ids[d1]))
+                    b = int(rng.choice(transit_ids[d2]))
+                    edges.append(
+                        (a, b, latency(config.transit_transit_latency)))
+
+    # --- stub level ----------------------------------------------------
+    stub_router_ids: list[int] = []
+    stub_domain = config.transit_domains  # stub domain numbering continues
+    for domain_ids in transit_ids:
+        for transit_router in domain_ids:
+            for _ in range(config.stub_domains_per_transit):
+                ids = []
+                for _ in range(config.routers_per_stub):
+                    router_id = len(routers)
+                    routers.append(
+                        Router(router_id, RouterLevel.STUB, stub_domain))
+                    ids.append(router_id)
+                stub_domain += 1
+                _connect_ring_with_chords(
+                    ids, edges, rng,
+                    chord_prob=config.extra_stub_edge_prob,
+                    latency_bounds=config.intra_stub_latency,
+                )
+                gateway = int(rng.choice(ids))
+                edges.append(
+                    (transit_router, gateway,
+                     latency(config.transit_stub_latency)))
+                stub_router_ids.extend(ids)
+
+    if not stub_router_ids:
+        raise TopologyError("topology generated no stub routers")
+
+    return UnderlayNetwork(
+        routers=routers,
+        edges=edges,
+        stub_router_ids=np.asarray(stub_router_ids, dtype=np.int64),
+        peer_access_latency=config.peer_access_latency,
+    )
+
+
+def _connect_ring_with_chords(
+    ids: list[int],
+    edges: list[tuple[int, int, float]],
+    rng: RandomSource,
+    chord_prob: float,
+    latency_bounds: tuple[float, float],
+) -> None:
+    """Connect ``ids`` into a ring plus random chords (in place)."""
+    low, high = latency_bounds
+    n = len(ids)
+    if n == 1:
+        return
+    if n == 2:
+        edges.append((ids[0], ids[1], float(rng.uniform(low, high))))
+        return
+    for i in range(n):
+        edges.append((ids[i], ids[(i + 1) % n], float(rng.uniform(low, high))))
+    for i in range(n):
+        for j in range(i + 2, n):
+            if i == 0 and j == n - 1:
+                continue  # ring already covers this pair
+            if rng.random() < chord_prob:
+                edges.append((ids[i], ids[j], float(rng.uniform(low, high))))

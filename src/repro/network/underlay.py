@@ -1,0 +1,217 @@
+"""Router-level underlay network with peer attachments and routing.
+
+:class:`UnderlayNetwork` holds the router graph produced by
+:func:`repro.network.topology.generate_transit_stub`, answers shortest-path
+queries (latency, hop paths) via scipy's Dijkstra with per-source caching,
+and manages *peer attachments*: end hosts attached to random stub routers
+through an access link, exactly as in the paper's setup ("peers are
+randomly attached to the stub domain routers").
+
+Distances between peers are
+``access(a) + shortest_path(router(a), router(b)) + access(b)`` in
+milliseconds; a peer's distance to itself is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components, dijkstra
+
+from ..errors import RoutingError, TopologyError
+from ..sim.random import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .topology import Router
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """A peer's point of presence on the underlay."""
+
+    peer_id: int
+    router_id: int
+    access_latency_ms: float
+
+
+class UnderlayNetwork:
+    """The physical network: routers, weighted links, and peer attachments."""
+
+    def __init__(
+        self,
+        routers: Sequence["Router"],
+        edges: Iterable[tuple[int, int, float]],
+        stub_router_ids: np.ndarray,
+        peer_access_latency: tuple[float, float],
+    ) -> None:
+        self.routers = list(routers)
+        n = len(self.routers)
+        edge_list = list(edges)
+        if not edge_list:
+            raise TopologyError("underlay has no links")
+        rows, cols, weights = [], [], []
+        seen: set[tuple[int, int]] = set()
+        for a, b, w in edge_list:
+            if a == b:
+                raise TopologyError(f"self-loop on router {a}")
+            if w <= 0.0:
+                raise TopologyError(f"non-positive latency on link {a}-{b}")
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            rows.extend((a, b))
+            cols.extend((b, a))
+            weights.extend((w, w))
+        self._graph = coo_matrix(
+            (weights, (rows, cols)), shape=(n, n)).tocsr()
+        n_components, _ = connected_components(self._graph, directed=False)
+        if n_components != 1:
+            raise TopologyError(
+                f"underlay is disconnected ({n_components} components)")
+        self._link_latency = {
+            (min(a, b), max(a, b)): w for a, b, w in edge_list}
+        self._stub_router_ids = stub_router_ids
+        self._peer_access_latency = peer_access_latency
+        self._attachments: dict[int, Attachment] = {}
+        # Per-source Dijkstra cache: router -> (distances, predecessors).
+        self._route_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def router_count(self) -> int:
+        """Number of routers in the underlay."""
+        return len(self.routers)
+
+    @property
+    def link_count(self) -> int:
+        """Number of undirected physical links."""
+        return len(self._link_latency)
+
+    def link_latency_ms(self, a: int, b: int) -> float:
+        """Latency of the physical link between routers ``a`` and ``b``."""
+        try:
+            return self._link_latency[(min(a, b), max(a, b))]
+        except KeyError:
+            raise RoutingError(f"no physical link between {a} and {b}")
+
+    # ------------------------------------------------------------------
+    # Peer attachments
+    # ------------------------------------------------------------------
+    def attach_peer(self, peer_id: int, rng: RandomSource) -> Attachment:
+        """Attach ``peer_id`` to a uniformly random stub router."""
+        if peer_id in self._attachments:
+            raise TopologyError(f"peer {peer_id} is already attached")
+        router = int(rng.choice(self._stub_router_ids))
+        low, high = self._peer_access_latency
+        attachment = Attachment(peer_id, router, float(rng.uniform(low, high)))
+        self._attachments[peer_id] = attachment
+        return attachment
+
+    def attachment(self, peer_id: int) -> Attachment:
+        """Return the attachment of ``peer_id``."""
+        try:
+            return self._attachments[peer_id]
+        except KeyError:
+            raise TopologyError(f"peer {peer_id} is not attached")
+
+    @property
+    def attached_peer_count(self) -> int:
+        """Number of peers currently attached."""
+        return len(self._attachments)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _routes_from(self, router: int) -> tuple[np.ndarray, np.ndarray]:
+        if not 0 <= router < self.router_count:
+            raise RoutingError(f"unknown router {router}")
+        cached = self._route_cache.get(router)
+        if cached is None:
+            dist, pred = dijkstra(
+                self._graph, directed=False, indices=router,
+                return_predecessors=True)
+            cached = (dist, pred)
+            self._route_cache[router] = cached
+        return cached
+
+    def router_distance_ms(self, a: int, b: int) -> float:
+        """Shortest-path latency between two routers."""
+        dist, _ = self._routes_from(a)
+        return float(dist[b])
+
+    def router_distances_from(self, router: int) -> np.ndarray:
+        """Vector of shortest-path latencies from ``router`` to all routers."""
+        dist, _ = self._routes_from(router)
+        return dist
+
+    def router_path(self, a: int, b: int) -> list[int]:
+        """Router sequence of the shortest path from ``a`` to ``b``."""
+        dist, pred = self._routes_from(a)
+        if not np.isfinite(dist[b]):
+            raise RoutingError(f"routers {a} and {b} are disconnected")
+        path = [b]
+        node = b
+        while node != a:
+            node = int(pred[node])
+            if node < 0:
+                raise RoutingError(f"broken predecessor chain {a}->{b}")
+            path.append(node)
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Peer-level queries
+    # ------------------------------------------------------------------
+    def peer_distance_ms(self, a: int, b: int) -> float:
+        """End-to-end latency between two attached peers."""
+        if a == b:
+            return 0.0
+        att_a = self.attachment(a)
+        att_b = self.attachment(b)
+        return (att_a.access_latency_ms
+                + self.router_distance_ms(att_a.router_id, att_b.router_id)
+                + att_b.access_latency_ms)
+
+    def peer_distances_ms(self, peer_id: int,
+                          others: Sequence[int]) -> np.ndarray:
+        """Vector of end-to-end latencies from ``peer_id`` to ``others``."""
+        att = self.attachment(peer_id)
+        dist = self.router_distances_from(att.router_id)
+        out = np.empty(len(others), dtype=float)
+        for i, other in enumerate(others):
+            if other == peer_id:
+                out[i] = 0.0
+                continue
+            other_att = self.attachment(other)
+            out[i] = (att.access_latency_ms + dist[other_att.router_id]
+                      + other_att.access_latency_ms)
+        return out
+
+    def peer_path_links(self, a: int, b: int) -> list[tuple[int, int]]:
+        """Physical links traversed by a unicast packet from ``a`` to ``b``.
+
+        Access links are encoded as ``(-peer_id - 1, router_id)`` so they are
+        disjoint from router-router links; router links are normalised
+        ``(min, max)`` pairs.  Used by the link-stress metric, where every
+        physical link traversed carries one copy of the payload.
+        """
+        if a == b:
+            return []
+        att_a = self.attachment(a)
+        att_b = self.attachment(b)
+        links: list[tuple[int, int]] = [(-a - 1, att_a.router_id)]
+        path = self.router_path(att_a.router_id, att_b.router_id)
+        for u, v in zip(path, path[1:]):
+            links.append((min(u, v), max(u, v)))
+        links.append((-b - 1, att_b.router_id))
+        return links
+
+    def peer_hop_count(self, a: int, b: int) -> int:
+        """Number of physical links between two peers (0 if colocated)."""
+        return len(self.peer_path_links(a, b))

@@ -1,0 +1,24 @@
+"""Unstructured P2P overlay: graph, bootstrap protocols, baselines, churn."""
+
+from .graph import OverlayNetwork
+from .hostcache import HostCacheServer
+from .messages import MessageKind, MessageStats
+from .bootstrap import JoinResult, UtilityBootstrap
+from .plod import generate_plod_overlay
+from .gnutella import generate_random_overlay
+from .maintenance import MaintenanceDaemon
+from .churn import ChurnConfig, ChurnProcess
+
+__all__ = [
+    "OverlayNetwork",
+    "HostCacheServer",
+    "MessageKind",
+    "MessageStats",
+    "JoinResult",
+    "UtilityBootstrap",
+    "generate_plod_overlay",
+    "generate_random_overlay",
+    "MaintenanceDaemon",
+    "ChurnConfig",
+    "ChurnProcess",
+]

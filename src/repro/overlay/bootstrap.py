@@ -1,0 +1,242 @@
+"""Utility-aware overlay construction protocol (Section 3.3).
+
+A joining peer ``p_i``:
+
+1. queries the host cache and receives the bootstrap list
+   ``B_i = BD_i U BR_i`` (closest half + random half);
+2. sends a probe ``Mprob`` to every peer in ``B_i``; each reply
+   ``Mprob_resp`` carries the responder's neighbor list;
+3. compiles the candidate list ``LC_i`` from the replies.  Each candidate's
+   *occurrence frequency* ``f_i(j)`` samples its degree, substituting for
+   capacity in Equation 6; distances come from network coordinates;
+4. estimates its resource level ``r_i`` from the sampled capacities and
+   draws neighbors without replacement with probability proportional to
+   the selection preference, until its capacity-derived target degree is
+   reached;
+5. asks each selected neighbor for a backward connection, accepted with
+   probability ``PB`` (Section 3.3) or, failing that, with the fallback
+   probability ``p_b = 0.5``.
+
+Modelling note: the paper distinguishes forwarding (out) edges from back
+links (in edges).  We model the overlay as an undirected graph, and fold
+the back-link rule into link *establishment*: a selected link materialises
+with probability ``PB + (1 - PB) * p_b``; a refused candidate is skipped
+and the joiner moves to the next-ranked one.  The PB rule therefore shapes
+the topology exactly as intended — powerful peers preferentially
+inter-connect, weak peers attach nearby — while keeping a single
+adjacency.  Refusals and their message costs are still accounted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import OverlayConfig, UtilityConfig
+from ..peers.peer import PeerInfo
+from ..sim.random import RandomSource, weighted_sample_without_replacement
+from ..utility.backlink import back_link_acceptance_probability
+from ..utility.preference import selection_preference
+from ..utility.resource_level import estimate_resource_level
+from .graph import OverlayNetwork
+from .hostcache import HostCacheServer
+from .messages import MessageKind, MessageStats
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """Outcome of one utility-aware join."""
+
+    peer_id: int
+    connected: tuple[int, ...]
+    refused: tuple[int, ...]
+    candidates_seen: int
+    resource_level: float
+    target_degree: int
+
+    @property
+    def degree(self) -> int:
+        """Number of links established by the join."""
+        return len(self.connected)
+
+
+class UtilityBootstrap:
+    """Executes utility-aware joins against an overlay under construction."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        host_cache: HostCacheServer,
+        rng: RandomSource,
+        overlay_config: OverlayConfig | None = None,
+        utility_config: UtilityConfig | None = None,
+        stats: MessageStats | None = None,
+    ) -> None:
+        self.overlay = overlay
+        self.host_cache = host_cache
+        self.rng = rng
+        self.overlay_config = overlay_config or OverlayConfig()
+        self.utility_config = utility_config or UtilityConfig()
+        self.stats = stats or MessageStats()
+
+    # ------------------------------------------------------------------
+    def join(self, info: PeerInfo) -> JoinResult:
+        """Run the full join protocol for ``info`` and wire it in."""
+        cfg = self.overlay_config
+        self.overlay.add_peer(info)
+
+        self.stats.record(MessageKind.HOSTCACHE_QUERY)
+        bootstrap_list = self.host_cache.bootstrap_candidates(
+            info, self.rng, cfg.bootstrap_list_size)
+        self.stats.record(MessageKind.HOSTCACHE_REPLY)
+        self.host_cache.register(info)
+
+        if not bootstrap_list:
+            # First peer in the network: nothing to connect to yet.
+            return JoinResult(info.peer_id, (), (), 0, 0.5, 0)
+
+        candidates, frequencies = self._probe(info, bootstrap_list)
+        resource_level = self._estimate_resource_level(info, candidates)
+        target = cfg.target_degree(info.capacity)
+        connected, refused = self._select_and_connect(
+            info, candidates, frequencies, resource_level, target)
+        return JoinResult(
+            peer_id=info.peer_id,
+            connected=tuple(connected),
+            refused=tuple(refused),
+            candidates_seen=len(candidates),
+            resource_level=resource_level,
+            target_degree=target,
+        )
+
+    def acquire_neighbors(self, info: PeerInfo, needed: int) -> list[int]:
+        """Connect an existing peer to up to ``needed`` new neighbors.
+
+        Used by epoch-based maintenance to repair links lost to churn.
+        Runs the same cache-query / probe / utility-selection pipeline as
+        a fresh join, skipping peers already adjacent to ``info``.
+        """
+        if needed <= 0:
+            return []
+        self.stats.record(MessageKind.HOSTCACHE_QUERY)
+        bootstrap_list = self.host_cache.bootstrap_candidates(
+            info, self.rng, self.overlay_config.bootstrap_list_size)
+        self.stats.record(MessageKind.HOSTCACHE_REPLY)
+        if not bootstrap_list:
+            return []
+        candidates, frequencies = self._probe(info, bootstrap_list)
+        fresh = [(c, f) for c, f in zip(candidates, frequencies)
+                 if c.peer_id in self.overlay
+                 and not self.overlay.has_link(info.peer_id, c.peer_id)]
+        if not fresh:
+            return []
+        candidates = [c for c, _ in fresh]
+        frequencies = np.asarray([f for _, f in fresh], dtype=float)
+        resource_level = self._estimate_resource_level(info, candidates)
+        connected, _ = self._select_and_connect(
+            info, candidates, frequencies, resource_level, needed)
+        return connected
+
+    # ------------------------------------------------------------------
+    def _probe(
+        self, info: PeerInfo, bootstrap_list: list[PeerInfo]
+    ) -> tuple[list[PeerInfo], np.ndarray]:
+        """Probe bootstrap peers; return candidates and their frequencies.
+
+        Bootstrap peers themselves join the candidate list with one base
+        occurrence — they are directly known to the joiner — plus any
+        appearances in other peers' neighbor lists.
+        """
+        occurrences: Counter[int] = Counter()
+        known: dict[int, PeerInfo] = {}
+        for bootstrap_peer in bootstrap_list:
+            self.stats.record(MessageKind.PROBE)
+            self.stats.record(MessageKind.PROBE_RESPONSE)
+            occurrences[bootstrap_peer.peer_id] += 1
+            known[bootstrap_peer.peer_id] = bootstrap_peer
+            if bootstrap_peer.peer_id not in self.overlay:
+                continue
+            for neighbor_id in self.overlay.neighbors(bootstrap_peer.peer_id):
+                if neighbor_id == info.peer_id:
+                    continue
+                occurrences[neighbor_id] += 1
+                if neighbor_id not in known:
+                    known[neighbor_id] = self.overlay.peer(neighbor_id)
+        candidates = list(known.values())
+        frequencies = np.asarray(
+            [occurrences[c.peer_id] for c in candidates], dtype=float)
+        return candidates, frequencies
+
+    def _estimate_resource_level(self, info: PeerInfo,
+                                 candidates: list[PeerInfo]) -> float:
+        cfg = self.overlay_config
+        capacities = [c.capacity for c in candidates]
+        if len(capacities) > cfg.resource_level_sample_size:
+            picks = self.rng.choice(
+                len(capacities), size=cfg.resource_level_sample_size,
+                replace=False)
+            capacities = [capacities[int(i)] for i in picks]
+        return estimate_resource_level(
+            info.capacity, capacities, self.utility_config)
+
+    def _select_and_connect(
+        self,
+        info: PeerInfo,
+        candidates: list[PeerInfo],
+        frequencies: np.ndarray,
+        resource_level: float,
+        target: int,
+    ) -> tuple[list[int], list[int]]:
+        distances = np.asarray(
+            [info.coordinate_distance(c) for c in candidates], dtype=float)
+        preference = selection_preference(
+            frequencies, distances, resource_level, self.utility_config)
+        # Rank every candidate by a weighted draw, then walk the ranking
+        # until the degree target is met, skipping refusals.
+        ranked = weighted_sample_without_replacement(
+            self.rng, candidates, preference, len(candidates))
+        connected: list[int] = []
+        refused: list[int] = []
+        for candidate in ranked:
+            if len(connected) >= target:
+                break
+            if candidate.peer_id not in self.overlay:
+                continue
+            if self.overlay.has_link(info.peer_id, candidate.peer_id):
+                continue
+            self.stats.record(MessageKind.BACK_CONNECT_REQUEST)
+            if self._back_link_accepted(info, candidate):
+                self.stats.record(MessageKind.BACK_CONNECT_ACK)
+                self.stats.record(MessageKind.CONNECT)
+                self.overlay.add_link(info.peer_id, candidate.peer_id)
+                connected.append(candidate.peer_id)
+            else:
+                refused.append(candidate.peer_id)
+        if not connected and candidates:
+            # Degenerate fallback: never leave a joiner isolated if anyone
+            # is reachable — connect to the top-ranked candidate.
+            fallback = next(
+                (c for c in ranked if c.peer_id in self.overlay), None)
+            if fallback is not None:
+                self.stats.record(MessageKind.CONNECT)
+                self.overlay.add_link(info.peer_id, fallback.peer_id)
+                connected.append(fallback.peer_id)
+        return connected, refused
+
+    def _back_link_accepted(self, info: PeerInfo,
+                            candidate: PeerInfo) -> bool:
+        neighbor_ids = self.overlay.neighbors(candidate.peer_id)
+        neighbor_infos = [self.overlay.peer(n) for n in neighbor_ids]
+        probability = back_link_acceptance_probability(
+            own_capacity=candidate.capacity,
+            requester_capacity=info.capacity,
+            requester_distance_ms=candidate.coordinate_distance(info),
+            neighbor_capacities=[n.capacity for n in neighbor_infos],
+            neighbor_distances_ms=[
+                candidate.coordinate_distance(n) for n in neighbor_infos],
+        )
+        if self.rng.random() < probability:
+            return True
+        return self.rng.random() < self.overlay_config.back_link_fallback_prob

@@ -1,0 +1,37 @@
+"""Plain Gnutella-style random overlay baseline.
+
+Peers join one by one and connect to a uniformly random subset of the
+peers already present, with the classic 5-8 neighbor target.  Neither
+capacity nor proximity plays any role — this is the fully unstructured
+reference point (and the substrate Skype-era systems actually ran on).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import OverlayError
+from ..peers.peer import PeerInfo
+from ..sim.random import RandomSource
+from .graph import OverlayNetwork
+
+
+def generate_random_overlay(
+    peers: Sequence[PeerInfo],
+    rng: RandomSource,
+    target_degree: int = 6,
+) -> OverlayNetwork:
+    """Build a random-attachment overlay over ``peers`` (in join order)."""
+    if target_degree < 1:
+        raise OverlayError("target_degree must be >= 1")
+    overlay = OverlayNetwork()
+    joined: list[int] = []
+    for info in peers:
+        overlay.add_peer(info)
+        if joined:
+            count = min(target_degree, len(joined))
+            picks = rng.choice(len(joined), size=count, replace=False)
+            for index in picks:
+                overlay.add_link(info.peer_id, joined[int(index)])
+        joined.append(info.peer_id)
+    return overlay

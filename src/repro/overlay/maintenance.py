@@ -1,0 +1,179 @@
+"""Epoch-based neighborhood link maintenance (Section 3.3).
+
+Peers exchange heartbeat messages carrying their identifier quadruplet
+every heartbeat interval.  A neighbor that misses two consecutive
+heartbeats is declared failed; a gracefully departing peer sends explicit
+departure messages.  Failures are recorded during the epoch, and at each
+epoch end the peer repairs its neighbor list through the same utility-
+driven candidate selection used at bootstrap.  The epoch length adapts to
+the observed churn so the overlay "agilely adapts to the current churn
+pattern": heavy churn shortens the epoch (faster repair), calm periods
+lengthen it (less maintenance traffic), within configured bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import OverlayConfig
+from ..errors import OverlayError
+from ..sim.engine import Simulator
+from ..sim.random import RandomSource
+from .bootstrap import UtilityBootstrap
+from .graph import OverlayNetwork
+from .hostcache import HostCacheServer
+from .messages import MessageKind, MessageStats
+
+
+@dataclass
+class _PeerState:
+    """Liveness bookkeeping for one maintained peer."""
+
+    alive: bool = True
+    missed: dict[int, int] = field(default_factory=dict)
+    failures_this_epoch: int = 0
+    epoch_ms: float = 0.0
+
+
+class MaintenanceDaemon:
+    """Runs heartbeats, failure detection and epoch repair on a simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        overlay: OverlayNetwork,
+        host_cache: HostCacheServer,
+        bootstrap: UtilityBootstrap,
+        rng: RandomSource,
+        config: OverlayConfig | None = None,
+        stats: MessageStats | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.overlay = overlay
+        self.host_cache = host_cache
+        self.bootstrap = bootstrap
+        self.rng = rng
+        self.config = config or OverlayConfig()
+        self.stats = stats or MessageStats()
+        self._states: dict[int, _PeerState] = {}
+        self.detected_failures: list[tuple[float, int, int]] = []
+        self.repairs: list[tuple[float, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def activate(self, peer_id: int) -> None:
+        """Start maintaining ``peer_id`` (must already be in the overlay)."""
+        if peer_id not in self.overlay:
+            raise OverlayError(f"cannot maintain unknown peer {peer_id}")
+        if peer_id in self._states:
+            raise OverlayError(f"peer {peer_id} is already maintained")
+        state = _PeerState(epoch_ms=self.config.epoch_ms)
+        self._states[peer_id] = state
+        jitter = float(self.rng.uniform(0, self.config.heartbeat_interval_ms))
+        self.simulator.schedule(
+            jitter, lambda: self._heartbeat_round(peer_id))
+        self.simulator.schedule(
+            state.epoch_ms, lambda: self._epoch_end(peer_id))
+
+    def is_alive(self, peer_id: int) -> bool:
+        """True if the peer is maintained and not crashed/departed."""
+        state = self._states.get(peer_id)
+        return state is not None and state.alive
+
+    def alive_peers(self) -> list[int]:
+        """All currently live maintained peers."""
+        return [p for p, s in self._states.items() if s.alive]
+
+    def crash(self, peer_id: int) -> None:
+        """Kill a peer silently; neighbors must detect it via heartbeats."""
+        state = self._states.get(peer_id)
+        if state is None or not state.alive:
+            return
+        state.alive = False
+        self.host_cache.unregister(peer_id)
+
+    def depart(self, peer_id: int) -> None:
+        """Gracefully remove a peer: departure messages, immediate cleanup."""
+        state = self._states.get(peer_id)
+        if state is None or not state.alive:
+            return
+        state.alive = False
+        self.host_cache.unregister(peer_id)
+        neighbors = self.overlay.neighbors(peer_id)
+        self.stats.record(MessageKind.DEPARTURE, len(neighbors))
+        self.overlay.remove_peer(peer_id)
+        del self._states[peer_id]
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def _heartbeat_round(self, peer_id: int) -> None:
+        state = self._states.get(peer_id)
+        if state is None or not state.alive:
+            return
+        if peer_id not in self.overlay:
+            return
+        threshold = self.config.missed_heartbeats_for_failure
+        for neighbor in self.overlay.neighbors(peer_id):
+            self.stats.record(MessageKind.HEARTBEAT)
+            neighbor_state = self._states.get(neighbor)
+            if neighbor_state is not None and neighbor_state.alive:
+                self.stats.record(MessageKind.HEARTBEAT_REPLY)
+                state.missed.pop(neighbor, None)
+                continue
+            missed = state.missed.get(neighbor, 0) + 1
+            state.missed[neighbor] = missed
+            if missed >= threshold:
+                self._declare_failed(peer_id, neighbor, state)
+        self.simulator.schedule(
+            self.config.heartbeat_interval_ms,
+            lambda: self._heartbeat_round(peer_id))
+
+    def _declare_failed(self, peer_id: int, neighbor: int,
+                        state: _PeerState) -> None:
+        state.missed.pop(neighbor, None)
+        if neighbor in self.overlay and self.overlay.has_link(
+                peer_id, neighbor):
+            self.overlay.remove_link(peer_id, neighbor)
+        state.failures_this_epoch += 1
+        self.detected_failures.append(
+            (self.simulator.now, peer_id, neighbor))
+        # Purge the dead peer's vertex once everyone has dropped it.
+        if neighbor in self.overlay and self.overlay.degree(neighbor) == 0:
+            dead_state = self._states.get(neighbor)
+            if dead_state is not None and not dead_state.alive:
+                self.overlay.remove_peer(neighbor)
+                del self._states[neighbor]
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+    def _epoch_end(self, peer_id: int) -> None:
+        state = self._states.get(peer_id)
+        if state is None or not state.alive:
+            return
+        if peer_id not in self.overlay:
+            return
+        info = self.overlay.peer(peer_id)
+        target = self.config.target_degree(info.capacity)
+        deficit = target - self.overlay.degree(peer_id)
+        if deficit > 0:
+            added = self.bootstrap.acquire_neighbors(info, deficit)
+            if added:
+                self.repairs.append(
+                    (self.simulator.now, peer_id, len(added)))
+        state.epoch_ms = self._adapted_epoch(state)
+        state.failures_this_epoch = 0
+        self.simulator.schedule(
+            state.epoch_ms, lambda: self._epoch_end(peer_id))
+
+    def _adapted_epoch(self, state: _PeerState) -> float:
+        """Shrink the epoch under churn, grow it when the neighborhood is
+        calm, clamped to the configured range."""
+        cfg = self.config
+        if state.failures_this_epoch == 0:
+            proposed = state.epoch_ms * 1.25
+        else:
+            proposed = state.epoch_ms / (1.0 + state.failures_this_epoch)
+        return min(max(proposed, cfg.min_epoch_ms), cfg.max_epoch_ms)

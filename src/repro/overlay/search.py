@@ -1,0 +1,153 @@
+"""Blind-search primitives for unstructured overlays.
+
+Section 2.2: without DHT abstractions, "searching has to be carried out
+either by flooding the request or through random walks.  The former
+approach results in heavy communication overheads, whereas the latter
+may generate very long search paths which would affect the communication
+latencies."  Both primitives are implemented here — the TTL-scoped
+*ripple search* Gnutella-style flood (used by subscriptions and tree
+repair) and *k-walker random walks* — so that the trade-off itself is
+measurable (see ``benchmarks/test_ablation_search.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Collection, Optional
+
+from ..errors import OverlayError
+from ..sim.random import RandomSource
+from .graph import OverlayNetwork
+
+#: Decides whether a visited peer satisfies the search.
+Predicate = Callable[[int], bool]
+
+#: Maps a peer pair to the one-hop message latency (ms).
+LatencyFn = Callable[[int, int], float]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A successful blind search."""
+
+    target: int
+    route: tuple[int, ...]  # origin ... node-before-target
+    latency_ms: float       # one-way, along the discovered route
+    depth: int              # overlay hops to the target
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one blind search."""
+
+    hit: Optional[SearchHit]
+    messages: int
+
+    @property
+    def found(self) -> bool:
+        """True if the predicate matched within the budget."""
+        return self.hit is not None
+
+
+def ripple_search(
+    overlay: OverlayNetwork,
+    origin: int,
+    predicate: Predicate,
+    ttl: int,
+    latency_fn: LatencyFn | None = None,
+    exclude: Collection[int] = (),
+) -> SearchResult:
+    """TTL-scoped flood from ``origin``.
+
+    Explores breadth-first, one ring at a time, charging one message per
+    overlay edge crossed.  Among hits in the shallowest ring, the one
+    with the lowest accumulated latency wins (ties by latency only exist
+    when ``latency_fn`` is given; otherwise the first found wins).
+    ``exclude`` nodes are never returned nor traversed.
+    """
+    if origin not in overlay:
+        raise OverlayError(f"origin {origin} is not in the overlay")
+    cost = latency_fn if latency_fn is not None else (lambda a, b: 1.0)
+    excluded = set(exclude)
+    messages = 0
+    visited = {origin} | excluded
+    # (node, route from origin to node inclusive, accumulated latency)
+    frontier: list[tuple[int, tuple[int, ...], float]] = [
+        (origin, (origin,), 0.0)]
+    for depth in range(1, ttl + 1):
+        next_frontier: list[tuple[int, tuple[int, ...], float]] = []
+        hits: list[tuple[float, int, tuple[int, ...]]] = []
+        for node, route, elapsed in frontier:
+            for neighbor in overlay.neighbors(node):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                messages += 1
+                arrival = elapsed + cost(node, neighbor)
+                if predicate(neighbor):
+                    hits.append((arrival, neighbor, route))
+                else:
+                    next_frontier.append(
+                        (neighbor, route + (neighbor,), arrival))
+        if hits:
+            hits.sort()
+            latency, target, route = hits[0]
+            return SearchResult(
+                hit=SearchHit(target=target, route=route,
+                              latency_ms=latency, depth=depth),
+                messages=messages)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return SearchResult(hit=None, messages=messages)
+
+
+def random_walk_search(
+    overlay: OverlayNetwork,
+    origin: int,
+    predicate: Predicate,
+    rng: RandomSource,
+    walkers: int = 4,
+    walk_length: int = 32,
+    latency_fn: LatencyFn | None = None,
+    exclude: Collection[int] = (),
+) -> SearchResult:
+    """``walkers`` independent random walks from ``origin``.
+
+    Each walk takes up to ``walk_length`` steps, avoiding its immediate
+    predecessor; one message per step.  The first hit (over all walks,
+    walks executed sequentially) wins — its latency is the sum along the
+    walk so far, which is why walks trade low traffic for long paths.
+    """
+    if origin not in overlay:
+        raise OverlayError(f"origin {origin} is not in the overlay")
+    if walkers < 1 or walk_length < 1:
+        raise OverlayError("walkers and walk_length must be >= 1")
+    cost = latency_fn if latency_fn is not None else (lambda a, b: 1.0)
+    excluded = set(exclude)
+    messages = 0
+    best: Optional[SearchHit] = None
+    for _ in range(walkers):
+        current = origin
+        previous: int | None = None
+        route = (origin,)
+        elapsed = 0.0
+        for step in range(1, walk_length + 1):
+            neighbors = [n for n in overlay.neighbors(current)
+                         if n not in excluded]
+            if previous is not None and len(neighbors) > 1:
+                neighbors = [n for n in neighbors if n != previous]
+            if not neighbors:
+                break
+            step_to = neighbors[int(rng.integers(len(neighbors)))]
+            messages += 1
+            elapsed += cost(current, step_to)
+            if predicate(step_to):
+                hit = SearchHit(target=step_to, route=route,
+                                latency_ms=elapsed, depth=step)
+                if best is None or hit.latency_ms < best.latency_ms:
+                    best = hit
+                break
+            previous, current = current, step_to
+            route = route + (step_to,)
+    return SearchResult(hit=best, messages=messages)

@@ -1,0 +1,267 @@
+"""Two-tier (supernode) overlay architecture.
+
+The paper's conclusion notes that "the GroupCast system can be easily
+adapted for supernode or multi-layer overlay architectures"; Section 5
+also warns about the fragility of *predetermined* hierarchies.  This
+module provides that adaptation: peers whose capacity clears a threshold
+are elected supernodes and inter-connected with the same utility-aware
+bootstrap used by the flat overlay; every remaining peer becomes a leaf
+attached to nearby supernodes with free capacity slots (a supernode of
+capacity ``C`` serves up to ``C * leaf_slot_fraction`` leaves, so the
+hierarchy follows measured capacity rather than static roles).
+
+Group communication runs on the core: a group's spanning tree connects
+the supernodes of its members (via the normal SSA machinery) and each
+member leaf hangs under its supernode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import (
+    AnnouncementConfig,
+    ConfigurationError,
+    OverlayConfig,
+    UtilityConfig,
+)
+from ..errors import OverlayError
+from ..groupcast.advertisement import LatencyFn, propagate_advertisement
+from ..groupcast.spanning_tree import SpanningTree
+from ..groupcast.subscription import subscribe_members
+from ..peers.peer import PeerInfo
+from ..sim.random import RandomSource
+from .bootstrap import UtilityBootstrap
+from .graph import OverlayNetwork
+from .hostcache import HostCacheServer
+from .messages import MessageStats
+
+
+@dataclass(frozen=True)
+class SupernodeConfig:
+    """Tunables of the two-tier election and attachment."""
+
+    capacity_threshold: float = 100.0
+    min_supernode_fraction: float = 0.05
+    leaf_slot_fraction: float = 0.2
+    leaf_links: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_threshold <= 0.0:
+            raise ConfigurationError("capacity_threshold must be positive")
+        if not 0.0 < self.min_supernode_fraction <= 1.0:
+            raise ConfigurationError(
+                "min_supernode_fraction must be in (0, 1]")
+        if self.leaf_slot_fraction <= 0.0:
+            raise ConfigurationError("leaf_slot_fraction must be positive")
+        if self.leaf_links < 1:
+            raise ConfigurationError("leaf_links must be >= 1")
+
+
+@dataclass
+class TwoTierOverlay:
+    """A supernode core plus leaf attachments.
+
+    ``assignments`` maps each leaf to its primary supernode;
+    ``backup_assignments`` holds the extra attachments of multi-homed
+    leaves (``leaf_links > 1``), used for instant failover when the
+    primary supernode departs.
+    """
+
+    core: OverlayNetwork
+    supernodes: frozenset[int]
+    assignments: dict[int, int] = field(default_factory=dict)
+    backup_assignments: dict[int, tuple[int, ...]] = field(
+        default_factory=dict)
+    stats: MessageStats = field(default_factory=MessageStats)
+
+    def supernode_of(self, peer_id: int) -> int:
+        """The supernode serving ``peer_id`` (itself, if it is one)."""
+        if peer_id in self.supernodes:
+            return peer_id
+        try:
+            return self.assignments[peer_id]
+        except KeyError:
+            raise OverlayError(f"peer {peer_id} is not attached")
+
+    def backups_of(self, leaf: int) -> tuple[int, ...]:
+        """Backup supernodes of a multi-homed leaf (may be empty)."""
+        if leaf in self.supernodes:
+            raise OverlayError(f"{leaf} is a supernode, not a leaf")
+        if leaf not in self.assignments:
+            raise OverlayError(f"peer {leaf} is not attached")
+        return self.backup_assignments.get(leaf, ())
+
+    def fail_over(self, leaf: int) -> int:
+        """Promote a backup to primary after the primary departed."""
+        backups = self.backups_of(leaf)
+        if not backups:
+            raise OverlayError(f"leaf {leaf} has no backup supernode")
+        new_primary, *rest = backups
+        self.assignments[leaf] = new_primary
+        self.backup_assignments[leaf] = tuple(rest)
+        return new_primary
+
+    def leaves_of(self, supernode: int) -> list[int]:
+        """Leaves currently served by a supernode."""
+        if supernode not in self.supernodes:
+            raise OverlayError(f"{supernode} is not a supernode")
+        return [leaf for leaf, sn in self.assignments.items()
+                if sn == supernode]
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of attached leaf peers."""
+        return len(self.assignments)
+
+
+def build_two_tier_overlay(
+    infos: list[PeerInfo],
+    rng: RandomSource,
+    config: SupernodeConfig | None = None,
+    overlay_config: OverlayConfig | None = None,
+    utility_config: UtilityConfig | None = None,
+) -> TwoTierOverlay:
+    """Elect supernodes, wire the core, attach the leaves."""
+    if len(infos) < 2:
+        raise OverlayError("a two-tier overlay needs at least two peers")
+    config = config or SupernodeConfig()
+    overlay_config = overlay_config or OverlayConfig()
+    utility_config = utility_config or UtilityConfig()
+
+    supernodes = _elect_supernodes(infos, config)
+    stats = MessageStats()
+    core = OverlayNetwork()
+    host_cache = HostCacheServer(
+        max_entries=max(64, len(supernodes)),
+        dimensions=infos[0].coordinate.shape[0],
+        rng=rng,
+    )
+    bootstrap = UtilityBootstrap(
+        overlay=core, host_cache=host_cache, rng=rng,
+        overlay_config=overlay_config, utility_config=utility_config,
+        stats=stats)
+    for info in supernodes:
+        bootstrap.join(info)
+
+    assignments, backups = _attach_leaves(infos, supernodes, config, rng)
+    return TwoTierOverlay(
+        core=core,
+        supernodes=frozenset(info.peer_id for info in supernodes),
+        assignments=assignments,
+        backup_assignments=backups,
+        stats=stats,
+    )
+
+
+def _elect_supernodes(infos: list[PeerInfo],
+                      config: SupernodeConfig) -> list[PeerInfo]:
+    elected = [info for info in infos
+               if info.capacity >= config.capacity_threshold]
+    minimum = max(2, int(np.ceil(
+        config.min_supernode_fraction * len(infos))))
+    if len(elected) < minimum:
+        # Capacity-sparse population: promote the most capable peers.
+        by_capacity = sorted(infos, key=lambda i: i.capacity, reverse=True)
+        elected = by_capacity[:minimum]
+    return elected
+
+
+def _attach_leaves(
+    infos: list[PeerInfo],
+    supernodes: list[PeerInfo],
+    config: SupernodeConfig,
+    rng: RandomSource,
+) -> tuple[dict[int, int], dict[int, tuple[int, ...]]]:
+    """Assign each leaf to the closest supernodes with free slots.
+
+    The first attachment is the primary; ``config.leaf_links - 1``
+    further attachments (to the next-closest distinct supernodes with
+    slots) become failover backups.
+    """
+    supernode_ids = {info.peer_id for info in supernodes}
+    slots = {
+        info.peer_id: max(1, int(info.capacity * config.leaf_slot_fraction))
+        for info in supernodes
+    }
+    coordinates = np.stack([info.coordinate for info in supernodes])
+    assignments: dict[int, int] = {}
+    backups: dict[int, tuple[int, ...]] = {}
+    leaves = [info for info in infos if info.peer_id not in supernode_ids]
+    # Attach in random order so late leaves do not systematically lose.
+    order = rng.permutation(len(leaves))
+    for index in order:
+        leaf = leaves[int(index)]
+        distances = np.linalg.norm(coordinates - leaf.coordinate, axis=1)
+        attached: list[int] = []
+        for sn_index in np.argsort(distances, kind="stable"):
+            if len(attached) >= config.leaf_links:
+                break
+            supernode = supernodes[int(sn_index)].peer_id
+            if slots[supernode] > 0:
+                slots[supernode] -= 1
+                attached.append(supernode)
+        if not attached:
+            # Every slot exhausted: overload the closest supernode rather
+            # than orphan the leaf (mirrors real super-peer systems).
+            attached.append(supernodes[int(np.argmin(distances))].peer_id)
+        assignments[leaf.peer_id] = attached[0]
+        if len(attached) > 1:
+            backups[leaf.peer_id] = tuple(attached[1:])
+    return assignments, backups
+
+
+def build_two_tier_group_tree(
+    two_tier: TwoTierOverlay,
+    members: list[int],
+    rendezvous: int,
+    latency_fn: LatencyFn,
+    rng: RandomSource,
+    announcement: AnnouncementConfig | None = None,
+    utility_config: UtilityConfig | None = None,
+) -> SpanningTree:
+    """Spanning tree for a group on the two-tier overlay.
+
+    The rendezvous' supernode advertises over the core; each member's
+    supernode subscribes; member leaves hang under their supernodes.
+    """
+    announcement = announcement or AnnouncementConfig()
+    utility_config = utility_config or UtilityConfig()
+    rendezvous_sn = two_tier.supernode_of(rendezvous)
+
+    member_sns: dict[int, list[int]] = {}
+    for member in members:
+        member_sns.setdefault(two_tier.supernode_of(member), []).append(
+            member)
+
+    advertisement = propagate_advertisement(
+        overlay=two_tier.core,
+        rendezvous=rendezvous_sn,
+        group_id=0,
+        scheme="ssa",
+        latency_fn=latency_fn,
+        rng=rng,
+        config=announcement,
+        utility_config=utility_config,
+        stats=two_tier.stats,
+    )
+    tree, _ = subscribe_members(
+        overlay=two_tier.core,
+        advertisement=advertisement,
+        members=list(member_sns),
+        latency_fn=latency_fn,
+        config=announcement,
+        stats=two_tier.stats,
+    )
+    for supernode, leaves in member_sns.items():
+        if supernode not in tree:
+            continue  # subscription failed for this supernode
+        for leaf in leaves:
+            if leaf == supernode:
+                continue
+            tree.graft_chain([leaf, supernode])
+            tree.mark_member(leaf)
+    tree.validate()
+    return tree

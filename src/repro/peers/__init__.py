@@ -1,0 +1,15 @@
+"""Peer model: identity quadruplets and capacity distributions."""
+
+from .capacity import (
+    PAPER_CAPACITY_DISTRIBUTION,
+    CapacityDistribution,
+    zipf_capacities,
+)
+from .peer import PeerInfo
+
+__all__ = [
+    "PAPER_CAPACITY_DISTRIBUTION",
+    "CapacityDistribution",
+    "zipf_capacities",
+    "PeerInfo",
+]

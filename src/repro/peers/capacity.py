@@ -1,0 +1,96 @@
+"""Peer capacity models.
+
+Capacity is "measured in terms of accessible network bandwidth ... the
+number of 64 kbps connections the node is willing to support" (Section
+3.1).  Table 1 of the paper gives the distribution used in every overlay
+experiment, derived from the Saroiu et al. Gnutella measurement study:
+
+======== ===================
+level    percentage of peers
+======== ===================
+1x       20 %
+10x      45 %
+100x     30 %
+1000x    4.9 %
+10000x   0.1 %
+======== ===================
+
+Figures 1-6 instead draw candidate capacities from a Zipf distribution
+with exponent 2.0; :func:`zipf_capacities` reproduces that workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.random import RandomSource
+
+
+@dataclass(frozen=True)
+class CapacityDistribution:
+    """A categorical distribution over capacity levels."""
+
+    levels: tuple[float, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.weights) or not self.levels:
+            raise ConfigurationError(
+                "levels and weights must be equal-length and non-empty")
+        if any(level <= 0.0 for level in self.levels):
+            raise ConfigurationError("capacity levels must be positive")
+        if any(weight < 0.0 for weight in self.weights):
+            raise ConfigurationError("weights must be non-negative")
+        total = sum(self.weights)
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ConfigurationError(
+                f"weights must sum to 1, got {total}")
+
+    def sample(self, rng: RandomSource, count: int = 1) -> np.ndarray:
+        """Draw ``count`` capacities."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return rng.choice(self.levels, size=count, p=self.weights)
+
+    def sample_one(self, rng: RandomSource) -> float:
+        """Draw a single capacity value."""
+        return float(self.sample(rng, 1)[0])
+
+    def mean(self) -> float:
+        """Expected capacity."""
+        return float(np.dot(self.levels, self.weights))
+
+    def resource_level_of(self, capacity: float) -> float:
+        """Exact population fraction with capacity strictly below ``capacity``.
+
+        This is the ground-truth value the paper's peers *estimate* by
+        sampling; exposed for tests and ablations.
+        """
+        return float(sum(w for level, w in zip(self.levels, self.weights)
+                         if level < capacity))
+
+
+#: Table 1 of the paper.
+PAPER_CAPACITY_DISTRIBUTION = CapacityDistribution(
+    levels=(1.0, 10.0, 100.0, 1000.0, 10000.0),
+    weights=(0.20, 0.45, 0.30, 0.049, 0.001),
+)
+
+
+def zipf_capacities(rng: RandomSource, count: int,
+                    exponent: float = 2.0,
+                    max_capacity: float = 1000.0) -> np.ndarray:
+    """Zipf-distributed capacities as used for Figures 1-6.
+
+    Values follow ``P(c = k) ~ k**(-exponent)`` truncated at
+    ``max_capacity`` (the figures plot capacities up to 10^3).
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if exponent <= 1.0:
+        raise ConfigurationError("zipf exponent must be > 1")
+    draws = rng.zipf(exponent, size=count).astype(float)
+    return np.minimum(draws, max_capacity)

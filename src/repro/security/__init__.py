@@ -1,0 +1,29 @@
+"""Middleware-level security (EventGuard-style message guards).
+
+The paper's conclusion plans to harden GroupCast with "EventGuard [26]
+to enhance ... its middleware level security".  EventGuard protects
+pub/sub middleware with per-operation tokens derived from keys the
+event-service hands out at subscription time.  This package provides the
+GroupCast analogue:
+
+* :mod:`.guards` — a :class:`GroupKeyAuthority` run by the rendezvous
+  point issues a per-group key; advertisements and payloads carry MACs
+  over their immutable fields, so forged or tampered announcements are
+  rejected before they can hijack subscriptions or inject traffic.
+"""
+
+from .guards import (
+    GroupKeyAuthority,
+    GuardedMessage,
+    SignatureError,
+    guard_message,
+    verify_message,
+)
+
+__all__ = [
+    "GroupKeyAuthority",
+    "GuardedMessage",
+    "SignatureError",
+    "guard_message",
+    "verify_message",
+]

@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine (replaces the paper's Java p-sim)."""
+
+from .engine import Event, Simulator
+from .random import RandomSource, spawn_rng
+
+__all__ = ["Event", "Simulator", "RandomSource", "spawn_rng"]

@@ -1,0 +1,118 @@
+"""Latency- and loss-aware message transport over the event simulator.
+
+The procedural protocol implementations (advertisement, subscription)
+compute outcomes directly for speed; this module provides the *faithful*
+alternative: peers register handlers with a :class:`MessageNetwork`,
+``send`` schedules a delivery event after the true underlay latency, and
+deliveries can be lost with a configurable probability or dropped when
+the recipient has departed.  The event-driven GroupCast session layer
+(:mod:`repro.groupcast.session`) runs entirely on this transport, and
+the test suite cross-validates it against the procedural fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from ..overlay.messages import MessageKind, MessageStats
+from .engine import Simulator
+from .random import RandomSource
+
+#: Maps a peer pair to the one-way message latency in milliseconds.
+LatencyFn = Callable[[int, int], float]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One delivered message."""
+
+    sender: int
+    recipient: int
+    payload: object
+    sent_at_ms: float
+    delivered_at_ms: float
+
+    @property
+    def transit_ms(self) -> float:
+        """Time the message spent in flight."""
+        return self.delivered_at_ms - self.sent_at_ms
+
+
+class MessageNetwork:
+    """Unicast message fabric between registered peers."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_fn: LatencyFn,
+        rng: RandomSource,
+        loss_rate: float = 0.0,
+        stats: Optional[MessageStats] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError("loss_rate must be in [0, 1)")
+        self.simulator = simulator
+        self.latency_fn = latency_fn
+        self.rng = rng
+        self.loss_rate = loss_rate
+        self.stats = stats or MessageStats()
+        self._handlers: dict[int, Callable[[Envelope], None]] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.dead_lettered = 0
+
+    # ------------------------------------------------------------------
+    def register(self, peer_id: int,
+                 handler: Callable[[Envelope], None]) -> None:
+        """Attach a peer's message handler (replaces any previous one)."""
+        self._handlers[peer_id] = handler
+
+    def unregister(self, peer_id: int) -> None:
+        """Detach a departed peer; in-flight messages to it dead-letter."""
+        self._handlers.pop(peer_id, None)
+
+    def is_registered(self, peer_id: int) -> bool:
+        """True if the peer currently receives messages."""
+        return peer_id in self._handlers
+
+    # ------------------------------------------------------------------
+    def send(self, sender: int, recipient: int, payload: object,
+             kind: MessageKind | None = None) -> None:
+        """Schedule delivery of ``payload`` after the underlay latency."""
+        if sender == recipient:
+            raise SimulationError("peers do not message themselves")
+        self.sent += 1
+        if kind is not None:
+            self.stats.record(kind)
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.lost += 1
+            return
+        latency = self.latency_fn(sender, recipient)
+        if latency < 0.0:
+            raise SimulationError("latency function returned < 0")
+        sent_at = self.simulator.now
+        envelope = Envelope(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            sent_at_ms=sent_at,
+            delivered_at_ms=sent_at + latency,
+        )
+        self.simulator.schedule(latency, lambda: self._deliver(envelope))
+
+    def broadcast(self, sender: int, recipients: list[int],
+                  payload: object, kind: MessageKind | None = None) -> None:
+        """Send the same payload to several recipients (unicast copies)."""
+        for recipient in recipients:
+            self.send(sender, recipient, payload, kind)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        handler = self._handlers.get(envelope.recipient)
+        if handler is None:
+            self.dead_lettered += 1
+            return
+        self.delivered += 1
+        handler(envelope)

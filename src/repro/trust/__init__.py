@@ -1,0 +1,30 @@
+"""Node-level trust for utility-aware forwarding.
+
+The paper's conclusion plans to augment GroupCast "with mechanisms such
+as ... TrustGuard [27] to enhance ... its node-level trust".  This
+package provides that augmentation in GroupCast's own idiom — trust is
+just a third signal multiplied into the selection preference:
+
+* :mod:`.reputation` — a decentralized reputation ledger: every peer
+  keeps EWMA scores of the peers it interacted with, based on observed
+  payload delivery, and an aggregate (gossip-style) view is available
+  for selection decisions;
+* :mod:`.dissemination` — payload flooding in the presence of
+  *free-riders* that accept children but drop payloads, feeding
+  observations into the ledger;
+* the trust hook itself lives in
+  :func:`repro.groupcast.advertisement.propagate_advertisement`
+  (``trust_fn``): SSA forwarding probability is scaled by the sender's
+  trust in each neighbor, so low-trust peers fall off advertisement
+  paths and, with them, out of future spanning trees.
+"""
+
+from .reputation import ReputationLedger, TrustConfig
+from .dissemination import LossyDisseminationReport, disseminate_with_failures
+
+__all__ = [
+    "ReputationLedger",
+    "TrustConfig",
+    "LossyDisseminationReport",
+    "disseminate_with_failures",
+]

@@ -1,0 +1,94 @@
+"""Payload dissemination under free-riding forwarders.
+
+A *free-rider* accepts tree children (it looks like a normal forwarder)
+but drops payloads with some probability.  This module floods a payload
+through a spanning tree in the presence of such peers, records who did
+and did not receive it, and feeds the evidence into a
+:class:`~repro.trust.reputation.ReputationLedger`: every tree child
+scores its parent by whether the payload arrived.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Collection, Mapping
+
+from ..errors import GroupError
+from ..groupcast.spanning_tree import SpanningTree
+from ..network.underlay import UnderlayNetwork
+from ..sim.random import RandomSource
+from .reputation import ReputationLedger
+
+
+@dataclass(frozen=True)
+class LossyDisseminationReport:
+    """Delivery outcome of one payload under free-riding."""
+
+    source: int
+    member_delays_ms: Mapping[int, float]
+    starved_members: frozenset[int]
+    drops: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of (non-source) members that received the payload."""
+        total = len(self.member_delays_ms) + len(self.starved_members)
+        if total == 0:
+            return 1.0
+        return len(self.member_delays_ms) / total
+
+
+def disseminate_with_failures(
+    tree: SpanningTree,
+    source: int,
+    underlay: UnderlayNetwork,
+    rng: RandomSource,
+    free_riders: Collection[int] = (),
+    drop_probability: float = 1.0,
+    ledger: ReputationLedger | None = None,
+) -> LossyDisseminationReport:
+    """Flood one payload; free-riders drop instead of forwarding.
+
+    A free-rider still *receives* (its upstream did its job); it fails to
+    forward onward with ``drop_probability`` per downstream link.  When a
+    ``ledger`` is given, every tree neighbor that expected the payload
+    scores the peer it expected it from.
+    """
+    if source not in tree:
+        raise GroupError(f"source {source} is not on the spanning tree")
+    if not 0.0 <= drop_probability <= 1.0:
+        raise GroupError("drop_probability must be a probability")
+    riders = set(free_riders)
+    adjacency = tree.tree_adjacency()
+    delays: dict[int, float] = {source: 0.0}
+    drops = 0
+
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if neighbor in delays:
+                continue
+            if node in riders and rng.random() < drop_probability:
+                drops += 1
+                if ledger is not None:
+                    ledger.record(neighbor, node, success=False)
+                continue
+            delays[neighbor] = (
+                delays[node] + underlay.peer_distance_ms(node, neighbor))
+            if ledger is not None:
+                ledger.record(neighbor, node, success=True)
+            queue.append(neighbor)
+
+    member_delays = {member: delays[member]
+                     for member in tree.members
+                     if member != source and member in delays}
+    starved = frozenset(member for member in tree.members
+                        if member != source and member not in delays)
+    return LossyDisseminationReport(
+        source=source,
+        member_delays_ms=member_delays,
+        starved_members=starved,
+        drops=drops,
+    )

@@ -1,0 +1,103 @@
+"""Decentralized reputation ledger (TrustGuard-style).
+
+Each peer scores the peers it has directly interacted with: a successful
+payload delivery from an upstream raises the score, a missed delivery
+lowers it, via an exponentially weighted moving average.  Selection
+decisions can read either the observer's *local* view (strictly
+decentralized) or the *aggregate* view over all observers (standing in
+for TrustGuard's gossip-propagated reputation with PID-controlled
+smoothing — the steady-state value is what matters to the middleware).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrustConfig:
+    """Reputation dynamics."""
+
+    initial_score: float = 0.5
+    ewma_alpha: float = 0.3
+    floor: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.initial_score <= 1.0:
+            raise ConfigurationError("initial_score must be in (0, 1]")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        if not 0.0 <= self.floor < 1.0:
+            raise ConfigurationError("floor must be in [0, 1)")
+
+
+class ReputationLedger:
+    """Per-observer trust scores with an aggregate view."""
+
+    def __init__(self, config: TrustConfig | None = None) -> None:
+        self.config = config or TrustConfig()
+        self._scores: dict[tuple[int, int], float] = {}
+        self._observers: dict[int, set[int]] = defaultdict(set)
+
+    def score(self, observer: int, subject: int) -> float:
+        """``observer``'s local trust in ``subject``."""
+        return self._scores.get((observer, subject),
+                                self.config.initial_score)
+
+    def record(self, observer: int, subject: int, success: bool) -> None:
+        """Fold one interaction outcome into the observer's score."""
+        current = self.score(observer, subject)
+        target = 1.0 if success else 0.0
+        alpha = self.config.ewma_alpha
+        updated = (1.0 - alpha) * current + alpha * target
+        self._scores[(observer, subject)] = max(updated,
+                                                self.config.floor)
+        self._observers[subject].add(observer)
+
+    def aggregate_score(self, subject: int) -> float:
+        """Mean trust in ``subject`` over every peer that observed it."""
+        observers = self._observers.get(subject)
+        if not observers:
+            return self.config.initial_score
+        return sum(self.score(obs, subject)
+                   for obs in observers) / len(observers)
+
+    def observation_count(self, subject: int) -> int:
+        """How many distinct peers have scored ``subject``."""
+        return len(self._observers.get(subject, ()))
+
+    def trust_fn(self, use_aggregate: bool = True):
+        """A ``(observer, subject) -> weight`` hook for SSA forwarding."""
+        if use_aggregate:
+            return lambda observer, subject: self.aggregate_score(subject)
+        return self.score
+
+    def quarantine_fn(self, threshold: float = 0.25,
+                      min_observations: int = 2):
+        """A trust hook that hard-excludes suspected peers.
+
+        Returns a ``(observer, subject) -> weight`` function giving zero
+        weight to peers whose aggregate trust fell below ``threshold``
+        (with at least ``min_observations`` observers) and the aggregate
+        score otherwise — the quarantine policy of a TrustGuard-style
+        deployment.
+        """
+        def weight(observer: int, subject: int) -> float:
+            if (self.observation_count(subject) >= min_observations
+                    and self.aggregate_score(subject) < threshold):
+                return 0.0
+            return self.aggregate_score(subject)
+
+        return weight
+
+    def suspects(self, threshold: float = 0.25,
+                 min_observations: int = 2) -> set[int]:
+        """Peers whose aggregate trust fell below ``threshold``."""
+        return {
+            subject for subject in self._observers
+            if self.observation_count(subject) >= min_observations
+            and self.aggregate_score(subject) < threshold
+        }

@@ -1,0 +1,21 @@
+"""The GroupCast utility function (Section 3.1) and its derived rules."""
+
+from .preference import (
+    capacity_preference,
+    derive_parameters,
+    distance_preference,
+    normalized_distances,
+    selection_preference,
+)
+from .resource_level import estimate_resource_level
+from .backlink import back_link_acceptance_probability
+
+__all__ = [
+    "capacity_preference",
+    "derive_parameters",
+    "distance_preference",
+    "normalized_distances",
+    "selection_preference",
+    "estimate_resource_level",
+    "back_link_acceptance_probability",
+]

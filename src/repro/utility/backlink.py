@@ -1,0 +1,55 @@
+"""Back-link acceptance rule of the overlay protocol (Section 3.3).
+
+After a joining peer ``p_i`` opens its outgoing connections, it asks each
+chosen neighbor ``p_k`` for a *backward connection*.  ``p_k`` accepts with
+
+``PB_k(Nbr(k), i) = rc_k^2 * rc_i + (1 - rc_k^2) * rd_i``
+
+where, over ``p_k``'s current neighbor set:
+
+* ``rc_k`` — capacity ranking of ``p_k`` itself (fraction of neighbors
+  with capacity <= its own),
+* ``rc_i`` — capacity ranking of the requester,
+* ``rd_i`` — distance ranking of the requester (fraction of neighbors at
+  least as far away as the requester).
+
+A powerful ``p_k`` (high ``rc_k``) therefore weighs the requester's
+capacity, while a weak ``p_k`` weighs proximity.  If the draw fails, the
+back link is still accepted with a fallback probability ``p_b`` (0.5 in
+the paper) that balances in- and out-degree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def back_link_acceptance_probability(
+    own_capacity: float,
+    requester_capacity: float,
+    requester_distance_ms: float,
+    neighbor_capacities: Sequence[float],
+    neighbor_distances_ms: Sequence[float],
+) -> float:
+    """Probability that a peer accepts a backward connection request.
+
+    ``neighbor_capacities`` / ``neighbor_distances_ms`` describe the
+    accepting peer's current neighbors (distances measured from the
+    accepting peer).  With no current neighbors the request is always
+    accepted — a lonely peer has nothing to protect.
+    """
+    capacities = np.asarray(neighbor_capacities, dtype=float)
+    distances = np.asarray(neighbor_distances_ms, dtype=float)
+    if capacities.shape != distances.shape:
+        raise ValueError(
+            "neighbor capacities and distances must have the same length")
+    n = capacities.size
+    if n == 0:
+        return 1.0
+    rc_own = float((capacities <= own_capacity).mean())
+    rc_req = float((capacities <= requester_capacity).mean())
+    rd_req = float((distances >= requester_distance_ms).mean())
+    weight = rc_own * rc_own
+    return weight * rc_req + (1.0 - weight) * rd_req

@@ -1,0 +1,107 @@
+"""Equations 1-5: distance, capacity and combined selection preferences.
+
+Given a candidate list ``L``, a peer ``p_i`` ranks every ``p_j in L``:
+
+* *Distance Preference* (Eq. 1) favours nearby candidates,
+  ``DP(L, j) = (1/d_j - alpha) / sum_k (1/d_k - alpha)`` over normalised
+  distances ``d_j = D(i, j) / max_k D(i, k)`` (Eq. 2);
+* *Capacity Preference* (Eq. 3) favours powerful candidates,
+  ``CP(L, j) = (C_j - beta) / sum_k (C_k - beta)``;
+* *Selection Preference* (Eq. 4/5) combines them,
+  ``P(L, j) = gamma * CP + (1 - gamma) * DP``.
+
+The parameters derive from the peer's resource level ``r`` (the fraction
+of peers with less capacity): ``alpha = 1 - r``, ``beta = r`` and
+``gamma = r ** (-ln r)``.  A weak peer (``r -> 0``) gets ``gamma -> 0`` and
+a sharp distance bias; a powerful peer (``r -> 1``) gets ``gamma -> 1`` and
+ranks almost purely by capacity.  All outputs are probability vectors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import UtilityConfig
+from ..errors import ConfigurationError
+
+_DEFAULT_CONFIG = UtilityConfig()
+
+
+def derive_parameters(
+    resource_level: float, config: UtilityConfig = _DEFAULT_CONFIG
+) -> tuple[float, float, float]:
+    """Return ``(alpha, beta, gamma)`` for a peer with ``resource_level``."""
+    r = config.clamp_resource_level(resource_level)
+    return 1.0 - r, r, r ** (-math.log(r))
+
+
+def normalized_distances(
+    distances: np.ndarray, config: UtilityConfig = _DEFAULT_CONFIG
+) -> np.ndarray:
+    """Equation 2: distances scaled by the maximum over the candidate list.
+
+    Distances are floored at ``config.min_distance_ms`` first, so the
+    result lies in ``(0, 1]`` and its reciprocal is finite.
+    """
+    d = np.maximum(np.asarray(distances, dtype=float), config.min_distance_ms)
+    if d.size == 0:
+        return d
+    return d / d.max()
+
+
+def distance_preference(
+    distances: np.ndarray,
+    alpha: float,
+    config: UtilityConfig = _DEFAULT_CONFIG,
+) -> np.ndarray:
+    """Equation 1: probability of choosing each candidate by proximity."""
+    if alpha >= 1.0:
+        raise ConfigurationError("alpha must be < 1")
+    d = normalized_distances(distances, config)
+    if d.size == 0:
+        return d
+    scores = 1.0 / d - alpha
+    # 1/d >= 1 and alpha < 1 guarantee positive scores.
+    return scores / scores.sum()
+
+
+def capacity_preference(
+    capacities: np.ndarray, beta: float
+) -> np.ndarray:
+    """Equation 3: probability of choosing each candidate by capacity."""
+    if beta >= 1.0:
+        raise ConfigurationError("beta must be < 1")
+    c = np.asarray(capacities, dtype=float)
+    if c.size == 0:
+        return c
+    if (c <= 0.0).any():
+        raise ConfigurationError("capacities must be positive")
+    scores = np.maximum(c - beta, 1e-12)
+    return scores / scores.sum()
+
+
+def selection_preference(
+    capacities: np.ndarray,
+    distances: np.ndarray,
+    resource_level: float,
+    config: UtilityConfig = _DEFAULT_CONFIG,
+) -> np.ndarray:
+    """Equation 5: the combined utility of every candidate in the list.
+
+    ``capacities`` may equally be the occurrence frequencies of Equation 6,
+    which substitute for capacity during overlay bootstrap.
+    Returns a probability vector over the candidates.
+    """
+    c = np.asarray(capacities, dtype=float)
+    d = np.asarray(distances, dtype=float)
+    if c.shape != d.shape:
+        raise ConfigurationError(
+            "capacities and distances must have the same shape")
+    if c.size == 0:
+        return c
+    alpha, beta, gamma = derive_parameters(resource_level, config)
+    combined = (gamma * capacity_preference(c, beta)
+                + (1.0 - gamma) * distance_preference(d, alpha, config))
+    return combined / combined.sum()

@@ -1,0 +1,39 @@
+"""Resource level estimation.
+
+Section 3.1 defines the *resource level* ``r_i`` as the fraction of peers
+in the overlay whose capacity is below that of peer ``p_i``, and notes it
+"can be estimated by sampling a few peers that are known to p_i".  The
+estimate drives the self-tuning of alpha, beta and gamma, so GroupCast
+needs no global statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import UtilityConfig
+
+_DEFAULT_CONFIG = UtilityConfig()
+
+
+def estimate_resource_level(
+    own_capacity: float,
+    sampled_capacities: Sequence[float],
+    config: UtilityConfig = _DEFAULT_CONFIG,
+) -> float:
+    """Estimate ``r_i`` from the capacities of sampled peers.
+
+    Returns the fraction of samples with capacity strictly below
+    ``own_capacity``, clamped into the open interval required by the
+    preference formulae.  With no samples the peer assumes the median
+    position (0.5).
+    """
+    if own_capacity <= 0.0:
+        raise ValueError("own_capacity must be positive")
+    samples = np.asarray(sampled_capacities, dtype=float)
+    if samples.size == 0:
+        return config.clamp_resource_level(0.5)
+    fraction = float((samples < own_capacity).mean())
+    return config.clamp_resource_level(fraction)

@@ -1,0 +1,25 @@
+"""Workload generators for group-communication studies.
+
+The applications the paper motivates — conferencing, multiplayer games,
+community advertising, instant messaging — differ in how groups arrive,
+how members come and go within a group, and how traffic flows.  These
+generators model all three axes so long-running service studies can be
+driven from realistic, reproducible event streams:
+
+* :mod:`.groups` — Poisson group arrivals with log-normal sizes and
+  optional locality-biased membership;
+* :mod:`.traffic` — per-group publication processes: constant-rate
+  publishers and the on/off talk-spurt model of conversational audio.
+"""
+
+from .groups import GroupArrivals, GroupSpec, MembershipChurn
+from .traffic import PublicationEvent, constant_rate, talk_spurts
+
+__all__ = [
+    "GroupArrivals",
+    "GroupSpec",
+    "MembershipChurn",
+    "PublicationEvent",
+    "constant_rate",
+    "talk_spurts",
+]

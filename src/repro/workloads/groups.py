@@ -1,0 +1,159 @@
+"""Group arrival and membership dynamics.
+
+Groups arrive as a Poisson process; each group draws a log-normal size
+(most groups are small chats, a few are large events — the shape seen in
+conferencing and gaming measurements) and samples its members either
+uniformly or with a locality bias (members near a random epicentre in
+coordinate space, modelling regional communities).  Within a group,
+:class:`MembershipChurn` generates timed join/leave events around the
+initial roster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coords.base import CoordinateSpace
+from ..errors import ConfigurationError
+from ..sim.random import RandomSource
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One generated group: creation time and initial roster."""
+
+    group_index: int
+    created_at_ms: float
+    members: tuple[int, ...]
+
+
+class GroupArrivals:
+    """Poisson group creations over a fixed peer population."""
+
+    def __init__(
+        self,
+        peer_ids: list[int],
+        mean_interarrival_ms: float = 30_000.0,
+        median_size: float = 8.0,
+        size_sigma: float = 1.0,
+        max_size: int | None = None,
+        locality_bias: float = 0.0,
+        space: CoordinateSpace | None = None,
+    ) -> None:
+        if len(peer_ids) < 2:
+            raise ConfigurationError("need at least two peers")
+        if mean_interarrival_ms <= 0.0:
+            raise ConfigurationError(
+                "mean_interarrival_ms must be positive")
+        if median_size < 2.0:
+            raise ConfigurationError("median_size must be >= 2")
+        if size_sigma < 0.0:
+            raise ConfigurationError("size_sigma must be non-negative")
+        if not 0.0 <= locality_bias <= 1.0:
+            raise ConfigurationError("locality_bias must be in [0, 1]")
+        if locality_bias > 0.0 and space is None:
+            raise ConfigurationError(
+                "locality bias needs a coordinate space")
+        self.peer_ids = list(peer_ids)
+        self.mean_interarrival_ms = mean_interarrival_ms
+        self.median_size = median_size
+        self.size_sigma = size_sigma
+        self.max_size = max_size or len(peer_ids)
+        self.locality_bias = locality_bias
+        self.space = space
+
+    def generate(self, rng: RandomSource, count: int) -> list[GroupSpec]:
+        """Generate ``count`` group creations."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        specs = []
+        now = 0.0
+        for index in range(count):
+            now += float(rng.exponential(self.mean_interarrival_ms))
+            size = int(np.clip(
+                round(rng.lognormal(np.log(self.median_size),
+                                    self.size_sigma)),
+                2, min(self.max_size, len(self.peer_ids))))
+            members = self._sample_members(rng, size)
+            specs.append(GroupSpec(index, now, tuple(members)))
+        return specs
+
+    def _sample_members(self, rng: RandomSource, size: int) -> list[int]:
+        if self.locality_bias <= 0.0:
+            picks = rng.choice(len(self.peer_ids), size=size,
+                               replace=False)
+            return [self.peer_ids[int(i)] for i in picks]
+        # Locality: pick an epicentre peer, then weight candidates by
+        # inverse coordinate distance, blended with uniform weights.
+        assert self.space is not None
+        epicentre = self.peer_ids[int(rng.integers(len(self.peer_ids)))]
+        distances = self.space.distances_from(epicentre, self.peer_ids)
+        proximity = 1.0 / np.maximum(distances, 1.0)
+        proximity = proximity / proximity.sum()
+        uniform = np.full(len(self.peer_ids), 1.0 / len(self.peer_ids))
+        weights = (self.locality_bias * proximity
+                   + (1.0 - self.locality_bias) * uniform)
+        picks = rng.choice(len(self.peer_ids), size=size, replace=False,
+                           p=weights / weights.sum())
+        return [self.peer_ids[int(i)] for i in picks]
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """A timed join or leave within one group."""
+
+    at_ms: float
+    peer_id: int
+    join: bool
+
+
+class MembershipChurn:
+    """Join/leave dynamics within an established group."""
+
+    def __init__(self, mean_membership_ms: float = 300_000.0,
+                 join_rate_per_s: float = 0.02) -> None:
+        if mean_membership_ms <= 0.0:
+            raise ConfigurationError(
+                "mean_membership_ms must be positive")
+        if join_rate_per_s < 0.0:
+            raise ConfigurationError("join_rate_per_s must be >= 0")
+        self.mean_membership_ms = mean_membership_ms
+        self.join_rate_per_s = join_rate_per_s
+
+    def generate(
+        self,
+        spec: GroupSpec,
+        candidate_pool: list[int],
+        rng: RandomSource,
+        horizon_ms: float,
+    ) -> list[MembershipEvent]:
+        """Timed membership events for one group up to ``horizon_ms``.
+
+        Initial members leave after exponential dwell times; fresh
+        members from ``candidate_pool`` arrive at ``join_rate_per_s``
+        and dwell likewise.  Events are returned time-sorted.
+        """
+        if horizon_ms <= spec.created_at_ms:
+            raise ConfigurationError("horizon precedes group creation")
+        events: list[MembershipEvent] = []
+        for member in spec.members:
+            leave_at = spec.created_at_ms + float(
+                rng.exponential(self.mean_membership_ms))
+            if leave_at < horizon_ms:
+                events.append(MembershipEvent(leave_at, member, False))
+        outsiders = [p for p in candidate_pool if p not in spec.members]
+        now = spec.created_at_ms
+        while outsiders and self.join_rate_per_s > 0.0:
+            now += float(rng.exponential(1000.0 / self.join_rate_per_s))
+            if now >= horizon_ms:
+                break
+            joiner = outsiders.pop(int(rng.integers(len(outsiders))))
+            events.append(MembershipEvent(now, joiner, True))
+            leave_at = now + float(
+                rng.exponential(self.mean_membership_ms))
+            if leave_at < horizon_ms:
+                events.append(MembershipEvent(leave_at, joiner, False))
+        events.sort(key=lambda event: event.at_ms)
+        return events

@@ -1,0 +1,97 @@
+"""Publication traffic models.
+
+Two publication processes cover the paper's application spectrum:
+
+* :func:`constant_rate` — periodic updates with jitter (game state,
+  presence, community feeds);
+* :func:`talk_spurts` — the classic on/off model of conversational
+  audio: one active speaker at a time, exponential talk spurts and
+  pauses, speaker hand-off at spurt boundaries (conferencing, voice
+  chat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..sim.random import RandomSource
+
+
+@dataclass(frozen=True)
+class PublicationEvent:
+    """One payload publication: when and by whom."""
+
+    at_ms: float
+    source: int
+
+
+def constant_rate(
+    members: Sequence[int],
+    rng: RandomSource,
+    horizon_ms: float,
+    period_ms: float = 1_000.0,
+    jitter_fraction: float = 0.1,
+    publishers: int | None = None,
+) -> list[PublicationEvent]:
+    """Periodic publications with jitter from a set of publishers.
+
+    ``publishers`` bounds how many members publish (default: all).
+    Events from all publishers are merged time-sorted.
+    """
+    if not members:
+        raise ConfigurationError("need at least one member")
+    if period_ms <= 0.0 or horizon_ms <= 0.0:
+        raise ConfigurationError("period and horizon must be positive")
+    if not 0.0 <= jitter_fraction < 1.0:
+        raise ConfigurationError("jitter_fraction must be in [0, 1)")
+    sources = list(members)
+    if publishers is not None:
+        if publishers < 1:
+            raise ConfigurationError("publishers must be >= 1")
+        picks = rng.choice(len(sources), size=min(publishers,
+                                                  len(sources)),
+                           replace=False)
+        sources = [sources[int(i)] for i in picks]
+    events: list[PublicationEvent] = []
+    for source in sources:
+        now = float(rng.uniform(0.0, period_ms))
+        while now < horizon_ms:
+            events.append(PublicationEvent(now, source))
+            jitter = rng.uniform(-jitter_fraction, jitter_fraction)
+            now += period_ms * (1.0 + float(jitter))
+    events.sort(key=lambda event: event.at_ms)
+    return events
+
+
+def talk_spurts(
+    members: Sequence[int],
+    rng: RandomSource,
+    horizon_ms: float,
+    mean_spurt_ms: float = 4_000.0,
+    mean_pause_ms: float = 1_500.0,
+    packet_interval_ms: float = 200.0,
+) -> list[PublicationEvent]:
+    """On/off conversational traffic with speaker hand-off.
+
+    One member speaks at a time: during a spurt the speaker publishes a
+    packet every ``packet_interval_ms``; at spurt end, after a pause, a
+    new speaker (possibly the same one) takes over.
+    """
+    if not members:
+        raise ConfigurationError("need at least one member")
+    if min(mean_spurt_ms, mean_pause_ms, packet_interval_ms,
+           horizon_ms) <= 0.0:
+        raise ConfigurationError("durations must be positive")
+    members = list(members)
+    events: list[PublicationEvent] = []
+    now = float(rng.exponential(mean_pause_ms))
+    while now < horizon_ms:
+        speaker = members[int(rng.integers(len(members)))]
+        spurt_end = now + float(rng.exponential(mean_spurt_ms))
+        while now < min(spurt_end, horizon_ms):
+            events.append(PublicationEvent(now, speaker))
+            now += packet_interval_ms
+        now = spurt_end + float(rng.exponential(mean_pause_ms))
+    return events

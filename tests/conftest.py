@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+Deployments are expensive to build, so the common ones are session-scoped;
+tests must not mutate them (tests that mutate build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GroupCastConfig, TransitStubConfig
+from repro.deployment import Deployment, build_deployment
+from repro.sim.random import spawn_rng
+
+#: A compact underlay so unit tests stay fast.
+SMALL_UNDERLAY = TransitStubConfig(
+    transit_domains=2,
+    transit_routers_per_domain=3,
+    stub_domains_per_transit=2,
+    routers_per_stub=3,
+)
+
+SMALL_CONFIG = GroupCastConfig(underlay=SMALL_UNDERLAY, seed=42)
+
+
+@pytest.fixture(scope="session")
+def groupcast_deployment() -> Deployment:
+    """A 250-peer utility-aware deployment (read-only)."""
+    return build_deployment(250, kind="groupcast", config=SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def plod_deployment() -> Deployment:
+    """A 250-peer PLOD power-law deployment (read-only)."""
+    return build_deployment(250, kind="plod", config=SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def random_deployment() -> Deployment:
+    """A 250-peer random-overlay deployment (read-only)."""
+    return build_deployment(250, kind="random", config=SMALL_CONFIG)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return spawn_rng(1234, "tests")

@@ -1,0 +1,138 @@
+"""Unit tests for SSA/NSSA advertisement propagation."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.errors import GroupError
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.messages import MessageKind, MessageStats
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_overlay(edges, capacities=None):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        capacity = (capacities or {}).get(peer, 10.0)
+        overlay.add_peer(PeerInfo(peer, capacity,
+                                  np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+def unit_latency(a, b):
+    return 1.0
+
+
+@pytest.fixture()
+def line_overlay():
+    return make_overlay([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+class TestNSSA:
+    def test_reaches_whole_overlay_within_ttl(self, line_overlay):
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "nssa", unit_latency, spawn_rng(0, "a"))
+        assert set(outcome.receipts) == {0, 1, 2, 3, 4}
+        assert outcome.receiving_rate(5) == 1.0
+
+    def test_ttl_limits_reach(self, line_overlay):
+        config = AnnouncementConfig(advertisement_ttl=2)
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "nssa", unit_latency, spawn_rng(0, "a"),
+            config=config)
+        assert set(outcome.receipts) == {0, 1, 2}
+
+    def test_upstream_pointers_form_reverse_paths(self, line_overlay):
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "nssa", unit_latency, spawn_rng(0, "a"))
+        assert outcome.reverse_path(4) == [4, 3, 2, 1, 0]
+        assert outcome.reverse_path(0) == [0]
+
+    def test_duplicates_counted_in_cyclic_topology(self):
+        overlay = make_overlay([(0, 1), (1, 2), (2, 0)])
+        outcome = propagate_advertisement(
+            overlay, 0, 1, "nssa", unit_latency, spawn_rng(0, "a"))
+        assert outcome.duplicates > 0
+        assert outcome.messages_sent > len(outcome.receipts) - 1
+
+    def test_elapsed_time_accumulates_latency(self, line_overlay):
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "nssa", lambda a, b: 10.0, spawn_rng(0, "a"))
+        assert outcome.receipts[3].elapsed_ms == pytest.approx(30.0)
+        assert outcome.receipts[3].hops == 3
+
+
+class TestSSA:
+    def test_sends_fewer_messages_than_nssa_on_dense_overlay(self):
+        rng = spawn_rng(1, "dense")
+        edges = set()
+        n = 60
+        for i in range(n):
+            for j in rng.choice(n, size=8, replace=False):
+                if i != int(j):
+                    edges.add((min(i, int(j)), max(i, int(j))))
+        overlay = make_overlay(sorted(edges))
+        config = AnnouncementConfig(ssa_fanout_fraction=0.4)
+        ssa = propagate_advertisement(
+            overlay, 0, 1, "ssa", unit_latency, spawn_rng(2, "s"),
+            config=config)
+        nssa = propagate_advertisement(
+            overlay, 0, 1, "nssa", unit_latency, spawn_rng(2, "n"),
+            config=config)
+        assert ssa.messages_sent < nssa.messages_sent
+
+    def test_fanout_fraction_one_behaves_like_flood_reach(self, line_overlay):
+        config = AnnouncementConfig(ssa_fanout_fraction=1.0)
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "ssa", unit_latency, spawn_rng(0, "a"),
+            config=config)
+        assert set(outcome.receipts) == {0, 1, 2, 3, 4}
+
+    def test_min_fanout_respected_on_low_degree_nodes(self, line_overlay):
+        config = AnnouncementConfig(
+            ssa_fanout_fraction=0.01, ssa_min_fanout=1)
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "ssa", unit_latency, spawn_rng(0, "a"),
+            config=config)
+        # Line graph: min fanout 1 still pushes the ad down the line.
+        assert len(outcome.receipts) == 5
+
+    def test_stats_ledger_records_messages(self, line_overlay):
+        stats = MessageStats()
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "ssa", unit_latency, spawn_rng(0, "a"),
+            stats=stats)
+        assert stats.count(MessageKind.ADVERTISEMENT) == \
+            outcome.messages_sent
+
+
+class TestValidation:
+    def test_unknown_scheme_rejected(self, line_overlay):
+        with pytest.raises(GroupError):
+            propagate_advertisement(
+                line_overlay, 0, 1, "broadcast", unit_latency,
+                spawn_rng(0, "a"))
+
+    def test_unknown_rendezvous_rejected(self, line_overlay):
+        with pytest.raises(GroupError):
+            propagate_advertisement(
+                line_overlay, 99, 1, "ssa", unit_latency, spawn_rng(0, "a"))
+
+    def test_reverse_path_for_non_receiver_rejected(self, line_overlay):
+        config = AnnouncementConfig(advertisement_ttl=1)
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "nssa", unit_latency, spawn_rng(0, "a"),
+            config=config)
+        with pytest.raises(GroupError):
+            outcome.reverse_path(4)
+
+    def test_receiving_rate_validation(self, line_overlay):
+        outcome = propagate_advertisement(
+            line_overlay, 0, 1, "nssa", unit_latency, spawn_rng(0, "a"))
+        with pytest.raises(GroupError):
+            outcome.receiving_rate(0)

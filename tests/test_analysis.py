@@ -1,0 +1,214 @@
+"""Tests for the analytical models, including model-vs-simulation checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.message_costs import (
+    expected_reach,
+    nssa_expected_messages,
+    ssa_expected_messages,
+    ssa_savings,
+)
+from repro.analysis.parameters import (
+    analytic_parameters,
+    resource_level_estimation_error,
+)
+from repro.analysis.powerlaw import hop_pair_counts, hop_pair_exponent
+from repro.errors import ConfigurationError
+from repro.peers.capacity import PAPER_CAPACITY_DISTRIBUTION
+from repro.sim.random import spawn_rng
+from repro.utility.preference import derive_parameters
+
+
+class TestMessageCostModel:
+    def test_nssa_covers_overlay_given_enough_ttl(self):
+        estimate = nssa_expected_messages(1000, 8.0, ttl=8)
+        assert estimate.reached > 950
+
+    def test_ssa_sends_fewer_messages(self):
+        nssa = nssa_expected_messages(1000, 8.0, ttl=6)
+        ssa = ssa_expected_messages(1000, 8.0, ttl=6, fanout_fraction=0.35)
+        assert ssa.messages < nssa.messages
+
+    def test_traffic_scales_linearly_with_n(self):
+        small = nssa_expected_messages(1000, 8.0, ttl=10)
+        large = nssa_expected_messages(8000, 8.0, ttl=10)
+        ratio = large.messages / small.messages
+        assert 5.0 < ratio < 11.0
+
+    def test_savings_between_zero_and_one(self):
+        for fraction in (0.2, 0.35, 0.5, 0.9):
+            savings = ssa_savings(2000, 8.0, 6, fraction)
+            assert 0.0 <= savings < 1.0
+
+    def test_reach_monotone_in_fanout(self):
+        low = expected_reach(2000, 8.0, 6, fanout_fraction=0.3)
+        high = expected_reach(2000, 8.0, 6, fanout_fraction=0.8)
+        assert low <= high <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            nssa_expected_messages(1, 8.0, 6)
+        with pytest.raises(ConfigurationError):
+            nssa_expected_messages(100, 1.0, 6)
+        with pytest.raises(ConfigurationError):
+            ssa_expected_messages(100, 8.0, 6, fanout_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            nssa_expected_messages(100, 8.0, 0)
+
+    def test_model_matches_simulation_within_factor_two(
+            self, groupcast_deployment):
+        """The branching model should predict simulated NSSA traffic to
+        within a factor of ~2 on a real overlay."""
+        from repro.groupcast.advertisement import propagate_advertisement
+
+        deployment = groupcast_deployment
+        n = deployment.peer_count
+        mean_degree = 2 * deployment.overlay.edge_count / n
+        ttl = deployment.config.announcement.advertisement_ttl
+        predicted = nssa_expected_messages(n, mean_degree, ttl).messages
+
+        rng = spawn_rng(0, "model-check")
+        simulated = []
+        for start in deployment.peer_ids()[:5]:
+            outcome = propagate_advertisement(
+                deployment.overlay, start, 0, "nssa",
+                deployment.peer_distance_ms, rng,
+                deployment.config.announcement,
+                deployment.config.utility)
+            simulated.append(outcome.messages_sent)
+        observed = float(np.mean(simulated))
+        assert 0.4 < predicted / observed < 2.5
+
+
+class TestPowerLawExpansion:
+    def test_hop_pair_counts_monotone(self, groupcast_deployment):
+        rng = spawn_rng(1, "expansion")
+        totals = hop_pair_counts(groupcast_deployment.overlay, rng,
+                                 sample=32)
+        assert (np.diff(totals) >= -1e-9).all()
+
+    def test_exponent_positive_and_diameter_low(self,
+                                                groupcast_deployment):
+        rng = spawn_rng(1, "expansion")
+        hbar, max_hops = hop_pair_exponent(
+            groupcast_deployment.overlay, rng, sample=32)
+        assert hbar > 0.5
+        # 250 peers with Gnutella-like degrees: diameter well under 15.
+        assert max_hops < 15
+
+    def test_total_pairs_scale(self, groupcast_deployment):
+        rng = spawn_rng(2, "expansion")
+        totals = hop_pair_counts(groupcast_deployment.overlay, rng,
+                                 sample=250)
+        n = groupcast_deployment.peer_count
+        # Full sample: the last entry counts every ordered reachable pair.
+        assert totals[-1] == pytest.approx(n * (n - 1), rel=0.01)
+
+
+class TestParameterDerivation:
+    def test_analytic_matches_derive_parameters(self):
+        capacity = 100.0
+        exact_r = PAPER_CAPACITY_DISTRIBUTION.resource_level_of(capacity)
+        assert analytic_parameters(
+            capacity, PAPER_CAPACITY_DISTRIBUTION) == \
+            derive_parameters(exact_r)
+
+    def test_estimator_is_nearly_unbiased(self):
+        rng = spawn_rng(3, "estimator")
+        report = resource_level_estimation_error(
+            100.0, PAPER_CAPACITY_DISTRIBUTION, sample_size=30, rng=rng)
+        assert abs(report["bias"]) < 0.05
+        assert report["rmse"] < 0.15
+
+    def test_rmse_shrinks_with_sample_size(self):
+        rng = spawn_rng(4, "estimator")
+        small = resource_level_estimation_error(
+            100.0, PAPER_CAPACITY_DISTRIBUTION, sample_size=5, rng=rng)
+        large = resource_level_estimation_error(
+            100.0, PAPER_CAPACITY_DISTRIBUTION, sample_size=100, rng=rng)
+        assert large["rmse"] < small["rmse"]
+
+    def test_validation(self):
+        rng = spawn_rng(5, "estimator")
+        with pytest.raises(ConfigurationError):
+            resource_level_estimation_error(
+                10.0, PAPER_CAPACITY_DISTRIBUTION, 0, rng)
+        with pytest.raises(ConfigurationError):
+            resource_level_estimation_error(
+                10.0, PAPER_CAPACITY_DISTRIBUTION, 10, rng, trials=0)
+
+
+class TestScalabilityModels:
+    def test_unicast_bound_matches_skype_cap(self):
+        from repro.analysis.scalability import max_group_unicast
+
+        # A typical residential uplink good for ~5 concurrent streams
+        # supports a 6-party conference - Skype's historical cap.
+        assert max_group_unicast(5.0) == 6
+
+    def test_star_bound(self):
+        from repro.analysis.scalability import max_group_star
+
+        assert max_group_star(100.0) == 101
+
+    def test_tree_bound_uses_aggregate_capacity(self):
+        from repro.analysis.scalability import max_group_tree
+
+        # Five peers of capacity 1 can form a 5-node tree (4 edges).
+        assert max_group_tree(np.array([1.0] * 5)) == 5
+        # A single strong peer plus weak ones scales further.
+        assert max_group_tree(np.array([10.0] + [1.0] * 20)) == 21
+
+    def test_tree_bound_validation(self):
+        from repro.analysis.scalability import max_group_tree
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            max_group_tree(np.array([0.0, 1.0]))
+
+    def test_paper_headline_one_to_two_orders(self):
+        from repro.analysis.scalability import expected_scalability_gain
+
+        rng = spawn_rng(9, "scalability")
+        report = expected_scalability_gain(
+            PAPER_CAPACITY_DISTRIBUTION, population=5000, rng=rng)
+        # The abstract's claim: one to two orders of magnitude over the
+        # unicast/star model for a typical (median-capacity) host.
+        assert 1.0 <= report["gain_orders"] <= 3.0
+        assert report["tree"] > report["unicast"]
+
+    def test_percentile_validation(self):
+        from repro.analysis.scalability import expected_scalability_gain
+        from repro.errors import ConfigurationError
+
+        rng = spawn_rng(9, "scalability")
+        with pytest.raises(ConfigurationError):
+            expected_scalability_gain(
+                PAPER_CAPACITY_DISTRIBUTION, 100, rng,
+                speaker_percentile=1.5)
+
+    def test_concrete_groupcast_tree_against_budget(
+            self, groupcast_deployment):
+        from repro.analysis.scalability import tree_respects_capacities
+        from repro.groupcast.advertisement import propagate_advertisement
+        from repro.groupcast.subscription import subscribe_members
+
+        deployment = groupcast_deployment
+        rng = spawn_rng(10, "scal-tree")
+        advertisement = propagate_advertisement(
+            deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+            deployment.peer_distance_ms, rng,
+            deployment.config.announcement, deployment.config.utility)
+        tree, _ = subscribe_members(
+            deployment.overlay, advertisement,
+            deployment.peer_ids()[1:60], deployment.peer_distance_ms,
+            deployment.config.announcement)
+        capacities = {info.peer_id: info.capacity
+                      for info in deployment.overlay.peers()}
+        # The utility-aware tree keeps (nearly) all fan-out within
+        # capacity; permit a couple of 1x stragglers with 2 children.
+        violations = sum(
+            1 for node in tree.nodes()
+            if len(tree.children(node)) > capacities[node])
+        assert violations <= 0.1 * tree.node_count

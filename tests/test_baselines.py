@@ -1,0 +1,130 @@
+"""Unit tests for the client/server, Skype-unicast and Narada baselines."""
+
+import pytest
+
+from repro.baselines.client_server import (
+    build_client_server_tree,
+    skype_unicast_cost,
+)
+from repro.baselines.narada import (
+    NaradaMesh,
+    build_narada_mesh,
+    build_narada_tree,
+)
+from repro.config import TransitStubConfig
+from repro.errors import GroupError
+from repro.groupcast.dissemination import disseminate
+from repro.network.topology import generate_transit_stub
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def underlay():
+    u = generate_transit_stub(
+        TransitStubConfig(transit_domains=2, transit_routers_per_domain=2,
+                          stub_domains_per_transit=2, routers_per_stub=3),
+        spawn_rng(8, "topo"))
+    rng = spawn_rng(8, "attach")
+    for peer in range(30):
+        u.attach_peer(peer, rng)
+    return u
+
+
+class TestClientServer:
+    def test_star_structure(self):
+        tree = build_client_server_tree(0, [1, 2, 3])
+        assert tree.height() == 1
+        assert tree.children(0) == sorted(tree.children(0))
+        assert len(tree.children(0)) == 3
+        tree.validate()
+
+    def test_server_in_member_list_is_skipped(self):
+        tree = build_client_server_tree(0, [0, 1])
+        assert tree.members == frozenset({0, 1})
+
+    def test_server_fanout_grows_linearly(self):
+        small = build_client_server_tree(0, list(range(1, 6)))
+        large = build_client_server_tree(0, list(range(1, 21)))
+        assert len(large.children(0)) == 4 * len(small.children(0))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(GroupError):
+            build_client_server_tree(0, [])
+
+    def test_server_workload_versus_groupcast(self, underlay):
+        """Star root stress far exceeds a balanced tree's node stress."""
+        members = list(range(1, 25))
+        tree = build_client_server_tree(0, members)
+        assert tree.node_stress() == len(members)
+
+
+class TestSkypeUnicast:
+    def test_cost_and_delay(self, underlay):
+        ip_messages, delay = skype_unicast_cost(underlay, 0, [0, 1, 2, 3])
+        per_peer = [underlay.peer_distance_ms(0, m) for m in (1, 2, 3)]
+        assert delay == pytest.approx(sum(per_peer) / 3)
+        assert ip_messages == sum(
+            len(underlay.peer_path_links(0, m)) for m in (1, 2, 3))
+
+    def test_no_receivers_rejected(self, underlay):
+        with pytest.raises(GroupError):
+            skype_unicast_cost(underlay, 0, [0])
+
+    def test_unicast_delay_is_lower_bound_for_star(self, underlay):
+        members = list(range(8))
+        _, unicast_delay = skype_unicast_cost(underlay, 0, members)
+        tree = build_client_server_tree(0, members)
+        report = disseminate(tree, 0, underlay)
+        assert report.average_member_delay_ms >= unicast_delay - 1e-9
+
+
+class TestNarada:
+    def test_mesh_connects_all_members(self, underlay):
+        rng = spawn_rng(1, "narada")
+        mesh = build_narada_mesh(underlay, list(range(12)), rng)
+        tree = mesh.shortest_path_tree(0)
+        assert set(tree.nodes()) == set(range(12))
+        tree.validate()
+
+    def test_tree_contains_all_members(self, underlay):
+        rng = spawn_rng(1, "narada")
+        tree = build_narada_tree(underlay, 0, list(range(1, 15)), rng)
+        assert tree.members == frozenset(range(15))
+        tree.validate()
+
+    def test_tree_paths_respect_mesh_distances(self, underlay):
+        rng = spawn_rng(1, "narada")
+        mesh = build_narada_mesh(underlay, list(range(10)), rng)
+        tree = mesh.shortest_path_tree(0)
+        # Tree path latency equals the Dijkstra distance: recompute one.
+        node = 7
+        path = tree.path_to_root(node)
+        total = sum(mesh.adjacency[a][b] for a, b in zip(path, path[1:]))
+        direct = underlay.peer_distance_ms(0, node)
+        assert total >= direct - 1e-9  # mesh cannot beat direct unicast
+
+    def test_mesh_edge_count(self):
+        mesh = NaradaMesh(members=(1, 2, 3))
+        mesh.add_link(1, 2, 5.0)
+        mesh.add_link(2, 3, 5.0)
+        assert mesh.edge_count == 2
+
+    def test_mesh_self_link_rejected(self):
+        mesh = NaradaMesh(members=(1,))
+        with pytest.raises(GroupError):
+            mesh.add_link(1, 1, 1.0)
+
+    def test_source_must_be_in_mesh(self):
+        mesh = NaradaMesh(members=(1, 2))
+        mesh.add_link(1, 2, 1.0)
+        with pytest.raises(GroupError):
+            mesh.shortest_path_tree(99)
+
+    def test_single_member_rejected(self, underlay):
+        with pytest.raises(GroupError):
+            build_narada_mesh(underlay, [0], spawn_rng(1, "n"))
+
+    def test_duplicate_members_deduplicated(self, underlay):
+        rng = spawn_rng(1, "narada")
+        tree = build_narada_tree(underlay, 0, [1, 1, 2, 2], rng)
+        assert tree.members == frozenset({0, 1, 2})

@@ -1,0 +1,169 @@
+"""Unit tests for the CAN substrate and CAN-multicast."""
+
+import numpy as np
+import pytest
+
+from repro.config import TransitStubConfig
+from repro.dht.can import (
+    CANNetwork,
+    Zone,
+    build_group_can,
+    can_multicast,
+    torus_distance,
+    zones_adjacent,
+)
+from repro.errors import ConfigurationError, GroupError, OverlayError
+from repro.network.topology import generate_transit_stub
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def underlay():
+    u = generate_transit_stub(
+        TransitStubConfig(transit_domains=2, transit_routers_per_domain=2,
+                          stub_domains_per_transit=2, routers_per_stub=3),
+        spawn_rng(13, "topo"))
+    rng = spawn_rng(13, "attach")
+    for peer in range(60):
+        u.attach_peer(peer, rng)
+    return u
+
+
+@pytest.fixture()
+def can():
+    return CANNetwork(list(range(40)), spawn_rng(0, "can"))
+
+
+class TestZones:
+    def test_split_halves_volume(self):
+        zone = Zone(0, np.zeros(2), np.ones(2))
+        new = zone.split(1)
+        v_old = float(np.prod(zone.highs - zone.lows))
+        v_new = float(np.prod(new.highs - new.lows))
+        assert v_old == pytest.approx(0.5)
+        assert v_new == pytest.approx(0.5)
+
+    def test_split_along_longest_dimension(self):
+        zone = Zone(0, np.array([0.0, 0.0]), np.array([1.0, 0.5]))
+        new = zone.split(1)
+        assert zone.highs[0] == pytest.approx(0.5)  # x split, y intact
+        assert new.lows[0] == pytest.approx(0.5)
+
+    def test_contains(self):
+        zone = Zone(0, np.array([0.25, 0.0]), np.array([0.5, 0.5]))
+        assert zone.contains(np.array([0.3, 0.1]))
+        assert not zone.contains(np.array([0.6, 0.1]))
+        assert not zone.contains(np.array([0.5, 0.1]))  # high edge open
+
+    def test_adjacency(self):
+        left = Zone(0, np.array([0.0, 0.0]), np.array([0.5, 1.0]))
+        right = Zone(1, np.array([0.5, 0.0]), np.array([1.0, 1.0]))
+        assert zones_adjacent(left, right)
+        assert zones_adjacent(right, left)  # torus wrap also abuts
+
+    def test_diagonal_zones_not_adjacent(self):
+        a = Zone(0, np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = Zone(1, np.array([0.5, 0.5]), np.array([1.0, 1.0]))
+        assert not zones_adjacent(a, b)
+
+    def test_torus_distance_wraps(self):
+        assert torus_distance(np.array([0.05]), np.array([0.95])) == \
+            pytest.approx(0.1)
+
+
+class TestCANNetwork:
+    def test_zones_tile_the_torus(self, can):
+        can.validate()
+        assert can.size == 40
+
+    def test_every_point_has_one_owner(self, can):
+        rng = spawn_rng(1, "points")
+        for _ in range(50):
+            point = rng.random(2)
+            owner = can.owner_of(point)
+            assert can.zone_of(owner).contains(point)
+
+    def test_neighbor_symmetry(self, can):
+        for peer in range(40):
+            for neighbor in can.neighbors(peer):
+                assert peer in can.neighbors(neighbor)
+
+    def test_neighbors_are_adjacent_zones(self, can):
+        for peer in range(40):
+            for neighbor in can.neighbors(peer):
+                assert zones_adjacent(can.zone_of(peer),
+                                      can.zone_of(neighbor))
+
+    def test_routing_reaches_owner(self, can):
+        rng = spawn_rng(2, "routes")
+        for _ in range(30):
+            source = int(rng.integers(40))
+            point = rng.random(2)
+            path = can.route(source, point)
+            assert path[0] == source
+            assert can.zone_of(path[-1]).contains(point)
+            assert len(set(path)) == len(path)
+
+    def test_route_length_scales_as_sqrt_n(self, can):
+        rng = spawn_rng(3, "routes")
+        lengths = [len(can.route(int(rng.integers(40)), rng.random(2)))
+                   for _ in range(50)]
+        # d=2, n=40: expected ~ (d/2) n^(1/d) ~ 6; generous bound.
+        assert float(np.mean(lengths)) < 12.0
+
+    def test_duplicate_join_rejected(self):
+        with pytest.raises(OverlayError):
+            CANNetwork([1, 1], spawn_rng(0, "can"))
+
+    def test_validation(self):
+        with pytest.raises(OverlayError):
+            CANNetwork([], spawn_rng(0, "can"))
+        with pytest.raises(ConfigurationError):
+            CANNetwork([1, 2], spawn_rng(0, "can"), dimensions=0)
+
+    def test_higher_dimensions(self):
+        can3 = CANNetwork(list(range(20)), spawn_rng(4, "can"),
+                          dimensions=3)
+        can3.validate()
+        path = can3.route(0, np.array([0.9, 0.9, 0.9]))
+        assert path
+
+
+class TestCANMulticast:
+    def test_flood_reaches_every_member(self, underlay):
+        members = list(range(30))
+        can = build_group_can(members, spawn_rng(5, "group-can"))
+        result = can_multicast(can, members[0], underlay)
+        assert result.tree.members == frozenset(members)
+
+    def test_tree_edges_are_zone_adjacencies(self, underlay):
+        members = list(range(20))
+        can = build_group_can(members, spawn_rng(6, "group-can"))
+        result = can_multicast(can, members[0], underlay)
+        for parent, child in result.tree.edges():
+            assert child in can.neighbors(parent)
+
+    def test_duplicates_counted(self, underlay):
+        members = list(range(25))
+        can = build_group_can(members, spawn_rng(7, "group-can"))
+        result = can_multicast(can, members[0], underlay)
+        assert result.messages == \
+            (result.tree.node_count - 1) + result.duplicates
+
+    def test_source_must_be_member(self, underlay):
+        can = build_group_can([1, 2, 3], spawn_rng(8, "group-can"))
+        with pytest.raises(GroupError):
+            can_multicast(can, 99, underlay)
+
+    def test_mini_can_requires_two_members(self):
+        with pytest.raises(GroupError):
+            build_group_can([1], spawn_rng(9, "group-can"))
+
+    def test_dissemination_metrics_computable(self, underlay):
+        from repro.groupcast.dissemination import disseminate
+
+        members = list(range(30))
+        can = build_group_can(members, spawn_rng(10, "group-can"))
+        result = can_multicast(can, members[0], underlay)
+        report = disseminate(result.tree, members[0], underlay)
+        assert set(report.member_delays_ms) == set(members[1:])

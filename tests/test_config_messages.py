@@ -1,0 +1,134 @@
+"""Unit tests for configuration objects and the message ledger."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    AnnouncementConfig,
+    GroupCastConfig,
+    OverlayConfig,
+    RendezvousConfig,
+    UtilityConfig,
+)
+from repro.errors import ConfigurationError
+from repro.overlay.messages import (
+    ADVERTISING_KINDS,
+    SUBSCRIPTION_KINDS,
+    AdvertisementMessage,
+    MessageKind,
+    MessageStats,
+)
+
+
+class TestUtilityConfig:
+    def test_clamp(self):
+        cfg = UtilityConfig()
+        assert cfg.clamp_resource_level(-1.0) == cfg.min_resource_level
+        assert cfg.clamp_resource_level(2.0) == cfg.max_resource_level
+        assert cfg.clamp_resource_level(0.4) == 0.4
+
+    def test_gamma_formula(self):
+        cfg = UtilityConfig()
+        assert cfg.gamma(0.5) == pytest.approx(0.5 ** (-math.log(0.5)))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UtilityConfig(min_resource_level=0.9, max_resource_level=0.1)
+        with pytest.raises(ConfigurationError):
+            UtilityConfig(min_distance_ms=0.0)
+
+
+class TestOverlayConfig:
+    def test_target_degree_monotone_in_capacity(self):
+        cfg = OverlayConfig()
+        degrees = [cfg.target_degree(c) for c in (1, 10, 100, 1000, 10000)]
+        assert degrees == sorted(degrees)
+        assert degrees[0] == cfg.min_degree
+
+    def test_target_degree_clamped(self):
+        cfg = OverlayConfig(min_degree=3, max_degree=5)
+        assert cfg.target_degree(1e12) == 5
+
+    def test_target_degree_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            OverlayConfig().target_degree(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverlayConfig(min_degree=10, max_degree=5)
+        with pytest.raises(ConfigurationError):
+            OverlayConfig(bootstrap_list_size=1)
+        with pytest.raises(ConfigurationError):
+            OverlayConfig(back_link_fallback_prob=2.0)
+        with pytest.raises(ConfigurationError):
+            OverlayConfig(epoch_ms=1.0, min_epoch_ms=10.0)
+
+
+class TestOtherConfigs:
+    def test_announcement_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnnouncementConfig(ssa_fanout_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            AnnouncementConfig(advertisement_ttl=0)
+        AnnouncementConfig(subscription_search_ttl=0)  # allowed
+
+    def test_rendezvous_validation(self):
+        with pytest.raises(ConfigurationError):
+            RendezvousConfig(walk_length=0)
+        with pytest.raises(ConfigurationError):
+            RendezvousConfig(min_capacity=0.0)
+
+    def test_groupcast_config_defaults_compose(self):
+        cfg = GroupCastConfig()
+        assert cfg.underlay.router_count > 0
+        assert cfg.seed >= 0
+        with pytest.raises(ConfigurationError):
+            GroupCastConfig(join_interarrival_ms=0.0)
+
+
+class TestMessageStats:
+    def test_record_and_count(self):
+        stats = MessageStats()
+        stats.record(MessageKind.PROBE, 3)
+        stats.record(MessageKind.PROBE)
+        assert stats.count(MessageKind.PROBE) == 4
+        assert stats.count(MessageKind.CONNECT) == 0
+
+    def test_total_with_and_without_filter(self):
+        stats = MessageStats()
+        stats.record(MessageKind.ADVERTISEMENT, 5)
+        stats.record(MessageKind.SUBSCRIPTION, 2)
+        stats.record(MessageKind.SUBSCRIPTION_SEARCH, 3)
+        assert stats.total() == 10
+        assert stats.total(ADVERTISING_KINDS) == 5
+        assert stats.total(SUBSCRIPTION_KINDS) == 5
+
+    def test_merge(self):
+        a, b = MessageStats(), MessageStats()
+        a.record(MessageKind.PROBE, 2)
+        b.record(MessageKind.PROBE, 3)
+        b.record(MessageKind.CONNECT)
+        a.merge(b)
+        assert a.count(MessageKind.PROBE) == 5
+        assert a.count(MessageKind.CONNECT) == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            MessageStats().record(MessageKind.PROBE, -1)
+
+    def test_snapshot_keys_are_strings(self):
+        stats = MessageStats()
+        stats.record(MessageKind.HEARTBEAT)
+        assert stats.snapshot() == {"heartbeat": 1}
+
+
+class TestAdvertisementMessage:
+    def test_forwarded_extends_path_and_decrements_ttl(self):
+        msg = AdvertisementMessage(
+            group_id=1, rendezvous=0, path=(0,), ttl=5)
+        fwd = msg.forwarded(via=3, link_latency_ms=7.0)
+        assert fwd.path == (0, 3)
+        assert fwd.ttl == 4
+        assert fwd.elapsed_ms == pytest.approx(7.0)
+        assert fwd.group_id == 1

@@ -1,0 +1,155 @@
+"""Unit tests for coordinate spaces, GNP, and Vivaldi embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.config import TransitStubConfig
+from repro.coords.base import CoordinateSpace
+from repro.coords.gnp import GNPConfig, GNPSystem
+from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
+from repro.errors import ConfigurationError, PeerNotFoundError
+from repro.network.topology import generate_transit_stub
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture()
+def underlay():
+    config = TransitStubConfig(
+        transit_domains=3,
+        transit_routers_per_domain=3,
+        stub_domains_per_transit=2,
+        routers_per_stub=3,
+    )
+    u = generate_transit_stub(config, spawn_rng(2, "topo"))
+    rng = spawn_rng(2, "attach")
+    for peer in range(40):
+        u.attach_peer(peer, rng)
+    return u
+
+
+class TestCoordinateSpace:
+    def test_set_get_roundtrip(self):
+        space = CoordinateSpace(3)
+        space.set(1, [1.0, 2.0, 3.0])
+        assert np.array_equal(space.get(1), [1.0, 2.0, 3.0])
+
+    def test_wrong_dimension_rejected(self):
+        space = CoordinateSpace(3)
+        with pytest.raises(ValueError):
+            space.set(1, [1.0, 2.0])
+
+    def test_missing_peer_raises(self):
+        with pytest.raises(PeerNotFoundError):
+            CoordinateSpace(2).get(9)
+
+    def test_distance_is_euclidean(self):
+        space = CoordinateSpace(2)
+        space.set(1, [0.0, 0.0])
+        space.set(2, [3.0, 4.0])
+        assert space.distance(1, 2) == pytest.approx(5.0)
+
+    def test_distances_from_matches_scalar(self):
+        space = CoordinateSpace(2)
+        for i in range(5):
+            space.set(i, [float(i), 0.0])
+        vec = space.distances_from(0, [1, 2, 3, 4])
+        assert np.allclose(vec, [1.0, 2.0, 3.0, 4.0])
+
+    def test_distances_from_empty(self):
+        space = CoordinateSpace(2)
+        space.set(0, [0.0, 0.0])
+        assert space.distances_from(0, []).size == 0
+
+    def test_remove_is_idempotent(self):
+        space = CoordinateSpace(2)
+        space.set(0, [0.0, 0.0])
+        space.remove(0)
+        space.remove(0)
+        assert 0 not in space
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinateSpace(0)
+
+
+class TestGNP:
+    def test_requires_fit_before_embedding(self, underlay):
+        gnp = GNPSystem()
+        space = gnp.make_space()
+        with pytest.raises(ConfigurationError):
+            gnp.embed_peer(0, space, spawn_rng(0, "x"))
+
+    def test_landmark_fit_error_is_small(self, underlay):
+        gnp = GNPSystem()
+        gnp.fit_landmarks(underlay, spawn_rng(3, "lm"))
+        assert gnp.landmark_fit_error() < 0.35
+
+    def test_embedding_preserves_distances_approximately(self, underlay):
+        gnp = GNPSystem()
+        gnp.fit_landmarks(underlay, spawn_rng(3, "lm"))
+        space = gnp.make_space()
+        peers = list(range(40))
+        gnp.embed_peers(peers, space, spawn_rng(3, "embed"))
+        rng = spawn_rng(3, "check")
+        errors = []
+        for _ in range(200):
+            a, b = rng.choice(40, size=2, replace=False)
+            true = underlay.peer_distance_ms(int(a), int(b))
+            est = space.distance(int(a), int(b))
+            errors.append(abs(est - true) / max(true, 1e-9))
+        assert float(np.median(errors)) < 0.5
+
+    def test_embed_single_peer_matches_batch_scale(self, underlay):
+        gnp = GNPSystem()
+        gnp.fit_landmarks(underlay, spawn_rng(3, "lm"))
+        space = gnp.make_space()
+        coord = gnp.embed_peer(7, space, spawn_rng(3, "one"))
+        assert coord.shape == (gnp.config.dimensions,)
+        assert 7 in space
+
+    def test_embed_peers_empty_list(self, underlay):
+        gnp = GNPSystem()
+        gnp.fit_landmarks(underlay, spawn_rng(3, "lm"))
+        out = gnp.embed_peers([], gnp.make_space(), spawn_rng(3, "none"))
+        assert out.shape == (0, gnp.config.dimensions)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GNPConfig(dimensions=0)
+        with pytest.raises(ConfigurationError):
+            GNPConfig(dimensions=5, landmark_count=5)
+        with pytest.raises(ConfigurationError):
+            GNPConfig(learning_rate=0.0)
+
+
+class TestVivaldi:
+    def test_fit_produces_coordinates_for_all_peers(self, underlay):
+        vivaldi = VivaldiSystem(VivaldiConfig(rounds=10))
+        peers = list(range(20))
+        space = vivaldi.fit(underlay, peers, spawn_rng(5, "viv"))
+        for peer in peers:
+            assert peer in space
+
+    def test_relative_error_reasonable(self, underlay):
+        vivaldi = VivaldiSystem(VivaldiConfig(rounds=25))
+        peers = list(range(40))
+        space = vivaldi.fit(underlay, peers, spawn_rng(5, "viv"))
+        err = vivaldi.relative_error(
+            underlay, space, peers, spawn_rng(5, "check"))
+        assert err < 0.6
+
+    def test_single_peer_gets_origin(self, underlay):
+        vivaldi = VivaldiSystem()
+        space = vivaldi.fit(underlay, [0], spawn_rng(5, "viv"))
+        assert np.allclose(space.get(0), 0.0)
+
+    def test_empty_peer_list(self, underlay):
+        vivaldi = VivaldiSystem()
+        space = vivaldi.fit(underlay, [], spawn_rng(5, "viv"))
+        assert len(space) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            VivaldiConfig(rounds=0)
+        with pytest.raises(ConfigurationError):
+            VivaldiConfig(cc=0.0)

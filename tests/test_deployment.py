@@ -1,0 +1,105 @@
+"""Integration tests for deployment assembly (all three overlay kinds)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GroupCastConfig
+from repro.deployment import build_deployment
+from repro.errors import ConfigurationError
+from repro.metrics.overlay_metrics import average_neighbor_distance_ms
+from repro.peers.capacity import PAPER_CAPACITY_DISTRIBUTION
+from tests.conftest import SMALL_CONFIG
+
+
+class TestBuild:
+    def test_groupcast_deployment_complete(self, groupcast_deployment):
+        d = groupcast_deployment
+        assert d.peer_count == 250
+        assert d.overlay.is_connected()
+        assert len(d.join_results) == 250
+        assert len(d.space) == 250
+        assert d.underlay.attached_peer_count == 250
+
+    def test_plod_deployment_complete(self, plod_deployment):
+        assert plod_deployment.peer_count == 250
+        assert plod_deployment.overlay.is_connected()
+        assert not plod_deployment.join_results
+
+    def test_random_deployment_complete(self, random_deployment):
+        assert random_deployment.peer_count == 250
+        assert random_deployment.overlay.is_connected()
+
+    def test_capacities_follow_table1_levels(self, groupcast_deployment):
+        levels = set(PAPER_CAPACITY_DISTRIBUTION.levels)
+        for info in groupcast_deployment.overlay.peers():
+            assert info.capacity in levels
+
+    def test_host_cache_populated(self, groupcast_deployment):
+        assert len(groupcast_deployment.host_cache) > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_deployment(10, kind="chord", config=SMALL_CONFIG)
+
+    def test_too_few_peers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_deployment(1, config=SMALL_CONFIG)
+
+    def test_determinism_per_seed(self):
+        a = build_deployment(60, kind="groupcast", config=SMALL_CONFIG)
+        b = build_deployment(60, kind="groupcast", config=SMALL_CONFIG)
+        assert sorted(a.overlay.edges()) == sorted(b.overlay.edges())
+
+    def test_seed_override_changes_result(self):
+        a = build_deployment(60, kind="groupcast", config=SMALL_CONFIG)
+        b = build_deployment(60, kind="groupcast", config=SMALL_CONFIG,
+                             seed=999)
+        assert sorted(a.overlay.edges()) != sorted(b.overlay.edges())
+
+
+class TestDistances:
+    def test_peer_distance_delegates_to_underlay(self, groupcast_deployment):
+        d = groupcast_deployment
+        assert d.peer_distance_ms(0, 1) == \
+            d.underlay.peer_distance_ms(0, 1)
+
+    def test_coordinate_distance_approximates_true(self,
+                                                   groupcast_deployment):
+        d = groupcast_deployment
+        rng = np.random.default_rng(0)
+        errors = []
+        for _ in range(100):
+            a, b = rng.choice(250, size=2, replace=False)
+            true = d.peer_distance_ms(int(a), int(b))
+            est = d.coordinate_distance_ms(int(a), int(b))
+            errors.append(abs(est - true) / max(true, 1e-9))
+        assert float(np.median(errors)) < 0.5
+
+
+class TestPaperShapes:
+    def test_groupcast_neighbors_closer_than_plod(
+            self, groupcast_deployment, plod_deployment):
+        """The headline of Figures 9-10."""
+        gc = average_neighbor_distance_ms(
+            groupcast_deployment.overlay, groupcast_deployment.underlay)
+        pl = average_neighbor_distance_ms(
+            plod_deployment.overlay, plod_deployment.underlay)
+        assert gc[gc > 0].mean() < 0.7 * pl[pl > 0].mean()
+
+    def test_powerful_peers_form_high_degree_core(self,
+                                                  groupcast_deployment):
+        overlay = groupcast_deployment.overlay
+        strong, weak = [], []
+        for info in overlay.peers():
+            degree = overlay.degree(info.peer_id)
+            if info.capacity >= 100.0:
+                strong.append(degree)
+            elif info.capacity <= 10.0:
+                weak.append(degree)
+        assert np.mean(strong) > np.mean(weak)
+
+    def test_join_protocol_message_overhead_linear(self):
+        small = build_deployment(60, kind="groupcast", config=SMALL_CONFIG)
+        large = build_deployment(180, kind="groupcast", config=SMALL_CONFIG)
+        ratio = large.stats.total() / small.stats.total()
+        assert 2.0 < ratio < 5.0  # ~linear in peer count

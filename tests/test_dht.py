@@ -1,0 +1,201 @@
+"""Unit tests for the Pastry substrate and SCRIBE multicast."""
+
+import numpy as np
+import pytest
+
+from repro.config import TransitStubConfig
+from repro.dht.pastry import (
+    ID_BITS,
+    PastryConfig,
+    PastryNetwork,
+    node_id_for_peer,
+)
+from repro.dht.scribe import build_scribe_group, group_key
+from repro.errors import (
+    ConfigurationError,
+    GroupError,
+    OverlayError,
+    PeerNotFoundError,
+)
+from repro.network.topology import generate_transit_stub
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def underlay():
+    u = generate_transit_stub(
+        TransitStubConfig(transit_domains=2, transit_routers_per_domain=3,
+                          stub_domains_per_transit=2, routers_per_stub=3),
+        spawn_rng(6, "topo"))
+    rng = spawn_rng(6, "attach")
+    for peer in range(150):
+        u.attach_peer(peer, rng)
+    return u
+
+
+@pytest.fixture(scope="module")
+def pastry(underlay):
+    return PastryNetwork(underlay, list(range(150)))
+
+
+class TestIdentifiers:
+    def test_node_ids_are_deterministic(self):
+        assert node_id_for_peer(5) == node_id_for_peer(5)
+        assert node_id_for_peer(5) != node_id_for_peer(6)
+
+    def test_node_ids_fit_in_64_bits(self):
+        for peer in range(100):
+            assert 0 <= node_id_for_peer(peer) < (1 << ID_BITS)
+
+    def test_digit_extraction(self, pastry):
+        node_id = 0xF0F0F0F0F0F0F0F0
+        assert pastry.digit(node_id, 0) == 0xF
+        assert pastry.digit(node_id, 1) == 0x0
+        assert pastry.digit(node_id, 15) == 0x0
+
+    def test_shared_prefix_length(self, pastry):
+        a = 0xAB00000000000000
+        b = 0xAB10000000000000
+        assert pastry.shared_prefix_length(a, b) == 2
+        assert pastry.shared_prefix_length(a, a) == 16
+
+    def test_ring_distance_wraps(self, pastry):
+        assert PastryNetwork.ring_distance(0, (1 << ID_BITS) - 1) == 1
+        assert PastryNetwork.ring_distance(5, 5) == 0
+
+
+class TestConstruction:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PastryConfig(digit_bits=3)
+        with pytest.raises(ConfigurationError):
+            PastryConfig(leaf_set_size=5)
+
+    def test_too_few_nodes_rejected(self, underlay):
+        with pytest.raises(OverlayError):
+            PastryNetwork(underlay, [0])
+
+    def test_leaf_sets_are_ring_neighbors(self, pastry):
+        ids = pastry.node_ids()
+        node = ids[10]
+        state = pastry._by_node_id[node]
+        # Every leaf is among the 2*half ring-adjacent ids.
+        index = ids.index(node)
+        expected = {ids[(index + off) % len(ids)]
+                    for off in (-4, -3, -2, -1, 1, 2, 3, 4)}
+        assert set(state.leaf_set) <= expected
+
+    def test_unknown_lookups_rejected(self, pastry):
+        with pytest.raises(PeerNotFoundError):
+            pastry.peer_for(123456)
+        with pytest.raises(PeerNotFoundError):
+            pastry.node_for_peer(10_000)
+
+
+class TestRouting:
+    def test_route_reaches_key_root(self, pastry):
+        rng = spawn_rng(1, "routes")
+        for _ in range(50):
+            source = int(rng.integers(150))
+            key = int(rng.integers(1 << ID_BITS, dtype=np.uint64))
+            path = pastry.route(source, key)
+            assert path[0] == source
+            root_peer = pastry.peer_for(pastry.root_of(key))
+            assert path[-1] == root_peer
+
+    def test_route_to_own_key(self, pastry):
+        node = pastry.node_for_peer(7)
+        path = pastry.route(7, node)
+        assert path == [7]
+
+    def test_route_length_logarithmic(self, pastry):
+        rng = spawn_rng(2, "routes")
+        lengths = []
+        for _ in range(100):
+            source = int(rng.integers(150))
+            key = int(rng.integers(1 << ID_BITS, dtype=np.uint64))
+            lengths.append(len(pastry.route(source, key)) - 1)
+        # log16(150) ~ 1.8; allow generous slack for leaf-set detours.
+        assert np.mean(lengths) < 6.0
+        assert max(lengths) <= 12
+
+    def test_route_latency_positive(self, pastry):
+        path = pastry.route(3, node_id_for_peer(120))
+        if len(path) > 1:
+            assert pastry.route_latency_ms(path) > 0.0
+
+    def test_root_of_is_numerically_closest(self, pastry):
+        rng = spawn_rng(3, "roots")
+        ids = pastry.node_ids()
+        for _ in range(30):
+            key = int(rng.integers(1 << ID_BITS, dtype=np.uint64))
+            root = pastry.root_of(key)
+            best = min(ids,
+                       key=lambda i: PastryNetwork.ring_distance(i, key))
+            assert PastryNetwork.ring_distance(root, key) == \
+                PastryNetwork.ring_distance(best, key)
+
+    def test_join_state_cost_scales_with_log_n(self, underlay):
+        small = PastryNetwork(underlay, list(range(20)))
+        large = PastryNetwork(underlay, list(range(150)))
+        assert large.join_state_cost() > small.join_state_cost()
+
+
+class TestScribe:
+    def test_group_tree_covers_members(self, pastry):
+        members = list(range(0, 60, 2))
+        group = build_scribe_group(pastry, "room-1", members)
+        assert set(members) <= set(group.members)
+        group.tree.validate()
+
+    def test_root_is_key_root(self, pastry):
+        group = build_scribe_group(pastry, "room-2", [1, 2, 3])
+        expected_root = pastry.peer_for(
+            pastry.root_of(group_key("room-2")))
+        assert group.root_peer == expected_root
+        assert group.tree.root == expected_root
+
+    def test_group_key_deterministic(self):
+        assert group_key("a") == group_key("a")
+        assert group_key("a") != group_key("b")
+
+    def test_join_hops_recorded(self, pastry):
+        members = list(range(20))
+        group = build_scribe_group(pastry, "room-3", members)
+        for member in members:
+            assert member in group.join_hops
+            assert group.join_hops[member] >= 0
+
+    def test_shared_routes_merge(self, pastry):
+        """Later joiners should sometimes stop at existing forwarders."""
+        members = list(range(80))
+        group = build_scribe_group(pastry, "room-4", members)
+        total_hops = sum(group.join_hops.values())
+        independent = sum(
+            len(pastry.route(m, group.key)) - 1
+            for m in members if m != group.root_peer)
+        assert total_hops <= independent
+
+    def test_source_to_root_latency(self, pastry, underlay):
+        group = build_scribe_group(pastry, "room-5", [4, 5, 6])
+        latency = group.source_to_root_latency_ms(4, underlay)
+        assert latency == pytest.approx(
+            underlay.peer_distance_ms(4, group.root_peer))
+
+    def test_non_member_source_rejected(self, pastry, underlay):
+        group = build_scribe_group(pastry, "room-6", [4, 5])
+        with pytest.raises(GroupError):
+            group.source_to_root_latency_ms(99, underlay)
+
+    def test_empty_member_list_rejected(self, pastry):
+        with pytest.raises(GroupError):
+            build_scribe_group(pastry, "room-7", [])
+
+    def test_multicast_through_scribe_tree(self, pastry, underlay):
+        from repro.groupcast.dissemination import disseminate
+
+        members = list(range(0, 100, 3))
+        group = build_scribe_group(pastry, "room-8", members)
+        report = disseminate(group.tree, group.root_peer, underlay)
+        reached = set(report.member_delays_ms)
+        assert set(group.members) - {group.root_peer} <= reached

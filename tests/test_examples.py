@@ -1,0 +1,56 @@
+"""Smoke tests for the runnable examples.
+
+Every example must at least compile; the fast ones are executed
+end-to-end with their output sanity-checked, so the examples cannot rot
+as the library evolves.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute in the unit-test suite.
+FAST_EXAMPLES = {
+    "quickstart.py": ("relative delay penalty", "link stress"),
+}
+
+
+def test_expected_examples_present():
+    assert set(ALL_EXAMPLES) >= {
+        "quickstart.py",
+        "conference.py",
+        "streaming_esm.py",
+        "skype_scaling.py",
+        "supernode_overlay.py",
+        "community_advertising.py",
+        "trusted_groups.py",
+    }
+
+
+@pytest.mark.parametrize("example", ALL_EXAMPLES)
+def test_example_compiles(example):
+    py_compile.compile(str(EXAMPLES_DIR / example), doraise=True)
+
+
+@pytest.mark.parametrize("example", sorted(FAST_EXAMPLES))
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    for marker in FAST_EXAMPLES[example]:
+        assert marker in completed.stdout
+
+
+@pytest.mark.parametrize("example", ALL_EXAMPLES)
+def test_example_has_module_docstring_with_run_line(example):
+    source = (EXAMPLES_DIR / example).read_text()
+    assert source.startswith('"""')
+    assert f"python examples/{example}" in source

@@ -1,0 +1,224 @@
+"""Tests for the experiment harness modules and the CLI runner."""
+
+import pytest
+
+from repro.experiments import app_performance, preference, service_lookup
+from repro.experiments.common import (
+    ExperimentResult,
+    group_member_count,
+    sweep_sizes,
+)
+from repro.experiments.overlay_structure import (
+    run_degree_distribution,
+    run_neighbor_distance,
+)
+from repro.experiments.runner import main as runner_main
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult("t", columns=("a", "b"))
+        result.add_row(1, 2.0)
+        result.add_row(3, 4.0)
+        assert result.column("a") == [1, 3]
+        assert result.column("b") == [2.0, 4.0]
+
+    def test_row_length_validated(self):
+        result = ExperimentResult("t", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_format_table_aligns(self):
+        result = ExperimentResult("Title", columns=("name", "value"))
+        result.add_row("groupcast", 1.23456)
+        text = result.format_table()
+        assert text.splitlines()[0] == "Title"
+        assert "groupcast" in text
+        assert "1.235" in text  # 4 significant digits
+
+
+class TestSweepHelpers:
+    def test_explicit_sizes_win(self):
+        assert sweep_sizes([10, 20]) == (10, 20)
+
+    def test_default_sizes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert sweep_sizes() == (1000, 2000, 4000, 8000)
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert sweep_sizes()[-1] == 32000
+
+    def test_group_member_count(self):
+        assert group_member_count(1000) == 100
+        assert group_member_count(50) == 16  # floor
+
+
+class TestPreferenceExperiment:
+    def test_rows_cover_resource_levels(self):
+        result = preference.run()
+        assert result.column("resource_level") == [0.05, 0.50, 0.95]
+
+    def test_weak_peer_distance_dominated(self):
+        result = preference.run()
+        weak = dict(zip(result.columns, result.rows[0]))
+        assert weak["corr_pref_distance"] < -0.9
+
+    def test_deterministic_given_seed(self):
+        a = preference.run(seed=3)
+        b = preference.run(seed=3)
+        assert a.rows == b.rows
+
+
+class TestStructureExperiments:
+    def test_degree_distribution_rows(self):
+        result = run_degree_distribution(peer_count=300, seed=5)
+        assert result.column("overlay") == ["groupcast", "plod"]
+        for exponent in result.column("powerlaw_exponent"):
+            assert exponent > 0.0
+
+    def test_neighbor_distance_rows(self):
+        result = run_neighbor_distance(peer_count=200, seed=5)
+        rows = {r[0]: dict(zip(result.columns, r)) for r in result.rows}
+        assert rows["groupcast"]["mean_ms"] < rows["plod"]["mean_ms"]
+
+
+class TestSweepExperiments:
+    @pytest.fixture(scope="class")
+    def lookup(self):
+        return service_lookup.run(sizes=[150], seed=5,
+                                  rendezvous_points=3)
+
+    def test_lookup_produces_all_figures(self, lookup):
+        assert set(lookup) == {"fig11", "fig12", "fig13"}
+        assert len(lookup["fig11"].rows) == 4  # 2 overlays x 2 schemes
+        assert len(lookup["fig13"].rows) == 2  # SSA only
+
+    def test_lookup_rates_are_probabilities(self, lookup):
+        for rate in (lookup["fig12"].column("receiving_rate")
+                     + lookup["fig12"].column("success_rate")):
+            assert 0.0 <= rate <= 1.0
+
+    def test_app_produces_all_figures(self):
+        results = app_performance.run(sizes=[150], seed=5,
+                                      groups_per_overlay=2)
+        assert set(results) == {"fig14", "fig15", "fig16", "fig17"}
+        for penalty in results["fig14"].column("delay_penalty"):
+            assert penalty >= 1.0
+        for stress in results["fig15"].column("link_stress"):
+            assert stress >= 1.0
+
+
+class TestRunnerCLI:
+    def test_preference_runs(self, capsys):
+        assert runner_main(["preference"]) == 0
+        out = capsys.readouterr().out
+        assert "Figures 1-6" in out
+
+    def test_multiple_experiments_deduplicated(self, capsys):
+        assert runner_main(["fig1", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Figures 1-6") == 1
+
+    def test_sizes_flag(self, capsys):
+        assert runner_main(["fig9", "--sizes", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "150 peers" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            runner_main(["figure99"])
+
+
+class TestDiameterExperiment:
+    def test_groupcast_diameter_lower_than_plod(self):
+        from repro.experiments.overlay_structure import run_diameter
+
+        result = run_diameter(peer_count=400, seed=5)
+        rows = {r[0]: dict(zip(result.columns, r)) for r in result.rows}
+        assert rows["groupcast"]["estimated_diameter"] < \
+            rows["plod"]["estimated_diameter"]
+        assert rows["groupcast"]["hbar"] > 0.5
+
+    def test_runner_exposes_diameter(self, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        assert runner_main(["diameter", "--sizes", "200"]) == 0
+        assert "estimated_diameter" in capsys.readouterr().out
+
+
+class TestAnnouncementForSize:
+    def test_schedule_matches_defaults_at_laptop_sizes(self):
+        from repro.experiments.common import announcement_for_size
+
+        for size in (500, 1000, 4000, 8000):
+            assert announcement_for_size(size).advertisement_ttl == 6
+
+    def test_schedule_grows_at_paper_scale(self):
+        from repro.experiments.common import announcement_for_size
+
+        assert announcement_for_size(16000).advertisement_ttl == 7
+        assert announcement_for_size(24000).advertisement_ttl == 8
+        assert announcement_for_size(32000).advertisement_ttl == 9
+
+    def test_explicit_base_ttl_is_never_reduced(self):
+        from repro.config import AnnouncementConfig
+        from repro.experiments.common import announcement_for_size
+
+        base = AnnouncementConfig(advertisement_ttl=12)
+        assert announcement_for_size(32000, base).advertisement_ttl == 12
+
+    def test_other_fields_preserved(self):
+        from repro.config import AnnouncementConfig
+        from repro.experiments.common import announcement_for_size
+
+        base = AnnouncementConfig(ssa_fanout_fraction=0.5,
+                                  ssa_strategy="random")
+        scaled = announcement_for_size(32000, base)
+        assert scaled.ssa_fanout_fraction == 0.5
+        assert scaled.ssa_strategy == "random"
+
+
+class TestChurnCostExperiment:
+    def test_groupcast_churn_world_runs(self):
+        from repro.experiments.churn_cost import run_groupcast_churn
+
+        outcome = run_groupcast_churn(
+            max_joins=40, mean_lifetime_ms=30_000.0, seed=5,
+            sim_horizon_ms=30_000.0)
+        assert outcome["events"] >= 40
+        assert outcome["per_event"] > 0.0
+
+    def test_pastry_state_cost_positive(self):
+        from repro.experiments.churn_cost import (
+            pastry_state_cost_per_event,
+        )
+
+        assert pastry_state_cost_per_event(60, seed=5) > 5.0
+
+
+class TestResilienceExperiment:
+    def test_recovery_policies_ordered(self):
+        from repro.experiments.resilience import run
+
+        result = run(peer_count=250, members_count=50, crash_waves=4,
+                     seed=5)
+        rows = {r[0]: dict(zip(result.columns, r)) for r in result.rows}
+        # Any recovery beats none on delivery and member survival.
+        assert rows["repair"]["final_delivery_ratio"] >= \
+            rows["none"]["final_delivery_ratio"]
+        assert rows["replication"]["final_delivery_ratio"] >= \
+            rows["none"]["final_delivery_ratio"]
+        assert rows["repair"]["members_lost"] <= rows["none"]["members_lost"]
+        # Replication repairs more cheaply than search repair.
+        assert rows["replication"]["repair_messages"] <= \
+            rows["repair"]["repair_messages"]
+        # Policy "none" spends nothing on repair by definition.
+        assert rows["none"]["repair_messages"] == 0
+
+    def test_runner_exposes_resilience(self, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        assert runner_main(["resilience"]) == 0
+        out = capsys.readouterr().out
+        assert "replication" in out

@@ -1,0 +1,88 @@
+"""Tests for experiment result export and the runner's output flags."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.export import (
+    render,
+    slug_for,
+    to_csv,
+    to_json,
+    write_result,
+)
+from repro.experiments.runner import main as runner_main
+
+
+@pytest.fixture()
+def result():
+    r = ExperimentResult(
+        title="Figure 99: a test figure",
+        columns=("peers", "overlay", "value"),
+    )
+    r.add_row(1000, "groupcast", 1.5)
+    r.add_row(1000, "plod", 3.25)
+    return r
+
+
+class TestFormats:
+    def test_csv_roundtrip(self, result):
+        text = to_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0] == "peers,overlay,value"
+        assert lines[1] == "1000,groupcast,1.5"
+        assert len(lines) == 3
+
+    def test_json_structure(self, result):
+        data = json.loads(to_json(result))
+        assert data["title"].startswith("Figure 99")
+        assert data["columns"] == ["peers", "overlay", "value"]
+        assert data["rows"][1] == {
+            "peers": 1000, "overlay": "plod", "value": 3.25}
+
+    def test_json_handles_numpy_scalars(self):
+        import numpy as np
+
+        r = ExperimentResult(title="t", columns=("x",))
+        r.add_row(np.float64(1.5))
+        data = json.loads(to_json(r))
+        assert data["rows"][0]["x"] == 1.5
+
+    def test_render_dispatch(self, result):
+        assert render(result, "text") == result.format_table()
+        assert render(result, "csv") == to_csv(result)
+        assert render(result, "json") == to_json(result)
+        with pytest.raises(ConfigurationError):
+            render(result, "xml")
+
+    def test_slug(self, result):
+        assert slug_for(result) == "figure-99"
+
+    def test_write_result(self, result, tmp_path):
+        path = write_result(result, "csv", tmp_path / "out")
+        assert path.name == "figure-99.csv"
+        assert path.read_text().startswith("peers,overlay,value")
+
+
+class TestRunnerOutputFlags:
+    def test_csv_to_stdout(self, capsys):
+        assert runner_main(["preference", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("resource_level,")
+
+    def test_output_directory(self, tmp_path, capsys):
+        assert runner_main([
+            "preference", "--format", "json",
+            "--output", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        data = json.loads(files[0].read_text())
+        assert len(data["rows"]) == 3
+
+
+def test_write_result_text_format(result, tmp_path):
+    path = write_result(result, "text", tmp_path)
+    assert path.suffix == ".txt"
+    assert path.read_text().startswith("Figure 99")

@@ -1,0 +1,170 @@
+"""Cross-module integration tests: full pipeline invariants.
+
+These tests exercise the whole stack (underlay -> coordinates -> overlay
+-> announcement -> subscription -> dissemination -> metrics) and assert
+system-level invariants that no single module can check alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.dissemination import disseminate
+from repro.groupcast.subscription import subscribe_members
+from repro.metrics.tree_metrics import link_stress, relative_delay_penalty
+from repro.network.multicast import build_ip_multicast_tree
+from repro.sim.random import spawn_rng
+
+
+def establish(deployment, scheme, members, seed=0):
+    rng = spawn_rng(seed, "integration")
+    rendezvous = deployment.peer_ids()[0]
+    advertisement = propagate_advertisement(
+        deployment.overlay, rendezvous, 0, scheme,
+        deployment.peer_distance_ms, rng,
+        deployment.config.announcement, deployment.config.utility)
+    tree, subscription = subscribe_members(
+        deployment.overlay, advertisement, members,
+        deployment.peer_distance_ms, deployment.config.announcement)
+    return advertisement, tree, subscription
+
+
+class TestTreeEdgesComeFromOverlay:
+    """Every spanning-tree edge must be an overlay link (reverse paths)
+    or a search graft between overlay-adjacent peers."""
+
+    @pytest.mark.parametrize("scheme", ["ssa", "nssa"])
+    def test_tree_edges_are_overlay_links(self, groupcast_deployment,
+                                          scheme):
+        deployment = groupcast_deployment
+        members = deployment.peer_ids()[1:60]
+        _, tree, _ = establish(deployment, scheme, members)
+        for parent, child in tree.edges():
+            assert deployment.overlay.has_link(parent, child)
+
+
+class TestDelaysAreConsistent:
+    def test_esm_delay_decomposes_into_tree_path(self,
+                                                 groupcast_deployment):
+        deployment = groupcast_deployment
+        members = deployment.peer_ids()[1:40]
+        _, tree, _ = establish(deployment, "ssa", members)
+        source = tree.root
+        report = disseminate(tree, source, deployment.underlay)
+        for member, delay in report.member_delays_ms.items():
+            path = tree.path_to_root(member)
+            expected = sum(
+                deployment.peer_distance_ms(a, b)
+                for a, b in zip(path, path[1:]))
+            assert delay == pytest.approx(expected)
+
+    def test_rdp_at_least_one_from_any_source(self, groupcast_deployment):
+        deployment = groupcast_deployment
+        members = deployment.peer_ids()[1:40]
+        _, tree, _ = establish(deployment, "ssa", members)
+        for source in sorted(tree.members)[:5]:
+            report = disseminate(tree, source, deployment.underlay)
+            receivers = [m for m in tree.members if m != source]
+            ip_tree = build_ip_multicast_tree(
+                deployment.underlay, source, receivers)
+            assert relative_delay_penalty(report, ip_tree) >= 1.0 - 1e-9
+            assert link_stress(report, ip_tree) >= 1.0 - 1e-9
+
+
+class TestSchemeComparisons:
+    def test_nssa_reaches_at_least_as_many_peers(self,
+                                                 groupcast_deployment):
+        deployment = groupcast_deployment
+        members = deployment.peer_ids()[1:50]
+        ssa_ad, _, _ = establish(deployment, "ssa", members)
+        nssa_ad, _, _ = establish(deployment, "nssa", members)
+        assert len(nssa_ad.receipts) >= len(ssa_ad.receipts)
+
+    def test_nssa_costs_more_messages(self, groupcast_deployment):
+        deployment = groupcast_deployment
+        members = deployment.peer_ids()[1:50]
+        ssa_ad, _, _ = establish(deployment, "ssa", members)
+        nssa_ad, _, _ = establish(deployment, "nssa", members)
+        assert ssa_ad.messages_sent < nssa_ad.messages_sent
+
+    def test_subscription_success_high_on_groupcast(self,
+                                                    groupcast_deployment):
+        deployment = groupcast_deployment
+        members = deployment.peer_ids()[1:80]
+        _, _, subscription = establish(deployment, "ssa", members)
+        assert subscription.success_rate > 0.95
+
+
+class TestStatsConservation:
+    def test_middleware_ledger_counts_every_phase(self):
+        from repro.groupcast.middleware import GroupCastMiddleware
+        from repro.overlay.messages import (
+            ADVERTISING_KINDS,
+            SUBSCRIPTION_KINDS,
+            MessageKind,
+        )
+        from tests.conftest import SMALL_CONFIG
+        from repro.deployment import build_deployment
+
+        deployment = build_deployment(120, kind="groupcast",
+                                      config=SMALL_CONFIG)
+        middleware = GroupCastMiddleware(deployment)
+        group = middleware.create_group(middleware.sample_members(20))
+        source = sorted(group.members)[0]
+        middleware.publish(group.group_id, source)
+        stats = middleware.stats
+        assert stats.total(ADVERTISING_KINDS) == \
+            group.advertisement.messages_sent
+        assert stats.total(SUBSCRIPTION_KINDS) >= \
+            group.subscription.subscription_messages
+        assert stats.count(MessageKind.PAYLOAD) == \
+            group.published[0].overlay_messages
+
+
+class TestDeterminism:
+    def test_full_pipeline_is_reproducible(self):
+        from tests.conftest import SMALL_CONFIG
+        from repro.deployment import build_deployment
+
+        outcomes = []
+        for _ in range(2):
+            deployment = build_deployment(100, kind="groupcast",
+                                          config=SMALL_CONFIG)
+            members = deployment.peer_ids()[1:30]
+            advertisement, tree, _ = establish(deployment, "ssa", members,
+                                               seed=9)
+            report = disseminate(tree, tree.root, deployment.underlay)
+            outcomes.append((
+                advertisement.messages_sent,
+                sorted(tree.edges()),
+                report.ip_messages,
+            ))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestFailureRecoveryEndToEnd:
+    def test_group_survives_relay_failures(self):
+        from tests.conftest import SMALL_CONFIG
+        from repro.deployment import build_deployment
+        from repro.groupcast.middleware import GroupCastMiddleware
+
+        deployment = build_deployment(150, kind="groupcast",
+                                      config=SMALL_CONFIG)
+        middleware = GroupCastMiddleware(deployment)
+        group = middleware.create_group(middleware.sample_members(30))
+        rng = np.random.default_rng(4)
+        survivors = set(group.members)
+        for _ in range(3):
+            relays = [r for r in group.tree.relays
+                      if group.tree.children(r)]
+            if not relays:
+                break
+            victim = relays[int(rng.integers(len(relays)))]
+            report = group.handle_failure(victim, deployment.overlay)
+            survivors -= report.lost_members
+            group.tree.validate()
+        # Whatever survived the churn can still receive payloads.
+        source = sorted(group.tree.members)[0]
+        report = disseminate(group.tree, source, deployment.underlay)
+        reached = set(report.member_delays_ms) | {source}
+        assert group.tree.members <= reached

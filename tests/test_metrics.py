@@ -1,0 +1,132 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupError, OverlayError
+from repro.groupcast.dissemination import DisseminationReport
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.metrics.overlay_metrics import power_law_fit
+from repro.metrics.tree_metrics import (
+    aggregate_workloads,
+    link_stress,
+    node_stress,
+    overload_index,
+    relative_delay_penalty,
+)
+from repro.network.multicast import IPMulticastTree
+
+
+def make_report(delays, ip_messages=10):
+    return DisseminationReport(
+        source=0,
+        member_delays_ms=delays,
+        overlay_messages=len(delays),
+        ip_messages=ip_messages,
+        physical_link_stress={},
+    )
+
+
+def make_ip_tree(delays, links=5):
+    return IPMulticastTree(
+        source=0,
+        subscribers=tuple(delays),
+        links=frozenset((i, i + 1) for i in range(links)),
+        delays_ms=delays,
+    )
+
+
+class TestDelayPenalty:
+    def test_ratio_of_average_delays(self):
+        report = make_report({1: 30.0, 2: 30.0})
+        ip = make_ip_tree({1: 10.0, 2: 20.0})
+        assert relative_delay_penalty(report, ip) == pytest.approx(2.0)
+
+    def test_lower_bound_is_one_when_equal(self):
+        report = make_report({1: 15.0})
+        ip = make_ip_tree({1: 15.0})
+        assert relative_delay_penalty(report, ip) == pytest.approx(1.0)
+
+    def test_zero_ip_delay_rejected(self):
+        report = make_report({1: 15.0})
+        ip = make_ip_tree({1: 0.0})
+        with pytest.raises(GroupError):
+            relative_delay_penalty(report, ip)
+
+
+class TestLinkStress:
+    def test_ratio_of_message_counts(self):
+        report = make_report({1: 1.0}, ip_messages=15)
+        ip = make_ip_tree({1: 1.0}, links=5)
+        assert link_stress(report, ip) == pytest.approx(3.0)
+
+
+class TestNodeStress:
+    def test_single_star_tree(self):
+        tree = SpanningTree(root=0)
+        for leaf in (1, 2, 3):
+            tree.graft_chain([leaf, 0])
+        assert node_stress([tree]) == pytest.approx(3.0)
+
+    def test_averaged_over_multiple_trees(self):
+        star = SpanningTree(root=0)
+        for leaf in (1, 2, 3):
+            star.graft_chain([leaf, 0])
+        chain = SpanningTree(root=0)
+        chain.graft_chain([2, 1, 0])
+        # Fanouts: star root 3; chain nodes 1, 1 -> mean 5/3.
+        assert node_stress([star, chain]) == pytest.approx(5.0 / 3.0)
+
+    def test_empty(self):
+        assert node_stress([]) == 0.0
+        assert node_stress([SpanningTree(root=0)]) == 0.0
+
+
+class TestOverload:
+    def test_workload_aggregation_across_groups(self):
+        t1 = SpanningTree(root=0)
+        t1.graft_chain([1, 0])
+        t1.graft_chain([2, 0])
+        t2 = SpanningTree(root=0)
+        t2.graft_chain([1, 0])
+        loads = aggregate_workloads([t1, t2])
+        assert loads[0] == 3
+        assert 1 not in loads  # leaves carry no forwarding load
+
+    def test_overload_index_formula(self):
+        workloads = {0: 5, 1: 1, 2: 10}
+        capacities = {0: 1.0, 1: 10.0, 2: 1.0}
+        # Overloaded: 0 (excess 4) and 2 (excess 9); fraction 2/3.
+        expected = (2.0 / 3.0) * ((4 + 9) / 2.0)
+        assert overload_index(workloads, capacities) == pytest.approx(
+            expected)
+
+    def test_no_overload_gives_zero(self):
+        assert overload_index({0: 1}, {0: 10.0}) == 0.0
+        assert overload_index({}, {}) == 0.0
+
+    def test_capacity_scale(self):
+        workloads = {0: 5}
+        capacities = {0: 1.0}
+        assert overload_index(workloads, capacities,
+                              capacity_scale=10.0) == 0.0
+        with pytest.raises(GroupError):
+            overload_index(workloads, capacities, capacity_scale=0.0)
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        degrees = np.arange(1, 50)
+        counts = np.round(1e4 * degrees ** -2.0).astype(int)
+        keep = counts > 0
+        exponent, r2 = power_law_fit(degrees[keep], counts[keep])
+        assert exponent == pytest.approx(2.0, abs=0.15)
+        assert r2 > 0.98
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(OverlayError):
+            power_law_fit(np.array([1, 2]), np.array([5, 3]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(OverlayError):
+            power_law_fit(np.array([1, 2, 3]), np.array([5, 3]))

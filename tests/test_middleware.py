@@ -1,0 +1,195 @@
+"""Integration tests for the GroupCastMiddleware facade and groups."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.groupcast.middleware import GroupCastMiddleware
+
+
+@pytest.fixture(scope="module")
+def middleware(request):
+    from tests.conftest import SMALL_CONFIG
+    from repro.deployment import build_deployment
+
+    deployment = build_deployment(250, kind="groupcast", config=SMALL_CONFIG)
+    return GroupCastMiddleware(deployment)
+
+
+@pytest.fixture()
+def group(middleware):
+    members = middleware.sample_members(25)
+    return middleware.create_group(members=members)
+
+
+class TestGroupLifecycle:
+    def test_create_group_subscribes_members(self, middleware, group):
+        assert len(group.members) >= 20  # near-perfect subscription
+        group.tree.validate()
+
+    def test_rendezvous_auto_selected_is_capable_or_best(self, middleware,
+                                                         group):
+        capacity = middleware.deployment.peer_info(group.rendezvous).capacity
+        assert capacity >= 1.0
+
+    def test_explicit_rendezvous_honoured(self, middleware):
+        members = middleware.sample_members(10)
+        rendezvous = middleware.peer_ids()[0]
+        group = middleware.create_group(members, rendezvous=rendezvous)
+        assert group.rendezvous == rendezvous
+
+    def test_group_lookup(self, middleware, group):
+        assert middleware.group(group.group_id) is group
+        with pytest.raises(GroupError):
+            middleware.group(10_000)
+
+    def test_close_group(self, middleware):
+        group = middleware.create_group(middleware.sample_members(5))
+        middleware.close_group(group.group_id)
+        with pytest.raises(GroupError):
+            middleware.group(group.group_id)
+
+    def test_scheme_selection(self, middleware):
+        members = middleware.sample_members(10)
+        nssa_group = middleware.create_group(members, scheme="nssa")
+        assert nssa_group.scheme == "nssa"
+
+    def test_empty_member_list_rejected(self, middleware):
+        with pytest.raises(GroupError):
+            middleware.create_group([])
+
+    def test_group_ids_are_unique(self, middleware):
+        a = middleware.create_group(middleware.sample_members(5))
+        b = middleware.create_group(middleware.sample_members(5))
+        assert a.group_id != b.group_id
+
+
+class TestPublish:
+    def test_publish_reaches_all_members(self, middleware, group):
+        source = sorted(group.members)[0]
+        report = middleware.publish(group.group_id, source)
+        assert set(report.member_delays_ms) == set(group.members) - {source}
+
+    def test_any_member_may_publish(self, middleware, group):
+        for source in sorted(group.members)[:3]:
+            report = middleware.publish(group.group_id, source)
+            assert report.source == source
+
+    def test_non_member_cannot_publish(self, middleware, group):
+        outsiders = set(middleware.peer_ids()) - set(group.members)
+        with pytest.raises(GroupError):
+            middleware.publish(group.group_id, outsiders.pop())
+
+    def test_publications_recorded_on_group(self, middleware):
+        group = middleware.create_group(middleware.sample_members(8))
+        source = sorted(group.members)[0]
+        middleware.publish(group.group_id, source)
+        middleware.publish(group.group_id, source)
+        assert len(group.published) == 2
+
+
+class TestIPMulticastReference:
+    def test_reference_tree_covers_members(self, middleware, group):
+        source = sorted(group.members)[0]
+        ip_tree = middleware.ip_multicast_reference(group.group_id, source)
+        assert set(ip_tree.subscribers) == set(group.members) - {source}
+
+    def test_esm_is_never_faster_than_ip_multicast(self, middleware, group):
+        source = sorted(group.members)[0]
+        report = middleware.publish(group.group_id, source)
+        ip_tree = middleware.ip_multicast_reference(group.group_id, source)
+        assert (report.average_member_delay_ms
+                >= ip_tree.average_delay_ms - 1e-9)
+
+    def test_esm_ip_messages_at_least_multicast_links(self, middleware,
+                                                      group):
+        source = sorted(group.members)[0]
+        report = middleware.publish(group.group_id, source)
+        ip_tree = middleware.ip_multicast_reference(group.group_id, source)
+        assert report.ip_messages >= ip_tree.link_count
+
+
+class TestMemberLeave:
+    def test_leaf_member_leaves_cleanly(self, middleware):
+        group = middleware.create_group(middleware.sample_members(12))
+        leaf_members = [m for m in group.members
+                        if m != group.rendezvous
+                        and not group.tree.children(m)]
+        assert leaf_members, "expected at least one leaf member"
+        victim = leaf_members[0]
+        group.leave(victim)
+        assert victim not in group.members
+        group.tree.validate()
+
+    def test_interior_member_becomes_relay(self, middleware):
+        group = middleware.create_group(middleware.sample_members(20))
+        interior = [m for m in group.members
+                    if m != group.rendezvous and group.tree.children(m)]
+        if not interior:
+            pytest.skip("no interior members in this tree")
+        victim = interior[0]
+        group.leave(victim)
+        assert victim not in group.members
+        assert victim in group.tree.relays
+        group.tree.validate()
+
+    def test_rendezvous_cannot_leave(self, middleware, group):
+        with pytest.raises(GroupError):
+            group.leave(group.rendezvous)
+
+    def test_non_member_cannot_leave(self, middleware, group):
+        outsiders = set(middleware.peer_ids()) - set(group.members)
+        with pytest.raises(GroupError):
+            group.leave(outsiders.pop())
+
+
+class TestSampling:
+    def test_sample_members_unique(self, middleware):
+        members = middleware.sample_members(50)
+        assert len(set(members)) == 50
+
+    def test_sample_excludes(self, middleware):
+        excluded = middleware.peer_ids()[:100]
+        members = middleware.sample_members(30, exclude=excluded)
+        assert set(members).isdisjoint(excluded)
+
+    def test_oversampling_rejected(self, middleware):
+        with pytest.raises(GroupError):
+            middleware.sample_members(10_000)
+
+    def test_build_classmethod(self):
+        from tests.conftest import SMALL_CONFIG
+
+        mw = GroupCastMiddleware.build(
+            peer_count=60, config=SMALL_CONFIG, overlay_kind="random")
+        assert mw.peer_count == 60
+        group = mw.create_group(mw.sample_members(10))
+        assert group.members
+
+
+class TestConstructionValidation:
+    def test_unknown_default_scheme_rejected(self, middleware):
+        from repro.errors import GroupError
+        from repro.groupcast.middleware import GroupCastMiddleware
+
+        with pytest.raises(GroupError):
+            GroupCastMiddleware(middleware.deployment,
+                                default_scheme="multicast")
+
+    def test_nssa_default_scheme_applies(self, middleware):
+        from repro.groupcast.middleware import GroupCastMiddleware
+
+        nssa_mw = GroupCastMiddleware(middleware.deployment,
+                                      default_scheme="nssa")
+        group = nssa_mw.create_group(nssa_mw.sample_members(8))
+        assert group.scheme == "nssa"
+
+    def test_custom_capacity_distribution(self):
+        from repro.peers.capacity import CapacityDistribution
+        from repro.groupcast.middleware import GroupCastMiddleware
+        from tests.conftest import SMALL_CONFIG
+
+        uniform = CapacityDistribution(levels=(10.0,), weights=(1.0,))
+        mw = GroupCastMiddleware.build(
+            peer_count=60, config=SMALL_CONFIG, capacities=uniform)
+        assert all(info.capacity == 10.0
+                   for info in mw.deployment.overlay.peers())

@@ -1,0 +1,128 @@
+"""Tests for middleware-level failure handling across groups."""
+
+import pytest
+
+from repro.deployment import build_deployment
+from repro.groupcast.group import CommunicationGroup
+from repro.groupcast.middleware import GroupCastMiddleware
+from repro.groupcast.repair import RepairReport
+from tests.conftest import SMALL_CONFIG
+
+
+@pytest.fixture()
+def middleware():
+    deployment = build_deployment(180, kind="groupcast",
+                                  config=SMALL_CONFIG)
+    return GroupCastMiddleware(deployment)
+
+
+def test_failure_removes_peer_everywhere(middleware):
+    group = middleware.create_group(middleware.sample_members(25))
+    relays = [r for r in group.tree.relays if group.tree.children(r)]
+    if not relays:
+        pytest.skip("no interior relay in this tree")
+    victim = relays[0]
+    middleware.handle_peer_failure(victim)
+    assert victim not in middleware.deployment.overlay
+    assert victim not in middleware.deployment.host_cache
+    assert victim not in group.tree
+    group.tree.validate()
+
+
+def test_failure_repairs_every_affected_group(middleware):
+    groups = [middleware.create_group(middleware.sample_members(25))
+              for _ in range(3)]
+    # Find a peer forwarding in at least two trees.
+    shared = None
+    for group in groups:
+        for node in group.tree.nodes():
+            if node == group.tree.root:
+                continue
+            count = sum(1 for g in groups if node in g.tree
+                        and node != g.rendezvous)
+            if count >= 2:
+                shared = node
+                break
+        if shared:
+            break
+    if shared is None:
+        pytest.skip("no shared forwarding peer across groups")
+    outcomes = middleware.handle_peer_failure(shared)
+    assert len(outcomes) >= 2
+    for group in groups:
+        group.tree.validate()
+
+
+def test_unaffected_groups_untouched(middleware):
+    group = middleware.create_group(middleware.sample_members(10))
+    outsiders = [p for p in middleware.peer_ids()
+                 if p not in group.tree]
+    victim = outsiders[0]
+    edges_before = sorted(group.tree.edges())
+    outcomes = middleware.handle_peer_failure(victim)
+    assert group.group_id not in outcomes
+    assert sorted(group.tree.edges()) == edges_before
+
+
+def test_rendezvous_failure_reestablishes_group(middleware):
+    group = middleware.create_group(middleware.sample_members(20))
+    old_id = group.group_id
+    rendezvous = group.rendezvous
+    members_before = set(group.members) - {rendezvous}
+    outcomes = middleware.handle_peer_failure(rendezvous)
+    assert old_id in outcomes
+    replacement = outcomes[old_id]
+    assert isinstance(replacement, CommunicationGroup)
+    assert replacement.group_id != old_id
+    assert replacement.rendezvous != rendezvous
+    # Most members survive into the new group (search may drop a few).
+    assert len(set(replacement.members) & members_before) >= \
+        0.7 * len(members_before)
+
+
+def test_repair_reports_returned(middleware):
+    group = middleware.create_group(middleware.sample_members(25))
+    relays = [r for r in group.tree.relays if group.tree.children(r)]
+    if not relays:
+        pytest.skip("no interior relay in this tree")
+    outcomes = middleware.handle_peer_failure(relays[0])
+    report = outcomes[group.group_id]
+    assert isinstance(report, RepairReport)
+
+
+def test_publish_still_works_after_failures(middleware):
+    group = middleware.create_group(middleware.sample_members(30))
+    for _ in range(3):
+        relays = [r for r in group.tree.relays
+                  if group.tree.children(r)]
+        if not relays:
+            break
+        middleware.handle_peer_failure(relays[0])
+    source = sorted(group.tree.members)[0]
+    report = middleware.publish(group.group_id, source)
+    reached = set(report.member_delays_ms) | {source}
+    assert group.tree.members <= reached
+
+
+def test_trust_ledger_plumbed_into_advertisements():
+    """A middleware built with a trust ledger routes announcements
+    around fully distrusted peers."""
+    from repro.deployment import build_deployment
+    from repro.trust.reputation import ReputationLedger, TrustConfig
+    from tests.conftest import SMALL_CONFIG
+
+    deployment = build_deployment(120, kind="groupcast",
+                                  config=SMALL_CONFIG)
+    ledger = ReputationLedger(TrustConfig(floor=0.0))
+    pariah = deployment.peer_ids()[5]
+    for observer in deployment.peer_ids()[:20]:
+        if observer != pariah:
+            for _ in range(40):
+                ledger.record(observer, pariah, success=False)
+    middleware = GroupCastMiddleware(deployment, trust_ledger=ledger)
+    members = [p for p in middleware.sample_members(40) if p != pariah]
+    group = middleware.create_group(members)
+    # The pariah never serves as anyone's upstream on the ad paths.
+    upstreams = {r.upstream
+                 for r in group.advertisement.receipts.values()}
+    assert pariah not in upstreams

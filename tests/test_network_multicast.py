@@ -1,0 +1,74 @@
+"""Unit tests for the IP multicast reference model."""
+
+import pytest
+
+from repro.config import TransitStubConfig
+from repro.errors import GroupError
+from repro.network.multicast import build_ip_multicast_tree
+from repro.network.topology import generate_transit_stub
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture()
+def attached_underlay():
+    config = TransitStubConfig(
+        transit_domains=2,
+        transit_routers_per_domain=2,
+        stub_domains_per_transit=2,
+        routers_per_stub=3,
+    )
+    underlay = generate_transit_stub(config, spawn_rng(4, "topo"))
+    rng = spawn_rng(4, "attach")
+    for peer in range(20):
+        underlay.attach_peer(peer, rng)
+    return underlay
+
+
+def test_delays_match_unicast_shortest_paths(attached_underlay):
+    tree = build_ip_multicast_tree(attached_underlay, 0, list(range(1, 8)))
+    for peer, delay in tree.delays_ms.items():
+        assert delay == pytest.approx(
+            attached_underlay.peer_distance_ms(0, peer))
+
+
+def test_source_excluded_from_subscribers(attached_underlay):
+    tree = build_ip_multicast_tree(attached_underlay, 0, [0, 1, 2])
+    assert 0 not in tree.subscribers
+    assert set(tree.subscribers) == {1, 2}
+
+
+def test_link_count_no_larger_than_sum_of_paths(attached_underlay):
+    receivers = list(range(1, 10))
+    tree = build_ip_multicast_tree(attached_underlay, 0, receivers)
+    total_path_links = sum(
+        len(attached_underlay.peer_path_links(0, r)) for r in receivers)
+    assert tree.link_count <= total_path_links
+    assert tree.link_count > 0
+
+
+def test_merging_shares_links_for_colocated_receivers(attached_underlay):
+    """Multicast must beat unicast replication when receivers share paths."""
+    receivers = list(range(1, 20))
+    tree = build_ip_multicast_tree(attached_underlay, 0, receivers)
+    total_path_links = sum(
+        len(attached_underlay.peer_path_links(0, r)) for r in receivers)
+    assert tree.link_count < total_path_links
+
+
+def test_average_and_max_delay(attached_underlay):
+    tree = build_ip_multicast_tree(attached_underlay, 0, [1, 2, 3])
+    delays = list(tree.delays_ms.values())
+    assert tree.average_delay_ms == pytest.approx(sum(delays) / 3)
+    assert tree.max_delay_ms == pytest.approx(max(delays))
+
+
+def test_no_receivers_rejected(attached_underlay):
+    with pytest.raises(GroupError):
+        build_ip_multicast_tree(attached_underlay, 0, [0])
+
+
+def test_single_receiver_equals_unicast(attached_underlay):
+    tree = build_ip_multicast_tree(attached_underlay, 0, [5])
+    assert tree.link_count == len(attached_underlay.peer_path_links(0, 5))
+    assert tree.average_delay_ms == pytest.approx(
+        attached_underlay.peer_distance_ms(0, 5))

@@ -1,0 +1,105 @@
+"""Unit tests for the transit-stub topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import TransitStubConfig
+from repro.errors import ConfigurationError
+from repro.network.topology import RouterLevel, generate_transit_stub
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture()
+def config():
+    return TransitStubConfig(
+        transit_domains=3,
+        transit_routers_per_domain=2,
+        stub_domains_per_transit=2,
+        routers_per_stub=3,
+    )
+
+
+def test_router_count_matches_config(config, rng):
+    underlay = generate_transit_stub(config, rng)
+    assert underlay.router_count == config.router_count
+    # 3*2 transit + 6*2*3 stub routers
+    assert config.router_count == 6 + 36
+
+
+def test_level_assignment(config, rng):
+    underlay = generate_transit_stub(config, rng)
+    transit = [r for r in underlay.routers if r.level is RouterLevel.TRANSIT]
+    stub = [r for r in underlay.routers if r.level is RouterLevel.STUB]
+    assert len(transit) == 6
+    assert len(stub) == 36
+
+
+def test_topology_is_connected(config, rng):
+    underlay = generate_transit_stub(config, rng)
+    distances = underlay.router_distances_from(0)
+    assert np.isfinite(distances).all()
+
+
+def test_stub_domains_have_distinct_ids(config, rng):
+    underlay = generate_transit_stub(config, rng)
+    stub_domains = {r.domain for r in underlay.routers
+                    if r.level is RouterLevel.STUB}
+    assert len(stub_domains) == 6 * 2  # transit routers x stubs each
+
+
+def test_deterministic_given_seed(config):
+    u1 = generate_transit_stub(config, spawn_rng(5, "topo"))
+    u2 = generate_transit_stub(config, spawn_rng(5, "topo"))
+    assert u1.link_count == u2.link_count
+    assert np.array_equal(u1.router_distances_from(0),
+                          u2.router_distances_from(0))
+
+
+def test_different_seeds_differ(config):
+    u1 = generate_transit_stub(config, spawn_rng(5, "topo"))
+    u2 = generate_transit_stub(config, spawn_rng(6, "topo"))
+    assert not np.array_equal(u1.router_distances_from(0),
+                              u2.router_distances_from(0))
+
+
+def test_single_domain_single_router(rng):
+    config = TransitStubConfig(
+        transit_domains=1,
+        transit_routers_per_domain=1,
+        stub_domains_per_transit=1,
+        routers_per_stub=2,
+    )
+    underlay = generate_transit_stub(config, rng)
+    assert underlay.router_count == 3
+    assert np.isfinite(underlay.router_distances_from(0)).all()
+
+
+def test_intra_stub_cheaper_than_backbone_on_average(config, rng):
+    """Stub-local paths should usually be shorter than cross-domain ones."""
+    underlay = generate_transit_stub(config, rng)
+    by_domain: dict[int, list[int]] = {}
+    for router in underlay.routers:
+        if router.level is RouterLevel.STUB:
+            by_domain.setdefault(router.domain, []).append(router.router_id)
+    local, remote = [], []
+    domains = list(by_domain.values())
+    for members in domains:
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                local.append(
+                    underlay.router_distance_ms(members[i], members[j]))
+    for a in domains[0]:
+        for b in domains[-1]:
+            remote.append(underlay.router_distance_ms(a, b))
+    assert np.mean(local) < np.mean(remote)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        TransitStubConfig(transit_domains=0)
+    with pytest.raises(ConfigurationError):
+        TransitStubConfig(extra_stub_edge_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        TransitStubConfig(intra_stub_latency=(5.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        TransitStubConfig(peer_access_latency=(0.0, 1.0))

@@ -1,0 +1,93 @@
+"""Unit tests for the NICE hierarchical-cluster baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nice import NiceConfig, build_nice_tree
+from repro.config import ConfigurationError, TransitStubConfig
+from repro.errors import GroupError
+from repro.groupcast.dissemination import disseminate
+from repro.network.topology import generate_transit_stub
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def underlay():
+    u = generate_transit_stub(
+        TransitStubConfig(transit_domains=2, transit_routers_per_domain=3,
+                          stub_domains_per_transit=2, routers_per_stub=3),
+        spawn_rng(12, "topo"))
+    rng = spawn_rng(12, "attach")
+    for peer in range(120):
+        u.attach_peer(peer, rng)
+    return u
+
+
+class TestConfig:
+    def test_cluster_bounds(self):
+        config = NiceConfig(k=3)
+        assert config.max_cluster == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NiceConfig(k=1)
+
+
+class TestHierarchy:
+    def test_tree_covers_all_members(self, underlay):
+        members = list(range(60))
+        tree = build_nice_tree(underlay, members, spawn_rng(0, "nice"))
+        assert tree.members == frozenset(members)
+        tree.validate()
+
+    def test_fanout_bounded_by_cluster_size(self, underlay):
+        config = NiceConfig(k=3)
+        members = list(range(100))
+        tree = build_nice_tree(underlay, members, spawn_rng(1, "nice"),
+                               config)
+        # A leader leads at most one cluster per layer and there are
+        # O(log_k n) layers; with n=100 and k=3 at most 5 layers.
+        max_fanout = max(len(tree.children(n)) for n in tree.nodes())
+        assert max_fanout <= config.max_cluster * 5
+
+    def test_height_is_logarithmic(self, underlay):
+        members = list(range(100))
+        tree = build_nice_tree(underlay, members, spawn_rng(2, "nice"))
+        assert tree.height() <= 7  # ~log3(100) layers
+
+    def test_duplicate_members_deduplicated(self, underlay):
+        tree = build_nice_tree(underlay, [1, 1, 2, 2, 3],
+                               spawn_rng(3, "nice"))
+        assert tree.members == frozenset({1, 2, 3})
+
+    def test_too_few_members_rejected(self, underlay):
+        with pytest.raises(GroupError):
+            build_nice_tree(underlay, [5], spawn_rng(4, "nice"))
+
+    def test_clusters_are_proximity_biased(self, underlay):
+        """Parent-child latency should beat random member pairs."""
+        members = list(range(100))
+        tree = build_nice_tree(underlay, members, spawn_rng(5, "nice"))
+        edge_latency = [
+            underlay.peer_distance_ms(parent, child)
+            for parent, child in tree.edges()]
+        rng = spawn_rng(6, "pairs")
+        random_latency = []
+        for _ in range(200):
+            a, b = rng.choice(100, size=2, replace=False)
+            random_latency.append(
+                underlay.peer_distance_ms(int(a), int(b)))
+        assert np.mean(edge_latency) < np.mean(random_latency)
+
+    def test_dissemination_through_nice_tree(self, underlay):
+        members = list(range(40))
+        tree = build_nice_tree(underlay, members, spawn_rng(7, "nice"))
+        report = disseminate(tree, tree.root, underlay)
+        assert set(report.member_delays_ms) == \
+            set(members) - {tree.root}
+
+    def test_deterministic_given_rng(self, underlay):
+        members = list(range(50))
+        a = build_nice_tree(underlay, members, spawn_rng(8, "nice"))
+        b = build_nice_tree(underlay, members, spawn_rng(8, "nice"))
+        assert sorted(a.edges()) == sorted(b.edges())

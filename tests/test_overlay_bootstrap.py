@@ -1,0 +1,137 @@
+"""Unit tests for the utility-aware join protocol."""
+
+import numpy as np
+import pytest
+
+from repro.config import OverlayConfig
+from repro.overlay.bootstrap import UtilityBootstrap
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.hostcache import HostCacheServer
+from repro.overlay.messages import MessageKind, MessageStats
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_info(peer_id, capacity=10.0, x=None):
+    x = float(peer_id) if x is None else x
+    return PeerInfo(peer_id=peer_id, capacity=capacity,
+                    coordinate=np.array([x, 0.0]))
+
+
+@pytest.fixture()
+def bootstrap():
+    overlay = OverlayNetwork()
+    cache = HostCacheServer(max_entries=64, dimensions=2,
+                            rng=spawn_rng(0, "hc"))
+    return UtilityBootstrap(
+        overlay=overlay,
+        host_cache=cache,
+        rng=spawn_rng(0, "proto"),
+        stats=MessageStats(),
+    )
+
+
+def grow(bootstrap, count, capacity_fn=lambda i: 10.0):
+    results = []
+    for i in range(count):
+        results.append(bootstrap.join(make_info(i, capacity_fn(i))))
+    return results
+
+
+class TestJoin:
+    def test_first_peer_joins_alone(self, bootstrap):
+        result = bootstrap.join(make_info(0))
+        assert result.degree == 0
+        assert 0 in bootstrap.overlay
+        assert 0 in bootstrap.host_cache
+
+    def test_second_peer_connects_to_first(self, bootstrap):
+        grow(bootstrap, 2)
+        assert bootstrap.overlay.has_link(0, 1)
+
+    def test_network_stays_connected(self, bootstrap):
+        grow(bootstrap, 60)
+        assert bootstrap.overlay.is_connected()
+
+    def test_all_joiners_get_at_least_one_link(self, bootstrap):
+        results = grow(bootstrap, 40)
+        for result in results[1:]:
+            assert result.degree >= 1
+
+    def test_degree_does_not_exceed_target_at_join_time(self, bootstrap):
+        results = grow(bootstrap, 40)
+        for result in results[1:]:
+            assert result.degree <= max(result.target_degree, 1)
+
+    def test_powerful_peers_request_more_links(self, bootstrap):
+        config = OverlayConfig()
+        assert config.target_degree(10000.0) > config.target_degree(1.0)
+
+    def test_join_messages_recorded(self, bootstrap):
+        grow(bootstrap, 10)
+        stats = bootstrap.stats
+        assert stats.count(MessageKind.HOSTCACHE_QUERY) == 10
+        assert stats.count(MessageKind.PROBE) > 0
+        assert stats.count(MessageKind.PROBE_RESPONSE) == \
+            stats.count(MessageKind.PROBE)
+        assert stats.count(MessageKind.CONNECT) >= 9
+
+    def test_back_connect_acks_do_not_exceed_requests(self, bootstrap):
+        grow(bootstrap, 30)
+        stats = bootstrap.stats
+        assert stats.count(MessageKind.BACK_CONNECT_ACK) <= \
+            stats.count(MessageKind.BACK_CONNECT_REQUEST)
+
+    def test_resource_level_reflects_capacity_rank(self, bootstrap):
+        grow(bootstrap, 30, capacity_fn=lambda i: 10.0)
+        weak = bootstrap.join(make_info(100, capacity=1.0))
+        strong = bootstrap.join(make_info(101, capacity=10000.0))
+        assert weak.resource_level < strong.resource_level
+
+    def test_candidates_seen_grows_with_network(self, bootstrap):
+        results = grow(bootstrap, 30)
+        assert results[-1].candidates_seen > results[1].candidates_seen
+
+
+class TestAcquireNeighbors:
+    def test_repair_adds_links(self, bootstrap):
+        grow(bootstrap, 30)
+        info = bootstrap.overlay.peer(5)
+        before = bootstrap.overlay.degree(5)
+        for neighbor in bootstrap.overlay.neighbors(5):
+            bootstrap.overlay.remove_link(5, neighbor)
+        added = bootstrap.acquire_neighbors(info, needed=3)
+        assert len(added) >= 1
+        assert bootstrap.overlay.degree(5) == len(added)
+        assert before >= 1
+
+    def test_zero_needed_is_noop(self, bootstrap):
+        grow(bootstrap, 10)
+        info = bootstrap.overlay.peer(3)
+        assert bootstrap.acquire_neighbors(info, 0) == []
+
+    def test_does_not_duplicate_existing_links(self, bootstrap):
+        grow(bootstrap, 20)
+        info = bootstrap.overlay.peer(4)
+        existing = set(bootstrap.overlay.neighbors(4))
+        added = bootstrap.acquire_neighbors(info, needed=2)
+        assert existing.isdisjoint(added)
+
+
+class TestTopologyShape:
+    def test_powerful_core_emerges(self, bootstrap):
+        """Peers with 100x+ capacity end with higher mean degree."""
+        rng = spawn_rng(3, "caps")
+        capacities = {}
+
+        def capacity_fn(i):
+            value = float(rng.choice([1.0, 10.0, 100.0, 1000.0],
+                                     p=[0.2, 0.45, 0.3, 0.05]))
+            capacities[i] = value
+            return value
+
+        grow(bootstrap, 150, capacity_fn)
+        degrees = {i: bootstrap.overlay.degree(i) for i in range(150)}
+        strong = [degrees[i] for i in range(150) if capacities[i] >= 100.0]
+        weak = [degrees[i] for i in range(150) if capacities[i] <= 10.0]
+        assert np.mean(strong) > np.mean(weak)

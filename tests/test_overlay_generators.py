@@ -1,0 +1,88 @@
+"""Unit tests for the PLOD and random overlay baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OverlayError
+from repro.metrics.overlay_metrics import degree_histogram, power_law_fit
+from repro.overlay.gnutella import generate_random_overlay
+from repro.overlay.plod import generate_plod_overlay
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_peers(count):
+    return [PeerInfo(peer_id=i, capacity=10.0,
+                     coordinate=np.array([float(i), 0.0]))
+            for i in range(count)]
+
+
+class TestPLOD:
+    def test_connected(self):
+        overlay = generate_plod_overlay(make_peers(300), spawn_rng(1, "p"))
+        assert overlay.is_connected()
+
+    def test_mean_degree_near_target(self):
+        overlay = generate_plod_overlay(
+            make_peers(500), spawn_rng(1, "p"), mean_degree=6.0)
+        mean = 2 * overlay.edge_count / 500
+        assert 3.5 < mean < 7.5
+
+    def test_degree_distribution_is_heavy_tailed(self):
+        overlay = generate_plod_overlay(make_peers(800), spawn_rng(2, "p"))
+        values, counts = degree_histogram(overlay)
+        exponent, r2 = power_law_fit(values, counts)
+        assert exponent > 0.5
+        assert values.max() > 5 * np.median(
+            np.repeat(values, counts))
+
+    def test_max_degree_cap_respected(self):
+        overlay = generate_plod_overlay(
+            make_peers(400), spawn_rng(3, "p"), max_degree=10)
+        # Connectivity patching may add at most a handful of extra links.
+        assert overlay.degrees().max() <= 12
+
+    def test_every_peer_has_a_link(self):
+        overlay = generate_plod_overlay(make_peers(200), spawn_rng(4, "p"))
+        assert (overlay.degrees() >= 1).all()
+
+    def test_too_few_peers_rejected(self):
+        with pytest.raises(OverlayError):
+            generate_plod_overlay(make_peers(1), spawn_rng(0, "p"))
+
+    def test_invalid_parameters_rejected(self):
+        peers = make_peers(10)
+        with pytest.raises(OverlayError):
+            generate_plod_overlay(peers, spawn_rng(0, "p"), alpha=0.0)
+        with pytest.raises(OverlayError):
+            generate_plod_overlay(peers, spawn_rng(0, "p"), mean_degree=0.0)
+        with pytest.raises(OverlayError):
+            generate_plod_overlay(peers, spawn_rng(0, "p"), max_degree=0)
+
+
+class TestRandomOverlay:
+    def test_connected(self):
+        overlay = generate_random_overlay(make_peers(200), spawn_rng(5, "g"))
+        assert overlay.is_connected()
+
+    def test_degree_at_least_target_for_late_joiners(self):
+        overlay = generate_random_overlay(
+            make_peers(100), spawn_rng(5, "g"), target_degree=4)
+        # Every peer after the 4th connects to exactly 4 others.
+        degrees = overlay.degrees()
+        assert degrees.min() >= 1
+        assert np.median(degrees) >= 4
+
+    def test_no_capacity_bias(self):
+        peers = [PeerInfo(i, 1.0 if i % 2 else 10000.0,
+                          np.array([float(i), 0.0])) for i in range(200)]
+        overlay = generate_random_overlay(peers, spawn_rng(6, "g"))
+        strong = [overlay.degree(i) for i in range(0, 200, 2)]
+        weak = [overlay.degree(i) for i in range(1, 200, 2)]
+        # Uniform attachment: no systematic degree advantage (within 25 %).
+        assert abs(np.mean(strong) - np.mean(weak)) < 0.25 * np.mean(weak)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(OverlayError):
+            generate_random_overlay(make_peers(5), spawn_rng(0, "g"),
+                                    target_degree=0)

@@ -1,0 +1,122 @@
+"""Unit tests for the host cache server."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BootstrapError
+from repro.overlay.hostcache import HostCacheServer
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_info(peer_id, x=0.0, y=0.0, capacity=10.0):
+    return PeerInfo(peer_id=peer_id, capacity=capacity,
+                    coordinate=np.array([x, y]))
+
+
+@pytest.fixture()
+def cache():
+    return HostCacheServer(max_entries=16, dimensions=2,
+                           rng=spawn_rng(0, "hc"))
+
+
+def test_register_and_len(cache):
+    cache.register(make_info(1))
+    cache.register(make_info(2))
+    assert len(cache) == 2
+    assert 1 in cache and 3 not in cache
+
+
+def test_register_is_idempotent(cache):
+    cache.register(make_info(1, x=1.0))
+    cache.register(make_info(1, x=9.0))
+    assert len(cache) == 1
+    entry = cache.entries()[0]
+    assert entry.coordinate[0] == 9.0  # refreshed metadata
+
+
+def test_unregister_idempotent(cache):
+    cache.register(make_info(1))
+    cache.unregister(1)
+    cache.unregister(1)
+    assert len(cache) == 0
+
+
+def test_empty_cache_returns_no_candidates(cache, rng):
+    assert cache.bootstrap_candidates(make_info(99), rng) == []
+
+
+def test_joiner_never_returned(cache, rng):
+    cache.register(make_info(7))
+    result = cache.bootstrap_candidates(make_info(7), rng)
+    assert result == []
+
+
+def test_closest_half_is_by_coordinate_distance(cache, rng):
+    # Peers at increasing distance from the origin-based joiner.
+    for i in range(10):
+        cache.register(make_info(i, x=float(i * 10)))
+    joiner = make_info(99, x=0.0)
+    result = cache.bootstrap_candidates(joiner, rng, list_size=8)
+    closest_ids = {info.peer_id for info in result[:4]}
+    assert closest_ids == {0, 1, 2, 3}
+
+
+def test_random_half_excludes_closest(cache, rng):
+    for i in range(12):
+        cache.register(make_info(i, x=float(i * 10)))
+    joiner = make_info(99, x=0.0)
+    result = cache.bootstrap_candidates(joiner, rng, list_size=8)
+    assert len(result) == 8
+    random_ids = {info.peer_id for info in result[4:]}
+    assert random_ids.isdisjoint({0, 1, 2, 3})
+
+
+def test_small_cache_returns_everything(cache, rng):
+    for i in range(3):
+        cache.register(make_info(i, x=float(i)))
+    result = cache.bootstrap_candidates(make_info(99), rng, list_size=8)
+    assert {info.peer_id for info in result} == {0, 1, 2}
+
+
+def test_eviction_keeps_bound(rng):
+    cache = HostCacheServer(max_entries=8, dimensions=2,
+                            rng=spawn_rng(1, "hc"))
+    for i in range(50):
+        cache.register(make_info(i))
+    assert len(cache) == 8
+    # All slots hold distinct live peers.
+    ids = [info.peer_id for info in cache.entries()]
+    assert len(set(ids)) == 8
+
+
+def test_reregister_after_eviction(rng):
+    cache = HostCacheServer(max_entries=4, dimensions=2,
+                            rng=spawn_rng(1, "hc"))
+    for i in range(20):
+        cache.register(make_info(i))
+    survivor = cache.entries()[0].peer_id
+    cache.register(make_info(survivor, x=5.0))
+    assert len(cache) == 4
+
+
+def test_unregister_frees_slot_for_reuse():
+    cache = HostCacheServer(max_entries=2, dimensions=2,
+                            rng=spawn_rng(2, "hc"))
+    cache.register(make_info(1))
+    cache.register(make_info(2))
+    cache.unregister(1)
+    cache.register(make_info(3))
+    assert len(cache) == 2
+    assert 3 in cache and 1 not in cache
+
+
+def test_validation():
+    with pytest.raises(BootstrapError):
+        HostCacheServer(max_entries=1)
+    with pytest.raises(BootstrapError):
+        HostCacheServer(dimensions=0)
+    cache = HostCacheServer(max_entries=4, dimensions=2)
+    with pytest.raises(BootstrapError):
+        cache.bootstrap_candidates(make_info(1), spawn_rng(0, "x"),
+                                   list_size=1)

@@ -1,0 +1,157 @@
+"""Unit tests for heartbeat maintenance and churn handling."""
+
+import numpy as np
+import pytest
+
+from repro.config import OverlayConfig
+from repro.errors import OverlayError
+from repro.overlay.bootstrap import UtilityBootstrap
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.hostcache import HostCacheServer
+from repro.overlay.maintenance import MaintenanceDaemon
+from repro.overlay.messages import MessageKind, MessageStats
+from repro.peers.peer import PeerInfo
+from repro.sim.engine import Simulator
+from repro.sim.random import spawn_rng
+
+
+def make_info(peer_id, capacity=10.0):
+    return PeerInfo(peer_id=peer_id, capacity=capacity,
+                    coordinate=np.array([float(peer_id), 0.0]))
+
+
+@pytest.fixture()
+def world():
+    simulator = Simulator()
+    overlay = OverlayNetwork()
+    cache = HostCacheServer(max_entries=64, dimensions=2,
+                            rng=spawn_rng(0, "hc"))
+    stats = MessageStats()
+    bootstrap = UtilityBootstrap(
+        overlay=overlay, host_cache=cache, rng=spawn_rng(0, "b"),
+        stats=stats)
+    config = OverlayConfig(
+        heartbeat_interval_ms=1_000.0,
+        epoch_ms=5_000.0,
+        min_epoch_ms=2_000.0,
+        max_epoch_ms=20_000.0,
+    )
+    daemon = MaintenanceDaemon(
+        simulator=simulator, overlay=overlay, host_cache=cache,
+        bootstrap=bootstrap, rng=spawn_rng(0, "m"), config=config,
+        stats=stats)
+    for i in range(20):
+        bootstrap.join(make_info(i))
+        daemon.activate(i)
+    return simulator, overlay, daemon, stats
+
+
+def test_activation_requires_overlay_membership():
+    daemon = MaintenanceDaemon(
+        simulator=Simulator(), overlay=OverlayNetwork(),
+        host_cache=HostCacheServer(max_entries=8, dimensions=2),
+        bootstrap=None, rng=spawn_rng(0, "m"))
+    with pytest.raises(OverlayError):
+        daemon.activate(99)
+
+
+def test_double_activation_rejected(world):
+    _, _, daemon, _ = world
+    with pytest.raises(OverlayError):
+        daemon.activate(0)
+
+
+def test_heartbeats_flow_in_steady_state(world):
+    simulator, _, daemon, stats = world
+    simulator.run(until=3_000.0)
+    assert stats.count(MessageKind.HEARTBEAT) > 0
+    assert stats.count(MessageKind.HEARTBEAT_REPLY) == \
+        stats.count(MessageKind.HEARTBEAT)
+
+
+def test_crashed_peer_detected_and_removed(world):
+    simulator, overlay, daemon, _ = world
+    victim = 5
+    assert overlay.degree(victim) > 0
+    daemon.crash(victim)
+    # Two missed heartbeats at 1s interval -> detected well within 10s.
+    simulator.run(until=10_000.0)
+    assert victim not in overlay or overlay.degree(victim) == 0
+    assert any(dead == victim for _, _, dead in daemon.detected_failures)
+
+
+def test_crash_unregisters_from_host_cache(world):
+    _, _, daemon, _ = world
+    daemon.crash(3)
+    assert 3 not in daemon.host_cache
+    assert not daemon.is_alive(3)
+
+
+def test_graceful_departure_is_immediate(world):
+    _, overlay, daemon, stats = world
+    degree = overlay.degree(7)
+    daemon.depart(7)
+    assert 7 not in overlay
+    assert stats.count(MessageKind.DEPARTURE) == degree
+    assert not daemon.is_alive(7)
+
+
+def test_depart_and_crash_are_idempotent(world):
+    _, _, daemon, _ = world
+    daemon.depart(2)
+    daemon.depart(2)
+    daemon.crash(2)
+    assert not daemon.is_alive(2)
+
+
+def test_epoch_repair_restores_degree(world):
+    simulator, overlay, daemon, _ = world
+    victim = 4
+    daemon.crash(victim)
+    survivors_hit = [n for n in overlay.neighbors(victim)]
+    simulator.run(until=40_000.0)
+    # Every live neighbor of the victim should be repaired back above zero.
+    for peer in survivors_hit:
+        if daemon.is_alive(peer):
+            assert overlay.degree(peer) >= 1
+    assert daemon.repairs or all(
+        overlay.degree(p) >= 1 for p in survivors_hit if daemon.is_alive(p))
+
+
+def test_overlay_stays_connected_under_churn(world):
+    simulator, overlay, daemon, _ = world
+    rng = spawn_rng(1, "kill")
+    victims = rng.choice(20, size=5, replace=False)
+    for victim in victims:
+        daemon.crash(int(victim))
+    simulator.run(until=60_000.0)
+    alive = daemon.alive_peers()
+    # Check connectivity of the live sub-overlay.
+    sizes = overlay.connected_component_sizes()
+    assert sizes[0] >= len(alive) * 0.9
+
+
+def test_alive_peers_listing(world):
+    _, _, daemon, _ = world
+    assert len(daemon.alive_peers()) == 20
+    daemon.crash(0)
+    assert len(daemon.alive_peers()) == 19
+
+
+def test_epoch_shrinks_under_churn_and_recovers(world):
+    """The adaptive epoch shortens when failures are detected and
+    stretches back out in calm periods (within configured bounds)."""
+    simulator, overlay, daemon, _ = world
+    base = daemon.config.epoch_ms
+    # Kill several neighbors of peer 0 so its epochs observe failures.
+    victims = list(overlay.neighbors(0))[:3]
+    for victim in victims:
+        daemon.crash(victim)
+    simulator.run(until=15_000.0)
+    shaken = daemon._states[0].epoch_ms
+    assert shaken <= base
+    # Calm period: epochs stretch again, capped at max_epoch_ms.
+    simulator.run(until=120_000.0)
+    recovered = daemon._states[0].epoch_ms
+    assert recovered >= shaken
+    assert recovered <= daemon.config.max_epoch_ms

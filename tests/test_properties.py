@@ -1,0 +1,262 @@
+"""Hypothesis fuzz tests: protocol invariants over random topologies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnnouncementConfig
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.repair import repair_tree
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.groupcast.subscription import subscribe_members
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def random_connected_overlay(seed: int, n: int) -> OverlayNetwork:
+    """A random connected overlay with heterogeneous capacities."""
+    rng = np.random.default_rng(seed)
+    overlay = OverlayNetwork()
+    for i in range(n):
+        capacity = float(rng.choice([1.0, 10.0, 100.0, 1000.0]))
+        overlay.add_peer(PeerInfo(i, capacity, rng.uniform(0, 100, size=2)))
+    for i in range(1, n):
+        overlay.add_link(i, int(rng.integers(0, i)))  # random tree spine
+    extra = int(rng.integers(0, 2 * n))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            overlay.add_link(int(a), int(b))
+    return overlay
+
+
+def coordinate_latency(overlay):
+    def latency(a, b):
+        return max(
+            overlay.peer(a).coordinate_distance(overlay.peer(b)), 0.01)
+
+    return latency
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=3, max_value=40),
+    scheme=st.sampled_from(["ssa", "nssa"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_advertisement_invariants(seed, n, scheme):
+    """Receipts form a forest rooted at the rendezvous with sane fields."""
+    overlay = random_connected_overlay(seed, n)
+    ttl = 5
+    outcome = propagate_advertisement(
+        overlay, 0, 1, scheme, coordinate_latency(overlay),
+        spawn_rng(seed, "ad"),
+        AnnouncementConfig(advertisement_ttl=ttl))
+    assert 0 in outcome.receipts
+    for peer, receipt in outcome.receipts.items():
+        assert receipt.hops <= ttl
+        assert receipt.elapsed_ms >= 0.0
+        chain = outcome.reverse_path(peer)
+        assert chain[0] == peer
+        assert chain[-1] == 0
+        # Elapsed time decreases strictly toward the rendezvous.
+        times = [outcome.receipts[node].elapsed_ms for node in chain]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+    assert outcome.messages_sent >= len(outcome.receipts) - 1
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=4, max_value=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_subscription_tree_invariants(seed, n):
+    """Any member sample yields a valid tree whose edges are overlay links."""
+    overlay = random_connected_overlay(seed, n)
+    rng = np.random.default_rng(seed + 1)
+    members = [int(m) for m in
+               rng.choice(n, size=min(n, 1 + n // 2), replace=False)]
+    latency = coordinate_latency(overlay)
+    outcome = propagate_advertisement(
+        overlay, 0, 1, "ssa", latency, spawn_rng(seed, "ad"),
+        AnnouncementConfig(advertisement_ttl=5))
+    tree, subscription = subscribe_members(
+        overlay, outcome, members, latency,
+        AnnouncementConfig(subscription_search_ttl=2))
+    tree.validate()
+    joined = set(subscription.records)
+    assert joined | set(subscription.failed) >= set(members)
+    for member in joined:
+        assert member in tree.members or member == 0
+    for parent, child in tree.edges():
+        assert overlay.has_link(parent, child)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=5, max_value=35),
+    failures=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_repair_never_corrupts_tree(seed, n, failures):
+    """Random interior failures always leave a valid tree behind."""
+    overlay = random_connected_overlay(seed, n)
+    rng = np.random.default_rng(seed + 2)
+    latency = coordinate_latency(overlay)
+    outcome = propagate_advertisement(
+        overlay, 0, 1, "nssa", latency, spawn_rng(seed, "ad"),
+        AnnouncementConfig(advertisement_ttl=6))
+    members = [int(m) for m in rng.choice(n, size=min(n - 1, 8),
+                                          replace=False) if m != 0]
+    tree, _ = subscribe_members(overlay, outcome, members, latency)
+    members_before = set(tree.members)
+    lost_total: set[int] = set()
+    for _ in range(failures):
+        candidates = [node for node in tree.nodes() if node != tree.root]
+        if not candidates:
+            break
+        victim = candidates[int(rng.integers(len(candidates)))]
+        if victim in overlay:
+            overlay.remove_peer(victim)
+        report = repair_tree(tree, overlay, victim)
+        lost_total |= set(report.lost_members)
+        lost_total.add(victim)
+        tree.validate()
+    # Conservation: every original member is still on the tree or was
+    # explicitly reported lost / failed itself.
+    assert members_before <= (set(tree.members) | lost_total)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=3, max_value=25),
+)
+@settings(max_examples=40, deadline=None)
+def test_dissemination_reaches_every_tree_node_once(seed, n):
+    """Payload floods deliver exactly one copy per tree node."""
+    rng = np.random.default_rng(seed)
+    tree = SpanningTree(root=0)
+    for node in range(1, n):
+        anchor = int(rng.integers(0, node))
+        tree.graft_chain([node, anchor])
+        if rng.random() < 0.7:
+            tree.mark_member(node)
+    adjacency = tree.tree_adjacency()
+    # Simulated flood with a visit counter (structural property only).
+    visits = {node: 0 for node in tree.nodes()}
+    stack = [(0, None)]
+    while stack:
+        node, parent = stack.pop()
+        visits[node] += 1
+        for neighbor in adjacency[node]:
+            if neighbor != parent:
+                stack.append((neighbor, node))
+    assert all(count == 1 for count in visits.values())
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=8, max_value=60),
+)
+@settings(max_examples=25, deadline=None)
+def test_pastry_routing_invariants(seed, n):
+    """Routes terminate at the numerically closest node, in few hops."""
+    from repro.config import TransitStubConfig
+    from repro.dht.pastry import ID_BITS, PastryNetwork
+    from repro.network.topology import generate_transit_stub
+
+    underlay = generate_transit_stub(
+        TransitStubConfig(transit_domains=1, transit_routers_per_domain=2,
+                          stub_domains_per_transit=2, routers_per_stub=2),
+        spawn_rng(seed, "topo"))
+    rng = np.random.default_rng(seed)
+    attach_rng = spawn_rng(seed, "attach")
+    for peer in range(n):
+        underlay.attach_peer(peer, attach_rng)
+    pastry = PastryNetwork(underlay, list(range(n)))
+    for _ in range(5):
+        source = int(rng.integers(n))
+        key = int(rng.integers(1 << ID_BITS, dtype=np.uint64))
+        path = pastry.route(source, key)
+        assert path[0] == source
+        assert path[-1] == pastry.peer_for(pastry.root_of(key))
+        assert len(set(path)) == len(path)  # loop-free
+        assert len(path) <= 2 + 4 * 16  # guard bound
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=2, max_value=60),
+    dimensions=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_can_zones_always_tile_the_torus(seed, n, dimensions):
+    """Any join sequence leaves the CAN a perfect tiling with symmetric
+    neighbor sets."""
+    from repro.dht.can import CANNetwork, zones_adjacent
+
+    can = CANNetwork(list(range(n)), spawn_rng(seed, "can-prop"),
+                     dimensions=dimensions)
+    can.validate()
+    for peer in range(n):
+        for neighbor in can.neighbors(peer):
+            assert peer in can.neighbors(neighbor)
+            assert zones_adjacent(can.zone_of(peer),
+                                  can.zone_of(neighbor))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_reputation_scores_stay_in_unit_interval(seed, outcomes):
+    """Any interaction history keeps every score in (0, 1]."""
+    from repro.trust.reputation import ReputationLedger
+
+    ledger = ReputationLedger()
+    rng = np.random.default_rng(seed)
+    for outcome in outcomes:
+        observer = int(rng.integers(5))
+        subject = int(rng.integers(5, 10))
+        ledger.record(observer, subject, outcome)
+    for subject in range(5, 10):
+        assert 0.0 < ledger.aggregate_score(subject) <= 1.0
+    # All-success histories dominate all-failure histories.
+    ledger2 = ReputationLedger()
+    for _ in range(10):
+        ledger2.record(0, 1, True)
+        ledger2.record(0, 2, False)
+    assert ledger2.score(0, 1) > ledger2.score(0, 2)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=30, deadline=None)
+def test_group_workload_invariants(seed, count):
+    """Generated groups are well-formed: positive gaps, unique members,
+    bounded sizes; traffic is time-sorted within the horizon."""
+    from repro.workloads.groups import GroupArrivals
+    from repro.workloads.traffic import talk_spurts
+
+    peers = list(range(100))
+    arrivals = GroupArrivals(peers, median_size=6.0, max_size=30)
+    rng = spawn_rng(seed, "wl-prop")
+    specs = arrivals.generate(rng, count)
+    assert len(specs) == count
+    last = 0.0
+    for spec in specs:
+        assert spec.created_at_ms > last
+        last = spec.created_at_ms
+        assert 2 <= len(spec.members) <= 30
+        assert len(set(spec.members)) == len(spec.members)
+        assert set(spec.members) <= set(peers)
+    events = talk_spurts(list(specs[0].members), rng, horizon_ms=60_000.0)
+    times = [e.at_ms for e in events]
+    assert times == sorted(times)
+    assert all(0.0 <= t < 60_000.0 for t in times)
+    assert all(e.source in specs[0].members for e in events)

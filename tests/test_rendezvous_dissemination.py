@@ -1,0 +1,223 @@
+"""Unit tests for rendezvous selection and payload dissemination."""
+
+import numpy as np
+import pytest
+
+from repro.config import RendezvousConfig, TransitStubConfig
+from repro.errors import GroupError, RendezvousError
+from repro.groupcast.dissemination import disseminate
+from repro.groupcast.rendezvous import select_rendezvous
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.network.topology import generate_transit_stub
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.messages import MessageKind, MessageStats
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_overlay(edges, capacities=None):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        capacity = (capacities or {}).get(peer, 1.0)
+        overlay.add_peer(PeerInfo(peer, capacity,
+                                  np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+class TestRendezvous:
+    def test_initiator_qualifies_immediately(self):
+        overlay = make_overlay([(0, 1)], capacities={0: 500.0})
+        chosen = select_rendezvous(overlay, 0, spawn_rng(0, "r"))
+        assert chosen == 0
+
+    def test_walk_finds_capable_peer(self):
+        overlay = make_overlay(
+            [(0, 1), (1, 2), (2, 3)], capacities={3: 1000.0})
+        chosen = select_rendezvous(
+            overlay, 0, spawn_rng(0, "r"),
+            RendezvousConfig(walk_length=32, min_capacity=100.0))
+        assert chosen == 3
+
+    def test_falls_back_to_best_seen(self):
+        overlay = make_overlay(
+            [(0, 1), (1, 2)], capacities={0: 1.0, 1: 5.0, 2: 2.0})
+        chosen = select_rendezvous(
+            overlay, 0, spawn_rng(0, "r"),
+            RendezvousConfig(walk_length=16, min_capacity=1e6))
+        assert overlay.peer(chosen).capacity >= 1.0
+        assert chosen in (0, 1, 2)
+
+    def test_walk_messages_counted(self):
+        overlay = make_overlay([(0, 1), (1, 2), (2, 3)],
+                               capacities={3: 1000.0})
+        stats = MessageStats()
+        select_rendezvous(overlay, 0, spawn_rng(0, "r"),
+                          RendezvousConfig(walk_length=16,
+                                           min_capacity=100.0),
+                          stats)
+        assert stats.count(MessageKind.RANDOM_WALK) >= 1
+
+    def test_isolated_initiator_returns_itself(self):
+        overlay = OverlayNetwork()
+        overlay.add_peer(PeerInfo(0, 1.0, np.zeros(2)))
+        assert select_rendezvous(overlay, 0, spawn_rng(0, "r")) == 0
+
+    def test_unknown_initiator_rejected(self):
+        overlay = make_overlay([(0, 1)])
+        with pytest.raises(RendezvousError):
+            select_rendezvous(overlay, 42, spawn_rng(0, "r"))
+
+
+@pytest.fixture()
+def underlay_with_peers():
+    underlay = generate_transit_stub(
+        TransitStubConfig(transit_domains=2, transit_routers_per_domain=2,
+                          stub_domains_per_transit=2, routers_per_stub=3),
+        spawn_rng(1, "topo"))
+    rng = spawn_rng(1, "attach")
+    for peer in range(6):
+        underlay.attach_peer(peer, rng)
+    return underlay
+
+
+@pytest.fixture()
+def star_tree():
+    tree = SpanningTree(root=0)
+    for leaf in (1, 2, 3):
+        tree.graft_chain([leaf, 0])
+        tree.mark_member(leaf)
+    return tree
+
+
+class TestDissemination:
+    def test_all_members_receive(self, underlay_with_peers, star_tree):
+        report = disseminate(star_tree, 0, underlay_with_peers)
+        assert set(report.member_delays_ms) == {1, 2, 3}
+
+    def test_source_excluded_from_delays(self, underlay_with_peers,
+                                         star_tree):
+        report = disseminate(star_tree, 1, underlay_with_peers)
+        assert 1 not in report.member_delays_ms
+        # The root (rendezvous) is always a member of its tree.
+        assert set(report.member_delays_ms) == {0, 2, 3}
+
+    def test_delays_accumulate_along_tree_path(self, underlay_with_peers,
+                                               star_tree):
+        report = disseminate(star_tree, 1, underlay_with_peers)
+        expected = (underlay_with_peers.peer_distance_ms(1, 0)
+                    + underlay_with_peers.peer_distance_ms(0, 2))
+        assert report.member_delays_ms[2] == pytest.approx(expected)
+
+    def test_overlay_messages_equal_tree_edges(self, underlay_with_peers,
+                                               star_tree):
+        report = disseminate(star_tree, 0, underlay_with_peers)
+        assert report.overlay_messages == 3
+
+    def test_ip_messages_count_physical_hops(self, underlay_with_peers,
+                                             star_tree):
+        report = disseminate(star_tree, 0, underlay_with_peers)
+        expected = sum(
+            len(underlay_with_peers.peer_path_links(0, leaf))
+            for leaf in (1, 2, 3))
+        assert report.ip_messages == expected
+
+    def test_link_stress_counts_shared_links(self, underlay_with_peers):
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        tree.graft_chain([2, 0])
+        tree.mark_member(1)
+        tree.mark_member(2)
+        report = disseminate(tree, 0, underlay_with_peers)
+        # Source access link carries both copies.
+        source_access = (-0 - 1,
+                         underlay_with_peers.attachment(0).router_id)
+        assert report.physical_link_stress[source_access] == 2
+        assert report.max_physical_link_stress >= 2
+
+    def test_relays_forward_but_do_not_appear_in_delays(
+            self, underlay_with_peers):
+        tree = SpanningTree(root=0)
+        tree.graft_chain([2, 1, 0])  # 1 is a relay
+        tree.mark_member(2)
+        report = disseminate(tree, 0, underlay_with_peers)
+        assert set(report.member_delays_ms) == {2}
+        assert report.overlay_messages == 2
+
+    def test_payload_messages_recorded(self, underlay_with_peers, star_tree):
+        stats = MessageStats()
+        disseminate(star_tree, 0, underlay_with_peers, stats)
+        assert stats.count(MessageKind.PAYLOAD) == 3
+
+    def test_source_not_on_tree_rejected(self, underlay_with_peers,
+                                         star_tree):
+        with pytest.raises(GroupError):
+            disseminate(star_tree, 42, underlay_with_peers)
+
+
+class TestBandwidthModel:
+    def test_zero_payload_matches_pure_propagation(
+            self, underlay_with_peers, star_tree):
+        plain = disseminate(star_tree, 0, underlay_with_peers)
+        modelled = disseminate(
+            star_tree, 0, underlay_with_peers,
+            capacities={n: 1.0 for n in star_tree.nodes()},
+            payload_kbits=0.0)
+        assert plain.member_delays_ms == modelled.member_delays_ms
+
+    def test_serialization_delay_accumulates_per_child(
+            self, underlay_with_peers, star_tree):
+        capacities = {n: 1.0 for n in star_tree.nodes()}  # 64 kbps each
+        report = disseminate(
+            star_tree, 0, underlay_with_peers,
+            capacities=capacities, payload_kbits=64.0)  # 1 s per copy
+        # Children 1, 2, 3 are sent sequentially: +1 s, +2 s, +3 s.
+        for position, child in enumerate(sorted((1, 2, 3)), start=1):
+            expected = (position * 1000.0
+                        + underlay_with_peers.peer_distance_ms(0, child))
+            assert report.member_delays_ms[child] == pytest.approx(expected)
+
+    def test_strong_forwarder_is_faster(self, underlay_with_peers):
+        def star_with_root_capacity(capacity):
+            tree = SpanningTree(root=0)
+            for leaf in (1, 2, 3):
+                tree.graft_chain([leaf, 0])
+                tree.mark_member(leaf)
+            capacities = {0: capacity, 1: 10.0, 2: 10.0, 3: 10.0}
+            return disseminate(
+                tree, 0, underlay_with_peers,
+                capacities=capacities, payload_kbits=64.0)
+
+        weak = star_with_root_capacity(1.0)
+        strong = star_with_root_capacity(100.0)
+        assert strong.average_member_delay_ms < weak.average_member_delay_ms
+
+    def test_negative_payload_rejected(self, underlay_with_peers,
+                                       star_tree):
+        with pytest.raises(GroupError):
+            disseminate(star_tree, 0, underlay_with_peers,
+                        capacities={}, payload_kbits=-1.0)
+
+    def test_capacity_aware_trees_win_under_bandwidth_model(
+            self, underlay_with_peers):
+        """With serialization delay, hanging many children off a weak
+        node costs more than off a strong node - the design rationale of
+        the capacity preference."""
+        def chain_under(forwarder_capacity):
+            tree = SpanningTree(root=0)
+            tree.graft_chain([1, 0])
+            for leaf in (2, 3, 4, 5):
+                tree.graft_chain([leaf, 1])
+                tree.mark_member(leaf)
+            capacities = {0: 100.0, 1: forwarder_capacity,
+                          2: 10.0, 3: 10.0, 4: 10.0, 5: 10.0}
+            return disseminate(
+                tree, 0, underlay_with_peers,
+                capacities=capacities, payload_kbits=64.0)
+
+        weak_hub = chain_under(1.0)
+        strong_hub = chain_under(1000.0)
+        assert (strong_hub.max_member_delay_ms
+                < 0.5 * weak_hub.max_member_delay_ms)

@@ -1,0 +1,172 @@
+"""Unit tests for tree surgery and failure repair."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeError
+from repro.groupcast.repair import repair_tree
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.messages import MessageStats
+from repro.peers.peer import PeerInfo
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+class TestTreeSurgery:
+    def make_tree(self):
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        tree.graft_chain([2, 1])
+        tree.graft_chain([3, 1])
+        tree.graft_chain([4, 2])
+        for node in (2, 3, 4):
+            tree.mark_member(node)
+        return tree
+
+    def test_subtree_nodes(self):
+        tree = self.make_tree()
+        assert tree.subtree_nodes(1) == {1, 2, 3, 4}
+        assert tree.subtree_nodes(2) == {2, 4}
+        assert tree.subtree_nodes(4) == {4}
+
+    def test_remove_failed_node_creates_orphans(self):
+        tree = self.make_tree()
+        orphans = tree.remove_failed_node(1)
+        assert sorted(orphans) == [2, 3]
+        assert 1 not in tree
+        assert tree.parent(2) is None
+        assert tree.parent(3) is None
+
+    def test_remove_root_rejected(self):
+        tree = self.make_tree()
+        with pytest.raises(TreeError):
+            tree.remove_failed_node(0)
+
+    def test_reattach_restores_validity(self):
+        tree = self.make_tree()
+        tree.remove_failed_node(1)
+        tree.reattach(2, 0)
+        tree.reattach(3, 0)
+        tree.validate()
+        assert tree.parent(2) == 0
+
+    def test_reattach_rejects_cycles(self):
+        tree = self.make_tree()
+        tree.remove_failed_node(1)
+        with pytest.raises(TreeError):
+            tree.reattach(2, 4)  # 4 is inside 2's own subtree
+
+    def test_reattach_rejects_non_orphans(self):
+        tree = self.make_tree()
+        with pytest.raises(TreeError):
+            tree.reattach(2, 0)
+
+    def test_drop_subtree(self):
+        tree = self.make_tree()
+        tree.remove_failed_node(1)
+        dropped = tree.drop_subtree(2)
+        assert dropped == {2, 4}
+        assert 4 not in tree
+        tree.reattach(3, 0)
+        tree.validate()
+
+
+class TestRepair:
+    def test_repair_reattaches_orphans(self):
+        # Overlay ring gives orphans alternate routes to the tree.
+        overlay = make_overlay(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        tree.graft_chain([2, 1])
+        tree.graft_chain([3, 2])
+        for node in (2, 3):
+            tree.mark_member(node)
+        overlay.remove_peer(1)  # peer 1 crashes
+        report = repair_tree(tree, overlay, 1)
+        assert report.fully_repaired
+        assert 2 in report.reattached
+        tree.validate()
+        assert tree.members == frozenset({0, 2, 3})
+
+    def test_unreachable_subtree_is_dropped(self):
+        # Peer 2 only connects through the failed peer 1.
+        overlay = make_overlay([(0, 1), (1, 2)])
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        tree.graft_chain([2, 1])
+        tree.mark_member(2)
+        overlay.remove_peer(1)
+        report = repair_tree(tree, overlay, 1)
+        assert not report.fully_repaired
+        assert report.lost_members == frozenset({2})
+        assert 2 not in tree
+        tree.validate()
+
+    def test_root_failure_rejected(self):
+        overlay = make_overlay([(0, 1)])
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        with pytest.raises(TreeError):
+            repair_tree(tree, overlay, 0)
+
+    def test_cascaded_failures(self):
+        # Both 1 and its child 2 crashed; 3 must re-home on its own.
+        overlay = make_overlay([(0, 1), (1, 2), (2, 3), (3, 0)])
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        tree.graft_chain([2, 1])
+        tree.graft_chain([3, 2])
+        tree.mark_member(3)
+        overlay.remove_peer(1)
+        overlay.remove_peer(2)
+        report = repair_tree(tree, overlay, 1)
+        assert 3 in report.reattached
+        assert report.reattached[3] == 0
+        tree.validate()
+
+    def test_search_messages_counted(self):
+        overlay = make_overlay([(0, 1), (1, 2), (2, 0)])
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        tree.graft_chain([2, 1])
+        tree.mark_member(2)
+        overlay.remove_peer(1)
+        stats = MessageStats()
+        report = repair_tree(tree, overlay, 1, stats=stats)
+        assert report.search_messages >= 1
+
+    def test_repair_on_realistic_deployment(self, groupcast_deployment):
+        """End-to-end: fail a relay in a real tree; members survive."""
+        import copy
+
+        from repro.groupcast.advertisement import propagate_advertisement
+        from repro.groupcast.subscription import subscribe_members
+        from repro.sim.random import spawn_rng
+
+        deployment = groupcast_deployment
+        rng = spawn_rng(3, "repair-e2e")
+        advertisement = propagate_advertisement(
+            deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+            deployment.peer_distance_ms, rng,
+            deployment.config.announcement, deployment.config.utility)
+        tree, _ = subscribe_members(
+            deployment.overlay, advertisement, deployment.peer_ids()[1:40],
+            deployment.peer_distance_ms, deployment.config.announcement)
+        relays = [r for r in tree.relays if tree.children(r)]
+        if not relays:
+            pytest.skip("tree has no interior relay to fail")
+        victim = relays[0]
+        members_before = set(tree.members)
+        report = repair_tree(tree, deployment.overlay, victim)
+        tree.validate()
+        assert members_before - report.lost_members <= set(tree.members)

@@ -1,0 +1,179 @@
+"""Unit tests for backup-parent replication and failover."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeError
+from repro.groupcast.replication import BackupPlan, failover
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+def make_chain_tree():
+    """0 <- 1 <- 2 <- 3, with 4 under 1."""
+    tree = SpanningTree(root=0)
+    tree.graft_chain([1, 0])
+    tree.graft_chain([2, 1])
+    tree.graft_chain([3, 2])
+    tree.graft_chain([4, 1])
+    for node in (2, 3, 4):
+        tree.mark_member(node)
+    return tree
+
+
+class TestBackupPlan:
+    def test_grandparent_is_preferred_backup(self):
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        assert plan.backup_for(3) == 1   # grandparent of 3
+        assert plan.backup_for(2) == 0   # grandparent of 2
+        assert plan.backup_for(4) == 0
+
+    def test_children_of_root_fall_back_to_root(self):
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        assert plan.backup_for(1) == 0
+
+    def test_root_has_no_backup(self):
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        assert plan.backup_for(0) is None
+
+    def test_refresh_clears_stale_entries(self):
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        tree.remove_leaf(3)
+        plan.refresh(tree)
+        assert plan.backup_for(3) is None
+
+
+class TestFailover:
+    def test_instant_failover_to_grandparent(self):
+        overlay = make_overlay([(0, 1), (1, 2), (2, 3), (1, 4), (0, 2)])
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        overlay.remove_peer(2)
+        report = failover(tree, plan, overlay, 2)
+        assert report.fully_repaired
+        assert report.instant_failovers == {3: 1}
+        assert report.instant_fraction == 1.0
+        assert tree.parent(3) == 1
+        tree.validate()
+
+    def test_failover_messages_cheaper_than_search(self):
+        overlay = make_overlay(
+            [(0, 1), (1, 2), (2, 3), (1, 4), (0, 2), (3, 0)])
+        # With a plan: single message.
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        overlay_a = make_overlay(
+            [(0, 1), (1, 2), (2, 3), (1, 4), (0, 2), (3, 0)])
+        overlay_a.remove_peer(2)
+        report = failover(tree, plan, overlay_a, 2)
+        # Without a plan: the repair module searches the overlay.
+        from repro.groupcast.repair import repair_tree
+
+        tree_b = make_chain_tree()
+        overlay_b = make_overlay(
+            [(0, 1), (1, 2), (2, 3), (1, 4), (0, 2), (3, 0)])
+        overlay_b.remove_peer(2)
+        search_report = repair_tree(tree_b, overlay_b, 2)
+        assert report.messages <= search_report.search_messages + 1
+
+    def test_dead_backup_falls_back_to_search(self):
+        # Backup of 3 is 1; kill both 2 (parent) and 1 (backup).
+        overlay = make_overlay([(0, 1), (1, 2), (2, 3), (1, 4), (3, 0),
+                                (4, 0)])
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        overlay.remove_peer(2)
+        overlay.remove_peer(1)
+        report = failover(tree, plan, overlay, 1)
+        # 2 and 4 were orphaned by 1's failure; 2's backup (0) works.
+        tree.validate()
+        assert not report.lost_members
+
+    def test_unreachable_orphan_still_lost(self):
+        overlay = make_overlay([(0, 1), (1, 2)])
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        tree.graft_chain([2, 1])
+        tree.mark_member(2)
+        plan = BackupPlan()
+        plan.refresh(tree)
+        # 2's backup is the root 0, but 0 is unreachable in the overlay
+        # once we also disconnect it... here backup 0 IS in the tree and
+        # alive, so failover succeeds instantly instead.
+        overlay.remove_peer(1)
+        report = failover(tree, plan, overlay, 1)
+        assert report.fully_repaired
+        assert tree.parent(2) == 0
+
+    def test_root_failure_rejected(self):
+        overlay = make_overlay([(0, 1)])
+        tree = SpanningTree(root=0)
+        tree.graft_chain([1, 0])
+        plan = BackupPlan()
+        plan.refresh(tree)
+        with pytest.raises(TreeError):
+            failover(tree, plan, overlay, 0)
+
+    def test_plan_refreshed_after_failover(self):
+        overlay = make_overlay([(0, 1), (1, 2), (2, 3), (1, 4), (0, 2)])
+        tree = make_chain_tree()
+        plan = BackupPlan()
+        plan.refresh(tree)
+        overlay.remove_peer(2)
+        failover(tree, plan, overlay, 2)
+        # 3 now hangs under 1; its new backup is 1's parent, the root.
+        assert plan.backup_for(3) == 0
+
+    def test_repeated_failures_on_real_tree(self, groupcast_deployment):
+        from repro.groupcast.advertisement import propagate_advertisement
+        from repro.groupcast.subscription import subscribe_members
+        from repro.sim.random import spawn_rng
+
+        deployment = groupcast_deployment
+        rng = spawn_rng(11, "replication")
+        advertisement = propagate_advertisement(
+            deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+            deployment.peer_distance_ms, rng,
+            deployment.config.announcement, deployment.config.utility)
+        tree, _ = subscribe_members(
+            deployment.overlay, advertisement, deployment.peer_ids()[1:50],
+            deployment.peer_distance_ms, deployment.config.announcement)
+        plan = BackupPlan()
+        plan.refresh(tree)
+        instant_total, orphan_total = 0, 0
+        for _ in range(5):
+            interior = [n for n in tree.nodes()
+                        if n != tree.root and tree.children(n)]
+            if not interior:
+                break
+            victim = interior[int(rng.integers(len(interior)))]
+            report = failover(tree, plan, deployment.overlay, victim)
+            instant_total += len(report.instant_failovers)
+            orphan_total += (len(report.instant_failovers)
+                             + len(report.searched_failovers))
+            tree.validate()
+        if orphan_total:
+            # Backups should absorb the large majority of failovers.
+            assert instant_total / orphan_total > 0.6

@@ -1,0 +1,128 @@
+"""Unit tests for the blind-search primitives (ripple + random walks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.search import random_walk_search, ripple_search
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+@pytest.fixture()
+def line():
+    return make_overlay([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+
+
+@pytest.fixture()
+def ring():
+    return make_overlay([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+
+
+class TestRippleSearch:
+    def test_finds_target_within_ttl(self, line):
+        result = ripple_search(line, 0, lambda p: p == 3, ttl=3)
+        assert result.found
+        assert result.hit.target == 3
+        assert result.hit.depth == 3
+        assert result.hit.route == (0, 1, 2)
+
+    def test_misses_target_beyond_ttl(self, line):
+        result = ripple_search(line, 0, lambda p: p == 5, ttl=2)
+        assert not result.found
+        assert result.messages == 2  # edges 0-1, 1-2
+
+    def test_shallowest_hit_wins(self, ring):
+        # Both 1 (1 hop) and 5 (1 hop the other way) match; depth ties are
+        # broken by latency.
+        result = ripple_search(
+            ring, 0, lambda p: p in (1, 5), ttl=3,
+            latency_fn=lambda a, b: 10.0 if b == 1 else 1.0)
+        assert result.hit.target == 5
+
+    def test_latency_accumulates(self, line):
+        result = ripple_search(line, 0, lambda p: p == 2, ttl=3,
+                               latency_fn=lambda a, b: 5.0)
+        assert result.hit.latency_ms == pytest.approx(10.0)
+
+    def test_exclusion_blocks_traversal(self, line):
+        result = ripple_search(line, 0, lambda p: p == 3, ttl=5,
+                               exclude={2})
+        assert not result.found
+
+    def test_origin_never_matches(self, line):
+        result = ripple_search(line, 0, lambda p: True, ttl=1)
+        assert result.hit.target != 0
+
+    def test_unknown_origin_rejected(self, line):
+        with pytest.raises(OverlayError):
+            ripple_search(line, 99, lambda p: True, ttl=1)
+
+    def test_message_count_bounded_by_edges(self, ring):
+        result = ripple_search(ring, 0, lambda p: False, ttl=10)
+        assert not result.found
+        assert result.messages <= ring.edge_count * 2
+
+
+class TestRandomWalkSearch:
+    def test_walk_finds_target_on_line(self, line, rng):
+        # On a line with predecessor-avoidance the walker marches forward.
+        result = random_walk_search(
+            line, 0, lambda p: p == 5, rng, walkers=1, walk_length=10)
+        assert result.found
+        assert result.hit.target == 5
+
+    def test_walks_cost_fewer_messages_than_flood_on_dense_graph(self):
+        rng = spawn_rng(3, "dense")
+        edges = set()
+        for i in range(60):
+            for j in rng.choice(60, size=6, replace=False):
+                if i != int(j):
+                    edges.add((min(i, int(j)), max(i, int(j))))
+        overlay = make_overlay(sorted(edges))
+        target = 59
+        flood = ripple_search(overlay, 0, lambda p: p == target, ttl=6)
+        walk = random_walk_search(
+            overlay, 0, lambda p: p == target, spawn_rng(4, "w"),
+            walkers=2, walk_length=40)
+        assert walk.messages < flood.messages
+
+    def test_walker_budget_respected(self, ring, rng):
+        result = random_walk_search(
+            ring, 0, lambda p: False, rng, walkers=3, walk_length=7)
+        assert not result.found
+        assert result.messages <= 3 * 7
+
+    def test_exclusion_respected(self, line, rng):
+        result = random_walk_search(
+            line, 0, lambda p: p == 3, rng, walkers=2, walk_length=10,
+            exclude={2})
+        assert not result.found
+
+    def test_latency_accumulates_along_walk(self, line, rng):
+        result = random_walk_search(
+            line, 0, lambda p: p == 3, rng, walkers=1, walk_length=10,
+            latency_fn=lambda a, b: 2.0)
+        assert result.found
+        assert result.hit.latency_ms == pytest.approx(2.0 * result.hit.depth)
+
+    def test_invalid_budget_rejected(self, line, rng):
+        with pytest.raises(OverlayError):
+            random_walk_search(line, 0, lambda p: True, rng, walkers=0)
+        with pytest.raises(OverlayError):
+            random_walk_search(line, 0, lambda p: True, rng, walk_length=0)
+
+    def test_unknown_origin_rejected(self, line, rng):
+        with pytest.raises(OverlayError):
+            random_walk_search(line, 99, lambda p: True, rng)

@@ -1,0 +1,163 @@
+"""Tests for the EventGuard-style message guards."""
+
+import pytest
+
+from repro.groupcast.session import Advertise, Payload
+from repro.security.guards import (
+    GroupKeyAuthority,
+    SignatureError,
+    guard_message,
+    verify_message,
+)
+
+
+@pytest.fixture()
+def authority():
+    return GroupKeyAuthority(master_secret=b"test-master")
+
+
+class TestKeyAuthority:
+    def test_group_keys_deterministic_and_distinct(self, authority):
+        assert authority.group_key(1) == authority.group_key(1)
+        assert authority.group_key(1) != authority.group_key(2)
+
+    def test_issue_and_authorisation(self, authority):
+        key = authority.issue(1, peer_id=7)
+        assert key == authority.group_key(1)
+        assert authority.is_authorised(1, 7)
+        assert not authority.is_authorised(1, 8)
+        assert not authority.is_authorised(2, 7)
+
+    def test_revoke(self, authority):
+        authority.issue(1, 7)
+        authority.revoke(1, 7)
+        assert not authority.is_authorised(1, 7)
+        authority.revoke(1, 7)  # idempotent
+
+    def test_distinct_masters_distinct_keys(self):
+        a = GroupKeyAuthority(b"alpha")
+        b = GroupKeyAuthority(b"beta")
+        assert a.group_key(1) != b.group_key(1)
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(SignatureError):
+            GroupKeyAuthority(b"")
+
+
+class TestGuards:
+    def test_roundtrip_verifies(self, authority):
+        key = authority.issue(1, 0)
+        message = guard_message(
+            key, 1, 0, Advertise(1, 0, (0,), 6, "ssa"))
+        verify_message(key, message)  # no exception
+
+    def test_wrong_key_rejected(self, authority):
+        key = authority.issue(1, 0)
+        other = authority.group_key(2)
+        message = guard_message(key, 1, 0, "payload")
+        with pytest.raises(SignatureError):
+            verify_message(other, message)
+
+    def test_tampered_payload_rejected(self, authority):
+        key = authority.issue(1, 0)
+        message = guard_message(
+            key, 1, 0, Payload(group_id=1, payload_id=5, source=0))
+        forged = type(message)(
+            group_id=message.group_id, sender=message.sender,
+            payload=Payload(group_id=1, payload_id=6, source=0),
+            token=message.token)
+        with pytest.raises(SignatureError):
+            verify_message(key, forged)
+
+    def test_spoofed_sender_rejected(self, authority):
+        key = authority.issue(1, 0)
+        message = guard_message(key, 1, 0, "hello")
+        spoofed = type(message)(
+            group_id=1, sender=99, payload="hello", token=message.token)
+        with pytest.raises(SignatureError):
+            verify_message(key, spoofed)
+
+    def test_cross_group_replay_rejected(self, authority):
+        key1 = authority.issue(1, 0)
+        key2 = authority.issue(2, 0)
+        message = guard_message(key1, 1, 0, "announce")
+        replayed = type(message)(
+            group_id=2, sender=0, payload="announce",
+            token=message.token)
+        with pytest.raises(SignatureError):
+            verify_message(key2, replayed)
+
+    def test_unauthorised_peer_cannot_mint_valid_tokens(self, authority):
+        """A peer without the key can only guess; random keys fail."""
+        real_key = authority.issue(1, 0)
+        attacker_key = b"\x00" * 32
+        forged = guard_message(attacker_key, 1, 42, "evil-ad")
+        with pytest.raises(SignatureError):
+            verify_message(real_key, forged)
+
+    def test_dataclass_canonicalisation_distinguishes_fields(self,
+                                                             authority):
+        key = authority.issue(1, 0)
+        a = guard_message(key, 1, 0, Advertise(1, 0, (0,), 6, "ssa"))
+        b = guard_message(key, 1, 0, Advertise(1, 0, (0,), 5, "ssa"))
+        assert a.token != b.token
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SignatureError):
+            guard_message(b"", 1, 0, "x")
+
+
+class TestSessionGuard:
+    def test_forged_advertisement_never_reaches_the_node(self):
+        """An attacker without the group key cannot inject protocol
+        messages through the transport."""
+        from repro.security.guards import GroupKeyAuthority, guard_message
+        from repro.security.session_guard import GuardedNode
+        from repro.sim.engine import Simulator
+        from repro.sim.messaging import MessageNetwork
+        from repro.sim.random import spawn_rng
+
+        simulator = Simulator()
+        network = MessageNetwork(simulator, lambda a, b: 1.0,
+                                 spawn_rng(0, "net"))
+        authority = GroupKeyAuthority(b"secret-master")
+        seen = []
+        guard = GuardedNode.issue(authority, group_id=1, peer_id=2,
+                                  inner_handler=seen.append)
+        network.register(2, guard.handle)
+
+        # Legitimate member 3 sends a guarded message.
+        member_guard = GuardedNode.issue(authority, 1, 3, lambda e: None)
+        network.send(3, 2, member_guard.outgoing(
+            Advertise(1, 0, (0,), 6, "ssa")), None)
+        # Attacker 66 guesses a key and forges; also sends raw payloads.
+        attacker_key = b"\x13" * 32
+        network.send(66, 2, guard_message(
+            attacker_key, 1, 66, Advertise(1, 66, (66,), 6, "ssa")))
+        network.send(66, 2, Advertise(1, 66, (66,), 6, "ssa"))
+        simulator.run()
+
+        assert guard.accepted == 1
+        assert guard.rejected == 2
+        assert len(seen) == 1
+        assert seen[0].payload.rendezvous == 0
+
+    def test_guard_unwraps_payload_for_inner_handler(self):
+        from repro.security.guards import GroupKeyAuthority
+        from repro.security.session_guard import GuardedNode
+        from repro.sim.engine import Simulator
+        from repro.sim.messaging import MessageNetwork
+        from repro.sim.random import spawn_rng
+
+        simulator = Simulator()
+        network = MessageNetwork(simulator, lambda a, b: 1.0,
+                                 spawn_rng(0, "net"))
+        authority = GroupKeyAuthority()
+        payloads = []
+        guard = GuardedNode.issue(
+            authority, 1, 2, lambda env: payloads.append(env.payload))
+        network.register(2, guard.handle)
+        sender = GuardedNode.issue(authority, 1, 5, lambda e: None)
+        network.send(5, 2, sender.outgoing("state-update"))
+        simulator.run()
+        assert payloads == ["state-update"]

@@ -1,0 +1,91 @@
+"""Unit tests for the deterministic randomness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.random import (
+    exponential_interarrivals,
+    spawn_rng,
+    weighted_sample_without_replacement,
+)
+
+
+def test_same_stream_same_draws():
+    a = spawn_rng(7, "topology").random(5)
+    b = spawn_rng(7, "topology").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_streams_differ():
+    a = spawn_rng(7, "topology").random(5)
+    b = spawn_rng(7, "churn").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = spawn_rng(7, "topology").random(5)
+    b = spawn_rng(8, "topology").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_mixed_int_and_str_stream_components():
+    rng = spawn_rng(7, "churn", 3)
+    assert rng.random() >= 0.0
+
+
+def test_exponential_interarrivals_mean():
+    rng = spawn_rng(0, "expo")
+    draws = exponential_interarrivals(rng, 1000.0, 20_000)
+    assert draws.shape == (20_000,)
+    assert (draws >= 0.0).all()
+    assert abs(draws.mean() - 1000.0) / 1000.0 < 0.05
+
+
+def test_exponential_interarrivals_validation():
+    rng = spawn_rng(0, "expo")
+    with pytest.raises(ValueError):
+        exponential_interarrivals(rng, -1.0, 5)
+    with pytest.raises(ValueError):
+        exponential_interarrivals(rng, 10.0, -1)
+
+
+class TestWeightedSampleWithoutReplacement:
+    def test_returns_k_distinct_items(self, rng):
+        items = list("abcdefgh")
+        weights = [1.0] * 8
+        chosen = weighted_sample_without_replacement(rng, items, weights, 5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+        assert set(chosen) <= set(items)
+
+    def test_k_zero_returns_empty(self, rng):
+        assert weighted_sample_without_replacement(rng, [1, 2], [1, 1], 0) == []
+
+    def test_zero_weight_items_never_chosen(self, rng):
+        items = ["never", "always"]
+        for _ in range(50):
+            chosen = weighted_sample_without_replacement(
+                rng, items, [0.0, 1.0], 1)
+            assert chosen == ["always"]
+
+    def test_all_zero_weights_returns_empty(self, rng):
+        assert weighted_sample_without_replacement(
+            rng, [1, 2, 3], [0.0, 0.0, 0.0], 2) == []
+
+    def test_k_larger_than_population(self, rng):
+        items = [1, 2, 3]
+        chosen = weighted_sample_without_replacement(
+            rng, items, [1.0, 1.0, 1.0], 10)
+        assert sorted(chosen) == items
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            weighted_sample_without_replacement(rng, [1, 2], [1.0], 1)
+
+    def test_heavier_weight_wins_more_often(self, rng):
+        items = ["light", "heavy"]
+        wins = sum(
+            weighted_sample_without_replacement(
+                rng, items, [1.0, 10.0], 1) == ["heavy"]
+            for _ in range(500))
+        assert wins > 350

@@ -1,0 +1,173 @@
+"""Unit + property tests for the spanning-tree structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TreeError
+from repro.groupcast.spanning_tree import SpanningTree
+
+
+@pytest.fixture()
+def tree():
+    t = SpanningTree(root=0)
+    t.graft_chain([2, 1, 0])   # 0 <- 1 <- 2
+    t.mark_member(2)
+    t.graft_chain([3, 1])      # 1 <- 3
+    t.mark_member(3)
+    return t
+
+
+class TestGrowth:
+    def test_root_initial_state(self):
+        t = SpanningTree(root=9)
+        assert 9 in t
+        assert t.parent(9) is None
+        assert t.members == frozenset({9})
+        assert t.node_count == 1
+
+    def test_graft_builds_parent_chain(self, tree):
+        assert tree.parent(2) == 1
+        assert tree.parent(1) == 0
+        assert sorted(tree.children(1)) == [2, 3]
+
+    def test_relays_vs_members(self, tree):
+        assert tree.members == frozenset({0, 2, 3})
+        assert tree.relays == frozenset({1})
+
+    def test_graft_returns_new_edge_count(self):
+        t = SpanningTree(root=0)
+        assert t.graft_chain([2, 1, 0]) == 2
+        assert t.graft_chain([3, 1]) == 1
+        assert t.graft_chain([3, 1]) == 0  # already present
+
+    def test_graft_requires_anchor_in_tree(self):
+        t = SpanningTree(root=0)
+        with pytest.raises(TreeError):
+            t.graft_chain([2, 1])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(TreeError):
+            SpanningTree(root=0).graft_chain([])
+
+    def test_conflicting_graft_keeps_first_parent(self, tree):
+        # Node 2 already hangs under 1; a chain via 3 must not re-parent it.
+        tree.graft_chain([2, 3, 1])
+        assert tree.parent(2) == 1
+        tree.validate()
+
+    def test_mark_member_requires_presence(self, tree):
+        with pytest.raises(TreeError):
+            tree.mark_member(99)
+
+    def test_unmark_member(self, tree):
+        tree.unmark_member(2)
+        assert 2 in tree.relays
+        with pytest.raises(TreeError):
+            tree.unmark_member(0)
+
+
+class TestQueries:
+    def test_path_to_root(self, tree):
+        assert tree.path_to_root(2) == [2, 1, 0]
+        assert tree.path_to_root(0) == [0]
+
+    def test_depth_and_height(self, tree):
+        assert tree.depth(2) == 2
+        assert tree.depth(0) == 0
+        assert tree.height() == 2
+
+    def test_tree_degree(self, tree):
+        assert tree.tree_degree(1) == 3  # parent 0 + children {2, 3}
+        assert tree.tree_degree(0) == 1
+        assert tree.tree_degree(2) == 1
+
+    def test_edges_enumeration(self, tree):
+        assert sorted(tree.edges()) == [(0, 1), (1, 2), (1, 3)]
+
+    def test_node_stress_counts_non_leaves_only(self, tree):
+        # Non-leaf nodes: 0 (1 child), 1 (2 children) -> mean 1.5.
+        assert tree.node_stress() == pytest.approx(1.5)
+
+    def test_workloads(self, tree):
+        loads = tree.workloads()
+        assert loads[1] == 2
+        assert loads[0] == 1
+        assert loads[2] == 0
+
+    def test_tree_adjacency_is_symmetric(self, tree):
+        adjacency = tree.tree_adjacency()
+        for node, neighbors in adjacency.items():
+            for neighbor in neighbors:
+                assert node in adjacency[neighbor]
+
+
+class TestMutation:
+    def test_remove_leaf(self, tree):
+        tree.remove_leaf(2)
+        assert 2 not in tree
+        assert tree.children(1) == [3]
+
+    def test_remove_non_leaf_rejected(self, tree):
+        with pytest.raises(TreeError):
+            tree.remove_leaf(1)
+
+    def test_remove_root_rejected(self):
+        t = SpanningTree(root=0)
+        with pytest.raises(TreeError):
+            t.remove_leaf(0)
+
+    def test_prune_relays_drops_dead_branches(self):
+        t = SpanningTree(root=0)
+        t.graft_chain([3, 2, 1, 0])  # long relay chain
+        t.mark_member(3)
+        t.unmark_member(3)
+        removed = t.prune_relays()
+        assert removed == 3
+        assert t.node_count == 1
+
+    def test_prune_keeps_branches_serving_members(self, tree):
+        assert tree.prune_relays() == 0
+        assert 1 in tree
+
+
+class TestValidation:
+    def test_valid_tree_passes(self, tree):
+        tree.validate()
+
+    def test_cycle_detection_via_guard(self):
+        t = SpanningTree(root=0)
+        t.graft_chain([2, 1, 0])
+        # Corrupt internals to create a cycle (white-box).
+        t._parent[1] = 2
+        t._children[2].add(1)
+        with pytest.raises(TreeError):
+            t.validate()
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=30), min_size=1,
+             max_size=25, unique=True),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_random_grafts_always_valid(nodes, seed):
+    """Random chains through known nodes keep the structure a valid tree."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    tree = SpanningTree(root=0)
+    in_tree = [0]
+    for node in nodes:
+        anchor = int(rng.choice(in_tree))
+        if node in tree:
+            tree.mark_member(node)
+            continue
+        tree.graft_chain([node, anchor])
+        tree.mark_member(node)
+        in_tree.append(node)
+    tree.validate()
+    assert tree.node_count == len(in_tree)
+    # Every member's path reaches the root without cycles.
+    for node in in_tree:
+        assert tree.path_to_root(node)[-1] == 0

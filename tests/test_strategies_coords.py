@@ -1,0 +1,116 @@
+"""Tests for SSA forwarding strategies and coordinate backends."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig, ConfigurationError
+from repro.deployment import build_deployment
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.sim.random import spawn_rng
+from tests.conftest import SMALL_CONFIG
+
+
+def propagate(deployment, scheme="ssa", strategy="utility", seed=0):
+    config = AnnouncementConfig(ssa_strategy=strategy)
+    return propagate_advertisement(
+        deployment.overlay, deployment.peer_ids()[0], 0, scheme,
+        deployment.peer_distance_ms, spawn_rng(seed, "strategy"),
+        config, deployment.config.utility)
+
+
+class TestSSAStrategies:
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnnouncementConfig(ssa_strategy="smart")
+
+    @pytest.mark.parametrize("strategy",
+                             ["utility", "random", "distance", "capacity"])
+    def test_all_strategies_propagate(self, groupcast_deployment, strategy):
+        outcome = propagate(groupcast_deployment, strategy=strategy)
+        assert len(outcome.receipts) > 10
+        assert outcome.messages_sent > 0
+
+    def test_strategies_produce_different_trees(self, groupcast_deployment):
+        utility = propagate(groupcast_deployment, strategy="utility")
+        random = propagate(groupcast_deployment, strategy="random")
+        assert set(utility.receipts) != set(random.receipts)
+
+    def test_distance_strategy_prefers_short_edges(self,
+                                                   groupcast_deployment):
+        """Mean ad-hop latency under the distance strategy is lower than
+        under the random strategy (averaged over several runs)."""
+        deployment = groupcast_deployment
+
+        def mean_edge_latency(strategy, seed):
+            outcome = propagate(deployment, strategy=strategy, seed=seed)
+            latencies = [
+                deployment.peer_distance_ms(r.upstream, r.peer_id)
+                for r in outcome.receipts.values()
+                if r.upstream is not None
+            ]
+            return np.mean(latencies)
+
+        distance = np.mean([mean_edge_latency("distance", s)
+                            for s in range(5)])
+        random = np.mean([mean_edge_latency("random", s)
+                          for s in range(5)])
+        assert distance < random
+
+    def test_capacity_strategy_prefers_powerful_forwarders(
+            self, groupcast_deployment):
+        deployment = groupcast_deployment
+
+        def mean_forwarder_capacity(strategy, seed):
+            outcome = propagate(deployment, strategy=strategy, seed=seed)
+            capacities = [
+                deployment.peer_info(r.upstream).capacity
+                for r in outcome.receipts.values()
+                if r.upstream is not None
+            ]
+            return np.mean(capacities)
+
+        capacity = np.mean([mean_forwarder_capacity("capacity", s)
+                            for s in range(5)])
+        random = np.mean([mean_forwarder_capacity("random", s)
+                          for s in range(5)])
+        assert capacity > random
+
+
+class TestCoordinateBackends:
+    def test_vivaldi_deployment_builds(self):
+        deployment = build_deployment(
+            80, kind="groupcast", config=SMALL_CONFIG,
+            coordinates="vivaldi")
+        assert deployment.overlay.is_connected()
+        assert len(deployment.space) == 80
+
+    def test_vivaldi_coordinates_approximate_latency(self):
+        deployment = build_deployment(
+            80, kind="groupcast", config=SMALL_CONFIG,
+            coordinates="vivaldi")
+        rng = np.random.default_rng(1)
+        errors = []
+        for _ in range(100):
+            a, b = rng.choice(80, size=2, replace=False)
+            true = deployment.peer_distance_ms(int(a), int(b))
+            est = deployment.coordinate_distance_ms(int(a), int(b))
+            errors.append(abs(est - true) / max(true, 1e-9))
+        assert float(np.median(errors)) < 0.7
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_deployment(10, config=SMALL_CONFIG,
+                             coordinates="oracle")
+
+    def test_vivaldi_overlay_still_proximity_aware(self):
+        from repro.metrics.overlay_metrics import (
+            average_neighbor_distance_ms,
+        )
+
+        vivaldi = build_deployment(
+            120, kind="groupcast", config=SMALL_CONFIG,
+            coordinates="vivaldi")
+        plod = build_deployment(120, kind="plod", config=SMALL_CONFIG)
+        v = average_neighbor_distance_ms(vivaldi.overlay, vivaldi.underlay)
+        p = average_neighbor_distance_ms(plod.overlay, plod.underlay)
+        assert v[v > 0].mean() < p[p > 0].mean()

@@ -1,0 +1,170 @@
+"""Unit tests for subscription management and tree assembly."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.subscription import subscribe_members
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.messages import MessageKind, MessageStats
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+def unit_latency(a, b):
+    return 1.0
+
+
+@pytest.fixture()
+def line_world():
+    overlay = make_overlay([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    ad = propagate_advertisement(
+        overlay, 0, 7, "nssa", unit_latency, spawn_rng(0, "a"))
+    return overlay, ad
+
+
+class TestDirectSubscription:
+    def test_receivers_join_via_reverse_path(self, line_world):
+        overlay, ad = line_world
+        tree, outcome = subscribe_members(
+            overlay, ad, [3, 5], unit_latency)
+        assert tree.members == frozenset({0, 3, 5})
+        assert tree.path_to_root(5) == [5, 4, 3, 2, 1, 0]
+        assert not outcome.failed
+        assert outcome.success_rate == 1.0
+
+    def test_intermediate_nodes_become_relays(self, line_world):
+        overlay, ad = line_world
+        tree, _ = subscribe_members(overlay, ad, [4], unit_latency)
+        assert tree.relays == frozenset({1, 2, 3})
+
+    def test_direct_subscribers_have_zero_lookup_latency(self, line_world):
+        overlay, ad = line_world
+        _, outcome = subscribe_members(overlay, ad, [2, 4], unit_latency)
+        for record in outcome.records.values():
+            assert record.lookup_latency_ms == 0.0
+            assert not record.via_search
+
+    def test_subscription_messages_equal_new_hops(self, line_world):
+        overlay, ad = line_world
+        _, outcome = subscribe_members(overlay, ad, [3], unit_latency)
+        assert outcome.records[3].subscription_messages == 3
+
+    def test_rendezvous_subscribes_for_free(self, line_world):
+        overlay, ad = line_world
+        tree, outcome = subscribe_members(overlay, ad, [0], unit_latency)
+        assert outcome.records[0].subscription_messages == 0
+        assert tree.members == frozenset({0})
+
+    def test_shared_path_prefix_not_recounted(self, line_world):
+        overlay, ad = line_world
+        _, outcome = subscribe_members(overlay, ad, [4, 5], unit_latency)
+        # 4 pays 4 hops; 5 only pays the one extra hop to reach 4's chain.
+        assert outcome.records[4].subscription_messages == 4
+        assert outcome.records[5].subscription_messages == 1
+
+
+class TestRippleSearch:
+    def make_world(self, ttl=2):
+        """Peer 9 hangs off the line and never receives the TTL-limited ad."""
+        overlay = make_overlay(
+            [(0, 1), (1, 2), (2, 3), (3, 9)])
+        config = AnnouncementConfig(advertisement_ttl=2)
+        ad = propagate_advertisement(
+            overlay, 0, 7, "nssa", unit_latency, spawn_rng(0, "a"),
+            config=config)
+        assert 9 not in ad.receipts and 3 not in ad.receipts
+        return overlay, ad, AnnouncementConfig(
+            advertisement_ttl=2, subscription_search_ttl=ttl)
+
+    def test_search_finds_informed_peer_within_ttl(self):
+        overlay, ad, config = self.make_world(ttl=2)
+        tree, outcome = subscribe_members(
+            overlay, ad, [9], unit_latency, config=config)
+        assert 9 in tree.members
+        record = outcome.records[9]
+        assert record.via_search
+        assert record.lookup_latency_ms > 0.0
+        tree.validate()
+
+    def test_search_failure_when_ttl_too_small(self):
+        overlay, ad, config = self.make_world(ttl=1)
+        tree, outcome = subscribe_members(
+            overlay, ad, [9], unit_latency, config=config)
+        assert outcome.failed == (9,)
+        assert outcome.success_rate == 0.0
+
+    def test_search_messages_counted(self):
+        overlay, ad, config = self.make_world(ttl=2)
+        stats = MessageStats()
+        _, outcome = subscribe_members(
+            overlay, ad, [9], unit_latency, config=config, stats=stats)
+        assert outcome.search_messages > 0
+        assert stats.count(MessageKind.SUBSCRIPTION_SEARCH) > 0
+        assert stats.count(MessageKind.SEARCH_RESPONSE) == 1
+
+    def test_search_latency_is_round_trip(self):
+        overlay, ad, config = self.make_world(ttl=2)
+        _, outcome = subscribe_members(
+            overlay, ad, [9], unit_latency, config=config)
+        # 9 -> 3 -> 2 (informed): out 2 ms, back 2 ms.
+        assert outcome.records[9].lookup_latency_ms == pytest.approx(4.0)
+
+
+class TestEdgeCases:
+    def test_member_not_in_overlay_fails(self, line_world):
+        overlay, ad = line_world
+        _, outcome = subscribe_members(overlay, ad, [77], unit_latency)
+        assert outcome.failed == (77,)
+
+    def test_empty_member_list(self, line_world):
+        overlay, ad = line_world
+        tree, outcome = subscribe_members(overlay, ad, [], unit_latency)
+        assert tree.members == frozenset({0})
+        assert outcome.success_rate == 1.0
+
+    def test_average_lookup_latency_over_searchers(self):
+        overlay = make_overlay([(0, 1), (1, 2), (2, 3), (3, 9)])
+        config = AnnouncementConfig(advertisement_ttl=2,
+                                    subscription_search_ttl=2)
+        ad = propagate_advertisement(
+            overlay, 0, 7, "nssa", unit_latency, spawn_rng(0, "a"),
+            config=config)
+        _, outcome = subscribe_members(
+            overlay, ad, [1, 9], unit_latency, config=config)
+        assert outcome.average_lookup_latency_ms() == pytest.approx(4.0)
+        assert outcome.average_lookup_latency_ms(searchers_only=False) == \
+            pytest.approx(2.0)
+
+    def test_tree_validates_after_many_mixed_subscriptions(self):
+        rng = spawn_rng(5, "mix")
+        edges = set()
+        n = 80
+        for i in range(1, n):
+            j = int(rng.integers(0, i))
+            edges.add((j, i))
+            extra = int(rng.integers(0, i))
+            if extra != i:
+                edges.add((min(extra, i), max(extra, i)))
+        overlay = make_overlay(sorted(edges))
+        config = AnnouncementConfig(advertisement_ttl=3,
+                                    subscription_search_ttl=2)
+        ad = propagate_advertisement(
+            overlay, 0, 7, "ssa", unit_latency, spawn_rng(0, "a"),
+            config=config)
+        members = [int(m) for m in rng.choice(n, size=30, replace=False)]
+        tree, outcome = subscribe_members(
+            overlay, ad, members, unit_latency, config=config)
+        tree.validate()
+        assert len(outcome.records) + len(outcome.failed) == len(set(members))

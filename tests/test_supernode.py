@@ -1,0 +1,199 @@
+"""Unit + integration tests for the two-tier supernode overlay."""
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigurationError
+from repro.errors import OverlayError
+from repro.overlay.supernode import (
+    SupernodeConfig,
+    TwoTierOverlay,
+    build_two_tier_group_tree,
+    build_two_tier_overlay,
+)
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def make_infos(count, rng, strong_every=5):
+    infos = []
+    for i in range(count):
+        capacity = 1000.0 if i % strong_every == 0 else 10.0
+        infos.append(PeerInfo(i, capacity, rng.uniform(0, 100, size=2)))
+    return infos
+
+
+@pytest.fixture()
+def two_tier(rng):
+    infos = make_infos(100, rng)
+    return build_two_tier_overlay(infos, spawn_rng(0, "tt")), infos
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupernodeConfig(capacity_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            SupernodeConfig(min_supernode_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SupernodeConfig(leaf_links=0)
+
+
+class TestElectionAndAttachment:
+    def test_high_capacity_peers_become_supernodes(self, two_tier):
+        overlay, infos = two_tier
+        for info in infos:
+            if info.capacity >= 100.0:
+                assert info.peer_id in overlay.supernodes
+            else:
+                assert info.peer_id not in overlay.supernodes
+
+    def test_core_is_connected(self, two_tier):
+        overlay, _ = two_tier
+        assert overlay.core.is_connected()
+        assert overlay.core.peer_count == len(overlay.supernodes)
+
+    def test_every_leaf_assigned(self, two_tier):
+        overlay, infos = two_tier
+        leaves = [i.peer_id for i in infos
+                  if i.peer_id not in overlay.supernodes]
+        assert overlay.leaf_count == len(leaves)
+        for leaf in leaves:
+            assert overlay.supernode_of(leaf) in overlay.supernodes
+
+    def test_supernode_of_self(self, two_tier):
+        overlay, _ = two_tier
+        supernode = next(iter(overlay.supernodes))
+        assert overlay.supernode_of(supernode) == supernode
+
+    def test_leaves_of_inverse_of_assignments(self, two_tier):
+        overlay, _ = two_tier
+        for supernode in overlay.supernodes:
+            for leaf in overlay.leaves_of(supernode):
+                assert overlay.supernode_of(leaf) == supernode
+
+    def test_unknown_peer_rejected(self, two_tier):
+        overlay, _ = two_tier
+        with pytest.raises(OverlayError):
+            overlay.supernode_of(10_000)
+        with pytest.raises(OverlayError):
+            overlay.leaves_of(10_000)
+
+    def test_leaves_attach_to_nearby_supernodes(self, rng):
+        """Mean leaf->supernode distance beats random assignment."""
+        infos = make_infos(200, rng)
+        overlay = build_two_tier_overlay(infos, spawn_rng(1, "tt"))
+        by_id = {i.peer_id: i for i in infos}
+        supernode_list = sorted(overlay.supernodes)
+        actual, random_baseline = [], []
+        check_rng = spawn_rng(2, "check")
+        for leaf, supernode in overlay.assignments.items():
+            actual.append(by_id[leaf].coordinate_distance(by_id[supernode]))
+            random_sn = supernode_list[
+                int(check_rng.integers(len(supernode_list)))]
+            random_baseline.append(
+                by_id[leaf].coordinate_distance(by_id[random_sn]))
+        assert np.mean(actual) < np.mean(random_baseline)
+
+    def test_capacity_sparse_population_promotes_top_peers(self, rng):
+        infos = [PeerInfo(i, 1.0 + i * 0.01, rng.uniform(0, 10, size=2))
+                 for i in range(50)]
+        overlay = build_two_tier_overlay(infos, spawn_rng(3, "tt"))
+        assert len(overlay.supernodes) >= 2
+        # The promoted supernodes are the most capable peers.
+        top = {i.peer_id for i in sorted(
+            infos, key=lambda x: x.capacity, reverse=True)[
+                :len(overlay.supernodes)]}
+        assert overlay.supernodes == frozenset(top)
+
+    def test_too_few_peers_rejected(self, rng):
+        with pytest.raises(OverlayError):
+            build_two_tier_overlay(make_infos(1, rng), spawn_rng(0, "tt"))
+
+
+class TestTwoTierGroups:
+    def coordinate_latency(self, infos):
+        by_id = {i.peer_id: i for i in infos}
+
+        def latency(a, b):
+            return max(by_id[a].coordinate_distance(by_id[b]), 0.01)
+
+        return latency
+
+    def test_group_tree_covers_members(self, two_tier):
+        overlay, infos = two_tier
+        rng = spawn_rng(4, "group")
+        members = [int(m) for m in rng.choice(100, size=30, replace=False)]
+        tree = build_two_tier_group_tree(
+            overlay, members, members[0],
+            self.coordinate_latency(infos), rng)
+        assert set(members) <= set(tree.members)
+
+    def test_leaves_hang_under_their_supernodes(self, two_tier):
+        overlay, infos = two_tier
+        rng = spawn_rng(5, "group")
+        members = [int(m) for m in rng.choice(100, size=25, replace=False)]
+        tree = build_two_tier_group_tree(
+            overlay, members, members[0],
+            self.coordinate_latency(infos), rng)
+        for member in members:
+            if member in overlay.supernodes:
+                continue
+            assert tree.parent(member) == overlay.supernode_of(member)
+
+    def test_interior_tree_nodes_are_supernodes(self, two_tier):
+        overlay, infos = two_tier
+        rng = spawn_rng(6, "group")
+        members = [int(m) for m in rng.choice(100, size=25, replace=False)]
+        tree = build_two_tier_group_tree(
+            overlay, members, members[0],
+            self.coordinate_latency(infos), rng)
+        for node in tree.nodes():
+            if tree.children(node):
+                assert node in overlay.supernodes
+
+
+class TestMultiHoming:
+    def test_leaf_links_create_backups(self, rng):
+        infos = make_infos(100, rng)
+        overlay = build_two_tier_overlay(
+            infos, spawn_rng(7, "tt"),
+            SupernodeConfig(leaf_links=2))
+        multihomed = [leaf for leaf in overlay.assignments
+                      if overlay.backups_of(leaf)]
+        assert multihomed, "expected multi-homed leaves"
+        for leaf in multihomed:
+            assert overlay.supernode_of(leaf) not in \
+                overlay.backups_of(leaf)
+
+    def test_fail_over_promotes_backup(self, rng):
+        infos = make_infos(100, rng)
+        overlay = build_two_tier_overlay(
+            infos, spawn_rng(8, "tt"),
+            SupernodeConfig(leaf_links=2))
+        leaf = next(l for l in overlay.assignments
+                    if overlay.backups_of(l))
+        old_primary = overlay.supernode_of(leaf)
+        backup = overlay.backups_of(leaf)[0]
+        promoted = overlay.fail_over(leaf)
+        assert promoted == backup
+        assert overlay.supernode_of(leaf) == backup
+        assert overlay.supernode_of(leaf) != old_primary
+
+    def test_fail_over_without_backup_rejected(self, rng):
+        infos = make_infos(60, rng)
+        overlay = build_two_tier_overlay(
+            infos, spawn_rng(9, "tt"),
+            SupernodeConfig(leaf_links=1))
+        leaf = next(iter(overlay.assignments))
+        with pytest.raises(OverlayError):
+            overlay.fail_over(leaf)
+
+    def test_backups_of_validation(self, rng):
+        infos = make_infos(60, rng)
+        overlay = build_two_tier_overlay(infos, spawn_rng(10, "tt"))
+        supernode = next(iter(overlay.supernodes))
+        with pytest.raises(OverlayError):
+            overlay.backups_of(supernode)
+        with pytest.raises(OverlayError):
+            overlay.backups_of(10_000)

@@ -1,0 +1,190 @@
+"""Tests for the trust layer: reputation, lossy dissemination, SSA hook."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig, ConfigurationError
+from repro.errors import GroupError
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+from repro.trust.dissemination import disseminate_with_failures
+from repro.trust.reputation import ReputationLedger, TrustConfig
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+class TestReputationLedger:
+    def test_initial_score(self):
+        ledger = ReputationLedger()
+        assert ledger.score(1, 2) == 0.5
+        assert ledger.aggregate_score(2) == 0.5
+
+    def test_success_raises_failure_lowers(self):
+        ledger = ReputationLedger()
+        ledger.record(1, 2, success=True)
+        up = ledger.score(1, 2)
+        ledger.record(1, 3, success=False)
+        down = ledger.score(1, 3)
+        assert up > 0.5 > down
+
+    def test_ewma_converges_toward_behavior(self):
+        ledger = ReputationLedger()
+        for _ in range(30):
+            ledger.record(1, 2, success=False)
+        assert ledger.score(1, 2) < 0.05
+
+    def test_floor_prevents_zero(self):
+        ledger = ReputationLedger(TrustConfig(floor=0.05))
+        for _ in range(100):
+            ledger.record(1, 2, success=False)
+        assert ledger.score(1, 2) >= 0.05
+
+    def test_aggregate_over_observers(self):
+        ledger = ReputationLedger()
+        ledger.record(1, 9, success=False)
+        ledger.record(2, 9, success=False)
+        ledger.record(3, 9, success=True)
+        aggregate = ledger.aggregate_score(9)
+        assert aggregate == pytest.approx(
+            (ledger.score(1, 9) + ledger.score(2, 9)
+             + ledger.score(3, 9)) / 3)
+        assert ledger.observation_count(9) == 3
+
+    def test_suspects_threshold(self):
+        ledger = ReputationLedger()
+        for observer in (1, 2, 3):
+            for _ in range(10):
+                ledger.record(observer, 9, success=False)
+        ledger.record(1, 5, success=True)
+        assert ledger.suspects(threshold=0.25) == {9}
+
+    def test_trust_fn_views(self):
+        ledger = ReputationLedger()
+        ledger.record(1, 2, success=False)
+        local = ledger.trust_fn(use_aggregate=False)
+        aggregate = ledger.trust_fn(use_aggregate=True)
+        assert local(1, 2) == ledger.score(1, 2)
+        assert aggregate(7, 2) == ledger.aggregate_score(2)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrustConfig(initial_score=0.0)
+        with pytest.raises(ConfigurationError):
+            TrustConfig(ewma_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            TrustConfig(floor=1.0)
+
+
+@pytest.fixture()
+def chain_world():
+    """Tree 0 <- 1 <- 2 <- 3 over a matching overlay."""
+    tree = SpanningTree(root=0)
+    tree.graft_chain([1, 0])
+    tree.graft_chain([2, 1])
+    tree.graft_chain([3, 2])
+    for node in (1, 2, 3):
+        tree.mark_member(node)
+    from repro.config import TransitStubConfig
+    from repro.network.topology import generate_transit_stub
+
+    underlay = generate_transit_stub(
+        TransitStubConfig(transit_domains=1, transit_routers_per_domain=2,
+                          stub_domains_per_transit=2, routers_per_stub=2),
+        spawn_rng(20, "topo"))
+    rng = spawn_rng(20, "attach")
+    for peer in range(4):
+        underlay.attach_peer(peer, rng)
+    return tree, underlay
+
+
+class TestLossyDissemination:
+    def test_no_free_riders_full_delivery(self, chain_world):
+        tree, underlay = chain_world
+        report = disseminate_with_failures(
+            tree, 0, underlay, spawn_rng(0, "d"))
+        assert report.delivery_ratio == 1.0
+        assert not report.starved_members
+
+    def test_free_rider_starves_subtree(self, chain_world):
+        tree, underlay = chain_world
+        report = disseminate_with_failures(
+            tree, 0, underlay, spawn_rng(0, "d"),
+            free_riders={1}, drop_probability=1.0)
+        # 1 receives but never forwards: 2 and 3 starve.
+        assert 1 in report.member_delays_ms
+        assert report.starved_members == frozenset({2, 3})
+        assert report.drops == 1
+
+    def test_ledger_records_evidence(self, chain_world):
+        tree, underlay = chain_world
+        ledger = ReputationLedger()
+        disseminate_with_failures(
+            tree, 0, underlay, spawn_rng(0, "d"),
+            free_riders={1}, drop_probability=1.0, ledger=ledger)
+        assert ledger.score(2, 1) < 0.5   # 2 blames 1
+        assert ledger.score(1, 0) > 0.5   # 1 credits 0
+
+    def test_probabilistic_drops(self, chain_world):
+        tree, underlay = chain_world
+        delivered = 0
+        for seed in range(40):
+            report = disseminate_with_failures(
+                tree, 0, underlay, spawn_rng(seed, "d"),
+                free_riders={1}, drop_probability=0.5)
+            delivered += 2 in report.member_delays_ms
+        assert 8 < delivered < 32
+
+    def test_validation(self, chain_world):
+        tree, underlay = chain_world
+        with pytest.raises(GroupError):
+            disseminate_with_failures(
+                tree, 99, underlay, spawn_rng(0, "d"))
+        with pytest.raises(GroupError):
+            disseminate_with_failures(
+                tree, 0, underlay, spawn_rng(0, "d"),
+                drop_probability=1.5)
+
+
+class TestTrustAwareSSA:
+    def test_distrusted_peer_falls_off_advertisement_paths(self):
+        """With zero trust in peer 1, SSA never forwards through it."""
+        overlay = make_overlay(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4)])
+        ledger = ReputationLedger(TrustConfig(floor=0.0))
+        for observer in (0, 2, 3, 4):
+            for _ in range(50):
+                ledger.record(observer, 1, success=False)
+
+        config = AnnouncementConfig(ssa_fanout_fraction=0.5,
+                                    ssa_min_fanout=1)
+        forwarded_through_1 = 0
+        for seed in range(20):
+            outcome = propagate_advertisement(
+                overlay, 0, 1, "ssa", lambda a, b: 1.0,
+                spawn_rng(seed, "trust"), config,
+                trust_fn=ledger.trust_fn())
+            for receipt in outcome.receipts.values():
+                if receipt.upstream == 1:
+                    forwarded_through_1 += 1
+        assert forwarded_through_1 == 0
+
+    def test_neutral_trust_changes_nothing_structurally(self):
+        overlay = make_overlay([(0, 1), (1, 2), (2, 3)])
+        ledger = ReputationLedger()
+        outcome = propagate_advertisement(
+            overlay, 0, 1, "ssa", lambda a, b: 1.0,
+            spawn_rng(1, "trust"),
+            AnnouncementConfig(ssa_fanout_fraction=1.0),
+            trust_fn=ledger.trust_fn())
+        assert len(outcome.receipts) == 4

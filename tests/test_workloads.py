@@ -1,0 +1,177 @@
+"""Tests for the workload generators and a long-running service study."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.random import spawn_rng
+from repro.workloads.groups import (
+    GroupArrivals,
+    GroupSpec,
+    MembershipChurn,
+)
+from repro.workloads.traffic import constant_rate, talk_spurts
+
+PEERS = list(range(200))
+
+
+class TestGroupArrivals:
+    def test_poisson_interarrivals(self):
+        arrivals = GroupArrivals(PEERS, mean_interarrival_ms=10_000.0)
+        specs = arrivals.generate(spawn_rng(0, "g"), 500)
+        gaps = np.diff([0.0] + [s.created_at_ms for s in specs])
+        assert abs(gaps.mean() - 10_000.0) / 10_000.0 < 0.15
+        assert all(gap > 0 for gap in gaps)
+
+    def test_sizes_lognormal_and_bounded(self):
+        arrivals = GroupArrivals(PEERS, median_size=8.0, max_size=50)
+        specs = arrivals.generate(spawn_rng(1, "g"), 400)
+        sizes = [len(s.members) for s in specs]
+        assert min(sizes) >= 2
+        assert max(sizes) <= 50
+        assert 4.0 < float(np.median(sizes)) < 14.0
+
+    def test_members_unique_per_group(self):
+        arrivals = GroupArrivals(PEERS)
+        for spec in arrivals.generate(spawn_rng(2, "g"), 50):
+            assert len(set(spec.members)) == len(spec.members)
+
+    def test_locality_bias_concentrates_members(self, groupcast_deployment):
+        space = groupcast_deployment.space
+        peers = groupcast_deployment.peer_ids()
+        biased = GroupArrivals(peers, median_size=20.0,
+                               locality_bias=0.95, space=space)
+        uniform = GroupArrivals(peers, median_size=20.0)
+
+        def mean_spread(specs):
+            spreads = []
+            for spec in specs:
+                coords = np.stack([space.get(m) for m in spec.members])
+                spreads.append(
+                    float(np.linalg.norm(coords - coords.mean(axis=0),
+                                         axis=1).mean()))
+            return float(np.mean(spreads))
+
+        biased_specs = biased.generate(spawn_rng(3, "g"), 30)
+        uniform_specs = uniform.generate(spawn_rng(3, "g"), 30)
+        assert mean_spread(biased_specs) < mean_spread(uniform_specs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GroupArrivals([1])
+        with pytest.raises(ConfigurationError):
+            GroupArrivals(PEERS, mean_interarrival_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            GroupArrivals(PEERS, locality_bias=0.5)  # no space
+        with pytest.raises(ConfigurationError):
+            GroupArrivals(PEERS).generate(spawn_rng(0, "g"), -1)
+
+
+class TestMembershipChurn:
+    def spec(self):
+        return GroupSpec(0, 1_000.0, tuple(range(10)))
+
+    def test_events_sorted_and_within_horizon(self):
+        churn = MembershipChurn(mean_membership_ms=50_000.0)
+        events = churn.generate(self.spec(), PEERS, spawn_rng(4, "m"),
+                                horizon_ms=200_000.0)
+        times = [e.at_ms for e in events]
+        assert times == sorted(times)
+        assert all(1_000.0 <= t < 200_000.0 for t in times)
+
+    def test_initial_members_eventually_leave(self):
+        churn = MembershipChurn(mean_membership_ms=10_000.0,
+                                join_rate_per_s=0.0)
+        events = churn.generate(self.spec(), PEERS, spawn_rng(5, "m"),
+                                horizon_ms=1_000_000.0)
+        leavers = {e.peer_id for e in events if not e.join}
+        assert leavers == set(range(10))
+
+    def test_joiners_come_from_pool(self):
+        churn = MembershipChurn(join_rate_per_s=0.5)
+        events = churn.generate(self.spec(), PEERS, spawn_rng(6, "m"),
+                                horizon_ms=120_000.0)
+        joiners = {e.peer_id for e in events if e.join}
+        assert joiners
+        assert joiners.isdisjoint(range(10))
+
+    def test_every_late_joiner_eventually_leaves_or_horizon(self):
+        churn = MembershipChurn(mean_membership_ms=5_000.0,
+                                join_rate_per_s=0.5)
+        events = churn.generate(self.spec(), PEERS, spawn_rng(7, "m"),
+                                horizon_ms=300_000.0)
+        joins = [e for e in events if e.join]
+        leaves = {e.peer_id for e in events if not e.join}
+        # With dwell << horizon, nearly every joiner also leaves.
+        assert sum(j.peer_id in leaves for j in joins) >= 0.8 * len(joins)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MembershipChurn(mean_membership_ms=0.0)
+        churn = MembershipChurn()
+        with pytest.raises(ConfigurationError):
+            churn.generate(self.spec(), PEERS, spawn_rng(0, "m"),
+                           horizon_ms=10.0)
+
+
+class TestTraffic:
+    def test_constant_rate_period(self):
+        events = constant_rate([1], spawn_rng(8, "t"),
+                               horizon_ms=100_000.0, period_ms=1_000.0,
+                               jitter_fraction=0.0)
+        gaps = np.diff([e.at_ms for e in events])
+        assert np.allclose(gaps, 1_000.0)
+
+    def test_constant_rate_publisher_subset(self):
+        events = constant_rate(list(range(20)), spawn_rng(9, "t"),
+                               horizon_ms=10_000.0, publishers=3)
+        assert len({e.source for e in events}) == 3
+
+    def test_talk_spurts_one_speaker_at_a_time(self):
+        events = talk_spurts(list(range(5)), spawn_rng(10, "t"),
+                             horizon_ms=600_000.0)
+        assert events
+        # Packets inside one spurt share a speaker: consecutive events
+        # 200 ms apart always have the same source.
+        for a, b in zip(events, events[1:]):
+            if abs(b.at_ms - a.at_ms - 200.0) < 1e-6:
+                assert a.source == b.source
+
+    def test_talk_spurts_hand_off_between_speakers(self):
+        events = talk_spurts(list(range(5)), spawn_rng(11, "t"),
+                             horizon_ms=600_000.0)
+        assert len({e.source for e in events}) > 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            constant_rate([], spawn_rng(0, "t"), 1_000.0)
+        with pytest.raises(ConfigurationError):
+            constant_rate([1], spawn_rng(0, "t"), 1_000.0, period_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            talk_spurts([], spawn_rng(0, "t"), 1_000.0)
+
+
+class TestLongRunningService:
+    def test_service_study_end_to_end(self, groupcast_deployment):
+        """Drive the middleware from generated workloads: groups arrive,
+        publish talk-spurt traffic, and deliver consistently."""
+        from repro.groupcast.middleware import GroupCastMiddleware
+
+        deployment = groupcast_deployment
+        middleware = GroupCastMiddleware(deployment)
+        rng = spawn_rng(12, "service")
+        arrivals = GroupArrivals(deployment.peer_ids(),
+                                 mean_interarrival_ms=5_000.0,
+                                 median_size=10.0, max_size=30)
+        delivered, expected = 0, 0
+        for spec in arrivals.generate(rng, 6):
+            group = middleware.create_group(list(spec.members))
+            traffic = talk_spurts(sorted(group.members), rng,
+                                  horizon_ms=10_000.0,
+                                  packet_interval_ms=2_000.0)
+            for event in traffic[:10]:
+                report = middleware.publish(group.group_id, event.source)
+                delivered += len(report.member_delays_ms)
+                expected += len(group.members) - 1
+        assert expected > 0
+        assert delivered == expected  # lossless substrate: full delivery
