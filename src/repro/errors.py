@@ -53,3 +53,7 @@ class TreeError(GroupError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class TelemetryError(ReproError):
+    """An observability instrument was misused (name clash, bad bucket)."""

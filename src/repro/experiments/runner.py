@@ -7,16 +7,21 @@ Usage::
     groupcast-experiments fig9 --seed 3 --sizes 1000 2000
 
 Figure names map to the experiment modules; running ``all`` regenerates
-every table/figure of the paper's evaluation section.
+every table/figure of the paper's evaluation section.  ``--telemetry``
+installs an enabled observability registry for the run and appends a
+snapshot of every instrument (message counters per kind, search traffic,
+lookup-latency histogram, ...) after the tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..obs import enable_telemetry, set_default_registry, NULL_REGISTRY
 from . import (
     app_performance,
     churn_cost,
@@ -116,7 +121,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", type=Path, default=None,
         help="directory to write one file per figure instead of stdout")
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="record every protocol action into the observability "
+             "registry and print the instrument snapshot at the end")
     args = parser.parse_args(argv)
+
+    registry = enable_telemetry() if args.telemetry else None
 
     names = list(args.experiments)
     if "all" in names:
@@ -137,6 +148,18 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 print(export.render(result, args.format))
                 print()
+    if registry is not None:
+        snapshot = registry.snapshot()
+        if args.output is not None:
+            path = args.output / "telemetry.json"
+            path.write_text(json.dumps(snapshot, indent=2, sort_keys=True),
+                            encoding="utf-8")
+            print(f"wrote {path}")
+        else:
+            print("Telemetry snapshot")
+            for name, value in snapshot.items():
+                print(f"  {name}: {value}")
+        set_default_registry(NULL_REGISTRY)
     return 0
 
 

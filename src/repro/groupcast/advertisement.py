@@ -31,6 +31,7 @@ import numpy as np
 
 from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import GroupError
+from ..obs.registry import Registry, get_default_registry
 from ..overlay.graph import OverlayNetwork
 from ..overlay.messages import MessageKind, MessageStats
 from ..sim.random import RandomSource, weighted_sample_without_replacement
@@ -104,6 +105,7 @@ def propagate_advertisement(
     utility_config: UtilityConfig | None = None,
     stats: MessageStats | None = None,
     trust_fn: TrustFn | None = None,
+    registry: Registry | None = None,
 ) -> AdvertisementOutcome:
     """Propagate one advertisement and return the receipt map.
 
@@ -121,6 +123,10 @@ def propagate_advertisement(
     config = config or AnnouncementConfig()
     utility_config = utility_config or UtilityConfig()
     stats = stats or MessageStats()
+    registry = registry if registry is not None else get_default_registry()
+    c_messages = registry.counter(f"messages.{MessageKind.ADVERTISEMENT.value}")
+    c_duplicates = registry.counter("advertisement.duplicates")
+    c_receipts = registry.counter("advertisement.receipts")
 
     receipts: dict[int, AdvertisementReceipt] = {
         rendezvous: AdvertisementReceipt(rendezvous, None, 0.0, 0)
@@ -146,17 +152,20 @@ def propagate_advertisement(
                        path))
             messages += 1
             stats.record(MessageKind.ADVERTISEMENT)
+            c_messages.inc()
 
     forward_from(rendezvous, 0.0, config.advertisement_ttl, (rendezvous,))
     while heap:
         arrival, _, sender, receiver, ttl, path = heapq.heappop(heap)
         if receiver in receipts:
             duplicates += 1  # dropped by the receivedAdvertising table
+            c_duplicates.inc()
             continue
         if receiver not in overlay:
             continue  # peer departed mid-flight
         receipts[receiver] = AdvertisementReceipt(
             receiver, sender, arrival, len(path))
+        c_receipts.inc()
         forward_from(receiver, arrival, ttl, path + (receiver,))
 
     return AdvertisementOutcome(

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import GroupError
+from ..obs.registry import Registry
+from ..obs.tracer import Tracer
 from ..overlay.graph import OverlayNetwork
 from ..overlay.messages import MessageKind
 from ..sim.engine import Simulator
@@ -135,13 +137,17 @@ class GroupSessionNode:
     def _on_advertise(self, envelope: Envelope, message: Advertise) -> None:
         state = self.state(message.group_id)
         if state.has_advertisement:
-            self.coordinator.duplicates += 1
+            self.coordinator.record_duplicate()
             return
         state.has_advertisement = True
         state.upstream = envelope.sender
         self.coordinator.record_receipt(
             message.group_id, self.peer_id, envelope.delivered_at_ms)
-        if message.ttl > 0:
+        # ttl counts the remaining overlay hops *including* the one that
+        # delivered this copy, matching the procedural propagation in
+        # :func:`repro.groupcast.advertisement.propagate_advertisement`:
+        # with ttl=T the announcement reaches peers at most T hops out.
+        if message.ttl > 1:
             self._forward_advertisement(
                 Advertise(message.group_id, message.rendezvous,
                           message.path + (self.peer_id,),
@@ -276,35 +282,54 @@ class GroupSession:
         announcement: AnnouncementConfig | None = None,
         utility: UtilityConfig | None = None,
         loss_rate: float = 0.0,
+        registry: Registry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.overlay = overlay
         self.rng = rng
         self.announcement = announcement or AnnouncementConfig()
         self.utility = utility or UtilityConfig()
-        self.simulator = Simulator()
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        self.simulator = Simulator(tracer=tracer)
         self.network = MessageNetwork(
-            self.simulator, latency_fn, rng, loss_rate=loss_rate)
+            self.simulator, latency_fn, rng, loss_rate=loss_rate,
+            registry=self.registry, tracer=tracer)
         self.nodes: dict[int, GroupSessionNode] = {}
         for peer_id in overlay.peer_ids():
             node = GroupSessionNode(peer_id, self)
             self.nodes[peer_id] = node
             self.network.register(peer_id, node.handle)
-        self.duplicates = 0
+        self._c_duplicates = self.registry.counter("session.duplicates")
+        self._c_receipts = self.registry.counter("session.receipts")
+        self._c_failures = self.registry.counter("session.failures")
+        self._h_delivery = self.registry.histogram("dissemination.delay_ms")
         self.receipts: dict[int, dict[int, float]] = {}
         self.failures: dict[int, set[int]] = {}
         self.deliveries: dict[tuple[int, int], dict[int, float]] = {}
         self._payload_ids = itertools.count(1)
 
+    @property
+    def duplicates(self) -> int:
+        """Advertisement copies dropped by the receivedAdvertising table."""
+        return self._c_duplicates.value
+
     # ------------------------------------------------------------------
     # Measurement hooks (called by nodes)
     # ------------------------------------------------------------------
+    def record_duplicate(self) -> None:
+        """Count a dropped duplicate advertisement copy."""
+        self._c_duplicates.inc()
+
     def record_receipt(self, group_id: int, peer_id: int,
                        at_ms: float) -> None:
         """Log a peer's first advertisement receipt time."""
+        self._c_receipts.inc()
         self.receipts.setdefault(group_id, {})[peer_id] = at_ms
 
     def record_failure(self, group_id: int, peer_id: int) -> None:
         """Log a member whose subscription could not complete."""
+        self._c_failures.inc()
         self.failures.setdefault(group_id, set()).add(peer_id)
 
     def record_delivery(self, group_id: int, payload_id: int,
@@ -337,11 +362,14 @@ class GroupSession:
         self.nodes[source].start_publish(group_id, payload_id)
         self.simulator.run()
         delivered = self.deliveries.get((group_id, payload_id), {})
-        return {
+        delays = {
             peer: at - start
             for peer, at in delivered.items()
             if peer != source and self.nodes[peer].state(group_id).is_member
         }
+        for delay in delays.values():
+            self._h_delivery.observe(delay)
+        return delays
 
     def remove_peer(self, peer_id: int) -> None:
         """A peer crashes mid-session.

@@ -22,6 +22,7 @@ from typing import Mapping, Sequence
 
 from ..config import AnnouncementConfig
 from ..errors import SubscriptionError
+from ..obs.registry import Registry, get_default_registry
 from ..overlay.graph import OverlayNetwork
 from ..overlay.messages import MessageKind, MessageStats
 from ..overlay.search import ripple_search
@@ -79,10 +80,20 @@ def subscribe_members(
     latency_fn: LatencyFn,
     config: AnnouncementConfig | None = None,
     stats: MessageStats | None = None,
+    registry: Registry | None = None,
 ) -> tuple[SpanningTree, SubscriptionOutcome]:
     """Subscribe ``members`` and return the resulting spanning tree."""
     config = config or AnnouncementConfig()
     stats = stats or MessageStats()
+    registry = registry if registry is not None else get_default_registry()
+    c_subscription = registry.counter(
+        f"messages.{MessageKind.SUBSCRIPTION.value}")
+    c_search = registry.counter(
+        f"messages.{MessageKind.SUBSCRIPTION_SEARCH.value}")
+    c_response = registry.counter(
+        f"messages.{MessageKind.SEARCH_RESPONSE.value}")
+    c_failures = registry.counter("subscription.failures")
+    h_lookup = registry.histogram("lookup.latency_ms")
     tree = SpanningTree(advertisement.rendezvous)
 
     records: dict[int, SubscriptionRecord] = {}
@@ -93,6 +104,7 @@ def subscribe_members(
     for member in members:
         if member not in overlay:
             failed.append(member)
+            c_failures.inc()
             continue
         if member == advertisement.rendezvous:
             records[member] = SubscriptionRecord(member, False, 0.0, 0, 0)
@@ -100,6 +112,7 @@ def subscribe_members(
         if member in advertisement.receipts:
             hops = _graft_reverse_path(tree, advertisement, member)
             stats.record(MessageKind.SUBSCRIPTION, hops)
+            c_subscription.inc(hops)
             total_subscription += hops
             records[member] = SubscriptionRecord(
                 member, False, 0.0, 0, hops)
@@ -108,13 +121,16 @@ def subscribe_members(
         receipts = advertisement.receipts
         found = ripple_search(
             overlay, member, lambda peer: peer in receipts,
-            config.subscription_search_ttl, latency_fn)
+            config.subscription_search_ttl, latency_fn, registry=registry)
         total_search += found.messages
         stats.record(MessageKind.SUBSCRIPTION_SEARCH, found.messages)
+        c_search.inc(found.messages)
         if found.hit is None:
             failed.append(member)
+            c_failures.inc()
             continue
         stats.record(MessageKind.SEARCH_RESPONSE)
+        c_response.inc()
         total_search += 1
         # Graft the informed peer's reverse path, then hang the searcher's
         # overlay route to it underneath.
@@ -127,7 +143,9 @@ def subscribe_members(
         tree.mark_member(member)
         hops += 1  # the subscription message handed to the informed peer
         stats.record(MessageKind.SUBSCRIPTION, hops)
+        c_subscription.inc(hops)
         total_subscription += hops
+        h_lookup.observe(2.0 * found.hit.latency_ms)
         records[member] = SubscriptionRecord(
             member, True, 2.0 * found.hit.latency_ms, found.messages + 1,
             hops)

@@ -77,6 +77,9 @@ class UnderlayNetwork:
         self._stub_router_ids = stub_router_ids
         self._peer_access_latency = peer_access_latency
         self._attachments: dict[int, Attachment] = {}
+        # Parallel maps for the vectorized distance gather.
+        self._attach_router: dict[int, int] = {}
+        self._attach_access: dict[int, float] = {}
         # Per-source Dijkstra cache: router -> (distances, predecessors).
         self._route_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
@@ -111,6 +114,8 @@ class UnderlayNetwork:
         low, high = self._peer_access_latency
         attachment = Attachment(peer_id, router, float(rng.uniform(low, high)))
         self._attachments[peer_id] = attachment
+        self._attach_router[peer_id] = router
+        self._attach_access[peer_id] = attachment.access_latency_ms
         return attachment
 
     def attachment(self, peer_id: int) -> Attachment:
@@ -180,17 +185,31 @@ class UnderlayNetwork:
 
     def peer_distances_ms(self, peer_id: int,
                           others: Sequence[int]) -> np.ndarray:
-        """Vector of end-to-end latencies from ``peer_id`` to ``others``."""
+        """Vector of end-to-end latencies from ``peer_id`` to ``others``.
+
+        A single numpy gather over the cached Dijkstra row replaces the
+        per-element :meth:`peer_distance_ms` arithmetic; entries equal to
+        ``peer_id`` come out as exactly 0.0, matching the scalar path.
+        """
         att = self.attachment(peer_id)
         dist = self.router_distances_from(att.router_id)
-        out = np.empty(len(others), dtype=float)
-        for i, other in enumerate(others):
-            if other == peer_id:
-                out[i] = 0.0
-                continue
-            other_att = self.attachment(other)
-            out[i] = (att.access_latency_ms + dist[other_att.router_id]
-                      + other_att.access_latency_ms)
+        n = len(others)
+        try:
+            routers = np.fromiter(
+                map(self._attach_router.__getitem__, others),
+                dtype=np.intp, count=n)
+            access = np.fromiter(
+                map(self._attach_access.__getitem__, others),
+                dtype=np.float64, count=n)
+        except KeyError as exc:
+            raise TopologyError(
+                f"peer {exc.args[0]} is not attached") from None
+        # Same operand order as peer_distance_ms, so results match
+        # bit-for-bit: access(a) + router_distance + access(b).
+        out = att.access_latency_ms + dist[routers] + access
+        self_mask = np.asarray(others) == peer_id
+        if self_mask.any():
+            out[self_mask] = 0.0
         return out
 
     def peer_path_links(self, a: int, b: int) -> list[tuple[int, int]]:

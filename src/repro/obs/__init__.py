@@ -1,0 +1,59 @@
+"""Zero-dependency observability layer: instruments and trace capture.
+
+Two pieces:
+
+* :mod:`.registry` — named counters, gauges and fixed-bucket histograms
+  behind a :class:`Registry`, plus a process-wide default registry that
+  the procedural protocol paths fall back to (disabled — and therefore
+  free — unless :func:`enable_telemetry` installs an enabled one);
+* :mod:`.tracer` — a :class:`Tracer` ring buffer of structured trace
+  records with JSON-lines export and a running :meth:`~Tracer.
+  trace_digest` hash for determinism regression tests.
+
+Every paper-figure metric maps onto a named instrument; the table lives
+in the README's Observability section.
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    disable_telemetry,
+    enable_telemetry,
+    get_default_registry,
+    set_default_registry,
+)
+from .tracer import (
+    KIND_DEAD_LETTER,
+    KIND_DELIVER,
+    KIND_FIRE,
+    KIND_LOST,
+    KIND_SCHEDULE,
+    KIND_SEND,
+    TraceRecord,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_default_registry",
+    "set_default_registry",
+    "KIND_DEAD_LETTER",
+    "KIND_DELIVER",
+    "KIND_FIRE",
+    "KIND_LOST",
+    "KIND_SCHEDULE",
+    "KIND_SEND",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,329 @@
+"""Named counters, gauges and fixed-bucket histograms.
+
+The paper's entire evaluation is counted quantities — messages per
+service lookup (Fig. 11), link and node stress (Figs. 15-16), overload
+index (Fig. 17) — so every protocol layer records what it does through a
+:class:`Registry` of named instruments instead of scattering bare-int
+attributes.  Instruments are deliberately tiny (``__slots__``, one float
+or int of state) so they can stay enabled inside benchmarks; a disabled
+registry hands out shared no-op instruments, making telemetry free where
+it is not wanted.
+
+Instrument names are dotted paths (``messages.advertisement``,
+``net.sent``, ``lookup.latency_ms``); the mapping from paper figures to
+instrument names is documented in the README's Observability section.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import TelemetryError
+
+#: Default histogram buckets, tuned for millisecond latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))")
+        self._value += amount
+
+    def reset(self) -> None:
+        """Zero the count."""
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, alive peers)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Replace the level."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Raise the level by ``amount``."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Lower the level by ``amount``."""
+        self._value -= amount
+
+    def reset(self) -> None:
+        """Zero the level."""
+        self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed samples.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last edge, so
+    ``bucket_counts()`` has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise TelemetryError(
+                f"histogram {name!r} needs at least one bucket")
+        if any(a >= b for a, b in zip(edges, edges[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} bucket edges must increase strictly")
+        self.name = name
+        self.bounds = edges
+        self._counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed samples."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Average sample (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket sample counts, overflow bucket last."""
+        return tuple(self._counts)
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self._count}, "
+                f"mean={self.mean:.3f})")
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    """Shared do-nothing gauge handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullHistogram(Histogram):
+    """Shared do-nothing histogram handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class Registry:
+    """A namespace of instruments, memoized by name.
+
+    Asking twice for the same name returns the same instrument; asking
+    for an existing name with a different instrument type raises
+    :class:`~repro.errors.TelemetryError`.  A registry constructed with
+    ``enabled=False`` hands out shared no-op instruments, so telemetry
+    call sites cost one attribute lookup and an empty call.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, Instrument] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._lookup(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._lookup(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, bounds)
+            self._instruments[name] = instrument
+        elif type(instrument) is not Histogram:
+            raise TelemetryError(
+                f"{name!r} is a {type(instrument).__name__}, not a Histogram")
+        return instrument
+
+    def _lookup(self, name: str, cls: type) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise TelemetryError(
+                f"{name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}")
+        return instrument
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument called ``name``, or None if never created."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted names of every instrument created so far."""
+        return sorted(self._instruments)
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """``{name: value}`` of every counter under ``prefix``."""
+        return {
+            name: inst.value
+            for name, inst in self._instruments.items()
+            if isinstance(inst, Counter) and name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view of every instrument, keyed by name.
+
+        Counters and gauges map to their value; histograms map to a dict
+        of ``count``/``sum``/``mean``/``buckets``.
+        """
+        out: dict[str, object] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                out[name] = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "mean": inst.mean,
+                    "buckets": inst.bucket_counts(),
+                }
+            else:
+                out[name] = inst.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (names and types are kept)."""
+        for inst in self._instruments.values():
+            inst.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Registry({state}, {len(self._instruments)} instruments)"
+
+
+#: Shared disabled registry: the default for the procedural fast paths,
+#: where telemetry must cost nothing unless explicitly requested.
+NULL_REGISTRY = Registry(enabled=False)
+
+_default_registry: Registry = NULL_REGISTRY
+
+
+def get_default_registry() -> Registry:
+    """The process-wide fallback registry (disabled unless installed)."""
+    return _default_registry
+
+
+def set_default_registry(registry: Registry) -> Registry:
+    """Install ``registry`` as the fallback; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def enable_telemetry() -> Registry:
+    """Install and return a fresh enabled fallback registry."""
+    registry = Registry(enabled=True)
+    set_default_registry(registry)
+    return registry
+
+
+def disable_telemetry() -> None:
+    """Restore the disabled fallback registry."""
+    set_default_registry(NULL_REGISTRY)

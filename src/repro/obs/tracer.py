@@ -1,0 +1,131 @@
+"""Deterministic structured trace capture for the event simulator.
+
+A :class:`Tracer` hooks the hot spots of the runtime —
+:meth:`repro.sim.engine.Simulator.schedule` / ``run`` and
+:meth:`repro.sim.messaging.MessageNetwork.send` / ``_deliver`` — and
+emits one :class:`TraceRecord` per action: virtual time, record kind,
+the peer pair involved and the message kind.  Records land in a bounded
+ring buffer (old records fall off; memory stays flat on long runs) while
+a running SHA-256 over the *complete* record stream feeds
+:meth:`Tracer.trace_digest`.
+
+Because the simulator breaks timestamp ties by insertion sequence and
+every random draw flows through seeded :class:`~repro.sim.random.
+RandomSource` streams, two identically-seeded runs must produce
+byte-identical traces — ``trace_digest()`` turns that into a one-line
+regression assertion (see ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Record kinds emitted by the built-in hooks.
+KIND_SCHEDULE = "schedule"
+KIND_FIRE = "fire"
+KIND_SEND = "send"
+KIND_LOST = "lost"
+KIND_DELIVER = "deliver"
+KIND_DEAD_LETTER = "dead_letter"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced action inside the simulated runtime.
+
+    ``a``/``b`` are peer ids for transport records (sender/recipient)
+    and unused (-1) for engine records; ``seq`` is the engine's event
+    sequence number for ``schedule``/``fire`` records; ``detail`` holds
+    the message kind value or the scheduled firing time.
+    """
+
+    at_ms: float
+    kind: str
+    seq: int = -1
+    a: int = -1
+    b: int = -1
+    detail: str = ""
+
+    def canonical(self) -> str:
+        """Stable one-line encoding, the unit hashed by the digest."""
+        return (f"{self.at_ms!r}|{self.kind}|{self.seq}"
+                f"|{self.a}|{self.b}|{self.detail}")
+
+    def to_json(self) -> str:
+        """JSON object with deterministic key order."""
+        return json.dumps(
+            {"at_ms": self.at_ms, "kind": self.kind, "seq": self.seq,
+             "a": self.a, "b": self.b, "detail": self.detail},
+            sort_keys=True, separators=(",", ":"))
+
+
+class Tracer:
+    """Bounded ring buffer of trace records with a running digest."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: deque[TraceRecord] = deque(maxlen=capacity)
+        self._digest = hashlib.sha256()
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    def record(self, at_ms: float, kind: str, seq: int = -1,
+               a: int = -1, b: int = -1, detail: str = "") -> None:
+        """Append one record and fold it into the running digest."""
+        rec = TraceRecord(at_ms, kind, seq, a, b, detail)
+        self._buffer.append(rec)
+        self._digest.update(rec.canonical().encode("utf-8"))
+        self._total += 1
+
+    @property
+    def total_records(self) -> int:
+        """Records ever emitted (buffered + fallen off the ring)."""
+        return self._total
+
+    def __len__(self) -> int:
+        """Records currently held in the ring buffer."""
+        return len(self._buffer)
+
+    def records(self) -> tuple[TraceRecord, ...]:
+        """The buffered window, oldest first."""
+        return tuple(self._buffer)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(tuple(self._buffer))
+
+    # ------------------------------------------------------------------
+    def trace_digest(self) -> str:
+        """SHA-256 hex digest over every record emitted so far.
+
+        Covers the full stream, not just the buffered window, so two
+        identically-seeded runs can be asserted byte-identical even when
+        the ring buffer overflowed.
+        """
+        return self._digest.copy().hexdigest()
+
+    def to_jsonl(self) -> str:
+        """The buffered window as JSON lines."""
+        return "".join(rec.to_json() + "\n" for rec in self._buffer)
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write the buffered window to ``path`` as JSON lines."""
+        target = Path(path)
+        target.write_text(self.to_jsonl(), encoding="utf-8")
+        return target
+
+    def clear(self) -> None:
+        """Drop the buffer and restart the digest and total count."""
+        self._buffer.clear()
+        self._digest = hashlib.sha256()
+        self._total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Tracer({len(self._buffer)}/{self.capacity} buffered, "
+                f"{self._total} total)")

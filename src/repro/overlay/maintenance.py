@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..config import OverlayConfig
 from ..errors import OverlayError
+from ..obs.registry import Registry
 from ..sim.engine import Simulator
 from ..sim.random import RandomSource
 from .bootstrap import UtilityBootstrap
@@ -47,6 +48,7 @@ class MaintenanceDaemon:
         rng: RandomSource,
         config: OverlayConfig | None = None,
         stats: MessageStats | None = None,
+        registry: Registry | None = None,
     ) -> None:
         self.simulator = simulator
         self.overlay = overlay
@@ -55,9 +57,19 @@ class MaintenanceDaemon:
         self.rng = rng
         self.config = config or OverlayConfig()
         self.stats = stats or MessageStats()
+        self.registry = registry if registry is not None else Registry()
         self._states: dict[int, _PeerState] = {}
         self.detected_failures: list[tuple[float, int, int]] = []
         self.repairs: list[tuple[float, int, int]] = []
+        self._c_heartbeats = self.registry.counter("maintenance.heartbeats")
+        self._c_replies = self.registry.counter(
+            "maintenance.heartbeat_replies")
+        self._c_failures = self.registry.counter(
+            "maintenance.failures_detected")
+        self._c_repaired = self.registry.counter(
+            "maintenance.links_repaired")
+        self._c_departures = self.registry.counter("maintenance.departures")
+        self._g_alive = self.registry.gauge("maintenance.alive_peers")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -70,6 +82,7 @@ class MaintenanceDaemon:
             raise OverlayError(f"peer {peer_id} is already maintained")
         state = _PeerState(epoch_ms=self.config.epoch_ms)
         self._states[peer_id] = state
+        self._g_alive.inc()
         jitter = float(self.rng.uniform(0, self.config.heartbeat_interval_ms))
         self.simulator.schedule(
             jitter, lambda: self._heartbeat_round(peer_id))
@@ -91,6 +104,7 @@ class MaintenanceDaemon:
         if state is None or not state.alive:
             return
         state.alive = False
+        self._g_alive.dec()
         self.host_cache.unregister(peer_id)
 
     def depart(self, peer_id: int) -> None:
@@ -99,9 +113,11 @@ class MaintenanceDaemon:
         if state is None or not state.alive:
             return
         state.alive = False
+        self._g_alive.dec()
         self.host_cache.unregister(peer_id)
         neighbors = self.overlay.neighbors(peer_id)
         self.stats.record(MessageKind.DEPARTURE, len(neighbors))
+        self._c_departures.inc(len(neighbors))
         self.overlay.remove_peer(peer_id)
         del self._states[peer_id]
 
@@ -117,9 +133,11 @@ class MaintenanceDaemon:
         threshold = self.config.missed_heartbeats_for_failure
         for neighbor in self.overlay.neighbors(peer_id):
             self.stats.record(MessageKind.HEARTBEAT)
+            self._c_heartbeats.inc()
             neighbor_state = self._states.get(neighbor)
             if neighbor_state is not None and neighbor_state.alive:
                 self.stats.record(MessageKind.HEARTBEAT_REPLY)
+                self._c_replies.inc()
                 state.missed.pop(neighbor, None)
                 continue
             missed = state.missed.get(neighbor, 0) + 1
@@ -137,6 +155,7 @@ class MaintenanceDaemon:
                 peer_id, neighbor):
             self.overlay.remove_link(peer_id, neighbor)
         state.failures_this_epoch += 1
+        self._c_failures.inc()
         self.detected_failures.append(
             (self.simulator.now, peer_id, neighbor))
         # Purge the dead peer's vertex once everyone has dropped it.
@@ -161,6 +180,7 @@ class MaintenanceDaemon:
         if deficit > 0:
             added = self.bootstrap.acquire_neighbors(info, deficit)
             if added:
+                self._c_repaired.inc(len(added))
                 self.repairs.append(
                     (self.simulator.now, peer_id, len(added)))
         state.epoch_ms = self._adapted_epoch(state)

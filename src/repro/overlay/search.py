@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Collection, Optional
 
 from ..errors import OverlayError
+from ..obs.registry import Registry, get_default_registry
 from ..sim.random import RandomSource
 from .graph import OverlayNetwork
 
@@ -56,6 +57,7 @@ def ripple_search(
     ttl: int,
     latency_fn: LatencyFn | None = None,
     exclude: Collection[int] = (),
+    registry: Registry | None = None,
 ) -> SearchResult:
     """TTL-scoped flood from ``origin``.
 
@@ -67,6 +69,7 @@ def ripple_search(
     """
     if origin not in overlay:
         raise OverlayError(f"origin {origin} is not in the overlay")
+    registry = registry if registry is not None else get_default_registry()
     cost = latency_fn if latency_fn is not None else (lambda a, b: 1.0)
     excluded = set(exclude)
     messages = 0
@@ -74,6 +77,8 @@ def ripple_search(
     # (node, route from origin to node inclusive, accumulated latency)
     frontier: list[tuple[int, tuple[int, ...], float]] = [
         (origin, (origin,), 0.0)]
+    registry.counter("search.ripple.searches").inc()
+    c_messages = registry.counter("search.ripple.messages")
     for depth in range(1, ttl + 1):
         next_frontier: list[tuple[int, tuple[int, ...], float]] = []
         hits: list[tuple[float, int, tuple[int, ...]]] = []
@@ -92,6 +97,8 @@ def ripple_search(
         if hits:
             hits.sort()
             latency, target, route = hits[0]
+            c_messages.inc(messages)
+            registry.counter("search.ripple.hits").inc()
             return SearchResult(
                 hit=SearchHit(target=target, route=route,
                               latency_ms=latency, depth=depth),
@@ -99,6 +106,8 @@ def ripple_search(
         frontier = next_frontier
         if not frontier:
             break
+    c_messages.inc(messages)
+    registry.counter("search.ripple.misses").inc()
     return SearchResult(hit=None, messages=messages)
 
 
@@ -111,6 +120,7 @@ def random_walk_search(
     walk_length: int = 32,
     latency_fn: LatencyFn | None = None,
     exclude: Collection[int] = (),
+    registry: Registry | None = None,
 ) -> SearchResult:
     """``walkers`` independent random walks from ``origin``.
 
@@ -123,6 +133,8 @@ def random_walk_search(
         raise OverlayError(f"origin {origin} is not in the overlay")
     if walkers < 1 or walk_length < 1:
         raise OverlayError("walkers and walk_length must be >= 1")
+    registry = registry if registry is not None else get_default_registry()
+    registry.counter("search.walk.searches").inc()
     cost = latency_fn if latency_fn is not None else (lambda a, b: 1.0)
     excluded = set(exclude)
     messages = 0
@@ -150,4 +162,8 @@ def random_walk_search(
                 break
             previous, current = current, step_to
             route = route + (step_to,)
+    registry.counter("search.walk.messages").inc(messages)
+    registry.counter(
+        "search.walk.hits" if best is not None else "search.walk.misses"
+    ).inc()
     return SearchResult(hit=best, messages=messages)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SimulationError
+from ..obs.tracer import KIND_FIRE, KIND_SCHEDULE, Tracer
 
 
 @dataclass(order=True)
@@ -48,11 +49,12 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -75,6 +77,9 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past: {delay_ms}")
         event = Event(self._now + delay_ms, next(self._sequence), action)
         heapq.heappush(self._heap, event)
+        if self.tracer is not None:
+            self.tracer.record(self._now, KIND_SCHEDULE,
+                               seq=event.sequence, detail=repr(event.time))
         return event
 
     def schedule_at(self, time_ms: float, action: Callable[[], None]) -> Event:
@@ -85,6 +90,9 @@ class Simulator:
             )
         event = Event(time_ms, next(self._sequence), action)
         heapq.heappush(self._heap, event)
+        if self.tracer is not None:
+            self.tracer.record(self._now, KIND_SCHEDULE,
+                               seq=event.sequence, detail=repr(event.time))
         return event
 
     def run(self, until: Optional[float] = None,
@@ -107,6 +115,8 @@ class Simulator:
             if event.time < self._now:
                 raise SimulationError("event heap yielded a past event")
             self._now = event.time
+            if self.tracer is not None:
+                self.tracer.record(event.time, KIND_FIRE, seq=event.sequence)
             event.action()
             self._events_processed += 1
             processed += 1
@@ -121,7 +131,11 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if event.time < self._now:
+                raise SimulationError("event heap yielded a past event")
             self._now = event.time
+            if self.tracer is not None:
+                self.tracer.record(event.time, KIND_FIRE, seq=event.sequence)
             event.action()
             self._events_processed += 1
             return True

@@ -16,6 +16,14 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import SimulationError
+from ..obs.registry import Counter, Registry
+from ..obs.tracer import (
+    KIND_DEAD_LETTER,
+    KIND_DELIVER,
+    KIND_LOST,
+    KIND_SEND,
+    Tracer,
+)
 from ..overlay.messages import MessageKind, MessageStats
 from .engine import Simulator
 from .random import RandomSource
@@ -50,6 +58,8 @@ class MessageNetwork:
         rng: RandomSource,
         loss_rate: float = 0.0,
         stats: Optional[MessageStats] = None,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError("loss_rate must be in [0, 1)")
@@ -58,11 +68,45 @@ class MessageNetwork:
         self.rng = rng
         self.loss_rate = loss_rate
         self.stats = stats or MessageStats()
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
         self._handlers: dict[int, Callable[[Envelope], None]] = {}
-        self.sent = 0
-        self.delivered = 0
-        self.lost = 0
-        self.dead_lettered = 0
+        self._c_sent = self.registry.counter("net.sent")
+        self._c_delivered = self.registry.counter("net.delivered")
+        self._c_lost = self.registry.counter("net.lost")
+        self._c_dead = self.registry.counter("net.dead_lettered")
+        self._kind_counters: dict[MessageKind, Counter] = {}
+
+    # ------------------------------------------------------------------
+    # Transport counters (registry-backed; attributes kept as properties
+    # for backward compatibility with the pre-telemetry API).
+    # ------------------------------------------------------------------
+    @property
+    def sent(self) -> int:
+        """Messages handed to the transport (including lost ones)."""
+        return self._c_sent.value
+
+    @property
+    def delivered(self) -> int:
+        """Messages that reached a registered handler."""
+        return self._c_delivered.value
+
+    @property
+    def lost(self) -> int:
+        """Messages dropped by the loss process."""
+        return self._c_lost.value
+
+    @property
+    def dead_lettered(self) -> int:
+        """Messages whose recipient had no handler on arrival."""
+        return self._c_dead.value
+
+    def _kind_counter(self, kind: MessageKind) -> Counter:
+        counter = self._kind_counters.get(kind)
+        if counter is None:
+            counter = self.registry.counter(f"messages.{kind.value}")
+            self._kind_counters[kind] = counter
+        return counter
 
     # ------------------------------------------------------------------
     def register(self, peer_id: int,
@@ -84,11 +128,20 @@ class MessageNetwork:
         """Schedule delivery of ``payload`` after the underlay latency."""
         if sender == recipient:
             raise SimulationError("peers do not message themselves")
-        self.sent += 1
+        self._c_sent.inc()
+        detail = ""
         if kind is not None:
             self.stats.record(kind)
+            self._kind_counter(kind).inc()
+            detail = kind.value
+        if self.tracer is not None:
+            self.tracer.record(self.simulator.now, KIND_SEND,
+                               a=sender, b=recipient, detail=detail)
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
-            self.lost += 1
+            self._c_lost.inc()
+            if self.tracer is not None:
+                self.tracer.record(self.simulator.now, KIND_LOST,
+                                   a=sender, b=recipient, detail=detail)
             return
         latency = self.latency_fn(sender, recipient)
         if latency < 0.0:
@@ -112,7 +165,13 @@ class MessageNetwork:
     def _deliver(self, envelope: Envelope) -> None:
         handler = self._handlers.get(envelope.recipient)
         if handler is None:
-            self.dead_lettered += 1
+            self._c_dead.inc()
+            if self.tracer is not None:
+                self.tracer.record(envelope.delivered_at_ms, KIND_DEAD_LETTER,
+                                   a=envelope.sender, b=envelope.recipient)
             return
-        self.delivered += 1
+        self._c_delivered.inc()
+        if self.tracer is not None:
+            self.tracer.record(envelope.delivered_at_ms, KIND_DELIVER,
+                               a=envelope.sender, b=envelope.recipient)
         handler(envelope)

@@ -1,0 +1,107 @@
+"""Cross-validation: event-driven and procedural paths count alike.
+
+The procedural fast path (:func:`propagate_advertisement` +
+:func:`subscribe_members`) and the event-driven session runtime
+(:class:`GroupSession` over :class:`MessageNetwork`) implement the same
+protocol; with a deterministic NSSA announcement on the same seeded
+topology their per-:class:`MessageKind` traffic must agree *exactly*.
+Each path records into its own observability :class:`Registry` and the
+test compares the ``messages.*`` instruments — precisely the quantities
+Figure 11 charges per scheme.
+"""
+
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.session import GroupSession
+from repro.groupcast.subscription import subscribe_members
+from repro.obs import Registry
+from repro.sim.random import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def nssa_config():
+    return AnnouncementConfig(advertisement_ttl=8,
+                              subscription_search_ttl=2)
+
+
+def test_per_kind_counts_agree(groupcast_deployment, nssa_config):
+    deployment = groupcast_deployment
+    rendezvous = deployment.peer_ids()[0]
+
+    # --- procedural fast path -----------------------------------------
+    procedural = Registry()
+    advertisement = propagate_advertisement(
+        deployment.overlay, rendezvous, 1, "nssa",
+        deployment.peer_distance_ms, spawn_rng(1, "proc"), nssa_config,
+        deployment.config.utility, registry=procedural)
+
+    # Members that hold the advertisement join over the reverse path, so
+    # no ripple search runs and the comparison is exact.
+    members = sorted(set(advertisement.receipts) - {rendezvous})[:40]
+    _, outcome = subscribe_members(
+        deployment.overlay, advertisement, members,
+        deployment.peer_distance_ms, nssa_config, registry=procedural)
+    assert not outcome.failed
+    assert outcome.search_messages == 0
+
+    # --- event-driven session, same member order, sequential ----------
+    event_driven = Registry()
+    session = GroupSession(
+        deployment.overlay, deployment.peer_distance_ms,
+        spawn_rng(2, "event"), announcement=nssa_config,
+        utility=deployment.config.utility, registry=event_driven)
+    session.nodes[rendezvous].start_advertisement(1, "nssa")
+    session.simulator.run()
+    for member in members:
+        session.nodes[member].start_subscription(1)
+        session.simulator.run()
+
+    # Identical reach: every procedural receipt also received in-session.
+    assert set(session.receipts[1]) | {rendezvous} == \
+        set(advertisement.receipts)
+    assert session.members_on_tree(1) >= set(members)
+
+    # Per-kind counts agree exactly between the two registries (zero
+    # counters are dropped: the paths pre-create different instruments).
+    def nonzero(registry):
+        return {name: value
+                for name, value in registry.counters("messages.").items()
+                if value}
+
+    assert nonzero(event_driven) == nonzero(procedural)
+    assert event_driven.counter("messages.advertisement").value == \
+        advertisement.messages_sent
+    assert event_driven.counter("messages.subscription").value == \
+        outcome.subscription_messages
+    assert event_driven.counter("messages.subscription_search").value == 0
+
+    # Duplicate suppression drops the same number of copies.
+    assert session.duplicates == advertisement.duplicates
+
+
+def test_counts_diverge_without_members(groupcast_deployment, nssa_config):
+    """Sanity check of the harness: advertisement-only traffic is still
+    equal, and nonzero, when nobody subscribes."""
+    deployment = groupcast_deployment
+    rendezvous = deployment.peer_ids()[0]
+
+    procedural = Registry()
+    advertisement = propagate_advertisement(
+        deployment.overlay, rendezvous, 1, "nssa",
+        deployment.peer_distance_ms, spawn_rng(3, "proc"), nssa_config,
+        deployment.config.utility, registry=procedural)
+
+    event_driven = Registry()
+    session = GroupSession(
+        deployment.overlay, deployment.peer_distance_ms,
+        spawn_rng(4, "event"), announcement=nssa_config,
+        utility=deployment.config.utility, registry=event_driven)
+    session.nodes[rendezvous].start_advertisement(1, "nssa")
+    session.simulator.run()
+
+    advertised = event_driven.counter("messages.advertisement").value
+    assert advertised == advertisement.messages_sent
+    assert advertised > deployment.peer_count  # NSSA floods duplicates
+    assert event_driven.counter("messages.subscription").value == 0

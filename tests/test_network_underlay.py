@@ -119,6 +119,30 @@ class TestAttachments:
         for value, other in zip(vec, others):
             assert value == pytest.approx(attached.peer_distance_ms(0, other))
 
+    def test_vectorized_distances_match_scalar_exhaustively(self, attached):
+        """The numpy gather must agree with the scalar path bit-for-bit
+        over every attached pair, self-distances included."""
+        peers = sorted(att.peer_id for att in
+                       (attached.attachment(p) for p in range(10)))
+        for source in peers:
+            vec = attached.peer_distances_ms(source, peers)
+            scalar = [attached.peer_distance_ms(source, other)
+                      for other in peers]
+            np.testing.assert_array_equal(vec, np.array(scalar))
+
+    def test_vectorized_distances_accept_numpy_ids(self, attached):
+        others = np.array([1, 2, 3])
+        vec = attached.peer_distances_ms(0, others)
+        assert vec.shape == (3,)
+        assert (vec > 0.0).all()
+
+    def test_vectorized_distances_empty_list(self, attached):
+        assert attached.peer_distances_ms(0, []).shape == (0,)
+
+    def test_vectorized_distances_unattached_peer_rejected(self, attached):
+        with pytest.raises(TopologyError):
+            attached.peer_distances_ms(0, [1, 999])
+
     def test_path_links_include_access_links(self, attached):
         links = attached.peer_path_links(0, 1)
         access = [link for link in links if link[0] < 0]

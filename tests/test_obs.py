@@ -1,0 +1,302 @@
+"""Tests for the observability layer: registry, tracer, determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TelemetryError
+from repro.groupcast.session import GroupSession
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    TraceRecord,
+    Tracer,
+    disable_telemetry,
+    enable_telemetry,
+    get_default_registry,
+)
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.messages import MessageKind
+from repro.peers.peer import PeerInfo
+from repro.sim.engine import Simulator
+from repro.sim.messaging import MessageNetwork
+from repro.sim.random import spawn_rng
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(TelemetryError):
+            Counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == pytest.approx(2.0)
+
+    def test_histogram_buckets_and_moments(self):
+        hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(555.5)
+        assert hist.mean == pytest.approx(555.5 / 4)
+        # One sample per bucket, overflow bucket included.
+        assert hist.bucket_counts() == (1, 1, 1, 1)
+
+    def test_histogram_edge_is_inclusive(self):
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        hist.observe(10.0)
+        assert hist.bucket_counts() == (1, 0, 0)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", bounds=())
+        with pytest.raises(TelemetryError):
+            Histogram("h", bounds=(5.0, 5.0))
+
+
+class TestRegistry:
+    def test_instruments_are_memoized(self):
+        registry = Registry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_type_clash_rejected(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+        with pytest.raises(TelemetryError):
+            registry.histogram("x")
+
+    def test_snapshot_and_counters_view(self):
+        registry = Registry()
+        registry.counter("messages.payload").inc(3)
+        registry.gauge("alive").set(7)
+        registry.histogram("lat", bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["messages.payload"] == 3
+        assert snap["alive"] == 7.0
+        assert snap["lat"]["count"] == 1
+        assert registry.counters(prefix="messages.") == {
+            "messages.payload": 3}
+
+    def test_reset_keeps_names(self):
+        registry = Registry()
+        registry.counter("a").inc(9)
+        registry.reset()
+        assert "a" in registry
+        assert registry.counter("a").value == 0
+
+    def test_disabled_registry_is_noop(self):
+        registry = Registry(enabled=False)
+        counter = registry.counter("a")
+        counter.inc(100)
+        assert counter.value == 0
+        registry.gauge("g").set(5.0)
+        registry.histogram("h").observe(1.0)
+        assert registry.snapshot() == {}
+        assert len(registry) == 0
+
+    def test_default_registry_install_and_restore(self):
+        assert get_default_registry() is NULL_REGISTRY
+        try:
+            installed = enable_telemetry()
+            assert get_default_registry() is installed
+            assert installed.enabled
+        finally:
+            disable_telemetry()
+        assert get_default_registry() is NULL_REGISTRY
+
+
+class TestTracer:
+    def test_records_and_total(self):
+        tracer = Tracer(capacity=2)
+        tracer.record(1.0, "send", a=1, b=2, detail="payload")
+        tracer.record(2.0, "deliver", a=1, b=2)
+        tracer.record(3.0, "send", a=2, b=3)
+        assert tracer.total_records == 3
+        assert len(tracer) == 2  # ring dropped the oldest
+        assert [rec.kind for rec in tracer.records()] == ["deliver", "send"]
+
+    def test_digest_covers_dropped_records(self):
+        full = Tracer(capacity=100)
+        ringed = Tracer(capacity=1)
+        for i in range(10):
+            full.record(float(i), "fire", seq=i)
+            ringed.record(float(i), "fire", seq=i)
+        assert full.trace_digest() == ringed.trace_digest()
+
+    def test_digest_distinguishes_streams(self):
+        a, b = Tracer(), Tracer()
+        a.record(1.0, "send", a=1, b=2)
+        b.record(1.0, "send", a=1, b=3)
+        assert a.trace_digest() != b.trace_digest()
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(1.5, "send", a=4, b=5, detail="heartbeat")
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed == {"at_ms": 1.5, "kind": "send", "seq": -1,
+                          "a": 4, "b": 5, "detail": "heartbeat"}
+
+    def test_clear_restarts_digest(self):
+        tracer = Tracer()
+        tracer.record(1.0, "fire")
+        empty_digest = Tracer().trace_digest()
+        tracer.clear()
+        assert tracer.total_records == 0
+        assert tracer.trace_digest() == empty_digest
+
+    def test_record_is_frozen_dataclass(self):
+        rec = TraceRecord(1.0, "send", a=1, b=2)
+        with pytest.raises(AttributeError):
+            rec.kind = "other"
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestEngineHooks:
+    def test_schedule_and_fire_are_traced(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        sim.schedule(5.0, lambda: None)
+        sim.schedule_at(7.0, lambda: None)
+        sim.run()
+        kinds = [rec.kind for rec in tracer.records()]
+        assert kinds == ["schedule", "schedule", "fire", "fire"]
+        fires = [rec for rec in tracer.records() if rec.kind == "fire"]
+        assert [rec.at_ms for rec in fires] == [5.0, 7.0]
+
+    def test_step_is_traced_and_rejects_past_events(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert [rec.kind for rec in tracer.records()] == [
+            "schedule", "fire"]
+
+
+class TestTransportHooks:
+    def test_send_deliver_traced_and_counted(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        network = MessageNetwork(sim, lambda a, b: 2.0, spawn_rng(0, "n"),
+                                 tracer=tracer)
+        network.register(2, lambda env: None)
+        network.send(1, 2, "x", MessageKind.PAYLOAD)
+        sim.run()
+        kinds = [rec.kind for rec in tracer.records()]
+        assert kinds == ["send", "schedule", "fire", "deliver"]
+        send = tracer.records()[0]
+        assert (send.a, send.b, send.detail) == (1, 2, "payload")
+        assert network.registry.counter("messages.payload").value == 1
+        assert network.sent == 1 and network.delivered == 1
+
+    def test_dead_letter_traced(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        network = MessageNetwork(sim, lambda a, b: 1.0, spawn_rng(0, "n"),
+                                 tracer=tracer)
+        network.send(1, 2, "x")
+        sim.run()
+        assert tracer.records()[-1].kind == "dead_letter"
+        assert network.dead_lettered == 1
+
+    def test_loss_traced(self):
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        network = MessageNetwork(sim, lambda a, b: 1.0, spawn_rng(0, "n"),
+                                 loss_rate=0.99, tracer=tracer)
+        network.register(2, lambda env: None)
+        for _ in range(50):
+            network.send(1, 2, "x")
+        sim.run()
+        assert network.lost > 0
+        assert any(rec.kind == "lost" for rec in tracer.records())
+
+    def test_shared_registry_across_networks(self):
+        registry = Registry()
+        for _ in range(2):
+            sim = Simulator()
+            network = MessageNetwork(sim, lambda a, b: 1.0,
+                                     spawn_rng(0, "n"), registry=registry)
+            network.register(2, lambda env: None)
+            network.send(1, 2, "x")
+            sim.run()
+        assert registry.counter("net.sent").value == 2
+        assert registry.counter("net.delivered").value == 2
+
+
+# ----------------------------------------------------------------------
+# Determinism: two identically-seeded runs are byte-identical.
+# ----------------------------------------------------------------------
+def _random_overlay(seed: int, n: int = 40) -> OverlayNetwork:
+    rng = np.random.default_rng(seed)
+    overlay = OverlayNetwork()
+    for i in range(n):
+        capacity = float(rng.choice([1.0, 10.0, 100.0, 1000.0]))
+        overlay.add_peer(PeerInfo(i, capacity, rng.uniform(0, 100, size=2)))
+    for i in range(1, n):
+        overlay.add_link(i, int(rng.integers(0, i)))
+    for _ in range(2 * n):
+        a, b = rng.integers(0, n, size=2)
+        if a != b and not overlay.has_link(int(a), int(b)):
+            overlay.add_link(int(a), int(b))
+    return overlay
+
+
+def _traced_session_run(seed: int) -> tuple[str, GroupSession]:
+    """One full SSA establish + publish over a lossy traced transport."""
+    overlay = _random_overlay(seed)
+    tracer = Tracer(capacity=512)  # deliberately smaller than the trace
+
+    def latency(a, b):
+        return max(
+            overlay.peer(a).coordinate_distance(overlay.peer(b)), 0.01)
+
+    session = GroupSession(
+        overlay, latency, spawn_rng(seed, "determinism"),
+        loss_rate=0.02, tracer=tracer)
+    members = list(range(1, 20))
+    session.establish(1, rendezvous=0, members=members, scheme="ssa")
+    session.publish(1, source=0)
+    return tracer.trace_digest(), session
+
+
+@pytest.mark.telemetry
+def test_trace_digest_deterministic_across_runs():
+    digest_a, session_a = _traced_session_run(seed=11)
+    digest_b, session_b = _traced_session_run(seed=11)
+    assert digest_a == digest_b
+    assert session_a.tracer.total_records == session_b.tracer.total_records
+    assert session_a.tracer.total_records > 512  # ring actually overflowed
+    assert (session_a.registry.snapshot()
+            == session_b.registry.snapshot())
+
+
+@pytest.mark.telemetry
+def test_trace_digest_differs_across_seeds():
+    digest_a, _ = _traced_session_run(seed=11)
+    digest_c, _ = _traced_session_run(seed=12)
+    assert digest_a != digest_c

@@ -1,9 +1,11 @@
 """Unit tests for the discrete-event engine."""
 
+import heapq
+
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 
 def test_initial_clock_is_zero():
@@ -121,6 +123,33 @@ def test_step_fires_single_event():
     assert sim.step() is True
     assert sim.step() is False
     assert fired == [1, 2]
+
+
+def test_step_rejects_past_events_like_run():
+    """Regression: step() enforces the same no-past-events invariant as
+    run(); a corrupted heap must not silently rewind the clock."""
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    # Simulate heap corruption: inject an event stamped before now.
+    heapq.heappush(sim._heap, Event(1.0, 999, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.step()
+    # run() rejects the same corruption identically.
+    heapq.heappush(sim._heap, Event(1.0, 1000, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_step_does_not_rewind_clock_on_past_event():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    heapq.heappush(sim._heap, Event(3.0, 999, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.step()
+    assert sim.now == 10.0
 
 
 def test_events_processed_counter():

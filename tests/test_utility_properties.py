@@ -1,0 +1,141 @@
+"""Hypothesis property tests for the utility equations (Eqs. 1-5).
+
+The paper derives ``alpha = 1 - r``, ``beta = r`` and
+``gamma = r ** (-ln r)`` from a peer's resource level ``r`` and combines
+distance and capacity preferences into one selection-preference
+probability vector.  These tests pin the algebraic invariants for
+arbitrary inputs: parameter coupling, gamma's monotonicity and bounds,
+probability-vector structure, ordering by merit, and invariance under
+rescaling of the distance vector (Eq. 2 normalises by the maximum).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import UtilityConfig
+from repro.utility.preference import (
+    capacity_preference,
+    derive_parameters,
+    distance_preference,
+    normalized_distances,
+    selection_preference,
+)
+
+CONFIG = UtilityConfig()
+
+#: Resource levels inside the clamp range, so derivations are exact.
+resource_levels = st.floats(min_value=1e-3, max_value=1.0 - 1e-3,
+                            allow_nan=False, allow_infinity=False)
+
+#: Candidate lists: positive capacities and distances, well away from
+#: the ``min_distance_ms`` floor so scaling cannot cross it.
+capacity_lists = st.lists(
+    st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=30)
+distance_values = st.floats(min_value=0.1, max_value=1e4)
+
+
+@given(r=resource_levels)
+@settings(max_examples=100, deadline=None)
+def test_alpha_beta_sum_to_one(r):
+    alpha, beta, gamma = derive_parameters(r, CONFIG)
+    assert alpha + beta == pytest.approx(1.0, abs=1e-12)
+    assert 0.0 < beta < 1.0
+    assert 0.0 < alpha < 1.0
+    assert gamma == pytest.approx(r ** (-math.log(r)))
+
+
+@given(r1=resource_levels, r2=resource_levels)
+@settings(max_examples=100, deadline=None)
+def test_gamma_monotone_increasing_on_unit_interval(r1, r2):
+    low, high = sorted((r1, r2))
+    _, _, gamma_low = derive_parameters(low, CONFIG)
+    _, _, gamma_high = derive_parameters(high, CONFIG)
+    assert gamma_low <= gamma_high + 1e-12
+
+
+@given(r=resource_levels)
+@settings(max_examples=100, deadline=None)
+def test_gamma_bounded_in_unit_interval(r):
+    _, _, gamma = derive_parameters(r, CONFIG)
+    assert 0.0 < gamma <= 1.0
+
+
+@given(
+    capacities=capacity_lists,
+    r=resource_levels,
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_selection_preference_is_probability_vector(capacities, r, data):
+    distances = data.draw(st.lists(
+        distance_values, min_size=len(capacities),
+        max_size=len(capacities)))
+    preference = selection_preference(
+        np.array(capacities), np.array(distances), r, CONFIG)
+    assert preference.shape == (len(capacities),)
+    assert (preference >= -1e-12).all()
+    assert (preference <= 1.0 + 1e-9).all()
+    assert preference.sum() == pytest.approx(1.0)
+
+
+@given(
+    capacities=capacity_lists,
+    r=resource_levels,
+    scale=st.floats(min_value=0.5, max_value=100.0),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_selection_preference_distance_scale_invariant(
+        capacities, r, scale, data):
+    """Eq. 2 normalises by the max distance, so rescaling every distance
+    by the same factor leaves the selection preference unchanged."""
+    distances = np.array(data.draw(st.lists(
+        distance_values, min_size=len(capacities),
+        max_size=len(capacities))))
+    base = selection_preference(
+        np.array(capacities), distances, r, CONFIG)
+    scaled = selection_preference(
+        np.array(capacities), distances * scale, r, CONFIG)
+    np.testing.assert_allclose(scaled, base, rtol=1e-9, atol=1e-12)
+
+
+@given(
+    distances=st.lists(distance_values, min_size=2, max_size=30),
+    r=resource_levels,
+)
+@settings(max_examples=100, deadline=None)
+def test_distance_preference_favours_nearer_candidates(distances, r):
+    alpha, _, _ = derive_parameters(r, CONFIG)
+    preference = distance_preference(np.array(distances), alpha, CONFIG)
+    assert preference.sum() == pytest.approx(1.0)
+    order = np.argsort(distances)
+    ranked = preference[order]
+    assert all(a >= b - 1e-12 for a, b in zip(ranked, ranked[1:]))
+
+
+@given(
+    capacities=st.lists(st.floats(min_value=1.0, max_value=1e4),
+                        min_size=2, max_size=30),
+    r=resource_levels,
+)
+@settings(max_examples=100, deadline=None)
+def test_capacity_preference_favours_stronger_candidates(capacities, r):
+    _, beta, _ = derive_parameters(r, CONFIG)
+    preference = capacity_preference(np.array(capacities), beta)
+    assert preference.sum() == pytest.approx(1.0)
+    order = np.argsort(capacities)[::-1]
+    ranked = preference[order]
+    assert all(a >= b - 1e-12 for a, b in zip(ranked, ranked[1:]))
+
+
+@given(distances=st.lists(distance_values, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_normalized_distances_lie_in_unit_interval(distances):
+    norm = normalized_distances(np.array(distances), CONFIG)
+    assert (norm > 0.0).all()
+    assert (norm <= 1.0 + 1e-12).all()
+    assert norm.max() == pytest.approx(1.0)
