@@ -47,9 +47,6 @@ def skype_unicast_cost(
     receivers = [m for m in members if m != source]
     if not receivers:
         raise GroupError("unicast delivery needs at least one receiver")
-    ip_messages = 0
-    total_delay = 0.0
-    for receiver in receivers:
-        ip_messages += len(underlay.peer_path_links(source, receiver))
-        total_delay += underlay.peer_distance_ms(source, receiver)
+    ip_messages = int(underlay.peer_hop_counts(source, receivers).sum())
+    total_delay = float(underlay.peer_distances_ms(source, receivers).sum())
     return ip_messages, total_delay / len(receivers)

@@ -87,9 +87,12 @@ def build_narada_mesh(
     for member in members:
         mesh.adjacency.setdefault(member, {})
     index = {m: i for i, m in enumerate(members)}
-    for member in members:
+    # All pairwise latencies in one routing-core gather; each member's
+    # row (minus itself) matches the former per-member query exactly.
+    matrix = underlay.peer_distance_matrix(members)
+    for row, member in enumerate(members):
         others = [m for m in members if m != member]
-        distances = underlay.peer_distances_ms(member, others)
+        distances = np.delete(matrix[row], row)
         order = np.argsort(distances, kind="stable")
         for i in order[:nearest_links]:
             mesh.add_link(member, others[int(i)], float(distances[int(i)]))

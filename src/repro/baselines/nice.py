@@ -121,10 +121,8 @@ def _proximity_clusters(
     # Fold a trailing undersized cluster into its nearest sibling.
     if len(clusters) > 1 and len(clusters[-1]) < config.k:
         tail = clusters.pop()
-        target = min(
-            range(len(clusters)),
-            key=lambda i: underlay.peer_distance_ms(
-                tail[0], clusters[i][0]))
+        seeds = [cluster[0] for cluster in clusters]
+        target = int(np.argmin(underlay.peer_distances_ms(tail[0], seeds)))
         if len(clusters[target]) + len(tail) <= config.max_cluster:
             clusters[target].extend(tail)
         else:
@@ -136,10 +134,7 @@ def _graph_center(underlay: UnderlayNetwork, cluster: list[int]) -> int:
     """The member minimising its maximum latency to the cluster."""
     if len(cluster) == 1:
         return cluster[0]
-    best, best_radius = cluster[0], float("inf")
-    for candidate in cluster:
-        radius = float(
-            underlay.peer_distances_ms(candidate, cluster).max())
-        if radius < best_radius:
-            best, best_radius = candidate, radius
-    return best
+    # One pairwise matrix instead of a per-candidate routing query; the
+    # first occurrence of the minimum radius matches the scalar loop.
+    radii = underlay.peer_distance_matrix(cluster).max(axis=1)
+    return cluster[int(np.argmin(radii))]

@@ -84,11 +84,15 @@ class VivaldiSystem:
                 i = index[peer]
                 samples = rng.choice(n, size=min(cfg.samples_per_round, n - 1),
                                      replace=False)
-                for j in samples:
-                    if j == i:
-                        continue
-                    rtt = underlay.peer_distance_ms(peer, peer_ids[j])
-                    self._update(positions, error, i, int(j), rtt, rng)
+                targets = [int(j) for j in samples if int(j) != i]
+                if not targets:
+                    continue
+                # One vectorized probe batch per (peer, round); the rng
+                # stream and update order match the scalar loop exactly.
+                rtts = underlay.peer_distances_ms(
+                    peer, [peer_ids[j] for j in targets])
+                for j, rtt in zip(targets, rtts):
+                    self._update(positions, error, i, j, float(rtt), rng)
 
         for peer, i in index.items():
             space.set(peer, positions[i])
@@ -119,11 +123,13 @@ class VivaldiSystem:
         n = len(peer_ids)
         if n < 2:
             return 0.0
+        pairs = [rng.choice(n, size=2, replace=False)
+                 for _ in range(samples)]
+        a_ids = [peer_ids[int(i)] for i, _ in pairs]
+        b_ids = [peer_ids[int(j)] for _, j in pairs]
+        true_ms = underlay.peer_pair_distances(a_ids, b_ids)
         errors = []
-        for _ in range(samples):
-            i, j = rng.choice(n, size=2, replace=False)
-            a, b = peer_ids[int(i)], peer_ids[int(j)]
-            true = underlay.peer_distance_ms(a, b)
+        for a, b, true in zip(a_ids, b_ids, true_ms):
             est = space.distance(a, b)
-            errors.append(abs(est - true) / max(true, 1e-9))
+            errors.append(abs(est - float(true)) / max(float(true), 1e-9))
         return float(np.median(errors))

@@ -11,6 +11,11 @@ shortest-path IP multicast tree:
 * Figure 16: node stress (avg children of non-leaf tree nodes);
 * Figure 17: overload index (fraction overloaded x avg excess workload),
   with per-peer workloads aggregated across the 10 trees.
+
+The sweep decomposes into independent ``(size, topology)`` points
+(:func:`_sweep_point`, which runs all four combos on that topology);
+``jobs > 1`` fans the points out over a process pool and merges in point
+order, so the tables are byte-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from .common import (
     pick_rendezvous_points,
     sweep_sizes,
 )
+from .parallel import run_points
 
 GROUPS_PER_OVERLAY = 10
 
@@ -44,14 +50,58 @@ COMBOS = (
 )
 
 
+def _sweep_point(size: int, topology: int, seed: int,
+                 groups_per_overlay: int) -> dict[tuple[str, str],
+                                                  dict[str, float]]:
+    """One (size, topology) sweep point: all four combos on one topology.
+
+    Returns per-combo sample dicts of plain floats, so the result
+    pickles cheaply across the worker pool (the group trees stay in the
+    worker).
+    """
+    members_count = group_member_count(size)
+    deployments = {
+        kind: build_for_experiment(size, kind, seed + topology)
+        for kind in ("groupcast", "plod")
+    }
+    out: dict[tuple[str, str], dict[str, float]] = {}
+    for kind, scheme in COMBOS:
+        deployment = deployments[kind]
+        rng = experiment_rng(
+            seed + topology, f"app-{kind}-{scheme}-{size}")
+        rendezvous = pick_rendezvous_points(
+            deployment, groups_per_overlay, rng)
+        runs = []
+        for point in rendezvous:
+            ids = deployment.peer_ids()
+            picks = rng.choice(len(ids), size=members_count,
+                               replace=False)
+            members = [ids[int(i)] for i in picks]
+            runs.append(establish_and_measure_group(
+                deployment, point, members, scheme, rng))
+        trees = [r.tree for r in runs]
+        capacities = {info.peer_id: info.capacity
+                      for info in deployment.overlay.peers()}
+        out[(kind, scheme)] = {
+            "rdp": float(np.mean([r.delay_penalty for r in runs])),
+            "stress": float(np.mean([r.link_stress for r in runs])),
+            "node_stress": node_stress(trees),
+            "overload": overload_index(
+                aggregate_workloads(trees), capacities),
+        }
+    return out
+
+
 def run(sizes: Sequence[int] | None = None, seed: int = 7,
         groups_per_overlay: int = GROUPS_PER_OVERLAY,
-        topologies: int = 1) -> dict[str, ExperimentResult]:
+        topologies: int = 1, jobs: int = 1) -> dict[str, ExperimentResult]:
     """Run the sweep and return the four figures' tables.
 
     ``topologies`` averages every row over that many independently
     seeded IP topologies, mirroring the paper's repetition of each
-    experiment over 10 GT-ITM instances.
+    experiment over 10 GT-ITM instances.  ``jobs`` spreads the
+    (size, topology) points over that many worker processes; the output
+    is identical for every value.
     """
     sizes = sweep_sizes(sizes)
     fig14 = ExperimentResult(
@@ -71,46 +121,31 @@ def run(sizes: Sequence[int] | None = None, seed: int = 7,
         columns=("peers", "overlay", "scheme", "overload_index"),
     )
 
+    points = [(size, topology)
+              for size in sizes
+              for topology in range(topologies)]
+    results = run_points(
+        _sweep_point,
+        [(size, topology, seed, groups_per_overlay)
+         for size, topology in points],
+        jobs=jobs,
+    )
+
+    # Accumulators: (size, kind, scheme) -> per-topology sample lists.
+    samples: dict[tuple[int, str, str], dict[str, list[float]]] = {}
+    for (size, _), point_result in zip(points, results):
+        for combo, values in point_result.items():
+            kind, scheme = combo
+            bucket = samples.setdefault(
+                (size, kind, scheme),
+                {"rdp": [], "stress": [], "node_stress": [],
+                 "overload": []})
+            for key, value in values.items():
+                bucket[key].append(value)
+
     for size in sizes:
-        members_count = group_member_count(size)
-        # Accumulators: (kind, scheme) -> per-topology sample lists.
-        samples: dict[tuple[str, str], dict[str, list[float]]] = {
-            combo: {"rdp": [], "stress": [], "node_stress": [],
-                    "overload": []}
-            for combo in COMBOS
-        }
-        for topology in range(topologies):
-            deployments = {
-                kind: build_for_experiment(size, kind, seed + topology)
-                for kind in ("groupcast", "plod")
-            }
-            for kind, scheme in COMBOS:
-                deployment = deployments[kind]
-                rng = experiment_rng(
-                    seed + topology, f"app-{kind}-{scheme}-{size}")
-                rendezvous = pick_rendezvous_points(
-                    deployment, groups_per_overlay, rng)
-                runs = []
-                for point in rendezvous:
-                    ids = deployment.peer_ids()
-                    picks = rng.choice(len(ids), size=members_count,
-                                       replace=False)
-                    members = [ids[int(i)] for i in picks]
-                    runs.append(establish_and_measure_group(
-                        deployment, point, members, scheme, rng))
-                trees = [r.tree for r in runs]
-                capacities = {info.peer_id: info.capacity
-                              for info in deployment.overlay.peers()}
-                bucket = samples[(kind, scheme)]
-                bucket["rdp"].append(
-                    float(np.mean([r.delay_penalty for r in runs])))
-                bucket["stress"].append(
-                    float(np.mean([r.link_stress for r in runs])))
-                bucket["node_stress"].append(node_stress(trees))
-                bucket["overload"].append(overload_index(
-                    aggregate_workloads(trees), capacities))
         for kind, scheme in COMBOS:
-            bucket = samples[(kind, scheme)]
+            bucket = samples[(size, kind, scheme)]
             fig14.add_row(size, kind, scheme,
                           float(np.mean(bucket["rdp"])))
             fig15.add_row(size, kind, scheme,

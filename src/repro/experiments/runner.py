@@ -57,7 +57,7 @@ def _lookup(figures: Iterable[str]) -> Callable:
     def runner(args) -> list[ExperimentResult]:
         results = service_lookup.run(
             sizes=args.sizes or None, seed=args.seed,
-            topologies=args.topologies)
+            topologies=args.topologies, jobs=args.jobs)
         return [results[f] for f in figures]
 
     return runner
@@ -67,7 +67,7 @@ def _app(figures: Iterable[str]) -> Callable:
     def runner(args) -> list[ExperimentResult]:
         results = app_performance.run(
             sizes=args.sizes or None, seed=args.seed,
-            topologies=args.topologies)
+            topologies=args.topologies, jobs=args.jobs)
         return [results[f] for f in figures]
 
     return runner
@@ -115,6 +115,10 @@ def main(argv: list[str] | None = None) -> int:
         "--topologies", type=int, default=1,
         help="average sweep experiments over this many independent IP "
              "topologies (the paper used 10)")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep experiments; the tables are "
+             "byte-identical for every value (default: 1, no pool)")
     parser.add_argument(
         "--format", choices=("text", "csv", "json"), default="text",
         help="output format (default: aligned text tables)")

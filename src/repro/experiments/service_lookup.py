@@ -9,6 +9,11 @@ over the reverse path, the rest run the TTL-2 ripple search.
 * Figure 11: total advertising + subscription messages per scheme;
 * Figure 12: advertisement receiving rate and subscription success rate;
 * Figure 13: service lookup latency (GroupCast vs random power-law, SSA).
+
+The sweep decomposes into independent ``(size, kind, topology)`` points
+(:func:`_sweep_point`), which ``jobs > 1`` fans out over a process pool;
+results are merged in point order, so the tables are byte-identical for
+any worker count.
 """
 
 from __future__ import annotations
@@ -26,19 +31,58 @@ from .common import (
     pick_rendezvous_points,
     sweep_sizes,
 )
+from .parallel import run_points
 
 RENDEZVOUS_POINTS = 10
+
+SCHEMES = ("ssa", "nssa")
+
+
+def _sweep_point(size: int, kind: str, topology: int, seed: int,
+                 rendezvous_points: int) -> dict[str, list[tuple]]:
+    """One (size, kind, topology) sweep point.
+
+    Returns per-scheme lists of
+    ``(advertising, subscription, search, receiving_rate, success_rate,
+    lookup_latency_ms)`` tuples — plain floats, so the result pickles
+    cheaply across the worker pool.
+    """
+    members_count = group_member_count(size)
+    deployment = build_for_experiment(size, kind, seed + topology)
+    rng = experiment_rng(seed + topology, f"lookup-{kind}-{size}")
+    rendezvous = pick_rendezvous_points(
+        deployment, rendezvous_points, rng)
+    out: dict[str, list[tuple]] = {scheme: [] for scheme in SCHEMES}
+    for scheme in SCHEMES:
+        for point in rendezvous:
+            ids = deployment.peer_ids()
+            picks = rng.choice(len(ids), size=members_count,
+                               replace=False)
+            members = [ids[int(i)] for i in picks]
+            run_ = establish_and_measure_group(
+                deployment, point, members, scheme, rng)
+            out[scheme].append((
+                run_.advertisement_messages,
+                run_.subscription_messages,
+                run_.search_messages,
+                run_.receiving_rate,
+                run_.success_rate,
+                run_.lookup_latency_ms,
+            ))
+    return out
 
 
 def run(sizes: Sequence[int] | None = None, seed: int = 7,
         rendezvous_points: int = RENDEZVOUS_POINTS,
-        topologies: int = 1) -> dict[str, ExperimentResult]:
+        topologies: int = 1, jobs: int = 1) -> dict[str, ExperimentResult]:
     """Run the sweep and return the three figures' tables.
 
     ``topologies`` repeats every configuration over that many
     independently seeded IP topologies and averages the rows, as in the
     paper's setup ("each experiment is repeated over 10 IP network
     topologies"); the default of 1 keeps the laptop sweep fast.
+    ``jobs`` spreads the (size, kind, topology) points over that many
+    worker processes; the output is identical for every value.
     """
     sizes = sweep_sizes(sizes)
     fig11 = ExperimentResult(
@@ -56,42 +100,42 @@ def run(sizes: Sequence[int] | None = None, seed: int = 7,
         columns=("peers", "overlay", "lookup_latency_ms"),
     )
 
+    points = [(size, kind, topology)
+              for size in sizes
+              for kind in ("groupcast", "plod")
+              for topology in range(topologies)]
+    results = run_points(
+        _sweep_point,
+        [(size, kind, topology, seed, rendezvous_points)
+         for size, kind, topology in points],
+        jobs=jobs,
+    )
+
+    merged: dict[tuple[int, str], dict[str, list[tuple]]] = {}
+    for (size, kind, _), point_result in zip(points, results):
+        bucket = merged.setdefault(
+            (size, kind), {scheme: [] for scheme in SCHEMES})
+        for scheme in SCHEMES:
+            bucket[scheme].extend(point_result[scheme])
+
     for size in sizes:
         for kind in ("groupcast", "plod"):
-            members_count = group_member_count(size)
-            runs_by_scheme: dict[str, list] = {"ssa": [], "nssa": []}
-            for topology in range(topologies):
-                deployment = build_for_experiment(
-                    size, kind, seed + topology)
-                rng = experiment_rng(
-                    seed + topology, f"lookup-{kind}-{size}")
-                rendezvous = pick_rendezvous_points(
-                    deployment, rendezvous_points, rng)
-                for scheme in ("ssa", "nssa"):
-                    for point in rendezvous:
-                        ids = deployment.peer_ids()
-                        picks = rng.choice(len(ids), size=members_count,
-                                           replace=False)
-                        members = [ids[int(i)] for i in picks]
-                        runs_by_scheme[scheme].append(
-                            establish_and_measure_group(
-                                deployment, point, members, scheme, rng))
-            for scheme in ("ssa", "nssa"):
+            runs_by_scheme = merged[(size, kind)]
+            for scheme in SCHEMES:
                 runs = runs_by_scheme[scheme]
                 fig11.add_row(
                     size, kind, scheme,
-                    int(np.mean([r.advertisement_messages for r in runs])),
-                    int(np.mean([r.subscription_messages for r in runs])),
-                    int(np.mean([r.search_messages for r in runs])),
+                    int(np.mean([r[0] for r in runs])),
+                    int(np.mean([r[1] for r in runs])),
+                    int(np.mean([r[2] for r in runs])),
                 )
                 fig12.add_row(
                     size, kind, scheme,
-                    float(np.mean([r.receiving_rate for r in runs])),
-                    float(np.mean([r.success_rate for r in runs])),
+                    float(np.mean([r[3] for r in runs])),
+                    float(np.mean([r[4] for r in runs])),
                 )
                 if scheme == "ssa":
-                    latencies = [r.lookup_latency_ms for r in runs
-                                 if r.lookup_latency_ms > 0]
+                    latencies = [r[5] for r in runs if r[5] > 0]
                     fig13.add_row(
                         size, kind,
                         float(np.mean(latencies)) if latencies else 0.0,

@@ -99,16 +99,20 @@ def disseminate(
     queue = deque([source])
     while queue:
         node = queue.popleft()
+        fresh = [neighbor for neighbor in sorted(adjacency[node])
+                 if neighbor not in delays]
+        if not fresh:
+            continue
         slot = transmit_ms(node)
-        position = 0
-        for neighbor in sorted(adjacency[node]):
-            if neighbor in delays:
-                continue
-            position += 1
-            hop_links = underlay.peer_path_links(node, neighbor)
+        # One vectorized gather and one predecessor-row walk for all of
+        # this node's downstream copies, instead of per-pair queries.
+        hop_delays = underlay.peer_distances_ms(node, fresh)
+        hop_link_lists = underlay.peer_path_links_many(node, fresh)
+        for position, (neighbor, hop_delay, hop_links) in enumerate(
+                zip(fresh, hop_delays, hop_link_lists), start=1):
             delays[neighbor] = (delays[node]
                                 + position * slot
-                                + underlay.peer_distance_ms(node, neighbor))
+                                + float(hop_delay))
             overlay_messages += 1
             ip_messages += len(hop_links)
             link_stress.update(hop_links)

@@ -59,7 +59,37 @@ def build_ip_multicast_tree(
     """Merge unicast routes from ``source`` into a shortest-path tree.
 
     Because all routes share a single Dijkstra source, their union is
-    guaranteed to be a tree at the router level.
+    guaranteed to be a tree at the router level.  Delays come from one
+    vectorized gather and the link union from a memoized predecessor
+    walk (:meth:`~repro.network.underlay.UnderlayNetwork.multicast_links`),
+    so the cost is O(receivers + routers) instead of
+    O(receivers x path length) scalar queries.
+    """
+    receivers = [peer for peer in subscribers if peer != source]
+    if not receivers:
+        raise GroupError("IP multicast tree needs at least one receiver")
+    delay_vec = underlay.peer_distances_ms(source, receivers)
+    delays = {peer: float(delay)
+              for peer, delay in zip(receivers, delay_vec)}
+    links = underlay.multicast_links(source, receivers)
+    return IPMulticastTree(
+        source=source,
+        subscribers=tuple(receivers),
+        links=frozenset(links),
+        delays_ms=delays,
+    )
+
+
+def _build_ip_multicast_tree_scalar(
+    underlay: UnderlayNetwork,
+    source: int,
+    subscribers: Sequence[int],
+) -> IPMulticastTree:
+    """Reference implementation using per-pair scalar queries.
+
+    Kept as the bit-for-bit oracle for the routing-core equivalence suite
+    and as the baseline the ``benchmarks/bench_routing.py`` speedup is
+    measured against.  Not used on any production path.
     """
     receivers = [peer for peer in subscribers if peer != source]
     if not receivers:

@@ -1,0 +1,269 @@
+"""Array-backed routing core: bulk Dijkstra with interned rows.
+
+This module is the shared engine behind every latency / path / hop /
+link-stress query of the reproduction.  It replaces the original design
+— per-source scalar Dijkstra calls memoized in an unbounded dict, plus
+per-peer attachment dicts — with three ideas:
+
+* **Array-backed attachments.**  Peer router ids and access latencies
+  live in dense numpy vectors indexed by peer id, so a bulk query over
+  ``k`` peers is two fancy-indexed gathers instead of ``k`` dict lookups.
+* **Bulk multi-source Dijkstra with row interning.**  Routers that have
+  peers attached are *interned*: the first query triggers one
+  multi-source :func:`scipy.sparse.csgraph.dijkstra` over every attached
+  router pending at that moment, and the resulting distance/predecessor
+  rows are kept for the lifetime of the network (the set of attached
+  routers is bounded by the number of stub routers, not by the number of
+  peers).  Ad-hoc sources that never had a peer attached go through a
+  small bounded LRU instead, so arbitrary router sweeps cannot grow
+  memory without limit.
+* **Predecessor-array extraction.**  Hop counts come from a per-source
+  depth vector over the shortest-path tree (computed once, cached for
+  interned sources), and link-stress / multicast-tree link sets come
+  from memoized walks up the predecessor array, visiting every router at
+  most once per tree merge.
+
+All distances are computed as ``access(a) + dist_row[router(b)] +
+access(b)`` in exactly the operand order of the scalar
+``peer_distance_ms`` path, so vectorized and scalar results agree
+bit-for-bit (asserted by ``tests/test_routing_core.py``).
+
+Cache behaviour is observable: hit/miss totals are kept as plain ints on
+the core *and* mirrored into ``routing.cache_hits`` /
+``routing.cache_misses`` counters of the process default
+:class:`~repro.obs.registry.Registry` whenever telemetry is enabled.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from ..errors import RoutingError, TopologyError
+from ..obs.registry import get_default_registry
+
+#: Shared immutable empty vectors, handed out for empty bulk queries so
+#: callers never pay an allocation for a degenerate request.
+EMPTY_F64 = np.empty(0, dtype=np.float64)
+EMPTY_F64.flags.writeable = False
+EMPTY_INTP = np.empty(0, dtype=np.intp)
+EMPTY_INTP.flags.writeable = False
+EMPTY_I64 = np.empty(0, dtype=np.int64)
+EMPTY_I64.flags.writeable = False
+
+#: Default bound on the ad-hoc (non-attached) source row cache.
+DEFAULT_LRU_ROWS = 128
+
+
+class RoutingCore:
+    """Bulk shortest-path state for one underlay router graph."""
+
+    __slots__ = (
+        "_graph", "_n", "_router", "_access", "_max_peer",
+        "_interned", "_pending", "_lru", "_lru_rows", "_depth",
+        "cache_hits", "cache_misses", "bulk_solves", "single_solves",
+        "_registry", "_c_hits", "_c_misses",
+    )
+
+    def __init__(self, graph, router_count: int,
+                 lru_rows: int = DEFAULT_LRU_ROWS) -> None:
+        if lru_rows < 1:
+            raise RoutingError("lru_rows must be >= 1")
+        self._graph = graph
+        self._n = router_count
+        # Dense attachment vectors, grown geometrically; -1 = unattached.
+        self._router = np.full(64, -1, dtype=np.intp)
+        self._access = np.zeros(64, dtype=np.float64)
+        self._max_peer = -1
+        # Interned rows: attached routers, solved in bulk, never evicted.
+        self._interned: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._pending: set[int] = set()
+        # Bounded LRU for sources that never had a peer attached.
+        self._lru: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = \
+            OrderedDict()
+        self._lru_rows = lru_rows
+        # Hop-depth vectors over the shortest-path tree, per source.
+        self._depth: dict[int, np.ndarray] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.bulk_solves = 0
+        self.single_solves = 0
+        self._registry = None
+        self._c_hits = None
+        self._c_misses = None
+
+    # ------------------------------------------------------------------
+    # Attachments
+    # ------------------------------------------------------------------
+    def attach(self, peer_id: int, router: int, access_ms: float) -> None:
+        """Register a peer attachment; interns its router lazily."""
+        if peer_id < 0:
+            raise TopologyError(f"peer ids must be non-negative: {peer_id}")
+        if peer_id >= self._router.shape[0]:
+            size = max(peer_id + 1, 2 * self._router.shape[0])
+            router_arr = np.full(size, -1, dtype=np.intp)
+            router_arr[:self._router.shape[0]] = self._router
+            access_arr = np.zeros(size, dtype=np.float64)
+            access_arr[:self._access.shape[0]] = self._access
+            self._router, self._access = router_arr, access_arr
+        self._router[peer_id] = router
+        self._access[peer_id] = access_ms
+        if peer_id > self._max_peer:
+            self._max_peer = peer_id
+        if router not in self._interned:
+            self._pending.add(router)
+
+    def attach_info(
+        self, peers: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(ids, routers, access)`` vectors for ``peers``.
+
+        Raises :class:`~repro.errors.TopologyError` naming the first peer
+        that is not attached, matching the scalar error path.
+        """
+        idx = np.asarray(peers, dtype=np.intp)
+        if idx.ndim != 1:
+            idx = idx.reshape(-1)
+        if idx.size == 0:
+            return EMPTY_INTP, EMPTY_INTP, EMPTY_F64
+        bad = (idx < 0) | (idx > self._max_peer)
+        if bad.any():
+            raise TopologyError(
+                f"peer {int(idx[bad][0])} is not attached")
+        routers = self._router[idx]
+        missing = routers < 0
+        if missing.any():
+            raise TopologyError(
+                f"peer {int(idx[missing][0])} is not attached")
+        return idx, routers, self._access[idx]
+
+    # ------------------------------------------------------------------
+    # Row store
+    # ------------------------------------------------------------------
+    def _count(self, hit: bool) -> None:
+        registry = get_default_registry()
+        if registry is not self._registry:
+            self._registry = registry
+            self._c_hits = registry.counter("routing.cache_hits")
+            self._c_misses = registry.counter("routing.cache_misses")
+        if hit:
+            self.cache_hits += 1
+            self._c_hits.inc()
+        else:
+            self.cache_misses += 1
+            self._c_misses.inc()
+
+    def _solve_pending(self) -> None:
+        sources = sorted(self._pending)
+        dist, pred = dijkstra(self._graph, directed=False, indices=sources,
+                              return_predecessors=True)
+        for i, router in enumerate(sources):
+            self._interned[router] = (dist[i], pred[i])
+        self._pending.clear()
+        self.bulk_solves += 1
+
+    def rows_for(self, router: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(distances, predecessors)`` rows for one source router."""
+        if not 0 <= router < self._n:
+            raise RoutingError(f"unknown router {router}")
+        cached = self._interned.get(router)
+        if cached is not None:
+            self._count(hit=True)
+            return cached
+        cached = self._lru.get(router)
+        if cached is not None:
+            self._lru.move_to_end(router)
+            self._count(hit=True)
+            return cached
+        self._count(hit=False)
+        if router in self._pending:
+            self._solve_pending()
+            return self._interned[router]
+        dist, pred = dijkstra(self._graph, directed=False, indices=[router],
+                              return_predecessors=True)
+        cached = (dist[0], pred[0])
+        self._lru[router] = cached
+        if len(self._lru) > self._lru_rows:
+            evicted, _ = self._lru.popitem(last=False)
+            self._depth.pop(evicted, None)
+        self.single_solves += 1
+        return cached
+
+    def depth_row(self, router: int) -> np.ndarray:
+        """Hops from ``router`` to every router along shortest paths."""
+        depth = self._depth.get(router)
+        if depth is not None:
+            return depth
+        _, pred = self.rows_for(router)
+        depth = np.full(self._n, -1, dtype=np.int64)
+        depth[router] = 0
+        stack: list[int] = []
+        for start in range(self._n):
+            if depth[start] >= 0:
+                continue
+            node = start
+            while depth[node] < 0:
+                stack.append(node)
+                parent = int(pred[node])
+                if parent < 0:
+                    break
+                node = parent
+            base = depth[node] if depth[node] >= 0 else 0
+            while stack:
+                base += 1
+                depth[stack.pop()] = base
+        # Only keep depth rows for sources whose dist/pred rows are kept
+        # forever; ad-hoc LRU sources would leak otherwise.
+        if router in self._interned or router in self._lru:
+            self._depth[router] = depth
+        return depth
+
+    # ------------------------------------------------------------------
+    # Bulk queries (router-level building blocks)
+    # ------------------------------------------------------------------
+    def distance_block(
+        self, src_routers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(matrix, inverse)`` such that ``matrix[inverse[i]]`` is the
+        Dijkstra distance row of ``src_routers[i]``.
+
+        Rows of attached routers come from the interned bulk solve; any
+        remaining attached-but-pending routers are solved in one shot.
+        """
+        unique, inverse = np.unique(src_routers, return_inverse=True)
+        if self._pending.intersection(int(r) for r in unique):
+            self._solve_pending()
+        rows = [self.rows_for(int(r))[0] for r in unique]
+        return np.vstack(rows), inverse
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def interned_rows(self) -> int:
+        """Number of attached-router rows kept for the network lifetime."""
+        return len(self._interned)
+
+    @property
+    def lru_rows(self) -> int:
+        """Number of ad-hoc rows currently in the bounded cache."""
+        return len(self._lru)
+
+    @property
+    def lru_capacity(self) -> int:
+        """Upper bound on ad-hoc cached rows."""
+        return self._lru_rows
+
+    def cache_stats(self) -> dict[str, int]:
+        """Plain-dict view of the row-cache counters."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "interned_rows": self.interned_rows,
+            "lru_rows": self.lru_rows,
+            "bulk_solves": self.bulk_solves,
+            "single_solves": self.single_solves,
+        }

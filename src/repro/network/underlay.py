@@ -2,14 +2,20 @@
 
 :class:`UnderlayNetwork` holds the router graph produced by
 :func:`repro.network.topology.generate_transit_stub`, answers shortest-path
-queries (latency, hop paths) via scipy's Dijkstra with per-source caching,
-and manages *peer attachments*: end hosts attached to random stub routers
-through an access link, exactly as in the paper's setup ("peers are
-randomly attached to the stub domain routers").
+queries (latency, hop paths) through the array-backed
+:class:`~repro.network.routing.RoutingCore`, and manages *peer
+attachments*: end hosts attached to random stub routers through an access
+link, exactly as in the paper's setup ("peers are randomly attached to the
+stub domain routers").
 
 Distances between peers are
 ``access(a) + shortest_path(router(a), router(b)) + access(b)`` in
-milliseconds; a peer's distance to itself is zero.
+milliseconds; a peer's distance to itself is zero.  The scalar methods
+(:meth:`peer_distance_ms`, :meth:`peer_path_links`, ...) remain the
+reference semantics; the bulk methods (:meth:`peer_distances_ms`,
+:meth:`peer_distance_matrix`, :meth:`peer_hop_counts`,
+:meth:`peer_path_links_many`, :meth:`multicast_links`) compute the same
+values bit-for-bit with vectorized gathers and predecessor-array walks.
 """
 
 from __future__ import annotations
@@ -19,10 +25,11 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 from scipy.sparse import coo_matrix
-from scipy.sparse.csgraph import connected_components, dijkstra
+from scipy.sparse.csgraph import connected_components
 
 from ..errors import RoutingError, TopologyError
 from ..sim.random import RandomSource
+from .routing import EMPTY_F64, EMPTY_I64, RoutingCore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .topology import Router
@@ -77,11 +84,7 @@ class UnderlayNetwork:
         self._stub_router_ids = stub_router_ids
         self._peer_access_latency = peer_access_latency
         self._attachments: dict[int, Attachment] = {}
-        # Parallel maps for the vectorized distance gather.
-        self._attach_router: dict[int, int] = {}
-        self._attach_access: dict[int, float] = {}
-        # Per-source Dijkstra cache: router -> (distances, predecessors).
-        self._route_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._core = RoutingCore(self._graph, n)
 
     # ------------------------------------------------------------------
     # Structure
@@ -90,6 +93,11 @@ class UnderlayNetwork:
     def router_count(self) -> int:
         """Number of routers in the underlay."""
         return len(self.routers)
+
+    @property
+    def routing(self) -> RoutingCore:
+        """The shared routing core (row caches, bulk Dijkstra state)."""
+        return self._core
 
     @property
     def link_count(self) -> int:
@@ -114,8 +122,7 @@ class UnderlayNetwork:
         low, high = self._peer_access_latency
         attachment = Attachment(peer_id, router, float(rng.uniform(low, high)))
         self._attachments[peer_id] = attachment
-        self._attach_router[peer_id] = router
-        self._attach_access[peer_id] = attachment.access_latency_ms
+        self._core.attach(peer_id, router, attachment.access_latency_ms)
         return attachment
 
     def attachment(self, peer_id: int) -> Attachment:
@@ -134,16 +141,7 @@ class UnderlayNetwork:
     # Routing
     # ------------------------------------------------------------------
     def _routes_from(self, router: int) -> tuple[np.ndarray, np.ndarray]:
-        if not 0 <= router < self.router_count:
-            raise RoutingError(f"unknown router {router}")
-        cached = self._route_cache.get(router)
-        if cached is None:
-            dist, pred = dijkstra(
-                self._graph, directed=False, indices=router,
-                return_predecessors=True)
-            cached = (dist, pred)
-            self._route_cache[router] = cached
-        return cached
+        return self._core.rows_for(router)
 
     def router_distance_ms(self, a: int, b: int) -> float:
         """Shortest-path latency between two routers."""
@@ -187,27 +185,65 @@ class UnderlayNetwork:
                           others: Sequence[int]) -> np.ndarray:
         """Vector of end-to-end latencies from ``peer_id`` to ``others``.
 
-        A single numpy gather over the cached Dijkstra row replaces the
+        A single numpy gather over the source's Dijkstra row replaces the
         per-element :meth:`peer_distance_ms` arithmetic; entries equal to
         ``peer_id`` come out as exactly 0.0, matching the scalar path.
+        An empty ``others`` returns a shared read-only empty float64
+        vector without building any intermediate arrays.
         """
         att = self.attachment(peer_id)
-        dist = self.router_distances_from(att.router_id)
-        n = len(others)
-        try:
-            routers = np.fromiter(
-                map(self._attach_router.__getitem__, others),
-                dtype=np.intp, count=n)
-            access = np.fromiter(
-                map(self._attach_access.__getitem__, others),
-                dtype=np.float64, count=n)
-        except KeyError as exc:
-            raise TopologyError(
-                f"peer {exc.args[0]} is not attached") from None
+        if len(others) == 0:
+            return EMPTY_F64
+        idx, routers, access = self._core.attach_info(others)
+        dist, _ = self._routes_from(att.router_id)
         # Same operand order as peer_distance_ms, so results match
         # bit-for-bit: access(a) + router_distance + access(b).
         out = att.access_latency_ms + dist[routers] + access
-        self_mask = np.asarray(others) == peer_id
+        self_mask = idx == peer_id
+        if self_mask.any():
+            out[self_mask] = 0.0
+        return out
+
+    def peer_distance_matrix(self, peers: Sequence[int],
+                             others: Sequence[int] | None = None
+                             ) -> np.ndarray:
+        """Pairwise latency matrix ``(len(peers), len(others))``.
+
+        ``others`` defaults to ``peers`` (the symmetric all-pairs case).
+        Entry ``[i, j]`` equals ``peer_distance_ms(peers[i], others[j])``
+        bit-for-bit; pairs with equal peer ids are exactly 0.0.
+        """
+        if others is None:
+            others = peers
+        if len(peers) == 0 or len(others) == 0:
+            return np.empty((len(peers), len(others)), dtype=np.float64)
+        idx_a, routers_a, access_a = self._core.attach_info(peers)
+        idx_b, routers_b, access_b = self._core.attach_info(others)
+        block, inverse = self._core.distance_block(routers_a)
+        gathered = block[inverse[:, None], routers_b[None, :]]
+        out = access_a[:, None] + gathered + access_b[None, :]
+        self_mask = idx_a[:, None] == idx_b[None, :]
+        if self_mask.any():
+            out[self_mask] = 0.0
+        return out
+
+    def peer_pair_distances(self, peers_a: Sequence[int],
+                            peers_b: Sequence[int]) -> np.ndarray:
+        """Elementwise latencies ``peer_distance_ms(peers_a[i], peers_b[i])``.
+
+        One flat gather for an arbitrary pair list — the building block
+        for neighbor-distance metrics and coordinate-error sampling.
+        """
+        if len(peers_a) != len(peers_b):
+            raise TopologyError(
+                "peer_pair_distances needs equal-length id vectors")
+        if len(peers_a) == 0:
+            return EMPTY_F64
+        idx_a, routers_a, access_a = self._core.attach_info(peers_a)
+        idx_b, routers_b, access_b = self._core.attach_info(peers_b)
+        block, inverse = self._core.distance_block(routers_a)
+        out = access_a + block[inverse, routers_b] + access_b
+        self_mask = idx_a == idx_b
         if self_mask.any():
             out[self_mask] = 0.0
         return out
@@ -224,13 +260,104 @@ class UnderlayNetwork:
             return []
         att_a = self.attachment(a)
         att_b = self.attachment(b)
-        links: list[tuple[int, int]] = [(-a - 1, att_a.router_id)]
-        path = self.router_path(att_a.router_id, att_b.router_id)
-        for u, v in zip(path, path[1:]):
-            links.append((min(u, v), max(u, v)))
-        links.append((-b - 1, att_b.router_id))
+        _, pred = self._routes_from(att_a.router_id)
+        return self._links_between(a, att_a.router_id, b,
+                                   att_b.router_id, pred)
+
+    def _links_between(self, a: int, router_a: int, b: int, router_b: int,
+                       pred: np.ndarray) -> list[tuple[int, int]]:
+        """Link list of the unicast route, walked off a predecessor row."""
+        links: list[tuple[int, int]] = [(-a - 1, router_a)]
+        hops: list[tuple[int, int]] = []
+        node = router_b
+        while node != router_a:
+            parent = int(pred[node])
+            if parent < 0:
+                raise RoutingError(
+                    f"broken predecessor chain {router_a}->{router_b}")
+            hops.append((min(parent, node), max(parent, node)))
+            node = parent
+        links.extend(reversed(hops))
+        links.append((-b - 1, router_b))
         return links
+
+    def peer_path_links_many(
+        self, peer_id: int, others: Sequence[int]
+    ) -> list[list[tuple[int, int]]]:
+        """Per-target :meth:`peer_path_links` lists, sharing one row fetch.
+
+        Targets equal to ``peer_id`` yield an empty list, matching the
+        scalar path.
+        """
+        att = self.attachment(peer_id)
+        if len(others) == 0:
+            return []
+        idx, routers, _ = self._core.attach_info(others)
+        _, pred = self._routes_from(att.router_id)
+        out: list[list[tuple[int, int]]] = []
+        for other, router in zip(idx.tolist(), routers.tolist()):
+            if other == peer_id:
+                out.append([])
+            else:
+                out.append(self._links_between(
+                    peer_id, att.router_id, other, router, pred))
+        return out
 
     def peer_hop_count(self, a: int, b: int) -> int:
         """Number of physical links between two peers (0 if colocated)."""
-        return len(self.peer_path_links(a, b))
+        if a == b:
+            return 0
+        att_a = self.attachment(a)
+        att_b = self.attachment(b)
+        depth = self._core.depth_row(att_a.router_id)
+        # Two access links plus the router-level shortest-path hops.
+        return int(depth[att_b.router_id]) + 2
+
+    def peer_hop_counts(self, peer_id: int,
+                        others: Sequence[int]) -> np.ndarray:
+        """Vector of :meth:`peer_hop_count` from ``peer_id`` to ``others``."""
+        att = self.attachment(peer_id)
+        if len(others) == 0:
+            return EMPTY_I64
+        idx, routers, _ = self._core.attach_info(others)
+        depth = self._core.depth_row(att.router_id)
+        out = depth[routers] + 2
+        self_mask = idx == peer_id
+        if self_mask.any():
+            out[self_mask] = 0
+        return out
+
+    def multicast_links(self, source: int,
+                        receivers: Sequence[int]) -> set[tuple[int, int]]:
+        """Union of :meth:`peer_path_links` from ``source`` to ``receivers``.
+
+        Merging the unicast routes of one Dijkstra source yields a
+        shortest-path tree at the router level, so the union is built by
+        walking the predecessor array from each receiver router toward
+        the source and stopping at the first already-visited router —
+        every router is visited at most once regardless of how many
+        receivers sit behind it.
+        """
+        att_s = self.attachment(source)
+        idx, routers, _ = self._core.attach_info(receivers)
+        if (idx == source).any():
+            raise TopologyError(
+                "multicast_links receivers must exclude the source")
+        _, pred = self._routes_from(att_s.router_id)
+        links: set[tuple[int, int]] = {(-source - 1, att_s.router_id)}
+        for peer, router in zip(idx.tolist(), routers.tolist()):
+            links.add((-peer - 1, router))
+        visited = np.zeros(self.router_count, dtype=bool)
+        visited[att_s.router_id] = True
+        for router in np.unique(routers).tolist():
+            node = router
+            while not visited[node]:
+                visited[node] = True
+                parent = int(pred[node])
+                if parent < 0:
+                    raise RoutingError(
+                        f"broken predecessor chain "
+                        f"{att_s.router_id}->{router}")
+                links.add((min(parent, node), max(parent, node)))
+                node = parent
+        return links

@@ -141,6 +141,18 @@ class Histogram:
         """Per-bucket sample counts, overflow bucket last."""
         return tuple(self._counts)
 
+    def merge(self, bucket_counts: Sequence[int], total_sum: float,
+              total_count: int) -> None:
+        """Fold another histogram's state into this one (additive)."""
+        if len(bucket_counts) != len(self._counts):
+            raise TelemetryError(
+                f"histogram {self.name!r} cannot merge "
+                f"{len(bucket_counts)} buckets into {len(self._counts)}")
+        for i, count in enumerate(bucket_counts):
+            self._counts[i] += count
+        self._sum += total_sum
+        self._count += total_count
+
     def reset(self) -> None:
         """Forget all samples."""
         self._counts = [0] * (len(self.bounds) + 1)
@@ -280,6 +292,50 @@ class Registry:
             else:
                 out[name] = inst.value
         return out
+
+    def dump_state(self) -> dict[str, tuple]:
+        """Typed, lossless export of every instrument for merging.
+
+        Unlike :meth:`snapshot` (a human-facing view), the dump carries
+        enough structure (instrument type, histogram bucket bounds) to
+        reconstruct instruments in another registry — the transport used
+        by the process-parallel experiment runner to fold worker
+        telemetry back into the parent.
+        """
+        out: dict[str, tuple] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                out[name] = ("histogram", inst.bounds,
+                             inst.bucket_counts(), inst.sum, inst.count)
+            elif isinstance(inst, Gauge):
+                out[name] = ("gauge", inst.value)
+            else:
+                out[name] = ("counter", inst.value)
+        return out
+
+    def merge_state(self, state: dict[str, tuple]) -> None:
+        """Fold a :meth:`dump_state` export into this registry.
+
+        Counters and histograms merge additively; gauges (levels) merge
+        additively too, which is correct for the per-worker deltas the
+        parallel runner produces.  Merging in sorted-name order keeps
+        instrument creation order — and therefore snapshots —
+        deterministic regardless of worker count.
+        """
+        if not self.enabled:
+            return
+        for name in sorted(state):
+            entry = state[name]
+            kind = entry[0]
+            if kind == "histogram":
+                _, bounds, buckets, total_sum, total_count = entry
+                self.histogram(name, bounds).merge(
+                    buckets, total_sum, total_count)
+            elif kind == "gauge":
+                self.gauge(name).inc(entry[1])
+            else:
+                self.counter(name).inc(entry[1])
 
     def reset(self) -> None:
         """Zero every instrument (names and types are kept)."""

@@ -24,9 +24,13 @@ from ..errors import SimulationError
 from ..obs.tracer import KIND_FIRE, KIND_SCHEDULE, Tracer
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
-    """A pending callback, ordered by ``(time, sequence)``."""
+    """A pending callback, ordered by ``(time, sequence)``.
+
+    ``slots=True`` keeps events dict-free: ``schedule()`` is the hottest
+    engine call and allocates one of these per message hop.
+    """
 
     time: float
     sequence: int
@@ -48,6 +52,8 @@ class Simulator:
     >>> fired
     [5.0]
     """
+
+    __slots__ = ("_now", "_heap", "_sequence", "_events_processed", "tracer")
 
     def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._now = 0.0
@@ -77,9 +83,13 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past: {delay_ms}")
         event = Event(self._now + delay_ms, next(self._sequence), action)
         heapq.heappush(self._heap, event)
-        if self.tracer is not None:
-            self.tracer.record(self._now, KIND_SCHEDULE,
-                               seq=event.sequence, detail=repr(event.time))
+        tracer = self.tracer
+        if tracer is not None:
+            # repr(event.time) is only formatted when a tracer is
+            # actually capturing; with telemetry disabled the schedule
+            # fast path does no string work at all.
+            tracer.record(self._now, KIND_SCHEDULE,
+                          seq=event.sequence, detail=repr(event.time))
         return event
 
     def schedule_at(self, time_ms: float, action: Callable[[], None]) -> Event:
@@ -90,9 +100,10 @@ class Simulator:
             )
         event = Event(time_ms, next(self._sequence), action)
         heapq.heappush(self._heap, event)
-        if self.tracer is not None:
-            self.tracer.record(self._now, KIND_SCHEDULE,
-                               seq=event.sequence, detail=repr(event.time))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(self._now, KIND_SCHEDULE,
+                          seq=event.sequence, detail=repr(event.time))
         return event
 
     def run(self, until: Optional[float] = None,

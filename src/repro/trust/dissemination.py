@@ -67,6 +67,9 @@ def disseminate_with_failures(
     queue = deque([source])
     while queue:
         node = queue.popleft()
+        # Draw the drop decisions first (same rng order as the scalar
+        # loop), then resolve all surviving hops in one vectorized query.
+        delivered: list[int] = []
         for neighbor in adjacency[node]:
             if neighbor in delays:
                 continue
@@ -75,8 +78,12 @@ def disseminate_with_failures(
                 if ledger is not None:
                     ledger.record(neighbor, node, success=False)
                 continue
-            delays[neighbor] = (
-                delays[node] + underlay.peer_distance_ms(node, neighbor))
+            delivered.append(neighbor)
+        if not delivered:
+            continue
+        hop_delays = underlay.peer_distances_ms(node, delivered)
+        for neighbor, hop_delay in zip(delivered, hop_delays):
+            delays[neighbor] = delays[node] + float(hop_delay)
             if ledger is not None:
                 ledger.record(neighbor, node, success=True)
             queue.append(neighbor)
