@@ -57,3 +57,11 @@ class SimulationError(ReproError):
 
 class TelemetryError(ReproError):
     """An observability instrument was misused (name clash, bad bucket)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection schedule is malformed (bad window, overlap, ...)."""
+
+
+class InvariantViolation(ReproError):
+    """A protocol invariant check failed during a simulation run."""

@@ -12,19 +12,48 @@ keep flowing.  Three recovery policies are compared:
 * ``replication`` — pre-arranged backup parents fail over instantly
                     (:mod:`repro.groupcast.replication`).
 
+Beyond the clean crash waves of :func:`run`, two adversarial scenarios
+drive the same three policies through seeded :mod:`repro.faults`
+schedules:
+
+* :func:`run_partition`   — the overlay is split into seeded components
+  while forwarders crash, then heals; repair searches run on the
+  partitioned graph, so orphaned subtrees on the wrong side are lost.
+* :func:`run_adversarial` — the full event-driven session under a
+  :class:`~repro.faults.FaultPlan` (reorder + duplicate windows, a
+  partition, message drops and mid-run crashes/restarts), with a
+  :class:`~repro.faults.InvariantSuite` evaluated at simulator
+  checkpoints and the run's ``trace_digest`` reported for
+  reproducibility pinning.
+
 Reported per policy: delivery ratio after each crash wave and the total
 repair messages spent.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 from ..deployment import Deployment, build_deployment
-from ..config import GroupCastConfig
+from ..config import AnnouncementConfig, GroupCastConfig
+from ..faults import (
+    CounterMonotonicity,
+    FaultInjector,
+    FaultPlan,
+    InvariantSuite,
+    apply_partition,
+    check_overlay_connectivity,
+    check_session_tree,
+    heal_partition,
+)
 from ..groupcast.advertisement import propagate_advertisement
 from ..groupcast.dissemination import disseminate
 from ..groupcast.repair import repair_tree
 from ..groupcast.replication import BackupPlan, failover
+from ..groupcast.session import GroupSession
 from ..groupcast.subscription import subscribe_members
+from ..obs.registry import Registry
+from ..obs.tracer import Tracer
 from ..sim.random import spawn_rng
 from .common import ExperimentResult
 
@@ -99,8 +128,323 @@ def run(peer_count: int = 500, members_count: int = 100,
     return result
 
 
+def run_partition(peer_count: int = 300, members_count: int = 60,
+                  crash_count: int = 3, seed: int = 7) -> ExperimentResult:
+    """Crash forwarders *while the overlay is partitioned*, then heal.
+
+    The overlay is split into two seeded components
+    (:meth:`FaultPlan.split`); repair searches therefore run on the
+    degraded graph and orphan subtrees stranded on the wrong side of
+    the cut are lost.  After healing, one more crash verifies the
+    policies recover their full strength on the re-joined overlay.
+    """
+    result = ExperimentResult(
+        title=(f"Group delivery under partitioned crashes "
+               f"({peer_count} peers, {members_count} members, "
+               f"{crash_count} crashes during partition)"),
+        columns=("policy", "severed_links", "final_delivery_ratio",
+                 "members_lost", "repair_messages"),
+    )
+    for policy in POLICIES:
+        deployment = build_deployment(
+            peer_count, kind="groupcast",
+            config=GroupCastConfig(seed=seed))
+        tree, rng = _build_group(deployment, members_count, seed)
+        plan = BackupPlan()
+        if policy == "replication":
+            plan.refresh(tree)
+        members_at_start = len(tree.members)
+        repair_messages = 0
+        components = FaultPlan.split(
+            spawn_rng(seed, "partition-split"),
+            deployment.peer_ids(), 2)
+        severed = apply_partition(deployment.overlay, components)
+
+        def crash_one() -> int:
+            nonlocal repair_messages
+            interior = [n for n in tree.nodes()
+                        if n != tree.root and tree.children(n)]
+            if not interior:
+                return 0
+            victim = interior[int(rng.integers(len(interior)))]
+            if victim in deployment.overlay:
+                deployment.overlay.remove_peer(victim)
+            if policy == "none":
+                for orphan in tree.remove_failed_node(victim):
+                    tree.drop_subtree(orphan)
+            elif policy == "repair":
+                report = repair_tree(tree, deployment.overlay, victim)
+                repair_messages += report.search_messages
+            else:
+                report = failover(tree, plan, deployment.overlay, victim)
+                repair_messages += report.messages
+            tree.validate()
+            return 1
+
+        for _ in range(crash_count):
+            crash_one()
+        heal_partition(deployment.overlay, severed)
+        crash_one()  # post-heal: recovery is back to full strength
+        survivors = len(tree.members)
+        report = disseminate(tree, tree.root, deployment.underlay)
+        reached = len(report.member_delays_ms) + 1  # + source
+        result.add_row(
+            policy,
+            len(severed),
+            reached / max(members_at_start, 1),
+            members_at_start - survivors,
+            repair_messages,
+        )
+    return result
+
+
+#: Virtual-time span of the adversarial fault schedule (ms).
+ADVERSARIAL_SPAN_MS = 8_000.0
+
+
+def run_adversarial(peer_count: int = 150, members_count: int = 40,
+                    seed: int = 7,
+                    invariant_interval_ms: float = 500.0
+                    ) -> ExperimentResult:
+    """The full adversarial scenario on the event-driven session runtime.
+
+    One seeded :meth:`FaultPlan.adversarial` schedule (reorder +
+    duplicate windows, a two-component partition that also severs the
+    overlay links, message drops, and forwarder crashes with partial
+    restarts) is executed against each recovery policy while payloads
+    flow and an :class:`InvariantSuite` re-checks the protocol state at
+    fixed virtual-time checkpoints.  The session-level policies mirror
+    the tree-level ones:
+
+    * ``none``        — the crashed forwarder's whole subtree is
+                        declared lost (its members starve);
+    * ``repair``      — the subtree's state is reset and its members
+                        ripple-search back onto the tree;
+    * ``replication`` — orphaned children fail over to pre-arranged
+                        grandparent backups with a single message.
+
+    Each row carries the run's full ``trace_digest`` so callers can pin
+    bit-reproducibility across repeated invocations.
+    """
+    result = ExperimentResult(
+        title=(f"Adversarial schedule: partition + reorder + crashes "
+               f"({peer_count} peers, {members_count} members)"),
+        columns=("policy", "delivery_ratio", "members_lost",
+                 "faults_injected", "crashes", "restarts",
+                 "invariant_checks", "violations", "trace_digest"),
+    )
+    announcement = AnnouncementConfig(advertisement_ttl=7,
+                                      subscription_search_ttl=3)
+    for policy in POLICIES:
+        deployment = build_deployment(
+            peer_count, kind="groupcast",
+            config=GroupCastConfig(seed=seed))
+        registry = Registry()
+        tracer = Tracer()
+        session = GroupSession(
+            deployment.overlay, deployment.peer_distance_ms,
+            spawn_rng(seed, "adv-session"), announcement=announcement,
+            utility=deployment.config.utility, registry=registry,
+            tracer=tracer)
+        member_rng = spawn_rng(seed, "adv-members")
+        ids = deployment.peer_ids()
+        picks = member_rng.choice(len(ids), size=members_count,
+                                  replace=False)
+        members = [ids[int(i)] for i in picks]
+        rendezvous = members[0]
+        group_id = 1
+        session.establish(group_id, rendezvous, members)
+
+        t0 = session.simulator.now
+        interior = [
+            peer for peer in sorted(session.nodes)
+            if peer != rendezvous
+            and session.upstream_children(group_id, peer)
+        ]
+        plan = FaultPlan.adversarial(
+            seed, ids, start_ms=t0, duration_ms=ADVERSARIAL_SPAN_MS,
+            crash_candidates=interior, crash_count=2)
+        injector = FaultInjector(
+            plan, spawn_rng(seed, "adv-faults"), registry, tracer)
+        injector.attach(session.network)
+
+        declared_lost: set[int] = set()
+        backups = session.backup_parents(group_id)
+
+        def subtree_of(root_orphans: list[int]) -> list[int]:
+            """The crashed forwarder's downstream closure, sorted.
+
+            Closes over *both* tree children and off-tree informed
+            peers whose advertisement reverse path runs through the
+            roots: those peers would otherwise keep answering ripple
+            searches with a broken upstream chain.
+            """
+            children: dict[int, list[int]] = {}
+            for peer_id, node in session.nodes.items():
+                state = node.state(group_id)
+                if state.upstream is not None and (
+                        state.on_tree or state.has_advertisement):
+                    children.setdefault(state.upstream, []).append(peer_id)
+            seen: set[int] = set()
+            queue = deque(root_orphans)
+            while queue:
+                current = queue.popleft()
+                if current in seen:
+                    continue
+                seen.add(current)
+                queue.extend(children.get(current, ()))
+            return sorted(seen)
+
+        def on_crash(victim: int) -> None:
+            nonlocal backups
+            orphans = sorted(session.upstream_children(group_id, victim))
+            session.crash_peer(victim)
+            declared_lost.add(victim)
+            affected = subtree_of(orphans)
+            if policy == "none":
+                declared_lost.update(affected)
+                return
+            if policy == "replication":
+                for orphan in orphans:
+                    backup = backups.get(orphan)
+                    if backup is None or not session.failover_upstream(
+                            group_id, orphan, backup):
+                        _reset_branch(session, group_id,
+                                      subtree_of([orphan]))
+                backups = session.backup_parents(group_id)
+                return
+            # "repair": reset the whole broken branch so stale informed
+            # peers stop answering searches, then re-join its members.
+            _reset_branch(session, group_id, affected)
+
+        def on_restart(peer_id: int) -> None:
+            if peer_id in deployment.overlay:
+                session.restart_peer(peer_id)
+                declared_lost.discard(peer_id)
+
+        injector.arm(session.simulator, overlay=deployment.overlay,
+                     on_crash=on_crash, on_restart=on_restart)
+
+        retries: dict[int, int] = {}
+
+        def sweep() -> None:
+            """Child-side parent-failure detection (heartbeat stand-in).
+
+            A member can attach to a forwarder *after* it crashed — the
+            search reply was already in flight — which no crash-time
+            callback can see.  Each checkpoint, the recovering policies
+            reset every branch hanging under a gone/off-tree upstream
+            and give stranded off-tree members a bounded number of
+            fresh searches.
+            """
+            broken = session.broken_upstream_peers(group_id)
+            reset_now: set[int] = set()
+            if broken:
+                affected = subtree_of(broken)
+                reset_now = set(affected)
+                _reset_branch(session, group_id, affected)
+            for member in sorted(members):
+                if member in reset_now or member in declared_lost:
+                    continue
+                node = session.nodes.get(member)
+                if node is None:
+                    continue
+                state = node.state(group_id)
+                if state.on_tree or retries.get(member, 0) >= 3:
+                    continue
+                retries[member] = retries.get(member, 0) + 1
+                node.start_subscription(group_id)
+
+        suite = InvariantSuite(registry)
+        suite.add("session-tree",
+                  lambda: check_session_tree(session, group_id,
+                                             lambda: declared_lost))
+        suite.add("overlay-connectivity",
+                  lambda: check_overlay_connectivity(
+                      deployment.overlay, min_largest_fraction=0.25))
+        suite.add("counters-monotone", CounterMonotonicity(registry))
+        if policy == "none":
+            suite.attach(session.simulator, invariant_interval_ms)
+        else:
+            # One chain for sweep + checks: two Simulator.every chains
+            # would keep re-arming each other and never drain the heap.
+            session.simulator.every(
+                invariant_interval_ms,
+                lambda: (sweep(), suite.run(session.simulator.now)))
+
+        payload_ids = []
+        publish_count = 6
+        for index in range(publish_count):
+            at = t0 + (index + 0.5) * ADVERSARIAL_SPAN_MS / publish_count
+            payload_id = next(session._payload_ids)
+            payload_ids.append(payload_id)
+            session.simulator.schedule_at(
+                at, lambda p=payload_id: _publish_if_alive(
+                    session, group_id, rendezvous, p))
+        session.simulator.run()
+        if policy != "none":
+            # Late in-flight replies can break a chain after the last
+            # checkpoint; sweep-and-settle until detection finds
+            # nothing (bounded — each pass clears the stale state it
+            # acted on).
+            for _ in range(5):
+                if not session.broken_upstream_peers(group_id):
+                    break
+                sweep()
+                session.simulator.run()
+        suite.run(session.simulator.now)
+
+        delivered = session.deliveries.get(
+            (group_id, payload_ids[-1]), {})
+        audience = [m for m in members
+                    if m != rendezvous and m not in declared_lost]
+        reached = sum(1 for m in audience if m in delivered)
+        result.add_row(
+            policy,
+            reached / max(len(audience), 1),
+            len(declared_lost & set(members)),
+            injector.faults_injected(),
+            registry.counter("faults.crashes").value,
+            registry.counter("faults.restarts").value,
+            registry.counter("invariants.checks").value,
+            len(suite.violations),
+            tracer.trace_digest(),
+        )
+    return result
+
+
+def _reset_branch(session: GroupSession, group_id: int,
+                  branch: list[int]) -> None:
+    """Reset a broken branch's protocol state and re-join its members."""
+    for peer_id in branch:
+        node = session.nodes.get(peer_id)
+        if node is None:
+            continue
+        state = node.state(group_id)
+        state.on_tree = False
+        state.upstream = None
+        state.has_advertisement = False
+        state.search_answered = False
+    for peer_id in branch:
+        node = session.nodes.get(peer_id)
+        if node is not None and node.state(group_id).is_member:
+            node.start_subscription(group_id)
+
+
+def _publish_if_alive(session: GroupSession, group_id: int,
+                      source: int, payload_id: int) -> None:
+    """Flood one payload unless the source crashed meanwhile."""
+    node = session.nodes.get(source)
+    if node is not None:
+        node.start_publish(group_id, payload_id)
+
+
 def main() -> None:  # pragma: no cover - CLI glue
     print(run().format_table())
+    print()
+    print(run_partition().format_table())
+    print()
+    print(run_adversarial().format_table())
 
 
 if __name__ == "__main__":  # pragma: no cover

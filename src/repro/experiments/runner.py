@@ -91,6 +91,13 @@ EXPERIMENTS: dict[str, Callable] = {
     "churn": lambda args: [churn_cost.run(seed=args.seed)],
     "diameter": _diameter,
     "resilience": lambda args: [resilience.run(seed=args.seed)],
+    "partition": lambda args: [resilience.run_partition(seed=args.seed)],
+    "adversarial": lambda args: [
+        resilience.run_adversarial(seed=args.seed)],
+    "faults": lambda args: [
+        resilience.run_partition(seed=args.seed),
+        resilience.run_adversarial(seed=args.seed),
+    ],
 }
 
 ALL_GROUPS = ("preference", "degree", "neighbor", "diameter", "lookup",

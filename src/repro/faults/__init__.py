@@ -1,0 +1,60 @@
+"""Deterministic fault injection and protocol invariant checking.
+
+Three pieces build the adversarial-testing harness:
+
+* :mod:`.plan` — :class:`FaultPlan`, an immutable seeded schedule of
+  message-fault windows (drop/duplicate/delay/reorder), overlay
+  partitions and peer crash/restart events;
+* :mod:`.injector` — :class:`FaultInjector`, which executes a plan
+  against a live :class:`~repro.sim.messaging.MessageNetwork` and the
+  event simulator, counting every injected fault under ``faults.*``
+  registry instruments and recording it in the trace stream;
+* :mod:`.invariants` — checker pack (:class:`InvariantSuite`) evaluated
+  at simulator checkpoints: spanning-tree structure, member
+  reachability, overlay connectivity bounds, heartbeat-view consistency
+  and registry counter monotonicity.
+
+Everything is seeded through :func:`~repro.sim.random.spawn_rng`, so a
+given plan produces a bit-identical run — the ``trace_digest`` of two
+identically-seeded adversarial runs matches exactly.
+"""
+
+from .injector import FaultInjector
+from .invariants import (
+    CounterMonotonicity,
+    InvariantSuite,
+    Violation,
+    check_heartbeat_view,
+    check_members_reachable,
+    check_overlay_connectivity,
+    check_session_tree,
+    check_tree_structure,
+)
+from .plan import (
+    FAULT_KINDS,
+    CrashEvent,
+    FaultPlan,
+    FaultWindow,
+    PartitionWindow,
+    apply_partition,
+    heal_partition,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CrashEvent",
+    "CounterMonotonicity",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "InvariantSuite",
+    "PartitionWindow",
+    "Violation",
+    "apply_partition",
+    "check_heartbeat_view",
+    "check_members_reachable",
+    "check_overlay_connectivity",
+    "check_session_tree",
+    "check_tree_structure",
+    "heal_partition",
+]

@@ -1,0 +1,303 @@
+"""Continuously-checked protocol invariants.
+
+The fault harness is only as good as the properties it checks while the
+adversity is live.  This module packages the GroupCast invariants as
+small *checker* callables returning a list of human-readable violation
+strings (empty = healthy), plus an :class:`InvariantSuite` that runs a
+set of named checkers at simulator checkpoints
+(:meth:`repro.sim.engine.Simulator.every`) and folds the results into
+``invariants.*`` registry counters.
+
+Checkers never mutate the state they inspect, and they re-derive every
+property independently of the code under test (e.g. tree acyclicity is
+re-checked from raw parent/child maps, not via
+:meth:`SpanningTree.validate`), so a bug in the protocol's own
+bookkeeping cannot hide a violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..errors import InvariantViolation
+from ..obs.registry import Registry
+from ..sim.engine import Simulator
+
+#: A checker inspects some state and returns violation messages.
+Checker = Callable[[], list[str]]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach observed at one checkpoint."""
+
+    at_ms: float
+    checker: str
+    message: str
+
+
+# ----------------------------------------------------------------------
+# Spanning-tree checkers
+# ----------------------------------------------------------------------
+def check_tree_structure(tree) -> list[str]:
+    """Acyclicity, single-parent and parent/child agreement.
+
+    Re-derives the properties from the tree's raw maps: every non-root
+    node has exactly one parent that lists it as a child, parent chains
+    terminate at the root without revisiting a node, and no node is
+    unreachable from the root.
+    """
+    violations: list[str] = []
+    parent = tree._parent
+    children = tree._children
+    root = tree.root
+    if parent.get(root, 0) is not None:
+        violations.append(f"root {root} has a parent")
+    for node, node_parent in parent.items():
+        if node == root:
+            continue
+        if node_parent is None:
+            violations.append(f"node {node} is parentless (not the root)")
+            continue
+        if node_parent not in parent:
+            violations.append(
+                f"node {node} hangs under missing parent {node_parent}")
+        elif node not in children.get(node_parent, set()):
+            violations.append(
+                f"parent {node_parent} does not list child {node}")
+    for node, kids in children.items():
+        for child in kids:
+            if parent.get(child) != node:
+                violations.append(
+                    f"child {child} disagrees about parent {node}")
+    # Cycle / reachability via parent-chain walk.
+    for node in parent:
+        seen = {node}
+        current = node
+        while (up := parent.get(current)) is not None:
+            if up in seen:
+                violations.append(f"parent-pointer cycle through {up}")
+                break
+            if up not in parent:
+                break  # already reported above
+            seen.add(up)
+            current = up
+        else:
+            if current != root:
+                violations.append(
+                    f"node {node} is not connected to root {root}")
+    return violations
+
+
+def check_members_reachable(tree, expected_members: Iterable[int],
+                            lost_members: Callable[[], set] | set
+                            ) -> list[str]:
+    """Every expected member is on the tree or declared lost.
+
+    ``lost_members`` may be a set or a zero-argument callable (so the
+    harness can grow the set as crashes are consumed).
+    """
+    lost = lost_members() if callable(lost_members) else lost_members
+    on_tree = tree.members
+    violations = []
+    for member in expected_members:
+        if member not in on_tree and member not in lost:
+            violations.append(
+                f"member {member} fell off the tree without being "
+                f"declared lost")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Overlay checkers
+# ----------------------------------------------------------------------
+def check_overlay_connectivity(overlay, min_largest_fraction: float = 0.5,
+                               max_components: int | None = None
+                               ) -> list[str]:
+    """Bound the overlay's connectivity degradation.
+
+    The largest connected component must retain at least
+    ``min_largest_fraction`` of the peers, and (optionally) the number
+    of components must not exceed ``max_components``.
+    """
+    if len(overlay) == 0:
+        return []
+    sizes = overlay.connected_component_sizes()
+    violations = []
+    fraction = sizes[0] / len(overlay)
+    if fraction < min_largest_fraction:
+        violations.append(
+            f"largest component holds {fraction:.2%} of peers "
+            f"(< {min_largest_fraction:.0%})")
+    if max_components is not None and len(sizes) > max_components:
+        violations.append(
+            f"overlay split into {len(sizes)} components "
+            f"(> {max_components})")
+    return violations
+
+
+def check_heartbeat_view(maintenance, overlay) -> list[str]:
+    """Maintenance liveness view agrees with the overlay graph.
+
+    Every peer the daemon reports alive must exist in the overlay, and
+    no alive peer may hold a missed-heartbeat count at/over the failure
+    threshold against a neighbor that is itself alive and still linked
+    (after a partition heals, a full heartbeat round clears these).
+    """
+    violations = []
+    threshold = maintenance.config.missed_heartbeats_for_failure
+    alive = set(maintenance.alive_peers())
+    for peer in alive:
+        if peer not in overlay:
+            violations.append(
+                f"peer {peer} is alive per maintenance but missing "
+                f"from the overlay")
+            continue
+        for neighbor, missed in maintenance.missed_heartbeats(peer).items():
+            if missed >= threshold and neighbor in alive \
+                    and neighbor in overlay \
+                    and overlay.has_link(peer, neighbor):
+                violations.append(
+                    f"peer {peer} holds {missed} missed heartbeats "
+                    f"against live neighbor {neighbor}")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Session checkers (event-driven runtime)
+# ----------------------------------------------------------------------
+def check_session_tree(session, group_id: int,
+                       lost_members: Callable[[], set] | set = frozenset()
+                       ) -> list[str]:
+    """Upstream pointers of a live session form a tree to the rendezvous.
+
+    Checks acyclicity of the per-peer ``upstream`` pointers and that
+    every on-tree member's upstream chain reaches the group's rendezvous
+    through live peers — unless the member has been declared lost.
+    """
+    lost = lost_members() if callable(lost_members) else lost_members
+    rendezvous = session.rendezvous.get(group_id)
+    if rendezvous is None:
+        return [f"group {group_id} has no recorded rendezvous"]
+    violations = []
+    upstream = {
+        peer_id: node.state(group_id).upstream
+        for peer_id, node in session.nodes.items()
+        if group_id in node.groups and node.state(group_id).on_tree
+    }
+    for peer_id, node in session.nodes.items():
+        if group_id not in node.groups:
+            continue
+        state = node.state(group_id)
+        if not (state.is_member and state.on_tree) or peer_id in lost:
+            continue
+        seen = {peer_id}
+        current = peer_id
+        while current != rendezvous:
+            up = upstream.get(current)
+            if up is None:
+                violations.append(
+                    f"member {peer_id}'s upstream chain breaks at "
+                    f"{current} (upstream gone or off-tree)")
+                break
+            if up in seen:
+                violations.append(
+                    f"member {peer_id}'s upstream chain cycles at {up}")
+                break
+            seen.add(up)
+            current = up
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Registry checker
+# ----------------------------------------------------------------------
+class CounterMonotonicity:
+    """Stateful checker: counters never decrease and never go negative.
+
+    Holds the last observed value of every counter; a later checkpoint
+    seeing a smaller (or negative) value reports a violation.  New
+    counters appearing between checkpoints are adopted silently.
+    """
+
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self._last: dict[str, int] = {}
+
+    def __call__(self) -> list[str]:
+        violations = []
+        for name, value in self.registry.counters().items():
+            if value < 0:
+                violations.append(f"counter {name} is negative ({value})")
+            previous = self._last.get(name)
+            if previous is not None and value < previous:
+                violations.append(
+                    f"counter {name} decreased from {previous} to {value}")
+            self._last[name] = value
+        return violations
+
+
+# ----------------------------------------------------------------------
+# Suite
+# ----------------------------------------------------------------------
+class InvariantSuite:
+    """Named checkers evaluated together at simulator checkpoints."""
+
+    def __init__(self, registry: Optional[Registry] = None,
+                 strict: bool = False) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self.strict = strict
+        self._checkers: list[tuple[str, Checker]] = []
+        self.violations: list[Violation] = []
+        self._c_checks = self.registry.counter("invariants.checks")
+        self._c_violations = self.registry.counter("invariants.violations")
+
+    def add(self, name: str, checker: Checker) -> "InvariantSuite":
+        """Register a checker under a stable name (returns self)."""
+        self._checkers.append((name, checker))
+        return self
+
+    def names(self) -> list[str]:
+        """Registered checker names, in registration order."""
+        return [name for name, _ in self._checkers]
+
+    def run(self, at_ms: float = 0.0) -> list[Violation]:
+        """Run every checker once; returns (and records) new violations.
+
+        With ``strict=True`` the first violating checkpoint raises
+        :class:`~repro.errors.InvariantViolation` instead of
+        accumulating.
+        """
+        fresh: list[Violation] = []
+        for name, checker in self._checkers:
+            self._c_checks.inc()
+            for message in checker():
+                fresh.append(Violation(at_ms, name, message))
+        if fresh:
+            self._c_violations.inc(len(fresh))
+            self.violations.extend(fresh)
+            if self.strict:
+                first = fresh[0]
+                raise InvariantViolation(
+                    f"[{first.checker} @ {first.at_ms:.1f}ms] "
+                    f"{first.message}"
+                    + (f" (+{len(fresh) - 1} more)" if len(fresh) > 1
+                       else ""))
+        return fresh
+
+    def attach(self, simulator: Simulator, interval_ms: float) -> None:
+        """Evaluate the suite every ``interval_ms`` of virtual time."""
+        simulator.every(interval_ms, lambda: self.run(simulator.now))
+
+    @property
+    def healthy(self) -> bool:
+        """True while no checkpoint has reported a violation."""
+        return not self.violations
+
+    def violations_by_checker(self) -> dict[str, int]:
+        """Violation counts keyed by checker name."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.checker] = counts.get(violation.checker, 0) + 1
+        return counts

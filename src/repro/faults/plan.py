@@ -1,0 +1,316 @@
+"""Seeded, declarative fault schedules.
+
+A :class:`FaultPlan` is a *complete, immutable description* of every
+adversity one simulation run will face: per-link message faults
+(:class:`FaultWindow` — drop, duplicate, delay, reorder), overlay
+partitions (:class:`PartitionWindow` — a seeded split into components
+that heals at a fixed time), and peer crashes with optional restarts
+(:class:`CrashEvent`).  Plans are built once, up front, from a named
+:func:`~repro.sim.random.spawn_rng` stream, so the schedule itself is a
+pure function of the seed: two runs with the same plan and the same
+protocol seeds are bit-identical, which is what lets the test suite pin
+``trace_digest`` values across runs (FoundationDB-style deterministic
+simulation testing).
+
+The plan is *data only*; :class:`~repro.faults.injector.FaultInjector`
+interprets it against a live :class:`~repro.sim.messaging.MessageNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import FaultPlanError
+from ..sim.random import RandomSource, spawn_rng
+
+#: Message-level fault kinds a :class:`FaultWindow` can inject.
+FAULT_KINDS = ("drop", "duplicate", "delay", "reorder")
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One timed message-fault regime on (a subset of) links.
+
+    While virtual time is inside ``[start_ms, end_ms)`` every message
+    whose sender or recipient is in ``peers`` (or every message, when
+    ``peers`` is None) suffers the fault with ``probability``:
+
+    * ``drop``      — the message vanishes;
+    * ``duplicate`` — a second copy is delivered, skewed by up to
+                      ``magnitude_ms``;
+    * ``delay``     — transit time grows by ``magnitude_ms`` plus up to
+                      the same amount of jitter;
+    * ``reorder``   — transit time grows by a uniform draw in
+                      ``[0, magnitude_ms)``, breaking FIFO order between
+                      messages that share a link.
+    """
+
+    kind: str
+    start_ms: float
+    end_ms: float
+    probability: float
+    magnitude_ms: float = 0.0
+    peers: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if self.end_ms <= self.start_ms:
+            raise FaultPlanError(
+                f"window [{self.start_ms}, {self.end_ms}) is empty")
+        if not 0.0 < self.probability <= 1.0:
+            raise FaultPlanError("probability must be in (0, 1]")
+        if self.magnitude_ms < 0.0:
+            raise FaultPlanError("magnitude_ms must be non-negative")
+        if self.kind != "drop" and self.magnitude_ms == 0.0:
+            raise FaultPlanError(
+                f"{self.kind!r} windows need a positive magnitude_ms")
+
+    def active(self, now_ms: float) -> bool:
+        """True while the window covers ``now_ms``."""
+        return self.start_ms <= now_ms < self.end_ms
+
+    def applies_to(self, sender: int, recipient: int) -> bool:
+        """True if the window covers the given link."""
+        if self.peers is None:
+            return True
+        return sender in self.peers or recipient in self.peers
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A temporary split of the peer population into components.
+
+    While active, messages whose endpoints sit in different components
+    are dropped; at ``end_ms`` the partition heals.  Peers not listed in
+    any component are unaffected (late joiners, for instance).
+    """
+
+    start_ms: float
+    end_ms: float
+    components: tuple[frozenset[int], ...]
+    _component_of: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.end_ms <= self.start_ms:
+            raise FaultPlanError(
+                f"partition [{self.start_ms}, {self.end_ms}) is empty")
+        if len(self.components) < 2:
+            raise FaultPlanError("a partition needs at least two components")
+        mapping: dict[int, int] = {}
+        for index, component in enumerate(self.components):
+            for peer in component:
+                if peer in mapping:
+                    raise FaultPlanError(
+                        f"peer {peer} appears in two partition components")
+                mapping[peer] = index
+        self._component_of.update(mapping)
+
+    def active(self, now_ms: float) -> bool:
+        """True while the partition covers ``now_ms``."""
+        return self.start_ms <= now_ms < self.end_ms
+
+    def component_of(self, peer_id: int) -> int | None:
+        """Component index of ``peer_id`` (None if unassigned)."""
+        return self._component_of.get(peer_id)
+
+    def severed(self, sender: int, recipient: int) -> bool:
+        """True if the partition cuts the ``sender -> recipient`` link."""
+        a = self._component_of.get(sender)
+        b = self._component_of.get(recipient)
+        return a is not None and b is not None and a != b
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """A peer crash at ``at_ms`` with an optional later restart."""
+
+    at_ms: float
+    peer_id: int
+    restart_at_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise FaultPlanError("crash time must be non-negative")
+        if self.restart_at_ms is not None \
+                and self.restart_at_ms <= self.at_ms:
+            raise FaultPlanError("restart must come after the crash")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full adversity schedule of one run (immutable data)."""
+
+    windows: tuple[FaultWindow, ...] = ()
+    partitions: tuple[PartitionWindow, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for first, second in zip(self.partitions, self.partitions[1:]):
+            if second.start_ms < first.end_ms:
+                raise FaultPlanError(
+                    "partition windows must be sorted and non-overlapping")
+
+    @property
+    def is_zero(self) -> bool:
+        """True if the plan injects nothing at all."""
+        return not (self.windows or self.partitions or self.crashes)
+
+    def active_windows(self, now_ms: float, sender: int,
+                       recipient: int) -> list[FaultWindow]:
+        """Windows covering this instant and link, in plan order."""
+        return [w for w in self.windows
+                if w.active(now_ms) and w.applies_to(sender, recipient)]
+
+    def partition_at(self, now_ms: float) -> PartitionWindow | None:
+        """The partition active at ``now_ms``, if any."""
+        for partition in self.partitions:
+            if partition.active(now_ms):
+                return partition
+        return None
+
+    def end_ms(self) -> float:
+        """Virtual time at which the last scheduled adversity ends."""
+        end = 0.0
+        for window in self.windows:
+            end = max(end, window.end_ms)
+        for partition in self.partitions:
+            end = max(end, partition.end_ms)
+        for crash in self.crashes:
+            end = max(end, crash.at_ms)
+            if crash.restart_at_ms is not None:
+                end = max(end, crash.restart_at_ms)
+        return end
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (attached injectors become transparent)."""
+        return cls()
+
+    @classmethod
+    def split(cls, rng: RandomSource, peer_ids: Sequence[int],
+              n_components: int = 2) -> tuple[frozenset[int], ...]:
+        """Assign peers to ``n_components`` seeded partition components.
+
+        Every component is guaranteed non-empty (requires at least
+        ``n_components`` peers).
+        """
+        ids = list(peer_ids)
+        if len(ids) < n_components:
+            raise FaultPlanError(
+                f"cannot split {len(ids)} peers into {n_components} "
+                "components")
+        order = [ids[int(i)] for i in rng.permutation(len(ids))]
+        buckets: list[list[int]] = [[] for _ in range(n_components)]
+        # Seed each bucket, then scatter the rest uniformly.
+        for index in range(n_components):
+            buckets[index].append(order[index])
+        for peer in order[n_components:]:
+            buckets[int(rng.integers(n_components))].append(peer)
+        return tuple(frozenset(bucket) for bucket in buckets)
+
+    @classmethod
+    def adversarial(
+        cls,
+        seed: int,
+        peer_ids: Sequence[int],
+        start_ms: float,
+        duration_ms: float,
+        crash_candidates: Sequence[int] = (),
+        crash_count: int = 2,
+        restart_fraction: float = 0.5,
+        drop_probability: float = 0.05,
+        duplicate_probability: float = 0.1,
+        reorder_probability: float = 0.3,
+        reorder_skew_ms: float = 40.0,
+        n_components: int = 2,
+    ) -> "FaultPlan":
+        """The canonical adversarial schedule: partition + reorder +
+        duplicate + drop windows and mid-run crashes.
+
+        Everything is derived from ``spawn_rng(seed, "fault-plan")``, so
+        the same arguments always produce the same plan.  The timeline
+        (relative to ``start_ms``, each phase ``duration_ms / 4`` long)::
+
+            [0, 1/4)   reorder + duplicate window
+            [1/4, 2/4) partition into ``n_components`` components
+            [2/4, 3/4) drop window; crashes fire in here
+            [3/4, 1)   calm tail (restarts fire in here)
+        """
+        if duration_ms <= 0.0:
+            raise FaultPlanError("duration_ms must be positive")
+        rng = spawn_rng(seed, "fault-plan")
+        quarter = duration_ms / 4.0
+        t0 = start_ms
+        windows = (
+            FaultWindow("reorder", t0, t0 + quarter,
+                        reorder_probability, reorder_skew_ms),
+            FaultWindow("duplicate", t0, t0 + quarter,
+                        duplicate_probability, reorder_skew_ms / 2.0),
+            FaultWindow("drop", t0 + 2 * quarter, t0 + 3 * quarter,
+                        drop_probability),
+        )
+        partitions = (
+            PartitionWindow(
+                t0 + quarter, t0 + 2 * quarter,
+                cls.split(rng, peer_ids, n_components)),
+        )
+        crashes: list[CrashEvent] = []
+        candidates = list(crash_candidates)
+        if candidates and crash_count > 0:
+            picks = rng.choice(len(candidates),
+                               size=min(crash_count, len(candidates)),
+                               replace=False)
+            for index in sorted(int(i) for i in picks):
+                victim = candidates[index]
+                at = t0 + 2 * quarter + float(rng.uniform(0.0, quarter))
+                restart = None
+                if rng.random() < restart_fraction:
+                    restart = t0 + 3 * quarter + float(
+                        rng.uniform(0.0, quarter))
+                crashes.append(CrashEvent(at, victim, restart))
+        crashes.sort(key=lambda c: (c.at_ms, c.peer_id))
+        return cls(windows=windows, partitions=partitions,
+                   crashes=tuple(crashes))
+
+
+def apply_partition(overlay, components: Iterable[frozenset[int]]
+                    ) -> list[tuple[int, int]]:
+    """Sever overlay links crossing partition components.
+
+    Returns the removed links so :func:`heal_partition` can restore them.
+    Works on any object with ``edges()`` / ``remove_link`` (the
+    :class:`~repro.overlay.graph.OverlayNetwork` contract).
+    """
+    component_of: dict[int, int] = {}
+    for index, component in enumerate(components):
+        for peer in component:
+            component_of[peer] = index
+    severed: list[tuple[int, int]] = []
+    for a, b in list(overlay.edges()):
+        ca = component_of.get(a)
+        cb = component_of.get(b)
+        if ca is not None and cb is not None and ca != cb:
+            overlay.remove_link(a, b)
+            severed.append((a, b))
+    return severed
+
+
+def heal_partition(overlay, severed: Iterable[tuple[int, int]]) -> int:
+    """Restore previously severed links whose endpoints still exist.
+
+    Returns the number of links re-added.
+    """
+    restored = 0
+    for a, b in severed:
+        if a in overlay and b in overlay and not overlay.has_link(a, b):
+            overlay.add_link(a, b)
+            restored += 1
+    return restored

@@ -129,6 +129,7 @@ class GroupSessionNode:
         state.has_advertisement = True
         state.on_tree = True
         state.is_member = True
+        self.coordinator.rendezvous[group_id] = self.peer_id
         config = self.coordinator.announcement
         self._forward_advertisement(
             Advertise(group_id, self.peer_id, (self.peer_id,),
@@ -307,6 +308,7 @@ class GroupSession:
         self.receipts: dict[int, dict[int, float]] = {}
         self.failures: dict[int, set[int]] = {}
         self.deliveries: dict[tuple[int, int], dict[int, float]] = {}
+        self.rendezvous: dict[int, int] = {}
         self._payload_ids = itertools.count(1)
 
     @property
@@ -382,12 +384,43 @@ class GroupSession:
         self.network.unregister(peer_id)
         self.nodes.pop(peer_id, None)
 
+    # ``crash_peer`` is the fault-injection vocabulary for the same
+    # operation: the peer falls silent mid-session.
+    crash_peer = remove_peer
+
+    def restart_peer(self, peer_id: int) -> None:
+        """Bring a crashed peer back with blank protocol state.
+
+        The restarted peer remembers nothing: it holds no advertisement
+        and sits on no tree.  It resumes forwarding only after taking
+        part in the protocol again (e.g. a member re-subscribing through
+        it).  The peer must still exist in the overlay graph.
+        """
+        if peer_id in self.nodes:
+            raise GroupError(f"peer {peer_id} is already in the session")
+        if peer_id not in self.overlay:
+            raise GroupError(
+                f"peer {peer_id} is not in the overlay; it cannot restart")
+        node = GroupSessionNode(peer_id, self)
+        self.nodes[peer_id] = node
+        self.network.register(peer_id, node.handle)
+
     def rejoin(self, group_id: int, member: int) -> None:
         """Re-subscribe a member whose branch died.
 
         Resets the member's per-group state and re-runs the subscription
         (ripple search included, since the old upstream may be gone),
         then lets the simulator settle.
+        """
+        self.rejoin_async(group_id, member)
+        self.simulator.run()
+
+    def rejoin_async(self, group_id: int, member: int) -> None:
+        """Like :meth:`rejoin` but without draining the simulator.
+
+        Safe to call from inside an event callback (a crash-recovery
+        policy reacting mid-run): the subscription messages are merely
+        scheduled and settle with the surrounding ``run``.
         """
         node = self.nodes.get(member)
         if node is None:
@@ -398,7 +431,87 @@ class GroupSession:
         state.has_advertisement = False
         state.search_answered = False
         node.start_subscription(group_id)
-        self.simulator.run()
+
+    def failover_upstream(self, group_id: int, orphan: int,
+                          backup: int) -> bool:
+        """Point an orphan at a pre-arranged backup parent (replication).
+
+        The orphan re-attaches with a single subscription message to
+        ``backup`` — the session-level equivalent of
+        :func:`repro.groupcast.replication.failover`'s instant path.
+        Returns False (no action) when either peer is gone from the
+        session.
+        """
+        node = self.nodes.get(orphan)
+        if node is None or backup not in self.nodes or backup == orphan:
+            return False
+        state = node.state(group_id)
+        state.upstream = backup
+        state.on_tree = False
+        state.search_answered = False
+        node._join_via_upstream(group_id)
+        return True
+
+    def broken_upstream_peers(self, group_id: int) -> list[int]:
+        """On-tree peers whose upstream is gone or off the tree.
+
+        The session-level symptom of an undetected parent failure: a
+        peer can attach to a forwarder *after* it crashed (the search
+        reply was already in flight), which no crash-time callback can
+        observe.  In the paper the child notices via missed heartbeats;
+        recovery policies model that detection by sweeping this list
+        periodically and re-running the subscription for each broken
+        branch.
+        """
+        rendezvous = self.rendezvous.get(group_id)
+        broken = []
+        for peer_id, node in self.nodes.items():
+            if group_id not in node.groups or peer_id == rendezvous:
+                continue
+            state = node.state(group_id)
+            if not state.on_tree:
+                continue
+            upstream_node = (self.nodes.get(state.upstream)
+                             if state.upstream is not None else None)
+            if upstream_node is None or not upstream_node.state(
+                    group_id).on_tree:
+                broken.append(peer_id)
+        return sorted(broken)
+
+    def upstream_children(self, group_id: int, parent: int) -> list[int]:
+        """Live peers whose upstream pointer targets ``parent``."""
+        return [
+            peer_id for peer_id, node in self.nodes.items()
+            if group_id in node.groups
+            and node.state(group_id).on_tree
+            and node.state(group_id).upstream == parent
+        ]
+
+    def backup_parents(self, group_id: int) -> dict[int, int]:
+        """Grandparent backups from the current upstream pointers.
+
+        The session-level analogue of :meth:`repro.groupcast.
+        replication.BackupPlan.refresh`: each on-tree peer's backup is
+        its grandparent where one exists, else the rendezvous.
+        """
+        rendezvous = self.rendezvous.get(group_id)
+        backups: dict[int, int] = {}
+        for peer_id, node in self.nodes.items():
+            if group_id not in node.groups or peer_id == rendezvous:
+                continue
+            state = node.state(group_id)
+            if not state.on_tree or state.upstream is None:
+                continue
+            parent_node = self.nodes.get(state.upstream)
+            grandparent = None
+            if parent_node is not None:
+                grandparent = parent_node.state(group_id).upstream
+            if grandparent is None and rendezvous is not None \
+                    and rendezvous != peer_id:
+                grandparent = rendezvous
+            if grandparent is not None and grandparent != peer_id:
+                backups[peer_id] = grandparent
+        return backups
 
     def members_on_tree(self, group_id: int) -> set[int]:
         """Members that completed their subscription."""

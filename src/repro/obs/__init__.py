@@ -27,10 +27,19 @@ from .registry import (
     set_default_registry,
 )
 from .tracer import (
+    KIND_CRASH,
     KIND_DEAD_LETTER,
     KIND_DELIVER,
+    KIND_FAULT_DELAY,
+    KIND_FAULT_DROP,
+    KIND_FAULT_DUPLICATE,
+    KIND_FAULT_REORDER,
     KIND_FIRE,
     KIND_LOST,
+    KIND_PARTITION_DROP,
+    KIND_PARTITION_HEAL,
+    KIND_PARTITION_START,
+    KIND_RESTART,
     KIND_SCHEDULE,
     KIND_SEND,
     TraceRecord,
@@ -48,10 +57,19 @@ __all__ = [
     "enable_telemetry",
     "get_default_registry",
     "set_default_registry",
+    "KIND_CRASH",
     "KIND_DEAD_LETTER",
     "KIND_DELIVER",
+    "KIND_FAULT_DELAY",
+    "KIND_FAULT_DROP",
+    "KIND_FAULT_DUPLICATE",
+    "KIND_FAULT_REORDER",
     "KIND_FIRE",
     "KIND_LOST",
+    "KIND_PARTITION_DROP",
+    "KIND_PARTITION_HEAL",
+    "KIND_PARTITION_START",
+    "KIND_RESTART",
     "KIND_SCHEDULE",
     "KIND_SEND",
     "TraceRecord",

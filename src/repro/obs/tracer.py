@@ -33,6 +33,17 @@ KIND_LOST = "lost"
 KIND_DELIVER = "deliver"
 KIND_DEAD_LETTER = "dead_letter"
 
+#: Record kinds emitted by the fault-injection layer (:mod:`repro.faults`).
+KIND_FAULT_DROP = "fault_drop"
+KIND_FAULT_DUPLICATE = "fault_duplicate"
+KIND_FAULT_DELAY = "fault_delay"
+KIND_FAULT_REORDER = "fault_reorder"
+KIND_PARTITION_DROP = "partition_drop"
+KIND_PARTITION_START = "partition_start"
+KIND_PARTITION_HEAL = "partition_heal"
+KIND_CRASH = "crash"
+KIND_RESTART = "restart"
+
 
 @dataclass(frozen=True)
 class TraceRecord:

@@ -16,6 +16,7 @@ from ..config import ConfigurationError
 from ..coords.base import CoordinateSpace
 from ..coords.gnp import GNPSystem
 from ..network.underlay import UnderlayNetwork
+from ..obs.registry import Registry
 from ..peers.capacity import CapacityDistribution, PAPER_CAPACITY_DISTRIBUTION
 from ..peers.peer import PeerInfo
 from ..sim.engine import Simulator
@@ -60,6 +61,7 @@ class ChurnProcess:
         capacities: CapacityDistribution = PAPER_CAPACITY_DISTRIBUTION,
         next_peer_id: int = 0,
         on_join: Callable[[PeerInfo], None] | None = None,
+        registry: Registry | None = None,
     ) -> None:
         self.simulator = simulator
         self.underlay = underlay
@@ -73,6 +75,11 @@ class ChurnProcess:
         self._next_peer_id = next_peer_id
         self._joins_scheduled = 0
         self._on_join = on_join
+        self.registry = registry if registry is not None else Registry()
+        self._c_joins = self.registry.counter("churn.joins")
+        self._c_departures = self.registry.counter("churn.departures")
+        self._c_crashes = self.registry.counter("churn.crashes")
+        self._c_forced = self.registry.counter("churn.forced_crashes")
         self.joined: list[int] = []
         self.departed: list[int] = []
         self.crashed: list[int] = []
@@ -80,6 +87,35 @@ class ChurnProcess:
     def start(self) -> None:
         """Schedule the first arrival."""
         self._schedule_next_join()
+
+    def apply_fault_plan(self, plan) -> int:
+        """Schedule a :class:`~repro.faults.plan.FaultPlan`'s crash
+        events as deterministic, named-peer crashes.
+
+        Unlike the lifetime-driven stochastic crashes, these target
+        specific peers at specific virtual times — the knob adversarial
+        schedules use to take down exactly the forwarders they mean to.
+        Restart events are ignored at this layer (a restarted peer
+        rejoins through the ordinary bootstrap path).  Returns the
+        number of crashes scheduled.
+        """
+        scheduled = 0
+        for crash in plan.crashes:
+            if crash.at_ms < self.simulator.now:
+                continue
+            self.simulator.schedule_at(
+                crash.at_ms,
+                lambda peer=crash.peer_id: self._forced_crash(peer))
+            scheduled += 1
+        return scheduled
+
+    def _forced_crash(self, peer_id: int) -> None:
+        if not self.maintenance.is_alive(peer_id):
+            return
+        self.maintenance.crash(peer_id)
+        self.crashed.append(peer_id)
+        self._c_forced.inc()
+        self._c_crashes.inc()
 
     # ------------------------------------------------------------------
     def _schedule_next_join(self) -> None:
@@ -102,6 +138,7 @@ class ChurnProcess:
         self.bootstrap.join(info)
         self.maintenance.activate(peer_id)
         self.joined.append(peer_id)
+        self._c_joins.inc()
         if self._on_join is not None:
             self._on_join(info)
         lifetime = float(self.rng.exponential(self.config.mean_lifetime_ms))
@@ -114,6 +151,8 @@ class ChurnProcess:
         if self.rng.random() < self.config.crash_fraction:
             self.maintenance.crash(peer_id)
             self.crashed.append(peer_id)
+            self._c_crashes.inc()
         else:
             self.maintenance.depart(peer_id)
             self.departed.append(peer_id)
+            self._c_departures.inc()

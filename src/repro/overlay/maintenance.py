@@ -98,6 +98,19 @@ class MaintenanceDaemon:
         """All currently live maintained peers."""
         return [p for p, s in self._states.items() if s.alive]
 
+    def maintained_peers(self) -> list[int]:
+        """Every peer with maintenance state, dead or alive."""
+        return list(self._states)
+
+    def missed_heartbeats(self, peer_id: int) -> dict[int, int]:
+        """``{neighbor: consecutive missed heartbeats}`` as seen by
+        ``peer_id`` (read-only copy; invariant checkers use this to
+        audit view consistency after partitions heal)."""
+        state = self._states.get(peer_id)
+        if state is None:
+            raise OverlayError(f"peer {peer_id} is not maintained")
+        return dict(state.missed)
+
     def crash(self, peer_id: int) -> None:
         """Kill a peer silently; neighbors must detect it via heartbeats."""
         state = self._states.get(peer_id)

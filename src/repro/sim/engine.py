@@ -106,6 +106,27 @@ class Simulator:
                           seq=event.sequence, detail=repr(event.time))
         return event
 
+    def every(self, interval_ms: float,
+              callback: Callable[[], None]) -> Event:
+        """Invoke ``callback`` every ``interval_ms`` of virtual time.
+
+        The checkpoint chain re-arms itself only while *other* events
+        remain queued, so it never keeps an otherwise-drained simulation
+        alive: once the heap is empty after a tick, the chain stops.
+        Used by the fault-injection harness to evaluate invariant
+        suites at a fixed cadence (:class:`repro.faults.invariants.
+        InvariantSuite.attach`).
+        """
+        if interval_ms <= 0.0:
+            raise SimulationError("checkpoint interval must be positive")
+
+        def tick() -> None:
+            callback()
+            if self._heap:
+                self.schedule(interval_ms, tick)
+
+        return self.schedule(interval_ms, tick)
+
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Drain the event heap in timestamp order.

@@ -41,6 +41,7 @@ class Envelope:
     payload: object
     sent_at_ms: float
     delivered_at_ms: float
+    kind: MessageKind | None = None
 
     @property
     def transit_ms(self) -> float:
@@ -70,12 +71,18 @@ class MessageNetwork:
         self.stats = stats or MessageStats()
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when
+        #: set, every post-loss send is routed through its ``on_send``.
+        self.fault_injector = None
         self._handlers: dict[int, Callable[[Envelope], None]] = {}
+        self._pending = 0
         self._c_sent = self.registry.counter("net.sent")
         self._c_delivered = self.registry.counter("net.delivered")
         self._c_lost = self.registry.counter("net.lost")
         self._c_dead = self.registry.counter("net.dead_lettered")
         self._kind_counters: dict[MessageKind, Counter] = {}
+        self._loss_kind_counters: dict[MessageKind, Counter] = {}
+        self._dead_kind_counters: dict[MessageKind, Counter] = {}
 
     # ------------------------------------------------------------------
     # Transport counters (registry-backed; attributes kept as properties
@@ -101,11 +108,54 @@ class MessageNetwork:
         """Messages whose recipient had no handler on arrival."""
         return self._c_dead.value
 
+    @property
+    def pending_deliveries(self) -> int:
+        """Scheduled deliveries that have not fired yet (in flight)."""
+        return self._pending
+
+    def conservation_gap(self) -> int:
+        """Transport accounting identity; zero on a healthy network.
+
+        Every message handed to ``send`` (plus every injected duplicate)
+        must end up in exactly one of: delivered, lost to the ambient
+        loss process, dead-lettered, dropped by a fault window, severed
+        by a partition, or still in flight.  A non-zero gap means a drop
+        was double-counted or never counted.
+        """
+        injected_duplicates = 0
+        injected_drops = 0
+        injector = self.fault_injector
+        if injector is not None:
+            injected_duplicates = injector.registry.counter(
+                "faults.duplicated").value
+            injected_drops = (
+                injector.registry.counter("faults.dropped").value
+                + injector.registry.counter(
+                    "faults.partition_dropped").value)
+        return (self.sent + injected_duplicates
+                - self.delivered - self.lost - self.dead_lettered
+                - injected_drops - self._pending)
+
     def _kind_counter(self, kind: MessageKind) -> Counter:
         counter = self._kind_counters.get(kind)
         if counter is None:
             counter = self.registry.counter(f"messages.{kind.value}")
             self._kind_counters[kind] = counter
+        return counter
+
+    def _loss_kind_counter(self, kind: MessageKind) -> Counter:
+        counter = self._loss_kind_counters.get(kind)
+        if counter is None:
+            counter = self.registry.counter(f"net.lost.{kind.value}")
+            self._loss_kind_counters[kind] = counter
+        return counter
+
+    def _dead_kind_counter(self, kind: MessageKind) -> Counter:
+        counter = self._dead_kind_counters.get(kind)
+        if counter is None:
+            counter = self.registry.counter(
+                f"net.dead_lettered.{kind.value}")
+            self._dead_kind_counters[kind] = counter
         return counter
 
     # ------------------------------------------------------------------
@@ -125,7 +175,16 @@ class MessageNetwork:
     # ------------------------------------------------------------------
     def send(self, sender: int, recipient: int, payload: object,
              kind: MessageKind | None = None) -> None:
-        """Schedule delivery of ``payload`` after the underlay latency."""
+        """Schedule delivery of ``payload`` after the underlay latency.
+
+        The accounting is single-homed by construction: a message is
+        counted in ``MessageStats`` and ``messages.*`` exactly once when
+        it is handed to the transport, and its *fate* lands in exactly
+        one of ``net.lost`` (ambient loss process, also broken out per
+        kind under ``net.lost.<kind>``), ``net.dead_lettered`` (departed
+        recipient, per-kind under ``net.dead_lettered.<kind>``),
+        ``faults.*`` (injected drop), or ``net.delivered``.
+        """
         if sender == recipient:
             raise SimulationError("peers do not message themselves")
         self._c_sent.inc()
@@ -139,6 +198,8 @@ class MessageNetwork:
                                a=sender, b=recipient, detail=detail)
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self._c_lost.inc()
+            if kind is not None:
+                self._loss_kind_counter(kind).inc()
             if self.tracer is not None:
                 self.tracer.record(self.simulator.now, KIND_LOST,
                                    a=sender, b=recipient, detail=detail)
@@ -146,15 +207,31 @@ class MessageNetwork:
         latency = self.latency_fn(sender, recipient)
         if latency < 0.0:
             raise SimulationError("latency function returned < 0")
+        injector = self.fault_injector
+        if injector is not None:
+            faulted = injector.on_send(
+                self, sender, recipient, payload, kind, latency)
+            if faulted is None:
+                return  # dropped by the fault plan (counted there)
+            latency = faulted
+        self.schedule_delivery(sender, recipient, payload, kind, latency)
+
+    def schedule_delivery(self, sender: int, recipient: int,
+                          payload: object, kind: MessageKind | None,
+                          latency_ms: float) -> None:
+        """Schedule one delivery after ``latency_ms`` (injector entry
+        point for duplicates; does not touch the send-side counters)."""
         sent_at = self.simulator.now
         envelope = Envelope(
             sender=sender,
             recipient=recipient,
             payload=payload,
             sent_at_ms=sent_at,
-            delivered_at_ms=sent_at + latency,
+            delivered_at_ms=sent_at + latency_ms,
+            kind=kind,
         )
-        self.simulator.schedule(latency, lambda: self._deliver(envelope))
+        self._pending += 1
+        self.simulator.schedule(latency_ms, lambda: self._deliver(envelope))
 
     def broadcast(self, sender: int, recipients: list[int],
                   payload: object, kind: MessageKind | None = None) -> None:
@@ -163,12 +240,17 @@ class MessageNetwork:
             self.send(sender, recipient, payload, kind)
 
     def _deliver(self, envelope: Envelope) -> None:
+        self._pending -= 1
         handler = self._handlers.get(envelope.recipient)
+        detail = envelope.kind.value if envelope.kind is not None else ""
         if handler is None:
             self._c_dead.inc()
+            if envelope.kind is not None:
+                self._dead_kind_counter(envelope.kind).inc()
             if self.tracer is not None:
                 self.tracer.record(envelope.delivered_at_ms, KIND_DEAD_LETTER,
-                                   a=envelope.sender, b=envelope.recipient)
+                                   a=envelope.sender, b=envelope.recipient,
+                                   detail=detail)
             return
         self._c_delivered.inc()
         if self.tracer is not None:

@@ -23,6 +23,23 @@ SMALL_UNDERLAY = TransitStubConfig(
 SMALL_CONFIG = GroupCastConfig(underlay=SMALL_UNDERLAY, seed=42)
 
 
+@pytest.fixture(autouse=True)
+def _isolate_default_registry():
+    """Order-independence guard for the process-wide telemetry registry.
+
+    Tests that call ``enable_telemetry``/``set_default_registry`` (or
+    run the experiment CLI with ``--telemetry``) would otherwise leak an
+    enabled registry into whichever test happens to run next, making
+    results depend on test order.  Snapshot the default before each test
+    and restore it afterwards, no matter how the test exits.
+    """
+    from repro.obs import get_default_registry, set_default_registry
+
+    before = get_default_registry()
+    yield
+    set_default_registry(before)
+
+
 @pytest.fixture(scope="session")
 def groupcast_deployment() -> Deployment:
     """A 250-peer utility-aware deployment (read-only)."""

@@ -1,0 +1,371 @@
+"""Deterministic fault-injection harness: plans, injection, accounting.
+
+The harness contract under test (see ``repro.faults``):
+
+* a :class:`FaultPlan` is a pure function of its seed, and executing it
+  twice yields byte-identical runs (same ``trace_digest``);
+* every fault kind actually fires and is counted under ``faults.*``;
+* message fates are single-homed — ambient losses, dead letters and
+  injected drops land in distinct counters, never double-counted, and
+  the transport's conservation identity stays at zero;
+* an injector with the empty plan is perfectly transparent: the run is
+  bit-identical to one without any injector attached.
+
+The seeded tests read ``REPRO_FAULT_SEEDS`` (comma-separated) so CI can
+sweep several schedules; the default keeps the tier-1 run fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import AnnouncementConfig, GroupCastConfig, TransitStubConfig
+from repro.deployment import build_deployment
+from repro.errors import FaultPlanError
+from repro.experiments import resilience
+from repro.faults import (
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    PartitionWindow,
+    apply_partition,
+    heal_partition,
+)
+from repro.groupcast.session import GroupSession
+from repro.obs import Registry, Tracer
+from repro.overlay.graph import OverlayNetwork
+from repro.overlay.messages import MessageKind
+from repro.peers.peer import PeerInfo
+from repro.sim.engine import Simulator
+from repro.sim.messaging import MessageNetwork
+from repro.sim.random import spawn_rng
+
+pytestmark = pytest.mark.faults
+
+FAULT_SEEDS = [int(token) for token in
+               os.environ.get("REPRO_FAULT_SEEDS", "7").split(",")
+               if token.strip()]
+
+TINY_CONFIG = GroupCastConfig(
+    underlay=TransitStubConfig(
+        transit_domains=2, transit_routers_per_domain=3,
+        stub_domains_per_transit=2, routers_per_stub=3),
+    seed=42)
+
+
+def make_network(registry: Registry, tracer: Tracer | None = None,
+                 loss_rate: float = 0.0, seed: int = 1):
+    """A two-peer-per-call transport testbed with recording handlers."""
+    simulator = Simulator(tracer=tracer)
+    network = MessageNetwork(
+        simulator, lambda a, b: 5.0, spawn_rng(seed, "net-tests"),
+        loss_rate=loss_rate, registry=registry, tracer=tracer)
+    inbox: list[tuple[int, object, float]] = []
+    for peer in range(4):
+        network.register(
+            peer, lambda env: inbox.append(
+                (env.recipient, env.payload, env.delivered_at_ms)))
+    return simulator, network, inbox
+
+
+# ----------------------------------------------------------------------
+# Plan validation and construction
+# ----------------------------------------------------------------------
+def test_fault_window_validation():
+    with pytest.raises(FaultPlanError):
+        FaultWindow("mangle", 0.0, 10.0, 0.5)
+    with pytest.raises(FaultPlanError):
+        FaultWindow("drop", 10.0, 10.0, 0.5)
+    with pytest.raises(FaultPlanError):
+        FaultWindow("drop", 0.0, 10.0, 0.0)
+    with pytest.raises(FaultPlanError):  # non-drop kinds need a magnitude
+        FaultWindow("duplicate", 0.0, 10.0, 0.5)
+    window = FaultWindow("delay", 5.0, 10.0, 1.0, magnitude_ms=2.0,
+                         peers=frozenset({1}))
+    assert window.active(5.0) and not window.active(10.0)
+    assert window.applies_to(1, 3) and window.applies_to(3, 1)
+    assert not window.applies_to(2, 3)
+
+
+def test_partition_window_validation():
+    with pytest.raises(FaultPlanError):
+        PartitionWindow(0.0, 10.0, (frozenset({1, 2}),))
+    with pytest.raises(FaultPlanError):  # overlapping components
+        PartitionWindow(0.0, 10.0, (frozenset({1}), frozenset({1, 2})))
+    with pytest.raises(FaultPlanError):
+        CrashEvent(at_ms=10.0, peer_id=1, restart_at_ms=5.0)
+    with pytest.raises(FaultPlanError):  # partitions must not overlap
+        FaultPlan(partitions=(
+            PartitionWindow(0.0, 10.0, (frozenset({1}), frozenset({2}))),
+            PartitionWindow(5.0, 15.0, (frozenset({1}), frozenset({2})))))
+    window = PartitionWindow(0.0, 10.0, (frozenset({1, 2}), frozenset({3})))
+    assert window.severed(1, 3) and window.severed(3, 2)
+    assert not window.severed(1, 2)
+    assert not window.severed(1, 99)  # unassigned peers are unaffected
+
+
+def test_split_is_a_seeded_disjoint_cover():
+    ids = list(range(20))
+    first = FaultPlan.split(spawn_rng(3, "split"), ids, 3)
+    second = FaultPlan.split(spawn_rng(3, "split"), ids, 3)
+    assert first == second  # pure function of the seed
+    assert all(component for component in first)
+    assert sorted(peer for comp in first for peer in comp) == ids
+    with pytest.raises(FaultPlanError):
+        FaultPlan.split(spawn_rng(3, "split"), [1], 2)
+
+
+def test_adversarial_plan_is_pure_in_the_seed():
+    ids = list(range(30))
+    build = lambda: FaultPlan.adversarial(
+        11, ids, start_ms=100.0, duration_ms=4_000.0,
+        crash_candidates=ids[5:15], crash_count=2)
+    first, second = build(), build()
+    assert first == second
+    assert not first.is_zero
+    assert len(first.crashes) == 2
+    assert first.end_ms() <= 100.0 + 4_000.0
+    assert FaultPlan.none().is_zero
+
+
+# ----------------------------------------------------------------------
+# Every fault kind fires and is counted
+# ----------------------------------------------------------------------
+def test_drop_window_counts_every_drop():
+    registry = Registry()
+    simulator, network, inbox = make_network(registry)
+    plan = FaultPlan(windows=(FaultWindow("drop", 0.0, 100.0, 1.0),))
+    FaultInjector(plan, spawn_rng(2, "inj"), registry).attach(network)
+    for _ in range(10):
+        network.send(0, 1, "m", MessageKind.PAYLOAD)
+    simulator.run()
+    assert registry.counter("faults.dropped").value == 10
+    assert network.delivered == 0 and network.lost == 0
+    assert network.conservation_gap() == 0
+
+
+def test_duplicate_window_delivers_two_copies():
+    registry = Registry()
+    simulator, network, inbox = make_network(registry)
+    plan = FaultPlan(windows=(
+        FaultWindow("duplicate", 0.0, 100.0, 1.0, magnitude_ms=20.0),))
+    FaultInjector(plan, spawn_rng(2, "inj"), registry).attach(network)
+    for _ in range(10):
+        network.send(0, 1, "m", MessageKind.PAYLOAD)
+    simulator.run()
+    assert registry.counter("faults.duplicated").value == 10
+    assert network.delivered == 20 and len(inbox) == 20
+    assert network.sent == 10  # duplicates are not new sends
+    assert network.conservation_gap() == 0
+
+
+def test_delay_window_inflates_transit_time():
+    registry = Registry()
+    simulator, network, inbox = make_network(registry)
+    plan = FaultPlan(windows=(
+        FaultWindow("delay", 0.0, 100.0, 1.0, magnitude_ms=50.0),))
+    FaultInjector(plan, spawn_rng(2, "inj"), registry).attach(network)
+    network.send(0, 1, "m", MessageKind.PAYLOAD)
+    simulator.run()
+    assert registry.counter("faults.delayed").value == 1
+    # base latency 5ms + magnitude 50ms + jitter in [0, 50)
+    assert 55.0 <= inbox[0][2] < 105.0
+
+
+def test_reorder_window_breaks_fifo_order():
+    registry = Registry()
+    simulator, network, inbox = make_network(registry)
+    plan = FaultPlan(windows=(
+        FaultWindow("reorder", 0.0, 100.0, 1.0, magnitude_ms=200.0),))
+    FaultInjector(plan, spawn_rng(2, "inj"), registry).attach(network)
+    for index in range(20):
+        network.send(0, 1, index, MessageKind.PAYLOAD)
+    simulator.run()
+    arrival = [payload for _, payload, _ in inbox]
+    assert registry.counter("faults.reordered").value == 20
+    assert sorted(arrival) == list(range(20))
+    assert arrival != list(range(20))  # FIFO actually broken
+
+
+def test_partition_severs_cross_component_messages():
+    registry = Registry()
+    simulator, network, inbox = make_network(registry)
+    plan = FaultPlan(partitions=(
+        PartitionWindow(0.0, 100.0,
+                        (frozenset({0, 1}), frozenset({2, 3}))),))
+    injector = FaultInjector(plan, spawn_rng(2, "inj"), registry)
+    injector.attach(network)
+    network.send(0, 2, "cross", MessageKind.PAYLOAD)
+    network.send(0, 1, "local", MessageKind.PAYLOAD)
+    simulator.run()
+    assert registry.counter("faults.partition_dropped").value == 1
+    assert [payload for _, payload, _ in inbox] == ["local"]
+    assert network.conservation_gap() == 0
+    # After end_ms the same link works again.
+    simulator.schedule_at(200.0, lambda: network.send(0, 2, "late", None))
+    simulator.run()
+    assert [payload for _, payload, _ in inbox] == ["local", "late"]
+
+
+def test_crash_and_restart_events_fire_callbacks():
+    registry = Registry()
+    simulator, network, inbox = make_network(registry)
+    plan = FaultPlan(crashes=(
+        CrashEvent(at_ms=10.0, peer_id=3, restart_at_ms=50.0),))
+    injector = FaultInjector(plan, spawn_rng(2, "inj"), registry)
+    injector.attach(network)
+    log: list[tuple[str, int]] = []
+    injector.arm(on_crash=lambda p: log.append(("crash", p)),
+                 on_restart=lambda p: log.append(("restart", p)))
+    simulator.schedule_at(
+        20.0, lambda: log.append(("down", sorted(injector.crashed_peers))))
+    simulator.run()
+    assert log == [("crash", 3), ("down", [3]), ("restart", 3)]
+    assert registry.counter("faults.crashes").value == 1
+    assert registry.counter("faults.restarts").value == 1
+    assert injector.crashed_peers == frozenset()
+
+
+def test_double_attach_is_rejected():
+    registry = Registry()
+    _, network, _ = make_network(registry)
+    plan = FaultPlan.none()
+    FaultInjector(plan, spawn_rng(2, "a"), registry).attach(network)
+    with pytest.raises(FaultPlanError):
+        FaultInjector(plan, spawn_rng(2, "b"), registry).attach(network)
+
+
+def test_apply_and_heal_partition_roundtrip():
+    overlay = OverlayNetwork()
+    for peer in range(6):
+        overlay.add_peer(PeerInfo(peer, 10.0, (0.0, 0.0)))
+    for a, b in [(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (0, 5)]:
+        overlay.add_link(a, b)
+    components = (frozenset({0, 1, 2}), frozenset({3, 4, 5}))
+    severed = apply_partition(overlay, components)
+    assert sorted(tuple(sorted(edge)) for edge in severed) == \
+        [(0, 5), (2, 3)]
+    assert len(overlay.connected_component_sizes()) == 2
+    assert heal_partition(overlay, severed) == 2
+    assert overlay.connected_component_sizes() == [6]
+
+
+# ----------------------------------------------------------------------
+# Loss accounting is single-homed (regression)
+# ----------------------------------------------------------------------
+def test_loss_fates_are_single_homed_for_a_seeded_run():
+    registry = Registry()
+    simulator, network, inbox = make_network(registry, loss_rate=0.2,
+                                             seed=9)
+    plan = FaultPlan(windows=(
+        FaultWindow("drop", 0.0, 1.0, 0.5),))
+    FaultInjector(plan, spawn_rng(9, "inj"), registry).attach(network)
+    network.unregister(3)  # messages to 3 dead-letter on arrival
+    for index in range(100):
+        network.send(0, 1 if index % 2 else 3, index, MessageKind.PAYLOAD)
+    simulator.run()
+    # Pinned realization of seed 9: every message has exactly one fate.
+    assert network.sent == 100
+    assert network.lost == 12
+    assert registry.counter("faults.dropped").value == 49
+    assert network.dead_lettered == 19
+    assert network.delivered == 20
+    assert (network.lost + network.dead_lettered + network.delivered
+            + registry.counter("faults.dropped").value) == network.sent
+    # Per-kind breakdowns agree with the totals.
+    assert registry.counter("net.lost.payload").value == network.lost
+    assert registry.counter(
+        "net.dead_lettered.payload").value == network.dead_lettered
+    assert network.conservation_gap() == 0
+
+
+def test_ambient_loss_and_injected_drop_never_double_count():
+    registry = Registry()
+    simulator, network, _ = make_network(registry, loss_rate=0.5, seed=4)
+    plan = FaultPlan(windows=(FaultWindow("drop", 0.0, 1.0, 1.0),))
+    FaultInjector(plan, spawn_rng(4, "inj"), registry).attach(network)
+    for _ in range(60):
+        network.send(0, 1, "m", MessageKind.PAYLOAD)
+    simulator.run()
+    # The certain drop window consumes every ambient survivor; the two
+    # counters partition the sends exactly.
+    assert network.delivered == 0
+    assert (network.lost
+            + registry.counter("faults.dropped").value) == network.sent
+    assert network.conservation_gap() == 0
+
+
+# ----------------------------------------------------------------------
+# Determinism and transparency
+# ----------------------------------------------------------------------
+def _session_under_plan(seed: int, plan_builder) -> tuple[str, dict]:
+    """Run a small session under a plan; return (digest, counters)."""
+    deployment = build_deployment(80, kind="groupcast", config=TINY_CONFIG)
+    registry = Registry()
+    tracer = Tracer()
+    session = GroupSession(
+        deployment.overlay, deployment.peer_distance_ms,
+        spawn_rng(seed, "faults-session"),
+        announcement=AnnouncementConfig(advertisement_ttl=6,
+                                        subscription_search_ttl=3),
+        registry=registry, tracer=tracer)
+    ids = deployment.peer_ids()
+    members = [ids[i] for i in range(0, 32, 2)]
+    injector = None
+    if plan_builder is not None:
+        plan = plan_builder(ids)
+        injector = FaultInjector(plan, spawn_rng(seed, "faults-inj"),
+                                 registry, tracer)
+        injector.attach(session.network)
+        injector.arm(session.simulator)
+    session.establish(1, members[0], members)
+    session.publish(1, members[0])
+    counters = dict(registry.counters())
+    if injector is not None:
+        assert session.network.conservation_gap() == 0
+    return tracer.trace_digest(), counters
+
+
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_seeded_schedule_is_byte_reproducible(seed):
+    builder = lambda ids: FaultPlan.adversarial(
+        seed, ids, start_ms=0.0, duration_ms=400.0)
+    first_digest, first_counters = _session_under_plan(seed, builder)
+    second_digest, second_counters = _session_under_plan(seed, builder)
+    assert first_digest == second_digest
+    assert first_counters == second_counters
+
+
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_zero_fault_injector_is_transparent(seed):
+    bare_digest, bare_counters = _session_under_plan(seed, None)
+    zero_digest, zero_counters = _session_under_plan(
+        seed, lambda ids: FaultPlan.none())
+    assert zero_digest == bare_digest
+    for name, value in bare_counters.items():
+        assert zero_counters.get(name) == value
+    assert all(value == 0 for name, value in zero_counters.items()
+               if name.startswith("faults."))
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: adversarial run, all policies, green, twice
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_adversarial_scenario_green_and_reproducible(seed):
+    first = resilience.run_adversarial(
+        peer_count=100, members_count=24, seed=seed)
+    second = resilience.run_adversarial(
+        peer_count=100, members_count=24, seed=seed)
+    assert [row[0] for row in first.rows] == ["none", "repair",
+                                             "replication"]
+    for row in first.rows:
+        assert row[7] == 0, f"policy {row[0]} violated invariants"
+        assert row[4] >= 1  # crashes actually happened
+    # Bit-identical digests across the two runs, per policy.
+    assert [row[-1] for row in first.rows] == \
+        [row[-1] for row in second.rows]

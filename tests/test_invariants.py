@@ -1,0 +1,275 @@
+"""Invariant checker pack: green on healthy state, red on corruption.
+
+Each checker is exercised twice: on a healthy fixture (no violations)
+and on a deliberately corrupted copy of the same fixture.  The
+corruption tests go through a full :class:`InvariantSuite` holding every
+checker, asserting that breaking one fixture trips *exactly* the
+matching checker and no other — the property the adversarial experiment
+relies on to attribute a red checkpoint to a specific protocol defect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig, GroupCastConfig, TransitStubConfig
+from repro.deployment import build_deployment
+from repro.errors import InvariantViolation
+from repro.faults import (
+    CounterMonotonicity,
+    InvariantSuite,
+    check_heartbeat_view,
+    check_members_reachable,
+    check_overlay_connectivity,
+    check_session_tree,
+    check_tree_structure,
+)
+from repro.groupcast.session import GroupSession
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.obs import Registry
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+from repro.sim.engine import Simulator
+from repro.sim.random import spawn_rng
+
+pytestmark = pytest.mark.faults
+
+TINY_CONFIG = GroupCastConfig(
+    underlay=TransitStubConfig(
+        transit_domains=2, transit_routers_per_domain=3,
+        stub_domains_per_transit=2, routers_per_stub=3),
+    seed=42)
+
+
+# ----------------------------------------------------------------------
+# Fixtures (healthy by construction)
+# ----------------------------------------------------------------------
+def healthy_tree() -> SpanningTree:
+    tree = SpanningTree(root=0)
+    tree.graft_chain([3, 1, 0])
+    tree.graft_chain([4, 1, 0])
+    tree.graft_chain([6, 5, 2, 0])
+    for member in (3, 4, 6):
+        tree.mark_member(member)
+    return tree
+
+
+def healthy_overlay() -> OverlayNetwork:
+    """Two triangles joined by one bridge (0-1-2) -- (3-4-5)."""
+    overlay = OverlayNetwork()
+    for peer in range(6):
+        overlay.add_peer(
+            PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]:
+        overlay.add_link(a, b)
+    return overlay
+
+
+class StubMaintenance:
+    """The read surface :func:`check_heartbeat_view` consumes."""
+
+    class _Config:
+        missed_heartbeats_for_failure = 2
+
+    def __init__(self, overlay: OverlayNetwork) -> None:
+        self.config = self._Config()
+        self._alive = set(overlay.peer_ids())
+        self.missed: dict[int, dict[int, int]] = {
+            peer: {} for peer in self._alive}
+
+    def alive_peers(self) -> list[int]:
+        return sorted(self._alive)
+
+    def missed_heartbeats(self, peer_id: int) -> dict[int, int]:
+        return dict(self.missed[peer_id])
+
+
+def healthy_session() -> tuple[GroupSession, int, list[int]]:
+    deployment = build_deployment(60, kind="groupcast", config=TINY_CONFIG)
+    session = GroupSession(
+        deployment.overlay, deployment.peer_distance_ms,
+        spawn_rng(5, "inv-session"),
+        announcement=AnnouncementConfig(advertisement_ttl=6,
+                                        subscription_search_ttl=3))
+    ids = deployment.peer_ids()
+    members = [ids[i] for i in range(0, 24, 2)]
+    session.establish(1, members[0], members)
+    return session, 1, members
+
+
+# ----------------------------------------------------------------------
+# Individual checkers: healthy then corrupted
+# ----------------------------------------------------------------------
+def test_tree_structure_checker():
+    tree = healthy_tree()
+    assert check_tree_structure(tree) == []
+    tree._parent[1] = 3  # 1 -> 3 -> 1 parent-pointer cycle
+    messages = check_tree_structure(tree)
+    assert any("cycle" in message for message in messages)
+
+
+def test_tree_structure_detects_orphaned_parent_link():
+    tree = healthy_tree()
+    tree._children[1].discard(4)  # parent no longer lists its child
+    messages = check_tree_structure(tree)
+    assert any("does not list child 4" in message for message in messages)
+
+
+def test_members_reachable_checker():
+    tree = healthy_tree()
+    expected = [3, 4, 6]
+    assert check_members_reachable(tree, expected, set()) == []
+    tree.unmark_member(6)  # fell off without being declared lost
+    assert check_members_reachable(tree, expected, set()) \
+        == ["member 6 fell off the tree without being declared lost"]
+    # Declaring it lost silences the checker (callable form too).
+    assert check_members_reachable(tree, expected, {6}) == []
+    assert check_members_reachable(tree, expected, lambda: {6}) == []
+
+
+def test_overlay_connectivity_checker():
+    overlay = healthy_overlay()
+    assert check_overlay_connectivity(overlay) == []
+    overlay.remove_link(2, 3)  # cut the bridge: two halves of 3
+    assert check_overlay_connectivity(
+        overlay, min_largest_fraction=0.6) != []
+    assert check_overlay_connectivity(
+        overlay, min_largest_fraction=0.5, max_components=1) != []
+    # Degradation inside the declared bounds is not a violation.
+    assert check_overlay_connectivity(
+        overlay, min_largest_fraction=0.5, max_components=2) == []
+
+
+def test_heartbeat_view_checker():
+    overlay = healthy_overlay()
+    maintenance = StubMaintenance(overlay)
+    assert check_heartbeat_view(maintenance, overlay) == []
+    # At-threshold suspicion against a live, still-linked neighbor.
+    maintenance.missed[0][1] = 2
+    messages = check_heartbeat_view(maintenance, overlay)
+    assert messages == ["peer 0 holds 2 missed heartbeats against live "
+                       "neighbor 1"]
+    # The same count against a dead neighbor is legitimate evidence.
+    maintenance._alive.discard(1)
+    assert check_heartbeat_view(maintenance, overlay) == []
+
+
+def test_session_tree_checker():
+    session, group_id, members = healthy_session()
+    assert check_session_tree(session, group_id) == []
+    # Point one member at a peer that is not on the tree.
+    victim = members[3]
+    off_tree = next(p for p in sorted(session.nodes)
+                    if not session.nodes[p].state(group_id).on_tree)
+    session.nodes[victim].state(group_id).upstream = off_tree
+    messages = check_session_tree(session, group_id)
+    assert any(f"member {victim}" in message for message in messages)
+    # Declaring the member lost silences it.
+    assert check_session_tree(session, group_id, {victim}) == []
+
+
+def test_session_tree_detects_cycles():
+    session, group_id, members = healthy_session()
+    a, b = members[2], members[4]
+    session.nodes[a].state(group_id).upstream = b
+    session.nodes[b].state(group_id).upstream = a
+    messages = check_session_tree(session, group_id)
+    assert any("cycles" in message for message in messages)
+
+
+def test_counter_monotonicity_checker():
+    registry = Registry()
+    counter = registry.counter("x")
+    checker = CounterMonotonicity(registry)
+    counter.inc(5)
+    assert checker() == []
+    counter.inc(2)
+    assert checker() == []
+    counter._value = 3  # corrupt: counters never decrease
+    assert checker() == ["counter x decreased from 7 to 3"]
+    counter._value = -1
+    assert any("negative" in message for message in checker())
+
+
+# ----------------------------------------------------------------------
+# Full suite: one corruption trips exactly one checker
+# ----------------------------------------------------------------------
+CORRUPTIONS = {
+    "tree-structure": lambda f: f["tree"]._parent.__setitem__(1, 3),
+    "members-reachable": lambda f: f["tree"].unmark_member(6),
+    "overlay-connectivity": lambda f: f["overlay"].remove_link(2, 3),
+    "heartbeat-view":
+        lambda f: f["maintenance"].missed[0].__setitem__(1, 2),
+    "counters-monotone":
+        lambda f: setattr(f["counter"], "_value", 0),
+}
+
+
+def full_suite():
+    fixtures = {
+        "tree": healthy_tree(),
+        "overlay": healthy_overlay(),
+    }
+    fixtures["maintenance"] = StubMaintenance(fixtures["overlay"])
+    registry = Registry()
+    fixtures["counter"] = registry.counter("x")
+    fixtures["counter"].inc(10)
+    suite = InvariantSuite()
+    suite.add("tree-structure",
+              lambda: check_tree_structure(fixtures["tree"]))
+    suite.add("members-reachable",
+              lambda: check_members_reachable(
+                  fixtures["tree"], [3, 4, 6], set()))
+    suite.add("overlay-connectivity",
+              lambda: check_overlay_connectivity(
+                  fixtures["overlay"], min_largest_fraction=0.6))
+    suite.add("heartbeat-view",
+              lambda: check_heartbeat_view(
+                  fixtures["maintenance"], fixtures["overlay"]))
+    suite.add("counters-monotone", CounterMonotonicity(registry))
+    return suite, fixtures
+
+
+def test_full_suite_green_on_healthy_fixtures():
+    suite, _ = full_suite()
+    suite.run(at_ms=1.0)
+    suite.run(at_ms=2.0)
+    assert suite.healthy
+    assert suite.registry.counter("invariants.checks").value == 10
+    assert suite.registry.counter("invariants.violations").value == 0
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_corrupting_one_fixture_fails_exactly_that_checker(name):
+    suite, fixtures = full_suite()
+    suite.run(at_ms=1.0)  # prime stateful checkers on healthy state
+    assert suite.healthy
+    CORRUPTIONS[name](fixtures)
+    suite.run(at_ms=2.0)
+    assert set(suite.violations_by_checker()) == {name}
+
+
+def test_strict_suite_raises_on_first_violation():
+    suite, fixtures = full_suite()
+    suite.strict = True
+    suite.run(at_ms=1.0)
+    CORRUPTIONS["tree-structure"](fixtures)
+    with pytest.raises(InvariantViolation):
+        suite.run(at_ms=2.0)
+
+
+def test_suite_checkpoints_ride_the_simulator():
+    """`attach` re-checks every interval and stops when the run drains."""
+    suite, _ = full_suite()
+    simulator = Simulator()
+    suite.attach(simulator, interval_ms=100.0)
+    ticks: list[float] = []
+    simulator.schedule_at(450.0, lambda: ticks.append(simulator.now))
+    simulator.run()
+    # Checkpoints at 100..500; the 500ms one sees an empty heap and the
+    # chain stops instead of keeping the simulation alive forever.
+    checks = suite.registry.counter("invariants.checks").value
+    assert checks == 5 * len(suite.names())
+    assert suite.healthy
+    assert ticks == [450.0]

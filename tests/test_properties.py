@@ -129,6 +129,128 @@ def test_repair_never_corrupts_tree(seed, n, failures):
     assert members_before <= (set(tree.members) | lost_total)
 
 
+def adversarial_tree(shape: str, n: int, rng) -> SpanningTree:
+    """Worst-case subtree shapes for repair: the structures where a
+    single interior failure orphans the most state.
+
+    * ``chain``       — one deep path (failure cuts off everything
+                        below);
+    * ``star``        — one hub under the root (failure orphans every
+                        leaf at once);
+    * ``caterpillar`` — a spine with a leaf leg per vertebra (failure
+                        orphans a mixed subtree);
+    * ``broom``       — a chain ending in a star (deep *and* wide).
+    """
+    tree = SpanningTree(root=0)
+    if shape == "chain":
+        for node in range(1, n):
+            tree.graft_chain([node, node - 1])
+    elif shape == "star":
+        tree.graft_chain([1, 0])
+        for node in range(2, n):
+            tree.graft_chain([node, 1])
+    elif shape == "caterpillar":
+        spine = list(range(0, n, 2))
+        for previous, vertebra in zip(spine, spine[1:]):
+            tree.graft_chain([vertebra, previous])
+            if vertebra + 1 < n:
+                tree.graft_chain([vertebra + 1, vertebra])
+    else:  # broom
+        handle = max(2, n // 2)
+        for node in range(1, handle):
+            tree.graft_chain([node, node - 1])
+        for node in range(handle, n):
+            tree.graft_chain([node, handle - 1])
+    for node in tree.nodes():
+        if node != 0 and rng.random() < 0.6:
+            tree.mark_member(node)
+    return tree
+
+
+def overlay_embedding(tree: SpanningTree, n: int, rng) -> OverlayNetwork:
+    """An overlay containing every tree edge plus random shortcuts, so
+    orphans have somewhere to search after a failure."""
+    overlay = OverlayNetwork()
+    for node in range(n):
+        overlay.add_peer(
+            PeerInfo(node, float(rng.choice([1.0, 10.0, 100.0])),
+                     rng.uniform(0, 100, size=2)))
+    for parent, child in tree.edges():
+        overlay.add_link(parent, child)
+    for _ in range(2 * n):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            overlay.add_link(int(a), int(b))
+    return overlay
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=5, max_value=40),
+    shape=st.sampled_from(["chain", "star", "caterpillar", "broom"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_repair_on_adversarial_shapes(seed, n, shape):
+    """No subtree shape makes repair emit a cycle or silently lose a
+    member: everyone ends up back on the tree or in ``lost_members``."""
+    rng = np.random.default_rng(seed)
+    tree = adversarial_tree(shape, n, rng)
+    overlay = overlay_embedding(tree, n, rng)
+    members_before = set(tree.members)
+    interior = [node for node in tree.nodes()
+                if node != tree.root and tree.children(node)]
+    victim = (interior[int(rng.integers(len(interior)))]
+              if interior else 1)
+    overlay.remove_peer(victim)
+    report = repair_tree(tree, overlay, victim)
+    tree.validate()  # acyclic, single-parent, consistent child sets
+    for member in members_before - {victim}:
+        assert member in tree.members or member in report.lost_members
+    # A reattached orphan may still end up lost (its new anchor sat in
+    # a subtree dropped later), but never the other way around: every
+    # surviving tree member must be outside ``lost_members``.
+    assert not (set(tree.members) & set(report.lost_members))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=5, max_value=40),
+    shape=st.sampled_from(["chain", "star", "caterpillar", "broom"]),
+    failures=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_failover_preserves_membership(seed, n, shape, failures):
+    """Backup-parent failover keeps every surviving member on a valid
+    tree, across repeated failures with plan refreshes in between."""
+    from repro.groupcast.replication import BackupPlan, failover
+
+    rng = np.random.default_rng(seed)
+    tree = adversarial_tree(shape, n, rng)
+    overlay = overlay_embedding(tree, n, rng)
+    plan = BackupPlan()
+    plan.refresh(tree)
+    members_before = set(tree.members)
+    crashed: set[int] = set()
+    lost: set[int] = set()
+    for _ in range(failures):
+        interior = [node for node in tree.nodes()
+                    if node != tree.root and tree.children(node)]
+        if not interior:
+            break
+        victim = interior[int(rng.integers(len(interior)))]
+        overlay.remove_peer(victim)
+        crashed.add(victim)
+        report = failover(tree, plan, overlay, victim)
+        lost |= set(report.lost_members)
+        tree.validate()
+        # Every orphan's fate is accounted: instant, searched, or lost
+        # with its subtree.
+        assert not (set(report.instant_failovers)
+                    & set(report.searched_failovers))
+    for member in members_before - crashed:
+        assert member in tree.members or member in lost
+
+
 @given(
     seed=st.integers(min_value=0, max_value=2**31 - 1),
     n=st.integers(min_value=3, max_value=25),
