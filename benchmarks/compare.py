@@ -1,0 +1,157 @@
+"""Generic baseline comparison gate for benchmark/report JSON files.
+
+Generalizes the ratio gating of ``bench_routing.py --check`` to *any*
+pair of JSON documents with numeric leaves: a fresh run is diffed
+against a committed baseline (e.g. ``BENCH_routing.json`` or a
+``report.json`` written by ``groupcast-experiments --report``) and the
+gate fails when a selected metric's fresh/baseline ratio leaves the
+allowed band.  Ratios, not absolute values, keep the gate
+machine-independent.
+
+Metrics are selected with dotted paths; ``*`` matches any key at one
+level::
+
+    # speedups must stay within 2x of the committed ones (the
+    # bench_routing CI gate, expressed generically):
+    python benchmarks/compare.py fresh.json BENCH_routing.json \
+        --metric 'metrics.*.speedup' --min-ratio 0.5
+
+    # message counts in an experiment report must not balloon:
+    python benchmarks/compare.py out/report.json baseline_report.json \
+        --metric 'counters.net.sent' --max-ratio 1.2 --min-ratio 0.8
+
+``--min-ratio`` bounds regressions of higher-is-better metrics,
+``--max-ratio`` bounds growth of lower-is-better ones; pass both for a
+two-sided band.  A metric present in the baseline but missing from the
+fresh run always fails.  Exit status: 0 when every selected metric is
+within bounds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, Optional
+
+
+def iter_metrics(data: object, pattern: str,
+                 _prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted_path, value)`` for numeric leaves matching
+    ``pattern`` (dotted path, ``*`` wildcards one level)."""
+    head, _, rest = pattern.partition(".")
+    if not isinstance(data, dict):
+        return
+    keys = sorted(data) if head == "*" else (
+        [head] if head in data else [])
+    for key in keys:
+        path = f"{_prefix}{key}"
+        value = data[key]
+        if rest:
+            yield from iter_metrics(value, rest, _prefix=f"{path}.")
+        elif isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            yield path, float(value)
+
+
+def lookup(data: object, path: str) -> Optional[float]:
+    """The numeric leaf at an exact dotted ``path``, or None."""
+    node = data
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    if isinstance(node, (int, float)) and not isinstance(node, bool):
+        return float(node)
+    return None
+
+
+def compare(
+    fresh: dict,
+    baseline: dict,
+    patterns: list[str],
+    min_ratio: Optional[float] = None,
+    max_ratio: Optional[float] = None,
+) -> list[str]:
+    """Gate ``fresh`` against ``baseline``; returns failure messages.
+
+    For every baseline metric matched by ``patterns``, the fresh value
+    must exist and the ratio ``fresh / baseline`` must satisfy
+    ``min_ratio <= ratio <= max_ratio`` (each bound optional).  A zero
+    baseline only compares for equality with zero.
+    """
+    failures: list[str] = []
+    matched = 0
+    for pattern in patterns:
+        for path, committed in iter_metrics(baseline, pattern):
+            matched += 1
+            measured = lookup(fresh, path)
+            if measured is None:
+                failures.append(f"{path}: missing from fresh run "
+                                f"(baseline {committed:g})")
+                print(f"FAIL {path}: missing from fresh run")
+                continue
+            if committed == 0.0:
+                ok = measured == 0.0
+                detail = (f"{path}: measured {measured:g}, "
+                          f"baseline 0 (must stay 0)")
+            else:
+                ratio = measured / committed
+                ok = ((min_ratio is None or ratio >= min_ratio)
+                      and (max_ratio is None or ratio <= max_ratio))
+                band = "/".join(
+                    f"{bound:g}" for bound in (min_ratio, max_ratio)
+                    if bound is not None) or "unbounded"
+                detail = (f"{path}: measured {measured:g}, baseline "
+                          f"{committed:g}, ratio {ratio:.3f} "
+                          f"(bounds {band})")
+            print(("ok   " if ok else "FAIL ") + detail)
+            if not ok:
+                failures.append(detail)
+    if matched == 0:
+        message = f"no baseline metrics matched {patterns!r}"
+        print(f"FAIL {message}")
+        failures.append(message)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff a fresh benchmark/report JSON against a "
+                    "committed baseline with ratio thresholds.")
+    parser.add_argument("fresh", type=Path,
+                        help="JSON written by the current run")
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline JSON")
+    parser.add_argument(
+        "--metric", action="append", default=None, metavar="PATTERN",
+        help="dotted path of metrics to gate, '*' wildcards one level "
+             "(repeatable; default: metrics.*.speedup)")
+    parser.add_argument(
+        "--min-ratio", type=float, default=None, metavar="R",
+        help="fail when fresh/baseline < R (regression floor for "
+             "higher-is-better metrics)")
+    parser.add_argument(
+        "--max-ratio", type=float, default=None, metavar="R",
+        help="fail when fresh/baseline > R (growth ceiling for "
+             "lower-is-better metrics)")
+    args = parser.parse_args(argv)
+    if args.min_ratio is None and args.max_ratio is None:
+        parser.error("give --min-ratio and/or --max-ratio")
+
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    patterns = args.metric or ["metrics.*.speedup"]
+    failures = compare(fresh, baseline, patterns,
+                       min_ratio=args.min_ratio,
+                       max_ratio=args.max_ratio)
+    if failures:
+        print(f"{len(failures)} metric(s) out of bounds")
+        return 1
+    print("all metrics within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,7 +52,7 @@ from ..groupcast.repair import repair_tree
 from ..groupcast.replication import BackupPlan, failover
 from ..groupcast.session import GroupSession
 from ..groupcast.subscription import subscribe_members
-from ..obs.registry import Registry
+from ..obs.registry import Registry, get_default_registry
 from ..obs.tracer import Tracer
 from ..sim.random import spawn_rng
 from .common import ExperimentResult
@@ -410,6 +410,13 @@ def run_adversarial(peer_count: int = 150, members_count: int = 40,
             len(suite.violations),
             tracer.trace_digest(),
         )
+        # Each policy runs on its own private registry so digests and
+        # counter assertions stay isolated; fold the counts into the
+        # process-default registry (additive) so ``--telemetry`` /
+        # ``--report`` runs of this experiment still see them.
+        default = get_default_registry()
+        if default.enabled:
+            default.merge_state(registry.dump_state())
     return result
 
 

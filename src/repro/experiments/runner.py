@@ -10,7 +10,12 @@ Figure names map to the experiment modules; running ``all`` regenerates
 every table/figure of the paper's evaluation section.  ``--telemetry``
 installs an enabled observability registry for the run and appends a
 snapshot of every instrument (message counters per kind, search traffic,
-lookup-latency histogram, ...) after the tables.
+lookup-latency histogram, ...) after the tables.  ``--report`` goes
+further: it turns on causal span tracing and virtual-time profiling for
+the run and writes a per-run report (Markdown + JSON: top episodes by
+critical path, message cost by kind and protocol phase, time-series
+summaries, conservation check) plus the span trace as JSON lines under
+``out/`` (or ``--output``).
 """
 
 from __future__ import annotations
@@ -21,7 +26,16 @@ import sys
 from pathlib import Path
 from typing import Callable, Iterable
 
-from ..obs import enable_telemetry, set_default_registry, NULL_REGISTRY
+from ..obs import (
+    NULL_REGISTRY,
+    disable_profiling,
+    disable_tracing,
+    enable_profiling,
+    enable_telemetry,
+    enable_tracing,
+    set_default_registry,
+)
+from ..obs.report import build_report, write_report
 from . import (
     app_performance,
     churn_cost,
@@ -136,9 +150,24 @@ def main(argv: list[str] | None = None) -> int:
         "--telemetry", action="store_true",
         help="record every protocol action into the observability "
              "registry and print the instrument snapshot at the end")
+    parser.add_argument(
+        "--report", action="store_true",
+        help="capture causal span traces and virtual-time profiles and "
+             "write report.md/report.json/trace.jsonl under out/ "
+             "(or --output); implies --telemetry")
+    parser.add_argument(
+        "--profile-interval", type=float, default=250.0,
+        help="virtual-time sampling cadence for --report, in ms "
+             "(default: 250)")
     args = parser.parse_args(argv)
 
-    registry = enable_telemetry() if args.telemetry else None
+    registry = (enable_telemetry() if args.telemetry or args.report
+                else None)
+    tracer = profiler = None
+    if args.report:
+        tracer = enable_tracing(registry=registry)
+        profiler = enable_profiling(registry,
+                                    interval_ms=args.profile_interval)
 
     names = list(args.experiments)
     if "all" in names:
@@ -159,17 +188,32 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 print(export.render(result, args.format))
                 print()
-    if registry is not None:
-        snapshot = registry.snapshot()
-        if args.output is not None:
-            path = args.output / "telemetry.json"
-            path.write_text(json.dumps(snapshot, indent=2, sort_keys=True),
-                            encoding="utf-8")
+    if args.report:
+        report_dir = args.output if args.output is not None else Path("out")
+        report = build_report(
+            title=f"GroupCast run report: {' '.join(names)} "
+                  f"(seed {args.seed})",
+            tracer=tracer, registry=registry, profiler=profiler)
+        md_path, json_path = write_report(report, report_dir)
+        trace_path = tracer.export_jsonl(
+            report_dir / "trace.jsonl", include_meta=True)
+        for path in (md_path, json_path, trace_path):
             print(f"wrote {path}")
-        else:
-            print("Telemetry snapshot")
-            for name, value in snapshot.items():
-                print(f"  {name}: {value}")
+        disable_tracing()
+        disable_profiling()
+    if registry is not None:
+        if args.telemetry:
+            snapshot = registry.snapshot()
+            if args.output is not None:
+                path = args.output / "telemetry.json"
+                path.write_text(
+                    json.dumps(snapshot, indent=2, sort_keys=True),
+                    encoding="utf-8")
+                print(f"wrote {path}")
+            else:
+                print("Telemetry snapshot")
+                for name, value in snapshot.items():
+                    print(f"  {name}: {value}")
         set_default_registry(NULL_REGISTRY)
     return 0
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import FaultPlanError
+from ..obs.profiler import phase_timer
 from ..obs.registry import Registry
 from ..obs.tracer import (
     KIND_CRASH,
@@ -196,17 +197,29 @@ class FaultInjector:
     # Transport hook
     # ------------------------------------------------------------------
     def on_send(self, network, sender: int, recipient: int, payload: object,
-                kind: MessageKind | None, latency_ms: float) -> float | None:
+                kind: MessageKind | None, latency_ms: float,
+                span=None) -> float | None:
         """Apply the plan to one message about to be scheduled.
 
         Returns the (possibly inflated) transit latency, or None when
         the message must be dropped.  Called by
         :meth:`MessageNetwork.send` after its own loss process, so
         ambient losses and injected faults are accounted separately.
+        ``span`` is the message's causal span (None unless span tracing
+        is on); fault records carry it so a span tree shows *which*
+        message a window dropped, duplicated or delayed.
         """
         plan = self.plan
         if plan.is_zero:
             return latency_ms
+        with phase_timer("faults.on_send"):
+            return self._apply(network, sender, recipient, payload, kind,
+                               latency_ms, span)
+
+    def _apply(self, network, sender: int, recipient: int, payload: object,
+               kind: MessageKind | None, latency_ms: float,
+               span) -> float | None:
+        plan = self.plan
         now = network.simulator.now
         detail = kind.value if kind is not None else ""
         partition = plan.partition_at(now)
@@ -214,7 +227,8 @@ class FaultInjector:
             self._c_partition_dropped.inc()
             if self.tracer is not None:
                 self.tracer.record(now, KIND_PARTITION_DROP,
-                                   a=sender, b=recipient, detail=detail)
+                                   a=sender, b=recipient, detail=detail,
+                                   span=span)
             return None
         for window in plan.active_windows(now, sender, recipient):
             if self.rng.random() >= window.probability:
@@ -223,27 +237,32 @@ class FaultInjector:
                 self._c_dropped.inc()
                 if self.tracer is not None:
                     self.tracer.record(now, KIND_FAULT_DROP,
-                                       a=sender, b=recipient, detail=detail)
+                                       a=sender, b=recipient, detail=detail,
+                                       span=span)
                 return None
             if window.kind == "duplicate":
                 self._c_duplicated.inc()
                 skew = float(self.rng.uniform(0.0, window.magnitude_ms))
                 if self.tracer is not None:
                     self.tracer.record(now, KIND_FAULT_DUPLICATE,
-                                       a=sender, b=recipient, detail=detail)
+                                       a=sender, b=recipient, detail=detail,
+                                       span=span)
                 network.schedule_delivery(
-                    sender, recipient, payload, kind, latency_ms + skew)
+                    sender, recipient, payload, kind, latency_ms + skew,
+                    span=span)
             elif window.kind == "delay":
                 self._c_delayed.inc()
                 jitter = float(self.rng.uniform(0.0, window.magnitude_ms))
                 latency_ms += window.magnitude_ms + jitter
                 if self.tracer is not None:
                     self.tracer.record(now, KIND_FAULT_DELAY,
-                                       a=sender, b=recipient, detail=detail)
+                                       a=sender, b=recipient, detail=detail,
+                                       span=span)
             else:  # "reorder"
                 self._c_reordered.inc()
                 latency_ms += float(self.rng.uniform(0.0, window.magnitude_ms))
                 if self.tracer is not None:
                     self.tracer.record(now, KIND_FAULT_REORDER,
-                                       a=sender, b=recipient, detail=detail)
+                                       a=sender, b=recipient, detail=detail,
+                                       span=span)
         return latency_ms

@@ -32,6 +32,13 @@ import numpy as np
 from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import GroupError
 from ..obs.registry import Registry, get_default_registry
+from ..obs.tracer import (
+    KIND_DEAD_LETTER,
+    KIND_DELIVER,
+    KIND_SEND,
+    Tracer,
+    get_default_tracer,
+)
 from ..overlay.graph import OverlayNetwork
 from ..overlay.messages import MessageKind, MessageStats
 from ..sim.random import RandomSource, weighted_sample_without_replacement
@@ -106,6 +113,7 @@ def propagate_advertisement(
     stats: MessageStats | None = None,
     trust_fn: TrustFn | None = None,
     registry: Registry | None = None,
+    tracer: Tracer | None = None,
 ) -> AdvertisementOutcome:
     """Propagate one advertisement and return the receipt map.
 
@@ -115,6 +123,12 @@ def propagate_advertisement(
     optionally scales each neighbor's forwarding preference by the
     sender's trust in it (see :mod:`repro.trust`), steering announcement
     paths — and hence spanning trees — around misbehaving peers.
+
+    When a span-capturing ``tracer`` is supplied (or installed as the
+    process default via :func:`~repro.obs.tracer.enable_tracing`), the
+    whole flood records as one ``advertisement`` span tree: every copy
+    is a child span of the receipt that caused it, with send/deliver
+    records at the procedural virtual times.
     """
     if scheme not in ("ssa", "nssa"):
         raise GroupError(f"unknown announcement scheme {scheme!r}")
@@ -124,21 +138,27 @@ def propagate_advertisement(
     utility_config = utility_config or UtilityConfig()
     stats = stats or MessageStats()
     registry = registry if registry is not None else get_default_registry()
+    tracer = tracer if tracer is not None else get_default_tracer()
+    tracing = tracer is not None and tracer.spans
     c_messages = registry.counter(f"messages.{MessageKind.ADVERTISEMENT.value}")
     c_duplicates = registry.counter("advertisement.duplicates")
     c_receipts = registry.counter("advertisement.receipts")
+    detail = MessageKind.ADVERTISEMENT.value
 
+    root = (tracer.root_span(at_ms=0.0, kind="advertisement")
+            if tracing else None)
     receipts: dict[int, AdvertisementReceipt] = {
         rendezvous: AdvertisementReceipt(rendezvous, None, 0.0, 0)
     }
     messages = 0
     duplicates = 0
     counter = itertools.count()
-    # (arrival_ms, seq, sender, receiver, ttl, path)
-    heap: list[tuple[float, int, int, int, int, tuple[int, ...]]] = []
+    # (arrival_ms, seq, sender, receiver, ttl, path, span); the unique
+    # seq settles every heap comparison before the (non-orderable) span.
+    heap: list[tuple] = []
 
     def forward_from(peer_id: int, elapsed_ms: float, ttl: int,
-                     path: tuple[int, ...]) -> None:
+                     path: tuple[int, ...], parent_span) -> None:
         nonlocal messages
         if ttl <= 0:
             return
@@ -147,26 +167,41 @@ def propagate_advertisement(
             trust_fn)
         for target in targets:
             arrival = elapsed_ms + latency_fn(peer_id, target)
+            span = None
+            if tracing:
+                span = tracer.child_span(parent_span)
+                tracer.record(elapsed_ms, KIND_SEND, a=peer_id, b=target,
+                              detail=detail, span=span)
             heapq.heappush(
                 heap, (arrival, next(counter), peer_id, target, ttl - 1,
-                       path))
+                       path, span))
             messages += 1
             stats.record(MessageKind.ADVERTISEMENT)
             c_messages.inc()
 
-    forward_from(rendezvous, 0.0, config.advertisement_ttl, (rendezvous,))
+    forward_from(rendezvous, 0.0, config.advertisement_ttl, (rendezvous,),
+                 root)
     while heap:
-        arrival, _, sender, receiver, ttl, path = heapq.heappop(heap)
+        arrival, _, sender, receiver, ttl, path, span = heapq.heappop(heap)
         if receiver in receipts:
             duplicates += 1  # dropped by the receivedAdvertising table
             c_duplicates.inc()
+            if tracing:
+                tracer.record(arrival, KIND_DELIVER, a=sender, b=receiver,
+                              detail=detail, span=span)
             continue
         if receiver not in overlay:
+            if tracing:
+                tracer.record(arrival, KIND_DEAD_LETTER, a=sender,
+                              b=receiver, detail=detail, span=span)
             continue  # peer departed mid-flight
+        if tracing:
+            tracer.record(arrival, KIND_DELIVER, a=sender, b=receiver,
+                          detail=detail, span=span)
         receipts[receiver] = AdvertisementReceipt(
             receiver, sender, arrival, len(path))
         c_receipts.inc()
-        forward_from(receiver, arrival, ttl, path + (receiver,))
+        forward_from(receiver, arrival, ttl, path + (receiver,), span)
 
     return AdvertisementOutcome(
         group_id=group_id,

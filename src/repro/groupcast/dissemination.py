@@ -24,6 +24,12 @@ from typing import Mapping, Optional
 
 from ..errors import GroupError
 from ..network.underlay import UnderlayNetwork
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    Tracer,
+    get_default_tracer,
+)
 from ..overlay.messages import MessageKind, MessageStats
 from .spanning_tree import SpanningTree
 
@@ -67,6 +73,7 @@ def disseminate(
     stats: MessageStats | None = None,
     capacities: Optional[Mapping[int, float]] = None,
     payload_kbits: float = 0.0,
+    tracer: Tracer | None = None,
 ) -> DisseminationReport:
     """Flood one payload from ``source`` through ``tree``.
 
@@ -84,9 +91,16 @@ def disseminate(
     if payload_kbits < 0.0:
         raise GroupError("payload_kbits must be non-negative")
     stats = stats or MessageStats()
+    tracer = tracer if tracer is not None else get_default_tracer()
+    tracing = tracer is not None and tracer.spans
 
     adjacency = tree.tree_adjacency()
     delays: dict[int, float] = {source: 0.0}
+    # Each copy's span parents on the span of the copy that reached its
+    # forwarder, so the flood reconstructs as the tree it traversed.
+    spans: dict[int, object] = {
+        source: tracer.root_span(at_ms=0.0, kind="dissemination")
+        if tracing else None}
     overlay_messages = 0
     ip_messages = 0
     link_stress: Counter[tuple[int, int]] = Counter()
@@ -110,9 +124,16 @@ def disseminate(
         hop_link_lists = underlay.peer_path_links_many(node, fresh)
         for position, (neighbor, hop_delay, hop_links) in enumerate(
                 zip(fresh, hop_delays, hop_link_lists), start=1):
-            delays[neighbor] = (delays[node]
-                                + position * slot
-                                + float(hop_delay))
+            sent_at = delays[node] + position * slot
+            delays[neighbor] = sent_at + float(hop_delay)
+            if tracing:
+                span = tracer.child_span(spans[node])
+                spans[neighbor] = span
+                tracer.record(sent_at, KIND_SEND, a=node, b=neighbor,
+                              detail=MessageKind.PAYLOAD.value, span=span)
+                tracer.record(delays[neighbor], KIND_DELIVER, a=node,
+                              b=neighbor,
+                              detail=MessageKind.PAYLOAD.value, span=span)
             overlay_messages += 1
             ip_messages += len(hop_links)
             link_stress.update(hop_links)

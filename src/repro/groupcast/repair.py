@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import TreeError
+from ..obs.tracer import Tracer, get_default_tracer
 from ..overlay.graph import OverlayNetwork
 from ..overlay.messages import MessageKind, MessageStats
 from ..overlay.search import ripple_search
@@ -41,6 +42,7 @@ def repair_tree(
     failed_node: int,
     max_search_ttl: int = 4,
     stats: MessageStats | None = None,
+    tracer: Tracer | None = None,
 ) -> RepairReport:
     """Excise ``failed_node`` from ``tree`` and re-home its subtrees.
 
@@ -49,11 +51,18 @@ def repair_tree(
     surviving tree node outside their own subtree and re-attach directly.
     Returns which orphan attached where, any members lost with an
     unreachable subtree, and the search message cost.
+
+    Under span tracing the whole episode records as one ``repair`` span
+    tree: each orphan's ripple search fans out under the episode root.
     """
     if failed_node == tree.root:
         raise TreeError("root failure requires rendezvous re-election, "
                         "not tree repair")
     stats = stats or MessageStats()
+    tracer = tracer if tracer is not None else get_default_tracer()
+    tracing = tracer is not None and tracer.spans
+    root = (tracer.root_span(at_ms=0.0, kind="repair")
+            if tracing else None)
     orphans = tree.remove_failed_node(failed_node)
     reattached: dict[int, int] = {}
     lost: set[int] = set()
@@ -66,7 +75,8 @@ def repair_tree(
             continue
         subtree = tree.subtree_nodes(orphan)
         target, cost = _search_tree_node(
-            overlay, orphan, tree, subtree, max_search_ttl)
+            overlay, orphan, tree, subtree, max_search_ttl,
+            tracer=tracer if tracing else None, parent_span=root)
         messages += cost
         stats.record(MessageKind.SUBSCRIPTION_SEARCH, cost)
         if target is None:
@@ -94,6 +104,8 @@ def _search_tree_node(
     tree: SpanningTree,
     excluded: set[int],
     max_ttl: int,
+    tracer: Tracer | None = None,
+    parent_span=None,
 ) -> tuple[int | None, int]:
     """Ripple-search the overlay for a tree node outside ``excluded``.
 
@@ -105,7 +117,7 @@ def _search_tree_node(
     result = ripple_search(
         overlay, start,
         lambda peer: peer in tree and peer not in excluded,
-        max_ttl)
+        max_ttl, tracer=tracer, parent_span=parent_span)
     if result.hit is None:
         return None, result.messages
     return result.hit.target, result.messages

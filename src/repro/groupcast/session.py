@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import GroupError
+from ..obs.profiler import get_default_profiler
 from ..obs.registry import Registry
 from ..obs.tracer import Tracer
 from ..overlay.graph import OverlayNetwork
@@ -123,6 +124,20 @@ class GroupSessionNode:
             raise GroupError(f"unknown message {payload!r}")
 
     # ------------------------------------------------------------------
+    def _episode_root(self, kind: str):
+        """Open a causal-episode root span (None when tracing is off).
+
+        Entry points wrap their initial sends in
+        ``network.span_scope(root)`` so the whole protocol wave — every
+        forwarded copy, every handler-triggered send — reconstructs as
+        one span tree rooted at the episode.
+        """
+        network = self.coordinator.network
+        if network.tracer is None:
+            return None
+        return network.tracer.root_span(
+            at_ms=network.simulator.now, kind=kind)
+
     def start_advertisement(self, group_id: int, scheme: str) -> None:
         """Rendezvous entry point: seed the announcement."""
         state = self.state(group_id)
@@ -131,9 +146,11 @@ class GroupSessionNode:
         state.is_member = True
         self.coordinator.rendezvous[group_id] = self.peer_id
         config = self.coordinator.announcement
-        self._forward_advertisement(
-            Advertise(group_id, self.peer_id, (self.peer_id,),
-                      config.advertisement_ttl, scheme))
+        network = self.coordinator.network
+        with network.span_scope(self._episode_root("advertisement")):
+            self._forward_advertisement(
+                Advertise(group_id, self.peer_id, (self.peer_id,),
+                          config.advertisement_ttl, scheme))
 
     def _on_advertise(self, envelope: Envelope, message: Advertise) -> None:
         state = self.state(message.group_id)
@@ -171,18 +188,22 @@ class GroupSessionNode:
         state.is_member = True
         if state.on_tree:
             return
+        network = self.coordinator.network
         if state.has_advertisement:
-            self._join_via_upstream(group_id)
+            with network.span_scope(self._episode_root("subscription")):
+                self._join_via_upstream(group_id)
             return
         ttl = self.coordinator.announcement.subscription_search_ttl
         if ttl <= 0:
             self.coordinator.record_failure(group_id, self.peer_id)
             return
-        for neighbor in self.coordinator.overlay.neighbors(self.peer_id):
-            self.coordinator.network.send(
-                self.peer_id, neighbor,
-                Search(group_id, self.peer_id, ttl - 1),
-                MessageKind.SUBSCRIPTION_SEARCH)
+        with network.span_scope(self._episode_root("subscription")):
+            for neighbor in self.coordinator.overlay.neighbors(
+                    self.peer_id):
+                network.send(
+                    self.peer_id, neighbor,
+                    Search(group_id, self.peer_id, ttl - 1),
+                    MessageKind.SUBSCRIPTION_SEARCH)
 
     def _join_via_upstream(self, group_id: int) -> None:
         state = self.state(group_id)
@@ -243,8 +264,11 @@ class GroupSessionNode:
         self.coordinator.record_delivery(
             group_id, payload_id, self.peer_id,
             self.coordinator.simulator.now)
-        self._flood(group_id, Payload(group_id, payload_id, self.peer_id),
-                    exclude=None)
+        network = self.coordinator.network
+        with network.span_scope(self._episode_root("dissemination")):
+            self._flood(group_id,
+                        Payload(group_id, payload_id, self.peer_id),
+                        exclude=None)
 
     def _on_payload(self, envelope: Envelope, message: Payload) -> None:
         state = self.state(message.group_id)
@@ -292,7 +316,11 @@ class GroupSession:
         self.utility = utility or UtilityConfig()
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
-        self.simulator = Simulator(tracer=tracer)
+        # The process-default profiler (if any) rides this session's
+        # clock; it only reads virtual time and its own registry, so
+        # attaching it is bit-transparent to the trace digest.
+        self.simulator = Simulator(tracer=tracer,
+                                   profiler=get_default_profiler())
         self.network = MessageNetwork(
             self.simulator, latency_fn, rng, loss_rate=loss_rate,
             registry=self.registry, tracer=tracer)
@@ -449,7 +477,8 @@ class GroupSession:
         state.upstream = backup
         state.on_tree = False
         state.search_answered = False
-        node._join_via_upstream(group_id)
+        with self.network.span_scope(node._episode_root("repair")):
+            node._join_via_upstream(group_id)
         return True
 
     def broken_upstream_peers(self, group_id: int) -> list[int]:

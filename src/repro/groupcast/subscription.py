@@ -23,6 +23,13 @@ from typing import Mapping, Sequence
 from ..config import AnnouncementConfig
 from ..errors import SubscriptionError
 from ..obs.registry import Registry, get_default_registry
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    SpanContext,
+    Tracer,
+    get_default_tracer,
+)
 from ..overlay.graph import OverlayNetwork
 from ..overlay.messages import MessageKind, MessageStats
 from ..overlay.search import ripple_search
@@ -81,11 +88,22 @@ def subscribe_members(
     config: AnnouncementConfig | None = None,
     stats: MessageStats | None = None,
     registry: Registry | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[SpanningTree, SubscriptionOutcome]:
-    """Subscribe ``members`` and return the resulting spanning tree."""
+    """Subscribe ``members`` and return the resulting spanning tree.
+
+    Under span tracing (explicit ``tracer`` or the process default from
+    :func:`~repro.obs.tracer.enable_tracing`) each member's join records
+    as one ``subscription`` span tree: reverse-path joins as a chain of
+    subscription hops, search joins as the ripple flood, the search
+    response riding the winning probe, and the subscription chain riding
+    the response.
+    """
     config = config or AnnouncementConfig()
     stats = stats or MessageStats()
     registry = registry if registry is not None else get_default_registry()
+    tracer = tracer if tracer is not None else get_default_tracer()
+    tracing = tracer is not None and tracer.spans
     c_subscription = registry.counter(
         f"messages.{MessageKind.SUBSCRIPTION.value}")
     c_search = registry.counter(
@@ -110,7 +128,11 @@ def subscribe_members(
             records[member] = SubscriptionRecord(member, False, 0.0, 0, 0)
             continue
         if member in advertisement.receipts:
-            hops = _graft_reverse_path(tree, advertisement, member)
+            chain = _graft_reverse_path(tree, advertisement, member)
+            hops = len(chain) - 1
+            if tracing:
+                root = tracer.root_span(at_ms=0.0, kind="subscription")
+                _emit_chain_spans(tracer, chain, 0.0, root, latency_fn)
             stats.record(MessageKind.SUBSCRIPTION, hops)
             c_subscription.inc(hops)
             total_subscription += hops
@@ -119,9 +141,12 @@ def subscribe_members(
             continue
 
         receipts = advertisement.receipts
+        root = (tracer.root_span(at_ms=0.0, kind="subscription")
+                if tracing else None)
         found = ripple_search(
             overlay, member, lambda peer: peer in receipts,
-            config.subscription_search_ttl, latency_fn, registry=registry)
+            config.subscription_search_ttl, latency_fn, registry=registry,
+            tracer=tracer, parent_span=root)
         total_search += found.messages
         stats.record(MessageKind.SUBSCRIPTION_SEARCH, found.messages)
         c_search.inc(found.messages)
@@ -132,6 +157,20 @@ def subscribe_members(
         stats.record(MessageKind.SEARCH_RESPONSE)
         c_response.inc()
         total_search += 1
+        response_at = 2.0 * found.hit.latency_ms
+        response_span = None
+        if tracing:
+            # The search response rides back on the winning probe's span;
+            # the subscription chain then rides on the response.
+            response_span = tracer.child_span(found.hit.span)
+            tracer.record(found.hit.latency_ms, KIND_SEND,
+                          a=found.hit.target, b=member,
+                          detail=MessageKind.SEARCH_RESPONSE.value,
+                          span=response_span)
+            tracer.record(response_at, KIND_DELIVER,
+                          a=found.hit.target, b=member,
+                          detail=MessageKind.SEARCH_RESPONSE.value,
+                          span=response_span)
         # Graft the informed peer's reverse path, then hang the searcher's
         # overlay route to it underneath.
         _graft_reverse_path(tree, advertisement, found.hit.target,
@@ -142,12 +181,15 @@ def subscribe_members(
         hops = tree.graft_chain(chain)
         tree.mark_member(member)
         hops += 1  # the subscription message handed to the informed peer
+        if tracing:
+            _emit_chain_spans(tracer, chain, response_at, response_span,
+                              latency_fn)
         stats.record(MessageKind.SUBSCRIPTION, hops)
         c_subscription.inc(hops)
         total_subscription += hops
-        h_lookup.observe(2.0 * found.hit.latency_ms)
+        h_lookup.observe(response_at)
         records[member] = SubscriptionRecord(
-            member, True, 2.0 * found.hit.latency_ms, found.messages + 1,
+            member, True, response_at, found.messages + 1,
             hops)
 
     tree.validate()
@@ -163,8 +205,15 @@ def subscribe_members(
 
 def _graft_reverse_path(tree: SpanningTree,
                         advertisement: AdvertisementOutcome,
-                        peer_id: int, as_member: bool = True) -> int:
-    """Graft a receiver's reverse advertisement path into the tree."""
+                        peer_id: int,
+                        as_member: bool = True) -> list[int]:
+    """Graft a receiver's reverse advertisement path into the tree.
+
+    Returns the trimmed chain ``[peer, upstream, ..., anchor]`` actually
+    walked (the anchor is the first node already on the tree); its
+    length minus one is the subscription-hop count, and span emission
+    walks the same chain.
+    """
     chain = advertisement.reverse_path(peer_id)  # peer ... rendezvous
     # Trim the chain at the first node already in the tree.
     trimmed: list[int] = []
@@ -179,4 +228,26 @@ def _graft_reverse_path(tree: SpanningTree,
         tree.graft_chain(trimmed)
     if as_member:
         tree.mark_member(peer_id)
-    return len(trimmed) - 1
+    return trimmed
+
+
+def _emit_chain_spans(tracer: Tracer, chain: Sequence[int],
+                      start_ms: float, parent: SpanContext | None,
+                      latency_fn: LatencyFn) -> None:
+    """Record a hop-by-hop subscription walk as chained spans.
+
+    ``chain`` is ``[joiner, next_hop, ..., anchor]``; each hop's span is
+    the child of the previous hop's, so the walk reconstructs as a path
+    whose critical-path latency is the accumulated underlay latency.
+    """
+    detail = MessageKind.SUBSCRIPTION.value
+    elapsed = start_ms
+    span = parent
+    for sender, recipient in zip(chain, chain[1:]):
+        span = tracer.child_span(span)
+        arrival = elapsed + latency_fn(sender, recipient)
+        tracer.record(elapsed, KIND_SEND, a=sender, b=recipient,
+                      detail=detail, span=span)
+        tracer.record(arrival, KIND_DELIVER, a=sender, b=recipient,
+                      detail=detail, span=span)
+        elapsed = arrival

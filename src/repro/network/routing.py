@@ -43,6 +43,7 @@ import numpy as np
 from scipy.sparse.csgraph import dijkstra
 
 from ..errors import RoutingError, TopologyError
+from ..obs.profiler import phase_timer
 from ..obs.registry import get_default_registry
 
 #: Shared immutable empty vectors, handed out for empty bulk queries so
@@ -157,13 +158,15 @@ class RoutingCore:
             self._c_misses.inc()
 
     def _solve_pending(self) -> None:
-        sources = sorted(self._pending)
-        dist, pred = dijkstra(self._graph, directed=False, indices=sources,
-                              return_predecessors=True)
-        for i, router in enumerate(sources):
-            self._interned[router] = (dist[i], pred[i])
-        self._pending.clear()
-        self.bulk_solves += 1
+        with phase_timer("routing.bulk_solve"):
+            sources = sorted(self._pending)
+            dist, pred = dijkstra(self._graph, directed=False,
+                                  indices=sources,
+                                  return_predecessors=True)
+            for i, router in enumerate(sources):
+                self._interned[router] = (dist[i], pred[i])
+            self._pending.clear()
+            self.bulk_solves += 1
 
     def rows_for(self, router: int) -> tuple[np.ndarray, np.ndarray]:
         """``(distances, predecessors)`` rows for one source router."""
@@ -182,9 +185,11 @@ class RoutingCore:
         if router in self._pending:
             self._solve_pending()
             return self._interned[router]
-        dist, pred = dijkstra(self._graph, directed=False, indices=[router],
-                              return_predecessors=True)
-        cached = (dist[0], pred[0])
+        with phase_timer("routing.single_solve"):
+            dist, pred = dijkstra(self._graph, directed=False,
+                                  indices=[router],
+                                  return_predecessors=True)
+            cached = (dist[0], pred[0])
         self._lru[router] = cached
         if len(self._lru) > self._lru_rows:
             evicted, _ = self._lru.popitem(last=False)

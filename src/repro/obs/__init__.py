@@ -1,19 +1,41 @@
-"""Zero-dependency observability layer: instruments and trace capture.
+"""Zero-dependency observability layer: instruments, traces, causality.
 
-Two pieces:
+Four pieces:
 
 * :mod:`.registry` — named counters, gauges and fixed-bucket histograms
   behind a :class:`Registry`, plus a process-wide default registry that
   the procedural protocol paths fall back to (disabled — and therefore
   free — unless :func:`enable_telemetry` installs an enabled one);
 * :mod:`.tracer` — a :class:`Tracer` ring buffer of structured trace
-  records with JSON-lines export and a running :meth:`~Tracer.
-  trace_digest` hash for determinism regression tests.
+  records with JSON-lines export, a running :meth:`~Tracer.trace_digest`
+  hash for determinism regression tests, and deterministic
+  :class:`SpanContext` minting for causal episode tracing (off by
+  default, bit-transparent to historical digests);
+* :mod:`.causality` — :class:`SpanForest` reconstruction of span trees
+  from trace streams, with critical-path latency, fan-out/depth stats
+  and per-message-kind cost attribution;
+* :mod:`.profiler` — a :class:`Profiler` sampling the registry on a
+  fixed virtual-time cadence into typed time-series, plus wall-clock
+  :func:`phase_timer` helpers for host-side hot paths.
 
 Every paper-figure metric maps onto a named instrument; the table lives
-in the README's Observability section.
+in the README's Observability section.  :mod:`.report` assembles all of
+the above into per-run experiment reports.
 """
 
+from .causality import Span, SpanForest, SpanTree, TreeStats
+from .profiler import (
+    QUANTILES,
+    HistogramSample,
+    Profiler,
+    TimeSeries,
+    disable_profiling,
+    enable_profiling,
+    get_default_profiler,
+    histogram_quantile,
+    phase_timer,
+    set_default_profiler,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
@@ -42,8 +64,14 @@ from .tracer import (
     KIND_RESTART,
     KIND_SCHEDULE,
     KIND_SEND,
+    KIND_SPAN,
+    SpanContext,
     TraceRecord,
     Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_default_tracer,
+    set_default_tracer,
 )
 
 __all__ = [
@@ -52,11 +80,30 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramSample",
+    "Profiler",
+    "QUANTILES",
     "Registry",
+    "Span",
+    "SpanContext",
+    "SpanForest",
+    "SpanTree",
+    "TimeSeries",
+    "TreeStats",
+    "disable_profiling",
     "disable_telemetry",
+    "disable_tracing",
+    "enable_profiling",
     "enable_telemetry",
+    "enable_tracing",
+    "get_default_profiler",
     "get_default_registry",
+    "get_default_tracer",
+    "histogram_quantile",
+    "phase_timer",
+    "set_default_profiler",
     "set_default_registry",
+    "set_default_tracer",
     "KIND_CRASH",
     "KIND_DEAD_LETTER",
     "KIND_DELIVER",
@@ -72,6 +119,7 @@ __all__ = [
     "KIND_RESTART",
     "KIND_SCHEDULE",
     "KIND_SEND",
+    "KIND_SPAN",
     "TraceRecord",
     "Tracer",
 ]

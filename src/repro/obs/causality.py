@@ -1,0 +1,448 @@
+"""Span-tree reconstruction and causal analysis of trace streams.
+
+GroupCast's interesting behavior is causal: one SSA announcement at the
+rendezvous begets a wave of forwarded copies, one subscription walks the
+reverse path hop by hop, a TTL-2 ripple search fans out and snaps back.
+The tracer (PR 1) records these as a flat stream; this module folds the
+stream back into *span trees* — Dapper-style, one tree per causal
+episode — and extracts the quantities that explain a run:
+
+* **critical path** — the chain of spans whose virtual-time finish is
+  the episode's finish; its latency is the episode's latency;
+* **fan-out / depth** — how wide and how deep each wave ran;
+* **cost attribution** — messages and virtual-time cost per message
+  kind and per episode kind (``advertisement``, ``subscription``,
+  ``dissemination``, ``repair``, ``heartbeat``).
+
+Input is anything that yields :class:`~repro.obs.tracer.TraceRecord`
+rows carrying span ids — a live :class:`~repro.obs.tracer.Tracer`, its
+buffered window, or a JSONL export (meta line tolerated).  Records
+without span ids are ignored, so a mixed stream (engine scheduling noise
+plus spanned protocol records) parses cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..errors import TelemetryError
+from .tracer import (
+    KIND_DEAD_LETTER,
+    KIND_DELIVER,
+    KIND_LOST,
+    KIND_SEND,
+    KIND_SPAN,
+    TraceRecord,
+    Tracer,
+)
+
+#: Record kinds that close a message span, mapped to the span status.
+_CLOSERS = {
+    KIND_DELIVER: "delivered",
+    KIND_DEAD_LETTER: "dead_letter",
+    KIND_LOST: "lost",
+    "fault_drop": "dropped",
+    "partition_drop": "dropped",
+}
+
+
+@dataclass
+class Span:
+    """One reconstructed node of a causal episode tree."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int
+    kind: str               # episode kind or message kind value
+    start_ms: float
+    end_ms: Optional[float] = None
+    a: int = -1             # sender (-1 for episode roots)
+    b: int = -1             # recipient (-1 for episode roots)
+    status: str = "open"    # open|delivered|dropped|lost|dead_letter|root
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def latency_ms(self) -> float:
+        """Span duration in virtual time (0.0 while still open)."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id < 0
+
+    def finish_ms(self) -> float:
+        """The span's effective finish time (start for open spans)."""
+        return self.end_ms if self.end_ms is not None else self.start_ms
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (recursive), for JSON reports."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "a": self.a,
+            "b": self.b,
+            "status": self.status,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Shape and cost summary of one span tree."""
+
+    trace_id: int
+    kind: str
+    span_count: int
+    message_count: int
+    depth: int
+    max_fan_out: int
+    mean_fan_out: float
+    start_ms: float
+    finish_ms: float
+    critical_path_ms: float
+    critical_path_hops: int
+
+
+class SpanTree:
+    """One causal episode: a root span and its descendants."""
+
+    def __init__(self, root: Span,
+                 spans: Mapping[int, Span]) -> None:
+        self.root = root
+        self._spans = dict(spans)
+
+    @property
+    def trace_id(self) -> int:
+        return self.root.trace_id
+
+    @property
+    def kind(self) -> str:
+        """Episode kind (the root's detail; e.g. ``advertisement``)."""
+        return self.root.kind
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans.values())
+
+    def span(self, span_id: int) -> Span:
+        """Span by id."""
+        return self._spans[span_id]
+
+    def spans(self) -> list[Span]:
+        """All spans of the episode, in span-id order."""
+        return [self._spans[i] for i in sorted(self._spans)]
+
+    def message_spans(self) -> list[Span]:
+        """Spans that carry a message (everything but synthetic roots)."""
+        return [s for s in self.spans() if s.status != "root"]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Assert the episode is a rooted tree: acyclic, single root,
+        every non-root parent resolvable, child start >= parent start.
+
+        Raises :class:`~repro.errors.TelemetryError` on violation.
+        """
+        roots = [s for s in self._spans.values() if s.is_root]
+        if len(roots) != 1:
+            raise TelemetryError(
+                f"trace {self.trace_id} has {len(roots)} roots")
+        seen: set[int] = set()
+        stack = [self.root.span_id]
+        while stack:
+            span_id = stack.pop()
+            if span_id in seen:
+                raise TelemetryError(
+                    f"trace {self.trace_id} revisits span {span_id}")
+            seen.add(span_id)
+            span = self._spans[span_id]
+            for child in span.children:
+                if child.parent_id != span.span_id:
+                    raise TelemetryError(
+                        f"span {child.span_id} disagrees about parent "
+                        f"{span.span_id}")
+                if child.start_ms + 1e-9 < span.start_ms:
+                    raise TelemetryError(
+                        f"span {child.span_id} starts before its "
+                        f"parent {span.span_id}")
+                stack.append(child.span_id)
+        if seen != set(self._spans):
+            orphans = sorted(set(self._spans) - seen)
+            raise TelemetryError(
+                f"trace {self.trace_id} has unreachable spans {orphans}")
+
+    # ------------------------------------------------------------------
+    def critical_path(self) -> list[Span]:
+        """Root-to-leaf chain ending at the episode's last finish.
+
+        This is the virtual-time critical path: the sequence of causally
+        chained messages that determined when the episode completed.
+        """
+        finish: dict[int, float] = {}
+
+        def fill(span: Span) -> float:
+            best = span.finish_ms()
+            for child in span.children:
+                best = max(best, fill(child))
+            finish[span.span_id] = best
+            return best
+
+        fill(self.root)
+        path = [self.root]
+        current = self.root
+        while current.children:
+            current = max(current.children,
+                          key=lambda c: (finish[c.span_id], -c.span_id))
+            path.append(current)
+        return path
+
+    def critical_path_latency_ms(self) -> float:
+        """Virtual time from episode start to its last causal finish."""
+        path = self.critical_path()
+        return path[-1].finish_ms() - self.root.start_ms
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count."""
+        def walk(span: Span) -> int:
+            if not span.children:
+                return 0
+            return 1 + max(walk(child) for child in span.children)
+
+        return walk(self.root)
+
+    def fan_out(self) -> tuple[int, float]:
+        """``(max, mean)`` children per non-leaf span."""
+        counts = [len(s.children) for s in self._spans.values()
+                  if s.children]
+        if not counts:
+            return 0, 0.0
+        return max(counts), sum(counts) / len(counts)
+
+    def cost_by_kind(self) -> dict[str, dict[str, float]]:
+        """Per-message-kind cost: count and total/mean virtual latency."""
+        out: dict[str, dict[str, float]] = {}
+        for span in self.message_spans():
+            kind = span.kind or "(unlabelled)"
+            entry = out.setdefault(
+                kind, {"messages": 0, "delivered": 0,
+                       "total_latency_ms": 0.0})
+            entry["messages"] += 1
+            if span.status == "delivered":
+                entry["delivered"] += 1
+                entry["total_latency_ms"] += span.latency_ms
+        for entry in out.values():
+            delivered = entry["delivered"]
+            entry["mean_latency_ms"] = (
+                entry["total_latency_ms"] / delivered if delivered else 0.0)
+        return out
+
+    def stats(self) -> TreeStats:
+        """Shape/cost summary of the episode."""
+        max_fan, mean_fan = self.fan_out()
+        path = self.critical_path()
+        messages = self.message_spans()
+        return TreeStats(
+            trace_id=self.trace_id,
+            kind=self.kind,
+            span_count=len(self._spans),
+            message_count=len(messages),
+            depth=self.depth(),
+            max_fan_out=max_fan,
+            mean_fan_out=mean_fan,
+            start_ms=self.root.start_ms,
+            finish_ms=path[-1].finish_ms(),
+            critical_path_ms=self.critical_path_latency_ms(),
+            critical_path_hops=len(path) - 1,
+        )
+
+
+class SpanForest:
+    """Every causal episode reconstructed from one trace stream."""
+
+    def __init__(self, trees: list[SpanTree]) -> None:
+        self._trees = trees
+        self._by_id = {tree.trace_id: tree for tree in trees}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord]) -> "SpanForest":
+        """Reconstruct episodes from trace records (span-less ignored)."""
+        spans: dict[int, dict[int, Span]] = {}
+        for rec in records:
+            if rec.span_id < 0:
+                continue
+            trace = spans.setdefault(rec.trace_id, {})
+            if rec.kind == KIND_SPAN:
+                trace[rec.span_id] = Span(
+                    rec.trace_id, rec.span_id, rec.parent_id,
+                    kind=rec.detail, start_ms=rec.at_ms, status="root")
+            elif rec.kind == KIND_SEND:
+                trace[rec.span_id] = Span(
+                    rec.trace_id, rec.span_id, rec.parent_id,
+                    kind=rec.detail, start_ms=rec.at_ms,
+                    a=rec.a, b=rec.b, status="open")
+            else:
+                status = _CLOSERS.get(rec.kind)
+                span = trace.get(rec.span_id)
+                if span is None:
+                    # Closing record whose opener fell off the ring (or
+                    # an auxiliary record): synthesize a stub so the
+                    # tree stays connected where possible.
+                    if status is None:
+                        continue
+                    trace[rec.span_id] = Span(
+                        rec.trace_id, rec.span_id, rec.parent_id,
+                        kind=rec.detail, start_ms=rec.at_ms,
+                        end_ms=rec.at_ms, a=rec.a, b=rec.b,
+                        status=status)
+                elif status is not None:
+                    span.end_ms = rec.at_ms
+                    span.status = status
+        trees: list[SpanTree] = []
+        for trace_id in sorted(spans):
+            trace = spans[trace_id]
+            roots = []
+            for span in trace.values():
+                parent = trace.get(span.parent_id)
+                if parent is not None and span.parent_id >= 0:
+                    parent.children.append(span)
+                else:
+                    roots.append(span)
+            # A ring overflow can orphan subtrees; promote each orphan
+            # to a root of its own partial tree rather than dropping it.
+            for root in sorted(roots, key=lambda s: s.span_id):
+                reachable = _collect(root)
+                trees.append(SpanTree(
+                    root, {s.span_id: s for s in reachable}))
+        return cls(trees)
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "SpanForest":
+        """Reconstruct from a tracer's buffered window."""
+        return cls.from_records(tracer.records())
+
+    @classmethod
+    def from_jsonl(cls, text_or_path: str | Path) -> "SpanForest":
+        """Reconstruct from a JSONL export (string or file path).
+
+        A leading ``{"meta": ...}`` line is tolerated and skipped.
+        """
+        if isinstance(text_or_path, Path):
+            text = text_or_path.read_text(encoding="utf-8")
+        else:
+            text = text_or_path
+        records = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            parsed = json.loads(line)
+            if "meta" in parsed and "kind" not in parsed:
+                continue
+            records.append(TraceRecord(
+                at_ms=parsed["at_ms"], kind=parsed["kind"],
+                seq=parsed.get("seq", -1), a=parsed.get("a", -1),
+                b=parsed.get("b", -1), detail=parsed.get("detail", ""),
+                trace_id=parsed.get("trace_id", -1),
+                span_id=parsed.get("span_id", -1),
+                parent_id=parsed.get("parent_id", -1)))
+        return cls.from_records(records)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __iter__(self) -> Iterator[SpanTree]:
+        return iter(self._trees)
+
+    def trees(self, kind: str | None = None) -> list[SpanTree]:
+        """All episodes, optionally filtered by episode kind."""
+        if kind is None:
+            return list(self._trees)
+        return [t for t in self._trees if t.kind == kind]
+
+    def tree(self, trace_id: int) -> SpanTree:
+        """Episode by trace id."""
+        return self._by_id[trace_id]
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def top_by_critical_path(self, limit: int = 10) -> list[TreeStats]:
+        """Episodes ranked by critical-path virtual latency."""
+        stats = [tree.stats() for tree in self._trees]
+        stats.sort(key=lambda s: (-s.critical_path_ms, s.trace_id))
+        return stats[:limit]
+
+    def cost_by_kind(self) -> dict[str, dict[str, float]]:
+        """Message cost aggregated over every episode, by message kind."""
+        out: dict[str, dict[str, float]] = {}
+        for tree in self._trees:
+            for kind, entry in tree.cost_by_kind().items():
+                agg = out.setdefault(
+                    kind, {"messages": 0, "delivered": 0,
+                           "total_latency_ms": 0.0})
+                agg["messages"] += entry["messages"]
+                agg["delivered"] += entry["delivered"]
+                agg["total_latency_ms"] += entry["total_latency_ms"]
+        for agg in out.values():
+            delivered = agg["delivered"]
+            agg["mean_latency_ms"] = (
+                agg["total_latency_ms"] / delivered if delivered else 0.0)
+        return out
+
+    def cost_by_episode_kind(self) -> dict[str, dict[str, float]]:
+        """Cost aggregated by *episode* kind (protocol phase).
+
+        This is the per-phase attribution the report prints: how many
+        messages (and how much virtual-time) each protocol activity —
+        announcement waves, subscription walks, dissemination floods,
+        repair episodes — consumed.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for tree in self._trees:
+            kind = tree.kind or "(unlabelled)"
+            entry = out.setdefault(
+                kind, {"episodes": 0, "messages": 0,
+                       "total_critical_path_ms": 0.0,
+                       "max_critical_path_ms": 0.0})
+            critical = tree.critical_path_latency_ms()
+            entry["episodes"] += 1
+            entry["messages"] += len(tree.message_spans())
+            entry["total_critical_path_ms"] += critical
+            entry["max_critical_path_ms"] = max(
+                entry["max_critical_path_ms"], critical)
+        for entry in out.values():
+            entry["mean_critical_path_ms"] = (
+                entry["total_critical_path_ms"] / entry["episodes"])
+        return out
+
+    def validate(self) -> None:
+        """Validate every episode (see :meth:`SpanTree.validate`)."""
+        for tree in self._trees:
+            tree.validate()
+
+
+def _collect(root: Span) -> list[Span]:
+    """``root`` and all spans reachable through children links."""
+    out: list[Span] = []
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        out.append(span)
+        stack.extend(span.children)
+    return out

@@ -1,0 +1,346 @@
+"""Virtual-time metric sampling and wall-clock phase timing.
+
+The registry (PR 1) answers "how much, in total"; this module answers
+"when".  A :class:`Profiler` rides the simulator's clock — the engine
+calls :meth:`Profiler.on_advance` as virtual time advances — and samples
+every instrument of a :class:`~repro.obs.registry.Registry` on a fixed
+virtual-time cadence into typed :class:`TimeSeries`: counters as
+cumulative values (per-interval deltas derived on demand), gauges as
+levels, histograms as count/mean plus quantiles estimated from the
+bucket counts.
+
+Sampling deliberately does **not** schedule simulator events: a
+scheduled sampler would consume event sequence numbers and shift every
+later trace record, breaking ``trace_digest`` bit-transparency.  Riding
+the run loop instead costs one attribute check per event when no
+profiler is attached and nothing else — the digest is untouched either
+way, because the profiler only *reads* the clock and the registry.
+
+The module also provides wall-clock *phase timers* for the real-time
+cost of heavy host-side work (engine dispatch, routing-core bulk solves,
+fault-injection hooks).  ``with phase_timer("routing.solve"):`` is a
+shared no-op object when no default profiler is installed, so
+instrumented hot paths pay one global read when profiling is off.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import TelemetryError
+from .registry import Gauge, Histogram, Registry
+
+#: Quantiles sampled from histograms on every cadence tick.
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+@dataclass(frozen=True)
+class HistogramSample:
+    """One cadence sample of a histogram instrument."""
+
+    at_ms: float
+    count: int
+    mean: float
+    quantiles: tuple[float, ...]  # aligned with :data:`QUANTILES`
+
+
+class TimeSeries:
+    """Cadence samples of one instrument.
+
+    ``kind`` is ``counter``/``gauge``/``histogram``.  Counter and gauge
+    points are ``(at_ms, value)`` pairs; histogram points are
+    :class:`HistogramSample` rows.
+    """
+
+    __slots__ = ("name", "kind", "points")
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.points: list = []
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def deltas(self) -> list[tuple[float, float]]:
+        """Per-interval increments ``(interval_end_ms, delta)``.
+
+        Meaningful for counters (activity per interval); for gauges it
+        is the level change, for histograms the new-sample count.
+        """
+        if self.kind == "histogram":
+            values = [(p.at_ms, float(p.count)) for p in self.points]
+        else:
+            values = [(at, float(v)) for at, v in self.points]
+        return [(at, value - prev_value)
+                for (_, prev_value), (at, value)
+                in zip(values, values[1:])]
+
+    def summary(self) -> dict[str, object]:
+        """Compact roll-up for reports."""
+        out: dict[str, object] = {
+            "name": self.name, "kind": self.kind,
+            "samples": len(self.points)}
+        if not self.points:
+            return out
+        if self.kind == "histogram":
+            last = self.points[-1]
+            out["count"] = last.count
+            out["mean"] = last.mean
+            for q, value in zip(QUANTILES, last.quantiles):
+                out[f"p{int(q * 100)}"] = value
+            return out
+        values = [float(v) for _, v in self.points]
+        out["first"] = values[0]
+        out["last"] = values[-1]
+        if self.kind == "counter":
+            out["total_delta"] = values[-1] - values[0]
+            deltas = [d for _, d in self.deltas()]
+            out["max_interval_delta"] = max(deltas) if deltas else 0.0
+        else:  # gauge
+            out["min"] = min(values)
+            out["max"] = max(values)
+        return out
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly full series."""
+        if self.kind == "histogram":
+            points = [
+                {"at_ms": p.at_ms, "count": p.count, "mean": p.mean,
+                 **{f"p{int(q * 100)}": v
+                    for q, v in zip(QUANTILES, p.quantiles)}}
+                for p in self.points]
+        else:
+            points = [{"at_ms": at, "value": v} for at, v in self.points]
+        return {"name": self.name, "kind": self.kind, "points": points}
+
+
+def histogram_quantile(bounds: Sequence[float],
+                       bucket_counts: Sequence[int],
+                       q: float) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    Linear interpolation inside the bucket holding the quantile rank;
+    samples in the overflow bucket clamp to the last finite edge (the
+    histogram carries no upper bound for them).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(bucket_counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if i >= len(bounds):  # overflow bucket
+                return float(bounds[-1])
+            lower = float(bounds[i - 1]) if i > 0 else 0.0
+            upper = float(bounds[i])
+            fraction = (rank - cumulative) / count
+            return lower + fraction * (upper - lower)
+        cumulative += count
+    return float(bounds[-1])
+
+
+class Profiler:
+    """Samples a registry on a fixed virtual-time cadence.
+
+    Attach with ``simulator.profiler = profiler`` (or pass it to the
+    experiment runner via ``--report``); the engine calls
+    :meth:`on_advance` as its clock moves.  One sample is taken per
+    crossed cadence boundary — when several boundaries pass with no
+    intervening event the registry cannot have changed, so only the
+    latest boundary is materialized.
+
+    Wall-clock phases are independent of virtual time:
+    :meth:`phase` times a block with ``time.perf_counter`` and
+    accumulates per-name call counts and seconds.
+    """
+
+    def __init__(self, registry: Registry,
+                 interval_ms: float = 250.0,
+                 enabled: bool = True) -> None:
+        if interval_ms <= 0.0:
+            raise TelemetryError("profiler interval must be positive")
+        self.registry = registry
+        self.interval_ms = interval_ms
+        self.enabled = enabled
+        self._series: dict[str, TimeSeries] = {}
+        self._next_sample_ms = 0.0
+        self._last_sampled_ms: float | None = None
+        self._phases: dict[str, list[float]] = {}  # name -> [calls, secs]
+
+    # ------------------------------------------------------------------
+    # Virtual-time sampling
+    # ------------------------------------------------------------------
+    def on_advance(self, now_ms: float) -> None:
+        """Engine hook: the virtual clock is about to reach ``now_ms``."""
+        if not self.enabled or now_ms < self._next_sample_ms:
+            return
+        # Materialize only the latest crossed boundary; the skipped ones
+        # would repeat identical values (no event fired in between).
+        # The engine calls on_advance *before* firing the event, so a
+        # sample landing exactly on an event time sees the pre-event
+        # registry state.
+        at_ms = int(now_ms / self.interval_ms) * self.interval_ms
+        self.sample(at_ms)
+        self._next_sample_ms = at_ms + self.interval_ms
+
+    def sample(self, at_ms: float) -> None:
+        """Take one sample of every instrument, stamped ``at_ms``."""
+        if self._last_sampled_ms is not None \
+                and at_ms <= self._last_sampled_ms:
+            return
+        self._last_sampled_ms = at_ms
+        for name in self.registry.names():
+            instrument = self.registry.get(name)
+            if isinstance(instrument, Histogram):
+                series = self._series_for(name, "histogram")
+                counts = instrument.bucket_counts()
+                series.points.append(HistogramSample(
+                    at_ms=at_ms,
+                    count=instrument.count,
+                    mean=instrument.mean,
+                    quantiles=tuple(
+                        histogram_quantile(instrument.bounds, counts, q)
+                        for q in QUANTILES)))
+            elif isinstance(instrument, Gauge):
+                series = self._series_for(name, "gauge")
+                series.points.append((at_ms, instrument.value))
+            else:  # Counter
+                series = self._series_for(name, "counter")
+                series.points.append((at_ms, instrument.value))
+
+    def finish(self, now_ms: float) -> None:
+        """Take a final closing sample at the run's end time."""
+        if self.enabled:
+            self.sample(now_ms)
+
+    def _series_for(self, name: str, kind: str) -> TimeSeries:
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name, kind)
+            self._series[name] = series
+        return series
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> Optional[TimeSeries]:
+        """The series for one instrument, or None if never sampled."""
+        return self._series.get(name)
+
+    def all_series(self) -> list[TimeSeries]:
+        """Every captured series, sorted by instrument name."""
+        return [self._series[name] for name in sorted(self._series)]
+
+    # ------------------------------------------------------------------
+    # Wall-clock phases
+    # ------------------------------------------------------------------
+    def phase(self, name: str) -> "_PhaseTimer":
+        """Context manager timing one wall-clock phase occurrence."""
+        return _PhaseTimer(self, name)
+
+    def add_phase_time(self, name: str, seconds: float) -> None:
+        """Accumulate one timed occurrence of ``name``."""
+        entry = self._phases.get(name)
+        if entry is None:
+            self._phases[name] = [1.0, seconds]
+        else:
+            entry[0] += 1.0
+            entry[1] += seconds
+
+    def phase_stats(self) -> dict[str, dict[str, float]]:
+        """``{phase: {calls, total_s, mean_ms}}`` wall-clock roll-up."""
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(self._phases):
+            calls, seconds = self._phases[name]
+            out[name] = {
+                "calls": calls,
+                "total_s": seconds,
+                "mean_ms": 1000.0 * seconds / calls if calls else 0.0,
+            }
+        return out
+
+
+class _PhaseTimer:
+    """Times one ``with`` block into a profiler phase."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: Profiler, name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.add_phase_time(
+            self._name, time.perf_counter() - self._start)
+
+
+class _NoopTimer:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_TIMER = _NoopTimer()
+
+#: Process-wide profiler used by the module-level :func:`phase_timer`
+#: helper in hot paths that cannot thread a profiler argument through.
+_default_profiler: Optional[Profiler] = None
+
+
+def get_default_profiler() -> Optional[Profiler]:
+    """The process-wide profiler (None unless installed)."""
+    return _default_profiler
+
+
+def set_default_profiler(profiler: Optional[Profiler]
+                         ) -> Optional[Profiler]:
+    """Install ``profiler`` as the default; returns the previous one."""
+    global _default_profiler
+    previous = _default_profiler
+    _default_profiler = profiler
+    return previous
+
+
+def enable_profiling(registry: Registry,
+                     interval_ms: float = 250.0) -> Profiler:
+    """Install and return a fresh default profiler over ``registry``."""
+    profiler = Profiler(registry, interval_ms=interval_ms)
+    set_default_profiler(profiler)
+    return profiler
+
+
+def disable_profiling() -> None:
+    """Remove the default profiler; :func:`phase_timer` goes no-op."""
+    set_default_profiler(None)
+
+
+def phase_timer(name: str):
+    """Wall-clock timer for ``name`` against the default profiler.
+
+    Returns a shared no-op context manager when no default profiler is
+    installed, so instrumented hot paths cost one global read when
+    profiling is off.
+    """
+    profiler = _default_profiler
+    if profiler is None:
+        return _NOOP_TIMER
+    return profiler.phase(name)

@@ -1,0 +1,276 @@
+"""Per-run experiment reports: causality, time-series, invariants.
+
+Assembles everything the observability layer captured during one run —
+span trees from the :class:`~repro.obs.tracer.Tracer`, cadence
+time-series and wall-clock phases from the
+:class:`~repro.obs.profiler.Profiler`, counter state from the
+:class:`~repro.obs.registry.Registry`, and invariant outcomes from a
+:class:`~repro.faults.invariants.InvariantSuite` — into one plain-dict
+report, rendered as Markdown for humans and JSON for CI diffing.
+
+The report answers the questions a run leaves open:
+
+* which causal episodes dominated latency (top spans by virtual-time
+  critical path);
+* where the messages went (cost by message kind and by protocol phase);
+* how activity unfolded over virtual time (series summaries) and where
+  the host CPU went (phase timers);
+* whether the run was *sound* (invariant checks, transport counter
+  conservation, trace-ring drops).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from .causality import SpanForest
+from .profiler import Profiler
+from .registry import Registry
+from .tracer import Tracer
+
+#: Registry counters entering the transport conservation identity.
+_CONSERVATION_COUNTERS = (
+    "net.sent", "faults.duplicated", "net.delivered", "net.lost",
+    "net.dead_lettered", "faults.dropped", "faults.partition_dropped")
+
+
+def build_report(
+    title: str,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[Registry] = None,
+    profiler: Optional[Profiler] = None,
+    invariant_suite=None,
+    top: int = 10,
+) -> dict:
+    """Assemble one run's observability state into a report dict.
+
+    Every section is optional — pass whatever the run actually had.
+    The result is JSON-serializable as-is.
+    """
+    report: dict = {"title": title}
+
+    if tracer is not None:
+        forest = SpanForest.from_tracer(tracer)
+        report["trace"] = tracer.export_meta()
+        report["episodes"] = {
+            "count": len(forest),
+            "top_by_critical_path": [
+                {
+                    "trace_id": s.trace_id,
+                    "kind": s.kind,
+                    "spans": s.span_count,
+                    "messages": s.message_count,
+                    "depth": s.depth,
+                    "max_fan_out": s.max_fan_out,
+                    "critical_path_ms": s.critical_path_ms,
+                    "critical_path_hops": s.critical_path_hops,
+                }
+                for s in forest.top_by_critical_path(top)
+            ],
+            "cost_by_kind": forest.cost_by_kind(),
+            "cost_by_episode_kind": forest.cost_by_episode_kind(),
+        }
+
+    if registry is not None:
+        report["counters"] = registry.snapshot()
+        report["conservation"] = _conservation(registry)
+
+    if profiler is not None:
+        report["series"] = [s.summary() for s in profiler.all_series()]
+        report["phases"] = profiler.phase_stats()
+
+    if invariant_suite is not None:
+        report["invariants"] = {
+            "checks": invariant_suite.registry.counter(
+                "invariants.checks").value,
+            "violations": len(invariant_suite.violations),
+            "by_checker": invariant_suite.violations_by_checker(),
+            "first_violations": [
+                {"at_ms": v.at_ms, "checker": v.checker,
+                 "message": v.message}
+                for v in invariant_suite.violations[:5]
+            ],
+        }
+
+    return report
+
+
+def _conservation(registry: Registry) -> Optional[dict]:
+    """Transport conservation identity from registry counters.
+
+    ``sent + duplicated == delivered + lost + dead_lettered + dropped +
+    partition_dropped`` once a run has drained (no in-flight messages).
+    Returns None when the run never used the message transport.
+    """
+    if registry.get("net.sent") is None:
+        return None
+    values = {name: (registry.get(name).value
+                     if registry.get(name) is not None else 0)
+              for name in _CONSERVATION_COUNTERS}
+    gap = (values["net.sent"] + values["faults.duplicated"]
+           - values["net.delivered"] - values["net.lost"]
+           - values["net.dead_lettered"] - values["faults.dropped"]
+           - values["faults.partition_dropped"])
+    return {**values, "gap": gap, "balanced": gap == 0}
+
+
+# ----------------------------------------------------------------------
+# Markdown rendering
+# ----------------------------------------------------------------------
+def render_markdown(report: dict) -> str:
+    """Human-facing Markdown view of a :func:`build_report` dict."""
+    lines: list[str] = [f"# {report['title']}", ""]
+
+    trace = report.get("trace")
+    if trace is not None:
+        lines += ["## Trace stream", ""]
+        lines.append(f"- records: {trace['total_records']} total, "
+                     f"{trace['buffered_records']} buffered, "
+                     f"**{trace['dropped_records']} dropped** "
+                     f"(ring capacity {trace['capacity']})")
+        lines.append(f"- digest: `{trace['trace_digest']}`")
+        lines.append("")
+
+    episodes = report.get("episodes")
+    if episodes is not None:
+        lines += [f"## Causal episodes ({episodes['count']})", ""]
+        rows = episodes["top_by_critical_path"]
+        if rows:
+            lines += [
+                "Top episodes by virtual-time critical path:", "",
+                "| trace | kind | spans | msgs | depth | fan-out "
+                "| critical path (ms) | hops |",
+                "|---|---|---|---|---|---|---|---|",
+            ]
+            for row in rows:
+                lines.append(
+                    f"| {row['trace_id']} | {row['kind']} "
+                    f"| {row['spans']} | {row['messages']} "
+                    f"| {row['depth']} | {row['max_fan_out']} "
+                    f"| {row['critical_path_ms']:.3f} "
+                    f"| {row['critical_path_hops']} |")
+            lines.append("")
+        lines += _cost_table(
+            "Message cost by kind", episodes["cost_by_kind"],
+            key_header="message kind")
+        lines += _episode_cost_table(episodes["cost_by_episode_kind"])
+
+    conservation = report.get("conservation")
+    if conservation is not None:
+        verdict = "balanced" if conservation["balanced"] \
+            else f"GAP {conservation['gap']}"
+        lines += ["## Transport conservation", "",
+                  f"- sent {conservation['net.sent']} "
+                  f"+ duplicated {conservation['faults.duplicated']} "
+                  f"= delivered {conservation['net.delivered']} "
+                  f"+ lost {conservation['net.lost']} "
+                  f"+ dead-lettered {conservation['net.dead_lettered']} "
+                  f"+ dropped {conservation['faults.dropped']} "
+                  f"+ partition-dropped "
+                  f"{conservation['faults.partition_dropped']} "
+                  f"→ **{verdict}**",
+                  ""]
+
+    invariants = report.get("invariants")
+    if invariants is not None:
+        lines += ["## Invariant checks", "",
+                  f"- {invariants['checks']} checks, "
+                  f"**{invariants['violations']} violations**"]
+        for name, count in sorted(invariants["by_checker"].items()):
+            lines.append(f"  - {name}: {count}")
+        for violation in invariants["first_violations"]:
+            lines.append(f"  - at {violation['at_ms']:.1f} ms "
+                         f"[{violation['checker']}] "
+                         f"{violation['message']}")
+        lines.append("")
+
+    series = report.get("series")
+    if series:
+        lines += ["## Metric time-series", "",
+                  "| instrument | kind | samples | summary |",
+                  "|---|---|---|---|"]
+        for summary in series:
+            detail = _series_detail(summary)
+            lines.append(f"| {summary['name']} | {summary['kind']} "
+                         f"| {summary['samples']} | {detail} |")
+        lines.append("")
+
+    phases = report.get("phases")
+    if phases:
+        lines += ["## Wall-clock phases", "",
+                  "| phase | calls | total (s) | mean (ms) |",
+                  "|---|---|---|---|"]
+        for name, stats in phases.items():
+            lines.append(f"| {name} | {int(stats['calls'])} "
+                         f"| {stats['total_s']:.4f} "
+                         f"| {stats['mean_ms']:.4f} |")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def _series_detail(summary: dict) -> str:
+    if summary["samples"] == 0:
+        return "(empty)"
+    if summary["kind"] == "counter":
+        return (f"last={summary['last']:.0f} "
+                f"Δ={summary['total_delta']:.0f} "
+                f"maxΔ/interval={summary['max_interval_delta']:.0f}")
+    if summary["kind"] == "gauge":
+        return (f"last={summary['last']:.0f} "
+                f"min={summary['min']:.0f} max={summary['max']:.0f}")
+    return (f"n={summary['count']} mean={summary['mean']:.2f} "
+            f"p50={summary['p50']:.2f} p90={summary['p90']:.2f} "
+            f"p99={summary['p99']:.2f}")
+
+
+def _cost_table(heading: str, costs: dict,
+                key_header: str) -> list[str]:
+    if not costs:
+        return []
+    lines = [f"## {heading}", "",
+             f"| {key_header} | messages | delivered "
+             "| mean latency (ms) | total latency (ms) |",
+             "|---|---|---|---|---|"]
+    for kind in sorted(costs):
+        entry = costs[kind]
+        lines.append(
+            f"| {kind} | {entry['messages']} | {entry['delivered']} "
+            f"| {entry['mean_latency_ms']:.3f} "
+            f"| {entry['total_latency_ms']:.3f} |")
+    lines.append("")
+    return lines
+
+
+def _episode_cost_table(costs: dict) -> list[str]:
+    if not costs:
+        return []
+    lines = ["## Cost by protocol phase", "",
+             "| phase | episodes | messages | mean critical path (ms) "
+             "| max critical path (ms) |",
+             "|---|---|---|---|---|"]
+    for kind in sorted(costs):
+        entry = costs[kind]
+        lines.append(
+            f"| {kind} | {entry['episodes']} | {entry['messages']} "
+            f"| {entry['mean_critical_path_ms']:.3f} "
+            f"| {entry['max_critical_path_ms']:.3f} |")
+    lines.append("")
+    return lines
+
+
+def write_report(report: dict, directory: str | Path,
+                 basename: str = "report") -> tuple[Path, Path]:
+    """Write ``<basename>.md`` and ``<basename>.json`` under
+    ``directory`` (created if missing); returns both paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    md_path = target / f"{basename}.md"
+    json_path = target / f"{basename}.json"
+    md_path.write_text(render_markdown(report), encoding="utf-8")
+    json_path.write_text(
+        json.dumps(report, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8")
+    return md_path, json_path

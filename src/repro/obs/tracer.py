@@ -14,12 +14,23 @@ every random draw flows through seeded :class:`~repro.sim.random.
 RandomSource` streams, two identically-seeded runs must produce
 byte-identical traces — ``trace_digest()`` turns that into a one-line
 regression assertion (see ``tests/test_obs.py``).
+
+Causal tracing extends the flat record stream with *span
+contexts*: a :class:`SpanContext` names one causal episode (trace) and
+one node inside it (span), and every record can optionally carry the
+``(trace_id, span_id, parent_id)`` triple.  Span identifiers come from
+deterministic per-tracer counters — no randomness — so span trees are as
+reproducible as the record stream itself.  Span capture is **off by
+default** (``Tracer(spans=False)``); a span-less record canonicalizes to
+the exact pre-span encoding, keeping historical ``trace_digest`` values
+bit-identical unless span capture is explicitly enabled.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import itertools
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,6 +43,10 @@ KIND_SEND = "send"
 KIND_LOST = "lost"
 KIND_DELIVER = "deliver"
 KIND_DEAD_LETTER = "dead_letter"
+
+#: Record kind opening a causal episode (an SSA flood, one member's
+#: subscription walk, a payload dissemination, a repair episode, ...).
+KIND_SPAN = "span"
 
 #: Record kinds emitted by the fault-injection layer (:mod:`repro.faults`).
 KIND_FAULT_DROP = "fault_drop"
@@ -46,13 +61,31 @@ KIND_RESTART = "restart"
 
 
 @dataclass(frozen=True)
+class SpanContext:
+    """One node of a causal episode tree.
+
+    ``trace_id`` names the episode (all spans of one SSA flood share
+    it); ``span_id`` names this node; ``parent_id`` is the span that
+    caused it (-1 for episode roots).  Identifiers are handed out by
+    deterministic per-tracer counters, so identically-seeded runs build
+    identical trees.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int = -1
+
+
+@dataclass(frozen=True)
 class TraceRecord:
     """One traced action inside the simulated runtime.
 
     ``a``/``b`` are peer ids for transport records (sender/recipient)
     and unused (-1) for engine records; ``seq`` is the engine's event
     sequence number for ``schedule``/``fire`` records; ``detail`` holds
-    the message kind value or the scheduled firing time.
+    the message kind value or the scheduled firing time.  The span
+    triple is -1 everywhere unless the record was captured with span
+    tracing enabled.
     """
 
     at_ms: float
@@ -61,36 +94,124 @@ class TraceRecord:
     a: int = -1
     b: int = -1
     detail: str = ""
+    trace_id: int = -1
+    span_id: int = -1
+    parent_id: int = -1
 
     def canonical(self) -> str:
-        """Stable one-line encoding, the unit hashed by the digest."""
-        return (f"{self.at_ms!r}|{self.kind}|{self.seq}"
+        """Stable one-line encoding, the unit hashed by the digest.
+
+        Span-less records use the exact pre-span encoding, so enabling
+        the rest of this PR without ``spans=True`` leaves historical
+        digests bit-identical.
+        """
+        base = (f"{self.at_ms!r}|{self.kind}|{self.seq}"
                 f"|{self.a}|{self.b}|{self.detail}")
+        if self.span_id < 0:
+            return base
+        return (f"{base}|{self.trace_id}|{self.span_id}"
+                f"|{self.parent_id}")
+
+    @property
+    def span(self) -> Optional[SpanContext]:
+        """The record's span context, or None for span-less records."""
+        if self.span_id < 0:
+            return None
+        return SpanContext(self.trace_id, self.span_id, self.parent_id)
 
     def to_json(self) -> str:
-        """JSON object with deterministic key order."""
-        return json.dumps(
-            {"at_ms": self.at_ms, "kind": self.kind, "seq": self.seq,
-             "a": self.a, "b": self.b, "detail": self.detail},
-            sort_keys=True, separators=(",", ":"))
+        """JSON object with deterministic key order.
+
+        Span fields appear only on records captured with span tracing,
+        keeping legacy exports byte-identical.
+        """
+        payload: dict[str, object] = {
+            "at_ms": self.at_ms, "kind": self.kind, "seq": self.seq,
+            "a": self.a, "b": self.b, "detail": self.detail}
+        if self.span_id >= 0:
+            payload["trace_id"] = self.trace_id
+            payload["span_id"] = self.span_id
+            payload["parent_id"] = self.parent_id
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 class Tracer:
-    """Bounded ring buffer of trace records with a running digest."""
+    """Bounded ring buffer of trace records with a running digest.
 
-    def __init__(self, capacity: int = 65536) -> None:
+    ``spans=True`` turns on causal-span capture: :meth:`root_span` /
+    :meth:`child_span` mint deterministic :class:`SpanContext` ids and
+    :meth:`record` accepts a ``span`` to stamp onto the record.  With
+    ``spans=False`` (the default) both helpers return None and records
+    canonicalize exactly as before this feature existed.
+
+    ``registry`` (optional) mirrors ring-buffer drops into an
+    ``obs.trace.dropped`` counter so silent truncation is visible in
+    snapshots and reports; :attr:`dropped_records` always tracks it
+    locally regardless.
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 spans: bool = False,
+                 registry=None) -> None:
         if capacity < 1:
             raise ValueError("tracer capacity must be >= 1")
         self.capacity = capacity
+        self.spans = spans
         self._buffer: deque[TraceRecord] = deque(maxlen=capacity)
         self._digest = hashlib.sha256()
         self._total = 0
+        self._dropped = 0
+        self._c_dropped = (registry.counter("obs.trace.dropped")
+                           if registry is not None else None)
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Span minting
+    # ------------------------------------------------------------------
+    def root_span(self, at_ms: float | None = None,
+                  kind: str = "") -> Optional[SpanContext]:
+        """Open a new causal episode; returns its root span context.
+
+        When ``at_ms`` is given, a ``span`` record marking the episode
+        (with ``detail=kind``) is appended to the stream.  Returns None
+        — and records nothing — when span capture is disabled, so call
+        sites stay digest-transparent without their own guards.
+        """
+        if not self.spans:
+            return None
+        context = SpanContext(next(self._trace_ids), next(self._span_ids))
+        if at_ms is not None:
+            self.record(at_ms, KIND_SPAN, detail=kind, span=context)
+        return context
+
+    def child_span(self, parent: Optional[SpanContext]
+                   ) -> Optional[SpanContext]:
+        """A fresh span under ``parent`` (a fresh root when parent is
+        None); None when span capture is disabled."""
+        if not self.spans:
+            return None
+        if parent is None:
+            return SpanContext(next(self._trace_ids),
+                               next(self._span_ids))
+        return SpanContext(parent.trace_id, next(self._span_ids),
+                           parent.span_id)
 
     # ------------------------------------------------------------------
     def record(self, at_ms: float, kind: str, seq: int = -1,
-               a: int = -1, b: int = -1, detail: str = "") -> None:
+               a: int = -1, b: int = -1, detail: str = "",
+               span: Optional[SpanContext] = None) -> None:
         """Append one record and fold it into the running digest."""
-        rec = TraceRecord(at_ms, kind, seq, a, b, detail)
+        if span is None:
+            rec = TraceRecord(at_ms, kind, seq, a, b, detail)
+        else:
+            rec = TraceRecord(at_ms, kind, seq, a, b, detail,
+                              span.trace_id, span.span_id,
+                              span.parent_id)
+        if len(self._buffer) == self.capacity:
+            self._dropped += 1
+            if self._c_dropped is not None:
+                self._c_dropped.inc()
         self._buffer.append(rec)
         self._digest.update(rec.canonical().encode("utf-8"))
         self._total += 1
@@ -99,6 +220,12 @@ class Tracer:
     def total_records(self) -> int:
         """Records ever emitted (buffered + fallen off the ring)."""
         return self._total
+
+    @property
+    def dropped_records(self) -> int:
+        """Records that fell off the ring buffer (silently truncated
+        from :meth:`records`/:meth:`to_jsonl`, still in the digest)."""
+        return self._dropped
 
     def __len__(self) -> int:
         """Records currently held in the ring buffer."""
@@ -121,22 +248,90 @@ class Tracer:
         """
         return self._digest.copy().hexdigest()
 
-    def to_jsonl(self) -> str:
-        """The buffered window as JSON lines."""
-        return "".join(rec.to_json() + "\n" for rec in self._buffer)
+    def export_meta(self) -> dict[str, object]:
+        """Stream accounting for exports and reports.
 
-    def export_jsonl(self, path: str | Path) -> Path:
+        Carries the drop count so consumers of the buffered window know
+        whether (and how much) the ring truncated the full stream.
+        """
+        return {
+            "total_records": self._total,
+            "buffered_records": len(self._buffer),
+            "dropped_records": self._dropped,
+            "capacity": self.capacity,
+            "spans": self.spans,
+            "trace_digest": self.trace_digest(),
+        }
+
+    def to_jsonl(self, include_meta: bool = False) -> str:
+        """The buffered window as JSON lines.
+
+        ``include_meta=True`` prepends one ``{"meta": ...}`` line with
+        the stream accounting (total/buffered/dropped/digest), so a
+        truncated export is detectable from the file alone.
+        """
+        lines = "".join(rec.to_json() + "\n" for rec in self._buffer)
+        if not include_meta:
+            return lines
+        meta = json.dumps({"meta": self.export_meta()},
+                          sort_keys=True, separators=(",", ":"))
+        return meta + "\n" + lines
+
+    def export_jsonl(self, path: str | Path,
+                     include_meta: bool = False) -> Path:
         """Write the buffered window to ``path`` as JSON lines."""
         target = Path(path)
-        target.write_text(self.to_jsonl(), encoding="utf-8")
+        target.write_text(self.to_jsonl(include_meta=include_meta),
+                          encoding="utf-8")
         return target
 
     def clear(self) -> None:
-        """Drop the buffer and restart the digest and total count."""
+        """Drop the buffer and restart the digest, counts and span ids."""
         self._buffer.clear()
         self._digest = hashlib.sha256()
         self._total = 0
+        self._dropped = 0
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Tracer({len(self._buffer)}/{self.capacity} buffered, "
-                f"{self._total} total)")
+                f"{self._total} total, {self._dropped} dropped)")
+
+
+#: Process-wide fallback tracer for the procedural protocol paths.
+#: None (no capture at all) unless :func:`enable_tracing` installs one.
+_default_tracer: Optional[Tracer] = None
+
+
+def get_default_tracer() -> Optional[Tracer]:
+    """The process-wide fallback tracer (None unless installed)."""
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the fallback; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def enable_tracing(capacity: int = 262144, spans: bool = True,
+                   registry=None) -> Tracer:
+    """Install and return a fresh span-capturing fallback tracer.
+
+    The procedural protocol paths (advertisement propagation, member
+    subscription, ripple search, tree repair) emit span records into the
+    default tracer when one is installed — this is how
+    ``groupcast-experiments --report`` captures causal trees from the
+    fast procedural sweeps that never touch a :class:`MessageNetwork`.
+    """
+    tracer = Tracer(capacity=capacity, spans=spans, registry=registry)
+    set_default_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Remove the fallback tracer (procedural paths stop recording)."""
+    set_default_tracer(None)

@@ -18,6 +18,12 @@ from dataclasses import dataclass, field
 from ..config import OverlayConfig
 from ..errors import OverlayError
 from ..obs.registry import Registry
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    Tracer,
+    get_default_tracer,
+)
 from ..sim.engine import Simulator
 from ..sim.random import RandomSource
 from .bootstrap import UtilityBootstrap
@@ -49,6 +55,7 @@ class MaintenanceDaemon:
         config: OverlayConfig | None = None,
         stats: MessageStats | None = None,
         registry: Registry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.simulator = simulator
         self.overlay = overlay
@@ -58,6 +65,7 @@ class MaintenanceDaemon:
         self.config = config or OverlayConfig()
         self.stats = stats or MessageStats()
         self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
         self._states: dict[int, _PeerState] = {}
         self.detected_failures: list[tuple[float, int, int]] = []
         self.repairs: list[tuple[float, int, int]] = []
@@ -143,14 +151,34 @@ class MaintenanceDaemon:
             return
         if peer_id not in self.overlay:
             return
+        tracer = (self.tracer if self.tracer is not None
+                  else get_default_tracer())
+        tracing = tracer is not None and tracer.spans
+        now = self.simulator.now
+        # One span tree per round: a probe span per neighbor, closed by
+        # the reply when the neighbor is alive and left open (unreplied)
+        # when the heartbeat went unanswered.
+        root = (tracer.root_span(at_ms=now, kind="heartbeat")
+                if tracing else None)
         threshold = self.config.missed_heartbeats_for_failure
         for neighbor in self.overlay.neighbors(peer_id):
             self.stats.record(MessageKind.HEARTBEAT)
             self._c_heartbeats.inc()
+            probe = None
+            if tracing:
+                probe = tracer.child_span(root)
+                tracer.record(now, KIND_SEND, a=peer_id, b=neighbor,
+                              detail=MessageKind.HEARTBEAT.value,
+                              span=probe)
             neighbor_state = self._states.get(neighbor)
             if neighbor_state is not None and neighbor_state.alive:
                 self.stats.record(MessageKind.HEARTBEAT_REPLY)
                 self._c_replies.inc()
+                if tracing:
+                    tracer.record(now, KIND_DELIVER, a=neighbor,
+                                  b=peer_id,
+                                  detail=MessageKind.HEARTBEAT_REPLY.value,
+                                  span=probe)
                 state.missed.pop(neighbor, None)
                 continue
             missed = state.missed.get(neighbor, 0) + 1

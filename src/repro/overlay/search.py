@@ -17,6 +17,14 @@ from typing import Callable, Collection, Optional
 
 from ..errors import OverlayError
 from ..obs.registry import Registry, get_default_registry
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    SpanContext,
+    Tracer,
+    get_default_tracer,
+)
+from ..overlay.messages import MessageKind
 from ..sim.random import RandomSource
 from .graph import OverlayNetwork
 
@@ -35,6 +43,10 @@ class SearchHit:
     route: tuple[int, ...]  # origin ... node-before-target
     latency_ms: float       # one-way, along the discovered route
     depth: int              # overlay hops to the target
+    #: Span of the probe that reached the target (None unless the
+    #: search ran under span tracing); callers parent follow-up
+    #: messages (e.g. a SEARCH_RESPONSE) on it to keep the chain causal.
+    span: Optional[SpanContext] = None
 
 
 @dataclass(frozen=True)
@@ -58,6 +70,8 @@ def ripple_search(
     latency_fn: LatencyFn | None = None,
     exclude: Collection[int] = (),
     registry: Registry | None = None,
+    tracer: Tracer | None = None,
+    parent_span: SpanContext | None = None,
 ) -> SearchResult:
     """TTL-scoped flood from ``origin``.
 
@@ -66,42 +80,60 @@ def ripple_search(
     with the lowest accumulated latency wins (ties by latency only exist
     when ``latency_fn`` is given; otherwise the first found wins).
     ``exclude`` nodes are never returned nor traversed.
+
+    Under span tracing every edge crossing records as a child span of
+    the probe that reached its sender (the origin's probes parent on
+    ``parent_span``), so the flood reconstructs as a tree of rings; the
+    winning hit carries its probe span (:attr:`SearchHit.span`).
     """
     if origin not in overlay:
         raise OverlayError(f"origin {origin} is not in the overlay")
     registry = registry if registry is not None else get_default_registry()
+    tracer = tracer if tracer is not None else get_default_tracer()
+    tracing = tracer is not None and tracer.spans
+    detail = MessageKind.SUBSCRIPTION_SEARCH.value
     cost = latency_fn if latency_fn is not None else (lambda a, b: 1.0)
     excluded = set(exclude)
     messages = 0
     visited = {origin} | excluded
-    # (node, route from origin to node inclusive, accumulated latency)
-    frontier: list[tuple[int, tuple[int, ...], float]] = [
-        (origin, (origin,), 0.0)]
+    # (node, route from origin to node inclusive, accumulated latency,
+    #  span of the probe that reached the node)
+    frontier: list[tuple[int, tuple[int, ...], float, object]] = [
+        (origin, (origin,), 0.0, parent_span)]
     registry.counter("search.ripple.searches").inc()
     c_messages = registry.counter("search.ripple.messages")
     for depth in range(1, ttl + 1):
-        next_frontier: list[tuple[int, tuple[int, ...], float]] = []
-        hits: list[tuple[float, int, tuple[int, ...]]] = []
-        for node, route, elapsed in frontier:
+        next_frontier: list[tuple[int, tuple[int, ...], float, object]] = []
+        hits: list[tuple[float, int, int, tuple[int, ...], object]] = []
+        for node, route, elapsed, node_span in frontier:
             for neighbor in overlay.neighbors(node):
                 if neighbor in visited:
                     continue
                 visited.add(neighbor)
                 messages += 1
                 arrival = elapsed + cost(node, neighbor)
+                span = None
+                if tracing:
+                    span = tracer.child_span(node_span)
+                    tracer.record(elapsed, KIND_SEND, a=node, b=neighbor,
+                                  detail=detail, span=span)
+                    tracer.record(arrival, KIND_DELIVER, a=node,
+                                  b=neighbor, detail=detail, span=span)
                 if predicate(neighbor):
-                    hits.append((arrival, neighbor, route))
+                    hits.append((arrival, neighbor, messages, route, span))
                 else:
                     next_frontier.append(
-                        (neighbor, route + (neighbor,), arrival))
+                        (neighbor, route + (neighbor,), arrival, span))
         if hits:
-            hits.sort()
-            latency, target, route = hits[0]
+            # messages (strictly increasing at append time) settles every
+            # comparison before the (non-orderable) span element.
+            hits.sort(key=lambda h: h[:3])
+            latency, target, _, route, span = hits[0]
             c_messages.inc(messages)
             registry.counter("search.ripple.hits").inc()
             return SearchResult(
                 hit=SearchHit(target=target, route=route,
-                              latency_ms=latency, depth=depth),
+                              latency_ms=latency, depth=depth, span=span),
                 messages=messages)
         frontier = next_frontier
         if not frontier:

@@ -53,14 +53,22 @@ class Simulator:
     [5.0]
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "_events_processed", "tracer")
+    __slots__ = ("_now", "_heap", "_sequence", "_events_processed",
+                 "tracer", "profiler")
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 profiler=None) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._sequence = itertools.count()
         self._events_processed = 0
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.profiler.Profiler`.  The run loop
+        #: calls ``profiler.on_advance(time)`` before firing each event
+        #: (never scheduling events of its own — a scheduled sampler
+        #: would consume sequence numbers and break ``trace_digest``
+        #: bit-transparency) and times dispatch wall-clock.
+        self.profiler = profiler
 
     @property
     def now(self) -> float:
@@ -140,6 +148,9 @@ class Simulator:
             event = self._heap[0]
             if until is not None and event.time > until:
                 self._now = until
+                profiler = self.profiler
+                if profiler is not None:
+                    profiler.on_advance(until)
                 return
             heapq.heappop(self._heap)
             if event.cancelled:
@@ -149,7 +160,13 @@ class Simulator:
             self._now = event.time
             if self.tracer is not None:
                 self.tracer.record(event.time, KIND_FIRE, seq=event.sequence)
-            event.action()
+            profiler = self.profiler
+            if profiler is not None:
+                profiler.on_advance(event.time)
+                with profiler.phase("engine.dispatch"):
+                    event.action()
+            else:
+                event.action()
             self._events_processed += 1
             processed += 1
             if max_events is not None and processed >= max_events:
@@ -168,7 +185,13 @@ class Simulator:
             self._now = event.time
             if self.tracer is not None:
                 self.tracer.record(event.time, KIND_FIRE, seq=event.sequence)
-            event.action()
+            profiler = self.profiler
+            if profiler is not None:
+                profiler.on_advance(event.time)
+                with profiler.phase("engine.dispatch"):
+                    event.action()
+            else:
+                event.action()
             self._events_processed += 1
             return True
         return False

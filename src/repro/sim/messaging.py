@@ -12,8 +12,9 @@ the test suite cross-validates it against the procedural fast path.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from ..errors import SimulationError
 from ..obs.registry import Counter, Registry
@@ -22,6 +23,7 @@ from ..obs.tracer import (
     KIND_DELIVER,
     KIND_LOST,
     KIND_SEND,
+    SpanContext,
     Tracer,
 )
 from ..overlay.messages import MessageKind, MessageStats
@@ -42,6 +44,8 @@ class Envelope:
     sent_at_ms: float
     delivered_at_ms: float
     kind: MessageKind | None = None
+    #: Causal span of this message (None unless span tracing is on).
+    span: SpanContext | None = None
 
     @property
     def transit_ms(self) -> float:
@@ -74,6 +78,12 @@ class MessageNetwork:
         #: Optional :class:`~repro.faults.injector.FaultInjector`; when
         #: set, every post-loss send is routed through its ``on_send``.
         self.fault_injector = None
+        #: Ambient causal parent: set while a handler runs (to the span
+        #: of the message being delivered) or inside a
+        #: :meth:`span_scope` block; ``send`` parents new message spans
+        #: on it, chaining causality across peers without threading span
+        #: arguments through every protocol handler.
+        self.current_span: Optional[SpanContext] = None
         self._handlers: dict[int, Callable[[Envelope], None]] = {}
         self._pending = 0
         self._c_sent = self.registry.counter("net.sent")
@@ -159,6 +169,22 @@ class MessageNetwork:
         return counter
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def span_scope(self, span: Optional[SpanContext]) -> Iterator[None]:
+        """Run a block with ``span`` as the ambient causal parent.
+
+        Session entry points open an episode root span and wrap their
+        initial sends in this scope; the messages (and everything they
+        transitively cause) then attach under that root.  A no-op when
+        ``span`` is None, so call sites need no tracing guards.
+        """
+        previous = self.current_span
+        self.current_span = span
+        try:
+            yield
+        finally:
+            self.current_span = previous
+
     def register(self, peer_id: int,
                  handler: Callable[[Envelope], None]) -> None:
         """Attach a peer's message handler (replaces any previous one)."""
@@ -193,16 +219,20 @@ class MessageNetwork:
             self.stats.record(kind)
             self._kind_counter(kind).inc()
             detail = kind.value
+        span = None
         if self.tracer is not None:
+            span = self.tracer.child_span(self.current_span)
             self.tracer.record(self.simulator.now, KIND_SEND,
-                               a=sender, b=recipient, detail=detail)
+                               a=sender, b=recipient, detail=detail,
+                               span=span)
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self._c_lost.inc()
             if kind is not None:
                 self._loss_kind_counter(kind).inc()
             if self.tracer is not None:
                 self.tracer.record(self.simulator.now, KIND_LOST,
-                                   a=sender, b=recipient, detail=detail)
+                                   a=sender, b=recipient, detail=detail,
+                                   span=span)
             return
         latency = self.latency_fn(sender, recipient)
         if latency < 0.0:
@@ -210,15 +240,18 @@ class MessageNetwork:
         injector = self.fault_injector
         if injector is not None:
             faulted = injector.on_send(
-                self, sender, recipient, payload, kind, latency)
+                self, sender, recipient, payload, kind, latency,
+                span=span)
             if faulted is None:
                 return  # dropped by the fault plan (counted there)
             latency = faulted
-        self.schedule_delivery(sender, recipient, payload, kind, latency)
+        self.schedule_delivery(sender, recipient, payload, kind, latency,
+                               span=span)
 
     def schedule_delivery(self, sender: int, recipient: int,
                           payload: object, kind: MessageKind | None,
-                          latency_ms: float) -> None:
+                          latency_ms: float,
+                          span: SpanContext | None = None) -> None:
         """Schedule one delivery after ``latency_ms`` (injector entry
         point for duplicates; does not touch the send-side counters)."""
         sent_at = self.simulator.now
@@ -229,6 +262,7 @@ class MessageNetwork:
             sent_at_ms=sent_at,
             delivered_at_ms=sent_at + latency_ms,
             kind=kind,
+            span=span,
         )
         self._pending += 1
         self.simulator.schedule(latency_ms, lambda: self._deliver(envelope))
@@ -250,10 +284,18 @@ class MessageNetwork:
             if self.tracer is not None:
                 self.tracer.record(envelope.delivered_at_ms, KIND_DEAD_LETTER,
                                    a=envelope.sender, b=envelope.recipient,
-                                   detail=detail)
+                                   detail=detail, span=envelope.span)
             return
         self._c_delivered.inc()
         if self.tracer is not None:
             self.tracer.record(envelope.delivered_at_ms, KIND_DELIVER,
-                               a=envelope.sender, b=envelope.recipient)
-        handler(envelope)
+                               a=envelope.sender, b=envelope.recipient,
+                               span=envelope.span)
+        # The handler runs with the delivered message's span as the
+        # ambient parent, so any sends it performs chain causally.
+        previous = self.current_span
+        self.current_span = envelope.span
+        try:
+            handler(envelope)
+        finally:
+            self.current_span = previous

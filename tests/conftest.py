@@ -24,20 +24,32 @@ SMALL_CONFIG = GroupCastConfig(underlay=SMALL_UNDERLAY, seed=42)
 
 
 @pytest.fixture(autouse=True)
-def _isolate_default_registry():
-    """Order-independence guard for the process-wide telemetry registry.
+def _isolate_default_observability():
+    """Order-independence guard for the process-wide observability state.
 
-    Tests that call ``enable_telemetry``/``set_default_registry`` (or
-    run the experiment CLI with ``--telemetry``) would otherwise leak an
-    enabled registry into whichever test happens to run next, making
-    results depend on test order.  Snapshot the default before each test
-    and restore it afterwards, no matter how the test exits.
+    Tests that call ``enable_telemetry``/``enable_tracing``/
+    ``enable_profiling`` (or run the experiment CLI with ``--telemetry``
+    / ``--report``) would otherwise leak an enabled registry, tracer or
+    profiler into whichever test happens to run next, making results
+    depend on test order.  Snapshot the defaults before each test and
+    restore them afterwards, no matter how the test exits.
     """
-    from repro.obs import get_default_registry, set_default_registry
+    from repro.obs import (
+        get_default_profiler,
+        get_default_registry,
+        get_default_tracer,
+        set_default_profiler,
+        set_default_registry,
+        set_default_tracer,
+    )
 
-    before = get_default_registry()
+    registry = get_default_registry()
+    tracer = get_default_tracer()
+    profiler = get_default_profiler()
     yield
-    set_default_registry(before)
+    set_default_registry(registry)
+    set_default_tracer(tracer)
+    set_default_profiler(profiler)
 
 
 @pytest.fixture(scope="session")

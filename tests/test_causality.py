@@ -1,0 +1,226 @@
+"""Tests for span-tree reconstruction and causal analysis.
+
+Two layers: hand-built record streams pin the reconstruction semantics
+(roots, closers, critical path, orphan promotion), and a full traced
+session run asserts the protocol-wide guarantees — every sent message
+carries a valid span whose parent resolves, and every reconstructed
+episode is a rooted acyclic tree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.errors import TelemetryError
+from repro.deployment import build_deployment
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.session import GroupSession
+from repro.groupcast.subscription import subscribe_members
+from repro.obs import (
+    KIND_DELIVER,
+    KIND_LOST,
+    KIND_SEND,
+    SpanForest,
+    Tracer,
+)
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+from .conftest import SMALL_CONFIG
+
+
+def _episode_tracer() -> Tracer:
+    """One hand-built advertisement episode: 1 → 2 → {3 (ok), 4 (lost)}."""
+    tracer = Tracer(capacity=1024, spans=True)
+    root = tracer.root_span(at_ms=0.0, kind="advertisement")
+    first = tracer.child_span(root)
+    tracer.record(0.0, KIND_SEND, a=1, b=2, detail="advertisement",
+                  span=first)
+    tracer.record(10.0, KIND_DELIVER, a=1, b=2, detail="advertisement",
+                  span=first)
+    deep = tracer.child_span(first)
+    tracer.record(10.0, KIND_SEND, a=2, b=3, detail="advertisement",
+                  span=deep)
+    tracer.record(25.0, KIND_DELIVER, a=2, b=3, detail="advertisement",
+                  span=deep)
+    lost = tracer.child_span(first)
+    tracer.record(10.0, KIND_SEND, a=2, b=4, detail="advertisement",
+                  span=lost)
+    tracer.record(14.0, KIND_LOST, a=2, b=4, detail="advertisement",
+                  span=lost)
+    return tracer
+
+
+class TestSpanTree:
+    def test_reconstruction_shape(self):
+        forest = SpanForest.from_tracer(_episode_tracer())
+        assert len(forest) == 1
+        tree = forest.trees("advertisement")[0]
+        tree.validate()
+        stats = tree.stats()
+        assert stats.span_count == 4          # root + 3 messages
+        assert stats.message_count == 3
+        assert stats.depth == 2
+        assert stats.max_fan_out == 2
+        statuses = sorted(s.status for s in tree.message_spans())
+        assert statuses == ["delivered", "delivered", "lost"]
+
+    def test_critical_path_follows_latest_finish(self):
+        tree = SpanForest.from_tracer(_episode_tracer()).trees()[0]
+        path = tree.critical_path()
+        # root → (1→2) → (2→3), the chain ending at t=25.
+        assert [(s.a, s.b) for s in path[1:]] == [(1, 2), (2, 3)]
+        assert tree.critical_path_latency_ms() == pytest.approx(25.0)
+        assert tree.stats().critical_path_hops == 2
+
+    def test_cost_by_kind_counts_only_delivered_latency(self):
+        tree = SpanForest.from_tracer(_episode_tracer()).trees()[0]
+        cost = tree.cost_by_kind()["advertisement"]
+        assert cost["messages"] == 3
+        assert cost["delivered"] == 2
+        assert cost["total_latency_ms"] == pytest.approx(25.0)
+        assert cost["mean_latency_ms"] == pytest.approx(12.5)
+
+    def test_child_before_parent_rejected(self):
+        tracer = Tracer(spans=True)
+        root = tracer.root_span(at_ms=10.0, kind="advertisement")
+        early = tracer.child_span(root)
+        tracer.record(5.0, KIND_SEND, a=1, b=2, detail="advertisement",
+                      span=early)
+        forest = SpanForest.from_tracer(tracer)
+        with pytest.raises(TelemetryError):
+            forest.validate()
+
+    def test_orphan_subtree_promoted_to_partial_root(self):
+        tracer = Tracer(spans=True)
+        root = tracer.root_span(at_ms=0.0, kind="subscription")
+        attached = tracer.child_span(root)
+        tracer.record(0.0, KIND_SEND, a=1, b=2, detail="subscription",
+                      span=attached)
+        # A child whose parent never reached the stream (ring overflow):
+        # it must surface as its own partial tree, not vanish.
+        ghost_parent = tracer.child_span(root)
+        orphan = tracer.child_span(ghost_parent)
+        tracer.record(3.0, KIND_SEND, a=5, b=6, detail="subscription",
+                      span=orphan)
+        forest = SpanForest.from_records(
+            [r for r in tracer.records()
+             if r.span_id != ghost_parent.span_id])
+        assert len(forest) == 2
+        roots = sorted((t.root.a, t.root.b) for t in forest)
+        assert roots == [(-1, -1), (5, 6)]
+
+    def test_closer_without_opener_synthesizes_stub(self):
+        tracer = Tracer(spans=True)
+        root = tracer.root_span(at_ms=0.0, kind="dissemination")
+        span = tracer.child_span(root)
+        tracer.record(9.0, KIND_DELIVER, a=1, b=2, detail="payload",
+                      span=span)
+        tree = SpanForest.from_tracer(tracer).trees()[0]
+        stub = tree.span(span.span_id)
+        assert stub.status == "delivered"
+        assert stub.latency_ms == 0.0
+
+    def test_jsonl_roundtrip_preserves_forest(self, tmp_path):
+        tracer = _episode_tracer()
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl",
+                                   include_meta=True)
+        direct = SpanForest.from_tracer(tracer)
+        parsed = SpanForest.from_jsonl(path)
+        assert len(parsed) == len(direct) == 1
+        assert parsed.trees()[0].stats() == direct.trees()[0].stats()
+
+
+# ----------------------------------------------------------------------
+# Protocol-wide guarantees on a real traced run
+# ----------------------------------------------------------------------
+def _traced_session(seed: int = 5):
+    rng = np.random.default_rng(seed)
+    overlay = OverlayNetwork()
+    n = 36
+    for i in range(n):
+        overlay.add_peer(PeerInfo(i, 10.0, rng.uniform(0, 100, size=2)))
+    for i in range(1, n):
+        overlay.add_link(i, int(rng.integers(0, i)))
+    for _ in range(2 * n):
+        a, b = rng.integers(0, n, size=2)
+        if a != b and not overlay.has_link(int(a), int(b)):
+            overlay.add_link(int(a), int(b))
+
+    def latency(a, b):
+        return max(
+            overlay.peer(a).coordinate_distance(overlay.peer(b)), 0.01)
+
+    tracer = Tracer(spans=True)
+    session = GroupSession(overlay, latency, spawn_rng(seed, "causality"),
+                           tracer=tracer)
+    session.establish(1, rendezvous=0, members=list(range(1, 16)),
+                      scheme="ssa")
+    session.publish(1, source=0)
+    return tracer, session
+
+
+@pytest.mark.telemetry
+class TestSessionCausality:
+    def test_every_sent_message_carries_a_parented_span(self):
+        tracer, _ = _traced_session()
+        sends = [r for r in tracer.records() if r.kind == KIND_SEND]
+        assert sends
+        assert {r.detail for r in sends} >= {"advertisement", "payload"}
+        span_ids = {r.span_id for r in tracer.records() if r.span_id >= 0}
+        for rec in sends:
+            assert rec.span_id >= 0, f"unspanned send {rec}"
+            assert rec.parent_id >= 0, f"rootless send {rec}"
+            assert rec.parent_id in span_ids, f"dangling parent {rec}"
+
+    def test_forest_is_rooted_acyclic_and_covers_the_protocol(self):
+        tracer, _ = _traced_session()
+        forest = SpanForest.from_tracer(tracer)
+        forest.validate()  # single root, acyclic, parent-ordered
+        kinds = {tree.kind for tree in forest}
+        assert {"advertisement", "subscription",
+                "dissemination"} <= kinds
+        for tree in forest:
+            stats = tree.stats()
+            assert stats.critical_path_ms >= 0.0
+            assert stats.finish_ms >= stats.start_ms
+
+    def test_span_capture_is_deterministic(self):
+        first, _ = _traced_session(seed=9)
+        second, _ = _traced_session(seed=9)
+        assert first.trace_digest() == second.trace_digest()
+        assert [r for r in first.records()] == \
+            [r for r in second.records()]
+
+
+@pytest.mark.telemetry
+class TestProceduralCausality:
+    """The fast procedural paths emit the same span shapes."""
+
+    def test_procedural_advertisement_and_subscription_trees(self):
+        deployment = build_deployment(120, kind="groupcast",
+                                      config=SMALL_CONFIG)
+        rng = spawn_rng(3, "proc-causality")
+        tracer = Tracer(spans=True)
+        advertisement = propagate_advertisement(
+            deployment.overlay, deployment.peer_ids()[0], 0, "ssa",
+            deployment.peer_distance_ms, rng,
+            deployment.config.announcement, deployment.config.utility,
+            tracer=tracer)
+        members = deployment.peer_ids()[1:9]
+        subscribe_members(
+            deployment.overlay, advertisement, list(members),
+            deployment.peer_distance_ms,
+            AnnouncementConfig(subscription_search_ttl=3),
+            tracer=tracer)
+        forest = SpanForest.from_tracer(tracer)
+        forest.validate()
+        ads = forest.trees("advertisement")
+        subs = forest.trees("subscription")
+        assert len(ads) == 1
+        assert ads[0].stats().message_count > 0
+        assert subs  # one episode per member walk
+        for tree in subs:
+            # Reverse-path grafts chain hop by hop: depth == hops.
+            assert tree.stats().depth >= 1

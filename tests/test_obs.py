@@ -176,6 +176,92 @@ class TestTracer:
             Tracer(capacity=0)
 
 
+class TestSpanTransparency:
+    """Span capture must be bit-transparent unless explicitly enabled."""
+
+    def test_canonical_format_pinned(self):
+        # The span-less encoding is the historical digest unit: any
+        # change here silently invalidates every committed digest.
+        plain = TraceRecord(1.0, "send", a=1, b=2, detail="payload")
+        assert plain.canonical() == "1.0|send|-1|1|2|payload"
+        spanned = TraceRecord(1.0, "send", a=1, b=2, detail="payload",
+                              trace_id=3, span_id=4, parent_id=2)
+        assert spanned.canonical() == "1.0|send|-1|1|2|payload|3|4|2"
+        assert "span_id" not in json.loads(plain.to_json())
+        assert json.loads(spanned.to_json())["span_id"] == 4
+
+    def test_span_helpers_inert_when_disabled(self):
+        tracer = Tracer()  # spans off by default
+        assert tracer.root_span(at_ms=0.0, kind="advertisement") is None
+        assert tracer.child_span(None) is None
+        assert tracer.total_records == 0  # nothing hit the stream
+
+    def test_span_capture_changes_digest_only_when_enabled(self):
+        plain, spanned = Tracer(), Tracer(spans=True)
+        plain.record(1.0, "send", a=1, b=2)
+        spanned.record(1.0, "send", a=1, b=2,
+                       span=spanned.root_span())
+        assert plain.trace_digest() != spanned.trace_digest()
+
+    def test_ring_drops_counted_and_exported(self):
+        registry = Registry()
+        tracer = Tracer(capacity=2, registry=registry)
+        for i in range(5):
+            tracer.record(float(i), "fire")
+        assert tracer.dropped_records == 3
+        assert registry.counter("obs.trace.dropped").value == 3
+        assert tracer.export_meta()["dropped_records"] == 3
+        meta = json.loads(
+            tracer.to_jsonl(include_meta=True).splitlines()[0])
+        assert meta["meta"]["dropped_records"] == 3
+
+
+#: Per-policy adversarial digests pinned before span tracing existed
+#: (same code path as ``resilience.run_adversarial(seed=7)`` at the
+#: previous release).  The observability layer — tracing, profiling,
+#: telemetry, enabled or not — must never move them.
+PRE_SPAN_ADVERSARIAL_DIGESTS = {
+    "none":
+        "71116d1fc58befe0eacf0ca3f9f9aafb9de7548067690fae7e9fb5961249be0b",
+    "repair":
+        "afe65f658e899a573858e1a1562e383434d754d57b174bf169ae4e3c0c86b84b",
+    "replication":
+        "8c7dfa15043c52ef1bd2896455dd5646a79801283716978d49751dd29ba97f89",
+}
+
+
+@pytest.mark.telemetry
+@pytest.mark.slow
+class TestAdversarialDigestTransparency:
+    def _digests(self):
+        from repro.experiments import resilience
+
+        result = resilience.run_adversarial(seed=7)
+        return {row[0]: row[-1] for row in result.rows}
+
+    def test_defaults_off_reproduce_pre_span_digests(self):
+        assert self._digests() == PRE_SPAN_ADVERSARIAL_DIGESTS
+
+    def test_enabled_observability_is_bit_transparent(self):
+        from repro.obs import (
+            disable_profiling,
+            disable_tracing,
+            enable_profiling,
+            enable_tracing,
+        )
+
+        registry = enable_telemetry()
+        enable_tracing(registry=registry)
+        enable_profiling(registry)
+        try:
+            digests = self._digests()
+        finally:
+            disable_tracing()
+            disable_profiling()
+            disable_telemetry()
+        assert digests == PRE_SPAN_ADVERSARIAL_DIGESTS
+
+
 class TestEngineHooks:
     def test_schedule_and_fire_are_traced(self):
         tracer = Tracer()

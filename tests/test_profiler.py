@@ -1,0 +1,170 @@
+"""Tests for virtual-time metric sampling and wall-clock phase timing."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import (
+    Profiler,
+    Registry,
+    Tracer,
+    disable_profiling,
+    enable_profiling,
+    get_default_profiler,
+    histogram_quantile,
+    phase_timer,
+)
+from repro.obs.profiler import _NOOP_TIMER
+from repro.overlay.messages import MessageKind
+from repro.sim.engine import Simulator
+from repro.sim.messaging import MessageNetwork
+from repro.sim.random import spawn_rng
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile((1.0, 10.0), (0, 0, 0), 0.5) == 0.0
+
+    def test_linear_interpolation_inside_bucket(self):
+        # 4 samples in (0, 10]: the median rank (2 of 4) sits at the
+        # bucket midpoint under linear interpolation.
+        assert histogram_quantile((10.0, 20.0), (4, 0, 0),
+                                  0.5) == pytest.approx(5.0)
+
+    def test_overflow_clamps_to_last_edge(self):
+        assert histogram_quantile((1.0, 10.0), (0, 0, 5), 0.99) == 10.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(TelemetryError):
+            histogram_quantile((1.0,), (1, 0), 1.5)
+
+
+class TestProfilerSampling:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(TelemetryError):
+            Profiler(Registry(), interval_ms=0.0)
+
+    def test_samples_on_cadence_boundaries_pre_event(self):
+        registry = Registry()
+        counter = registry.counter("events")
+        profiler = Profiler(registry, interval_ms=100.0)
+        simulator = Simulator(profiler=profiler)
+        simulator.schedule_at(50.0, counter.inc)
+        simulator.schedule_at(250.0, counter.inc)
+        simulator.run()
+        profiler.finish(simulator.now)
+        series = profiler.series("events")
+        # Boundary samples see pre-event state: t=0 before the t=50
+        # event, t=200 after it, plus the closing sample at t=250.
+        assert [(at, v) for at, v in series.points] == [
+            (0.0, 0), (200.0, 1), (250.0, 2)]
+
+    def test_quiet_boundaries_are_skipped(self):
+        registry = Registry()
+        profiler = Profiler(registry, interval_ms=10.0)
+        simulator = Simulator(profiler=profiler)
+        simulator.schedule_at(5.0, lambda: None)
+        simulator.schedule_at(95.0, lambda: None)
+        simulator.run()
+        series = profiler.series("obs") if registry.names() else None
+        assert series is None  # empty registry yields no series
+        # Two events → at most two boundary samples, not ten.
+        registry.counter("c")
+        profiler2 = Profiler(registry, interval_ms=10.0)
+        sim2 = Simulator(profiler=profiler2)
+        sim2.schedule_at(5.0, lambda: None)
+        sim2.schedule_at(95.0, lambda: None)
+        sim2.run()
+        assert [at for at, _ in profiler2.series("c").points] == [
+            0.0, 90.0]
+
+    def test_typed_series_and_summaries(self):
+        registry = Registry()
+        registry.counter("sent").inc(3)
+        registry.gauge("alive").set(7.0)
+        registry.histogram("lat", bounds=(10.0, 100.0)).observe(5.0)
+        profiler = Profiler(registry, interval_ms=50.0)
+        profiler.sample(0.0)
+        registry.counter("sent").inc(2)
+        registry.gauge("alive").set(4.0)
+        registry.histogram("lat").observe(50.0)
+        profiler.sample(50.0)
+        counter = profiler.series("sent")
+        assert counter.kind == "counter"
+        assert counter.deltas() == [(50.0, 2.0)]
+        assert counter.summary()["total_delta"] == 2.0
+        gauge = profiler.series("alive").summary()
+        assert (gauge["min"], gauge["max"]) == (4.0, 7.0)
+        hist = profiler.series("lat")
+        assert hist.kind == "histogram"
+        assert hist.points[-1].count == 2
+        assert hist.summary()["p99"] > hist.summary()["p50"]
+        assert {p["name"] for p in
+                (s.to_dict() for s in profiler.all_series())} == {
+                    "sent", "alive", "lat"}
+
+    def test_disabled_profiler_never_samples(self):
+        registry = Registry()
+        registry.counter("c").inc()
+        profiler = Profiler(registry, enabled=False)
+        profiler.on_advance(1000.0)
+        profiler.finish(2000.0)
+        assert profiler.all_series() == []
+
+    def test_monotone_sample_guard(self):
+        registry = Registry()
+        registry.counter("c")
+        profiler = Profiler(registry, interval_ms=10.0)
+        profiler.sample(20.0)
+        profiler.sample(20.0)  # duplicate timestamp ignored
+        profiler.sample(10.0)  # regression ignored
+        assert len(profiler.series("c")) == 1
+
+
+class TestDigestTransparency:
+    def _run(self, profiler):
+        tracer = Tracer()
+        simulator = Simulator(tracer=tracer, profiler=profiler)
+        network = MessageNetwork(simulator, lambda a, b: 2.0,
+                                 spawn_rng(0, "n"), tracer=tracer)
+        network.register(2, lambda env: None)
+        for i in range(20):
+            simulator.schedule_at(
+                float(i), lambda: network.send(1, 2, "x",
+                                               MessageKind.PAYLOAD))
+        simulator.run()
+        return tracer.trace_digest()
+
+    def test_attached_profiler_leaves_digest_bit_identical(self):
+        registry = Registry()
+        registry.counter("c").inc()
+        bare = self._run(None)
+        profiled = self._run(Profiler(registry, interval_ms=1.0))
+        assert profiled == bare
+
+
+class TestPhaseTimers:
+    def test_phase_accumulates_calls_and_time(self):
+        profiler = Profiler(Registry())
+        for _ in range(3):
+            with profiler.phase("solve"):
+                pass
+        stats = profiler.phase_stats()["solve"]
+        assert stats["calls"] == 3
+        assert stats["total_s"] >= 0.0
+        assert stats["mean_ms"] >= 0.0
+
+    def test_phase_timer_is_shared_noop_when_disabled(self):
+        disable_profiling()
+        assert phase_timer("anything") is _NOOP_TIMER
+        assert phase_timer("other") is _NOOP_TIMER
+
+    def test_phase_timer_uses_default_profiler(self):
+        profiler = enable_profiling(Registry())
+        try:
+            assert get_default_profiler() is profiler
+            with phase_timer("hot"):
+                pass
+            assert profiler.phase_stats()["hot"]["calls"] == 1
+        finally:
+            disable_profiling()
+        assert get_default_profiler() is None

@@ -1,0 +1,186 @@
+"""Tests for experiment reports and the baseline comparison gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.faults import InvariantSuite
+from repro.groupcast.session import GroupSession
+from repro.obs import Profiler, Registry, Tracer
+from repro.obs.report import build_report, render_markdown, write_report
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+from repro.sim.random import spawn_rng
+
+
+def _load_compare():
+    """Import ``benchmarks/compare.py`` (a script, not a package)."""
+    path = Path(__file__).resolve().parent.parent / "benchmarks" \
+        / "compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _traced_run(seed: int = 5):
+    """A small traced + profiled session run, all pieces attached."""
+    rng = np.random.default_rng(seed)
+    overlay = OverlayNetwork()
+    n = 30
+    for i in range(n):
+        overlay.add_peer(PeerInfo(i, 10.0, rng.uniform(0, 100, size=2)))
+    for i in range(1, n):
+        overlay.add_link(i, int(rng.integers(0, i)))
+
+    def latency(a, b):
+        return max(
+            overlay.peer(a).coordinate_distance(overlay.peer(b)), 0.01)
+
+    registry = Registry()
+    tracer = Tracer(spans=True, registry=registry)
+    profiler = Profiler(registry, interval_ms=100.0)
+    session = GroupSession(overlay, latency, spawn_rng(seed, "report"),
+                           registry=registry, tracer=tracer)
+    session.simulator.profiler = profiler
+    suite = InvariantSuite(registry)
+    suite.add("always-green", lambda: [])
+    session.establish(1, rendezvous=0, members=list(range(1, 12)),
+                      scheme="ssa")
+    session.publish(1, source=0)
+    suite.run(session.simulator.now)
+    profiler.finish(session.simulator.now)
+    return tracer, registry, profiler, suite
+
+
+@pytest.mark.telemetry
+class TestBuildReport:
+    def test_full_report_sections(self):
+        tracer, registry, profiler, suite = _traced_run()
+        report = build_report("test run", tracer=tracer,
+                              registry=registry, profiler=profiler,
+                              invariant_suite=suite)
+        assert report["title"] == "test run"
+        assert report["trace"]["total_records"] == tracer.total_records
+        assert report["episodes"]["count"] > 0
+        top = report["episodes"]["top_by_critical_path"]
+        assert top and top[0]["critical_path_ms"] >= \
+            top[-1]["critical_path_ms"]
+        assert "advertisement" in report["episodes"]["cost_by_kind"]
+        assert "advertisement" in \
+            report["episodes"]["cost_by_episode_kind"]
+        assert report["conservation"]["balanced"] is True
+        assert report["series"]  # cadence samples landed
+        assert report["invariants"]["violations"] == 0
+        assert report["invariants"]["checks"] >= 1
+        # JSON-serializable as-is.
+        json.dumps(report)
+
+    def test_sections_are_optional(self):
+        report = build_report("empty")
+        assert set(report) == {"title"}
+        markdown = render_markdown(report)
+        assert markdown.startswith("# empty")
+
+    def test_conservation_absent_without_transport(self):
+        registry = Registry()
+        registry.counter("something.else").inc()
+        report = build_report("no transport", registry=registry)
+        assert report["conservation"] is None
+
+    def test_markdown_renders_all_sections(self):
+        tracer, registry, profiler, suite = _traced_run()
+        report = build_report("md run", tracer=tracer, registry=registry,
+                              profiler=profiler, invariant_suite=suite)
+        markdown = render_markdown(report)
+        for heading in ("## Trace stream", "## Causal episodes",
+                        "## Message cost by kind",
+                        "## Cost by protocol phase",
+                        "## Transport conservation",
+                        "## Invariant checks",
+                        "## Metric time-series"):
+            assert heading in markdown, heading
+        assert "**0 dropped**" in markdown
+
+    def test_write_report_creates_both_files(self, tmp_path):
+        report = build_report("files")
+        md_path, json_path = write_report(report, tmp_path / "nested")
+        assert md_path.read_text(encoding="utf-8").startswith("# files")
+        assert json.loads(json_path.read_text(encoding="utf-8")) == report
+
+
+class TestCompareGate:
+    def test_iter_metrics_wildcards(self):
+        compare = _load_compare()
+        data = {"metrics": {"a": {"speedup": 2.0, "note": "x"},
+                            "b": {"speedup": 4.0}}}
+        found = dict(compare.iter_metrics(data, "metrics.*.speedup"))
+        assert found == {"metrics.a.speedup": 2.0,
+                         "metrics.b.speedup": 4.0}
+        assert compare.lookup(data, "metrics.b.speedup") == 4.0
+        assert compare.lookup(data, "metrics.c.speedup") is None
+
+    def test_within_band_passes(self):
+        compare = _load_compare()
+        baseline = {"metrics": {"m": {"speedup": 10.0}}}
+        fresh = {"metrics": {"m": {"speedup": 6.0}}}
+        failures = compare.compare(fresh, baseline,
+                                   ["metrics.*.speedup"], min_ratio=0.5)
+        assert failures == []
+
+    def test_regression_fails(self):
+        compare = _load_compare()
+        baseline = {"metrics": {"m": {"speedup": 10.0}}}
+        fresh = {"metrics": {"m": {"speedup": 3.0}}}
+        failures = compare.compare(fresh, baseline,
+                                   ["metrics.*.speedup"], min_ratio=0.5)
+        assert len(failures) == 1
+
+    def test_growth_ceiling_and_missing_metric(self):
+        compare = _load_compare()
+        baseline = {"counters": {"net.sent": 100, "net.lost": 1}}
+        fresh = {"counters": {"net.sent": 150}}
+        failures = compare.compare(fresh, baseline, ["counters.*"],
+                                   max_ratio=1.2)
+        assert len(failures) == 2  # ballooned sent + missing lost
+
+    def test_no_match_fails(self):
+        compare = _load_compare()
+        failures = compare.compare({}, {}, ["metrics.*.speedup"],
+                                   min_ratio=0.5)
+        assert failures
+
+    def test_cli_end_to_end(self, tmp_path, capsys):
+        compare = _load_compare()
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps(
+            {"metrics": {"m": {"speedup": 10.0}}}), encoding="utf-8")
+        fresh.write_text(json.dumps(
+            {"metrics": {"m": {"speedup": 9.0}}}), encoding="utf-8")
+        assert compare.main([str(fresh), str(baseline),
+                             "--min-ratio", "0.5"]) == 0
+        assert compare.main([str(fresh), str(baseline),
+                             "--min-ratio", "0.95"]) == 1
+        capsys.readouterr()
+
+
+@pytest.mark.telemetry
+class TestRunnerReport:
+    def test_report_flag_writes_artifacts(self, tmp_path):
+        from repro.experiments.runner import main
+
+        assert main(["preference", "--report",
+                     "--output", str(tmp_path)]) == 0
+        report_md = (tmp_path / "report.md").read_text(encoding="utf-8")
+        assert report_md.startswith("# GroupCast run report: preference")
+        report = json.loads(
+            (tmp_path / "report.json").read_text(encoding="utf-8"))
+        assert report["trace"]["spans"] is True
+        trace_lines = (tmp_path / "trace.jsonl").read_text(
+            encoding="utf-8").splitlines()
+        assert json.loads(trace_lines[0])["meta"]["total_records"] \
+            == report["trace"]["total_records"]
