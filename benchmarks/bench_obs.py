@@ -1,0 +1,171 @@
+"""Topology-observatory overhead micro-benchmark.
+
+Times one seeded end-to-end ``GroupSession`` workload (establish a
+group, publish payloads, tear nothing down) twice: once bare and once
+with a default :class:`~repro.obs.topology.TopologyRecorder` attached
+at its default 500 ms cadence with the standard watchdog pack.  The
+single reported metric is the wall-clock ``overhead_ratio``
+(enabled / disabled); the observatory's budget is **under 15%** at the
+default cadence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py \
+        --write BENCH_obs.json               # refresh the committed file
+    PYTHONPATH=src python benchmarks/bench_obs.py \
+        --repeat 3 --check BENCH_obs.json    # CI regression gate
+
+``--check`` gates on the *measured* ratio, not a cross-machine time: it
+fails (exit 1) when the fresh overhead exceeds the committed ratio by
+more than the slack factor (default 2x, floored at the 1.15 budget), so
+a noisy CI box cannot fail the gate while a real per-snapshot cost
+regression still does.  The run also asserts digest equality between
+the bare and observed sessions — the benchmark doubles as an end-to-end
+bit-transparency check at scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import AnnouncementConfig  # noqa: E402
+from repro.deployment import build_deployment  # noqa: E402
+from repro.groupcast.session import GroupSession  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Registry,
+    Tracer,
+    default_watchdogs,
+    disable_topology,
+    enable_topology,
+)
+from repro.sim.random import spawn_rng  # noqa: E402
+
+SEED = 7
+
+
+def _one_run(peers: int, members_count: int, publishes: int) -> str:
+    """One full session workload; returns its trace digest."""
+    deployment = build_deployment(peers, kind="groupcast", seed=SEED)
+    tracer = Tracer()
+    session = GroupSession(
+        deployment.overlay, deployment.peer_distance_ms,
+        spawn_rng(SEED, "bench-obs"),
+        announcement=AnnouncementConfig(advertisement_ttl=6,
+                                        subscription_search_ttl=3),
+        registry=Registry(), tracer=tracer)
+    ids = deployment.peer_ids()
+    members = ids[:members_count]
+    session.establish(1, members[0], members)
+    for i in range(publishes):
+        session.publish(1, members[i % len(members)])
+    return tracer.trace_digest()
+
+
+def _time(func, repeat: int) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time and the last return value."""
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(peers: int, members_count: int, publishes: int,
+                  repeat: int) -> dict:
+    """Measure bare vs observed wall time; returns the report dict."""
+    disabled_s, bare_digest = _time(
+        lambda: _one_run(peers, members_count, publishes), repeat)
+
+    def observed():
+        recorder = enable_topology()  # default 500 ms cadence
+        for rule in default_watchdogs(group_ids=(1,)):
+            recorder.add_watchdog(rule)
+        try:
+            digest = _one_run(peers, members_count, publishes)
+        finally:
+            disable_topology()
+        if not recorder.snapshots:
+            raise RuntimeError("recorder captured no snapshots")
+        return digest
+
+    enabled_s, observed_digest = _time(observed, repeat)
+    if observed_digest != bare_digest:
+        raise RuntimeError(
+            "observatory broke digest bit-transparency: "
+            f"{observed_digest} != {bare_digest}")
+    ratio = enabled_s / disabled_s if disabled_s > 0 else float("inf")
+    report = {
+        "peers": peers,
+        "members": members_count,
+        "publishes": publishes,
+        "repeat": repeat,
+        "metrics": {
+            "observatory": {
+                "disabled_s": round(disabled_s, 6),
+                "enabled_s": round(enabled_s, 6),
+                "overhead_ratio": round(ratio, 4),
+            },
+        },
+    }
+    print(f"observatory      bare {disabled_s:9.4f}s   "
+          f"observed {enabled_s:9.4f}s   overhead {ratio:7.3f}x")
+    return report
+
+
+def check_against(report: dict, baseline_path: Path,
+                  slack: float) -> int:
+    """Gate: measured overhead within ``slack``x of the committed ratio
+    (floored at the 1.15 budget, so tightening the baseline never makes
+    the gate impossible on slower machines)."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    committed = baseline["metrics"]["observatory"]["overhead_ratio"]
+    measured = report["metrics"]["observatory"]["overhead_ratio"]
+    ceiling = max(1.15, committed * slack)
+    status = "ok" if measured <= ceiling else "FAIL"
+    print(f"{status:4s} observatory overhead: measured {measured}x, "
+          f"committed {committed}x (ceiling {ceiling:.3f}x)")
+    return 0 if measured <= ceiling else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Topology-observatory overhead benchmark.")
+    parser.add_argument("--peers", type=int, default=150)
+    parser.add_argument("--members", type=int, default=40)
+    parser.add_argument("--publishes", type=int, default=6)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--write", type=Path, default=None, metavar="PATH",
+        help="write the report as JSON (the committed baseline)")
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the report to this path")
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="PATH",
+        help="gate the measured overhead against a committed baseline")
+    parser.add_argument(
+        "--slack", type=float, default=2.0,
+        help="allowed measured/committed overhead factor under --check")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.peers, args.members, args.publishes,
+                           args.repeat)
+    for target in (args.write, args.json):
+        if target is not None:
+            target.write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+            print(f"wrote {target}")
+    if args.check is not None:
+        return check_against(report, args.check, args.slack)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ from typing import Sequence
 from ..errors import GroupError
 from ..groupcast.spanning_tree import SpanningTree
 from ..network.underlay import UnderlayNetwork
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    Tracer,
+    get_default_tracer,
+)
+from ..overlay.messages import MessageKind
 
 
 def build_client_server_tree(server: int,
@@ -36,6 +43,7 @@ def skype_unicast_cost(
     underlay: UnderlayNetwork,
     source: int,
     members: Sequence[int],
+    tracer: Tracer | None = None,
 ) -> tuple[int, float]:
     """IP-message count and mean delay of full-unicast (Skype) delivery.
 
@@ -43,10 +51,25 @@ def skype_unicast_cost(
     ``(total_ip_messages, average_delay_ms)``.  Delay is optimal (direct
     unicast) but the source's uplink carries ``len(members) - 1`` copies —
     the scalability wall GroupCast removes.
+
+    With span tracing enabled (``tracer`` or the process default), one
+    ``unicast`` episode records the fan of payload copies so reports
+    attribute the source's uplink cost like-for-like with tree-based
+    delivery.
     """
     receivers = [m for m in members if m != source]
     if not receivers:
         raise GroupError("unicast delivery needs at least one receiver")
     ip_messages = int(underlay.peer_hop_counts(source, receivers).sum())
-    total_delay = float(underlay.peer_distances_ms(source, receivers).sum())
-    return ip_messages, total_delay / len(receivers)
+    delays = underlay.peer_distances_ms(source, receivers)
+    tracer = tracer if tracer is not None else get_default_tracer()
+    if tracer is not None and tracer.spans:
+        root = tracer.root_span(at_ms=0.0, kind="unicast")
+        for receiver, delay_ms in zip(receivers, delays):
+            span = tracer.child_span(root)
+            tracer.record(0.0, KIND_SEND, a=source, b=receiver,
+                          detail=MessageKind.PAYLOAD.value, span=span)
+            tracer.record(float(delay_ms), KIND_DELIVER, a=source,
+                          b=receiver,
+                          detail=MessageKind.PAYLOAD.value, span=span)
+    return ip_messages, float(delays.sum()) / len(receivers)

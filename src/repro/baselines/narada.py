@@ -23,6 +23,13 @@ import numpy as np
 from ..errors import GroupError
 from ..groupcast.spanning_tree import SpanningTree
 from ..network.underlay import UnderlayNetwork
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    Tracer,
+    get_default_tracer,
+)
+from ..overlay.messages import MessageKind
 from ..sim.random import RandomSource
 
 
@@ -78,8 +85,16 @@ def build_narada_mesh(
     rng: RandomSource,
     nearest_links: int = 3,
     random_links: int = 2,
+    tracer: Tracer | None = None,
 ) -> NaradaMesh:
-    """Connect each member to its nearest members plus random shortcuts."""
+    """Connect each member to its nearest members plus random shortcuts.
+
+    With span tracing enabled (``tracer`` or the process default), one
+    ``narada-mesh`` episode records a probe send/deliver pair per mesh
+    link — the "extensive messaging" cost the mesh pays — so
+    cross-protocol reports attribute Narada's overhead like-for-like
+    with GroupCast's advertisement floods.
+    """
     members = list(dict.fromkeys(members))
     if len(members) < 2:
         raise GroupError("a mesh needs at least two members")
@@ -105,6 +120,18 @@ def build_narada_mesh(
                 mesh.add_link(member, others[int(i)],
                               float(distances[int(i)]))
     _ensure_connected(mesh, underlay, index)
+    tracer = tracer if tracer is not None else get_default_tracer()
+    if tracer is not None and tracer.spans:
+        root = tracer.root_span(at_ms=0.0, kind="narada-mesh")
+        for a in sorted(mesh.adjacency):
+            for b, latency_ms in sorted(mesh.adjacency[a].items()):
+                if a >= b:  # one probe per undirected link
+                    continue
+                span = tracer.child_span(root)
+                tracer.record(0.0, KIND_SEND, a=a, b=b,
+                              detail=MessageKind.PROBE.value, span=span)
+                tracer.record(latency_ms, KIND_DELIVER, a=a, b=b,
+                              detail=MessageKind.PROBE.value, span=span)
     return mesh
 
 
@@ -115,11 +142,13 @@ def build_narada_tree(
     rng: RandomSource,
     nearest_links: int = 3,
     random_links: int = 2,
+    tracer: Tracer | None = None,
 ) -> SpanningTree:
     """Mesh + shortest-path tree in one call (the full two-step scheme)."""
     all_members = list(dict.fromkeys([source, *members]))
     mesh = build_narada_mesh(
-        underlay, all_members, rng, nearest_links, random_links)
+        underlay, all_members, rng, nearest_links, random_links,
+        tracer=tracer)
     return mesh.shortest_path_tree(source)
 
 

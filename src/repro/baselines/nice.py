@@ -24,6 +24,13 @@ import numpy as np
 from ..errors import ConfigurationError, GroupError
 from ..groupcast.spanning_tree import SpanningTree
 from ..network.underlay import UnderlayNetwork
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    Tracer,
+    get_default_tracer,
+)
+from ..overlay.messages import MessageKind
 from ..sim.random import RandomSource
 
 
@@ -48,8 +55,16 @@ def build_nice_tree(
     members: list[int],
     rng: RandomSource,
     config: NiceConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> SpanningTree:
-    """Build the NICE hierarchy over ``members`` as a spanning tree."""
+    """Build the NICE hierarchy over ``members`` as a spanning tree.
+
+    With span tracing enabled (``tracer`` or the process default), one
+    ``nice-cluster`` episode records a subscription send/deliver pair
+    per member→leader edge of the finished hierarchy — the explicit
+    parent choice NICE members make — so cross-protocol reports
+    attribute its cost like-for-like with GroupCast subscriptions.
+    """
     config = config or NiceConfig()
     members = list(dict.fromkeys(members))
     if len(members) < 2:
@@ -91,6 +106,19 @@ def build_nice_tree(
     for member in members:
         tree.mark_member(member)
     tree.validate()
+    tracer = tracer if tracer is not None else get_default_tracer()
+    if tracer is not None and tracer.spans and parent:
+        episode = tracer.root_span(at_ms=0.0, kind="nice-cluster")
+        for child in sorted(parent):
+            latency_ms = underlay.peer_distance_ms(child, parent[child])
+            span = tracer.child_span(episode)
+            tracer.record(0.0, KIND_SEND, a=child, b=parent[child],
+                          detail=MessageKind.SUBSCRIPTION.value,
+                          span=span)
+            tracer.record(float(latency_ms), KIND_DELIVER, a=child,
+                          b=parent[child],
+                          detail=MessageKind.SUBSCRIPTION.value,
+                          span=span)
     return tree
 
 

@@ -22,6 +22,7 @@ from .coords.gnp import GNPConfig, GNPSystem
 from .errors import ConfigurationError
 from .network.topology import generate_transit_stub
 from .network.underlay import UnderlayNetwork
+from .obs.topology import get_default_topology_recorder
 from .overlay.bootstrap import JoinResult, UtilityBootstrap
 from .overlay.graph import OverlayNetwork
 from .overlay.gnutella import generate_random_overlay
@@ -164,6 +165,14 @@ def build_deployment(
         overlay = generate_random_overlay(infos, protocol_rng)
         for info in infos:
             host_cache.register(info)
+
+    recorder = get_default_topology_recorder()
+    if recorder is not None and recorder.enabled:
+        # Baseline snapshot of the freshly-built overlay; a GroupSession
+        # over the same overlay later joins this epoch rather than
+        # starting a new one.
+        recorder.watch_overlay(overlay, underlay=underlay,
+                               baseline_at_ms=0.0)
 
     return Deployment(
         kind=kind,

@@ -22,6 +22,13 @@ from typing import Sequence
 from ..errors import GroupError
 from ..groupcast.spanning_tree import SpanningTree
 from ..network.underlay import UnderlayNetwork
+from ..obs.tracer import (
+    KIND_DELIVER,
+    KIND_SEND,
+    Tracer,
+    get_default_tracer,
+)
+from ..overlay.messages import MessageKind
 from .pastry import PastryNetwork
 
 
@@ -57,8 +64,17 @@ def build_scribe_group(
     pastry: PastryNetwork,
     group_name: str,
     members: Sequence[int],
+    underlay: UnderlayNetwork | None = None,
+    tracer: Tracer | None = None,
 ) -> ScribeGroup:
-    """Subscribe ``members`` and return the rendezvous-rooted tree."""
+    """Subscribe ``members`` and return the rendezvous-rooted tree.
+
+    With span tracing enabled (``tracer`` or the process default), each
+    member's JOIN walk becomes one ``scribe-join`` episode whose spans
+    chain along the Pastry route hops — latency-stamped when an
+    ``underlay`` is given — so DHT join cost sits beside GroupCast's
+    ripple searches in cross-protocol reports.
+    """
     if not members:
         raise GroupError("a SCRIBE group needs at least one member")
     key = group_key(group_name)
@@ -66,6 +82,8 @@ def build_scribe_group(
     root_peer = pastry.peer_for(root_node)
     tree = SpanningTree(root=root_peer)
     join_hops: dict[int, int] = {}
+    tracer = tracer if tracer is not None else get_default_tracer()
+    tracing = tracer is not None and tracer.spans
 
     for member in members:
         if member == root_peer:
@@ -82,6 +100,21 @@ def build_scribe_group(
         if chain[-1] not in tree:
             raise GroupError(
                 f"join route of {member} never reached the tree")
+        if tracing:
+            parent_span = tracer.root_span(at_ms=0.0, kind="scribe-join")
+            at_ms = 0.0
+            for hop_from, hop_to in zip(chain, chain[1:]):
+                latency_ms = (underlay.peer_distance_ms(hop_from, hop_to)
+                              if underlay is not None else 0.0)
+                span = tracer.child_span(parent_span)
+                tracer.record(at_ms, KIND_SEND, a=hop_from, b=hop_to,
+                              detail=MessageKind.SUBSCRIPTION.value,
+                              span=span)
+                at_ms += latency_ms
+                tracer.record(at_ms, KIND_DELIVER, a=hop_from, b=hop_to,
+                              detail=MessageKind.SUBSCRIPTION.value,
+                              span=span)
+                parent_span = span
         if len(chain) > 1:
             tree.graft_chain(chain)
         tree.mark_member(member)

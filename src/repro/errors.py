@@ -65,3 +65,7 @@ class FaultPlanError(ReproError):
 
 class InvariantViolation(ReproError):
     """A protocol invariant check failed during a simulation run."""
+
+
+class WatchdogHalt(ReproError):
+    """A watchdog rule with the ``halt`` action fired during a run."""

@@ -11,6 +11,7 @@ from ..deployment import Deployment, build_deployment
 from ..groupcast.advertisement import propagate_advertisement
 from ..groupcast.dissemination import disseminate
 from ..groupcast.subscription import subscribe_members
+from ..obs.topology import get_default_topology_recorder
 from ..sim.random import spawn_rng
 
 #: Overlay sizes of the paper's sweeps (Figures 11-17).
@@ -182,6 +183,14 @@ def establish_and_measure_group(
         stress = link_stress(report, ip_tree)
     else:  # pragma: no cover - degenerate single-member group
         penalty, stress = 1.0, 1.0
+    recorder = get_default_topology_recorder()
+    if recorder is not None and recorder.enabled:
+        # Feed the observatory the finished tree plus the cost ratios
+        # just measured — no extra dissemination run needed.
+        recorder.observe_tree(
+            tree, group_id=0, underlay=deployment.underlay,
+            extra_metrics={"delay_penalty": penalty,
+                           "link_stress": stress})
     return GroupRun(
         rendezvous=rendezvous,
         advertisement_messages=advertisement.messages_sent,

@@ -53,7 +53,9 @@ from ..groupcast.replication import BackupPlan, failover
 from ..groupcast.session import GroupSession
 from ..groupcast.subscription import subscribe_members
 from ..obs.registry import Registry, get_default_registry
+from ..obs.topology import TopologyRecorder, get_default_topology_recorder
 from ..obs.tracer import Tracer
+from ..obs.watchdog import default_watchdogs
 from ..sim.random import spawn_rng
 from .common import ExperimentResult
 
@@ -204,7 +206,8 @@ ADVERSARIAL_SPAN_MS = 8_000.0
 
 def run_adversarial(peer_count: int = 150, members_count: int = 40,
                     seed: int = 7,
-                    invariant_interval_ms: float = 500.0
+                    invariant_interval_ms: float = 500.0,
+                    topology: TopologyRecorder | None = None
                     ) -> ExperimentResult:
     """The full adversarial scenario on the event-driven session runtime.
 
@@ -225,16 +228,31 @@ def run_adversarial(peer_count: int = 150, members_count: int = 40,
 
     Each row carries the run's full ``trace_digest`` so callers can pin
     bit-reproducibility across repeated invocations.
+
+    When a ``topology`` recorder is given (or a process default is
+    installed), each policy's session is watched as its own epoch with
+    the standard watchdog pack armed, and the row's ``watchdog_alerts``
+    column counts the fired alerts of that epoch — the injected
+    partition window must be *detected*, not just survived.  An
+    attached recorder is digest bit-transparent, so the
+    ``trace_digest`` column is unchanged by observation.
     """
     result = ExperimentResult(
         title=(f"Adversarial schedule: partition + reorder + crashes "
                f"({peer_count} peers, {members_count} members)"),
         columns=("policy", "delivery_ratio", "members_lost",
                  "faults_injected", "crashes", "restarts",
-                 "invariant_checks", "violations", "trace_digest"),
+                 "invariant_checks", "violations", "watchdog_alerts",
+                 "trace_digest"),
     )
     announcement = AnnouncementConfig(advertisement_ttl=7,
                                       subscription_search_ttl=3)
+    if topology is None:
+        topology = get_default_topology_recorder()
+    if topology is not None and topology.enabled \
+            and topology.watchdogs is None:
+        for rule in default_watchdogs(group_ids=(1,)):
+            topology.add_watchdog(rule)
     for policy in POLICIES:
         deployment = build_deployment(
             peer_count, kind="groupcast",
@@ -246,6 +264,13 @@ def run_adversarial(peer_count: int = 150, members_count: int = 40,
             spawn_rng(seed, "adv-session"), announcement=announcement,
             utility=deployment.config.utility, registry=registry,
             tracer=tracer)
+        policy_epoch = -1
+        if topology is not None and topology.enabled:
+            # One epoch per policy: the fresh overlay resets watchdog
+            # firing state and delta baselines.
+            topology.watch_session(session)
+            topology.watch_conservation(registry)
+            policy_epoch = topology.epoch
         member_rng = spawn_rng(seed, "adv-members")
         ids = deployment.peer_ids()
         picks = member_rng.choice(len(ids), size=members_count,
@@ -399,6 +424,12 @@ def run_adversarial(peer_count: int = 150, members_count: int = 40,
         audience = [m for m in members
                     if m != rendezvous and m not in declared_lost]
         reached = sum(1 for m in audience if m in delivered)
+        watchdog_alerts = 0
+        if topology is not None and topology.enabled:
+            topology.finish(session.simulator.now)
+            engine = topology.watchdogs
+            if engine is not None:
+                watchdog_alerts = len(engine.fired(epoch=policy_epoch))
         result.add_row(
             policy,
             reached / max(len(audience), 1),
@@ -408,6 +439,7 @@ def run_adversarial(peer_count: int = 150, members_count: int = 40,
             registry.counter("faults.restarts").value,
             registry.counter("invariants.checks").value,
             len(suite.violations),
+            watchdog_alerts,
             tracer.trace_digest(),
         )
         # Each policy runs on its own private registry so digests and

@@ -28,10 +28,13 @@ from typing import Callable, Iterable
 
 from ..obs import (
     NULL_REGISTRY,
+    default_watchdogs,
     disable_profiling,
+    disable_topology,
     disable_tracing,
     enable_profiling,
     enable_telemetry,
+    enable_topology,
     enable_tracing,
     set_default_registry,
 )
@@ -159,15 +162,34 @@ def main(argv: list[str] | None = None) -> int:
         "--profile-interval", type=float, default=250.0,
         help="virtual-time sampling cadence for --report, in ms "
              "(default: 250)")
+    parser.add_argument(
+        "--topology", action="store_true",
+        help="record structural topology snapshots (overlay graph + "
+             "spanning trees) and write topology.json/topology.dot "
+             "under out/ (or --output)")
+    parser.add_argument(
+        "--snapshot-interval", type=float, default=500.0,
+        help="virtual-time cadence for --topology snapshots, in ms "
+             "(default: 500)")
+    parser.add_argument(
+        "--watchdogs", action="store_true",
+        help="arm the standard anomaly watchdog pack (partition, "
+             "orphans, conservation-gap growth, heartbeat staleness) "
+             "against every topology snapshot; implies --topology")
     args = parser.parse_args(argv)
 
     registry = (enable_telemetry() if args.telemetry or args.report
                 else None)
-    tracer = profiler = None
+    tracer = profiler = topology = None
     if args.report:
         tracer = enable_tracing(registry=registry)
         profiler = enable_profiling(registry,
                                     interval_ms=args.profile_interval)
+    if args.topology or args.watchdogs:
+        topology = enable_topology(interval_ms=args.snapshot_interval)
+        if args.watchdogs:
+            for rule in default_watchdogs():
+                topology.add_watchdog(rule)
 
     names = list(args.experiments)
     if "all" in names:
@@ -188,19 +210,25 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 print(export.render(result, args.format))
                 print()
+    out_dir = args.output if args.output is not None else Path("out")
     if args.report:
-        report_dir = args.output if args.output is not None else Path("out")
         report = build_report(
             title=f"GroupCast run report: {' '.join(names)} "
                   f"(seed {args.seed})",
-            tracer=tracer, registry=registry, profiler=profiler)
-        md_path, json_path = write_report(report, report_dir)
+            tracer=tracer, registry=registry, profiler=profiler,
+            topology=topology)
+        md_path, json_path = write_report(report, out_dir)
         trace_path = tracer.export_jsonl(
-            report_dir / "trace.jsonl", include_meta=True)
+            out_dir / "trace.jsonl", include_meta=True)
         for path in (md_path, json_path, trace_path):
             print(f"wrote {path}")
         disable_tracing()
         disable_profiling()
+    if topology is not None:
+        for path in (topology.export_json(out_dir / "topology.json"),
+                     topology.export_dot(out_dir / "topology.dot")):
+            print(f"wrote {path}")
+        disable_topology()
     if registry is not None:
         if args.telemetry:
             snapshot = registry.snapshot()

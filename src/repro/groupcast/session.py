@@ -23,6 +23,7 @@ from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import GroupError
 from ..obs.profiler import get_default_profiler
 from ..obs.registry import Registry
+from ..obs.topology import get_default_topology_recorder
 from ..obs.tracer import Tracer
 from ..overlay.graph import OverlayNetwork
 from ..overlay.messages import MessageKind
@@ -338,6 +339,12 @@ class GroupSession:
         self.deliveries: dict[tuple[int, int], dict[int, float]] = {}
         self.rendezvous: dict[int, int] = {}
         self._payload_ids = itertools.count(1)
+        # Like the profiler, the process-default topology recorder (if
+        # any) rides this session's clock; it only reads structure and
+        # its own registry, so attaching is digest bit-transparent.
+        topology = get_default_topology_recorder()
+        if topology is not None and topology.enabled:
+            topology.watch_session(self)
 
     @property
     def duplicates(self) -> int:

@@ -16,7 +16,16 @@ Four pieces:
   and per-message-kind cost attribution;
 * :mod:`.profiler` — a :class:`Profiler` sampling the registry on a
   fixed virtual-time cadence into typed time-series, plus wall-clock
-  :func:`phase_timer` helpers for host-side hot paths.
+  :func:`phase_timer` helpers for host-side hot paths;
+* :mod:`.topology` — a :class:`TopologyRecorder` capturing delta-encoded
+  structural snapshots of the overlay graph and per-group spanning trees
+  on a virtual-time cadence (degree histogram + power-law fit, diameter,
+  components, tree depth/stress/overload), with DOT/JSON export;
+* :mod:`.watchdog` — a :class:`WatchdogEngine` of SLO-style rules
+  (partition, metric spikes, orphaned members, conservation-gap growth,
+  heartbeat staleness) evaluated against every topology snapshot;
+* :mod:`.diff` — structural + metric diffing between snapshots,
+  checkpoints and exported run artifacts, gating cross-run drift in CI.
 
 Every paper-figure metric maps onto a named instrument; the table lives
 in the README's Observability section.  :mod:`.report` assembles all of
@@ -24,6 +33,14 @@ the above into per-run experiment reports.
 """
 
 from .causality import Span, SpanForest, SpanTree, TreeStats
+from .diff import (
+    EpochDiff,
+    TopologyDiff,
+    diff_artifacts,
+    diff_recorders,
+    diff_snapshots,
+    reconstruct_epochs,
+)
 from .profiler import (
     QUANTILES,
     HistogramSample,
@@ -48,6 +65,19 @@ from .registry import (
     get_default_registry,
     set_default_registry,
 )
+from .topology import (
+    TOPOLOGY_INTERVAL_MS,
+    GraphDelta,
+    TopologyRecorder,
+    TopologySnapshot,
+    TreeDelta,
+    disable_topology,
+    enable_topology,
+    get_default_topology_recorder,
+    pseudo_diameter,
+    set_default_topology_recorder,
+    tree_cost_metrics,
+)
 from .tracer import (
     KIND_CRASH,
     KIND_DEAD_LETTER,
@@ -65,6 +95,7 @@ from .tracer import (
     KIND_SCHEDULE,
     KIND_SEND,
     KIND_SPAN,
+    KIND_WATCHDOG,
     SpanContext,
     TraceRecord,
     Tracer,
@@ -73,14 +104,37 @@ from .tracer import (
     get_default_tracer,
     set_default_tracer,
 )
+from .watchdog import (
+    ACTIONS,
+    Alert,
+    ConservationGapGrowth,
+    HeartbeatStaleness,
+    MetricSpike,
+    OrphanedMembers,
+    OverlayPartition,
+    WatchdogEngine,
+    WatchdogRule,
+    default_watchdogs,
+    node_stress_spike,
+    tree_depth_spike,
+)
 
 __all__ = [
+    "ACTIONS",
+    "Alert",
+    "ConservationGapGrowth",
     "DEFAULT_BUCKETS",
+    "EpochDiff",
+    "GraphDelta",
+    "HeartbeatStaleness",
+    "MetricSpike",
     "NULL_REGISTRY",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSample",
+    "OrphanedMembers",
+    "OverlayPartition",
     "Profiler",
     "QUANTILES",
     "Registry",
@@ -88,22 +142,42 @@ __all__ = [
     "SpanContext",
     "SpanForest",
     "SpanTree",
+    "TOPOLOGY_INTERVAL_MS",
     "TimeSeries",
+    "TopologyDiff",
+    "TopologyRecorder",
+    "TopologySnapshot",
+    "TreeDelta",
     "TreeStats",
+    "WatchdogEngine",
+    "WatchdogRule",
+    "default_watchdogs",
+    "diff_artifacts",
+    "diff_recorders",
+    "diff_snapshots",
     "disable_profiling",
     "disable_telemetry",
+    "disable_topology",
     "disable_tracing",
     "enable_profiling",
     "enable_telemetry",
+    "enable_topology",
     "enable_tracing",
     "get_default_profiler",
     "get_default_registry",
+    "get_default_topology_recorder",
     "get_default_tracer",
     "histogram_quantile",
+    "node_stress_spike",
     "phase_timer",
+    "pseudo_diameter",
+    "reconstruct_epochs",
     "set_default_profiler",
     "set_default_registry",
+    "set_default_topology_recorder",
     "set_default_tracer",
+    "tree_cost_metrics",
+    "tree_depth_spike",
     "KIND_CRASH",
     "KIND_DEAD_LETTER",
     "KIND_DELIVER",
@@ -120,6 +194,7 @@ __all__ = [
     "KIND_SCHEDULE",
     "KIND_SEND",
     "KIND_SPAN",
+    "KIND_WATCHDOG",
     "TraceRecord",
     "Tracer",
 ]

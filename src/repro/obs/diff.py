@@ -1,0 +1,361 @@
+"""Structural and metric diffs over topology artifacts.
+
+Compares what the :class:`~repro.obs.topology.TopologyRecorder`
+captured — two snapshots of one run, two checkpoints replayed from the
+delta stream, or two runs' exported JSON artifacts — and reduces the
+difference to one ``drift`` number suitable for CI gating next to
+:mod:`benchmarks.compare`:
+
+* **structural drift** — symmetric set differences of peers, overlay
+  links and per-group tree edges at matching epochs, plus any
+  epoch/snapshot-count mismatch;
+* **metric drift** — final-snapshot metrics whose values differ at all
+  (runs are deterministic, so *any* difference between same-seed runs
+  is a regression, not noise).
+
+Because snapshots are delta-encoded, absolute states are rebuilt by
+replaying the deltas (:func:`reconstruct_epochs` /
+:func:`state_at`); the module therefore works on plain exported dicts
+with no recorder in memory.
+
+CLI::
+
+    python -m repro.obs.diff out/topology.json out2/topology.json \
+        --max-drift 0 --write out/topology_diff.json
+
+exits 1 when the drift exceeds ``--max-drift`` — the self-consistency
+gate in CI diffs two same-seed runs and requires zero drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..errors import TelemetryError
+
+
+# ----------------------------------------------------------------------
+# Delta replay
+# ----------------------------------------------------------------------
+def _edge(pair) -> tuple[int, int]:
+    return (int(pair[0]), int(pair[1]))
+
+
+def _apply_snapshot(state: dict, snapshot: dict) -> None:
+    delta = snapshot["overlay_delta"]
+    state["peers"].update(int(p) for p in delta["added_peers"])
+    state["peers"].difference_update(
+        int(p) for p in delta["removed_peers"])
+    state["links"].update(_edge(l) for l in delta["added_links"])
+    state["links"].difference_update(
+        _edge(l) for l in delta["removed_links"])
+    for tree_delta in snapshot["tree_deltas"]:
+        group = int(tree_delta["group_id"])
+        edges = state["trees"].setdefault(group, set())
+        edges.update(_edge(e) for e in tree_delta["added_edges"])
+        edges.difference_update(
+            _edge(e) for e in tree_delta["removed_edges"])
+    state["metrics"] = dict(snapshot["metrics"])
+    state["snapshots"] += 1
+    state["last_at_ms"] = float(snapshot["at_ms"])
+
+
+def _fresh_state() -> dict:
+    return {"peers": set(), "links": set(), "trees": {},
+            "metrics": {}, "snapshots": 0, "last_at_ms": 0.0}
+
+
+def reconstruct_epochs(artifact: dict) -> dict[int, dict]:
+    """Replay an artifact's delta stream into absolute per-epoch states.
+
+    Each state holds ``peers``/``links``/``trees`` sets, the metrics of
+    the epoch's last snapshot, and the snapshot count — everything the
+    structural diff consumes.
+    """
+    epochs: dict[int, dict] = {}
+    for snapshot in artifact.get("snapshots", []):
+        state = epochs.setdefault(int(snapshot["epoch"]),
+                                  _fresh_state())
+        _apply_snapshot(state, snapshot)
+    return epochs
+
+
+def state_at(artifact: dict, seq: int) -> dict:
+    """Absolute state after replaying deltas up to snapshot ``seq``.
+
+    Replays only the snapshots of ``seq``'s own epoch (earlier epochs
+    watched different graphs).
+    """
+    snapshots = artifact.get("snapshots", [])
+    target = next((s for s in snapshots if int(s["seq"]) == seq), None)
+    if target is None:
+        raise TelemetryError(f"no snapshot with seq {seq}")
+    state = _fresh_state()
+    for snapshot in snapshots:
+        if int(snapshot["epoch"]) != int(target["epoch"]):
+            continue
+        _apply_snapshot(state, snapshot)
+        if int(snapshot["seq"]) == seq:
+            break
+    return state
+
+
+# ----------------------------------------------------------------------
+# Diff results
+# ----------------------------------------------------------------------
+@dataclass
+class EpochDiff:
+    """Structural difference of one epoch between two states."""
+
+    epoch: int
+    peers_added: tuple[int, ...] = ()
+    peers_removed: tuple[int, ...] = ()
+    links_added: tuple[tuple[int, int], ...] = ()
+    links_removed: tuple[tuple[int, int], ...] = ()
+    tree_changes: dict[int, dict[str, list]] = field(
+        default_factory=dict)
+    snapshot_counts: tuple[int, int] = (0, 0)
+
+    @property
+    def structural_drift(self) -> int:
+        drift = (len(self.peers_added) + len(self.peers_removed)
+                 + len(self.links_added) + len(self.links_removed))
+        for change in self.tree_changes.values():
+            drift += len(change["added"]) + len(change["removed"])
+        if self.snapshot_counts[0] != self.snapshot_counts[1]:
+            drift += abs(self.snapshot_counts[0]
+                         - self.snapshot_counts[1])
+        return drift
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "peers_added": list(self.peers_added),
+            "peers_removed": list(self.peers_removed),
+            "links_added": [list(l) for l in self.links_added],
+            "links_removed": [list(l) for l in self.links_removed],
+            "tree_changes": {
+                str(group): {"added": [list(e) for e in change["added"]],
+                             "removed": [list(e)
+                                         for e in change["removed"]]}
+                for group, change in sorted(self.tree_changes.items())},
+            "snapshot_counts": list(self.snapshot_counts),
+            "structural_drift": self.structural_drift,
+        }
+
+
+@dataclass
+class TopologyDiff:
+    """Full diff of two topology artifacts (B relative to A)."""
+
+    epochs: list[EpochDiff] = field(default_factory=list)
+    metric_changes: list[dict] = field(default_factory=list)
+
+    @property
+    def structural_drift(self) -> int:
+        """Total vertex/edge/snapshot-count differences."""
+        return sum(epoch.structural_drift for epoch in self.epochs)
+
+    @property
+    def metric_drift(self) -> int:
+        """Number of final-snapshot metrics whose values differ."""
+        return len(self.metric_changes)
+
+    @property
+    def drift(self) -> int:
+        """The gated scalar: structural + metric drift."""
+        return self.structural_drift + self.metric_drift
+
+    def to_dict(self) -> dict:
+        return {
+            "drift": self.drift,
+            "structural_drift": self.structural_drift,
+            "metric_drift": self.metric_drift,
+            "epochs": [epoch.to_dict() for epoch in self.epochs],
+            "metric_changes": list(self.metric_changes),
+        }
+
+    def render_markdown(self) -> str:
+        lines = ["# Topology diff", "",
+                 f"- structural drift: **{self.structural_drift}**",
+                 f"- metric drift: **{self.metric_drift}**", ""]
+        for epoch in self.epochs:
+            if epoch.structural_drift == 0:
+                continue
+            lines.append(f"## Epoch {epoch.epoch} "
+                         f"(drift {epoch.structural_drift})")
+            lines.append("")
+            if epoch.peers_added or epoch.peers_removed:
+                lines.append(f"- peers: +{list(epoch.peers_added)} "
+                             f"-{list(epoch.peers_removed)}")
+            if epoch.links_added or epoch.links_removed:
+                lines.append(f"- links: +{len(epoch.links_added)} "
+                             f"-{len(epoch.links_removed)}")
+            for group, change in sorted(epoch.tree_changes.items()):
+                lines.append(f"- tree {group}: "
+                             f"+{len(change['added'])} edges, "
+                             f"-{len(change['removed'])} edges")
+            if epoch.snapshot_counts[0] != epoch.snapshot_counts[1]:
+                lines.append(f"- snapshot counts differ: "
+                             f"{epoch.snapshot_counts[0]} vs "
+                             f"{epoch.snapshot_counts[1]}")
+            lines.append("")
+        if self.metric_changes:
+            lines += ["## Metric changes", "",
+                      "| epoch | metric | a | b | delta |",
+                      "|---|---|---|---|---|"]
+            for change in self.metric_changes:
+                lines.append(
+                    f"| {change['epoch']} | {change['metric']} "
+                    f"| {change['a']:g} | {change['b']:g} "
+                    f"| {change['delta']:+g} |")
+            lines.append("")
+        if self.drift == 0:
+            lines += ["No structural or metric drift.", ""]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+def diff_states(state_a: dict, state_b: dict,
+                epoch: int = 0) -> EpochDiff:
+    """Structural diff of two absolute states (B relative to A)."""
+    tree_changes: dict[int, dict[str, list]] = {}
+    groups = set(state_a["trees"]) | set(state_b["trees"])
+    for group in sorted(groups):
+        edges_a = state_a["trees"].get(group, set())
+        edges_b = state_b["trees"].get(group, set())
+        added = sorted(edges_b - edges_a)
+        removed = sorted(edges_a - edges_b)
+        if added or removed:
+            tree_changes[group] = {"added": added, "removed": removed}
+    return EpochDiff(
+        epoch=epoch,
+        peers_added=tuple(sorted(state_b["peers"] - state_a["peers"])),
+        peers_removed=tuple(sorted(state_a["peers"]
+                                   - state_b["peers"])),
+        links_added=tuple(sorted(state_b["links"] - state_a["links"])),
+        links_removed=tuple(sorted(state_a["links"]
+                                   - state_b["links"])),
+        tree_changes=tree_changes,
+        snapshot_counts=(state_a["snapshots"], state_b["snapshots"]),
+    )
+
+
+def _metric_changes(epoch: int, metrics_a: dict,
+                    metrics_b: dict) -> list[dict]:
+    changes = []
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        value_a = metrics_a.get(name)
+        value_b = metrics_b.get(name)
+        if value_a == value_b:
+            continue
+        changes.append({
+            "epoch": epoch, "metric": name,
+            "a": float(value_a) if value_a is not None else float("nan"),
+            "b": float(value_b) if value_b is not None else float("nan"),
+            "delta": (float(value_b) - float(value_a))
+            if value_a is not None and value_b is not None
+            else float("nan"),
+        })
+    return changes
+
+
+def diff_artifacts(artifact_a: dict, artifact_b: dict) -> TopologyDiff:
+    """Diff two exported recorder artifacts epoch by epoch."""
+    epochs_a = reconstruct_epochs(artifact_a)
+    epochs_b = reconstruct_epochs(artifact_b)
+    diff = TopologyDiff()
+    for epoch in sorted(set(epochs_a) | set(epochs_b)):
+        state_a = epochs_a.get(epoch, _fresh_state())
+        state_b = epochs_b.get(epoch, _fresh_state())
+        diff.epochs.append(diff_states(state_a, state_b, epoch=epoch))
+        diff.metric_changes.extend(
+            _metric_changes(epoch, state_a["metrics"],
+                            state_b["metrics"]))
+    return diff
+
+
+def diff_snapshots(artifact: dict, seq_a: int,
+                   seq_b: int) -> TopologyDiff:
+    """Diff two checkpoints of *one* run by replaying its deltas."""
+    state_a = state_at(artifact, seq_a)
+    state_b = state_at(artifact, seq_b)
+    diff = TopologyDiff()
+    epoch_diff = diff_states(state_a, state_b)
+    # Checkpoint comparison: snapshot counts legitimately differ.
+    epoch_diff.snapshot_counts = (0, 0)
+    diff.epochs.append(epoch_diff)
+    diff.metric_changes.extend(
+        _metric_changes(0, state_a["metrics"], state_b["metrics"]))
+    return diff
+
+
+def diff_recorders(recorder_a, recorder_b) -> TopologyDiff:
+    """Diff two live recorders (convenience over
+    :func:`diff_artifacts`)."""
+    return diff_artifacts(recorder_a.to_dict(), recorder_b.to_dict())
+
+
+# ----------------------------------------------------------------------
+# CLI gate
+# ----------------------------------------------------------------------
+def _load(path: Path) -> dict:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    # Accept both a raw recorder artifact and a full report.json that
+    # embeds one under its "topology" key.
+    if "snapshots" not in data and "topology" in data:
+        data = data["topology"]
+    if "snapshots" not in data:
+        raise TelemetryError(f"{path} is not a topology artifact")
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.diff",
+        description="Diff two topology artifacts and gate on drift.")
+    parser.add_argument("a", type=Path, help="baseline artifact JSON")
+    parser.add_argument("b", type=Path, help="fresh artifact JSON")
+    parser.add_argument(
+        "--max-drift", type=int, default=None, metavar="N",
+        help="exit 1 when structural+metric drift exceeds N")
+    parser.add_argument(
+        "--write", type=Path, default=None, metavar="PATH",
+        help="write the diff as JSON to PATH")
+    parser.add_argument(
+        "--markdown", type=Path, default=None, metavar="PATH",
+        help="write the diff as Markdown to PATH")
+    args = parser.parse_args(argv)
+
+    diff = diff_artifacts(_load(args.a), _load(args.b))
+    if args.write is not None:
+        args.write.parent.mkdir(parents=True, exist_ok=True)
+        args.write.write_text(
+            json.dumps(diff.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"wrote {args.write}")
+    if args.markdown is not None:
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text(diff.render_markdown(),
+                                 encoding="utf-8")
+        print(f"wrote {args.markdown}")
+    print(f"structural drift {diff.structural_drift}, "
+          f"metric drift {diff.metric_drift}")
+    if args.max_drift is not None and diff.drift > args.max_drift:
+        print(f"FAIL drift {diff.drift} exceeds "
+              f"--max-drift {args.max_drift}")
+        return 1
+    print("drift within bounds" if args.max_drift is not None
+          else "no gate requested")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

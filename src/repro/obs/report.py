@@ -42,12 +42,15 @@ def build_report(
     registry: Optional[Registry] = None,
     profiler: Optional[Profiler] = None,
     invariant_suite=None,
+    topology=None,
     top: int = 10,
 ) -> dict:
     """Assemble one run's observability state into a report dict.
 
     Every section is optional — pass whatever the run actually had.
-    The result is JSON-serializable as-is.
+    ``topology`` accepts a :class:`~repro.obs.topology.TopologyRecorder`
+    (duck-typed via its ``report_section``/``watchdog_section``).  The
+    result is JSON-serializable as-is.
     """
     report: dict = {"title": title}
 
@@ -80,6 +83,12 @@ def build_report(
     if profiler is not None:
         report["series"] = [s.summary() for s in profiler.all_series()]
         report["phases"] = profiler.phase_stats()
+
+    if topology is not None:
+        report["topology"] = topology.report_section()
+        watchdog = topology.watchdog_section()
+        if watchdog is not None:
+            report["watchdog"] = watchdog
 
     if invariant_suite is not None:
         report["invariants"] = {
@@ -172,6 +181,41 @@ def render_markdown(report: dict) -> str:
                   f"{conservation['faults.partition_dropped']} "
                   f"→ **{verdict}**",
                   ""]
+
+    topology = report.get("topology")
+    if topology is not None:
+        lines += ["## Topology", "",
+                  f"- {topology['snapshots']} snapshots across "
+                  f"{topology['epochs']} epoch(s) at "
+                  f"{topology['interval_ms']:.0f} ms cadence "
+                  f"(detail: {topology['detail']})"]
+        last = topology.get("last")
+        if last is not None:
+            lines.append(
+                f"- final state at {last['at_ms']:.1f} ms: "
+                f"{last['peer_count']} peers, "
+                f"{last['link_count']} links")
+            lines += ["", "| structural metric | final value |",
+                      "|---|---|"]
+            for name, value in last["metrics"].items():
+                lines.append(f"| {name} | {value:.4g} |")
+        lines.append("")
+
+    watchdog = report.get("watchdog")
+    if watchdog is not None:
+        lines += ["## Watchdog alerts", "",
+                  f"- rules: {', '.join(watchdog['rules']) or '(none)'}",
+                  f"- **{watchdog['fired']} fired**, "
+                  f"{watchdog['cleared']} cleared; "
+                  f"still active: "
+                  f"{', '.join(watchdog['active']) or 'none'}"]
+        for rule, counts in watchdog["by_rule"].items():
+            lines.append(f"  - {rule}: {counts['fired']} fired, "
+                         f"{counts['cleared']} cleared")
+        for alert in watchdog["warnings"]:
+            lines.append(f"  - WARN at {alert['at_ms']:.1f} ms "
+                         f"[{alert['rule']}] {alert['message']}")
+        lines.append("")
 
     invariants = report.get("invariants")
     if invariants is not None:

@@ -1,0 +1,885 @@
+"""Structural topology observatory: snapshots of the overlay over time.
+
+The registry (PR 1) counts messages and the profiler (PR 4) samples
+those counters over virtual time, but the paper's evaluation is mostly
+*structural*: degree distributions (Figures 7-8), neighbor proximity
+(Figures 9-10), spanning-tree delay penalty / stress (Figures 14-16).
+A :class:`TopologyRecorder` makes those shapes first-class observables:
+it rides the simulator clock exactly like the
+:class:`~repro.obs.profiler.Profiler` — the engine calls
+:meth:`TopologyRecorder.on_advance` before firing each event, the
+recorder never schedules events of its own — and captures
+delta-encoded :class:`TopologySnapshot` rows of the overlay graph and
+the per-group spanning trees at a fixed virtual-time cadence.
+
+Bit-transparency is a hard requirement (and pinned by tests): an
+attached recorder must leave ``trace_digest`` and every experiment
+output byte-identical.  Three rules keep it that way:
+
+* no scheduled events — sampling rides ``on_advance`` so no event
+  sequence number is ever consumed;
+* no protocol randomness — the diameter estimate is a deterministic
+  double-BFS sweep (:func:`pseudo_diameter`), never
+  :meth:`~repro.overlay.graph.OverlayNetwork.estimated_diameter`
+  which draws from an rng;
+* no trace records — snapshots live in the recorder; only the
+  :class:`~repro.obs.watchdog.WatchdogEngine` emits trace records,
+  and only into an explicitly supplied tracer.
+
+Structural metrics reuse :mod:`repro.metrics.overlay_metrics` and
+:mod:`repro.metrics.tree_metrics`; snapshots export to JSON (consumed
+by :mod:`repro.obs.diff` for cross-run regression gating) and Graphviz
+DOT.  A process-wide default recorder mirrors the profiler idiom:
+:func:`enable_topology` installs one, :class:`~repro.groupcast.session.
+GroupSession` and :func:`~repro.deployment.build_deployment` attach to
+it automatically, and everything costs one ``None`` check when
+disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+from ..errors import OverlayError, PeerNotFoundError, TelemetryError
+from .profiler import TimeSeries
+from .registry import Registry
+
+# NOTE: repro.metrics imports repro.groupcast which imports the sim
+# engine which imports repro.obs — so the metric helpers
+# (degree_histogram, power_law_fit, average_neighbor_distance_ms,
+# overload_index) are imported lazily inside the methods that use them.
+
+#: Default virtual-time snapshot cadence (ms).
+TOPOLOGY_INTERVAL_MS = 500.0
+
+#: Registry counters entering the transport conservation identity
+#: (kept in sync with :mod:`repro.obs.report`).
+_CONSERVATION_COUNTERS = (
+    "net.sent", "faults.duplicated", "net.delivered", "net.lost",
+    "net.dead_lettered", "faults.dropped", "faults.partition_dropped")
+
+
+# ----------------------------------------------------------------------
+# Snapshot rows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphDelta:
+    """Overlay change since the previous snapshot of the same epoch."""
+
+    added_peers: tuple[int, ...] = ()
+    removed_peers: tuple[int, ...] = ()
+    added_links: tuple[tuple[int, int], ...] = ()
+    removed_links: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def change_count(self) -> int:
+        """Total number of vertex/edge changes carried by the delta."""
+        return (len(self.added_peers) + len(self.removed_peers)
+                + len(self.added_links) + len(self.removed_links))
+
+    def to_dict(self) -> dict:
+        return {
+            "added_peers": list(self.added_peers),
+            "removed_peers": list(self.removed_peers),
+            "added_links": [list(link) for link in self.added_links],
+            "removed_links": [list(link) for link in self.removed_links],
+        }
+
+
+@dataclass(frozen=True)
+class TreeDelta:
+    """Spanning-tree edge change of one group since the last snapshot."""
+
+    group_id: int
+    added_edges: tuple[tuple[int, int], ...] = ()
+    removed_edges: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def change_count(self) -> int:
+        return len(self.added_edges) + len(self.removed_edges)
+
+    def to_dict(self) -> dict:
+        return {
+            "group_id": self.group_id,
+            "added_edges": [list(edge) for edge in self.added_edges],
+            "removed_edges": [list(edge) for edge in self.removed_edges],
+        }
+
+
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """One delta-encoded structural observation.
+
+    ``epoch`` separates unrelated graphs (each :meth:`TopologyRecorder.
+    watch_overlay` of a *new* overlay starts a fresh epoch whose first
+    snapshot carries the full graph as its delta); ``kind`` records how
+    the snapshot was taken (``cadence``/``observe``/``baseline``/
+    ``final``).  ``metrics`` is a flat name→value map so snapshots
+    compose into :class:`~repro.obs.profiler.TimeSeries` and diff
+    field-by-field.
+    """
+
+    at_ms: float
+    seq: int
+    epoch: int
+    kind: str
+    peer_count: int
+    link_count: int
+    overlay_delta: GraphDelta
+    tree_deltas: tuple[TreeDelta, ...] = ()
+    degree_histogram: tuple[tuple[int, int], ...] = ()
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def structural_changes(self) -> int:
+        """Vertex/edge changes (overlay + trees) since the previous
+        snapshot of the same epoch."""
+        return (self.overlay_delta.change_count
+                + sum(d.change_count for d in self.tree_deltas))
+
+    def to_dict(self) -> dict:
+        return {
+            "at_ms": self.at_ms,
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "kind": self.kind,
+            "peer_count": self.peer_count,
+            "link_count": self.link_count,
+            "overlay_delta": self.overlay_delta.to_dict(),
+            "tree_deltas": [d.to_dict() for d in self.tree_deltas],
+            "degree_histogram": [list(pair)
+                                 for pair in self.degree_histogram],
+            "metrics": dict(self.metrics),
+        }
+
+
+# ----------------------------------------------------------------------
+# Deterministic structural helpers
+# ----------------------------------------------------------------------
+def pseudo_diameter(overlay) -> int:
+    """Double-BFS diameter lower bound of the largest component.
+
+    Deterministic replacement for :meth:`~repro.overlay.graph.
+    OverlayNetwork.estimated_diameter`, which samples sources from an
+    rng — drawing from a protocol stream inside the observatory would
+    shift every later random decision and break digest transparency.
+    Start at the smallest peer id of the largest component, BFS to the
+    farthest peer (smallest id on ties), BFS again; the second
+    eccentricity is a classic tight lower bound.
+    """
+    ids = overlay.peer_ids()
+    if len(ids) < 2:
+        return 0
+    seen: set[int] = set()
+    largest: list[int] = []
+    for start in sorted(ids):
+        if start in seen:
+            continue
+        component = [start]
+        seen.add(start)
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in overlay.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.append(neighbor)
+                    frontier.append(neighbor)
+        if len(component) > len(largest):
+            largest = component
+    if len(largest) < 2:
+        return 0
+    dist = overlay.hop_distances_from(min(largest))
+    far_d = max(dist.values())
+    far = min(node for node, d in dist.items() if d == far_d)
+    return max(overlay.hop_distances_from(far).values())
+
+
+def tree_cost_metrics(tree, underlay) -> dict[str, float]:
+    """Relative delay penalty and link stress of one spanning tree.
+
+    Equivalent to running :func:`~repro.groupcast.dissemination.
+    disseminate` and the :mod:`~repro.metrics.tree_metrics` ratios, but
+    computed from pure underlay queries: the observatory must not call
+    ``disseminate`` because that path falls back to the process-default
+    tracer and would emit records into the run's digest.
+    """
+    from ..network.multicast import build_ip_multicast_tree
+
+    members = [m for m in tree.members if m != tree.root]
+    if not members:
+        return {}
+    delays = {tree.root: 0.0}
+    ip_messages = 0
+    frontier = [tree.root]
+    while frontier:
+        parent = frontier.pop()
+        children = tree.children(parent)
+        if not children:
+            continue
+        latencies = underlay.peer_distances_ms(parent, children)
+        hops = underlay.peer_hop_counts(parent, children)
+        for child, latency, hop in zip(children, latencies, hops):
+            delays[child] = delays[parent] + float(latency)
+            ip_messages += int(hop)
+            frontier.append(child)
+    esm_delay = sum(delays[m] for m in members) / len(members)
+    ip_tree = build_ip_multicast_tree(underlay, tree.root, members)
+    out: dict[str, float] = {}
+    if ip_tree.average_delay_ms > 0.0:
+        out["delay_penalty"] = esm_delay / ip_tree.average_delay_ms
+    if ip_tree.link_count > 0:
+        out["link_stress"] = ip_messages / ip_tree.link_count
+    return out
+
+
+# ----------------------------------------------------------------------
+# The recorder
+# ----------------------------------------------------------------------
+class TopologyRecorder:
+    """Captures delta-encoded structural snapshots on a virtual-time
+    cadence.
+
+    Attach with ``simulator.topology = recorder`` (done by
+    :meth:`watch_session`) or drive it manually via :meth:`snapshot` /
+    :meth:`observe_tree` from procedural code that never touches a
+    simulator.  ``detail="structure"`` (default) keeps per-snapshot
+    cost to set captures, BFS components and a degree fit;
+    ``detail="full"`` adds underlay-backed metrics (mean neighbor
+    distance) that are too expensive for a hot cadence on large
+    overlays.
+
+    ``registry`` defaults to a *private* registry so ``topology.*`` /
+    ``watchdog.*`` counters never contaminate a ``--telemetry``
+    snapshot of the experiment itself; pass
+    :func:`~repro.obs.registry.get_default_registry` explicitly to fold
+    them in.
+    """
+
+    def __init__(self, interval_ms: float = TOPOLOGY_INTERVAL_MS,
+                 enabled: bool = True, detail: str = "structure",
+                 registry: Optional[Registry] = None,
+                 tracer=None) -> None:
+        if interval_ms <= 0.0:
+            raise TelemetryError("topology interval must be positive")
+        if detail not in ("structure", "full"):
+            raise TelemetryError(
+                f"detail must be 'structure' or 'full', got {detail!r}")
+        self.interval_ms = interval_ms
+        self.enabled = enabled
+        self.detail = detail
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        self._snapshots: list[TopologySnapshot] = []
+        self._epoch = 0
+        self._next_sample_ms = 0.0
+        self._last_sampled_ms: float | None = None
+        # Watched structures (all optional, all observed read-only).
+        self._overlay = None
+        self._underlay = None
+        self._session = None
+        self._maintenance = None
+        self._conservation_registry: Optional[Registry] = None
+        self._trees: dict[int, object] = {}
+        # Current absolute state = baseline for the next delta.
+        self._cur_peers: frozenset[int] = frozenset()
+        self._cur_links: frozenset[tuple[int, int]] = frozenset()
+        self._cur_tree_edges: dict[int, frozenset] = {}
+        self._engine = None  # lazy WatchdogEngine
+        self._c_snapshots = self.registry.counter("topology.snapshots")
+        self._c_observations = self.registry.counter(
+            "topology.observations")
+
+    # ------------------------------------------------------------------
+    # Watch targets
+    # ------------------------------------------------------------------
+    @property
+    def overlay(self):
+        """The currently watched overlay (None when unwatched)."""
+        return self._overlay
+
+    @property
+    def maintenance(self):
+        """The watched maintenance daemon (for heartbeat watchdogs)."""
+        return self._maintenance
+
+    @property
+    def epoch(self) -> int:
+        """Epoch counter; bumped by every newly watched overlay."""
+        return self._epoch
+
+    def watch_overlay(self, overlay, underlay=None,
+                      baseline_at_ms: float | None = None) -> None:
+        """Observe an overlay graph; a *new* overlay starts a new epoch.
+
+        Re-watching the overlay already under observation only refreshes
+        the optional ``underlay`` (used for full-detail metrics).  A new
+        overlay resets the delta baseline, drops stale session/tree/
+        maintenance references from the previous epoch, and — when
+        ``baseline_at_ms`` is given — takes an immediate ``baseline``
+        snapshot carrying the full graph as its delta.
+        """
+        if overlay is self._overlay:
+            if underlay is not None:
+                self._underlay = underlay
+            return
+        self._overlay = overlay
+        self._underlay = underlay
+        self._session = None
+        self._maintenance = None
+        self._conservation_registry = None
+        self._trees = {}
+        self._epoch += 1
+        self._next_sample_ms = 0.0
+        self._last_sampled_ms = None
+        self._cur_peers = frozenset()
+        self._cur_links = frozenset()
+        self._cur_tree_edges = {}
+        self.registry.counter("topology.epochs").inc()
+        if self._engine is not None:
+            self._engine.new_epoch()
+        if baseline_at_ms is not None and self.enabled:
+            self.snapshot(baseline_at_ms, kind="baseline")
+
+    def watch_session(self, session) -> None:
+        """Observe a :class:`~repro.groupcast.session.GroupSession`.
+
+        Watches its overlay (new epoch unless already watched), derives
+        one spanning tree per established group from the per-node
+        upstream pointers at every snapshot, reads its registry for the
+        conservation gap, and rides its simulator clock.
+        """
+        if session is self._session:
+            return
+        self.watch_overlay(session.overlay)
+        self._session = session
+        self._conservation_registry = session.registry
+        session.simulator.topology = self
+
+    def watch_tree(self, group_id: int, tree) -> None:
+        """Track a :class:`~repro.groupcast.spanning_tree.SpanningTree`
+        object in every subsequent snapshot."""
+        self._trees[group_id] = tree
+
+    def watch_maintenance(self, daemon) -> None:
+        """Provide the maintenance daemon heartbeat watchdogs inspect."""
+        self._maintenance = daemon
+
+    def watch_conservation(self, registry: Registry) -> None:
+        """Read ``net.*`` counters of ``registry`` into a
+        ``conservation.gap`` metric each snapshot."""
+        self._conservation_registry = registry
+
+    def attach(self, simulator) -> None:
+        """Ride ``simulator``'s clock (sets ``simulator.topology``)."""
+        simulator.topology = self
+
+    # ------------------------------------------------------------------
+    # Watchdogs
+    # ------------------------------------------------------------------
+    def add_watchdog(self, rule) -> None:
+        """Evaluate ``rule`` against every snapshot (see
+        :mod:`repro.obs.watchdog`)."""
+        if self._engine is None:
+            from .watchdog import WatchdogEngine
+
+            self._engine = WatchdogEngine(registry=self.registry,
+                                          tracer=self.tracer)
+        self._engine.add(rule)
+
+    @property
+    def watchdogs(self):
+        """The attached :class:`~repro.obs.watchdog.WatchdogEngine`
+        (None until the first :meth:`add_watchdog`)."""
+        return self._engine
+
+    @property
+    def alerts(self) -> list:
+        """Every watchdog alert raised so far (all epochs)."""
+        return [] if self._engine is None else list(self._engine.alerts)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def on_advance(self, now_ms: float) -> None:
+        """Engine hook: the virtual clock is about to reach ``now_ms``.
+
+        Mirrors :meth:`~repro.obs.profiler.Profiler.on_advance`: only
+        the latest crossed cadence boundary is materialized, and the
+        snapshot sees pre-event state because the engine calls the hook
+        before dispatching.
+        """
+        if not self.enabled or now_ms < self._next_sample_ms:
+            return
+        if self._overlay is None and self._session is None \
+                and not self._trees:
+            return
+        at_ms = int(now_ms / self.interval_ms) * self.interval_ms
+        self.snapshot(at_ms)
+        self._next_sample_ms = at_ms + self.interval_ms
+
+    def snapshot(self, at_ms: float, kind: str = "cadence",
+                 extra_metrics: Optional[Mapping[str, float]] = None
+                 ) -> Optional[TopologySnapshot]:
+        """Capture one snapshot stamped ``at_ms``; returns it (or None
+        when disabled / deduplicated).
+
+        ``extra_metrics`` merges caller-computed values (e.g. a delay
+        penalty the experiment already measured) into the snapshot
+        before watchdogs evaluate it.
+        """
+        if not self.enabled:
+            return None
+        if kind in ("cadence", "final") \
+                and self._last_sampled_ms is not None \
+                and at_ms <= self._last_sampled_ms:
+            return None
+        peers, links = self._capture_overlay()
+        tree_edges = self._capture_trees()
+        delta = GraphDelta(
+            added_peers=tuple(sorted(peers - self._cur_peers)),
+            removed_peers=tuple(sorted(self._cur_peers - peers)),
+            added_links=tuple(sorted(links - self._cur_links)),
+            removed_links=tuple(sorted(self._cur_links - links)))
+        tree_deltas = []
+        for group_id in sorted(set(self._cur_tree_edges) | set(tree_edges)):
+            old = self._cur_tree_edges.get(group_id, frozenset())
+            new = tree_edges.get(group_id, frozenset())
+            added = tuple(sorted(new - old))
+            removed = tuple(sorted(old - new))
+            if added or removed or group_id not in self._cur_tree_edges:
+                tree_deltas.append(TreeDelta(group_id, added, removed))
+        metrics = self._metrics(peers, links, tree_edges)
+        if extra_metrics:
+            metrics.update(
+                {name: float(value)
+                 for name, value in extra_metrics.items()})
+        snapshot = TopologySnapshot(
+            at_ms=at_ms, seq=len(self._snapshots), epoch=self._epoch,
+            kind=kind, peer_count=len(peers), link_count=len(links),
+            overlay_delta=delta, tree_deltas=tuple(tree_deltas),
+            degree_histogram=self._degree_pairs(),
+            metrics=metrics)
+        self._snapshots.append(snapshot)
+        self._cur_peers = peers
+        self._cur_links = links
+        self._cur_tree_edges = tree_edges
+        if self._last_sampled_ms is None \
+                or at_ms > self._last_sampled_ms:
+            self._last_sampled_ms = at_ms
+        self._c_snapshots.inc()
+        if self._engine is not None and self._engine.rules:
+            self._engine.evaluate(snapshot, self)
+        return snapshot
+
+    def observe_tree(self, tree, group_id: int = 0,
+                     at_ms: float | None = None,
+                     extra_metrics: Optional[Mapping[str, float]] = None,
+                     underlay=None,
+                     compute_costs: bool = False
+                     ) -> Optional[TopologySnapshot]:
+        """One-off observation of a finished tree (procedural paths).
+
+        The sweep experiments build trees without a simulator, so there
+        is no clock to ride; each call registers ``tree`` under
+        ``group_id`` and takes an ``observe`` snapshot.  Cost ratios the
+        caller already measured arrive via ``extra_metrics`` (prefixed
+        ``tree.<group_id>.``); ``compute_costs=True`` derives them from
+        the underlay instead via :func:`tree_cost_metrics`.
+        """
+        if not self.enabled:
+            return None
+        self._trees[group_id] = tree
+        if underlay is not None:
+            self._underlay = underlay
+        extras = {f"tree.{group_id}.{name}": float(value)
+                  for name, value in (extra_metrics or {}).items()}
+        if compute_costs and self._underlay is not None:
+            extras.update(
+                {f"tree.{group_id}.{name}": value
+                 for name, value in
+                 tree_cost_metrics(tree, self._underlay).items()})
+        stamp = at_ms if at_ms is not None \
+            else (self._last_sampled_ms or 0.0)
+        self._c_observations.inc()
+        return self.snapshot(stamp, kind="observe", extra_metrics=extras)
+
+    def finish(self, now_ms: float) -> None:
+        """Take a final closing snapshot at the run's end time."""
+        if self.enabled and (self._overlay is not None
+                             or self._session is not None
+                             or self._trees):
+            self.snapshot(now_ms, kind="final")
+
+    # ------------------------------------------------------------------
+    # Capture internals
+    # ------------------------------------------------------------------
+    def _capture_overlay(self):
+        overlay = self._overlay
+        if overlay is None:
+            return frozenset(), frozenset()
+        return (frozenset(overlay.peer_ids()),
+                frozenset(overlay.edges()))
+
+    def _capture_trees(self) -> dict[int, frozenset]:
+        out: dict[int, frozenset] = {}
+        for group_id, tree in self._trees.items():
+            out[group_id] = frozenset(tree.edges())
+        session = self._session
+        if session is not None:
+            for group_id in session.rendezvous:
+                edges = set()
+                for peer_id, node in session.nodes.items():
+                    state = node.groups.get(group_id)
+                    if state is not None and state.on_tree \
+                            and state.upstream is not None:
+                        edges.add((state.upstream, peer_id))
+                out[group_id] = frozenset(edges)
+        return out
+
+    def _degree_pairs(self) -> tuple[tuple[int, int], ...]:
+        if self._overlay is None:
+            return ()
+        from ..metrics.overlay_metrics import degree_histogram
+
+        values, counts = degree_histogram(self._overlay)
+        return tuple((int(v), int(c)) for v, c in zip(values, counts))
+
+    def _metrics(self, peers: frozenset, links: frozenset,
+                 tree_edges: dict[int, frozenset]) -> dict[str, float]:
+        metrics: dict[str, float] = {}
+        overlay = self._overlay
+        if overlay is not None:
+            from ..metrics.overlay_metrics import (
+                average_neighbor_distance_ms,
+                degree_histogram,
+                power_law_fit,
+            )
+
+            metrics["overlay.peers"] = float(len(peers))
+            metrics["overlay.links"] = float(len(links))
+            sizes = overlay.connected_component_sizes()
+            metrics["overlay.components"] = float(len(sizes))
+            if sizes and peers:
+                metrics["overlay.largest_component_fraction"] = \
+                    sizes[0] / len(peers)
+            degrees = overlay.degrees()
+            if degrees.size:
+                metrics["overlay.degree_mean"] = float(degrees.mean())
+                metrics["overlay.degree_max"] = float(degrees.max())
+            metrics["overlay.diameter"] = float(pseudo_diameter(overlay))
+            values, counts = degree_histogram(overlay)
+            try:
+                exponent, r_squared = power_law_fit(values, counts)
+                metrics["overlay.degree_powerlaw_exponent"] = exponent
+                metrics["overlay.degree_powerlaw_r2"] = r_squared
+            except OverlayError:
+                pass  # fewer than three distinct degrees
+            if self.detail == "full" and self._underlay is not None \
+                    and peers:
+                distances = average_neighbor_distance_ms(
+                    overlay, self._underlay)
+                if distances.size:
+                    metrics["overlay.neighbor_distance_mean_ms"] = \
+                        float(distances.mean())
+        for group_id in sorted(tree_edges):
+            metrics.update(self._tree_metrics(
+                group_id, tree_edges[group_id]))
+        gap = self._conservation_gap()
+        if gap is not None:
+            metrics["conservation.gap"] = gap
+        return metrics
+
+    def _tree_metrics(self, group_id: int,
+                      edges: frozenset) -> dict[str, float]:
+        prefix = f"tree.{group_id}"
+        root = self._tree_root(group_id)
+        children: dict[int, list[int]] = {}
+        nodes: set[int] = set() if root is None else {root}
+        for parent, child in edges:
+            children.setdefault(parent, []).append(child)
+            nodes.add(parent)
+            nodes.add(child)
+        out = {f"{prefix}.nodes": float(len(nodes)),
+               f"{prefix}.edges": float(len(edges))}
+        fanouts = [len(kids) for kids in children.values()]
+        out[f"{prefix}.max_fanout"] = float(max(fanouts)) if fanouts \
+            else 0.0
+        out[f"{prefix}.node_stress"] = \
+            sum(fanouts) / len(fanouts) if fanouts else 0.0
+        if root is not None:
+            depth = 0
+            seen = {root}
+            frontier = [root]
+            while frontier:
+                depth_next: list[int] = []
+                for node in frontier:
+                    for child in children.get(node, ()):
+                        if child not in seen:
+                            seen.add(child)
+                            depth_next.append(child)
+                if depth_next:
+                    depth += 1
+                frontier = depth_next
+            out[f"{prefix}.depth"] = float(depth)
+        out.update(self._tree_membership(group_id, prefix, nodes))
+        out.update(self._tree_overload(prefix, children))
+        return out
+
+    def _tree_root(self, group_id: int) -> Optional[int]:
+        session = self._session
+        if session is not None and group_id in session.rendezvous:
+            return session.rendezvous[group_id]
+        tree = self._trees.get(group_id)
+        return None if tree is None else tree.root
+
+    def _tree_membership(self, group_id: int, prefix: str,
+                         nodes: set[int]) -> dict[str, float]:
+        session = self._session
+        if session is not None and group_id in session.rendezvous:
+            members = on_tree = 0
+            for node in session.nodes.values():
+                state = node.groups.get(group_id)
+                if state is not None and state.is_member:
+                    members += 1
+                    if state.on_tree:
+                        on_tree += 1
+            broken = len(session.broken_upstream_peers(group_id))
+            return {f"{prefix}.members": float(members),
+                    f"{prefix}.orphans": float(members - on_tree),
+                    f"{prefix}.broken_upstreams": float(broken)}
+        tree = self._trees.get(group_id)
+        if tree is None:
+            return {}
+        members = tree.members
+        orphans = sum(1 for m in members if m not in nodes)
+        return {f"{prefix}.members": float(len(members)),
+                f"{prefix}.orphans": float(orphans)}
+
+    def _tree_overload(self, prefix: str,
+                       children: dict[int, list[int]]
+                       ) -> dict[str, float]:
+        overlay = self._overlay
+        if overlay is None or not children:
+            return {}
+        from ..metrics.tree_metrics import overload_index
+
+        workloads = {node: len(kids)
+                     for node, kids in children.items() if kids}
+        try:
+            capacities = {node: overlay.peer(node).capacity
+                          for node in workloads}
+        except (PeerNotFoundError, OverlayError):
+            return {}  # a forwarder left the overlay mid-window
+        return {f"{prefix}.overload_index":
+                overload_index(workloads, capacities)}
+
+    def _conservation_gap(self) -> Optional[float]:
+        registry = self._conservation_registry
+        if registry is None or registry.get("net.sent") is None:
+            return None
+        values = {name: (registry.get(name).value
+                         if registry.get(name) is not None else 0)
+                  for name in _CONSERVATION_COUNTERS}
+        return float(
+            values["net.sent"] + values["faults.duplicated"]
+            - values["net.delivered"] - values["net.lost"]
+            - values["net.dead_lettered"] - values["faults.dropped"]
+            - values["faults.partition_dropped"])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def snapshots(self) -> tuple[TopologySnapshot, ...]:
+        """Every captured snapshot, oldest first."""
+        return tuple(self._snapshots)
+
+    def latest(self) -> Optional[TopologySnapshot]:
+        """The most recent snapshot, or None."""
+        return self._snapshots[-1] if self._snapshots else None
+
+    def series(self, name: str,
+               epoch: int | None = None) -> TimeSeries:
+        """The metric ``name`` across snapshots as a gauge
+        :class:`~repro.obs.profiler.TimeSeries` (optionally one epoch)."""
+        series = TimeSeries(name, "gauge")
+        for snapshot in self._snapshots:
+            if epoch is not None and snapshot.epoch != epoch:
+                continue
+            value = snapshot.metrics.get(name)
+            if value is not None:
+                series.points.append((snapshot.at_ms, value))
+        return series
+
+    def metric_names(self) -> list[str]:
+        """Every metric name observed in any snapshot, sorted."""
+        names: set[str] = set()
+        for snapshot in self._snapshots:
+            names.update(snapshot.metrics)
+        return sorted(names)
+
+    def all_series(self) -> list[TimeSeries]:
+        """One series per observed metric, sorted by name."""
+        return [self.series(name) for name in self.metric_names()]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Full JSON-serializable artifact (input to
+        :mod:`repro.obs.diff`)."""
+        engine = self._engine
+        return {
+            "meta": {
+                "interval_ms": self.interval_ms,
+                "detail": self.detail,
+                "epochs": self._epoch,
+                "snapshots": len(self._snapshots),
+                "watchdogs": [] if engine is None
+                else [rule.name for rule in engine.rules],
+            },
+            "snapshots": [s.to_dict() for s in self._snapshots],
+            "final": {
+                "epoch": self._epoch,
+                "peers": sorted(self._cur_peers),
+                "links": [list(link)
+                          for link in sorted(self._cur_links)],
+                "trees": {str(group_id): [list(edge)
+                                          for edge in sorted(edges)]
+                          for group_id, edges
+                          in sorted(self._cur_tree_edges.items())},
+            },
+            "alerts": [alert.to_dict() for alert in self.alerts],
+        }
+
+    def export_json(self, path: str | Path) -> Path:
+        """Write :meth:`to_dict` to ``path`` as deterministic JSON."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return target
+
+    def to_dot(self) -> str:
+        """The latest captured graph in Graphviz DOT.
+
+        Overlay links render gray; links carried by any group's
+        spanning tree render bold; tree edges with no surviving overlay
+        link (e.g. during a partition window) render dashed red —
+        exactly the repair debt a partition watchdog flags.
+        """
+        tree_links: set[tuple[int, int]] = set()
+        for edges in self._cur_tree_edges.values():
+            for a, b in edges:
+                tree_links.add((min(a, b), max(a, b)))
+        member_ids: set[int] = set()
+        session = self._session
+        if session is not None:
+            for node in session.nodes.values():
+                if any(state.is_member
+                       for state in node.groups.values()):
+                    member_ids.add(node.peer_id)
+        for tree in self._trees.values():
+            member_ids.update(tree.members)
+        lines = ["graph topology {",
+                 "  graph [overlap=false];",
+                 "  node [shape=circle, fontsize=8];"]
+        for peer in sorted(self._cur_peers):
+            style = " style=filled fillcolor=lightblue" \
+                if peer in member_ids else ""
+            lines.append(f"  n{peer} [label=\"{peer}\"{style}];")
+        for a, b in sorted(self._cur_links):
+            if (a, b) in tree_links:
+                lines.append(f"  n{a} -- n{b} [penwidth=2];")
+            else:
+                lines.append(f"  n{a} -- n{b} [color=gray];")
+        overlay_links = set(self._cur_links)
+        for a, b in sorted(tree_links - overlay_links):
+            lines.append(
+                f"  n{a} -- n{b} [style=dashed, color=red];")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def export_dot(self, path: str | Path) -> Path:
+        """Write :meth:`to_dot` to ``path``."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_dot(), encoding="utf-8")
+        return target
+
+    # ------------------------------------------------------------------
+    # Report sections (duck-typed by :mod:`repro.obs.report`)
+    # ------------------------------------------------------------------
+    def report_section(self) -> dict:
+        """Summary dict for the ``topology`` report section."""
+        latest = self.latest()
+        section: dict = {
+            "snapshots": len(self._snapshots),
+            "epochs": self._epoch,
+            "interval_ms": self.interval_ms,
+            "detail": self.detail,
+        }
+        if latest is not None:
+            section["last"] = {
+                "at_ms": latest.at_ms,
+                "epoch": latest.epoch,
+                "peer_count": latest.peer_count,
+                "link_count": latest.link_count,
+                "metrics": dict(sorted(latest.metrics.items())),
+            }
+        section["series"] = [series.summary()
+                             for series in self.all_series()]
+        return section
+
+    def watchdog_section(self) -> Optional[dict]:
+        """Summary dict for the ``watchdog`` report section."""
+        return None if self._engine is None else self._engine.summary()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default (mirrors the profiler idiom)
+# ----------------------------------------------------------------------
+_default_recorder: Optional[TopologyRecorder] = None
+
+
+def get_default_topology_recorder() -> Optional[TopologyRecorder]:
+    """The process-wide recorder (None unless installed)."""
+    return _default_recorder
+
+
+def set_default_topology_recorder(
+        recorder: Optional[TopologyRecorder]
+) -> Optional[TopologyRecorder]:
+    """Install ``recorder`` as the default; returns the previous one."""
+    global _default_recorder
+    previous = _default_recorder
+    _default_recorder = recorder
+    return previous
+
+
+def enable_topology(interval_ms: float = TOPOLOGY_INTERVAL_MS,
+                    detail: str = "structure",
+                    registry: Optional[Registry] = None,
+                    tracer=None) -> TopologyRecorder:
+    """Install and return a fresh default topology recorder.
+
+    :class:`~repro.groupcast.session.GroupSession` construction and
+    :func:`~repro.deployment.build_deployment` auto-attach to the
+    default recorder, so enabling this before running an experiment is
+    all the wiring a caller needs (the runner's ``--topology`` flag
+    does exactly this).
+    """
+    recorder = TopologyRecorder(interval_ms=interval_ms, detail=detail,
+                                registry=registry, tracer=tracer)
+    set_default_topology_recorder(recorder)
+    return recorder
+
+
+def disable_topology() -> None:
+    """Remove the default recorder (new sessions stop attaching)."""
+    set_default_topology_recorder(None)

@@ -59,6 +59,10 @@ KIND_PARTITION_HEAL = "partition_heal"
 KIND_CRASH = "crash"
 KIND_RESTART = "restart"
 
+#: Record kind emitted by the topology observatory's watchdog engine
+#: (:mod:`repro.obs.watchdog`) when a rule fires or clears.
+KIND_WATCHDOG = "watchdog"
+
 
 @dataclass(frozen=True)
 class SpanContext:
@@ -263,6 +267,22 @@ class Tracer:
             "trace_digest": self.trace_digest(),
         }
 
+    def iter_jsonl(self, include_meta: bool = False
+                   ) -> Iterator[str]:
+        """Yield the buffered window as JSON lines, one at a time.
+
+        Each yielded string is one complete line including its trailing
+        newline; ``include_meta=True`` yields the ``{"meta": ...}``
+        accounting line first.  The buffer is copied up front so records
+        appended mid-iteration don't shift the window.
+        """
+        if include_meta:
+            yield json.dumps({"meta": self.export_meta()},
+                             sort_keys=True,
+                             separators=(",", ":")) + "\n"
+        for rec in tuple(self._buffer):
+            yield rec.to_json() + "\n"
+
     def to_jsonl(self, include_meta: bool = False) -> str:
         """The buffered window as JSON lines.
 
@@ -270,19 +290,20 @@ class Tracer:
         the stream accounting (total/buffered/dropped/digest), so a
         truncated export is detectable from the file alone.
         """
-        lines = "".join(rec.to_json() + "\n" for rec in self._buffer)
-        if not include_meta:
-            return lines
-        meta = json.dumps({"meta": self.export_meta()},
-                          sort_keys=True, separators=(",", ":"))
-        return meta + "\n" + lines
+        return "".join(self.iter_jsonl(include_meta=include_meta))
 
     def export_jsonl(self, path: str | Path,
                      include_meta: bool = False) -> Path:
-        """Write the buffered window to ``path`` as JSON lines."""
+        """Stream the buffered window to ``path`` as JSON lines.
+
+        Writes line by line from :meth:`iter_jsonl` so long runs never
+        materialize the whole export twice; output stays byte-identical
+        to ``to_jsonl()`` (pinned by a test).
+        """
         target = Path(path)
-        target.write_text(self.to_jsonl(include_meta=include_meta),
-                          encoding="utf-8")
+        with target.open("w", encoding="utf-8", newline="") as handle:
+            for line in self.iter_jsonl(include_meta=include_meta):
+                handle.write(line)
         return target
 
     def clear(self) -> None:

@@ -1,0 +1,427 @@
+"""SLO-style anomaly watchdogs over topology snapshots.
+
+A :class:`WatchdogEngine` evaluates a set of :class:`WatchdogRule`
+detectors against every :class:`~repro.obs.topology.TopologySnapshot`
+the :class:`~repro.obs.topology.TopologyRecorder` captures.  Rules are
+*level-triggered with edge reporting*: a rule that starts violating
+raises one ``fired`` :class:`Alert`, stays silently active while the
+condition persists, and raises one ``cleared`` alert when the condition
+goes away — so the alert stream reads as incident windows, not noise.
+
+Built-in detectors map the fault-injection harness (PR 3) onto paper
+semantics:
+
+* :class:`OverlayPartition` — the unstructured overlay lost its single
+  connected component (a :class:`~repro.faults.plan.PartitionWindow`
+  severing links, or excessive churn);
+* :class:`MetricSpike` (and the :func:`tree_depth_spike` /
+  :func:`node_stress_spike` helpers) — a structural metric jumped
+  against its own trailing window, e.g. tree depth after a bad repair;
+* :class:`OrphanedMembers` — subscribed members without a tree path
+  (crash orphans the recovery policy has not re-attached);
+* :class:`ConservationGapGrowth` — the transport conservation identity
+  keeps drifting (messages leaking, not just in flight);
+* :class:`HeartbeatStaleness` — a maintenance view holds peers past
+  the failure-detection threshold.
+
+Every fired/cleared transition increments ``watchdog.*`` counters in
+the engine's registry and — only when a tracer was *explicitly* given —
+emits a ``watchdog`` trace record; with no tracer the engine is digest
+bit-transparent like the recorder itself.  The ``action`` of a rule
+selects what firing does: ``record`` (default) only collects the
+alert, ``warn`` flags it for report rendering, ``halt`` raises
+:class:`~repro.errors.WatchdogHalt` to abort the run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TelemetryError, WatchdogHalt
+from .registry import Registry
+from .tracer import KIND_WATCHDOG
+
+#: Valid rule fire actions.
+ACTIONS = ("record", "warn", "halt")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired/cleared transition of a watchdog rule."""
+
+    at_ms: float
+    epoch: int
+    rule: str
+    kind: str  # "fired" | "cleared"
+    message: str
+    action: str
+
+    def to_dict(self) -> dict:
+        return {"at_ms": self.at_ms, "epoch": self.epoch,
+                "rule": self.rule, "kind": self.kind,
+                "message": self.message, "action": self.action}
+
+
+class WatchdogRule:
+    """Base detector: subclasses implement :meth:`check`.
+
+    :meth:`check` returns a violation message while the condition
+    holds and None otherwise; the engine turns level changes into
+    alerts.  :meth:`reset` clears any trailing-window state when a new
+    epoch starts (a fresh overlay must not be judged against the
+    previous deployment's history).
+    """
+
+    def __init__(self, name: str, action: str = "record") -> None:
+        if action not in ACTIONS:
+            raise TelemetryError(
+                f"watchdog action must be one of {ACTIONS}, "
+                f"got {action!r}")
+        self.name = name
+        self.action = action
+
+    def check(self, snapshot, recorder) -> Optional[str]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget trailing-window state (new epoch)."""
+
+
+class OverlayPartition(WatchdogRule):
+    """Fires while the overlay has more components than allowed or the
+    largest component holds too small a fraction of the peers."""
+
+    def __init__(self, max_components: int = 1,
+                 min_largest_fraction: float = 1.0,
+                 action: str = "record",
+                 name: str = "overlay-partition") -> None:
+        super().__init__(name, action)
+        self.max_components = max_components
+        self.min_largest_fraction = min_largest_fraction
+
+    def check(self, snapshot, recorder) -> Optional[str]:
+        components = snapshot.metrics.get("overlay.components")
+        if components is None:
+            return None
+        if components > self.max_components:
+            return (f"overlay split into {components:.0f} components "
+                    f"(allowed {self.max_components})")
+        fraction = snapshot.metrics.get(
+            "overlay.largest_component_fraction")
+        if fraction is not None \
+                and fraction < self.min_largest_fraction:
+            return (f"largest component holds {fraction:.2f} of peers "
+                    f"(required {self.min_largest_fraction:.2f})")
+        return None
+
+
+class MetricSpike(WatchdogRule):
+    """Fires when a metric exceeds ``factor`` times its trailing-window
+    mean.
+
+    The window holds the last ``window`` observed values *before* the
+    current snapshot; at least ``min_history`` of them must exist
+    before the rule judges anything (a cold start is not a spike).
+    ``min_value`` suppresses firing below an absolute floor so tiny
+    metrics (depth 1 → 2) do not alert.
+    """
+
+    def __init__(self, metric: str, factor: float = 2.0,
+                 window: int = 5, min_history: int = 2,
+                 min_value: float = 0.0, action: str = "record",
+                 name: str | None = None) -> None:
+        super().__init__(name or f"spike:{metric}", action)
+        if factor <= 1.0:
+            raise TelemetryError("spike factor must be > 1")
+        if window < 1:
+            raise TelemetryError("spike window must be >= 1")
+        self.metric = metric
+        self.factor = factor
+        self.min_history = max(1, min_history)
+        self.min_value = min_value
+        self._history: deque[float] = deque(maxlen=window)
+
+    def check(self, snapshot, recorder) -> Optional[str]:
+        value = snapshot.metrics.get(self.metric)
+        if value is None:
+            return None
+        message = None
+        if len(self._history) >= self.min_history:
+            baseline = sum(self._history) / len(self._history)
+            if baseline > 0.0 and value >= self.min_value \
+                    and value > baseline * self.factor:
+                message = (f"{self.metric} = {value:g} is "
+                           f"{value / baseline:.2f}x its trailing "
+                           f"mean {baseline:g}")
+        self._history.append(value)
+        return message
+
+    def reset(self) -> None:
+        self._history.clear()
+
+
+def tree_depth_spike(group_id: int, factor: float = 2.0,
+                     window: int = 5, action: str = "record"
+                     ) -> MetricSpike:
+    """Spike detector on one group's spanning-tree depth."""
+    return MetricSpike(f"tree.{group_id}.depth", factor=factor,
+                       window=window, min_value=3.0, action=action)
+
+
+def node_stress_spike(group_id: int, factor: float = 2.0,
+                      window: int = 5, action: str = "record"
+                      ) -> MetricSpike:
+    """Spike detector on one group's mean forwarding fan-out."""
+    return MetricSpike(f"tree.{group_id}.node_stress", factor=factor,
+                       window=window, min_value=2.0, action=action)
+
+
+class OrphanedMembers(WatchdogRule):
+    """Fires while subscribed members sit off their spanning tree.
+
+    With ``group_id=None`` the rule scans every ``tree.<gid>.orphans``
+    metric in the snapshot, so it needs no advance knowledge of the
+    group ids a run will establish.
+    """
+
+    def __init__(self, group_id: int | None = None,
+                 max_orphans: int = 0, action: str = "record",
+                 name: str = "orphaned-members") -> None:
+        super().__init__(name, action)
+        self.group_id = group_id
+        self.max_orphans = max_orphans
+
+    def check(self, snapshot, recorder) -> Optional[str]:
+        if self.group_id is not None:
+            keys = [f"tree.{self.group_id}.orphans"]
+        else:
+            keys = [key for key in snapshot.metrics
+                    if key.startswith("tree.")
+                    and key.endswith(".orphans")]
+        worst: tuple[float, str] | None = None
+        for key in keys:
+            orphans = snapshot.metrics.get(key)
+            if orphans is not None and orphans > self.max_orphans \
+                    and (worst is None or orphans > worst[0]):
+                worst = (orphans, key)
+        if worst is None:
+            return None
+        orphans, key = worst
+        group = key.split(".")[1]
+        return (f"group {group} has {orphans:.0f} members off the "
+                f"tree (allowed {self.max_orphans})")
+
+
+class ConservationGapGrowth(WatchdogRule):
+    """Fires when the transport conservation gap grows monotonically.
+
+    A nonzero gap is normal while messages are in flight; a gap that
+    *keeps growing* across ``window`` consecutive snapshots by at
+    least ``min_growth`` total means messages are leaking (lost
+    without a ``net.lost``/``faults.*`` account).
+    """
+
+    def __init__(self, window: int = 4, min_growth: float = 1.0,
+                 action: str = "record",
+                 name: str = "conservation-gap-growth") -> None:
+        super().__init__(name, action)
+        if window < 2:
+            raise TelemetryError("growth window must be >= 2")
+        self.min_growth = min_growth
+        self._history: deque[float] = deque(maxlen=window)
+
+    def check(self, snapshot, recorder) -> Optional[str]:
+        gap = snapshot.metrics.get("conservation.gap")
+        if gap is None:
+            return None
+        self._history.append(gap)
+        if len(self._history) < self._history.maxlen:
+            return None
+        values = list(self._history)
+        rising = all(later > earlier for earlier, later
+                     in zip(values, values[1:]))
+        growth = values[-1] - values[0]
+        if rising and growth >= self.min_growth:
+            return (f"conservation gap grew {growth:g} over the last "
+                    f"{len(values)} snapshots (now {gap:g})")
+        return None
+
+    def reset(self) -> None:
+        self._history.clear()
+
+
+class HeartbeatStaleness(WatchdogRule):
+    """Fires while a maintenance heartbeat view violates its failure
+    detector (wraps :func:`repro.faults.invariants.
+    check_heartbeat_view`).
+
+    The daemon/overlay pair comes from the rule itself or, when
+    omitted, from what the recorder watches
+    (:meth:`~repro.obs.topology.TopologyRecorder.watch_maintenance`).
+    """
+
+    def __init__(self, maintenance=None, overlay=None,
+                 action: str = "record",
+                 name: str = "heartbeat-staleness") -> None:
+        super().__init__(name, action)
+        self._maintenance = maintenance
+        self._overlay = overlay
+
+    def check(self, snapshot, recorder) -> Optional[str]:
+        maintenance = self._maintenance or recorder.maintenance
+        overlay = self._overlay or recorder.overlay
+        if maintenance is None or overlay is None:
+            return None
+        from ..faults.invariants import check_heartbeat_view
+
+        violations = check_heartbeat_view(maintenance, overlay)
+        if not violations:
+            return None
+        return (f"{len(violations)} stale heartbeat view entries "
+                f"(first: {violations[0]})")
+
+
+class WatchdogEngine:
+    """Evaluates rules at every snapshot and tracks incident windows.
+
+    One engine belongs to one :class:`~repro.obs.topology.
+    TopologyRecorder` (created lazily by ``add_watchdog``).  Firing
+    state resets at epoch boundaries — each watched deployment is its
+    own incident timeline — while the alert history spans the whole
+    run.
+    """
+
+    def __init__(self, registry: Optional[Registry] = None,
+                 tracer=None) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        self.alerts: list[Alert] = []
+        self._rules: list[WatchdogRule] = []
+        self._active: dict[str, str] = {}
+        self._c_fired = self.registry.counter("watchdog.fired")
+        self._c_cleared = self.registry.counter("watchdog.cleared")
+
+    @property
+    def rules(self) -> tuple[WatchdogRule, ...]:
+        return tuple(self._rules)
+
+    def add(self, rule: WatchdogRule) -> None:
+        if any(existing.name == rule.name for existing in self._rules):
+            raise TelemetryError(
+                f"duplicate watchdog rule name {rule.name!r}")
+        self._rules.append(rule)
+
+    def new_epoch(self) -> None:
+        """Drop firing state and trailing windows (fresh deployment)."""
+        self._active.clear()
+        for rule in self._rules:
+            rule.reset()
+
+    def evaluate(self, snapshot, recorder) -> list[Alert]:
+        """Check every rule against ``snapshot``; returns new alerts.
+
+        Raises :class:`~repro.errors.WatchdogHalt` after collecting
+        all of the snapshot's transitions when a firing rule carries
+        the ``halt`` action.
+        """
+        new_alerts: list[Alert] = []
+        halt: Alert | None = None
+        for rule in self._rules:
+            message = rule.check(snapshot, recorder)
+            active = rule.name in self._active
+            if message is not None and not active:
+                alert = Alert(snapshot.at_ms, snapshot.epoch,
+                              rule.name, "fired", message, rule.action)
+                self._active[rule.name] = message
+                self._record(alert)
+                new_alerts.append(alert)
+                if rule.action == "halt":
+                    halt = alert
+            elif message is None and active:
+                alert = Alert(snapshot.at_ms, snapshot.epoch,
+                              rule.name, "cleared",
+                              self._active.pop(rule.name),
+                              rule.action)
+                self._record(alert)
+                new_alerts.append(alert)
+        self.alerts.extend(new_alerts)
+        if halt is not None:
+            raise WatchdogHalt(
+                f"watchdog {halt.rule!r} halted the run at "
+                f"{halt.at_ms:.1f} ms: {halt.message}")
+        return new_alerts
+
+    def _record(self, alert: Alert) -> None:
+        counter = self._c_fired if alert.kind == "fired" \
+            else self._c_cleared
+        counter.inc()
+        self.registry.counter(
+            f"watchdog.{alert.rule}.{alert.kind}").inc()
+        if self.tracer is not None:
+            self.tracer.record(alert.at_ms, KIND_WATCHDOG,
+                               detail=f"{alert.rule}:{alert.kind}")
+
+    # ------------------------------------------------------------------
+    def active_rules(self) -> list[str]:
+        """Names of rules currently in a firing window, sorted."""
+        return sorted(self._active)
+
+    def fired(self, rule: str | None = None,
+              epoch: int | None = None) -> list[Alert]:
+        """``fired`` alerts, optionally filtered by rule name/epoch."""
+        return [alert for alert in self.alerts
+                if alert.kind == "fired"
+                and (rule is None or alert.rule == rule)
+                and (epoch is None or alert.epoch == epoch)]
+
+    def cleared(self, rule: str | None = None,
+                epoch: int | None = None) -> list[Alert]:
+        """``cleared`` alerts, optionally filtered by rule name/epoch."""
+        return [alert for alert in self.alerts
+                if alert.kind == "cleared"
+                and (rule is None or alert.rule == rule)
+                and (epoch is None or alert.epoch == epoch)]
+
+    def summary(self) -> dict:
+        """Roll-up dict for the ``watchdog`` report section."""
+        by_rule: dict[str, dict[str, int]] = {}
+        for alert in self.alerts:
+            entry = by_rule.setdefault(alert.rule,
+                                       {"fired": 0, "cleared": 0})
+            entry[alert.kind] += 1
+        return {
+            "rules": [rule.name for rule in self._rules],
+            "fired": sum(1 for a in self.alerts if a.kind == "fired"),
+            "cleared": sum(1 for a in self.alerts
+                           if a.kind == "cleared"),
+            "active": self.active_rules(),
+            "by_rule": dict(sorted(by_rule.items())),
+            "alerts": [alert.to_dict()
+                       for alert in self.alerts[:50]],
+            "warnings": [alert.to_dict() for alert in self.alerts
+                         if alert.action == "warn"
+                         and alert.kind == "fired"][:20],
+        }
+
+
+def default_watchdogs(group_ids: tuple[int, ...] = (),
+                      action: str = "record") -> list[WatchdogRule]:
+    """The standard detector pack the runner's ``--watchdogs`` installs.
+
+    Partition, orphan and conservation detectors need no group
+    knowledge; per-group spike detectors are added for each id in
+    ``group_ids`` (sessions established later still feed the wildcard
+    orphan rule).
+    """
+    rules: list[WatchdogRule] = [
+        OverlayPartition(action=action),
+        OrphanedMembers(action=action),
+        ConservationGapGrowth(action=action),
+        HeartbeatStaleness(action=action),
+    ]
+    for group_id in group_ids:
+        rules.append(tree_depth_spike(group_id, action=action))
+        rules.append(node_stress_spike(group_id, action=action))
+    return rules

@@ -54,10 +54,10 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_heap", "_sequence", "_events_processed",
-                 "tracer", "profiler")
+                 "tracer", "profiler", "topology")
 
     def __init__(self, tracer: Optional[Tracer] = None,
-                 profiler=None) -> None:
+                 profiler=None, topology=None) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._sequence = itertools.count()
@@ -69,6 +69,11 @@ class Simulator:
         #: would consume sequence numbers and break ``trace_digest``
         #: bit-transparency) and times dispatch wall-clock.
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.topology.TopologyRecorder`.  Same
+        #: contract as the profiler: ``topology.on_advance(time)`` runs
+        #: before each dispatch and never schedules events, so an
+        #: attached recorder leaves ``trace_digest`` bit-identical.
+        self.topology = topology
 
     @property
     def now(self) -> float:
@@ -151,6 +156,9 @@ class Simulator:
                 profiler = self.profiler
                 if profiler is not None:
                     profiler.on_advance(until)
+                topology = self.topology
+                if topology is not None:
+                    topology.on_advance(until)
                 return
             heapq.heappop(self._heap)
             if event.cancelled:
@@ -160,6 +168,9 @@ class Simulator:
             self._now = event.time
             if self.tracer is not None:
                 self.tracer.record(event.time, KIND_FIRE, seq=event.sequence)
+            topology = self.topology
+            if topology is not None:
+                topology.on_advance(event.time)
             profiler = self.profiler
             if profiler is not None:
                 profiler.on_advance(event.time)
@@ -185,6 +196,9 @@ class Simulator:
             self._now = event.time
             if self.tracer is not None:
                 self.tracer.record(event.time, KIND_FIRE, seq=event.sequence)
+            topology = self.topology
+            if topology is not None:
+                topology.on_advance(event.time)
             profiler = self.profiler
             if profiler is not None:
                 profiler.on_advance(event.time)

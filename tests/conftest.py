@@ -37,19 +37,23 @@ def _isolate_default_observability():
     from repro.obs import (
         get_default_profiler,
         get_default_registry,
+        get_default_topology_recorder,
         get_default_tracer,
         set_default_profiler,
         set_default_registry,
+        set_default_topology_recorder,
         set_default_tracer,
     )
 
     registry = get_default_registry()
     tracer = get_default_tracer()
     profiler = get_default_profiler()
+    topology = get_default_topology_recorder()
     yield
     set_default_registry(registry)
     set_default_tracer(tracer)
     set_default_profiler(profiler)
+    set_default_topology_recorder(topology)
 
 
 @pytest.fixture(scope="session")

@@ -224,3 +224,111 @@ class TestProceduralCausality:
         for tree in subs:
             # Reverse-path grafts chain hop by hop: depth == hops.
             assert tree.stats().depth >= 1
+
+
+# ----------------------------------------------------------------------
+# Baseline protocols join the span forest (cross-protocol attribution)
+# ----------------------------------------------------------------------
+class TestBaselineSpans:
+    """Narada, NICE, Skype-unicast and SCRIBE emit span episodes when
+    tracing is on, and stay digest-transparent when it is off — so the
+    comparison benches of Section 2.1 attribute cost like-for-like with
+    GroupCast."""
+
+    @pytest.fixture(scope="class")
+    def underlay(self):
+        from repro.config import TransitStubConfig
+        from repro.network.topology import generate_transit_stub
+
+        u = generate_transit_stub(
+            TransitStubConfig(transit_domains=2,
+                              transit_routers_per_domain=3,
+                              stub_domains_per_transit=2,
+                              routers_per_stub=3),
+            spawn_rng(6, "topo"))
+        rng = spawn_rng(6, "attach")
+        for peer in range(40):
+            u.attach_peer(peer, rng)
+        return u
+
+    def test_narada_mesh_probe_episode(self, underlay):
+        from repro.baselines.narada import build_narada_mesh
+
+        tracer = Tracer(spans=True)
+        mesh = build_narada_mesh(underlay, list(range(10)),
+                                 spawn_rng(2, "narada"), tracer=tracer)
+        forest = SpanForest.from_tracer(tracer)
+        forest.validate()
+        trees = forest.trees("narada-mesh")
+        assert len(trees) == 1
+        stats = trees[0].stats()
+        # One probe send/deliver pair per undirected mesh link.
+        assert stats.message_count == mesh.edge_count
+        assert trees[0].cost_by_kind()["probe"]["messages"] == \
+            mesh.edge_count
+
+    def test_nice_cluster_subscription_episode(self, underlay):
+        from repro.baselines.nice import build_nice_tree
+
+        tracer = Tracer(spans=True)
+        tree = build_nice_tree(underlay, list(range(12)),
+                               spawn_rng(3, "nice"), tracer=tracer)
+        forest = SpanForest.from_tracer(tracer)
+        forest.validate()
+        episodes = forest.trees("nice-cluster")
+        assert len(episodes) == 1
+        # Every non-root hierarchy node chose exactly one parent.
+        assert episodes[0].stats().message_count == len(tree) - 1
+
+    def test_unicast_fan_episode(self, underlay):
+        from repro.baselines.client_server import skype_unicast_cost
+
+        tracer = Tracer(spans=True)
+        skype_unicast_cost(underlay, 0, list(range(6)), tracer=tracer)
+        forest = SpanForest.from_tracer(tracer)
+        forest.validate()
+        episodes = forest.trees("unicast")
+        assert len(episodes) == 1
+        fan_out, _ = episodes[0].fan_out()
+        assert episodes[0].stats().message_count == 5  # 6 members - source
+        assert fan_out == 5  # flat fan, no relaying
+
+    def test_scribe_join_episodes_chain_route_hops(self, underlay):
+        from repro.dht.pastry import PastryNetwork
+        from repro.dht.scribe import build_scribe_group
+
+        pastry = PastryNetwork(underlay, list(range(40)))
+        tracer = Tracer(spans=True)
+        group = build_scribe_group(pastry, "room", list(range(8)),
+                                   underlay=underlay, tracer=tracer)
+        forest = SpanForest.from_tracer(tracer)
+        forest.validate()
+        episodes = forest.trees("scribe-join")
+        # One episode per member whose join actually walked the ring.
+        walkers = [m for m, hops in group.join_hops.items() if hops > 0]
+        assert len(episodes) == len(walkers)
+        total_hops = sum(tree.stats().message_count
+                         for tree in episodes)
+        assert total_hops == sum(group.join_hops.values())
+        for tree in episodes:
+            # Chained spans: each hop parents the next, so depth == hops.
+            assert tree.stats().depth == tree.stats().message_count
+
+    def test_baselines_silent_without_spans(self, underlay):
+        from repro.baselines.client_server import skype_unicast_cost
+        from repro.baselines.narada import build_narada_mesh
+        from repro.baselines.nice import build_nice_tree
+        from repro.dht.pastry import PastryNetwork
+        from repro.dht.scribe import build_scribe_group
+
+        tracer = Tracer()  # spans disabled
+        build_narada_mesh(underlay, list(range(10)),
+                          spawn_rng(2, "narada"), tracer=tracer)
+        build_nice_tree(underlay, list(range(12)),
+                        spawn_rng(3, "nice"), tracer=tracer)
+        skype_unicast_cost(underlay, 0, list(range(6)), tracer=tracer)
+        pastry = PastryNetwork(underlay, list(range(40)))
+        build_scribe_group(pastry, "room", list(range(8)),
+                           underlay=underlay, tracer=tracer)
+        assert tracer.total_records == 0
+        assert tracer.trace_digest() == Tracer().trace_digest()

@@ -6,7 +6,11 @@ import pytest
 from repro.errors import GroupError, OverlayError
 from repro.groupcast.dissemination import DisseminationReport
 from repro.groupcast.spanning_tree import SpanningTree
-from repro.metrics.overlay_metrics import power_law_fit
+from repro.metrics.overlay_metrics import (
+    average_neighbor_distance_ms,
+    degree_histogram,
+    power_law_fit,
+)
 from repro.metrics.tree_metrics import (
     aggregate_workloads,
     link_stress,
@@ -15,6 +19,8 @@ from repro.metrics.tree_metrics import (
     relative_delay_penalty,
 )
 from repro.network.multicast import IPMulticastTree
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
 
 
 def make_report(delays, ip_messages=10):
@@ -130,3 +136,56 @@ class TestPowerLawFit:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(OverlayError):
             power_law_fit(np.array([1, 2, 3]), np.array([5, 3]))
+
+
+class TestDegenerateInputs:
+    """Observatory-driven edge cases: every metric helper must survive
+    empty trees, singleton overlays and zero-traffic reports without a
+    divide-by-zero (the watchdogs sample them on a fixed cadence, so
+    these states really occur mid-run)."""
+
+    def test_zero_traffic_report_averages_are_zero(self):
+        report = make_report({}, ip_messages=0)
+        assert report.average_member_delay_ms == 0.0
+        assert report.max_member_delay_ms == 0.0
+
+    def test_link_stress_zero_link_ip_tree_rejected(self):
+        report = make_report({1: 1.0})
+        ip = make_ip_tree({1: 1.0}, links=0)
+        with pytest.raises(GroupError):
+            link_stress(report, ip)
+
+    def test_node_stress_root_only_tree(self):
+        assert node_stress([SpanningTree(root=7)]) == 0.0
+        assert aggregate_workloads([SpanningTree(root=7)]) == {}
+
+    def test_degree_histogram_empty_overlay(self):
+        values, counts = degree_histogram(OverlayNetwork())
+        assert values.size == 0 and counts.size == 0
+
+    def test_degree_histogram_singleton_drops_zero_degree(self):
+        overlay = OverlayNetwork()
+        overlay.add_peer(PeerInfo(1, 10.0, np.zeros(2)))
+        values, counts = degree_histogram(overlay)
+        assert values.size == 0 and counts.size == 0
+
+    def test_power_law_fit_all_zero_counts_rejected(self):
+        with pytest.raises(OverlayError):
+            power_law_fit(np.array([1, 2, 3]), np.array([0, 0, 0]))
+
+    def test_neighbor_distance_singleton_overlay(self):
+        from repro.config import GroupCastConfig, TransitStubConfig
+        from repro.deployment import build_deployment
+
+        config = GroupCastConfig(
+            underlay=TransitStubConfig(
+                transit_domains=2, transit_routers_per_domain=3,
+                stub_domains_per_transit=2, routers_per_stub=3),
+            seed=5)
+        deployment = build_deployment(4, kind="groupcast", config=config)
+        lonely = OverlayNetwork()
+        lonely.add_peer(deployment.overlay.peer(
+            deployment.peer_ids()[0]))
+        distances = average_neighbor_distance_ms(
+            lonely, deployment.underlay)
+        assert distances.tolist() == [0.0]

@@ -158,6 +158,39 @@ class TestTracer:
         assert parsed == {"at_ms": 1.5, "kind": "send", "seq": -1,
                           "a": 4, "b": 5, "detail": "heartbeat"}
 
+    def test_streaming_export_matches_batch_format(self, tmp_path):
+        # iter_jsonl is the streaming producer under both to_jsonl and
+        # export_jsonl; all three must agree byte-for-byte, and the
+        # format itself is pinned (meta object first when requested,
+        # one compact sorted-key JSON object per record, each line
+        # newline-terminated) so committed traces stay parseable.
+        tracer = Tracer()
+        tracer.record(1.5, "send", a=4, b=5, detail="heartbeat")
+        tracer.record(2.5, "deliver", a=4, b=5, detail="heartbeat")
+        for include_meta in (False, True):
+            streamed = "".join(tracer.iter_jsonl(
+                include_meta=include_meta))
+            assert streamed == tracer.to_jsonl(include_meta=include_meta)
+            path = tracer.export_jsonl(tmp_path / "trace.jsonl",
+                                       include_meta=include_meta)
+            assert path.read_text() == streamed
+        lines = tracer.to_jsonl(include_meta=True)
+        assert lines.endswith("\n")
+        first, *rest = lines.splitlines()
+        assert json.loads(first)["meta"] == tracer.export_meta()
+        assert rest == [
+            '{"a":4,"at_ms":1.5,"b":5,"detail":"heartbeat",'
+            '"kind":"send","seq":-1}',
+            '{"a":4,"at_ms":2.5,"b":5,"detail":"heartbeat",'
+            '"kind":"deliver","seq":-1}',
+        ]
+
+    def test_streaming_export_is_lazy(self):
+        tracer = Tracer()
+        tracer.record(1.0, "fire")
+        iterator = tracer.iter_jsonl()
+        assert next(iterator) == tracer.records()[0].to_json() + "\n"
+
     def test_clear_restarts_digest(self):
         tracer = Tracer()
         tracer.record(1.0, "fire")

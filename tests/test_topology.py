@@ -1,0 +1,451 @@
+"""Tests for the topology observatory (structural snapshot recorder).
+
+The recorder rides the simulator clock exactly like the profiler, so the
+two hard guarantees mirror the profiler suite: the cadence samples the
+latest crossed boundary only, and an attached recorder is bit-transparent
+for the trace digest (it must never schedule events, never draw from a
+protocol rng and never record into the run's tracer).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig, GroupCastConfig, TransitStubConfig
+from repro.deployment import build_deployment
+from repro.errors import TelemetryError
+from repro.groupcast.session import GroupSession
+from repro.groupcast.spanning_tree import SpanningTree
+from repro.obs import (
+    Registry,
+    TopologyRecorder,
+    Tracer,
+    disable_topology,
+    enable_topology,
+    get_default_topology_recorder,
+    pseudo_diameter,
+    reconstruct_epochs,
+    tree_cost_metrics,
+)
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+from repro.sim.engine import Simulator
+from repro.sim.random import spawn_rng
+
+TOPO_UNDERLAY = TransitStubConfig(
+    transit_domains=2,
+    transit_routers_per_domain=3,
+    stub_domains_per_transit=2,
+    routers_per_stub=3,
+)
+TOPO_CONFIG = GroupCastConfig(underlay=TOPO_UNDERLAY, seed=11)
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+def _run_session(seed: int = 7):
+    """One small end-to-end session run; returns (digest, deliveries)."""
+    deployment = build_deployment(60, kind="groupcast", config=TOPO_CONFIG)
+    tracer = Tracer()
+    session = GroupSession(
+        deployment.overlay, deployment.peer_distance_ms,
+        spawn_rng(seed, "topology-session"),
+        announcement=AnnouncementConfig(advertisement_ttl=6,
+                                        subscription_search_ttl=3),
+        registry=Registry(), tracer=tracer)
+    ids = deployment.peer_ids()
+    members = [ids[i] for i in range(0, 24, 2)]
+    session.establish(1, members[0], members)
+    deliveries = session.publish(1, members[0])
+    return tracer.trace_digest(), deliveries
+
+
+# ----------------------------------------------------------------------
+# Deterministic structural helpers
+# ----------------------------------------------------------------------
+class TestPseudoDiameter:
+    def test_path_graph_exact(self):
+        overlay = make_overlay([(1, 2), (2, 3), (3, 4)])
+        assert pseudo_diameter(overlay) == 3
+
+    def test_star_graph(self):
+        overlay = make_overlay([(0, i) for i in range(1, 6)])
+        assert pseudo_diameter(overlay) == 2
+
+    def test_uses_largest_component(self):
+        # Small 2-path component plus a larger 3-path one.
+        overlay = make_overlay([(1, 2), (10, 11), (11, 12), (12, 13)])
+        assert pseudo_diameter(overlay) == 3
+
+    def test_empty_and_singleton_are_zero(self):
+        assert pseudo_diameter(OverlayNetwork()) == 0
+        singleton = OverlayNetwork()
+        singleton.add_peer(PeerInfo(1, 10.0, np.zeros(2)))
+        assert pseudo_diameter(singleton) == 0
+
+    def test_deterministic_without_rng(self):
+        overlay = make_overlay([(i, i + 1) for i in range(20)])
+        assert pseudo_diameter(overlay) == pseudo_diameter(overlay) == 20
+
+
+class TestTreeCostMetrics:
+    def test_root_only_tree_is_empty(self):
+        deployment = build_deployment(10, kind="groupcast",
+                                      config=TOPO_CONFIG)
+        tree = SpanningTree(root=deployment.peer_ids()[0])
+        assert tree_cost_metrics(tree, deployment.underlay) == {}
+
+    def test_ratios_are_sane(self):
+        deployment = build_deployment(30, kind="groupcast",
+                                      config=TOPO_CONFIG)
+        ids = deployment.peer_ids()
+        tree = SpanningTree(root=ids[0])
+        for member in ids[1:8]:
+            tree.graft_chain([member, ids[0]])
+            tree.mark_member(member)
+        out = tree_cost_metrics(tree, deployment.underlay)
+        # A star from an arbitrary root can't beat IP multicast.
+        assert out["delay_penalty"] >= 1.0
+        assert out["link_stress"] >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Cadence sampling on the simulator clock
+# ----------------------------------------------------------------------
+class TestCadence:
+    def _recorder_on_sim(self, interval_ms=100.0):
+        overlay = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder(interval_ms=interval_ms)
+        recorder.watch_overlay(overlay)
+        simulator = Simulator()
+        recorder.attach(simulator)
+        return overlay, recorder, simulator
+
+    def test_snapshot_per_crossed_boundary(self):
+        _, recorder, simulator = self._recorder_on_sim()
+        for at in (50.0, 150.0, 250.0, 350.0):
+            simulator.schedule(at, lambda: None)
+        simulator.run()
+        assert [s.at_ms for s in recorder.snapshots] == [0.0, 100.0,
+                                                         200.0, 300.0]
+        assert all(s.kind == "cadence" for s in recorder.snapshots)
+
+    def test_only_latest_boundary_materialized(self):
+        _, recorder, simulator = self._recorder_on_sim()
+        simulator.schedule(50.0, lambda: None)
+        simulator.schedule(450.0, lambda: None)
+        simulator.run()
+        # The jump from 50 to 450 materializes only the 400 boundary.
+        assert [s.at_ms for s in recorder.snapshots] == [0.0, 400.0]
+
+    def test_run_until_samples_idle_time(self):
+        _, recorder, simulator = self._recorder_on_sim()
+        simulator.schedule(600.0, lambda: None)
+        simulator.run(until=350.0)
+        # The pending 600 ms event stays queued; stopping the clock at
+        # 350 still materializes the last crossed boundary.
+        assert [s.at_ms for s in recorder.snapshots] == [300.0]
+
+    def test_disabled_recorder_is_inert(self):
+        overlay = make_overlay([(1, 2)])
+        recorder = TopologyRecorder(enabled=False)
+        recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+        simulator = Simulator()
+        recorder.attach(simulator)
+        simulator.schedule(600.0, lambda: None)
+        simulator.run()
+        assert recorder.snapshots == ()
+        assert recorder.finish(1000.0) is None
+        assert recorder.snapshots == ()
+
+    def test_unwatched_recorder_takes_no_snapshots(self):
+        recorder = TopologyRecorder()
+        simulator = Simulator()
+        recorder.attach(simulator)
+        simulator.schedule(600.0, lambda: None)
+        simulator.run()
+        assert recorder.snapshots == ()
+
+    def test_bad_interval_and_detail_rejected(self):
+        with pytest.raises(TelemetryError):
+            TopologyRecorder(interval_ms=0.0)
+        with pytest.raises(TelemetryError):
+            TopologyRecorder(detail="verbose")
+
+
+# ----------------------------------------------------------------------
+# Delta encoding and reconstruction
+# ----------------------------------------------------------------------
+class TestDeltaEncoding:
+    def test_baseline_carries_full_graph(self):
+        overlay = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+        first = recorder.snapshots[0]
+        assert first.kind == "baseline"
+        assert first.overlay_delta.added_peers == (1, 2, 3)
+        assert set(first.overlay_delta.added_links) == {(1, 2), (2, 3)}
+        assert first.structural_changes == 5
+
+    def test_later_snapshots_carry_only_changes(self):
+        overlay = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+        overlay.add_peer(PeerInfo(4, 10.0, np.zeros(2)))
+        overlay.add_link(3, 4)
+        overlay.remove_link(1, 2)
+        snap = recorder.snapshot(100.0)
+        assert snap.overlay_delta.added_peers == (4,)
+        assert snap.overlay_delta.added_links == ((3, 4),)
+        assert snap.overlay_delta.removed_links == ((1, 2),)
+        # A quiet snapshot carries an empty delta.
+        quiet = recorder.snapshot(200.0)
+        assert quiet.structural_changes == 0
+
+    def test_reconstruction_matches_final_state(self):
+        overlay = make_overlay([(1, 2), (2, 3), (3, 4)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+        overlay.remove_peer(4)
+        recorder.snapshot(100.0)
+        overlay.add_link(1, 3)
+        recorder.snapshot(200.0)
+        artifact = recorder.to_dict()
+        state = reconstruct_epochs(artifact)[1]
+        final = artifact["final"]
+        assert sorted(state["peers"]) == final["peers"]
+        assert sorted(map(list, state["links"])) == final["links"]
+
+    def test_duplicate_cadence_stamp_deduplicated(self):
+        overlay = make_overlay([(1, 2)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(overlay)
+        assert recorder.snapshot(100.0) is not None
+        assert recorder.snapshot(100.0) is None
+        assert len(recorder.snapshots) == 1
+
+
+class TestEpochs:
+    def test_new_overlay_bumps_epoch(self):
+        recorder = TopologyRecorder()
+        first = make_overlay([(1, 2)])
+        second = make_overlay([(5, 6)])
+        recorder.watch_overlay(first, baseline_at_ms=0.0)
+        assert recorder.epoch == 1
+        recorder.watch_overlay(second, baseline_at_ms=0.0)
+        assert recorder.epoch == 2
+        # Each epoch's baseline sees its own full graph, not a delta
+        # against the previous deployment.
+        assert recorder.snapshots[1].overlay_delta.added_peers == (5, 6)
+        assert recorder.snapshots[1].overlay_delta.removed_peers == ()
+
+    def test_rewatching_same_overlay_keeps_epoch(self):
+        recorder = TopologyRecorder()
+        overlay = make_overlay([(1, 2)])
+        recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+        recorder.watch_overlay(overlay)
+        assert recorder.epoch == 1
+        assert len(recorder.snapshots) == 1
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_overlay_metrics_match_direct_calls(self):
+        deployment = build_deployment(40, kind="groupcast",
+                                      config=TOPO_CONFIG)
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(deployment.overlay)
+        snap = recorder.snapshot(0.0)
+        overlay = deployment.overlay
+        assert snap.metrics["overlay.peers"] == float(len(overlay))
+        assert snap.metrics["overlay.links"] == float(overlay.edge_count)
+        assert snap.metrics["overlay.components"] == float(
+            len(overlay.connected_component_sizes()))
+        assert snap.metrics["overlay.diameter"] == float(
+            pseudo_diameter(overlay))
+        degrees = overlay.degrees()
+        assert snap.metrics["overlay.degree_mean"] == pytest.approx(
+            float(degrees.mean()))
+        assert snap.metrics["overlay.degree_max"] == float(degrees.max())
+
+    def test_full_detail_adds_neighbor_distance(self):
+        deployment = build_deployment(40, kind="groupcast",
+                                      config=TOPO_CONFIG)
+        structure = TopologyRecorder()
+        structure.watch_overlay(deployment.overlay,
+                                underlay=deployment.underlay)
+        full = TopologyRecorder(detail="full")
+        full.watch_overlay(deployment.overlay,
+                           underlay=deployment.underlay)
+        lean = structure.snapshot(0.0).metrics
+        rich = full.snapshot(0.0).metrics
+        assert "overlay.neighbor_distance_mean_ms" not in lean
+        assert rich["overlay.neighbor_distance_mean_ms"] > 0.0
+
+    def test_largest_component_fraction_under_partition(self):
+        overlay = make_overlay([(1, 2), (2, 3), (3, 4)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(overlay)
+        whole = recorder.snapshot(0.0)
+        assert whole.metrics["overlay.largest_component_fraction"] == 1.0
+        overlay.remove_link(2, 3)
+        split = recorder.snapshot(100.0)
+        assert split.metrics["overlay.components"] == 2.0
+        assert split.metrics["overlay.largest_component_fraction"] == 0.5
+
+
+class TestObserveTree:
+    def test_extra_metrics_are_prefixed(self):
+        recorder = TopologyRecorder()
+        tree = SpanningTree(root=1)
+        tree.graft_chain([2, 1])
+        tree.mark_member(2)
+        snap = recorder.observe_tree(
+            tree, group_id=3, at_ms=5.0,
+            extra_metrics={"delay_penalty": 2.5})
+        assert snap.kind == "observe"
+        assert snap.metrics["tree.3.delay_penalty"] == 2.5
+        assert snap.metrics["tree.3.nodes"] == 2.0
+        assert recorder.registry.counter(
+            "topology.observations").value == 1
+
+    def test_compute_costs_from_underlay(self):
+        deployment = build_deployment(20, kind="groupcast",
+                                      config=TOPO_CONFIG)
+        ids = deployment.peer_ids()
+        tree = SpanningTree(root=ids[0])
+        for member in ids[1:5]:
+            tree.graft_chain([member, ids[0]])
+            tree.mark_member(member)
+        recorder = TopologyRecorder()
+        snap = recorder.observe_tree(tree, group_id=0, at_ms=0.0,
+                                     underlay=deployment.underlay,
+                                     compute_costs=True)
+        expected = tree_cost_metrics(tree, deployment.underlay)
+        assert snap.metrics["tree.0.delay_penalty"] == pytest.approx(
+            expected["delay_penalty"])
+        assert snap.metrics["tree.0.link_stress"] == pytest.approx(
+            expected["link_stress"])
+
+
+# ----------------------------------------------------------------------
+# Session integration + bit-transparency (pinned)
+# ----------------------------------------------------------------------
+class TestSessionIntegration:
+    def test_attached_recorder_is_digest_transparent(self):
+        bare_digest, bare_deliveries = _run_session()
+        recorder = enable_topology(interval_ms=500.0)
+        try:
+            watched_digest, watched_deliveries = _run_session()
+        finally:
+            disable_topology()
+        assert watched_digest == bare_digest
+        assert watched_deliveries == bare_deliveries
+        # ...and the recorder actually observed the run.
+        assert len(recorder.snapshots) >= 2
+        assert recorder.epoch == 1
+
+    def test_session_trees_derived_from_upstreams(self):
+        recorder = enable_topology(interval_ms=500.0)
+        try:
+            _run_session()
+        finally:
+            disable_topology()
+        recorder.finish(recorder.snapshots[-1].at_ms + 500.0)
+        last = recorder.latest()
+        assert last.metrics["tree.1.nodes"] >= 12.0
+        assert last.metrics["tree.1.orphans"] == 0.0
+        assert last.metrics["tree.1.depth"] >= 1.0
+        # The established tree appeared as edge deltas at some point.
+        assert any(delta.group_id == 1 and delta.added_edges
+                   for snap in recorder.snapshots
+                   for delta in snap.tree_deltas)
+
+    def test_deployment_build_takes_baseline_snapshot(self):
+        recorder = enable_topology()
+        try:
+            deployment = build_deployment(30, kind="groupcast",
+                                          config=TOPO_CONFIG)
+        finally:
+            disable_topology()
+        assert recorder.epoch == 1
+        assert recorder.snapshots[0].kind == "baseline"
+        assert recorder.snapshots[0].peer_count == len(deployment.overlay)
+
+    def test_enable_disable_default(self):
+        assert get_default_topology_recorder() is None
+        recorder = enable_topology(interval_ms=250.0)
+        assert get_default_topology_recorder() is recorder
+        assert recorder.interval_ms == 250.0
+        disable_topology()
+        assert get_default_topology_recorder() is None
+
+
+# ----------------------------------------------------------------------
+# Series + export
+# ----------------------------------------------------------------------
+class TestSeriesAndExport:
+    def _small_recorder(self):
+        overlay = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+        overlay.remove_link(2, 3)
+        recorder.snapshot(100.0)
+        return overlay, recorder
+
+    def test_metric_series(self):
+        _, recorder = self._small_recorder()
+        series = recorder.series("overlay.links")
+        assert series.points == [(0.0, 2.0), (100.0, 1.0)]
+        assert "overlay.components" in recorder.metric_names()
+        assert {s.name for s in recorder.all_series()} == set(
+            recorder.metric_names())
+
+    def test_json_artifact_roundtrip(self, tmp_path):
+        _, recorder = self._small_recorder()
+        path = recorder.export_json(tmp_path / "topology.json")
+        artifact = json.loads(path.read_text())
+        assert artifact["meta"]["snapshots"] == 2
+        assert artifact["meta"]["epochs"] == 1
+        assert artifact["final"]["peers"] == [1, 2, 3]
+        assert artifact["final"]["links"] == [[1, 2]]
+        assert len(artifact["snapshots"]) == 2
+
+    def test_dot_marks_tree_and_broken_edges(self, tmp_path):
+        overlay = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+        tree = SpanningTree(root=1)
+        tree.graft_chain([2, 1])
+        tree.graft_chain([4, 2])
+        tree.mark_member(4)
+        recorder.watch_tree(7, tree)
+        recorder.snapshot(100.0)
+        dot = recorder.to_dot()
+        assert dot.startswith("graph topology {")
+        assert "n1 -- n2 [penwidth=2];" in dot          # tree-carried link
+        assert "n2 -- n3 [color=gray];" in dot          # overlay-only link
+        assert "n2 -- n4 [style=dashed, color=red];" in dot  # repair debt
+        path = recorder.export_dot(tmp_path / "topology.dot")
+        assert path.read_text() == dot
+
+    def test_report_section_shape(self):
+        _, recorder = self._small_recorder()
+        section = recorder.report_section()
+        assert section["snapshots"] == 2
+        assert section["epochs"] == 1
+        assert section["last"]["peer_count"] == 3
+        assert any(entry["name"] == "overlay.links"
+                   for entry in section["series"])
+        assert recorder.watchdog_section() is None

@@ -1,0 +1,208 @@
+"""Tests for cross-run topology diffs and the CI regression gate.
+
+The core guarantee the gate relies on: runs are deterministic, so two
+same-seed runs reconstruct to byte-identical structural states and the
+diff's ``drift`` is exactly zero — any nonzero drift is a regression,
+not noise.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import (
+    TopologyRecorder,
+    diff_artifacts,
+    diff_recorders,
+    diff_snapshots,
+    reconstruct_epochs,
+)
+from repro.obs.diff import main as diff_main
+from repro.obs.diff import state_at
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+def _recorded_run(extra_link=None, extra_metric=None):
+    """A small scripted run; optional structural/metric perturbation."""
+    overlay = make_overlay([(1, 2), (2, 3), (3, 4)])
+    recorder = TopologyRecorder()
+    recorder.watch_overlay(overlay, baseline_at_ms=0.0)
+    overlay.remove_link(2, 3)
+    recorder.snapshot(100.0)
+    overlay.add_link(2, 3)
+    if extra_link is not None:
+        overlay.add_link(*extra_link)
+    metrics = dict(extra_metric or {})
+    recorder.snapshot(200.0, extra_metrics=metrics)
+    return recorder
+
+
+class TestReplay:
+    def test_reconstruct_matches_final(self):
+        recorder = _recorded_run()
+        artifact = recorder.to_dict()
+        state = reconstruct_epochs(artifact)[1]
+        assert sorted(state["peers"]) == artifact["final"]["peers"]
+        assert sorted(map(list, state["links"])) == \
+            artifact["final"]["links"]
+        assert state["snapshots"] == 3
+        assert state["last_at_ms"] == 200.0
+
+    def test_state_at_checkpoint(self):
+        artifact = _recorded_run().to_dict()
+        mid = state_at(artifact, 1)  # after the partition snapshot
+        assert (2, 3) not in mid["links"]
+        end = state_at(artifact, 2)
+        assert (2, 3) in end["links"]
+        with pytest.raises(TelemetryError):
+            state_at(artifact, 99)
+
+    def test_state_at_replays_only_its_epoch(self):
+        recorder = _recorded_run()
+        second = make_overlay([(10, 11)])
+        recorder.watch_overlay(second, baseline_at_ms=0.0)
+        artifact = recorder.to_dict()
+        last_seq = artifact["snapshots"][-1]["seq"]
+        state = state_at(artifact, last_seq)
+        assert state["peers"] == {10, 11}
+
+
+class TestSelfConsistency:
+    def test_same_run_diffed_against_itself_is_zero(self):
+        artifact = _recorded_run().to_dict()
+        diff = diff_artifacts(artifact, artifact)
+        assert diff.drift == 0
+        assert diff.structural_drift == 0
+        assert diff.metric_drift == 0
+
+    def test_same_seed_cross_run_is_zero(self):
+        diff = diff_recorders(_recorded_run(), _recorded_run())
+        assert diff.drift == 0
+        assert "No structural or metric drift." in diff.render_markdown()
+
+
+class TestDriftAccounting:
+    def test_structural_difference_detected(self):
+        diff = diff_recorders(_recorded_run(),
+                              _recorded_run(extra_link=(1, 4)))
+        epoch = diff.epochs[0]
+        assert epoch.links_added == ((1, 4),)
+        assert epoch.links_removed == ()
+        # One extra link: the delta changed one snapshot's content, not
+        # the snapshot count, so drift counts exactly that link.
+        assert diff.structural_drift == 1
+        assert diff.drift >= 1
+
+    def test_metric_difference_detected(self):
+        diff = diff_recorders(
+            _recorded_run(extra_metric={"custom.quality": 1.0}),
+            _recorded_run(extra_metric={"custom.quality": 3.0}))
+        assert diff.structural_drift == 0
+        assert diff.metric_drift == 1
+        change = diff.metric_changes[0]
+        assert change["metric"] == "custom.quality"
+        assert change["a"] == 1.0 and change["b"] == 3.0
+        assert change["delta"] == 2.0
+        assert "| custom.quality |" in diff.render_markdown()
+
+    def test_missing_metric_is_nan_sided(self):
+        diff = diff_recorders(
+            _recorded_run(),
+            _recorded_run(extra_metric={"custom.quality": 3.0}))
+        change = next(c for c in diff.metric_changes
+                      if c["metric"] == "custom.quality")
+        assert np.isnan(change["a"]) and change["b"] == 3.0
+
+    def test_missing_epoch_counts_fully(self):
+        single = _recorded_run()
+        double = _recorded_run()
+        double.watch_overlay(make_overlay([(10, 11)]),
+                             baseline_at_ms=0.0)
+        diff = diff_recorders(single, double)
+        second = next(e for e in diff.epochs if e.epoch == 2)
+        assert second.peers_added == (10, 11)
+        assert second.structural_drift >= 3  # 2 peers + 1 link + count
+
+    def test_to_dict_roundtrips_through_json(self):
+        diff = diff_recorders(_recorded_run(),
+                              _recorded_run(extra_link=(1, 4)))
+        payload = json.loads(json.dumps(diff.to_dict()))
+        assert payload["structural_drift"] == 1
+        assert payload["epochs"][0]["links_added"] == [[1, 4]]
+
+
+class TestSnapshotDiff:
+    def test_checkpoint_diff_within_one_run(self):
+        artifact = _recorded_run().to_dict()
+        diff = diff_snapshots(artifact, 0, 1)
+        epoch = diff.epochs[0]
+        # The partition snapshot removed one link relative to baseline.
+        assert epoch.links_removed == ((2, 3),)
+        # Checkpoint counts legitimately differ and must not be drift.
+        assert epoch.snapshot_counts == (0, 0)
+        assert diff.structural_drift == 1
+
+
+class TestCLI:
+    def _write_artifacts(self, tmp_path, perturb=False):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        _recorded_run().export_json(a)
+        run_b = _recorded_run(extra_link=(1, 4) if perturb else None)
+        run_b.export_json(b)
+        return a, b
+
+    def test_zero_drift_gate_passes(self, tmp_path, capsys):
+        a, b = self._write_artifacts(tmp_path)
+        assert diff_main([str(a), str(b), "--max-drift", "0"]) == 0
+        assert "structural drift 0" in capsys.readouterr().out
+
+    def test_drift_gate_fails(self, tmp_path, capsys):
+        a, b = self._write_artifacts(tmp_path, perturb=True)
+        assert diff_main([str(a), str(b), "--max-drift", "0"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_no_gate_always_passes(self, tmp_path):
+        a, b = self._write_artifacts(tmp_path, perturb=True)
+        assert diff_main([str(a), str(b)]) == 0
+
+    def test_write_and_markdown_outputs(self, tmp_path):
+        a, b = self._write_artifacts(tmp_path, perturb=True)
+        out_json = tmp_path / "diff.json"
+        out_md = tmp_path / "diff.md"
+        diff_main([str(a), str(b), "--write", str(out_json),
+                   "--markdown", str(out_md)])
+        payload = json.loads(out_json.read_text())
+        assert payload["structural_drift"] == 1
+        assert out_md.read_text().startswith("# Topology diff")
+
+    def test_loads_embedded_report_artifact(self, tmp_path):
+        artifact = _recorded_run().to_dict()
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps({"topology": artifact,
+                                      "counters": {}}))
+        raw = tmp_path / "raw.json"
+        _recorded_run().export_json(raw)
+        assert diff_main([str(report), str(raw),
+                          "--max-drift", "0"]) == 0
+
+    def test_rejects_non_artifact(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{\"counters\": {}}")
+        raw = tmp_path / "raw.json"
+        _recorded_run().export_json(raw)
+        with pytest.raises(TelemetryError):
+            diff_main([str(bogus), str(raw)])

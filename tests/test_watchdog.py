@@ -1,0 +1,313 @@
+"""Tests for the anomaly watchdog engine and its built-in detectors.
+
+Unit tests drive rules through a hand-held :class:`TopologyRecorder`
+(snapshots stamped manually, conditions injected via ``extra_metrics``
+or direct overlay surgery); the faults-marked end-to-end tests assert
+that the PR-3 adversarial scenario's partition window is *detected* —
+one fired/cleared incident per recovery-policy epoch — across the
+seeds CI sweeps.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError, WatchdogHalt
+from repro.experiments import resilience
+from repro.obs import (
+    ACTIONS,
+    ConservationGapGrowth,
+    MetricSpike,
+    OrphanedMembers,
+    OverlayPartition,
+    Registry,
+    TopologyRecorder,
+    Tracer,
+    WatchdogEngine,
+    WatchdogRule,
+    default_watchdogs,
+    node_stress_spike,
+    tree_depth_spike,
+)
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+
+FAULT_SEEDS = [int(token) for token in
+               os.environ.get("REPRO_FAULT_SEEDS", "7").split(",")
+               if token.strip()]
+
+
+def make_overlay(edges):
+    peers = sorted({p for edge in edges for p in edge})
+    overlay = OverlayNetwork()
+    for peer in peers:
+        overlay.add_peer(PeerInfo(peer, 10.0, np.array([float(peer), 0.0])))
+    for a, b in edges:
+        overlay.add_link(a, b)
+    return overlay
+
+
+def _watched_recorder(*rules):
+    """A recorder over a 4-peer path graph with ``rules`` attached."""
+    overlay = make_overlay([(1, 2), (2, 3), (3, 4)])
+    recorder = TopologyRecorder()
+    recorder.watch_overlay(overlay)
+    for rule in rules:
+        recorder.add_watchdog(rule)
+    return overlay, recorder
+
+
+# ----------------------------------------------------------------------
+# Rule construction
+# ----------------------------------------------------------------------
+class TestRuleBasics:
+    def test_action_validation(self):
+        assert ACTIONS == ("record", "warn", "halt")
+        with pytest.raises(TelemetryError):
+            WatchdogRule("bad", action="explode")
+
+    def test_spike_parameter_validation(self):
+        with pytest.raises(TelemetryError):
+            MetricSpike("m", factor=1.0)
+        with pytest.raises(TelemetryError):
+            MetricSpike("m", window=0)
+        with pytest.raises(TelemetryError):
+            ConservationGapGrowth(window=1)
+
+    def test_duplicate_rule_name_rejected(self):
+        engine = WatchdogEngine()
+        engine.add(OverlayPartition())
+        with pytest.raises(TelemetryError):
+            engine.add(OverlayPartition())
+
+    def test_default_pack_contents(self):
+        rules = default_watchdogs(group_ids=(1,))
+        names = [rule.name for rule in rules]
+        assert names == ["overlay-partition", "orphaned-members",
+                         "conservation-gap-growth", "heartbeat-staleness",
+                         "spike:tree.1.depth", "spike:tree.1.node_stress"]
+        warned = default_watchdogs(action="warn")
+        assert all(rule.action == "warn" for rule in warned)
+
+
+# ----------------------------------------------------------------------
+# Detectors, driven through real snapshots
+# ----------------------------------------------------------------------
+class TestOverlayPartition:
+    def test_fires_on_split_and_clears_on_repair(self):
+        overlay, recorder = _watched_recorder(OverlayPartition())
+        recorder.snapshot(0.0)
+        assert recorder.alerts == []
+        overlay.remove_link(2, 3)
+        recorder.snapshot(100.0)
+        overlay.add_link(2, 3)
+        recorder.snapshot(200.0)
+        kinds = [(a.kind, a.at_ms) for a in recorder.alerts]
+        assert kinds == [("fired", 100.0), ("cleared", 200.0)]
+        assert "2 components" in recorder.alerts[0].message
+
+    def test_stays_silent_while_condition_persists(self):
+        overlay, recorder = _watched_recorder(OverlayPartition())
+        overlay.remove_link(2, 3)
+        for at in (0.0, 100.0, 200.0, 300.0):
+            recorder.snapshot(at)
+        # Level-triggered with edge reporting: one alert, not four.
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+        assert recorder.watchdogs.active_rules() == ["overlay-partition"]
+
+    def test_min_largest_fraction(self):
+        rule = OverlayPartition(max_components=2,
+                                min_largest_fraction=0.9)
+        overlay, recorder = _watched_recorder(rule)
+        overlay.remove_link(2, 3)  # 2 components allowed, but 0.5 < 0.9
+        recorder.snapshot(0.0)
+        assert "0.50 of peers" in recorder.alerts[0].message
+
+
+class TestMetricSpike:
+    def test_fires_against_trailing_window(self):
+        _, recorder = _watched_recorder(
+            MetricSpike("m", factor=2.0, min_history=2))
+        for at, value in ((0.0, 1.0), (100.0, 1.0), (200.0, 1.0)):
+            recorder.snapshot(at, extra_metrics={"m": value})
+        assert recorder.alerts == []
+        recorder.snapshot(300.0, extra_metrics={"m": 5.0})
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+        assert "5.00x" in recorder.alerts[0].message
+        recorder.snapshot(400.0, extra_metrics={"m": 1.0})
+        assert [a.kind for a in recorder.alerts] == ["fired", "cleared"]
+
+    def test_cold_start_is_not_a_spike(self):
+        _, recorder = _watched_recorder(
+            MetricSpike("m", factor=2.0, min_history=2))
+        recorder.snapshot(0.0, extra_metrics={"m": 1.0})
+        recorder.snapshot(100.0, extra_metrics={"m": 50.0})
+        # Only one prior value — below min_history, so no judgement.
+        assert recorder.alerts == []
+
+    def test_min_value_floor_suppresses_tiny_spikes(self):
+        _, recorder = _watched_recorder(tree_depth_spike(1))
+        for at, depth in ((0.0, 1.0), (100.0, 1.0), (200.0, 2.5)):
+            recorder.snapshot(
+                at, extra_metrics={"tree.1.depth": depth})
+        # 2.5 is 2.5x the window mean but below the min_value=3 floor.
+        assert recorder.alerts == []
+
+    def test_node_stress_helper_names(self):
+        assert node_stress_spike(4).metric == "tree.4.node_stress"
+        assert tree_depth_spike(4).name == "spike:tree.4.depth"
+
+
+class TestOrphanedMembers:
+    def test_wildcard_scans_every_group(self):
+        _, recorder = _watched_recorder(OrphanedMembers())
+        recorder.snapshot(0.0, extra_metrics={"tree.1.orphans": 0.0,
+                                              "tree.9.orphans": 0.0})
+        assert recorder.alerts == []
+        recorder.snapshot(100.0, extra_metrics={"tree.1.orphans": 0.0,
+                                                "tree.9.orphans": 3.0})
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+        assert "group 9 has 3 members" in recorder.alerts[0].message
+
+    def test_specific_group_ignores_others(self):
+        _, recorder = _watched_recorder(OrphanedMembers(group_id=1))
+        recorder.snapshot(0.0, extra_metrics={"tree.9.orphans": 5.0})
+        assert recorder.alerts == []
+
+
+class TestConservationGapGrowth:
+    def test_fires_only_on_monotone_growth(self):
+        _, recorder = _watched_recorder(
+            ConservationGapGrowth(window=3, min_growth=1.0))
+        # Bounded in-flight wobble: never monotone, never fires.
+        for at, gap in ((0.0, 2.0), (100.0, 5.0), (200.0, 3.0),
+                        (300.0, 6.0)):
+            recorder.snapshot(at, extra_metrics={"conservation.gap": gap})
+        assert recorder.alerts == []
+        # Strictly rising across the full window: leak.
+        for at, gap in ((400.0, 7.0), (500.0, 9.0)):
+            recorder.snapshot(at, extra_metrics={"conservation.gap": gap})
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+        assert "grew" in recorder.alerts[0].message
+
+
+# ----------------------------------------------------------------------
+# Engine semantics
+# ----------------------------------------------------------------------
+class TestEngineSemantics:
+    def test_counters_track_transitions(self):
+        registry = Registry()
+        overlay = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder(registry=registry)
+        recorder.watch_overlay(overlay)
+        recorder.add_watchdog(OverlayPartition())
+        overlay.remove_link(1, 2)
+        recorder.snapshot(0.0)
+        overlay.add_link(1, 2)
+        recorder.snapshot(100.0)
+        assert registry.counter("watchdog.fired").value == 1
+        assert registry.counter("watchdog.cleared").value == 1
+        assert registry.counter(
+            "watchdog.overlay-partition.fired").value == 1
+
+    def test_explicit_tracer_records_transitions(self):
+        tracer = Tracer()
+        overlay = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder(tracer=tracer)
+        recorder.watch_overlay(overlay)
+        recorder.add_watchdog(OverlayPartition())
+        overlay.remove_link(1, 2)
+        recorder.snapshot(0.0)
+        records = [record for record in tracer.records()
+                   if record.kind == "watchdog"]
+        assert len(records) == 1
+        assert records[0].detail == "overlay-partition:fired"
+
+    def test_halt_action_aborts_after_collecting(self):
+        overlay, recorder = _watched_recorder(
+            OverlayPartition(action="halt"))
+        overlay.remove_link(2, 3)
+        with pytest.raises(WatchdogHalt, match="overlay-partition"):
+            recorder.snapshot(0.0)
+        # The alert was collected before the abort.
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+
+    def test_warn_action_surfaces_in_summary(self):
+        overlay, recorder = _watched_recorder(
+            OverlayPartition(action="warn"))
+        overlay.remove_link(2, 3)
+        recorder.snapshot(0.0)
+        summary = recorder.watchdog_section()
+        assert summary["fired"] == 1
+        assert summary["active"] == ["overlay-partition"]
+        assert summary["by_rule"]["overlay-partition"]["fired"] == 1
+        assert len(summary["warnings"]) == 1
+        assert summary["warnings"][0]["rule"] == "overlay-partition"
+
+    def test_new_epoch_resets_firing_state(self):
+        first = make_overlay([(1, 2), (2, 3)])
+        recorder = TopologyRecorder()
+        recorder.watch_overlay(first)
+        recorder.add_watchdog(OverlayPartition())
+        first.remove_link(1, 2)
+        recorder.snapshot(0.0)
+        assert recorder.watchdogs.active_rules() == ["overlay-partition"]
+        # A fresh connected deployment: the old incident must not leak a
+        # phantom "cleared" into the new epoch.
+        second = make_overlay([(5, 6), (6, 7)])
+        recorder.watch_overlay(second, baseline_at_ms=0.0)
+        assert recorder.watchdogs.active_rules() == []
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+        engine = recorder.watchdogs
+        assert engine.fired(epoch=1) and not engine.fired(epoch=2)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: PR-3 adversarial faults are *detected*
+# ----------------------------------------------------------------------
+@pytest.mark.faults
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_adversarial_partition_detected_across_policies(seed):
+    recorder = TopologyRecorder(interval_ms=500.0)
+    for rule in default_watchdogs(group_ids=(1,)):
+        recorder.add_watchdog(rule)
+    table = resilience.run_adversarial(
+        peer_count=100, members_count=24, seed=seed, topology=recorder)
+    engine = recorder.watchdogs
+    assert [row[0] for row in table.rows] == ["none", "repair",
+                                              "replication"]
+    columns = list(table.columns)
+    alert_col = columns.index("watchdog_alerts")
+    assert columns[columns.index("violations")] == "violations"
+    for epoch, row in enumerate(table.rows, start=1):
+        fired = engine.fired(rule="overlay-partition", epoch=epoch)
+        cleared = engine.cleared(rule="overlay-partition", epoch=epoch)
+        # The injected PartitionWindow was detected...
+        assert len(fired) == 1, \
+            f"policy {row[0]} (epoch {epoch}): partition not detected"
+        # ...and the incident closed once the window healed.
+        assert len(cleared) == 1, \
+            f"policy {row[0]} (epoch {epoch}): partition never cleared"
+        assert cleared[0].at_ms > fired[0].at_ms
+        assert row[alert_col] >= 1
+        assert row[columns.index("violations")] == 0
+    # No incident is still open at the end of the run.
+    assert engine.active_rules() == []
+
+
+@pytest.mark.faults
+@pytest.mark.slow
+def test_adversarial_watchdogs_are_digest_transparent():
+    bare = resilience.run_adversarial(peer_count=100, members_count=24,
+                                      seed=FAULT_SEEDS[0])
+    recorder = TopologyRecorder(interval_ms=500.0)
+    for rule in default_watchdogs(group_ids=(1,)):
+        recorder.add_watchdog(rule)
+    watched = resilience.run_adversarial(
+        peer_count=100, members_count=24, seed=FAULT_SEEDS[0],
+        topology=recorder)
+    digest_col = list(bare.columns).index("trace_digest")
+    assert [row[digest_col] for row in bare.rows] == \
+        [row[digest_col] for row in watched.rows]
