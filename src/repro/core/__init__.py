@@ -1,0 +1,55 @@
+"""Struct-of-arrays simulator core for 10^5-10^6 peer scale.
+
+The object layer (:class:`~repro.overlay.graph.OverlayNetwork`,
+:class:`~repro.groupcast.spanning_tree.SpanningTree`, per-peer protocol
+agents) tops out at a few thousand peers: every peer is a Python object
+and every protocol step walks Python dicts.  This package holds the hot
+state in dense numpy arrays instead, keyed by *stable peer indices*:
+
+* :mod:`.arrays` — the raw stores: :class:`PeerArrays` (capacity,
+  coordinates, liveness), :class:`DynamicAdjacency` (pooled, insertion-
+  ordered neighbor lists) and the frozen :class:`CSRGraph` snapshot;
+* :mod:`.store` — :class:`SoAStore` combining peers + adjacency with
+  per-group :class:`TreeArrays` (parent/member/on-tree columns);
+* :mod:`.overlay_view` — :class:`SoAOverlayNetwork`, a drop-in
+  :class:`~repro.overlay.graph.OverlayNetwork` replacement backed by a
+  store, so the existing protocol, fault and observability layers run
+  unchanged (and bit-identically) over array state;
+* :mod:`.protocol` — vectorized, epoch-batched protocol evaluation over
+  a :class:`CSRGraph` (advertisement floods, subscription climbs, tree
+  metrics) for runs far beyond what the object layer can reach.
+
+Index lifecycle contract: a peer keeps its array row for the lifetime of
+the store — join always allocates a *fresh* row and leave/crash only
+clears the ``alive`` flag, so indices never alias across peers (pinned
+by the Hypothesis suite in ``tests/test_soa_properties.py``).
+"""
+
+from .arrays import CSRGraph, DynamicAdjacency, PeerArrays
+from .overlay_view import SoAOverlayNetwork
+from .protocol import (
+    FloodResult,
+    attach_searchers,
+    climb_subscriptions,
+    edge_latencies_from_coords,
+    flood_advertisement,
+    synthetic_power_law_csr,
+    tree_delays,
+)
+from .store import SoAStore, TreeArrays
+
+__all__ = [
+    "CSRGraph",
+    "DynamicAdjacency",
+    "PeerArrays",
+    "SoAStore",
+    "TreeArrays",
+    "SoAOverlayNetwork",
+    "FloodResult",
+    "flood_advertisement",
+    "climb_subscriptions",
+    "attach_searchers",
+    "tree_delays",
+    "edge_latencies_from_coords",
+    "synthetic_power_law_csr",
+]

@@ -1,0 +1,490 @@
+"""Vectorized, epoch-batched protocol kernels over CSR snapshots.
+
+The object layer simulates an advertisement flood one message at a time
+on a binary heap.  The first receipt of a peer in that simulation is
+exactly the earliest arrival over hop-bounded forwarding paths, so the
+whole flood collapses to a *time-respecting relaxation*: peers are
+settled in virtual-time epochs (delta-stepping buckets) and each epoch
+relaxes every frontier edge in one numpy pass instead of dispatching
+one event per copy.  For NSSA the result — arrival time, upstream and
+hop count per peer — is **bit-identical** to the heap simulation
+(pinned by ``tests/test_soa_equivalence.py``); for SSA the per-peer
+forwarding subsets are sampled with the same Efraimidis-Spirakis keys
+but in frontier-batched order, so runs are deterministic per seed and
+statistically equivalent to, though not bit-identical with, the object
+path (which samples in heap-pop order).
+
+Subscription climbs, searcher attachment and dissemination delays are
+the same story: parent-pointer chases become per-level gathers, BFS
+becomes frontier sweeps, and per-tree metrics become ``bincount``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import AnnouncementConfig, UtilityConfig
+from ..errors import GroupError
+from ..sim.random import RandomSource
+from .arrays import CSRGraph, _concat_ranges
+
+_DEFAULT_ANNOUNCEMENT = AnnouncementConfig()
+_DEFAULT_UTILITY = UtilityConfig()
+
+
+@dataclass(frozen=True)
+class FloodResult:
+    """Dense outcome of one advertisement flood.
+
+    ``arrival`` is ``inf`` for unreached rows, ``upstream``/``hops``
+    are ``-1``; the rendezvous row has arrival 0 and hops 0.
+    """
+
+    root: int
+    arrival: np.ndarray
+    upstream: np.ndarray
+    hops: np.ndarray
+
+    @property
+    def reached(self) -> np.ndarray:
+        """Boolean row mask of peers that received the advertisement."""
+        return np.isfinite(self.arrival)
+
+    def receipt_count(self) -> int:
+        """Number of rows that received the advertisement."""
+        return int(np.count_nonzero(self.reached))
+
+
+def edge_latencies_from_coords(csr: CSRGraph, coords: np.ndarray,
+                               min_latency_ms: float = 0.01) -> np.ndarray:
+    """Euclidean coordinate distance per directed CSR edge (ms).
+
+    The scale path prices every overlay hop with the coordinate-space
+    estimate (what a real deployment would know); the object-equivalence
+    tests instead pass exact per-edge latencies gathered from the
+    underlay so both paths price hops identically.
+    """
+    sources = csr.edge_sources()
+    delta = coords[sources] - coords[csr.indices]
+    return np.maximum(np.sqrt((delta * delta).sum(axis=1)),
+                      min_latency_ms)
+
+
+def flood_advertisement(
+    csr: CSRGraph,
+    latency: np.ndarray,
+    root: int,
+    ttl: int,
+    scheme: str = "nssa",
+    *,
+    capacities: np.ndarray | None = None,
+    rng: RandomSource | None = None,
+    config: AnnouncementConfig | None = None,
+    utility_config: UtilityConfig | None = None,
+    alive: np.ndarray | None = None,
+    epoch_ms: float | None = None,
+) -> FloodResult:
+    """Flood one advertisement; returns per-row receipt arrays.
+
+    ``latency`` holds one positive transit latency per directed CSR
+    edge, aligned with ``csr.indices``.  ``epoch_ms`` is the virtual-
+    time bucket width of the batched dispatch: every peer whose
+    tentative arrival falls inside the current epoch is settled
+    together and its out-edges relax in one vectorized pass.  The
+    default width is the minimum edge latency, which makes every
+    expansion *final* — no candidate generated in a bucket can land
+    inside it — so the result matches the heap simulation exactly.
+    Wider buckets run fewer passes and stay exact while the TTL gate
+    is slack (``ttl`` at or above the reached hop radius), but under a
+    tight gate a within-bucket arrival improvement may retroactively
+    change a peer's hop count and hence its forwarding eligibility,
+    which the fixpoint cannot retract; keep the default when bit-exact
+    receipts matter.
+
+    For ``scheme="ssa"`` each peer forwards to a utility-sampled subset
+    of its neighbors (needs ``capacities`` and ``rng``); the sample is
+    drawn once, when the peer first joins a frontier.
+    """
+    if scheme not in ("nssa", "ssa"):
+        raise GroupError(f"unknown announcement scheme {scheme!r}")
+    n = csr.node_count
+    if not 0 <= root < n:
+        raise GroupError(f"root row {root} out of range")
+    latency = np.asarray(latency, dtype=np.float64)
+    if latency.shape != csr.indices.shape:
+        raise GroupError("need one latency per directed CSR edge")
+    if latency.size and latency.min() <= 0.0:
+        raise GroupError("edge latencies must be positive")
+    config = config or _DEFAULT_ANNOUNCEMENT
+    if scheme == "ssa":
+        if capacities is None or rng is None:
+            raise GroupError("ssa flooding needs capacities and an rng")
+        utility_config = utility_config or _DEFAULT_UTILITY
+
+    if epoch_ms is None:
+        epoch_ms = float(latency.min()) if latency.size else 1.0
+    if epoch_ms <= 0.0:
+        raise GroupError("epoch_ms must be positive")
+
+    arrival = np.full(n, np.inf)
+    upstream = np.full(n, -1, dtype=np.int64)
+    hops = np.full(n, -1, dtype=np.int64)
+    arrival[root] = 0.0
+    hops[root] = 0
+    #: Arrival value at which a row's edges were last relaxed; a row
+    #: whose arrival improves below this re-enters the frontier.
+    expanded_at = np.full(n, np.inf)
+    #: Per-directed-edge mask of links the owner actually forwards on
+    #: (SSA samples it lazily; NSSA forwards everywhere).
+    allowed = None if scheme == "nssa" else np.zeros(
+        csr.indices.shape[0], dtype=bool)
+    sampled = np.zeros(n, dtype=bool) if scheme == "ssa" else None
+    degrees = csr.degrees()
+
+    while True:
+        pending = arrival < expanded_at
+        if alive is not None:
+            pending &= alive
+        if not pending.any():
+            break
+        # Epoch boundary: settle everything due before the next bucket
+        # edge at or after the earliest pending arrival.
+        floor = arrival[pending].min()
+        bucket_end = (np.floor(floor / epoch_ms) + 1.0) * epoch_ms
+        while True:
+            frontier = np.nonzero(pending & (arrival < bucket_end))[0]
+            if frontier.size == 0:
+                break
+            expanded_at[frontier] = arrival[frontier]
+            senders = frontier[hops[frontier] < ttl]
+            if senders.size:
+                if scheme == "ssa":
+                    _sample_ssa_edges(
+                        csr, latency, senders, sampled, allowed,
+                        capacities, rng, config, utility_config)
+                _relax(csr, latency, senders, arrival, upstream, hops,
+                       allowed, alive)
+            pending = arrival < expanded_at
+            if alive is not None:
+                pending &= alive
+
+    return FloodResult(root=root, arrival=arrival, upstream=upstream,
+                       hops=hops)
+
+
+def _relax(csr: CSRGraph, latency: np.ndarray, senders: np.ndarray,
+           arrival: np.ndarray, upstream: np.ndarray, hops: np.ndarray,
+           allowed: np.ndarray | None,
+           alive: np.ndarray | None) -> None:
+    """One batched relaxation of every out-edge of ``senders``."""
+    counts = np.diff(csr.indptr)[senders]
+    positions = _concat_ranges(csr.indptr[senders], counts)
+    if positions.size == 0:
+        return
+    if allowed is not None:
+        positions = positions[allowed[positions]]
+        if positions.size == 0:
+            return
+    sources = csr.edge_sources()[positions]
+    targets = csr.indices[positions].astype(np.int64)
+    candidates = arrival[sources] + latency[positions]
+    better = candidates < arrival[targets]
+    if alive is not None:
+        better &= alive[targets]
+    if not better.any():
+        return
+    sources, targets = sources[better], targets[better]
+    candidates = candidates[better]
+    # Resolve duplicate targets to the earliest candidate; the stable
+    # lexsort breaks exact-time ties by edge order, mirroring the heap
+    # simulation's send-sequence tie-break for same-time copies.
+    order = np.lexsort((candidates, targets))
+    targets_sorted = targets[order]
+    first = np.ones(order.shape[0], dtype=bool)
+    first[1:] = targets_sorted[1:] != targets_sorted[:-1]
+    chosen = order[first]
+    t, s = targets[chosen], sources[chosen]
+    arrival[t] = candidates[chosen]
+    upstream[t] = s
+    hops[t] = hops[s] + 1
+
+
+def _sample_ssa_edges(csr: CSRGraph, latency: np.ndarray,
+                      senders: np.ndarray, sampled: np.ndarray,
+                      allowed: np.ndarray, capacities: np.ndarray,
+                      rng: RandomSource, config: AnnouncementConfig,
+                      utility_config: UtilityConfig) -> None:
+    """Sample the forwarding subset of newly-frontiered SSA senders.
+
+    One segmented pass over the senders' edge slices: per-sender
+    resource levels, Eq. 1-5 preferences and Efraimidis-Spirakis keys,
+    then a per-segment top-``fanout`` selection.  Senders are processed
+    in row order so the draw sequence is deterministic per seed.
+    """
+    fresh = senders[~sampled[senders]]
+    if fresh.size == 0:
+        return
+    fresh = np.sort(fresh)
+    sampled[fresh] = True
+    counts = np.diff(csr.indptr)[fresh]
+    positions = _concat_ranges(csr.indptr[fresh], counts)
+    if positions.size == 0:
+        return
+    # Segment bookkeeping: edge i belongs to segment seg[i] with
+    # contiguous extent [seg_start, seg_start + seg_count).
+    nonzero = counts > 0
+    seg_counts = counts[nonzero]
+    seg_rows = fresh[nonzero]
+    seg_starts = np.zeros(seg_counts.shape[0], dtype=np.int64)
+    np.cumsum(seg_counts[:-1], out=seg_starts[1:])
+    seg = np.repeat(np.arange(seg_counts.shape[0]), seg_counts)
+
+    neighbor_caps = capacities[csr.indices[positions]]
+    own_caps = capacities[seg_rows]
+    # Resource level r = fraction of sampled (here: neighbor) capacities
+    # strictly below the sender's own, clamped like the scalar helper.
+    below = (neighbor_caps < own_caps[seg]).astype(np.float64)
+    r = np.add.reduceat(below, seg_starts) / seg_counts
+    r = np.clip(r, utility_config.min_resource_level,
+                utility_config.max_resource_level)
+    alpha, beta = 1.0 - r, r
+    gamma = r ** (-np.log(r))
+
+    # Distance preference (Eq. 1-2) on the edge latencies.
+    d = np.maximum(latency[positions], utility_config.min_distance_ms)
+    d_max = np.maximum.reduceat(d, seg_starts)
+    dn = d / d_max[seg]
+    dp = 1.0 / dn - alpha[seg]
+    dp = dp / np.add.reduceat(dp, seg_starts)[seg]
+    # Capacity preference (Eq. 3).
+    cp = np.maximum(neighbor_caps - beta[seg], 1e-12)
+    cp = cp / np.add.reduceat(cp, seg_starts)[seg]
+    preference = gamma[seg] * cp + (1.0 - gamma[seg]) * dp
+    preference = preference / np.add.reduceat(
+        preference, seg_starts)[seg]
+
+    # Efraimidis-Spirakis keys; per-segment top-fanout selection.
+    draws = rng.random(preference.shape[0])
+    keys = np.log(draws) / preference
+    fanout = np.maximum(
+        config.ssa_min_fanout,
+        np.rint(config.ssa_fanout_fraction * seg_counts).astype(np.int64))
+    fanout = np.minimum(fanout, seg_counts)
+    order = np.lexsort((-keys, seg))
+    rank = np.arange(order.shape[0], dtype=np.int64) - seg_starts[seg]
+    picked = positions[order[rank < fanout[seg]]]
+    allowed[picked] = True
+
+
+# ----------------------------------------------------------------------
+# Subscription and tree kernels
+# ----------------------------------------------------------------------
+def climb_subscriptions(flood: FloodResult, members: np.ndarray,
+                        max_rounds: int | None = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Graft informed members' reverse paths onto the tree.
+
+    Vectorized reverse-path subscription: every member that received
+    the advertisement walks its ``upstream`` chain toward the root, one
+    tree level per gather.  Returns ``(on_tree, is_member)`` row masks;
+    the tree's parent array is ``flood.upstream`` restricted to
+    ``on_tree``.  Members that never received the advertisement are
+    left off the tree (see :func:`attach_searchers`).
+    """
+    n = flood.arrival.shape[0]
+    members = np.asarray(members, dtype=np.int64)
+    on_tree = np.zeros(n, dtype=bool)
+    is_member = np.zeros(n, dtype=bool)
+    is_member[members] = True
+    on_tree[flood.root] = True
+    active = members[flood.reached[members]]
+    rounds = max_rounds if max_rounds is not None else n
+    for _ in range(rounds):
+        active = active[~on_tree[active]]
+        if active.size == 0:
+            break
+        on_tree[active] = True
+        parents = flood.upstream[active]
+        active = np.unique(parents[parents >= 0])
+    return on_tree, is_member
+
+
+def attach_searchers(csr: CSRGraph, flood: FloodResult,
+                     members: np.ndarray, on_tree: np.ndarray,
+                     search_ttl: int,
+                     alive: np.ndarray | None = None
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Ripple-search stand-in for members without the advertisement.
+
+    A multi-source BFS from the informed set gives every uninformed
+    member its closest informed peer within ``search_ttl`` overlay
+    hops; the member's BFS chain is grafted onto the tree and the
+    informed anchor's reverse path is climbed.  Returns
+    ``(parent, on_tree, failed_members)`` where ``parent`` merges the
+    search grafts over ``flood.upstream``.
+
+    This is the scale-path approximation of the object ripple search:
+    the anchor is the hop-closest informed peer rather than the
+    latency-earliest responder, and search traffic is not simulated
+    message by message.
+    """
+    n = csr.node_count
+    members = np.asarray(members, dtype=np.int64)
+    parent = np.where(on_tree, flood.upstream, -1)
+    searchers = members[~flood.reached[members]]
+    if searchers.size == 0:
+        return parent, on_tree, searchers
+    informed = np.nonzero(flood.reached)[0]
+    hops_to_informed, toward = _bfs_with_parents(
+        csr, informed, alive=alive)
+    reachable = searchers[
+        (hops_to_informed[searchers] >= 0)
+        & (hops_to_informed[searchers] <= search_ttl)]
+    failed = searchers[~np.isin(searchers, reachable)]
+    # Walk each reachable searcher's BFS chain toward its anchor,
+    # grafting hop by hop; then climb the anchor's reverse path.
+    active = reachable
+    for _ in range(search_ttl + 1):
+        if active.size == 0:
+            break
+        at_anchor = hops_to_informed[active] == 0
+        anchors = active[at_anchor]
+        if anchors.size:
+            chain = anchors
+            for _ in range(n):
+                chain = chain[~on_tree[chain]]
+                if chain.size == 0:
+                    break
+                on_tree[chain] = True
+                parent[chain] = flood.upstream[chain]
+                nxt = flood.upstream[chain]
+                chain = np.unique(nxt[nxt >= 0])
+        walkers = active[~at_anchor]
+        fresh = walkers[~on_tree[walkers]]
+        on_tree[fresh] = True
+        parent[fresh] = toward[fresh]
+        active = np.unique(toward[walkers][toward[walkers] >= 0])
+    return parent, on_tree, failed
+
+
+def _bfs_with_parents(csr: CSRGraph, roots: np.ndarray,
+                      alive: np.ndarray | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Multi-source BFS returning ``(hops, toward)``.
+
+    ``toward[v]`` is the BFS predecessor of ``v`` — one deterministic
+    step from ``v`` toward the nearest root (lowest-row tie-break).
+    """
+    n = csr.node_count
+    hops = np.full(n, -1, dtype=np.int64)
+    toward = np.full(n, -1, dtype=np.int64)
+    roots = np.asarray(roots, dtype=np.int64)
+    if alive is not None:
+        roots = roots[alive[roots]]
+    hops[roots] = 0
+    frontier = roots
+    level = 0
+    while frontier.size:
+        level += 1
+        counts = np.diff(csr.indptr)[frontier]
+        positions = _concat_ranges(csr.indptr[frontier], counts)
+        sources = csr.edge_sources()[positions]
+        targets = csr.indices[positions].astype(np.int64)
+        mask = hops[targets] < 0
+        if alive is not None:
+            mask &= alive[targets]
+        sources, targets = sources[mask], targets[mask]
+        if targets.size == 0:
+            break
+        order = np.lexsort((sources, targets))
+        targets_sorted = targets[order]
+        first = np.ones(order.shape[0], dtype=bool)
+        first[1:] = targets_sorted[1:] != targets_sorted[:-1]
+        chosen = order[first]
+        fresh = targets[chosen]
+        hops[fresh] = level
+        toward[fresh] = sources[chosen]
+        frontier = fresh
+    return hops, toward
+
+
+def tree_delays(parent: np.ndarray, on_tree: np.ndarray,
+                arrival_latency: np.ndarray | None = None,
+                coords: np.ndarray | None = None,
+                root: int | None = None) -> np.ndarray:
+    """Per-row delivery delay through the tree from the root (ms).
+
+    Edge cost is the coordinate distance between child and parent
+    (``coords``) unless explicit per-row upstream latencies are given.
+    Computed one tree level per pass (gather + scatter); off-tree rows
+    get ``inf``.
+    """
+    n = parent.shape[0]
+    delays = np.full(n, np.inf)
+    if root is None:
+        roots = np.nonzero(on_tree & (parent < 0))[0]
+        if roots.size == 0:
+            return delays
+        root = int(roots[0])
+    delays[root] = 0.0
+    if arrival_latency is None:
+        if coords is None:
+            raise GroupError("need coords or per-row upstream latencies")
+        has_parent = on_tree & (parent >= 0)
+        arrival_latency = np.zeros(n)
+        rows = np.nonzero(has_parent)[0]
+        delta = coords[rows] - coords[parent[rows]]
+        arrival_latency[rows] = np.sqrt((delta * delta).sum(axis=1))
+    pending = on_tree & ~np.isfinite(delays)
+    for _ in range(n):
+        if not pending.any():
+            break
+        rows = np.nonzero(pending)[0]
+        parents = parent[rows]
+        ready = (parents >= 0) & np.isfinite(delays[parents])
+        if not ready.any():
+            break
+        rows = rows[ready]
+        delays[rows] = delays[parent[rows]] + arrival_latency[rows]
+        pending[rows] = False
+    return delays
+
+
+def synthetic_power_law_csr(
+    n: int, rng: RandomSource, exponent: float = 2.2,
+    min_degree: int = 2, max_degree: int = 64,
+) -> CSRGraph:
+    """A connected power-law-ish overlay built entirely in arrays.
+
+    Configuration-model edges over a Zipf-like degree target plus a
+    random-spine guarantee of connectivity — the scale benchmark's
+    stand-in for the bootstrap protocol, built in O(edges) numpy work
+    with no per-peer Python objects.
+    """
+    if n < 2:
+        raise GroupError("need at least two peers")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    rng.shuffle(weights)
+    degrees = np.clip(
+        np.rint(weights / weights.mean() * 2.0 * min_degree),
+        min_degree, max_degree).astype(np.int64)
+    # Spine: peer i links to a random earlier peer (connectivity).
+    spine_targets = (rng.random(n - 1)
+                     * np.arange(1, n, dtype=np.float64)).astype(np.int64)
+    spine_u = np.arange(1, n, dtype=np.int64)
+    # Configuration-model extras: endpoints drawn by degree weight.
+    extra = max(int(degrees.sum() // 2) - (n - 1), 0)
+    p = degrees / degrees.sum()
+    u = rng.choice(n, size=extra, p=p)
+    v = rng.choice(n, size=extra, p=p)
+    keep = u != v
+    heads = np.concatenate([spine_u, u[keep]])
+    tails = np.concatenate([spine_targets, v[keep]])
+    # De-duplicate undirected pairs.
+    low = np.minimum(heads, tails)
+    high = np.maximum(heads, tails)
+    pairs = np.unique(low * np.int64(n) + high)
+    return CSRGraph.from_edges(n, pairs // n, pairs % n)

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
 
 from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import GroupError
@@ -84,6 +87,26 @@ class Payload:
 # ----------------------------------------------------------------------
 # Per-peer protocol agent
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionTreeView:
+    """Dense single-pass snapshot of one group's protocol state.
+
+    One row per session node that ever touched the group, in node-
+    insertion order.  ``upstream_row`` is -1 when a peer's upstream is
+    unset or holds no row itself (crashed, or never in the group).  The
+    recovery sweeps below all run off one snapshot instead of re-walking
+    every node's state dict per query, and the arrays plug directly into
+    the :mod:`repro.core` kernels.
+    """
+
+    ids: np.ndarray
+    index: Mapping[int, int]
+    upstream_id: np.ndarray
+    upstream_row: np.ndarray
+    on_tree: np.ndarray
+    is_member: np.ndarray
+
+
 @dataclass
 class _GroupState:
     upstream: int | None = None
@@ -499,29 +522,25 @@ class GroupSession:
         periodically and re-running the subscription for each broken
         branch.
         """
+        view = self.tree_view(group_id)
         rendezvous = self.rendezvous.get(group_id)
-        broken = []
-        for peer_id, node in self.nodes.items():
-            if group_id not in node.groups or peer_id == rendezvous:
-                continue
-            state = node.state(group_id)
-            if not state.on_tree:
-                continue
-            upstream_node = (self.nodes.get(state.upstream)
-                             if state.upstream is not None else None)
-            if upstream_node is None or not upstream_node.state(
-                    group_id).on_tree:
-                broken.append(peer_id)
-        return sorted(broken)
+        broken = view.on_tree.copy()
+        if rendezvous is not None:
+            row = view.index.get(rendezvous)
+            if row is not None:
+                broken[row] = False
+        parent_on_tree = np.zeros(view.ids.shape[0], dtype=bool)
+        has_row = view.upstream_row >= 0
+        parent_on_tree[has_row] = \
+            view.on_tree[view.upstream_row[has_row]]
+        broken &= ~parent_on_tree
+        return sorted(int(peer) for peer in view.ids[broken])
 
     def upstream_children(self, group_id: int, parent: int) -> list[int]:
         """Live peers whose upstream pointer targets ``parent``."""
-        return [
-            peer_id for peer_id, node in self.nodes.items()
-            if group_id in node.groups
-            and node.state(group_id).on_tree
-            and node.state(group_id).upstream == parent
-        ]
+        view = self.tree_view(group_id)
+        rows = view.on_tree & (view.upstream_id == parent)
+        return [int(peer) for peer in view.ids[rows]]
 
     def backup_parents(self, group_id: int) -> dict[int, int]:
         """Grandparent backups from the current upstream pointers.
@@ -530,29 +549,57 @@ class GroupSession:
         replication.BackupPlan.refresh`: each on-tree peer's backup is
         its grandparent where one exists, else the rendezvous.
         """
+        view = self.tree_view(group_id)
         rendezvous = self.rendezvous.get(group_id)
-        backups: dict[int, int] = {}
-        for peer_id, node in self.nodes.items():
-            if group_id not in node.groups or peer_id == rendezvous:
-                continue
-            state = node.state(group_id)
-            if not state.on_tree or state.upstream is None:
-                continue
-            parent_node = self.nodes.get(state.upstream)
-            grandparent = None
-            if parent_node is not None:
-                grandparent = parent_node.state(group_id).upstream
-            if grandparent is None and rendezvous is not None \
-                    and rendezvous != peer_id:
-                grandparent = rendezvous
-            if grandparent is not None and grandparent != peer_id:
-                backups[peer_id] = grandparent
-        return backups
+        sentinel = -1 if rendezvous is None else rendezvous
+        grandparent = np.full(view.ids.shape[0], -1, dtype=np.int64)
+        has_row = view.upstream_row >= 0
+        grandparent[has_row] = \
+            view.upstream_id[view.upstream_row[has_row]]
+        fallback = (grandparent < 0) & (sentinel >= 0) \
+            & (view.ids != sentinel)
+        grandparent[fallback] = sentinel
+        usable = (view.on_tree & (view.upstream_id >= 0)
+                  & (view.ids != sentinel) & (grandparent >= 0)
+                  & (grandparent != view.ids))
+        return {int(view.ids[row]): int(grandparent[row])
+                for row in np.nonzero(usable)[0]}
 
     def members_on_tree(self, group_id: int) -> set[int]:
         """Members that completed their subscription."""
-        return {
-            peer_id for peer_id, node in self.nodes.items()
-            if node.state(group_id).is_member
-            and node.state(group_id).on_tree
-        }
+        view = self.tree_view(group_id)
+        return {int(peer)
+                for peer in view.ids[view.on_tree & view.is_member]}
+
+    def tree_view(self, group_id: int) -> SessionTreeView:
+        """Snapshot the group's session state into dense arrays.
+
+        One walk over the nodes replaces the per-query state-dict scans
+        of the recovery sweeps; unlike ``node.state(group_id)`` it never
+        *creates* per-group state on nodes outside the group.
+        """
+        ids_list: list[int] = []
+        states: list[_GroupState] = []
+        for peer_id, node in self.nodes.items():
+            state = node.groups.get(group_id)
+            if state is not None:
+                ids_list.append(peer_id)
+                states.append(state)
+        count = len(ids_list)
+        ids = np.asarray(ids_list, dtype=np.int64) if count \
+            else np.empty(0, dtype=np.int64)
+        index = {peer: row for row, peer in enumerate(ids_list)}
+        upstream_id = np.full(count, -1, dtype=np.int64)
+        upstream_row = np.full(count, -1, dtype=np.int64)
+        on_tree = np.zeros(count, dtype=bool)
+        is_member = np.zeros(count, dtype=bool)
+        for row, state in enumerate(states):
+            if state.upstream is not None:
+                upstream_id[row] = state.upstream
+                upstream_row[row] = index.get(state.upstream, -1)
+            on_tree[row] = state.on_tree
+            is_member[row] = state.is_member
+        return SessionTreeView(ids=ids, index=index,
+                               upstream_id=upstream_id,
+                               upstream_row=upstream_row,
+                               on_tree=on_tree, is_member=is_member)

@@ -15,11 +15,14 @@ peer handles" — is computed over the rooted structure.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import TreeError
+
+if TYPE_CHECKING:
+    from ..core.store import TreeArrays
 
 
 class SpanningTree:
@@ -287,6 +290,66 @@ class SpanningTree:
             raise TreeError("tree has nodes unreachable from the root")
         if not self._members <= seen:
             raise TreeError("a member is outside the tree")
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays interop
+    # ------------------------------------------------------------------
+    def to_arrays(self, row_of: Mapping[int, int],
+                  rows: int | None = None) -> "TreeArrays":
+        """Export the tree as dense parent/member columns.
+
+        ``row_of`` maps peer ids to store row indices (e.g.
+        ``SoAStore.row_of``); ``rows`` sets the column length (defaults
+        to one past the highest mapped row).  The result plugs straight
+        into the :mod:`repro.core` kernels — ``tree_delays``, dangling
+        repair, ``node_stress`` — without walking the dicts again.
+        """
+        from ..core.store import TreeArrays
+
+        mapped = {peer: row_of[peer] for peer in self._parent}
+        if rows is None:
+            rows = max(mapped.values(), default=-1) + 1
+        arrays = TreeArrays(rows, root=mapped[self.root])
+        for child, parent in self._parent.items():
+            if parent is not None:
+                arrays.attach(mapped[child], mapped[parent])
+        member_rows = np.fromiter(
+            (mapped[peer] for peer in self._members), dtype=np.int64,
+            count=len(self._members))
+        arrays.is_member[member_rows] = True
+        arrays.has_ad[list(mapped.values())] = True
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: "TreeArrays",
+                    id_of: Sequence[int]) -> "SpanningTree":
+        """Rebuild an object tree from dense columns.
+
+        ``id_of`` maps row indices back to peer ids (e.g.
+        ``SoAStore.id_of`` applied row-wise).  Nodes are inserted in
+        row order, so dict iteration order is row order — structure and
+        membership round-trip exactly, insertion order does not.
+        """
+        if arrays.root < 0:
+            raise TreeError("array tree has no root")
+        tree = cls(id_of[arrays.root])
+        on_rows = np.nonzero(arrays.on_tree)[0]
+        for row in on_rows:
+            peer = id_of[int(row)]
+            if peer not in tree._parent:
+                tree._parent[peer] = None
+                tree._children[peer] = set()
+        for row in on_rows:
+            parent_row = int(arrays.parent[row])
+            if parent_row >= 0:
+                child, parent = id_of[int(row)], id_of[parent_row]
+                tree._parent[child] = parent
+                tree._children[parent].add(child)
+        tree._members = {id_of[int(row)]
+                         for row in np.nonzero(arrays.is_member)[0]
+                         if arrays.on_tree[int(row)]}
+        tree._members.add(tree.root)
+        return tree
 
     def _require(self, peer_id: int) -> None:
         if peer_id not in self._parent:

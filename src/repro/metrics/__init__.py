@@ -2,9 +2,12 @@
 
 from .tree_metrics import (
     aggregate_workloads,
+    aggregate_workloads_arrays,
     link_stress,
     node_stress,
+    node_stress_arrays,
     overload_index,
+    overload_index_arrays,
     relative_delay_penalty,
 )
 from .overlay_metrics import (
@@ -15,9 +18,12 @@ from .overlay_metrics import (
 
 __all__ = [
     "aggregate_workloads",
+    "aggregate_workloads_arrays",
     "link_stress",
     "node_stress",
+    "node_stress_arrays",
     "overload_index",
+    "overload_index_arrays",
     "relative_delay_penalty",
     "average_neighbor_distance_ms",
     "degree_histogram",

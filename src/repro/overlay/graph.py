@@ -109,6 +109,39 @@ class OverlayNetwork:
         self._require(peer_id)
         return list(self._adjacency[peer_id])
 
+    def iter_neighbors(self, peer_id: int) -> Iterator[int]:
+        """Iterate a peer's neighbors without materializing a list.
+
+        Same iteration order as :meth:`neighbors`; useful in scans that
+        touch every peer's adjacency once (maintenance heartbeats).
+        """
+        self._require(peer_id)
+        return iter(self._adjacency[peer_id])
+
+    def csr(self) -> tuple["CSRGraph", list[int]]:
+        """Array snapshot: ``(graph, ids)`` with row ``i`` = ``ids[i]``.
+
+        The CSR rows are ordered by ``peer_ids()`` and each row's
+        neighbors come out in the same set-iteration order
+        :meth:`neighbors` reports, so vectorized kernels run over
+        exactly the structure the object layer sees.  The snapshot is
+        frozen — later graph mutations do not write through.
+        """
+        from ..core.arrays import CSRGraph
+
+        ids = self.peer_ids()
+        index = {peer_id: row for row, peer_id in enumerate(ids)}
+        lengths = [len(self._adjacency[peer_id]) for peer_id in ids]
+        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(lengths, dtype=np.int64), out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        at = 0
+        for peer_id in ids:
+            for neighbor in self._adjacency[peer_id]:
+                indices[at] = index[neighbor]
+                at += 1
+        return CSRGraph(indptr, indices), ids
+
     def degree(self, peer_id: int) -> int:
         """Number of overlay links of a peer."""
         self._require(peer_id)

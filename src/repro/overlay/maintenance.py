@@ -154,40 +154,77 @@ class MaintenanceDaemon:
         tracer = (self.tracer if self.tracer is not None
                   else get_default_tracer())
         tracing = tracer is not None and tracer.spans
+        if tracing:
+            self._heartbeat_scan_traced(peer_id, state, tracer)
+        else:
+            self._heartbeat_scan(peer_id, state)
+        self.simulator.schedule(
+            self.config.heartbeat_interval_ms,
+            lambda: self._heartbeat_round(peer_id))
+
+    def _heartbeat_scan(self, peer_id: int, state: _PeerState) -> None:
+        """Bulk liveness scan — the untraced (default) fast path.
+
+        Observable behavior is identical to the traced loop: the same
+        miss counters move, failures are declared in the same neighbor
+        order, and the aggregate message statistics end at the same
+        values.  The per-neighbor Python work shrinks to one dict
+        lookup; message counts are recorded in batch, which is what
+        makes whole-overlay heartbeat rounds affordable at scale.
+        """
+        states = self._states
+        missed = state.missed
+        silent: list[int] = []
+        replies = 0
+        for neighbor in self.overlay.iter_neighbors(peer_id):
+            neighbor_state = states.get(neighbor)
+            if neighbor_state is not None and neighbor_state.alive:
+                replies += 1
+                if missed:
+                    missed.pop(neighbor, None)
+            else:
+                silent.append(neighbor)
+        total = replies + len(silent)
+        self.stats.record(MessageKind.HEARTBEAT, total)
+        self._c_heartbeats.inc(total)
+        self.stats.record(MessageKind.HEARTBEAT_REPLY, replies)
+        self._c_replies.inc(replies)
+        threshold = self.config.missed_heartbeats_for_failure
+        for neighbor in silent:
+            count = missed.get(neighbor, 0) + 1
+            missed[neighbor] = count
+            if count >= threshold:
+                self._declare_failed(peer_id, neighbor, state)
+
+    def _heartbeat_scan_traced(self, peer_id: int, state: _PeerState,
+                               tracer: Tracer) -> None:
         now = self.simulator.now
         # One span tree per round: a probe span per neighbor, closed by
         # the reply when the neighbor is alive and left open (unreplied)
         # when the heartbeat went unanswered.
-        root = (tracer.root_span(at_ms=now, kind="heartbeat")
-                if tracing else None)
+        root = tracer.root_span(at_ms=now, kind="heartbeat")
         threshold = self.config.missed_heartbeats_for_failure
         for neighbor in self.overlay.neighbors(peer_id):
             self.stats.record(MessageKind.HEARTBEAT)
             self._c_heartbeats.inc()
-            probe = None
-            if tracing:
-                probe = tracer.child_span(root)
-                tracer.record(now, KIND_SEND, a=peer_id, b=neighbor,
-                              detail=MessageKind.HEARTBEAT.value,
-                              span=probe)
+            probe = tracer.child_span(root)
+            tracer.record(now, KIND_SEND, a=peer_id, b=neighbor,
+                          detail=MessageKind.HEARTBEAT.value,
+                          span=probe)
             neighbor_state = self._states.get(neighbor)
             if neighbor_state is not None and neighbor_state.alive:
                 self.stats.record(MessageKind.HEARTBEAT_REPLY)
                 self._c_replies.inc()
-                if tracing:
-                    tracer.record(now, KIND_DELIVER, a=neighbor,
-                                  b=peer_id,
-                                  detail=MessageKind.HEARTBEAT_REPLY.value,
-                                  span=probe)
+                tracer.record(now, KIND_DELIVER, a=neighbor,
+                              b=peer_id,
+                              detail=MessageKind.HEARTBEAT_REPLY.value,
+                              span=probe)
                 state.missed.pop(neighbor, None)
                 continue
             missed = state.missed.get(neighbor, 0) + 1
             state.missed[neighbor] = missed
             if missed >= threshold:
                 self._declare_failed(peer_id, neighbor, state)
-        self.simulator.schedule(
-            self.config.heartbeat_interval_ms,
-            lambda: self._heartbeat_round(peer_id))
 
     def _declare_failed(self, peer_id: int, neighbor: int,
                         state: _PeerState) -> None:

@@ -28,6 +28,18 @@ class PeerInfo:
         if self.capacity <= 0.0:
             raise ValueError("capacity must be positive")
 
+    @classmethod
+    def from_arrays(cls, peer_id: int, row: int, capacity: np.ndarray,
+                    coords: np.ndarray) -> "PeerInfo":
+        """Materialize the quadruplet of one struct-of-arrays row.
+
+        The coordinate is copied out of the column so the returned info
+        stays valid even if the store later grows (reallocates) its
+        arrays.
+        """
+        return cls(peer_id=peer_id, capacity=float(capacity[row]),
+                   coordinate=coords[row].copy())
+
     @property
     def ip_address(self) -> str:
         """Synthetic dotted-quad address derived from the peer id."""

@@ -11,12 +11,20 @@ is a classic calendar queue built on :mod:`heapq`:
 Ties are broken by insertion sequence so runs are fully deterministic.
 Protocol layers deliver messages by scheduling a callback after the
 underlay latency between the two endpoints.
+
+For scale runs the loop can also be driven one virtual-time *epoch* at a
+time (:meth:`Simulator.run_epoch`): all events inside a fixed-width time
+bucket dispatch in one call, letting callers interleave vectorized array
+work (:mod:`repro.core.protocol`) between buckets without per-event
+Python hooks.  Within an epoch the dispatch order is untouched, so trace
+digests are identical either way.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -89,6 +97,18 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
+
+    def next_event_time(self) -> Optional[float]:
+        """Firing time of the next live event, or None if drained.
+
+        Cancelled events at the heap top are discarded while peeking —
+        they would never fire, so dropping them here changes nothing
+        observable.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
 
     def schedule(self, delay_ms: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` to fire ``delay_ms`` after the current time."""
@@ -184,6 +204,38 @@ class Simulator:
                 return
         if until is not None:
             self._now = max(self._now, until)
+
+    def run_epoch(self, epoch_ms: float) -> tuple[float, int] | None:
+        """Dispatch every event inside the next virtual-time epoch.
+
+        Epochs are the fixed-width buckets ``[k*epoch_ms, (k+1)*epoch_ms)``;
+        the next one is the bucket holding the earliest pending event, so
+        empty stretches of virtual time are skipped in one jump.  Events
+        inside the epoch still fire one by one in ``(time, sequence)``
+        order — batching changes *when control returns to the caller*,
+        never the dispatch order, so trace digests are unaffected.
+
+        Returns ``(epoch_start, events_fired)``, or None if the heap is
+        drained.  This is the engine half of the scale core's batched
+        dispatch: callers interleave vectorized per-epoch array work
+        (:mod:`repro.core.protocol`) between epochs instead of hooking
+        every event.
+        """
+        if epoch_ms <= 0.0:
+            raise SimulationError("epoch width must be positive")
+        first = self.next_event_time()
+        if first is None:
+            return None
+        epoch_start = math.floor(first / epoch_ms) * epoch_ms
+        epoch_end = epoch_start + epoch_ms
+        fired = 0
+        while True:
+            when = self.next_event_time()
+            if when is None or when >= epoch_end:
+                break
+            self.step()
+            fired += 1
+        return epoch_start, fired
 
     def step(self) -> bool:
         """Fire the single next event; return False if the heap is empty."""

@@ -123,6 +123,26 @@ class MessageNetwork:
         """Scheduled deliveries that have not fired yet (in flight)."""
         return self._pending
 
+    def edge_latencies(self, csr, ids) -> "np.ndarray":
+        """Per-directed-edge transit latencies for the array kernels.
+
+        ``csr`` is a :class:`~repro.core.arrays.CSRGraph` whose row ``i``
+        is the peer ``ids[i]``; the result aligns with ``csr.indices``
+        and prices every overlay hop with this network's ``latency_fn``,
+        so a vectorized flood (:func:`repro.core.protocol.
+        flood_advertisement`) sees exactly the transit times the
+        event-driven transport would apply.
+        """
+        import numpy as np
+
+        sources = csr.edge_sources()
+        latency_fn = self.latency_fn
+        out = np.empty(csr.indices.shape[0], dtype=np.float64)
+        for edge in range(out.shape[0]):
+            out[edge] = latency_fn(ids[int(sources[edge])],
+                                   ids[int(csr.indices[edge])])
+        return out
+
     def conservation_gap(self) -> int:
         """Transport accounting identity; zero on a healthy network.
 
