@@ -17,7 +17,14 @@ state in dense numpy arrays instead, keyed by *stable peer indices*:
   unchanged (and bit-identically) over array state;
 * :mod:`.protocol` — vectorized, epoch-batched protocol evaluation over
   a :class:`CSRGraph` (advertisement floods, subscription climbs, tree
-  metrics) for runs far beyond what the object layer can reach.
+  metrics) for runs far beyond what the object layer can reach;
+* :mod:`.multigroup` — group-batched kernel variants over group-major
+  2-D state (:class:`GroupBatch`), relaxing thousands of groups against
+  one shared CSR per epoch pass, bit-identical per group to the
+  single-group kernels;
+* :mod:`.parallel` — the sharded executor: deterministic group shards
+  over a shared-memory world, merged in shard order so results are
+  bit-identical for any worker count.
 
 Index lifecycle contract: a peer keeps its array row for the lifetime of
 the store — join always allocates a *fresh* row and leave/crash only
@@ -26,7 +33,24 @@ by the Hypothesis suite in ``tests/test_soa_properties.py``).
 """
 
 from .arrays import CSRGraph, DynamicAdjacency, PeerArrays
+from .multigroup import (
+    BatchFloodResult,
+    GroupBatch,
+    climb_subscriptions_batch,
+    flood_advertisements_batch,
+    pack_members,
+    tree_delays_batch,
+)
 from .overlay_view import SoAOverlayNetwork
+from .parallel import (
+    GroupPassResult,
+    SharedWorld,
+    merge_results,
+    run_group_pass,
+    run_group_pass_loop,
+    run_sharded,
+    shard_bounds,
+)
 from .protocol import (
     FloodResult,
     attach_searchers,
@@ -52,4 +76,17 @@ __all__ = [
     "tree_delays",
     "edge_latencies_from_coords",
     "synthetic_power_law_csr",
+    "GroupBatch",
+    "BatchFloodResult",
+    "pack_members",
+    "flood_advertisements_batch",
+    "climb_subscriptions_batch",
+    "tree_delays_batch",
+    "GroupPassResult",
+    "SharedWorld",
+    "merge_results",
+    "shard_bounds",
+    "run_group_pass",
+    "run_group_pass_loop",
+    "run_sharded",
 ]

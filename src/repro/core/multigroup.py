@@ -1,0 +1,621 @@
+"""Group-batched protocol kernels: many groups, one kernel pass.
+
+The PR-6 kernels (:mod:`repro.core.protocol`) vectorize *within* one
+group — running thousands of groups still means a Python loop of kernel
+calls, each of which re-walks the shared overlay snapshot.  This module
+stacks the per-group state into group-major 2-D arrays (``(n_groups,
+n_rows)`` with a shared row space) and relaxes **all groups against one
+frozen CSR per epoch**: each global bucket pass gathers the frontier of
+every group at once, so the per-edge work amortizes across the whole
+batch and the pass count is the *maximum* over groups instead of the
+sum.
+
+Determinism contract (pinned by ``tests/test_multigroup.py``): every
+per-group row of every output array is **bit-identical** to the value
+the single-group kernel produces for that group alone.  The argument:
+
+* all mutable state is indexed ``(group, row)`` and every update writes
+  only its own group's row, so group trajectories never interact;
+* epoch buckets are cells of the global grid (multiples of
+  ``epoch_ms`` from zero) — the same grid every single-group bucket
+  boundary lands on — so batching changes *when* a group's cell is
+  processed but never which arrivals share a group's bucket;
+* duplicate-target resolution sorts on the flattened ``group * n + row``
+  key with the same stable lexsort as the single-group kernel, so the
+  within-group candidate order (and hence the tie-break) is unchanged.
+
+Consequently results are independent of batch composition — any
+sharding of the group set, merged in group order, reproduces the
+sequential per-group run bit for bit (the property the sharded executor
+in :mod:`repro.core.parallel` builds on).
+
+For SSA, forwarding subsets are sampled with one independent generator
+per group (callers pass ``rngs``); the per-group draw sequence equals
+the single-group kernel's under the same generator state, so SSA floods
+keep the bit-identity contract group by group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import AnnouncementConfig, UtilityConfig
+from ..errors import GroupError
+from ..sim.random import RandomSource
+from .arrays import CSRGraph, _concat_ranges
+from .protocol import _sample_ssa_edges
+from .store import TreeArrays
+
+_DEFAULT_ANNOUNCEMENT = AnnouncementConfig()
+
+#: Width of the flood's near-horizon window, in epochs: pending
+#: coordinates due inside the window stay on the per-pass near list,
+#: later ones wait in far chunks until the clock approaches.  Bigger
+#: windows mean fewer far rescans but a wider near list per pass.
+_FAR_EPOCHS = 8.0
+
+
+def _merge_pending(work: np.ndarray, work_arrival: np.ndarray,
+                   keys: np.ndarray, values: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Merge sorted unique (keys, values) into the sorted worklist.
+
+    ``side="right"`` lands each incoming key just after its stale twin
+    (if present), so keeping the last entry of every equal-key run both
+    dedups and refreshes the cached arrival in one pass.
+    """
+    slot = (np.searchsorted(work, keys, side="right")
+            + np.arange(keys.shape[0]))
+    total = work.shape[0] + keys.shape[0]
+    incoming = np.zeros(total, dtype=bool)
+    incoming[slot] = True
+    merged_keys = np.empty(total, dtype=np.int64)
+    merged_keys[slot] = keys
+    merged_keys[~incoming] = work
+    merged_values = np.empty(total)
+    merged_values[slot] = values
+    merged_values[~incoming] = work_arrival
+    last = np.empty(total, dtype=bool)
+    last[-1] = True
+    np.not_equal(merged_keys[1:], merged_keys[:-1], out=last[:-1])
+    return merged_keys[last], merged_values[last]
+
+
+class GroupBatch:
+    """Group-major tree columns for a batch of groups.
+
+    The 2-D counterpart of :class:`~repro.core.store.TreeArrays`: row
+    ``g`` of every column is group ``g``'s per-store-row state, all
+    groups sharing one row space (one overlay snapshot).
+    """
+
+    __slots__ = ("parent", "on_tree", "is_member", "has_ad", "roots")
+
+    def __init__(self, n_groups: int, rows: int,
+                 roots: np.ndarray | None = None) -> None:
+        if n_groups < 1 or rows < 1:
+            raise GroupError("need at least one group and one row")
+        self.parent = np.full((n_groups, rows), -1, dtype=np.int64)
+        self.on_tree = np.zeros((n_groups, rows), dtype=bool)
+        self.is_member = np.zeros((n_groups, rows), dtype=bool)
+        self.has_ad = np.zeros((n_groups, rows), dtype=bool)
+        if roots is None:
+            self.roots = np.full(n_groups, -1, dtype=np.int64)
+        else:
+            self.roots = np.asarray(roots, dtype=np.int64).copy()
+            if self.roots.shape != (n_groups,):
+                raise GroupError("need one root per group")
+            if ((self.roots < 0) | (self.roots >= rows)).any():
+                raise GroupError("root row out of range")
+            g = np.arange(n_groups)
+            self.on_tree[g, self.roots] = True
+            self.is_member[g, self.roots] = True
+            self.has_ad[g, self.roots] = True
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of stacked groups."""
+        return self.parent.shape[0]
+
+    @property
+    def rows(self) -> int:
+        """Shared row-space length."""
+        return self.parent.shape[1]
+
+    @classmethod
+    def from_trees(cls, trees: Sequence[TreeArrays]) -> "GroupBatch":
+        """Stack per-group :class:`TreeArrays` into one batch.
+
+        Columns shorter than the widest tree are zero-padded on the
+        right (fresh rows a tree has not grown to yet carry the same
+        defaults either way).
+        """
+        if not trees:
+            raise GroupError("need at least one tree")
+        rows = max(tree.rows for tree in trees)
+        batch = cls(len(trees), rows)
+        for g, tree in enumerate(trees):
+            r = tree.rows
+            batch.parent[g, :r] = tree.parent
+            batch.on_tree[g, :r] = tree.on_tree
+            batch.is_member[g, :r] = tree.is_member
+            batch.has_ad[g, :r] = tree.has_ad
+            batch.roots[g] = tree.root
+        return batch
+
+    def to_trees(self) -> list[TreeArrays]:
+        """Unstack into per-group :class:`TreeArrays` (full width)."""
+        trees: list[TreeArrays] = []
+        for g in range(self.n_groups):
+            tree = TreeArrays(self.rows)
+            tree.root = int(self.roots[g])
+            tree.parent[:] = self.parent[g]
+            tree.on_tree[:] = self.on_tree[g]
+            tree.is_member[:] = self.is_member[g]
+            tree.has_ad[:] = self.has_ad[g]
+            trees.append(tree)
+        return trees
+
+    def nbytes(self) -> int:
+        """Total bytes held by the batch columns."""
+        return (self.parent.nbytes + self.on_tree.nbytes
+                + self.is_member.nbytes + self.has_ad.nbytes
+                + self.roots.nbytes)
+
+
+def pack_members(members_per_group: Sequence[np.ndarray]
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Pack ragged per-group member row lists into CSR-style arrays.
+
+    Returns ``(member_rows, member_indptr)`` where group ``g``'s members
+    are ``member_rows[member_indptr[g]:member_indptr[g + 1]]``.
+    """
+    counts = np.fromiter((len(m) for m in members_per_group),
+                         dtype=np.int64, count=len(members_per_group))
+    indptr = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    if counts.sum() == 0:
+        return np.empty(0, dtype=np.int64), indptr
+    rows = np.concatenate(
+        [np.asarray(m, dtype=np.int64) for m in members_per_group])
+    return rows, indptr
+
+
+@dataclass(frozen=True)
+class BatchFloodResult:
+    """Dense outcome of one batch of advertisement floods.
+
+    Row ``g`` of each array is exactly the ``FloodResult`` of group
+    ``g``'s single-group flood: ``arrival`` is ``inf`` for unreached
+    rows, ``upstream``/``hops`` are ``-1``, the rendezvous row has
+    arrival 0 and hops 0.
+    """
+
+    roots: np.ndarray
+    arrival: np.ndarray
+    upstream: np.ndarray
+    hops: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        """Number of stacked groups."""
+        return self.arrival.shape[0]
+
+    @property
+    def reached(self) -> np.ndarray:
+        """Boolean ``(group, row)`` mask of delivered advertisements."""
+        return np.isfinite(self.arrival)
+
+    def receipt_counts(self) -> np.ndarray:
+        """Number of reached rows per group."""
+        return np.count_nonzero(self.reached, axis=1)
+
+
+def flood_advertisements_batch(
+    csr: CSRGraph,
+    latency: np.ndarray,
+    roots: np.ndarray,
+    ttl: int,
+    scheme: str = "nssa",
+    *,
+    capacities: np.ndarray | None = None,
+    rngs: Sequence[RandomSource] | None = None,
+    config: AnnouncementConfig | None = None,
+    utility_config: UtilityConfig | None = None,
+    alive: np.ndarray | None = None,
+    epoch_ms: float | None = None,
+) -> BatchFloodResult:
+    """Flood one advertisement per group in shared epoch passes.
+
+    Same semantics per group as
+    :func:`repro.core.protocol.flood_advertisement` — see the module
+    docstring for the bit-identity argument.  ``roots`` holds one
+    rendezvous row per group; for ``scheme="ssa"`` pass ``capacities``
+    plus one independent ``rngs[g]`` per group (the per-group draw
+    sequence then matches a single-group flood seeded the same way).
+
+    The SSA forwarding masks are materialized lazily, one ``bool(E)``
+    edge mask per group that actually floods — batch width is bounded
+    by memory for SSA; NSSA state is ``O(n_groups * n_rows)``.
+    """
+    if scheme not in ("nssa", "ssa"):
+        raise GroupError(f"unknown announcement scheme {scheme!r}")
+    n = csr.node_count
+    roots = np.asarray(roots, dtype=np.int64)
+    n_groups = roots.shape[0]
+    if n_groups == 0:
+        raise GroupError("need at least one group")
+    if ((roots < 0) | (roots >= n)).any():
+        raise GroupError("root row out of range")
+    latency = np.asarray(latency, dtype=np.float64)
+    if latency.shape != csr.indices.shape:
+        raise GroupError("need one latency per directed CSR edge")
+    if latency.size and latency.min() <= 0.0:
+        raise GroupError("edge latencies must be positive")
+    config = config or _DEFAULT_ANNOUNCEMENT
+    if scheme == "ssa":
+        if capacities is None or rngs is None:
+            raise GroupError("ssa flooding needs capacities and rngs")
+        if len(rngs) != n_groups:
+            raise GroupError("need one rng per group")
+        utility_config = utility_config or UtilityConfig()
+
+    if epoch_ms is None:
+        epoch_ms = float(latency.min()) if latency.size else 1.0
+    if epoch_ms <= 0.0:
+        raise GroupError("epoch_ms must be positive")
+
+    arrival = np.full((n_groups, n), np.inf)
+    upstream = np.full((n_groups, n), -1, dtype=np.int64)
+    hops = np.full((n_groups, n), -1, dtype=np.int64)
+    g_index = np.arange(n_groups)
+    arrival[g_index, roots] = 0.0
+    hops[g_index, roots] = 0
+    expanded_at = np.full((n_groups, n), np.inf)
+    #: SSA state: per-group "has sampled" row masks plus lazily created
+    #: per-group edge masks (group -> bool(E)); NSSA forwards everywhere.
+    sampled = (np.zeros((n_groups, n), dtype=bool)
+               if scheme == "ssa" else None)
+    allowed: dict[int, np.ndarray] | None = (
+        {} if scheme == "ssa" else None)
+
+    # Worklist of (group, row) coordinates flat-encoded as
+    # ``g * n + row``, kept sorted, unique and *pending-only*
+    # (``arrival < expanded_at``).  Invariant: every pending coordinate
+    # is on the list — relaxation appends every coordinate it improves,
+    # expansion ends pendingness — so each pass touches O(pending)
+    # state instead of scanning the full (n_groups, n) masks for the
+    # few groups still flooding.  Sorted flat keys are group-major with
+    # ascending rows per group, the exact sender order the bit-identity
+    # contract requires.  All worklist indexing runs on the raveled
+    # state views: one 1-D gather per array per pass.
+    arrival_f = arrival.ravel()
+    expanded_f = expanded_at.ravel()
+    hops_f = hops.ravel()
+    upstream_f = upstream.ravel()
+    n64 = np.int64(n)
+    work = g_index * n64 + roots
+    if alive is not None:
+        work = work[alive[roots]]
+    work_arrival = arrival_f[work]
+    # Calendar split of the pending set.  The grid cells are global —
+    # multiples of epoch_ms from zero, the same grid every per-group
+    # bucket lands on — so each outer iteration expands the earliest
+    # nonempty cell across all groups with one *scalar* boundary.  A
+    # group whose earliest pending cell is later simply sits the pass
+    # out; its own sequence of cell expansions (and hence its rows) is
+    # untouched by the interleaving.  Coordinates due within the
+    # horizon live on the sorted near list; later ones wait in far
+    # chunks (appended O(1) per pass) and only get scanned when the
+    # clock approaches, so per-pass work tracks the imminent frontier
+    # rather than everything ever discovered.
+    far_chunks: list[tuple[np.ndarray, np.ndarray]] = []
+    horizon = _FAR_EPOCHS * epoch_ms
+    while work.size or far_chunks:
+        t_end = np.inf
+        if work.size:
+            t_end = ((np.floor(float(work_arrival.min()) / epoch_ms)
+                      + 1.0) * epoch_ms)
+        # Keep the horizon ahead of the clock: every pending coordinate
+        # below the horizon is on the near list, so a cell's frontier
+        # can never hide in the far store.
+        while t_end > horizon:
+            if far_chunks:
+                far_keys = np.concatenate([c[0] for c in far_chunks])
+                far_arrival = np.concatenate(
+                    [c[1] for c in far_chunks])
+                far_chunks.clear()
+                # Only the latest copy of a coordinate matches the
+                # state array; stale and already-expanded copies drop.
+                live = ((far_arrival == arrival_f[far_keys])
+                        & (far_arrival < expanded_f[far_keys]))
+                far_keys = far_keys[live]
+                far_arrival = far_arrival[live]
+                if far_keys.size:
+                    base = float(far_arrival.min())
+                    if work.size:
+                        base = min(base, float(work_arrival.min()))
+                    horizon = base + _FAR_EPOCHS * epoch_ms
+                    due = far_arrival < horizon
+                    keys, values = far_keys[due], far_arrival[due]
+                    order = np.argsort(keys)
+                    work, work_arrival = _merge_pending(
+                        work, work_arrival, keys[order], values[order])
+                    if not due.all():
+                        far_chunks.append(
+                            (far_keys[~due], far_arrival[~due]))
+                    t_end = ((np.floor(float(work_arrival.min())
+                                       / epoch_ms) + 1.0) * epoch_ms)
+            elif work.size:
+                horizon = (float(work_arrival.min())
+                           + _FAR_EPOCHS * epoch_ms)
+            else:
+                break
+        if work.size == 0:
+            continue
+        while True:
+            in_bucket = work_arrival < t_end
+            frontier = work[in_bucket]
+            if frontier.size == 0:
+                break
+            frontier_arrival = work_arrival[in_bucket]
+            expanded_f[frontier] = frontier_arrival
+            frontier_hops = hops_f[frontier]
+            forwards = frontier_hops < ttl
+            senders = frontier[forwards]
+            touched = None
+            if senders.size:
+                if scheme == "ssa":
+                    _sample_ssa_edges_batch(
+                        csr, latency, senders // n64, senders % n64,
+                        sampled, allowed, capacities, rngs, config,
+                        utility_config)
+                touched = _relax_batch(
+                    csr, latency, senders, frontier_arrival[forwards],
+                    frontier_hops[forwards], n64, arrival_f, upstream_f,
+                    hops_f, allowed, alive)
+            # Pendingness updates incrementally: the expanded frontier
+            # drops out, the coordinates relaxation just improved join
+            # the near list (or the far store, if due past the
+            # horizon).  Everything else keeps both its membership and
+            # its cached arrival, so no pass over the full state
+            # arrays is needed.
+            rest = ~in_bucket
+            work, work_arrival = work[rest], work_arrival[rest]
+            if touched is not None:
+                won, won_arrival = touched
+                near = won_arrival < horizon
+                if not near.all():
+                    far_chunks.append((won[~near], won_arrival[~near]))
+                    won, won_arrival = won[near], won_arrival[near]
+                if won.size:
+                    work, work_arrival = _merge_pending(
+                        work, work_arrival, won, won_arrival)
+            if work.size == 0:
+                break
+
+    return BatchFloodResult(roots=roots, arrival=arrival,
+                            upstream=upstream, hops=hops)
+
+
+def _relax_batch(csr: CSRGraph, latency: np.ndarray,
+                 senders: np.ndarray, sender_arrival: np.ndarray,
+                 sender_hops: np.ndarray, n: np.int64,
+                 arrival_f: np.ndarray, upstream_f: np.ndarray,
+                 hops_f: np.ndarray,
+                 allowed: dict[int, np.ndarray] | None,
+                 alive: np.ndarray | None
+                 ) -> tuple[np.ndarray, np.ndarray] | None:
+    """One batched relaxation of every out-edge of the flat senders.
+
+    ``senders`` holds sorted ``g * n + row`` flat keys from the
+    worklist, so entries are group-major with ascending rows per group —
+    each group's edge expansion order equals the single-group kernel's.
+    ``sender_arrival``/``sender_hops`` carry the values the caller
+    already gathered, so relaxation runs entirely on 1-D flat views
+    with no 2-D fancy indexing.  Returns ``(keys, arrivals)`` — the
+    sorted flat keys of the (group, target) coordinates whose arrival
+    improved plus their new arrivals (the caller's new worklist
+    entries) — or None.
+    """
+    sv = senders % n
+    counts = np.diff(csr.indptr)[sv]
+    positions = _concat_ranges(csr.indptr[sv], counts)
+    if positions.size == 0:
+        return None
+    # np.repeat over the full counts (zeros included) stays aligned
+    # with _concat_ranges, which drops empty ranges.
+    pair = np.repeat(np.arange(sv.shape[0], dtype=np.int64), counts)
+    if allowed is not None:
+        src_g = (senders // n)[pair]
+        keep = np.empty(positions.shape[0], dtype=bool)
+        # Senders are group-major, so each group's edges are one
+        # contiguous run; gather that group's edge mask per run.
+        boundaries = np.nonzero(np.diff(src_g))[0] + 1
+        bounds = np.concatenate(
+            ([0], boundaries, [src_g.shape[0]]))
+        for i in range(bounds.shape[0] - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if lo == hi:
+                continue
+            mask = allowed.get(int(src_g[lo]))
+            if mask is None:
+                keep[lo:hi] = False
+            else:
+                keep[lo:hi] = mask[positions[lo:hi]]
+        positions = positions[keep]
+        pair = pair[keep]
+        if positions.size == 0:
+            return None
+    targets = csr.indices[positions]
+    # Flat key of each (group, target): the sender's group base
+    # (senders - sv == g * n) plus the target row.
+    tflat = (senders - sv)[pair] + targets
+    candidates = sender_arrival[pair] + latency[positions]
+    better = candidates < arrival_f[tflat]
+    if alive is not None:
+        better &= alive[targets]
+    if not better.any():
+        return None
+    pair, tflat = pair[better], tflat[better]
+    candidates = candidates[better]
+    # Duplicate (group, target) pairs resolve to the earliest candidate
+    # in each group's edge order, exactly as the single-group kernel
+    # does.  The stable integer sort keeps edge order within equal
+    # keys; the (rare) duplicate runs then pick their minimum candidate
+    # with a segmented reduce — far cheaper than lexsorting on the
+    # float candidates.
+    order = np.argsort(tflat, kind="stable")
+    flat_sorted = tflat[order]
+    first = np.ones(order.shape[0], dtype=bool)
+    first[1:] = flat_sorted[1:] != flat_sorted[:-1]
+    if first.all():
+        chosen = order
+        won = flat_sorted
+    else:
+        sorted_cand = candidates[order]
+        starts = np.nonzero(first)[0]
+        run_id = np.cumsum(first) - 1
+        run_min = np.minimum.reduceat(sorted_cand, starts)
+        minima = np.nonzero(sorted_cand == run_min[run_id])[0]
+        lead = np.ones(minima.shape[0], dtype=bool)
+        lead[1:] = run_id[minima[1:]] != run_id[minima[:-1]]
+        chosen = order[minima[lead]]
+        won = flat_sorted[minima[lead]]
+    winner = pair[chosen]
+    won_arrival = candidates[chosen]
+    arrival_f[won] = won_arrival
+    upstream_f[won] = sv[winner]
+    hops_f[won] = sender_hops[winner] + 1
+    return won, won_arrival
+
+
+def _sample_ssa_edges_batch(
+        csr: CSRGraph, latency: np.ndarray, sg: np.ndarray,
+        sv: np.ndarray, sampled: np.ndarray,
+        allowed: dict[int, np.ndarray], capacities: np.ndarray,
+        rngs: Sequence[RandomSource], config: AnnouncementConfig,
+        utility_config: UtilityConfig) -> None:
+    """Sample forwarding subsets group by group.
+
+    Each group re-enters the exact single-group sampling helper on its
+    own state slices and its own generator, so the per-group draw
+    sequence — and hence the sampled forwarding mask — matches a
+    single-group SSA flood seeded identically.
+    """
+    for g in np.unique(sg):
+        g = int(g)
+        mask = allowed.get(g)
+        if mask is None:
+            mask = allowed[g] = np.zeros(csr.indices.shape[0],
+                                         dtype=bool)
+        _sample_ssa_edges(csr, latency, sv[sg == g], sampled[g], mask,
+                          capacities, rngs[g], config, utility_config)
+
+
+# ----------------------------------------------------------------------
+# Subscription and tree kernels
+# ----------------------------------------------------------------------
+def climb_subscriptions_batch(
+        flood: BatchFloodResult, member_rows: np.ndarray,
+        member_indptr: np.ndarray, max_rounds: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Graft every group's informed members' reverse paths at once.
+
+    ``member_rows``/``member_indptr`` pack the ragged per-group member
+    sets (see :func:`pack_members`).  Returns group-major ``(on_tree,
+    is_member)`` masks; row ``g`` equals
+    :func:`repro.core.protocol.climb_subscriptions` on group ``g``.
+    """
+    n_groups, n = flood.arrival.shape
+    member_rows = np.asarray(member_rows, dtype=np.int64)
+    member_indptr = np.asarray(member_indptr, dtype=np.int64)
+    if member_indptr.shape != (n_groups + 1,):
+        raise GroupError("member indptr does not match the batch")
+    on_tree = np.zeros((n_groups, n), dtype=bool)
+    is_member = np.zeros((n_groups, n), dtype=bool)
+    n64 = np.int64(n)
+    mg = np.repeat(np.arange(n_groups, dtype=np.int64),
+                   np.diff(member_indptr))
+    is_member[mg, member_rows] = True
+    on_tree[np.arange(n_groups), flood.roots] = True
+    # The climb walks flat g * n + row keys over raveled views; each
+    # level dedups with a radix sort + neighbor mask (set semantics —
+    # np.unique's hashing costs far more at these widths).
+    on_tree_f = on_tree.ravel()
+    upstream_f = flood.upstream.ravel()
+    cursor = mg * n64 + member_rows
+    cursor = cursor[np.isfinite(flood.arrival.ravel()[cursor])]
+    rounds = max_rounds if max_rounds is not None else n
+    for _ in range(rounds):
+        cursor = cursor[~on_tree_f[cursor]]
+        if cursor.size == 0:
+            break
+        on_tree_f[cursor] = True
+        parents = upstream_f[cursor]
+        valid = parents >= 0
+        cursor = cursor[valid] - cursor[valid] % n64 + parents[valid]
+        cursor.sort(kind="stable")
+        if cursor.size:
+            fresh = np.empty(cursor.shape[0], dtype=bool)
+            fresh[0] = True
+            np.not_equal(cursor[1:], cursor[:-1], out=fresh[1:])
+            cursor = cursor[fresh]
+    return on_tree, is_member
+
+
+def tree_delays_batch(parent: np.ndarray, on_tree: np.ndarray,
+                      arrival_latency: np.ndarray | None = None,
+                      coords: np.ndarray | None = None,
+                      roots: np.ndarray | None = None) -> np.ndarray:
+    """Per-row delivery delay from each group's root (group-major, ms).
+
+    The 2-D counterpart of :func:`repro.core.protocol.tree_delays`:
+    edge cost is the shared coordinate distance between child and
+    parent rows unless explicit group-major upstream latencies are
+    given; off-tree rows (and every row of a rootless group) get
+    ``inf``.
+    """
+    n_groups, n = parent.shape
+    delays = np.full((n_groups, n), np.inf)
+    if roots is None:
+        root_mask = on_tree & (parent < 0)
+        has_root = root_mask.any(axis=1)
+        roots = np.where(has_root, root_mask.argmax(axis=1), -1)
+    else:
+        roots = np.asarray(roots, dtype=np.int64)
+        has_root = roots >= 0
+    g = np.nonzero(has_root)[0]
+    delays[g, roots[g]] = 0.0
+    # One dense scan builds the edge worklist (child, parent, cost);
+    # each settle wave then touches only the still-unsettled edges
+    # instead of rescanning the full (n_groups, n) masks per level.
+    hg, hv = np.nonzero(on_tree & (parent >= 0))
+    hp = parent[hg, hv]
+    if arrival_latency is None:
+        if coords is None:
+            raise GroupError("need coords or per-row upstream latencies")
+        delta = coords[hv] - coords[hp]
+        edge_cost = np.sqrt((delta * delta).sum(axis=1))
+    else:
+        edge_cost = arrival_latency[hg, hv]
+    delays_f = delays.ravel()
+    n64 = np.int64(n)
+    child = hg * n64 + hv
+    par = hg * n64 + hp
+    for _ in range(n):
+        if child.size == 0:
+            break
+        from_root = delays_f[par]
+        ready = np.isfinite(from_root)
+        if not ready.any():
+            break
+        delays_f[child[ready]] = from_root[ready] + edge_cost[ready]
+        wait = ~ready
+        child, par = child[wait], par[wait]
+        edge_cost = edge_cost[wait]
+    return delays

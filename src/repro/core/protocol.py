@@ -311,6 +311,58 @@ def climb_subscriptions(flood: FloodResult, members: np.ndarray,
     return on_tree, is_member
 
 
+def climb_subscription_claims(upstream: np.ndarray,
+                              member_rows: np.ndarray,
+                              root: int
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """First-claimer reverse-path climb over an upstream forest.
+
+    Reproduces the *sequential* reverse-path subscription of the object
+    layer (:func:`repro.groupcast.subscription.subscribe_members`) in a
+    few array passes: processing members in list order, each member
+    walks its ``upstream`` chain toward ``root`` and grafts every node
+    not yet on the tree.  A node is therefore grafted by the first
+    member (lowest list index) whose chain contains it — the minimum
+    member index over each node's subtree of walkers, computed here by
+    min-propagation up the parent pointers.
+
+    Returns ``(claim, hops)``: ``claim[row]`` is the index into
+    ``member_rows`` of the member whose walk grafted the row (-1 for
+    rows on no chain, and for ``root``, which pre-exists on the tree);
+    ``hops[i]`` is the number of rows member ``i`` grafted — exactly
+    its subscription message count in the sequential walk.
+    """
+    n = upstream.shape[0]
+    member_rows = np.asarray(member_rows, dtype=np.int64)
+    big = np.iinfo(np.int64).max
+    order_val = np.full(n, big, dtype=np.int64)
+    orders = np.arange(member_rows.shape[0], dtype=np.int64)
+    np.minimum.at(order_val, member_rows, orders)
+    changed = np.unique(member_rows)
+    # Push each row's best (lowest) claimant index to its parent until
+    # the minima stop moving; iteration count is the deepest chain.
+    for _ in range(n):
+        parents = upstream[changed]
+        valid = parents >= 0
+        if not valid.any():
+            break
+        parents = parents[valid]
+        values = order_val[changed[valid]]
+        before = order_val[parents].copy()
+        np.minimum.at(order_val, parents, values)
+        improved = order_val[parents] < before
+        if not improved.any():
+            break
+        changed = np.unique(parents[improved])
+    claimed = order_val < big
+    if 0 <= root < n:
+        claimed[root] = False
+    claim = np.where(claimed, order_val, -1)
+    hops = np.bincount(order_val[claimed],
+                       minlength=member_rows.shape[0])
+    return claim, hops
+
+
 def attach_searchers(csr: CSRGraph, flood: FloodResult,
                      members: np.ndarray, on_tree: np.ndarray,
                      search_ttl: int,

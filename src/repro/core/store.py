@@ -227,9 +227,25 @@ class SoAStore:
                 f"peer {peer_id} is not in the overlay")
         return row
 
+    def row_of_any(self, peer_id: int) -> int:
+        """Permanent row of any peer ever added, live or departed.
+
+        Protocol artifacts (advertisement receipts, tree parents) keep
+        referring to a departed peer's row; this is the lookup they use.
+        """
+        row = self._row_of.get(peer_id)
+        if row is None:
+            raise PeerNotFoundError(
+                f"peer {peer_id} was never in the overlay")
+        return row
+
     def id_of(self, row: int) -> int:
         """External peer id that owns (or owned) a row."""
         return self._id_of[row]
+
+    def id_table(self) -> list[int]:
+        """Row-indexed external-id table (shared, do not mutate)."""
+        return self._id_of
 
     def ids_of(self, rows: np.ndarray) -> list[int]:
         """External ids of many rows."""

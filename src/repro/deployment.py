@@ -69,6 +69,14 @@ class Deployment:
         """True underlay latency between two peers (message transit)."""
         return self.underlay.peer_distance_ms(a, b)
 
+    def peer_pair_distances(self, peers_a, peers_b) -> "np.ndarray":
+        """Elementwise bulk form of :meth:`peer_distance_ms`.
+
+        One routing-core matrix gather; entry ``i`` equals
+        ``peer_distance_ms(peers_a[i], peers_b[i])`` bit-for-bit.
+        """
+        return self.underlay.peer_pair_distances(peers_a, peers_b)
+
     def coordinate_distance_ms(self, a: int, b: int) -> float:
         """Latency estimate from network coordinates (protocol decisions)."""
         return self.space.distance(a, b)

@@ -65,11 +65,23 @@ class MessageNetwork:
         stats: Optional[MessageStats] = None,
         registry: Optional[Registry] = None,
         tracer: Optional[Tracer] = None,
+        bulk_latency_fn: Optional[Callable] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError("loss_rate must be in [0, 1)")
         self.simulator = simulator
         self.latency_fn = latency_fn
+        #: Vectorized counterpart of ``latency_fn`` — maps two equal-
+        #: length peer-id vectors to elementwise latencies, bit-for-bit
+        #: with the scalar call.  Auto-derived when ``latency_fn`` is a
+        #: bound ``peer_distance_ms`` whose owner exposes the bulk
+        #: ``peer_pair_distances`` gather (Deployment / UnderlayNetwork).
+        self.bulk_latency_fn = bulk_latency_fn
+        if self.bulk_latency_fn is None:
+            owner = getattr(latency_fn, "__self__", None)
+            if getattr(latency_fn, "__name__", "") == "peer_distance_ms":
+                self.bulk_latency_fn = getattr(
+                    owner, "peer_pair_distances", None)
         self.rng = rng
         self.loss_rate = loss_rate
         self.stats = stats or MessageStats()
@@ -131,17 +143,24 @@ class MessageNetwork:
         and prices every overlay hop with this network's ``latency_fn``,
         so a vectorized flood (:func:`repro.core.protocol.
         flood_advertisement`) sees exactly the transit times the
-        event-driven transport would apply.
+        event-driven transport would apply.  With a bulk latency
+        callable available the whole edge set prices in one routing-core
+        matrix gather (bit-for-bit with the scalar calls); otherwise
+        each directed edge falls back to one ``latency_fn`` call.
         """
         import numpy as np
 
-        sources = csr.edge_sources()
+        ids = np.asarray(ids, dtype=np.int64)
+        senders = ids[csr.edge_sources()]
+        receivers = ids[csr.indices]
+        if self.bulk_latency_fn is not None:
+            return np.asarray(self.bulk_latency_fn(senders, receivers),
+                              dtype=np.float64)
         latency_fn = self.latency_fn
-        out = np.empty(csr.indices.shape[0], dtype=np.float64)
-        for edge in range(out.shape[0]):
-            out[edge] = latency_fn(ids[int(sources[edge])],
-                                   ids[int(csr.indices[edge])])
-        return out
+        return np.fromiter(
+            (latency_fn(int(a), int(b))
+             for a, b in zip(senders.tolist(), receivers.tolist())),
+            dtype=np.float64, count=senders.shape[0])
 
     def conservation_gap(self) -> int:
         """Transport accounting identity; zero on a healthy network.

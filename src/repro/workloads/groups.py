@@ -1,12 +1,17 @@
 """Group arrival and membership dynamics.
 
-Groups arrive as a Poisson process; each group draws a log-normal size
-(most groups are small chats, a few are large events — the shape seen in
-conferencing and gaming measurements) and samples its members either
-uniformly or with a locality bias (members near a random epicentre in
-coordinate space, modelling regional communities).  Within a group,
-:class:`MembershipChurn` generates timed join/leave events around the
-initial roster.
+Groups arrive as a Poisson process; each group draws a log-normal or
+truncated-Zipf size (most groups are small chats, a few are large
+events — the shape seen in conferencing and gaming measurements) and
+samples its members either uniformly or with a locality bias (members
+near a random epicentre in coordinate space, modelling regional
+communities).  Within a group, :class:`MembershipChurn` generates timed
+join/leave events around the initial roster.
+
+The Zipf sampler and :func:`sample_group_rows` feed the multi-group
+batch core (:mod:`repro.core.multigroup`): thousands of heavy-tailed
+group rosters over one shared row space, reproducible bit-for-bit from
+one seed on every supported numpy version.
 """
 
 from __future__ import annotations
@@ -18,6 +23,65 @@ import numpy as np
 from ..coords.base import CoordinateSpace
 from ..errors import ConfigurationError
 from ..sim.random import RandomSource
+
+
+def zipf_group_sizes(rng: RandomSource, count: int,
+                     exponent: float = 2.0, min_size: int = 2,
+                     max_size: int = 1024) -> np.ndarray:
+    """Seed-deterministic truncated-Zipf group sizes.
+
+    Samples ``P(size = k) ∝ k^-exponent`` over ``[min_size, max_size]``
+    by explicit inverse-CDF lookup against ``rng.random`` draws rather
+    than ``Generator.zipf``: the uniform double stream of a seeded
+    generator is stable across numpy versions, while ``zipf``'s
+    rejection sampler may consume a version-dependent number of draws
+    (and is unbounded, which would need clipping anyway) — this keeps
+    every multi-group bench reproducible from its seed alone, with one
+    draw consumed per group.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if exponent <= 0.0:
+        raise ConfigurationError("exponent must be positive")
+    if not 1 <= min_size <= max_size:
+        raise ConfigurationError("need 1 <= min_size <= max_size")
+    support = np.arange(min_size, max_size + 1, dtype=np.float64)
+    cdf = np.cumsum(support ** -exponent)
+    cdf /= cdf[-1]
+    picks = np.searchsorted(cdf, rng.random(count), side="right")
+    picks = np.minimum(picks, support.shape[0] - 1)
+    return (picks + min_size).astype(np.int64)
+
+
+def sample_group_rows(rng: RandomSource, n_groups: int, n_rows: int,
+                      exponent: float = 2.0, min_size: int = 2,
+                      max_size: int | None = None
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Zipf-sized group rosters over a shared row space.
+
+    Draws ``n_groups`` truncated-Zipf sizes, then a distinct member-row
+    set per group; the first member is the group's rendezvous.  Returns
+    ``(roots, member_rows, member_indptr)`` in the packed layout the
+    multi-group kernels consume (:func:`repro.core.multigroup.pack_members`).
+    Sequential draws from one generator keep the whole workload a pure
+    function of the seed.
+    """
+    if n_groups < 1:
+        raise ConfigurationError("need at least one group")
+    if n_rows < 2:
+        raise ConfigurationError("need at least two rows")
+    max_size = min(max_size or n_rows, n_rows)
+    sizes = zipf_group_sizes(rng, n_groups, exponent=exponent,
+                             min_size=min_size, max_size=max_size)
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    member_rows = np.empty(int(indptr[-1]), dtype=np.int64)
+    roots = np.empty(n_groups, dtype=np.int64)
+    for g in range(n_groups):
+        picks = rng.choice(n_rows, size=int(sizes[g]), replace=False)
+        member_rows[indptr[g]:indptr[g + 1]] = picks
+        roots[g] = picks[0]
+    return roots, member_rows, indptr
 
 
 @dataclass(frozen=True)
@@ -41,6 +105,8 @@ class GroupArrivals:
         max_size: int | None = None,
         locality_bias: float = 0.0,
         space: CoordinateSpace | None = None,
+        size_distribution: str = "lognormal",
+        zipf_exponent: float = 2.0,
     ) -> None:
         if len(peer_ids) < 2:
             raise ConfigurationError("need at least two peers")
@@ -56,6 +122,13 @@ class GroupArrivals:
         if locality_bias > 0.0 and space is None:
             raise ConfigurationError(
                 "locality bias needs a coordinate space")
+        if size_distribution not in ("lognormal", "zipf"):
+            raise ConfigurationError(
+                f"unknown size distribution {size_distribution!r}")
+        if zipf_exponent <= 0.0:
+            raise ConfigurationError("zipf_exponent must be positive")
+        self.size_distribution = size_distribution
+        self.zipf_exponent = zipf_exponent
         self.peer_ids = list(peer_ids)
         self.mean_interarrival_ms = mean_interarrival_ms
         self.median_size = median_size
@@ -72,13 +145,20 @@ class GroupArrivals:
         now = 0.0
         for index in range(count):
             now += float(rng.exponential(self.mean_interarrival_ms))
-            size = int(np.clip(
-                round(rng.lognormal(np.log(self.median_size),
-                                    self.size_sigma)),
-                2, min(self.max_size, len(self.peer_ids))))
-            members = self._sample_members(rng, size)
+            members = self._sample_members(rng, self._draw_size(rng))
             specs.append(GroupSpec(index, now, tuple(members)))
         return specs
+
+    def _draw_size(self, rng: RandomSource) -> int:
+        ceiling = min(self.max_size, len(self.peer_ids))
+        if self.size_distribution == "zipf":
+            return int(zipf_group_sizes(
+                rng, 1, exponent=self.zipf_exponent, min_size=2,
+                max_size=ceiling)[0])
+        return int(np.clip(
+            round(rng.lognormal(np.log(self.median_size),
+                                self.size_sigma)),
+            2, ceiling))
 
     def _sample_members(self, rng: RandomSource, size: int) -> list[int]:
         if self.locality_bias <= 0.0:

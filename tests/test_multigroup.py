@@ -1,0 +1,291 @@
+"""Differential suite for the multi-group batch core.
+
+Pins the contracts the batched kernels and the sharded executor are
+built on (``repro.core.multigroup`` / ``repro.core.parallel``):
+
+* every per-group output row of a batched pass is **bit-identical** to
+  the single-group kernel run on that group alone (NSSA and SSA);
+* results are independent of batch composition — slicing the group set
+  and merging in group order reproduces the full batch exactly;
+* the sharded executor produces identical merged metrics and digests
+  for every ``shards``/``jobs`` combination, including the inline path;
+* the kernel-backed ``subscribe_members`` walk and the bulk
+  ``edge_latencies`` gather match their procedural references exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.core import (
+    GroupBatch,
+    SoAOverlayNetwork,
+    climb_subscriptions,
+    climb_subscriptions_batch,
+    edge_latencies_from_coords,
+    flood_advertisement,
+    flood_advertisements_batch,
+    pack_members,
+    run_group_pass,
+    run_group_pass_loop,
+    run_sharded,
+    merge_results,
+    shard_bounds,
+    synthetic_power_law_csr,
+    tree_delays,
+    tree_delays_batch,
+)
+from repro.core.store import TreeArrays
+from repro.errors import GroupError, SubscriptionError
+from repro.groupcast.advertisement import propagate_advertisement
+from repro.groupcast.subscription import subscribe_members
+from repro.obs.registry import Registry
+from repro.overlay.messages import MessageStats
+from repro.sim.engine import Simulator
+from repro.sim.messaging import MessageNetwork
+from repro.sim.random import spawn_rng
+from repro.workloads.groups import sample_group_rows
+
+SEED = 7
+N = 400
+GROUPS = 24
+TTL = 8
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = spawn_rng(SEED, "multigroup-world")
+    csr = synthetic_power_law_csr(N, rng)
+    coords = rng.uniform(0.0, 100.0, size=(N, 2))
+    latency = edge_latencies_from_coords(csr, coords)
+    capacities = rng.choice([1.0, 10.0, 100.0, 1000.0], size=N)
+    roots, member_rows, indptr = sample_group_rows(
+        spawn_rng(SEED, "multigroup-groups"), GROUPS, N, max_size=64)
+    return csr, coords, latency, capacities, roots, member_rows, indptr
+
+
+def _pass_kwargs(world, scheme):
+    csr, coords, latency, capacities, roots, member_rows, indptr = world
+    kwargs = dict(ttl=TTL, scheme=scheme)
+    if scheme == "ssa":
+        kwargs.update(capacities=capacities, ssa_seed=SEED)
+    return (csr, latency, coords, roots, member_rows, indptr), kwargs
+
+
+# ----------------------------------------------------------------------
+# Batched kernels vs the per-group single-kernel loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ["nssa", "ssa"])
+def test_batched_pass_matches_per_group_loop(world, scheme):
+    args, kwargs = _pass_kwargs(world, scheme)
+    batched = run_group_pass(*args, **kwargs)
+    loop = run_group_pass_loop(*args, **kwargs)
+    assert np.array_equal(batched.digests, loop.digests)
+    assert batched.metrics() == loop.metrics()
+
+
+@pytest.mark.parametrize("scheme", ["nssa", "ssa"])
+def test_flood_rows_bit_identical_to_single_group(world, scheme):
+    csr, coords, latency, capacities, roots, member_rows, indptr = world
+    rngs = None
+    if scheme == "ssa":
+        rngs = [spawn_rng(SEED, "multigroup", g) for g in range(GROUPS)]
+    batch = flood_advertisements_batch(
+        csr, latency, roots, TTL, scheme, capacities=capacities,
+        rngs=rngs)
+    for g in range(GROUPS):
+        rng = spawn_rng(SEED, "multigroup", g) if scheme == "ssa" else None
+        single = flood_advertisement(
+            csr, latency, int(roots[g]), TTL, scheme,
+            capacities=capacities if scheme == "ssa" else None, rng=rng)
+        assert np.array_equal(batch.arrival[g], single.arrival)
+        assert np.array_equal(batch.upstream[g], single.upstream)
+        assert np.array_equal(batch.hops[g], single.hops)
+
+
+def test_climb_and_delays_rows_match_single_group(world):
+    csr, coords, latency, capacities, roots, member_rows, indptr = world
+    flood = flood_advertisements_batch(csr, latency, roots, TTL)
+    on_tree, is_member = climb_subscriptions_batch(
+        flood, member_rows, indptr)
+    parent = np.where(on_tree, flood.upstream, -1)
+    delays = tree_delays_batch(parent, on_tree, coords=coords,
+                               roots=roots)
+    for g in range(GROUPS):
+        single = flood_advertisement(csr, latency, int(roots[g]), TTL)
+        members = member_rows[indptr[g]:indptr[g + 1]]
+        tree_mask, member_mask = climb_subscriptions(single, members)
+        assert np.array_equal(on_tree[g], tree_mask)
+        assert np.array_equal(is_member[g], member_mask)
+        single_delays = tree_delays(
+            np.where(tree_mask, single.upstream, -1), tree_mask,
+            coords=coords, root=int(roots[g]))
+        assert np.array_equal(delays[g], single_delays)
+
+
+def test_batch_composition_invariance(world):
+    """Any slicing of the group set reproduces the full batch exactly."""
+    args, kwargs = _pass_kwargs(world, "ssa")
+    csr, latency, coords, roots, member_rows, indptr = args
+    full = run_group_pass(*args, **kwargs)
+    cut = GROUPS // 3
+    parts = []
+    for lo, hi in ((0, cut), (cut, GROUPS)):
+        parts.append(run_group_pass(
+            csr, latency, coords, roots[lo:hi],
+            member_rows[indptr[lo]:indptr[hi]],
+            indptr[lo:hi + 1] - indptr[lo],
+            group_offset=lo, **kwargs))
+    merged = merge_results(parts)
+    assert np.array_equal(full.digests, merged.digests)
+    assert full.metrics() == merged.metrics()
+
+
+# ----------------------------------------------------------------------
+# Sharded executor: identical output for every shards/jobs combination
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ["nssa", "ssa"])
+def test_sharded_output_independent_of_jobs(world, scheme):
+    args, kwargs = _pass_kwargs(world, scheme)
+    reference = run_group_pass_loop(*args, **kwargs)
+    for shards in (1, 3, 4):
+        for jobs in (1, 2, 4):
+            result = run_sharded(*args, shards=shards, jobs=jobs,
+                                 **kwargs)
+            assert np.array_equal(result.digests, reference.digests), (
+                f"shards={shards} jobs={jobs}")
+            assert result.metrics() == reference.metrics()
+
+
+def test_shard_bounds_cover_and_balance():
+    bounds = shard_bounds(10, 4)
+    assert bounds[0][0] == 0 and bounds[-1][1] == 10
+    assert all(lo < hi for lo, hi in bounds)
+    assert all(bounds[i][1] == bounds[i + 1][0]
+               for i in range(len(bounds) - 1))
+    sizes = [hi - lo for lo, hi in bounds]
+    assert max(sizes) - min(sizes) <= 1
+    # More shards than groups collapses to one group per shard.
+    assert len(shard_bounds(3, 16)) == 3
+    with pytest.raises(GroupError):
+        shard_bounds(0, 4)
+
+
+# ----------------------------------------------------------------------
+# GroupBatch stacking round-trip
+# ----------------------------------------------------------------------
+def test_group_batch_round_trip(world):
+    csr, coords, latency, capacities, roots, member_rows, indptr = world
+    trees = []
+    rng = spawn_rng(SEED, "batch-trees")
+    for g in range(4):
+        tree = TreeArrays(N, root=int(roots[g]))
+        rows = rng.choice(N, size=16, replace=False)
+        rows = rows[rows != roots[g]]
+        tree.parent[rows] = roots[g]
+        tree.on_tree[rows] = True
+        tree.is_member[rows[: 8]] = True
+        trees.append(tree)
+    batch = GroupBatch.from_trees(trees)
+    assert batch.n_groups == 4 and batch.rows == N
+    assert batch.nbytes() > 0
+    for original, rebuilt in zip(trees, batch.to_trees()):
+        assert rebuilt.root == original.root
+        assert np.array_equal(rebuilt.parent, original.parent)
+        assert np.array_equal(rebuilt.on_tree, original.on_tree)
+        assert np.array_equal(rebuilt.is_member, original.is_member)
+        assert np.array_equal(rebuilt.has_ad, original.has_ad)
+
+
+def test_pack_members_ragged():
+    rows, indptr = pack_members(
+        [np.array([3, 1]), np.array([], dtype=np.int64), np.array([7])])
+    assert np.array_equal(rows, [3, 1, 7])
+    assert np.array_equal(indptr, [0, 2, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# Kernel-backed subscribe_members vs the procedural walk
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", ["nssa", "ssa"])
+def test_subscription_kernel_matches_procedural(groupcast_deployment,
+                                                scheme):
+    deployment = groupcast_deployment
+    view = SoAOverlayNetwork.from_overlay(deployment.overlay)
+    ids = view.peer_ids()
+    advertisement = propagate_advertisement(
+        view, ids[3], 42, scheme, deployment.peer_distance_ms,
+        spawn_rng(SEED, "sub-ad"), AnnouncementConfig(advertisement_ttl=6),
+        deployment.config.utility)
+    holders = [p for p in ids if p in advertisement.receipts][:30]
+    # Holders plus the rendezvous, a missing peer and a duplicate: every
+    # non-search case the walk distinguishes.
+    members = holders + [ids[3], 10 ** 9, holders[0]]
+    outputs = {}
+    for walk in ("procedural", "kernel"):
+        registry, stats = Registry(), MessageStats()
+        tree, outcome = subscribe_members(
+            view, advertisement, members, deployment.peer_distance_ms,
+            stats=stats, registry=registry, walk=walk)
+        outputs[walk] = (tree, outcome, registry)
+    tree_p, outcome_p, registry_p = outputs["procedural"]
+    tree_k, outcome_k, registry_k = outputs["kernel"]
+    assert set(tree_p.nodes()) == set(tree_k.nodes())
+    assert tree_p.members == tree_k.members
+    for node in tree_p.nodes():
+        assert tree_p.parent(node) == tree_k.parent(node)
+    assert outcome_p.records == outcome_k.records
+    assert outcome_p.failed == outcome_k.failed
+    assert outcome_p.subscription_messages == outcome_k.subscription_messages
+    assert registry_p.snapshot() == registry_k.snapshot()
+
+
+def test_subscription_kernel_requires_no_searchers(groupcast_deployment):
+    deployment = groupcast_deployment
+    view = SoAOverlayNetwork.from_overlay(deployment.overlay)
+    ids = view.peer_ids()
+    advertisement = propagate_advertisement(
+        view, ids[3], 7, "nssa", deployment.peer_distance_ms,
+        spawn_rng(SEED, "sub-ad2"), AnnouncementConfig(advertisement_ttl=2),
+        deployment.config.utility)
+    searcher = next(p for p in ids
+                    if p not in advertisement.receipts and p != ids[3])
+    # auto silently falls back to the procedural walk...
+    tree, outcome = subscribe_members(
+        view, advertisement, [searcher], deployment.peer_distance_ms,
+        stats=MessageStats(), registry=Registry())
+    assert searcher in outcome.failed or (
+        outcome.records[searcher].via_search)
+    # ...while an explicit kernel request refuses.
+    with pytest.raises(SubscriptionError):
+        subscribe_members(
+            view, advertisement, [searcher], deployment.peer_distance_ms,
+            stats=MessageStats(), registry=Registry(), walk="kernel")
+    with pytest.raises(SubscriptionError):
+        subscribe_members(
+            view, advertisement, [searcher], deployment.peer_distance_ms,
+            walk="bogus")
+
+
+# ----------------------------------------------------------------------
+# Bulk edge-latency gather vs the per-edge loop
+# ----------------------------------------------------------------------
+def test_edge_latencies_bulk_matches_scalar(groupcast_deployment):
+    deployment = groupcast_deployment
+    view = SoAOverlayNetwork.from_overlay(deployment.overlay)
+    csr = view.csr()
+    ids = np.fromiter((view.store.id_of(row)
+                       for row in range(view.store.row_count)),
+                      dtype=np.int64, count=view.store.row_count)
+    simulator = Simulator()
+    bulk = MessageNetwork(simulator, deployment.peer_distance_ms,
+                          spawn_rng(SEED, "net"))
+    assert bulk.bulk_latency_fn is not None  # auto-derived from the owner
+    scalar = MessageNetwork(
+        simulator, lambda a, b: deployment.peer_distance_ms(a, b),
+        spawn_rng(SEED, "net"))
+    assert scalar.bulk_latency_fn is None
+    assert np.array_equal(bulk.edge_latencies(csr, ids),
+                          scalar.edge_latencies(csr, ids))

@@ -9,10 +9,64 @@ from repro.workloads.groups import (
     GroupArrivals,
     GroupSpec,
     MembershipChurn,
+    sample_group_rows,
+    zipf_group_sizes,
 )
 from repro.workloads.traffic import constant_rate, talk_spurts
 
 PEERS = list(range(200))
+
+
+class TestZipfSizes:
+    def test_seed_deterministic(self):
+        draws = [zipf_group_sizes(spawn_rng(13, "z"), 1_000)
+                 for _ in range(2)]
+        assert np.array_equal(draws[0], draws[1])
+        roster_runs = [sample_group_rows(spawn_rng(13, "z"), 50, 300)
+                       for _ in range(2)]
+        for a, b in zip(roster_runs[0], roster_runs[1]):
+            assert np.array_equal(a, b)
+
+    def test_sizes_bounded_and_heavy_tailed(self):
+        sizes = zipf_group_sizes(spawn_rng(14, "z"), 5_000,
+                                 min_size=2, max_size=64)
+        assert sizes.min() >= 2 and sizes.max() <= 64
+        # P(size = k) ∝ k^-2: the smallest size dominates and the
+        # truncated tail still gets hit.
+        assert np.mean(sizes == 2) > 0.3
+        assert (sizes > 16).any()
+
+    def test_exponent_steers_the_tail(self):
+        flat = zipf_group_sizes(spawn_rng(15, "z"), 4_000, exponent=1.1,
+                                max_size=64)
+        steep = zipf_group_sizes(spawn_rng(15, "z"), 4_000, exponent=3.0,
+                                 max_size=64)
+        assert flat.mean() > steep.mean()
+
+    def test_sample_group_rows_layout(self):
+        roots, rows, indptr = sample_group_rows(spawn_rng(16, "z"),
+                                                40, 300, max_size=50)
+        assert indptr.shape == (41,) and indptr[0] == 0
+        assert indptr[-1] == rows.shape[0]
+        sizes = np.diff(indptr)
+        assert (sizes >= 2).all() and (sizes <= 50).all()
+        for g in range(40):
+            members = rows[indptr[g]:indptr[g + 1]]
+            assert roots[g] == members[0]
+            assert len(set(members.tolist())) == members.shape[0]
+            assert (members >= 0).all() and (members < 300).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_group_sizes(spawn_rng(0, "z"), -1)
+        with pytest.raises(ConfigurationError):
+            zipf_group_sizes(spawn_rng(0, "z"), 1, exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            zipf_group_sizes(spawn_rng(0, "z"), 1, min_size=8, max_size=4)
+        with pytest.raises(ConfigurationError):
+            sample_group_rows(spawn_rng(0, "z"), 0, 10)
+        with pytest.raises(ConfigurationError):
+            sample_group_rows(spawn_rng(0, "z"), 1, 1)
 
 
 class TestGroupArrivals:
@@ -56,9 +110,25 @@ class TestGroupArrivals:
         uniform_specs = uniform.generate(spawn_rng(3, "g"), 30)
         assert mean_spread(biased_specs) < mean_spread(uniform_specs)
 
+    def test_zipf_sized_arrivals(self):
+        arrivals = GroupArrivals(PEERS, size_distribution="zipf",
+                                 zipf_exponent=2.0, max_size=50)
+        runs = [arrivals.generate(spawn_rng(17, "g"), 200)
+                for _ in range(2)]
+        sizes = [len(s.members) for s in runs[0]]
+        assert min(sizes) >= 2 and max(sizes) <= 50
+        assert float(np.median(sizes)) < 8.0  # heavier small-group mass
+        assert [s.members for s in runs[0]] == [s.members
+                                                for s in runs[1]]
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             GroupArrivals([1])
+        with pytest.raises(ConfigurationError):
+            GroupArrivals(PEERS, size_distribution="pareto")
+        with pytest.raises(ConfigurationError):
+            GroupArrivals(PEERS, size_distribution="zipf",
+                          zipf_exponent=0.0)
         with pytest.raises(ConfigurationError):
             GroupArrivals(PEERS, mean_interarrival_ms=0.0)
         with pytest.raises(ConfigurationError):
