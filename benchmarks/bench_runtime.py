@@ -1,0 +1,148 @@
+"""Live loopback runtime throughput benchmark (informational).
+
+Hosts one :class:`~repro.runtime.cluster.RuntimeCluster` over real UDP
+loopback sockets — the same protocol code the simulator runs, carried
+by the asyncio transport with framing and retransmit-until-ack — and
+times the full group life-cycle: advertise, subscribe, publish a batch
+of payloads.  Reported metrics are wall-clock per phase, datagram
+throughput (DATA + ACK frames per second), and the ARQ overhead
+observed on a healthy loopback (retransmits, suppressed duplicates).
+
+Unlike the routing/scale benchmarks this one is **informational**: it
+measures socket and event-loop behaviour of the host machine, which
+varies too much across CI runners to gate on.  CI runs it to prove the
+live substrate works end to end and uploads the fresh report; the
+committed ``BENCH_runtime.json`` documents a reference machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py \
+        --write BENCH_runtime.json           # refresh the committed file
+    PYTHONPATH=src python benchmarks/bench_runtime.py \
+        --json fresh_bench_runtime.json      # CI (no gate)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.deployment import build_deployment  # noqa: E402
+
+SEED = 7
+GROUP = 1
+
+
+async def _run_episode(peers: int, members_count: int, publishes: int,
+                       settle_s: float) -> dict:
+    """One full live life-cycle; returns the phase timings + counters."""
+    deployment = build_deployment(peers, kind="groupcast", seed=SEED)
+    # Raw substrate speed: no latency pacing (pacing measures the
+    # latency table, not the transport).
+    cluster = deployment.serve(pace_latencies=False)
+    ids = deployment.peer_ids()
+    members = ids[:members_count]
+    phases: dict[str, float] = {}
+    async with cluster:
+        start = time.perf_counter()
+        cluster.advertise(GROUP, members[0], scheme="nssa")
+        if not await cluster.settle(settle_s):
+            raise RuntimeError("advertisement never went quiescent")
+        phases["advertise_s"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cluster.subscribe(GROUP, members)
+        if not await cluster.settle(settle_s):
+            raise RuntimeError("subscriptions never went quiescent")
+        phases["subscribe_s"] = time.perf_counter() - start
+        on_tree = cluster.members_on_tree(GROUP)
+        if not set(members) <= on_tree:
+            raise RuntimeError(
+                f"members missing from tree: {set(members) - on_tree}")
+
+        start = time.perf_counter()
+        payload_ids = [
+            cluster.publish(GROUP, members[i % len(members)])
+            for i in range(publishes)]
+        if not await cluster.settle(settle_s):
+            raise RuntimeError("publishes never went quiescent")
+        phases["publish_s"] = time.perf_counter() - start
+        delivered = sum(
+            len(cluster.deliveries(GROUP, pid)) for pid in payload_ids)
+
+        counters = {
+            name: cluster.registry.counter(name).value
+            for name in ("net.sent", "net.delivered", "net.dead_lettered",
+                         "runtime.acks_sent", "runtime.retransmits",
+                         "runtime.duplicates_suppressed",
+                         "runtime.expired")}
+    total_s = sum(phases.values())
+    datagrams = counters["net.sent"] + counters["runtime.acks_sent"]
+    return {
+        "phases": {k: round(v, 6) for k, v in phases.items()},
+        "total_s": round(total_s, 6),
+        "datagrams_per_s": round(datagrams / total_s, 1),
+        "deliveries": delivered,
+        "members_on_tree": len(on_tree),
+        "counters": counters,
+    }
+
+
+def run_benchmark(peers: int, members_count: int, publishes: int,
+                  repeat: int, settle_s: float) -> dict:
+    """Best-of-``repeat`` episode; returns the report dict."""
+    best = None
+    for _ in range(repeat):
+        result = asyncio.run(
+            _run_episode(peers, members_count, publishes, settle_s))
+        if best is None or result["total_s"] < best["total_s"]:
+            best = result
+    report = {
+        "peers": peers,
+        "members": members_count,
+        "publishes": publishes,
+        "repeat": repeat,
+        "metrics": {"runtime": best},
+    }
+    print(f"runtime loopback  {peers} peers  "
+          f"total {best['total_s']:8.4f}s  "
+          f"{best['datagrams_per_s']:10.1f} datagrams/s  "
+          f"retransmits {best['counters']['runtime.retransmits']}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Live loopback runtime benchmark (informational).")
+    parser.add_argument("--peers", type=int, default=40)
+    parser.add_argument("--members", type=int, default=12)
+    parser.add_argument("--publishes", type=int, default=20)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--settle", type=float, default=15.0,
+                        help="per-phase quiescence deadline (seconds)")
+    parser.add_argument(
+        "--write", type=Path, default=None, metavar="PATH",
+        help="write the report as JSON (the committed baseline)")
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the report to this path")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.peers, args.members, args.publishes,
+                           args.repeat, args.settle)
+    for target in (args.write, args.json):
+        if target is not None:
+            target.write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+            print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Multi-process loopback deployment of the live GroupCast runtime.
+
+Spawns N worker processes, each hosting a share of the overlay's peers
+on its own asyncio loop and UDP sockets — the same protocol node code
+the simulator runs, deployed for real.  No process holds global state:
+
+* Every worker derives the **identical** overlay from the shared seed
+  (``build_deployment`` is deterministic), so local views agree without
+  any exchange of topology.
+* Peer ``p`` always binds ``base_port + p``; workers pre-publish the
+  routes of the peers they do *not* host with ``add_route``, so
+  cross-process frames need no discovery service.
+* There is no start-up barrier: a frame sent before its recipient's
+  process has bound is simply lost, and the transport's
+  retransmit-until-ack layer rides out the race.
+
+The episode: the rendezvous peer advertises the group (NSSA), members
+scattered across all processes subscribe, one member publishes.  Each
+worker then reports its hosted peers' tree state and deliveries back to
+the parent, which prints the assembled global picture.
+
+Run::
+
+    PYTHONPATH=src python examples/loopback_cluster.py \
+        --peers 24 --processes 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import multiprocessing as mp
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.deployment import build_deployment  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    AsyncioTransport,
+    LocalView,
+    PeerRuntime,
+    RetryPolicy,
+)
+from repro.sim.random import spawn_rng  # noqa: E402
+
+GROUP = 1
+SEED = 7
+
+
+async def _run_worker(rank: int, world: int, peers: int, base_port: int,
+                      members: list[int], rendezvous: int, source: int,
+                      settle_s: float, queue: mp.Queue) -> None:
+    deployment = build_deployment(peers, kind="groupcast", seed=SEED)
+    overlay = deployment.overlay
+    transport = AsyncioTransport(
+        policy=RetryPolicy(timeout_ms=100.0, backoff=2.0,
+                           max_timeout_ms=1_000.0, max_retries=10),
+        latency_fn=deployment.peer_distance_ms)
+    await transport.start()
+
+    hosted: dict[int, PeerRuntime] = {}
+    for peer_id in overlay.peer_ids():
+        if peer_id % world == rank:
+            view = LocalView(
+                overlay.peer(peer_id),
+                [overlay.peer(n) for n in overlay.neighbors(peer_id)])
+            runtime = PeerRuntime(
+                view, transport, deployment.config.announcement,
+                deployment.config.utility,
+                spawn_rng(SEED, "runtime-peer", peer_id))
+            hosted[peer_id] = runtime
+            await transport.start_peer(peer_id, runtime.node.handle,
+                                       port=base_port + peer_id)
+        else:
+            transport.add_route(peer_id, "127.0.0.1", base_port + peer_id)
+
+    # Scripted episode; local quiescence + a grace sleep between phases
+    # stands in for global coordination (this is a demo, not a test —
+    # the conformance suite does the rigorous waiting).
+    if rendezvous in hosted:
+        hosted[rendezvous].node.start_advertisement(GROUP, "nssa")
+    await transport.wait_quiescent(settle_s)
+    await asyncio.sleep(0.5)
+
+    for member in members:
+        if member in hosted:
+            hosted[member].node.start_subscription(GROUP)
+    await transport.wait_quiescent(settle_s)
+    await asyncio.sleep(0.5)
+
+    if source in hosted:
+        hosted[source].node.start_publish(GROUP, 1)
+    await transport.wait_quiescent(settle_s)
+    await asyncio.sleep(0.5)
+
+    report = {
+        "rank": rank,
+        "hosted": sorted(hosted),
+        "on_tree": sorted(
+            pid for pid, rt in hosted.items()
+            if rt.node.state(GROUP).on_tree),
+        "edges": sorted(
+            (pid, rt.node.state(GROUP).upstream)
+            for pid, rt in hosted.items()
+            if rt.node.state(GROUP).on_tree
+            and rt.node.state(GROUP).upstream is not None),
+        "delivered": sorted(
+            pid for pid, rt in hosted.items()
+            if pid in rt.deliveries.get((GROUP, 1), {})),
+    }
+    await transport.close()
+    queue.put(report)
+
+
+def _worker(rank: int, world: int, peers: int, base_port: int,
+            members: list[int], rendezvous: int, source: int,
+            settle_s: float, queue: mp.Queue) -> None:
+    asyncio.run(_run_worker(rank, world, peers, base_port, members,
+                            rendezvous, source, settle_s, queue))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Multi-process UDP loopback GroupCast deployment.")
+    parser.add_argument("--peers", type=int, default=24)
+    parser.add_argument("--processes", type=int, default=3)
+    parser.add_argument("--members", type=int, default=8)
+    parser.add_argument("--base-port", type=int, default=19_000)
+    parser.add_argument("--settle", type=float, default=10.0)
+    args = parser.parse_args(argv)
+
+    deployment = build_deployment(args.peers, kind="groupcast", seed=SEED)
+    ids = deployment.peer_ids()
+    members = ids[: args.members]
+    rendezvous, source = members[0], members[-1]
+    print(f"{args.peers} peers across {args.processes} processes; "
+          f"group {GROUP} rendezvous={rendezvous} members={members}")
+
+    ctx = mp.get_context("spawn")
+    queue: mp.Queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker,
+            args=(rank, args.processes, args.peers, args.base_port,
+                  members, rendezvous, source, args.settle, queue))
+        for rank in range(args.processes)]
+    for worker in workers:
+        worker.start()
+    reports = [queue.get(timeout=120) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=30)
+
+    on_tree = sorted(p for r in reports for p in r["on_tree"])
+    edges = sorted(tuple(e) for r in reports for e in r["edges"])
+    delivered = sorted(p for r in reports for p in r["delivered"])
+    for report in sorted(reports, key=lambda r: r["rank"]):
+        print(f"  rank {report['rank']}: hosts {report['hosted']}")
+    print(f"on tree   : {on_tree}")
+    print(f"tree edges: {edges}")
+    print(f"delivered : {delivered}")
+    missing = [m for m in members if m not in delivered]
+    if missing:
+        print(f"MISSING deliveries at members: {missing}")
+        return 1
+    print("every member received the payload across process boundaries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

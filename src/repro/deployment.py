@@ -81,6 +81,42 @@ class Deployment:
         """Latency estimate from network coordinates (protocol decisions)."""
         return self.space.distance(a, b)
 
+    def serve(
+        self,
+        seed: int | None = None,
+        pace_latencies: bool = True,
+        policy=None,
+        registry=None,
+        host: str = "127.0.0.1",
+    ) -> "RuntimeCluster":
+        """Host this deployment's peers live, one asyncio task each.
+
+        Returns an (unstarted) :class:`~repro.runtime.cluster.
+        RuntimeCluster` over real UDP loopback sockets: every overlay
+        peer becomes a :class:`~repro.runtime.node.PeerRuntime` holding
+        only its :class:`~repro.runtime.node.LocalView`, driven by the
+        *same* protocol code the simulator runs.  Use it as an async
+        context manager (``async with deployment.serve() as cluster:``)
+        or call ``await cluster.start()`` yourself.
+
+        With ``pace_latencies`` the live transport holds each delivery
+        until the underlay transit time (:meth:`peer_distance_ms`) has
+        elapsed, so message interleavings approximate the simulated
+        schedule instead of raw loopback timing.
+        """
+        from .runtime.cluster import RuntimeCluster
+
+        return RuntimeCluster(
+            overlay=self.overlay,
+            seed=self.config.seed if seed is None else seed,
+            announcement=self.config.announcement,
+            utility=self.config.utility,
+            latency_fn=self.peer_distance_ms if pace_latencies else None,
+            policy=policy,
+            registry=registry,
+            host=host,
+        )
+
 
 #: Coordinate backends accepted by :func:`build_deployment`.
 COORDINATE_BACKENDS = ("gnp", "vivaldi")

@@ -69,3 +69,15 @@ class InvariantViolation(ReproError):
 
 class WatchdogHalt(ReproError):
     """A watchdog rule with the ``halt`` action fired during a run."""
+
+
+class TransportError(ReproError):
+    """A runtime transport operation failed (unknown peer, closed, ...)."""
+
+
+class FramingError(TransportError):
+    """A wire frame could not be encoded or decoded."""
+
+
+class DeliveryError(TransportError):
+    """A reliable send exhausted its retransmit budget without an ack."""

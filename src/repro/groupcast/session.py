@@ -152,15 +152,15 @@ class GroupSessionNode:
         """Open a causal-episode root span (None when tracing is off).
 
         Entry points wrap their initial sends in
-        ``network.span_scope(root)`` so the whole protocol wave — every
-        forwarded copy, every handler-triggered send — reconstructs as
-        one span tree rooted at the episode.
+        ``transport.span_scope(root)`` so the whole protocol wave —
+        every forwarded copy, every handler-triggered send —
+        reconstructs as one span tree rooted at the episode.
         """
-        network = self.coordinator.network
-        if network.tracer is None:
+        transport = self.coordinator.transport
+        if transport.tracer is None:
             return None
-        return network.tracer.root_span(
-            at_ms=network.simulator.now, kind=kind)
+        return transport.tracer.root_span(
+            at_ms=transport.now(), kind=kind)
 
     def start_advertisement(self, group_id: int, scheme: str) -> None:
         """Rendezvous entry point: seed the announcement."""
@@ -170,8 +170,8 @@ class GroupSessionNode:
         state.is_member = True
         self.coordinator.rendezvous[group_id] = self.peer_id
         config = self.coordinator.announcement
-        network = self.coordinator.network
-        with network.span_scope(self._episode_root("advertisement")):
+        transport = self.coordinator.transport
+        with transport.span_scope(self._episode_root("advertisement")):
             self._forward_advertisement(
                 Advertise(group_id, self.peer_id, (self.peer_id,),
                           config.advertisement_ttl, scheme))
@@ -202,7 +202,7 @@ class GroupSessionNode:
             message.scheme, coordinator.announcement, coordinator.utility,
             coordinator.rng)
         for target in targets:
-            coordinator.network.send(
+            coordinator.transport.send(
                 self.peer_id, target, message, MessageKind.ADVERTISEMENT)
 
     # ------------------------------------------------------------------
@@ -212,19 +212,19 @@ class GroupSessionNode:
         state.is_member = True
         if state.on_tree:
             return
-        network = self.coordinator.network
+        transport = self.coordinator.transport
         if state.has_advertisement:
-            with network.span_scope(self._episode_root("subscription")):
+            with transport.span_scope(self._episode_root("subscription")):
                 self._join_via_upstream(group_id)
             return
         ttl = self.coordinator.announcement.subscription_search_ttl
         if ttl <= 0:
             self.coordinator.record_failure(group_id, self.peer_id)
             return
-        with network.span_scope(self._episode_root("subscription")):
+        with transport.span_scope(self._episode_root("subscription")):
             for neighbor in self.coordinator.overlay.neighbors(
                     self.peer_id):
-                network.send(
+                transport.send(
                     self.peer_id, neighbor,
                     Search(group_id, self.peer_id, ttl - 1),
                     MessageKind.SUBSCRIPTION_SEARCH)
@@ -233,7 +233,7 @@ class GroupSessionNode:
         state = self.state(group_id)
         state.on_tree = True
         if state.upstream is not None:
-            self.coordinator.network.send(
+            self.coordinator.transport.send(
                 self.peer_id, state.upstream,
                 Subscribe(group_id, self.peer_id),
                 MessageKind.SUBSCRIPTION)
@@ -245,7 +245,7 @@ class GroupSessionNode:
         if not state.on_tree:
             state.on_tree = True
             if state.upstream is not None:
-                self.coordinator.network.send(
+                self.coordinator.transport.send(
                     self.peer_id, state.upstream,
                     Subscribe(message.group_id, self.peer_id),
                     MessageKind.SUBSCRIPTION)
@@ -253,7 +253,7 @@ class GroupSessionNode:
     def _on_search(self, envelope: Envelope, message: Search) -> None:
         state = self.state(message.group_id)
         if state.has_advertisement:
-            self.coordinator.network.send(
+            self.coordinator.transport.send(
                 self.peer_id, message.origin,
                 SearchReply(message.group_id, self.peer_id),
                 MessageKind.SEARCH_RESPONSE)
@@ -263,7 +263,7 @@ class GroupSessionNode:
         for neighbor in self.coordinator.overlay.neighbors(self.peer_id):
             if neighbor in (message.origin, envelope.sender):
                 continue
-            self.coordinator.network.send(
+            self.coordinator.transport.send(
                 self.peer_id, neighbor,
                 Search(message.group_id, message.origin, message.ttl - 1),
                 MessageKind.SUBSCRIPTION_SEARCH)
@@ -285,11 +285,10 @@ class GroupSessionNode:
             raise GroupError(
                 f"peer {self.peer_id} is not a member of {group_id}")
         state.seen_payloads.add(payload_id)
+        transport = self.coordinator.transport
         self.coordinator.record_delivery(
-            group_id, payload_id, self.peer_id,
-            self.coordinator.simulator.now)
-        network = self.coordinator.network
-        with network.span_scope(self._episode_root("dissemination")):
+            group_id, payload_id, self.peer_id, transport.now())
+        with transport.span_scope(self._episode_root("dissemination")):
             self._flood(group_id,
                         Payload(group_id, payload_id, self.peer_id),
                         exclude=None)
@@ -313,7 +312,7 @@ class GroupSessionNode:
         links.discard(exclude)
         links.discard(self.peer_id)
         for link in links:
-            self.coordinator.network.send(
+            self.coordinator.transport.send(
                 self.peer_id, link, message, MessageKind.PAYLOAD)
 
 
@@ -348,11 +347,21 @@ class GroupSession:
         self.network = MessageNetwork(
             self.simulator, latency_fn, rng, loss_rate=loss_rate,
             registry=self.registry, tracer=tracer)
+        # Deferred import: repro.runtime's framing module registers the
+        # wire dataclasses defined above, so the packages are mutually
+        # aware and must not import each other at module load.
+        from ..runtime.sim import SimTransport
+
+        #: The transport seam.  Nodes issue every send and timer through
+        #: this; over :class:`SimTransport` that is a pure delegation to
+        #: ``network``/``simulator``, keeping same-seed runs
+        #: bit-identical to pre-seam dispatch.
+        self.transport = SimTransport(self.network)
         self.nodes: dict[int, GroupSessionNode] = {}
         for peer_id in overlay.peer_ids():
             node = GroupSessionNode(peer_id, self)
             self.nodes[peer_id] = node
-            self.network.register(peer_id, node.handle)
+            self.transport.register(peer_id, node.handle)
         self._c_duplicates = self.registry.counter("session.duplicates")
         self._c_receipts = self.registry.counter("session.receipts")
         self._c_failures = self.registry.counter("session.failures")
@@ -439,7 +448,7 @@ class GroupSession:
         :meth:`rejoin`.  The overlay graph is left to the maintenance
         layer — this removes only the protocol agent.
         """
-        self.network.unregister(peer_id)
+        self.transport.unregister(peer_id)
         self.nodes.pop(peer_id, None)
 
     # ``crash_peer`` is the fault-injection vocabulary for the same
@@ -461,7 +470,7 @@ class GroupSession:
                 f"peer {peer_id} is not in the overlay; it cannot restart")
         node = GroupSessionNode(peer_id, self)
         self.nodes[peer_id] = node
-        self.network.register(peer_id, node.handle)
+        self.transport.register(peer_id, node.handle)
 
     def rejoin(self, group_id: int, member: int) -> None:
         """Re-subscribe a member whose branch died.
@@ -507,7 +516,7 @@ class GroupSession:
         state.upstream = backup
         state.on_tree = False
         state.search_answered = False
-        with self.network.span_scope(node._episode_root("repair")):
+        with self.transport.span_scope(node._episode_root("repair")):
             node._join_via_upstream(group_id)
         return True
 

@@ -40,6 +40,20 @@ class _PeerState:
     missed: dict[int, int] = field(default_factory=dict)
     failures_this_epoch: int = 0
     epoch_ms: float = 0.0
+    #: Armed timer handles, cancelled when the peer crashes, departs or
+    #: is purged — a dead peer must never fire another maintenance
+    #: event (its timers used to linger as scheduled no-ops).
+    heartbeat_timer: object | None = None
+    epoch_timer: object | None = None
+
+    def cancel_timers(self) -> None:
+        """Disarm both timer chains (idempotent)."""
+        if self.heartbeat_timer is not None:
+            self.heartbeat_timer.cancel()
+            self.heartbeat_timer = None
+        if self.epoch_timer is not None:
+            self.epoch_timer.cancel()
+            self.epoch_timer = None
 
 
 class MaintenanceDaemon:
@@ -57,7 +71,15 @@ class MaintenanceDaemon:
         registry: Registry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
+        # Deferred import: the runtime package reaches back into the
+        # protocol modules at load, so the seam is bound lazily here.
+        from ..runtime.transport import SimTimers
+
         self.simulator = simulator
+        #: Timer/clock seam.  All maintenance scheduling goes through
+        #: this adapter (pure pass-through over the simulator), so the
+        #: daemon can later ride an asyncio clock unchanged.
+        self.timers = SimTimers(simulator)
         self.overlay = overlay
         self.host_cache = host_cache
         self.bootstrap = bootstrap
@@ -92,9 +114,9 @@ class MaintenanceDaemon:
         self._states[peer_id] = state
         self._g_alive.inc()
         jitter = float(self.rng.uniform(0, self.config.heartbeat_interval_ms))
-        self.simulator.schedule(
+        state.heartbeat_timer = self.timers.arm_timer(
             jitter, lambda: self._heartbeat_round(peer_id))
-        self.simulator.schedule(
+        state.epoch_timer = self.timers.arm_timer(
             state.epoch_ms, lambda: self._epoch_end(peer_id))
 
     def is_alive(self, peer_id: int) -> bool:
@@ -125,6 +147,7 @@ class MaintenanceDaemon:
         if state is None or not state.alive:
             return
         state.alive = False
+        state.cancel_timers()
         self._g_alive.dec()
         self.host_cache.unregister(peer_id)
 
@@ -134,6 +157,7 @@ class MaintenanceDaemon:
         if state is None or not state.alive:
             return
         state.alive = False
+        state.cancel_timers()
         self._g_alive.dec()
         self.host_cache.unregister(peer_id)
         neighbors = self.overlay.neighbors(peer_id)
@@ -149,6 +173,7 @@ class MaintenanceDaemon:
         state = self._states.get(peer_id)
         if state is None or not state.alive:
             return
+        state.heartbeat_timer = None
         if peer_id not in self.overlay:
             return
         tracer = (self.tracer if self.tracer is not None
@@ -158,9 +183,10 @@ class MaintenanceDaemon:
             self._heartbeat_scan_traced(peer_id, state, tracer)
         else:
             self._heartbeat_scan(peer_id, state)
-        self.simulator.schedule(
-            self.config.heartbeat_interval_ms,
-            lambda: self._heartbeat_round(peer_id))
+        if state.alive:
+            state.heartbeat_timer = self.timers.arm_timer(
+                self.config.heartbeat_interval_ms,
+                lambda: self._heartbeat_round(peer_id))
 
     def _heartbeat_scan(self, peer_id: int, state: _PeerState) -> None:
         """Bulk liveness scan — the untraced (default) fast path.
@@ -235,11 +261,12 @@ class MaintenanceDaemon:
         state.failures_this_epoch += 1
         self._c_failures.inc()
         self.detected_failures.append(
-            (self.simulator.now, peer_id, neighbor))
+            (self.timers.now(), peer_id, neighbor))
         # Purge the dead peer's vertex once everyone has dropped it.
         if neighbor in self.overlay and self.overlay.degree(neighbor) == 0:
             dead_state = self._states.get(neighbor)
             if dead_state is not None and not dead_state.alive:
+                dead_state.cancel_timers()
                 self.overlay.remove_peer(neighbor)
                 del self._states[neighbor]
 
@@ -250,6 +277,7 @@ class MaintenanceDaemon:
         state = self._states.get(peer_id)
         if state is None or not state.alive:
             return
+        state.epoch_timer = None
         if peer_id not in self.overlay:
             return
         info = self.overlay.peer(peer_id)
@@ -260,10 +288,10 @@ class MaintenanceDaemon:
             if added:
                 self._c_repaired.inc(len(added))
                 self.repairs.append(
-                    (self.simulator.now, peer_id, len(added)))
+                    (self.timers.now(), peer_id, len(added)))
         state.epoch_ms = self._adapted_epoch(state)
         state.failures_this_epoch = 0
-        self.simulator.schedule(
+        state.epoch_timer = self.timers.arm_timer(
             state.epoch_ms, lambda: self._epoch_end(peer_id))
 
     def _adapted_epoch(self, state: _PeerState) -> float:

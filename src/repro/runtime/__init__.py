@@ -1,0 +1,83 @@
+"""The runtime package: one protocol codebase, two substrates.
+
+``repro.runtime`` is the seam that lets the *identical* protocol code
+(:mod:`repro.groupcast.session`, :mod:`repro.overlay.maintenance`) run
+both inside the deterministic discrete-event simulator and over real
+asyncio UDP sockets:
+
+* :class:`Transport` — the send/recv/timer/clock interface every
+  event-driven protocol path targets;
+* :class:`SimTransport` — pure pass-through adapter over the simulator
+  fabric (same-seed runs stay bit-identical to pre-seam dispatch);
+* :class:`AsyncioTransport` — UDP loopback fabric with datagram
+  framing, per-peer sequence numbers and retransmit-until-ack;
+* :class:`RuntimeCluster` / :class:`PeerRuntime` / :class:`LocalView`
+  — per-peer hosting of the session node class over a live transport;
+* :mod:`~repro.runtime.conformance` — the canonicalizing comparator
+  that checks live episodes against their simulated twins.
+"""
+
+from .asyncio_transport import AsyncioTransport
+from .cluster import RuntimeCluster
+from .conformance import (
+    ConformanceError,
+    EpisodeTranscript,
+    assert_equivalent,
+    compare,
+    transcript_from_cluster,
+    transcript_from_session,
+)
+from .faulty import FaultyTransport
+from .framing import (
+    ACK,
+    DATA,
+    MAX_FRAME_BYTES,
+    PAYLOAD_TYPES,
+    Frame,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
+from .node import LocalView, PeerRuntime
+from .reliability import ReceiveResult, ReliableEndpoint, RetryPolicy
+from .sim import SimTransport
+from .transport import (
+    AsyncioTimers,
+    Handler,
+    SimTimers,
+    TimerHandle,
+    Transport,
+)
+
+__all__ = [
+    "ACK",
+    "DATA",
+    "MAX_FRAME_BYTES",
+    "PAYLOAD_TYPES",
+    "AsyncioTimers",
+    "AsyncioTransport",
+    "ConformanceError",
+    "EpisodeTranscript",
+    "FaultyTransport",
+    "Frame",
+    "Handler",
+    "LocalView",
+    "PeerRuntime",
+    "ReceiveResult",
+    "ReliableEndpoint",
+    "RetryPolicy",
+    "RuntimeCluster",
+    "SimTimers",
+    "SimTransport",
+    "TimerHandle",
+    "Transport",
+    "assert_equivalent",
+    "compare",
+    "decode_frame",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "transcript_from_cluster",
+    "transcript_from_session",
+]

@@ -1,0 +1,384 @@
+"""Real-socket substrate of the transport seam.
+
+:class:`AsyncioTransport` carries the same protocol traffic the
+simulator models over actual UDP datagram sockets on one asyncio loop.
+Each locally hosted peer gets its own socket; frames are encoded by
+:mod:`repro.runtime.framing`, sequenced and retransmitted-until-acked by
+a per-peer :class:`~repro.runtime.reliability.ReliableEndpoint`, and
+delivered to the registered handler as the same
+:class:`~repro.sim.messaging.Envelope` objects the sim transport
+produces — protocol code cannot tell the substrates apart.
+
+Counters mirror the sim fabric (``net.sent`` / ``net.delivered`` /
+``net.dead_lettered`` and per-kind ``messages.<kind>``) so the
+conformance comparator can line up logical message counts; transport
+chatter (acks, retransmits, duplicates, expiries) lands under
+``runtime.*`` and never pollutes the logical counts.
+
+An optional ``latency_fn`` *paces* deliveries: a frame delivered early
+is held until ``sent_at + latency_fn(sender, recipient)``.  Loopback
+jitter is ~1-2 ms, so pacing with the sim's own latency model (plus
+topologies whose path sums differ by more than the jitter) makes the
+live NSSA tree converge to the simulated one — the basis of the
+loopback conformance test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from ..errors import TransportError
+from ..obs.registry import Counter, Registry
+from ..obs.tracer import (
+    KIND_DEAD_LETTER,
+    KIND_DELIVER,
+    KIND_SEND,
+    SpanContext,
+    Tracer,
+)
+from ..overlay.messages import MessageKind, MessageStats
+from .framing import ACK, Frame, decode_frame, encode_frame
+from .reliability import ReliableEndpoint, RetryPolicy
+from .transport import AsyncioTimers, Handler, TimerHandle, Transport
+
+#: Maps a peer pair to the pacing latency in milliseconds (optional).
+LatencyFn = Callable[[int, int], float]
+
+
+class _DatagramProtocol(asyncio.DatagramProtocol):
+    """Forwards one peer socket's datagrams into the transport."""
+
+    def __init__(self, owner: "AsyncioTransport", peer_id: int) -> None:
+        self.owner = owner
+        self.peer_id = peer_id
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.owner._on_datagram(self.peer_id, data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        pass  # ICMP errors on loopback are not actionable; ARQ recovers
+
+
+class _PeerEndpoint:
+    """One locally hosted peer: socket + ARQ state + retransmit pump."""
+
+    __slots__ = ("peer_id", "transport", "reliable", "pump_handle")
+
+    def __init__(self, peer_id: int, transport, reliable: ReliableEndpoint
+                 ) -> None:
+        self.peer_id = peer_id
+        self.transport = transport
+        self.reliable = reliable
+        self.pump_handle = None
+
+
+class AsyncioTransport(Transport):
+    """UDP loopback fabric with framing and retransmit-until-ack."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        policy: Optional[RetryPolicy] = None,
+        latency_fn: Optional[LatencyFn] = None,
+        stats: Optional[MessageStats] = None,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.host = host
+        self.policy = policy or RetryPolicy()
+        self.latency_fn = latency_fn
+        self.stats = stats or MessageStats()
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        self.current_span: Optional[SpanContext] = None
+        self._timers: Optional[AsyncioTimers] = None
+        self._incarnations: dict[int, int] = {}
+        self._dead: set[int] = set()
+        self._endpoints: dict[int, _PeerEndpoint] = {}
+        self._routes: dict[int, tuple[str, int]] = {}
+        self._handlers: dict[int, Handler] = {}
+        self._pending = 0
+        self._spans: dict[tuple[int, int, int], SpanContext] = {}
+        self._c_sent = self.registry.counter("net.sent")
+        self._c_delivered = self.registry.counter("net.delivered")
+        self._c_dead = self.registry.counter("net.dead_lettered")
+        self._c_malformed = self.registry.counter("runtime.malformed")
+        self._kind_counters: dict[MessageKind, Counter] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the transport to the running loop (call before peers)."""
+        self._timers = AsyncioTimers(asyncio.get_running_loop())
+
+    async def start_peer(self, peer_id: int,
+                         handler: Optional[Handler] = None,
+                         port: int = 0) -> tuple[str, int]:
+        """Open a datagram socket for ``peer_id``; returns its address.
+
+        ``port=0`` lets the OS pick (single-process clusters);
+        multi-process deployments pass explicit ports and publish them
+        to the other processes through :meth:`add_route`.
+        """
+        if self._timers is None:
+            raise TransportError("transport not started")
+        if peer_id in self._endpoints:
+            raise TransportError(f"peer {peer_id} already started")
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _DatagramProtocol(self, peer_id),
+            local_addr=(self.host, port))
+        address = transport.get_extra_info("sockname")[:2]
+        # Each (re)start is a fresh incarnation: sequence numbers reset
+        # to zero under a new nonce, so receivers' dedup state from a
+        # previous life cannot swallow the reborn peer's frames.
+        nonce = self._incarnations.get(peer_id, -1) + 1
+        self._incarnations[peer_id] = nonce
+        self._dead.discard(peer_id)
+        self._endpoints[peer_id] = _PeerEndpoint(
+            peer_id, transport,
+            ReliableEndpoint(peer_id, self.policy, self.registry,
+                             nonce=nonce))
+        self._routes[peer_id] = address
+        if handler is not None:
+            self.register(peer_id, handler)
+        return address
+
+    async def stop_peer(self, peer_id: int) -> None:
+        """Close a peer's socket and forget its route.
+
+        Models a crash with failure detection already converged: no
+        goodbye traffic, and the surviving endpoints abandon their
+        in-flight frames toward the dead peer (counted as
+        dead-lettered) instead of retransmitting into the void.
+        """
+        endpoint = self._endpoints.pop(peer_id, None)
+        if endpoint is None:
+            return
+        if endpoint.pump_handle is not None:
+            endpoint.pump_handle.cancel()
+        endpoint.transport.close()
+        self._routes.pop(peer_id, None)
+        self._dead.add(peer_id)
+        self.unregister(peer_id)
+        for survivor in self._endpoints.values():
+            abandoned = survivor.reliable.forget_peer(peer_id)
+            for _ in range(abandoned):
+                self._c_dead.inc()
+            if abandoned:
+                self._schedule_pump(survivor)
+        for key in [k for k in self._spans if k[1] == peer_id]:
+            del self._spans[key]
+
+    async def close(self) -> None:
+        """Stop every locally hosted peer."""
+        for peer_id in list(self._endpoints):
+            await self.stop_peer(peer_id)
+
+    def add_route(self, peer_id: int, host: str, port: int) -> None:
+        """Publish the address of a peer hosted by another process."""
+        self._routes[peer_id] = (host, port)
+        self._dead.discard(peer_id)
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Milliseconds since :meth:`start` (monotonic loop clock)."""
+        if self._timers is None:
+            raise TransportError("transport not started")
+        return self._timers.now()
+
+    def arm_timer(self, delay_ms: float,
+                  action: Callable[[], None]) -> TimerHandle:
+        """Arm a loop callback; the asyncio timer handle is returned."""
+        if self._timers is None:
+            raise TransportError("transport not started")
+        return self._timers.arm_timer(delay_ms, action)
+
+    def register(self, peer_id: int, handler: Handler) -> None:
+        """Attach a peer's message handler (replaces any previous one)."""
+        self._handlers[peer_id] = handler
+
+    def unregister(self, peer_id: int) -> None:
+        """Detach a peer; frames arriving for it dead-letter."""
+        self._handlers.pop(peer_id, None)
+
+    def is_registered(self, peer_id: int) -> bool:
+        """True if the peer currently receives messages."""
+        return peer_id in self._handlers
+
+    def send(self, sender: int, recipient: int, payload: object,
+             kind: MessageKind | None = None) -> None:
+        """Frame, sequence and transmit one payload (ARQ underneath)."""
+        if sender == recipient:
+            raise TransportError("peers do not message themselves")
+        endpoint = self._endpoints.get(sender)
+        if endpoint is None:
+            raise TransportError(f"peer {sender} is not hosted here")
+        self._c_sent.inc()
+        detail = ""
+        if kind is not None:
+            self.stats.record(kind)
+            self._kind_counter(kind).inc()
+            detail = kind.value
+        if recipient in self._dead and recipient not in self._routes:
+            # Failure detection has converged on this peer locally.
+            # Mirror the sim fabric — which dead-letters sends to
+            # unregistered peers — instead of burning the whole
+            # retransmit budget into the void.
+            self._c_dead.inc()
+            if self.tracer is not None:
+                span = self.tracer.child_span(self.current_span)
+                self.tracer.record(self.now(), KIND_SEND, a=sender,
+                                   b=recipient, detail=detail, span=span)
+                self.tracer.record(self.now(), KIND_DEAD_LETTER, a=sender,
+                                   b=recipient, detail=detail, span=span)
+            return
+        frame = endpoint.reliable.package(recipient, payload, kind,
+                                          self.now())
+        if self.tracer is not None:
+            span = self.tracer.child_span(self.current_span)
+            self.tracer.record(self.now(), KIND_SEND, a=sender,
+                               b=recipient, detail=detail, span=span)
+            self._spans[(sender, recipient, frame.seq)] = span
+        self._transmit(endpoint, frame)
+        self._schedule_pump(endpoint)
+
+    @contextmanager
+    def span_scope(self, span: Optional[SpanContext]) -> Iterator[None]:
+        """Run a block with ``span`` as the ambient causal parent."""
+        previous = self.current_span
+        self.current_span = span
+        try:
+            yield
+        finally:
+            self.current_span = previous
+
+    # ------------------------------------------------------------------
+    # Quiescence (tests wait on this instead of sleeping)
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """True when no frame is unacked and no delivery is pending."""
+        if self._pending:
+            return False
+        return all(ep.reliable.unacked() == 0
+                   for ep in self._endpoints.values())
+
+    async def wait_quiescent(self, timeout_s: float,
+                             interval_s: float = 0.02) -> bool:
+        """Poll :meth:`quiescent` until true or the deadline passes."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while loop.time() < deadline:
+            if self.quiescent():
+                return True
+            await asyncio.sleep(interval_s)
+        return self.quiescent()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _kind_counter(self, kind: MessageKind) -> Counter:
+        counter = self._kind_counters.get(kind)
+        if counter is None:
+            counter = self.registry.counter(f"messages.{kind.value}")
+            self._kind_counters[kind] = counter
+        return counter
+
+    def _transmit(self, endpoint: _PeerEndpoint, frame: Frame) -> None:
+        address = self._routes.get(frame.recipient)
+        if address is None:
+            return  # crashed/unknown peer: let the ARQ budget expire
+        endpoint.transport.sendto(encode_frame(frame), address)
+
+    def _schedule_pump(self, endpoint: _PeerEndpoint) -> None:
+        """(Re)arm the retransmit pump at the earliest ARQ deadline."""
+        if endpoint.pump_handle is not None:
+            endpoint.pump_handle.cancel()
+            endpoint.pump_handle = None
+        due_ms = endpoint.reliable.next_due_ms()
+        if due_ms is None:
+            return
+        delay_ms = max(0.0, due_ms - self.now())
+        endpoint.pump_handle = self.arm_timer(
+            delay_ms, lambda: self._pump(endpoint))
+
+    def _pump(self, endpoint: _PeerEndpoint) -> None:
+        endpoint.pump_handle = None
+        if endpoint.peer_id not in self._endpoints:
+            return  # stopped while the timer was in flight
+        for frame in endpoint.reliable.due_retransmits(self.now()):
+            self._transmit(endpoint, frame)
+        for frame in endpoint.reliable.take_expired():
+            self._c_dead.inc()
+            self._spans.pop(
+                (frame.sender, frame.recipient, frame.seq), None)
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.now(), KIND_DEAD_LETTER, a=frame.sender,
+                    b=frame.recipient, detail=frame.kind)
+        self._schedule_pump(endpoint)
+
+    def _on_datagram(self, peer_id: int, data: bytes) -> None:
+        endpoint = self._endpoints.get(peer_id)
+        if endpoint is None:
+            return
+        try:
+            frame = decode_frame(data)
+        except Exception:
+            self._c_malformed.inc()
+            return
+        result = endpoint.reliable.on_frame(frame, self.now())
+        if frame.frame_type == ACK:
+            self._schedule_pump(endpoint)
+            return
+        if result.ack is not None:
+            self._transmit(endpoint, result.ack)
+        if not result.deliver:
+            return
+        span = self._spans.get((frame.sender, frame.recipient, frame.seq))
+        delay_ms = 0.0
+        if self.latency_fn is not None:
+            target_ms = frame.sent_at_ms + self.latency_fn(
+                frame.sender, frame.recipient)
+            delay_ms = max(0.0, target_ms - self.now())
+        self._pending += 1
+        self.arm_timer(delay_ms, lambda: self._deliver(frame, span))
+
+    def _deliver(self, frame: Frame, span: Optional[SpanContext]) -> None:
+        from ..sim.messaging import Envelope
+
+        self._pending -= 1
+        self._spans.pop((frame.sender, frame.recipient, frame.seq), None)
+        handler = self._handlers.get(frame.recipient)
+        detail = frame.kind
+        if handler is None:
+            self._c_dead.inc()
+            if self.tracer is not None:
+                self.tracer.record(self.now(), KIND_DEAD_LETTER,
+                                   a=frame.sender, b=frame.recipient,
+                                   detail=detail, span=span)
+            return
+        self._c_delivered.inc()
+        if self.tracer is not None:
+            self.tracer.record(self.now(), KIND_DELIVER, a=frame.sender,
+                               b=frame.recipient, span=span)
+        envelope = Envelope(
+            sender=frame.sender,
+            recipient=frame.recipient,
+            payload=frame.payload,
+            sent_at_ms=frame.sent_at_ms,
+            delivered_at_ms=self.now(),
+            kind=frame.message_kind(),
+            span=span,
+        )
+        previous = self.current_span
+        self.current_span = span
+        try:
+            handler(envelope)
+        finally:
+            self.current_span = previous

@@ -1,0 +1,222 @@
+"""A loopback cluster of live protocol peers.
+
+:class:`RuntimeCluster` is the live counterpart of
+:class:`~repro.groupcast.session.GroupSession`: it hosts one
+:class:`~repro.runtime.node.PeerRuntime` per overlay peer on a shared
+:class:`~repro.runtime.asyncio_transport.AsyncioTransport`, each with
+only its :class:`~repro.runtime.node.LocalView` of the overlay.  The
+protocol entry points (``advertise`` / ``subscribe`` / ``publish``)
+mirror the session API, but nothing here drains a simulator — tests
+wait on real time with :meth:`settle` (transport quiescence) and
+:meth:`wait_until` (deadline-polled predicates) instead of sleeping
+fixed amounts.
+
+Crash/restart mirrors the session semantics: a crashed peer's socket
+closes silently (senders retransmit into the void until their ARQ
+budget expires) and a restarted peer comes back with blank protocol
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Callable, Iterable, Optional
+
+from ..config import AnnouncementConfig, UtilityConfig
+from ..errors import TransportError
+from ..obs.registry import Registry
+from ..overlay.graph import OverlayNetwork
+from ..sim.random import spawn_rng
+from .asyncio_transport import AsyncioTransport, LatencyFn
+from .node import LocalView, PeerRuntime
+from .reliability import RetryPolicy
+
+
+class RuntimeCluster:
+    """N live peers over one asyncio UDP transport."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        seed: int,
+        announcement: Optional[AnnouncementConfig] = None,
+        utility: Optional[UtilityConfig] = None,
+        latency_fn: Optional[LatencyFn] = None,
+        policy: Optional[RetryPolicy] = None,
+        registry: Optional[Registry] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.overlay = overlay
+        self.seed = seed
+        self.announcement = announcement or AnnouncementConfig()
+        self.utility = utility or UtilityConfig()
+        self.registry = registry if registry is not None else Registry()
+        self.transport = AsyncioTransport(
+            host=host, policy=policy, latency_fn=latency_fn,
+            registry=self.registry)
+        self.peers: dict[int, PeerRuntime] = {}
+        self.crashed: set[int] = set()
+        self.rendezvous: dict[int, int] = {}
+        self._payload_ids = itertools.count(1)
+        # Delivery records salvaged from crashed peers, keyed
+        # (group_id, payload_id) -> {peer_id: delivered_at_ms}.  The
+        # sim session's delivery log survives crashes (it is the
+        # experimenter's ledger, not protocol state); the cluster's
+        # must too for the conformance transcripts to line up.
+        self._delivery_archive: dict[tuple[int, int], dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _local_view(self, peer_id: int) -> LocalView:
+        return LocalView(
+            self.overlay.peer(peer_id),
+            [self.overlay.peer(n)
+             for n in self.overlay.neighbors(peer_id)])
+
+    async def start(self) -> None:
+        """Bind the transport and bring every overlay peer online."""
+        await self.transport.start()
+        for peer_id in self.overlay.peer_ids():
+            await self._start_peer(peer_id)
+
+    async def _start_peer(self, peer_id: int) -> None:
+        runtime = PeerRuntime(
+            self._local_view(peer_id), self.transport,
+            self.announcement, self.utility,
+            spawn_rng(self.seed, "runtime-peer", peer_id))
+        self.peers[peer_id] = runtime
+        await self.transport.start_peer(peer_id, runtime.node.handle)
+
+    async def stop(self) -> None:
+        """Take the whole cluster down."""
+        await self.transport.close()
+        self.peers.clear()
+
+    async def __aenter__(self) -> "RuntimeCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    async def crash(self, peer_id: int) -> None:
+        """Silence one peer: socket closed, no goodbye traffic."""
+        if peer_id not in self.peers:
+            raise TransportError(f"peer {peer_id} is not in the cluster")
+        await self.transport.stop_peer(peer_id)
+        runtime = self.peers.pop(peer_id)
+        for key, records in runtime.deliveries.items():
+            self._delivery_archive.setdefault(key, {}).update(records)
+        self.crashed.add(peer_id)
+
+    async def restart(self, peer_id: int) -> None:
+        """Bring a crashed peer back with blank protocol state."""
+        if peer_id in self.peers:
+            raise TransportError(f"peer {peer_id} is already running")
+        self.crashed.discard(peer_id)
+        await self._start_peer(peer_id)
+
+    # ------------------------------------------------------------------
+    # Protocol entry points (the GroupSession vocabulary)
+    # ------------------------------------------------------------------
+    def advertise(self, group_id: int, rendezvous: int,
+                  scheme: str = "nssa") -> None:
+        """Seed the announcement at the rendezvous peer."""
+        if rendezvous not in self.peers:
+            raise TransportError(
+                f"rendezvous {rendezvous} is not running")
+        self.rendezvous[group_id] = rendezvous
+        self.peers[rendezvous].node.start_advertisement(group_id, scheme)
+
+    def subscribe(self, group_id: int, members: Iterable[int]) -> None:
+        """Start the subscription at each running member."""
+        for member in members:
+            runtime = self.peers.get(member)
+            if runtime is None:
+                continue
+            runtime.node.start_subscription(group_id)
+
+    def publish(self, group_id: int, source: int) -> int:
+        """Flood one payload from ``source``; returns its payload id."""
+        runtime = self.peers.get(source)
+        if runtime is None:
+            raise TransportError(f"source {source} is not running")
+        payload_id = next(self._payload_ids)
+        runtime.node.start_publish(group_id, payload_id)
+        return payload_id
+
+    def rejoin(self, group_id: int, member: int) -> None:
+        """Reset a member's branch state and re-run its subscription."""
+        runtime = self.peers.get(member)
+        if runtime is None:
+            raise TransportError(f"peer {member} is not running")
+        runtime.reset_group(group_id)
+        runtime.node.start_subscription(group_id)
+
+    # ------------------------------------------------------------------
+    # Waiting (deadline-based; never a bare sleep in tests)
+    # ------------------------------------------------------------------
+    async def settle(self, timeout_s: float) -> bool:
+        """Wait until the transport goes quiescent (all frames acked,
+        all paced deliveries handed over) or the deadline passes."""
+        return await self.transport.wait_quiescent(timeout_s)
+
+    async def wait_until(self, predicate: Callable[[], bool],
+                         timeout_s: float,
+                         interval_s: float = 0.02) -> bool:
+        """Poll ``predicate`` until true or the deadline passes."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while loop.time() < deadline:
+            if predicate():
+                return True
+            await asyncio.sleep(interval_s)
+        return predicate()
+
+    # ------------------------------------------------------------------
+    # Introspection (cluster-side aggregation of per-peer state)
+    # ------------------------------------------------------------------
+    def members_on_tree(self, group_id: int) -> set[int]:
+        """Running members whose subscription completed."""
+        members = set()
+        for peer_id, runtime in self.peers.items():
+            state = runtime.node.groups.get(group_id)
+            if state is not None and state.on_tree and state.is_member:
+                members.add(peer_id)
+        return members
+
+    def tree_edges(self, group_id: int) -> set[tuple[int, int]]:
+        """``(child, parent)`` pairs of the live spanning tree."""
+        edges = set()
+        for peer_id, runtime in self.peers.items():
+            state = runtime.node.groups.get(group_id)
+            if state is not None and state.on_tree \
+                    and state.upstream is not None:
+                edges.add((peer_id, state.upstream))
+        return edges
+
+    def deliveries(self, group_id: int,
+                   payload_id: int) -> dict[int, float]:
+        """Peer → delivery time (ms) for one payload, across peers
+        (including records salvaged from since-crashed peers)."""
+        merged = dict(
+            self._delivery_archive.get((group_id, payload_id), {}))
+        for runtime in self.peers.values():
+            merged.update(
+                runtime.deliveries.get((group_id, payload_id), {}))
+        return merged
+
+    def delivery_log(self) -> dict[tuple[int, int], dict[int, float]]:
+        """Every (group, payload) delivery record, archive included."""
+        merged: dict[tuple[int, int], dict[int, float]] = {
+            key: dict(records)
+            for key, records in self._delivery_archive.items()}
+        for runtime in self.peers.values():
+            for key, records in runtime.deliveries.items():
+                merged.setdefault(key, {}).update(records)
+        return merged

@@ -1,0 +1,176 @@
+"""Canonicalizing conformance oracle between the two substrates.
+
+Bit-identity is only meaningful on the deterministic substrate: same
+seed, same :class:`~repro.runtime.sim.SimTransport` episode, same trace
+digest (``tests/test_transport_conformance.py`` pins those).  A live
+asyncio run can never be bit-identical — the OS scheduler reorders
+wire-level events — but it must be **logically equivalent**: same
+spanning-tree shape, same member reachability, same per-kind logical
+message counts, same payload delivery sets, all modulo reordering.
+
+:class:`EpisodeTranscript` is the canonical form both substrates reduce
+to.  Everything in it is sorted; timestamps and wire-level chatter
+(acks, retransmits — the ``runtime.*`` counters) are deliberately
+excluded, so a transcript hashes to the same digest no matter how the
+underlying events interleaved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ReproError
+from ..overlay.messages import MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..groupcast.session import GroupSession
+    from .cluster import RuntimeCluster
+
+
+class ConformanceError(ReproError):
+    """A live episode diverged logically from its simulated twin."""
+
+
+#: Message kinds that count as *logical* protocol traffic.  Transport
+#: chatter (acks, retransmits) lives under ``runtime.*`` and never
+#: enters a transcript.
+LOGICAL_KINDS: tuple[MessageKind, ...] = (
+    MessageKind.ADVERTISEMENT,
+    MessageKind.SUBSCRIPTION,
+    MessageKind.SUBSCRIPTION_SEARCH,
+    MessageKind.SEARCH_RESPONSE,
+    MessageKind.PAYLOAD,
+)
+
+
+@dataclass(frozen=True)
+class EpisodeTranscript:
+    """Order-free canonical record of one protocol episode."""
+
+    group_id: int
+    rendezvous: int
+    members: tuple[int, ...]
+    tree_edges: tuple[tuple[int, int], ...]
+    kind_counts: tuple[tuple[str, int], ...]
+    deliveries: tuple[tuple[int, tuple[int, ...]], ...]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form."""
+        canonical = json.dumps(
+            {
+                "group_id": self.group_id,
+                "rendezvous": self.rendezvous,
+                "members": list(self.members),
+                "tree_edges": [list(edge) for edge in self.tree_edges],
+                "kind_counts": [list(kc) for kc in self.kind_counts],
+                "deliveries": [[pid, list(peers)]
+                               for pid, peers in self.deliveries],
+            },
+            separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _kind_counts(registry) -> tuple[tuple[str, int], ...]:
+    counts = []
+    for kind in LOGICAL_KINDS:
+        value = registry.counter(f"messages.{kind.value}").value
+        counts.append((kind.value, value))
+    return tuple(sorted(counts))
+
+
+def transcript_from_session(session: "GroupSession",
+                            group_id: int) -> EpisodeTranscript:
+    """Canonicalize one simulated episode."""
+    view = session.tree_view(group_id)
+    edges = sorted(
+        (int(child), int(parent))
+        for child, parent, on_tree in zip(
+            view.ids, view.upstream_id, view.on_tree)
+        if on_tree and parent >= 0)
+    deliveries = sorted(
+        (payload_id, tuple(sorted(int(p) for p in receivers)))
+        for (gid, payload_id), receivers in session.deliveries.items()
+        if gid == group_id)
+    return EpisodeTranscript(
+        group_id=group_id,
+        rendezvous=session.rendezvous.get(group_id, -1),
+        members=tuple(sorted(session.members_on_tree(group_id))),
+        tree_edges=tuple(edges),
+        kind_counts=_kind_counts(session.registry),
+        deliveries=tuple(deliveries),
+    )
+
+
+def transcript_from_cluster(cluster: "RuntimeCluster",
+                            group_id: int) -> EpisodeTranscript:
+    """Canonicalize one live loopback episode."""
+    edges = sorted(cluster.tree_edges(group_id))
+    merged: dict[int, set[int]] = {}
+    for (gid, payload_id), receivers in cluster.delivery_log().items():
+        if gid == group_id:
+            merged.setdefault(payload_id, set()).update(receivers)
+    deliveries = sorted(
+        (payload_id, tuple(sorted(receivers)))
+        for payload_id, receivers in merged.items())
+    return EpisodeTranscript(
+        group_id=group_id,
+        rendezvous=cluster.rendezvous.get(group_id, -1),
+        members=tuple(sorted(cluster.members_on_tree(group_id))),
+        tree_edges=tuple(edges),
+        kind_counts=_kind_counts(cluster.registry),
+        deliveries=tuple(deliveries),
+    )
+
+
+def compare(expected: EpisodeTranscript, actual: EpisodeTranscript,
+            kinds: Sequence[MessageKind] = LOGICAL_KINDS,
+            check_deliveries: bool = True) -> list[str]:
+    """Differences between two canonical transcripts (empty = same).
+
+    ``kinds`` narrows the message-count comparison — searches, for
+    instance, race wall-clock timing (first reply wins), so episodes
+    that legitimately use them can exclude those kinds while still
+    holding tree shape and reachability exact.
+    """
+    differences: list[str] = []
+    if expected.group_id != actual.group_id:
+        differences.append(
+            f"group_id: {expected.group_id} != {actual.group_id}")
+    if expected.rendezvous != actual.rendezvous:
+        differences.append(
+            f"rendezvous: {expected.rendezvous} != {actual.rendezvous}")
+    if expected.members != actual.members:
+        differences.append(
+            f"members: {expected.members} != {actual.members}")
+    if expected.tree_edges != actual.tree_edges:
+        missing = set(expected.tree_edges) - set(actual.tree_edges)
+        extra = set(actual.tree_edges) - set(expected.tree_edges)
+        differences.append(
+            f"tree_edges: missing={sorted(missing)} extra={sorted(extra)}")
+    wanted = {kind.value for kind in kinds}
+    expected_counts = {k: v for k, v in expected.kind_counts
+                       if k in wanted}
+    actual_counts = {k: v for k, v in actual.kind_counts if k in wanted}
+    if expected_counts != actual_counts:
+        differences.append(
+            f"kind_counts: {expected_counts} != {actual_counts}")
+    if check_deliveries and expected.deliveries != actual.deliveries:
+        differences.append(
+            f"deliveries: {expected.deliveries} != {actual.deliveries}")
+    return differences
+
+
+def assert_equivalent(expected: EpisodeTranscript,
+                      actual: EpisodeTranscript,
+                      kinds: Sequence[MessageKind] = LOGICAL_KINDS,
+                      check_deliveries: bool = True) -> None:
+    """Raise :class:`ConformanceError` when the transcripts diverge."""
+    differences = compare(expected, actual, kinds=kinds,
+                          check_deliveries=check_deliveries)
+    if differences:
+        raise ConformanceError(
+            "live episode diverged from the simulated twin:\n  "
+            + "\n  ".join(differences))

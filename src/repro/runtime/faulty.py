@@ -1,0 +1,72 @@
+"""A deterministic lossy channel for sans-IO reliability tests.
+
+:class:`FaultyTransport` reinterprets the PR-3 fault vocabulary
+(:class:`~repro.faults.plan.FaultWindow`,
+:class:`~repro.faults.plan.PartitionWindow`) against raw
+:class:`~repro.runtime.framing.Frame` traffic instead of a live
+:class:`~repro.sim.messaging.MessageNetwork`: callers hand it a frame
+and a virtual timestamp, and it answers with the (possibly empty,
+possibly duplicated, possibly delayed) list of deliveries the wire
+would have produced.  All randomness comes from one seeded generator,
+so a given ``(plan, seed)`` pair always mistreats the same frames the
+same way — which is what lets the Hypothesis suite assert that
+:class:`~repro.runtime.reliability.ReliableEndpoint` delivers every
+payload exactly once over arbitrarily hostile schedules.
+"""
+
+from __future__ import annotations
+
+from ..faults.plan import FaultPlan
+from ..sim.random import RandomSource
+from .framing import Frame
+
+
+class FaultyTransport:
+    """Applies a :class:`FaultPlan`'s message faults to frames."""
+
+    __slots__ = ("plan", "rng", "base_latency_ms", "dropped", "duplicated")
+
+    def __init__(self, plan: FaultPlan, rng: RandomSource,
+                 base_latency_ms: float = 5.0) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.base_latency_ms = base_latency_ms
+        self.dropped = 0
+        self.duplicated = 0
+
+    def transmit(self, frame: Frame,
+                 now_ms: float) -> list[tuple[float, Frame]]:
+        """One frame enters the wire at ``now_ms``.
+
+        Returns ``(deliver_at_ms, frame)`` pairs — empty when the frame
+        is dropped or the link is partitioned, two entries when a
+        duplicate window fires.  Delivery times are absolute.
+        """
+        partition = self.plan.partition_at(now_ms)
+        if partition is not None and partition.severed(
+                frame.sender, frame.recipient):
+            self.dropped += 1
+            return []
+        latency = self.base_latency_ms
+        copies = 1
+        skew = 0.0
+        for window in self.plan.active_windows(
+                now_ms, frame.sender, frame.recipient):
+            if self.rng.random() >= window.probability:
+                continue
+            if window.kind == "drop":
+                self.dropped += 1
+                return []
+            if window.kind == "duplicate":
+                copies = 2
+                skew = float(self.rng.uniform(0.0, window.magnitude_ms))
+            elif window.kind == "delay":
+                latency += window.magnitude_ms + float(
+                    self.rng.uniform(0.0, window.magnitude_ms))
+            elif window.kind == "reorder":
+                latency += float(self.rng.uniform(0.0, window.magnitude_ms))
+        deliveries = [(now_ms + latency, frame)]
+        if copies == 2:
+            self.duplicated += 1
+            deliveries.append((now_ms + latency + skew, frame))
+        return deliveries

@@ -1,0 +1,164 @@
+"""Datagram framing for the asyncio transport.
+
+One UDP datagram carries exactly one :class:`Frame`.  The wire format is
+a 4-byte magic/version tag followed by one canonical JSON object — small
+enough for loopback MTUs, deterministic enough to hash, and dependency-
+free (the container ships no msgpack/protobuf).
+
+Protocol payloads are dataclasses registered in :data:`PAYLOAD_TYPES`
+(the session wire vocabulary: advertise, subscribe, search, search
+reply, payload).  Encoding stores the dataclass fields; decoding
+rebuilds the registered type, coercing JSON arrays back to tuples —
+every registered payload uses tuples for its sequence fields, so
+``decode(encode(x)) == x`` holds exactly (property-tested in
+``tests/test_runtime_framing.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import FramingError
+from ..groupcast.session import (
+    Advertise,
+    Payload,
+    Search,
+    SearchReply,
+    Subscribe,
+)
+from ..overlay.messages import MessageKind
+
+#: Wire magic + codec version.  Bump on any incompatible layout change.
+MAGIC = b"RPR1"
+
+#: Hard datagram budget; loopback MTUs are ~64 KiB, stay well under.
+MAX_FRAME_BYTES = 32_768
+
+#: Frame types.
+DATA = "data"
+ACK = "ack"
+
+#: Registered protocol payload dataclasses, by wire name.
+PAYLOAD_TYPES: Mapping[str, type] = {
+    "advertise": Advertise,
+    "subscribe": Subscribe,
+    "search": Search,
+    "search_reply": SearchReply,
+    "payload": Payload,
+}
+
+_TYPE_NAMES = {cls: name for name, cls in PAYLOAD_TYPES.items()}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One datagram: either a payload carrier or an acknowledgement.
+
+    ``seq`` numbers are per ``(sender, recipient)`` direction and drive
+    both retransmission (sender side) and duplicate suppression
+    (receiver side); an ``ack`` frame echoes the acknowledged ``seq``.
+    ``nonce`` identifies the sender's *incarnation*: a restarted peer
+    gets a fresh nonce, so its from-zero sequence numbers are not
+    swallowed by dedup state remembered from its previous life, and
+    stale acks from an old incarnation cannot clear new frames.
+    """
+
+    frame_type: str
+    sender: int
+    recipient: int
+    seq: int
+    kind: str = ""
+    sent_at_ms: float = 0.0
+    payload: object | None = None
+    nonce: int = 0
+
+    def message_kind(self) -> MessageKind | None:
+        """The :class:`MessageKind` this frame carries, if any."""
+        return MessageKind(self.kind) if self.kind else None
+
+
+def encode_payload(payload: object) -> dict:
+    """Encode a registered payload dataclass to a JSON-safe dict."""
+    name = _TYPE_NAMES.get(type(payload))
+    if name is None:
+        raise FramingError(
+            f"unregistered payload type {type(payload).__name__!r}")
+    return {"t": name, "f": dataclasses.asdict(payload)}
+
+
+def decode_payload(obj: dict) -> object:
+    """Rebuild a registered payload dataclass from its wire dict."""
+    try:
+        cls = PAYLOAD_TYPES[obj["t"]]
+        fields = obj["f"]
+    except (KeyError, TypeError) as exc:
+        raise FramingError(f"malformed payload object: {obj!r}") from exc
+    coerced = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in fields.items()
+    }
+    try:
+        return cls(**coerced)
+    except TypeError as exc:
+        raise FramingError(
+            f"payload fields do not match {cls.__name__}: {exc}") from exc
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame to a datagram."""
+    if frame.frame_type not in (DATA, ACK):
+        raise FramingError(f"unknown frame type {frame.frame_type!r}")
+    body: dict = {
+        "y": frame.frame_type,
+        "a": frame.sender,
+        "b": frame.recipient,
+        "q": frame.seq,
+        "k": frame.kind,
+        "s": frame.sent_at_ms,
+        "n": frame.nonce,
+    }
+    if frame.payload is not None:
+        body["p"] = encode_payload(frame.payload)
+    encoded = MAGIC + json.dumps(
+        body, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(encoded) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame of {len(encoded)} bytes exceeds {MAX_FRAME_BYTES}")
+    return encoded
+
+
+def decode_frame(datagram: bytes) -> Frame:
+    """Parse one datagram back into a :class:`Frame`."""
+    if len(datagram) < len(MAGIC) or datagram[: len(MAGIC)] != MAGIC:
+        raise FramingError("datagram does not start with the frame magic")
+    try:
+        body = json.loads(datagram[len(MAGIC):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FramingError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(body, dict):
+        raise FramingError("frame body must be a JSON object")
+    try:
+        frame_type = body["y"]
+        sender = body["a"]
+        recipient = body["b"]
+        seq = body["q"]
+    except KeyError as exc:
+        raise FramingError(f"frame missing field {exc}") from exc
+    if frame_type not in (DATA, ACK):
+        raise FramingError(f"unknown frame type {frame_type!r}")
+    payload = None
+    if "p" in body:
+        payload = decode_payload(body["p"])
+    return Frame(
+        frame_type=frame_type,
+        sender=int(sender),
+        recipient=int(recipient),
+        seq=int(seq),
+        kind=str(body.get("k", "")),
+        sent_at_ms=float(body.get("s", 0.0)),
+        payload=payload,
+        nonce=int(body.get("n", 0)),
+    )

@@ -1,0 +1,131 @@
+"""Hosting one protocol node over a live transport.
+
+In the simulator a single :class:`~repro.groupcast.session.GroupSession`
+owns every peer, the whole overlay graph and all measurement state — a
+fine fiction for a sequential discrete-event run, but not how a deployed
+peer works.  This module provides the honest per-peer analogue:
+
+* :class:`LocalView` is the slice of the overlay one peer actually
+  knows — itself and its direct neighbors.  It answers exactly the
+  queries the protocol code makes (``neighbors`` of *itself*,
+  ``peer`` info for itself and its neighbors) and refuses the global
+  queries a real peer could never answer.
+* :class:`PeerRuntime` implements the coordinator contract
+  :class:`~repro.groupcast.session.GroupSessionNode` expects
+  (``transport``, ``overlay``, ``announcement``, ``utility``, ``rng``,
+  ``rendezvous``, ``record_*``) with purely local state, so the
+  **identical** node class that runs inside ``GroupSession`` on the
+  simulator runs here over an
+  :class:`~repro.runtime.asyncio_transport.AsyncioTransport`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..config import AnnouncementConfig, UtilityConfig
+from ..errors import PeerNotFoundError
+from ..groupcast.session import GroupSessionNode
+from ..peers.peer import PeerInfo
+from ..sim.random import RandomSource
+from .transport import Transport
+
+
+class LocalView:
+    """One peer's local overlay knowledge: itself and its neighbors."""
+
+    __slots__ = ("peer_id", "_infos", "_neighbor_ids")
+
+    def __init__(self, info: PeerInfo,
+                 neighbor_infos: Iterable[PeerInfo]) -> None:
+        self.peer_id = info.peer_id
+        ordered = list(neighbor_infos)
+        self._neighbor_ids = [n.peer_id for n in ordered]
+        self._infos = {info.peer_id: info}
+        for neighbor in ordered:
+            self._infos[neighbor.peer_id] = neighbor
+
+    def neighbors(self, peer_id: int) -> list[int]:
+        """Neighbor ids — answerable only for the owning peer."""
+        if peer_id != self.peer_id:
+            raise PeerNotFoundError(
+                f"peer {self.peer_id} has no neighbor list for {peer_id}")
+        return list(self._neighbor_ids)
+
+    def peer(self, peer_id: int) -> PeerInfo:
+        """Info for the owning peer or one of its neighbors."""
+        try:
+            return self._infos[peer_id]
+        except KeyError:
+            raise PeerNotFoundError(
+                f"peer {peer_id} is outside {self.peer_id}'s local view"
+            ) from None
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._infos
+
+
+class PeerRuntime:
+    """One peer's protocol host: the live analogue of ``GroupSession``.
+
+    Satisfies the coordinator contract of
+    :class:`~repro.groupcast.session.GroupSessionNode` with per-peer
+    state only; the measurement hooks record into local dicts that the
+    cluster layer aggregates for conformance comparison.
+    """
+
+    def __init__(
+        self,
+        view: LocalView,
+        transport: Transport,
+        announcement: AnnouncementConfig,
+        utility: UtilityConfig,
+        rng: RandomSource,
+    ) -> None:
+        self.overlay = view
+        self.transport = transport
+        self.announcement = announcement
+        self.utility = utility
+        self.rng = rng
+        self.rendezvous: dict[int, int] = {}
+        self.node = GroupSessionNode(view.peer_id, self)
+        self.duplicates = 0
+        self.receipts: dict[int, dict[int, float]] = {}
+        self.failures: dict[int, set[int]] = {}
+        self.deliveries: dict[tuple[int, int], dict[int, float]] = {}
+
+    @property
+    def peer_id(self) -> int:
+        """The hosted peer's identifier."""
+        return self.overlay.peer_id
+
+    # ------------------------------------------------------------------
+    # Measurement hooks (the GroupSession contract, scoped to one peer)
+    # ------------------------------------------------------------------
+    def record_duplicate(self) -> None:
+        """Count a dropped duplicate advertisement copy."""
+        self.duplicates += 1
+
+    def record_receipt(self, group_id: int, peer_id: int,
+                       at_ms: float) -> None:
+        """Log this peer's first advertisement receipt time."""
+        self.receipts.setdefault(group_id, {})[peer_id] = at_ms
+
+    def record_failure(self, group_id: int, peer_id: int) -> None:
+        """Log a subscription that could not complete."""
+        self.failures.setdefault(group_id, set()).add(peer_id)
+
+    def record_delivery(self, group_id: int, payload_id: int,
+                        peer_id: int, at_ms: float) -> None:
+        """Log a payload delivery time at this peer."""
+        self.deliveries.setdefault(
+            (group_id, payload_id), {})[peer_id] = at_ms
+
+    # ------------------------------------------------------------------
+    def reset_group(self, group_id: int) -> None:
+        """Blank this peer's per-group state (rejoin support)."""
+        state = self.node.state(group_id)
+        state.on_tree = False
+        state.upstream = None
+        state.has_advertisement = False
+        state.search_answered = False

@@ -1,0 +1,215 @@
+"""Sans-IO retransmit-until-ack reliability for datagram transports.
+
+UDP loses, duplicates and reorders; the protocol layers above the
+transport seam assume fire-and-forget delivery (the sim transport's
+loss process is *modeled*, not compensated).  This module closes the
+gap with a classic positive-ack ARQ scheme, written **sans-IO**: the
+:class:`ReliableEndpoint` state machine never touches a socket or a
+clock — callers feed it frames and timestamps and transmit whatever it
+hands back.  That makes the retransmit logic deterministic under test:
+the Hypothesis suite drives it against a seeded lossy
+:class:`~repro.runtime.faulty.FaultyTransport` with a virtual clock and
+proves every packaged payload is either delivered exactly once or
+reported expired.
+
+Per-peer sequence numbers do double duty: the sender keys its in-flight
+window on ``(recipient, seq)`` and the receiver suppresses duplicates
+on ``(sender, nonce, seq)`` — a retransmitted or fault-duplicated
+datagram is re-acked but never re-delivered.  The ``nonce`` is the
+sender's incarnation number: a restarted peer packages frames under a
+fresh nonce, so its from-zero sequence numbers are not swallowed by
+dedup state remembered from its previous life, and acks echoing an old
+incarnation cannot clear new in-flight frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TransportError
+from ..obs.registry import Registry
+from ..overlay.messages import MessageKind
+from .framing import ACK, DATA, Frame
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmit schedule: exponential backoff with a cap.
+
+    Attempt ``n`` (0-based) is retransmitted ``timeout_ms *
+    backoff**n`` (clamped to ``max_timeout_ms``) after the previous
+    transmission; after ``max_retries`` unacknowledged transmissions the
+    frame expires and is surfaced through
+    :meth:`ReliableEndpoint.take_expired`.
+    """
+
+    timeout_ms: float = 200.0
+    backoff: float = 2.0
+    max_timeout_ms: float = 3_000.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0.0:
+            raise TransportError("timeout_ms must be positive")
+        if self.backoff < 1.0:
+            raise TransportError("backoff must be >= 1")
+        if self.max_timeout_ms < self.timeout_ms:
+            raise TransportError("max_timeout_ms must be >= timeout_ms")
+        if self.max_retries < 0:
+            raise TransportError("max_retries must be non-negative")
+
+    def delay_ms(self, attempt: int) -> float:
+        """Backoff delay after the ``attempt``-th transmission (0-based)."""
+        return min(self.timeout_ms * self.backoff ** attempt,
+                   self.max_timeout_ms)
+
+
+@dataclass
+class _InFlight:
+    frame: Frame
+    due_ms: float
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ReceiveResult:
+    """What one incoming frame produced.
+
+    ``ack`` is a frame the caller must transmit back (None for ACK
+    frames and frames not addressed to this peer); ``deliver`` is True
+    when the payload should be handed to the protocol handler;
+    ``duplicate`` marks an already-seen sequence number (re-acked, not
+    re-delivered).
+    """
+
+    ack: Frame | None = None
+    deliver: bool = False
+    duplicate: bool = False
+
+
+class ReliableEndpoint:
+    """Per-peer ARQ state: outgoing window, dedup index, ack plumbing."""
+
+    def __init__(self, peer_id: int,
+                 policy: RetryPolicy | None = None,
+                 registry: Registry | None = None,
+                 nonce: int = 0) -> None:
+        self.peer_id = peer_id
+        self.policy = policy or RetryPolicy()
+        self.registry = registry if registry is not None else Registry()
+        self.nonce = nonce
+        self._next_seq: dict[int, int] = {}
+        self._in_flight: dict[tuple[int, int], _InFlight] = {}
+        self._seen: dict[tuple[int, int], set[int]] = {}
+        self._expired: list[Frame] = []
+        self._c_retransmits = self.registry.counter("runtime.retransmits")
+        self._c_duplicates = self.registry.counter(
+            "runtime.duplicates_suppressed")
+        self._c_expired = self.registry.counter("runtime.expired")
+        self._c_acks = self.registry.counter("runtime.acks_sent")
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def package(self, recipient: int, payload: object,
+                kind: MessageKind | None, now_ms: float) -> Frame:
+        """Wrap one payload into a sequenced DATA frame and track it.
+
+        The returned frame must be transmitted by the caller; it stays
+        in the in-flight window until its ack arrives or it expires.
+        """
+        seq = self._next_seq.get(recipient, 0)
+        self._next_seq[recipient] = seq + 1
+        frame = Frame(
+            frame_type=DATA,
+            sender=self.peer_id,
+            recipient=recipient,
+            seq=seq,
+            kind=kind.value if kind is not None else "",
+            sent_at_ms=now_ms,
+            payload=payload,
+            nonce=self.nonce,
+        )
+        self._in_flight[(recipient, seq)] = _InFlight(
+            frame=frame, due_ms=now_ms + self.policy.delay_ms(0))
+        return frame
+
+    def due_retransmits(self, now_ms: float) -> list[Frame]:
+        """Frames whose retransmit timer elapsed; re-arms their timers.
+
+        Frames past ``max_retries`` transmissions move to the expired
+        list instead (collect with :meth:`take_expired`).
+        """
+        due: list[Frame] = []
+        for key in list(self._in_flight):
+            entry = self._in_flight[key]
+            if entry.due_ms > now_ms:
+                continue
+            if entry.attempts > self.policy.max_retries:
+                del self._in_flight[key]
+                self._expired.append(entry.frame)
+                self._c_expired.inc()
+                continue
+            entry.due_ms = now_ms + self.policy.delay_ms(entry.attempts)
+            entry.attempts += 1
+            self._c_retransmits.inc()
+            due.append(entry.frame)
+        return due
+
+    def next_due_ms(self) -> float | None:
+        """Earliest retransmit deadline, or None with an empty window."""
+        if not self._in_flight:
+            return None
+        return min(entry.due_ms for entry in self._in_flight.values())
+
+    def unacked(self) -> int:
+        """Frames still awaiting acknowledgement."""
+        return len(self._in_flight)
+
+    def take_expired(self) -> list[Frame]:
+        """Drain frames that exhausted their retransmit budget."""
+        expired, self._expired = self._expired, []
+        return expired
+
+    def forget_peer(self, peer_id: int) -> int:
+        """Drop all ARQ state tied to ``peer_id`` (it crashed).
+
+        Purges in-flight frames addressed to it (nothing will ever ack
+        them), its dedup sets across every incarnation, and the outgoing
+        sequence counter.  Returns the number of in-flight frames
+        abandoned.
+        """
+        abandoned = [key for key in self._in_flight if key[0] == peer_id]
+        for key in abandoned:
+            del self._in_flight[key]
+        for key in [k for k in self._seen if k[0] == peer_id]:
+            del self._seen[key]
+        self._next_seq.pop(peer_id, None)
+        return len(abandoned)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame, now_ms: float) -> ReceiveResult:
+        """Advance the state machine with one incoming frame."""
+        if frame.frame_type == ACK:
+            if frame.nonce == self.nonce:
+                self._in_flight.pop((frame.sender, frame.seq), None)
+            return ReceiveResult()
+        if frame.recipient != self.peer_id:
+            return ReceiveResult()  # stray datagram; drop silently
+        ack = Frame(
+            frame_type=ACK,
+            sender=frame.recipient,
+            recipient=frame.sender,
+            seq=frame.seq,
+            sent_at_ms=now_ms,
+            nonce=frame.nonce,
+        )
+        self._c_acks.inc()
+        seen = self._seen.setdefault((frame.sender, frame.nonce), set())
+        if frame.seq in seen:
+            self._c_duplicates.inc()
+            return ReceiveResult(ack=ack, deliver=False, duplicate=True)
+        seen.add(frame.seq)
+        return ReceiveResult(ack=ack, deliver=True)

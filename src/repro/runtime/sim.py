@@ -1,0 +1,91 @@
+"""Simulator adapter for the transport seam.
+
+:class:`SimTransport` wraps the deterministic event-driven pair
+(:class:`~repro.sim.messaging.MessageNetwork`,
+:class:`~repro.sim.engine.Simulator`) behind the
+:class:`~repro.runtime.transport.Transport` interface.
+
+Every method is a **pure delegation**: no extra tracer records, no rng
+draws, no reordered calls.  That is a hard contract — the conformance
+suite (``tests/test_transport_conformance.py``) pins same-seed trace
+digests against values captured before the seam existed, so anything
+this adapter adds or skips shows up as a digest mismatch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from ..obs.registry import Registry
+from ..obs.tracer import SpanContext, Tracer
+from ..overlay.messages import MessageKind
+from ..sim.engine import Simulator
+from ..sim.messaging import MessageNetwork
+from .transport import Handler, TimerHandle, Transport
+
+
+class SimTransport(Transport):
+    """The discrete-event substrate of the transport seam."""
+
+    __slots__ = ("network",)
+
+    def __init__(self, network: MessageNetwork) -> None:
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # Pass-through surfaces
+    # ------------------------------------------------------------------
+    @property
+    def simulator(self) -> Simulator:
+        """The virtual-time engine driving this transport."""
+        return self.network.simulator
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The network's tracer (None when tracing is off)."""
+        return self.network.tracer
+
+    @property
+    def registry(self) -> Registry:
+        """The network's metric registry."""
+        return self.network.registry
+
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self.network.simulator.now
+
+    def register(self, peer_id: int, handler: Handler) -> None:
+        """Delegates to :meth:`MessageNetwork.register`."""
+        self.network.register(peer_id, handler)
+
+    def unregister(self, peer_id: int) -> None:
+        """Delegates to :meth:`MessageNetwork.unregister`."""
+        self.network.unregister(peer_id)
+
+    def is_registered(self, peer_id: int) -> bool:
+        """Delegates to :meth:`MessageNetwork.is_registered`."""
+        return self.network.is_registered(peer_id)
+
+    def send(self, sender: int, recipient: int, payload: object,
+             kind: MessageKind | None = None) -> None:
+        """Delegates to :meth:`MessageNetwork.send` (latency, loss,
+        fault injection and span chaining all live there, untouched)."""
+        self.network.send(sender, recipient, payload, kind)
+
+    def broadcast(self, sender: int, recipients: list[int],
+                  payload: object, kind: MessageKind | None = None) -> None:
+        """Delegates to :meth:`MessageNetwork.broadcast`."""
+        self.network.broadcast(sender, recipients, payload, kind)
+
+    def arm_timer(self, delay_ms: float,
+                  action: Callable[[], None]) -> TimerHandle:
+        """Delegates to :meth:`Simulator.schedule`; the scheduled
+        :class:`~repro.sim.engine.Event` is the cancellable handle."""
+        return self.network.simulator.schedule(delay_ms, action)
+
+    @contextmanager
+    def span_scope(self, span: Optional[SpanContext]) -> Iterator[None]:
+        """Delegates to :meth:`MessageNetwork.span_scope`."""
+        with self.network.span_scope(span):
+            yield

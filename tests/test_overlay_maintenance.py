@@ -138,6 +138,52 @@ def test_alive_peers_listing(world):
     assert len(daemon.alive_peers()) == 19
 
 
+def test_crash_cancels_pending_timers(world):
+    """Crashing disarms both timer chains instead of leaving them to
+    fire as scheduled no-ops (the pre-seam latent bug)."""
+    _, _, daemon, _ = world
+    victim = 6
+    state = daemon._states[victim]
+    assert state.heartbeat_timer is not None
+    assert state.epoch_timer is not None
+    daemon.crash(victim)
+    assert state.heartbeat_timer is None
+    assert state.epoch_timer is None
+
+
+def test_depart_cancels_pending_timers(world):
+    _, _, daemon, _ = world
+    state = daemon._states[8]
+    daemon.depart(8)
+    assert state.heartbeat_timer is None
+    assert state.epoch_timer is None
+
+
+def test_no_dead_peer_events_fire_post_crash(world):
+    """A crashed peer must never run another maintenance event — its
+    heartbeat and epoch callbacks are cancelled, not merely no-oped."""
+    simulator, _, daemon, _ = world
+    victim = 9
+    fired: list[int] = []
+    original_heartbeat = daemon._heartbeat_round
+    original_epoch = daemon._epoch_end
+
+    def tracked_heartbeat(peer_id):
+        fired.append(peer_id)
+        original_heartbeat(peer_id)
+
+    def tracked_epoch(peer_id):
+        fired.append(peer_id)
+        original_epoch(peer_id)
+
+    daemon._heartbeat_round = tracked_heartbeat
+    daemon._epoch_end = tracked_epoch
+    daemon.crash(victim)
+    simulator.run(until=60_000.0)
+    assert victim not in fired
+    assert fired  # the survivors' chains kept running
+
+
 def test_epoch_shrinks_under_churn_and_recovers(world):
     """The adaptive epoch shortens when failures are detected and
     stretches back out in calm periods (within configured bounds)."""

@@ -1,0 +1,268 @@
+"""Property tests for datagram framing and the sans-IO ARQ layer.
+
+Hypothesis drives three families of invariants:
+
+* **Round trip** — ``decode(encode(frame)) == frame`` for every frame
+  type and every registered payload dataclass, and decode never
+  accepts garbage silently (it raises :class:`FramingError`).
+* **Idempotent delivery** — a duplicated DATA frame is re-acked but
+  delivered at most once, no matter how often it arrives.
+* **Retransmit-until-ack** — over a seeded lossy channel built from
+  the PR-3 fault vocabulary (:class:`FaultWindow` drop/duplicate/
+  reorder schedules interpreted by
+  :class:`~repro.runtime.faulty.FaultyTransport`), every packaged
+  payload is delivered **exactly once** as long as the loss window
+  ends before the retry budget runs out.  The whole exchange runs on a
+  virtual clock — no sockets, no sleeps, fully deterministic per seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FramingError, TransportError
+from repro.faults.plan import FaultPlan, FaultWindow
+from repro.groupcast.session import (
+    Advertise,
+    Payload,
+    Search,
+    SearchReply,
+    Subscribe,
+)
+from repro.overlay.messages import MessageKind
+from repro.runtime.faulty import FaultyTransport
+from repro.runtime.framing import (
+    ACK,
+    DATA,
+    MAX_FRAME_BYTES,
+    Frame,
+    decode_frame,
+    encode_frame,
+)
+from repro.runtime.reliability import ReliableEndpoint, RetryPolicy
+from repro.sim.random import spawn_rng
+
+ids = st.integers(min_value=0, max_value=2**31 - 1)
+paths = st.lists(ids, min_size=1, max_size=6).map(tuple)
+finite_ms = st.floats(min_value=0.0, max_value=1e12,
+                      allow_nan=False, allow_infinity=False)
+
+payloads = st.one_of(
+    st.builds(Advertise, group_id=ids, rendezvous=ids, path=paths,
+              ttl=st.integers(1, 12),
+              scheme=st.sampled_from(["ssa", "nssa"])),
+    st.builds(Subscribe, group_id=ids, subscriber=ids),
+    st.builds(Search, group_id=ids, origin=ids,
+              ttl=st.integers(0, 12)),
+    st.builds(SearchReply, group_id=ids, informed_peer=ids),
+    st.builds(Payload, group_id=ids, payload_id=ids, source=ids),
+)
+
+data_frames = st.builds(
+    Frame,
+    frame_type=st.just(DATA),
+    sender=ids,
+    recipient=ids,
+    seq=st.integers(0, 2**31 - 1),
+    kind=st.sampled_from(
+        [k.value for k in MessageKind] + [""]),
+    sent_at_ms=finite_ms,
+    payload=payloads,
+)
+
+ack_frames = st.builds(
+    Frame,
+    frame_type=st.just(ACK),
+    sender=ids,
+    recipient=ids,
+    seq=st.integers(0, 2**31 - 1),
+    sent_at_ms=finite_ms,
+)
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+@given(frame=st.one_of(data_frames, ack_frames))
+@settings(max_examples=200, deadline=None)
+def test_frame_round_trip(frame):
+    assert decode_frame(encode_frame(frame)) == frame
+
+
+@given(payload=payloads)
+@settings(max_examples=100, deadline=None)
+def test_every_registered_payload_survives_the_wire(payload):
+    frame = Frame(DATA, 1, 2, 0, "", 0.0, payload)
+    decoded = decode_frame(encode_frame(frame))
+    assert decoded.payload == payload
+    assert type(decoded.payload) is type(payload)
+
+
+@given(garbage=st.binary(max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_decode_rejects_garbage(garbage):
+    try:
+        frame = decode_frame(garbage)
+    except FramingError:
+        return
+    # Only a datagram that *is* a valid encoding may decode.
+    assert encode_frame(frame) == garbage
+
+
+def test_unregistered_payload_rejected():
+    with pytest.raises(FramingError):
+        encode_frame(Frame(DATA, 1, 2, 0, "", 0.0, payload=object()))
+
+
+def test_oversize_frame_rejected():
+    huge = Advertise(1, 2, tuple(range(20_000)), 5, "ssa")
+    with pytest.raises(FramingError):
+        encode_frame(Frame(DATA, 1, 2, 0, "", 0.0, huge))
+    assert MAX_FRAME_BYTES == 32_768
+
+
+# ----------------------------------------------------------------------
+# Idempotent delivery
+# ----------------------------------------------------------------------
+@given(payload=payloads, copies=st.integers(2, 6))
+@settings(max_examples=50, deadline=None)
+def test_duplicate_data_frames_deliver_once(payload, copies):
+    sender = ReliableEndpoint(1)
+    receiver = ReliableEndpoint(2)
+    frame = sender.package(2, payload, None, 0.0)
+    delivered = 0
+    acks = 0
+    duplicates = 0
+    for attempt in range(copies):
+        result = receiver.on_frame(frame, float(attempt))
+        assert result.ack is not None  # every copy is re-acked
+        acks += 1
+        delivered += int(result.deliver)
+        duplicates += int(result.duplicate)
+    assert delivered == 1
+    assert acks == copies
+    assert duplicates == copies - 1
+
+
+@given(payload=payloads)
+@settings(max_examples=25, deadline=None)
+def test_stray_frames_are_dropped_silently(payload):
+    receiver = ReliableEndpoint(7)
+    stray = Frame(DATA, 1, 2, 0, "", 0.0, payload)  # not addressed to 7
+    result = receiver.on_frame(stray, 0.0)
+    assert result.ack is None
+    assert not result.deliver
+
+
+# ----------------------------------------------------------------------
+# Retransmit-until-ack over a seeded lossy channel
+# ----------------------------------------------------------------------
+def _run_lossy_exchange(seed: int, plan: FaultPlan, message_count: int,
+                        horizon_ms: float = 60_000.0) -> list[int]:
+    """Drive sender -> channel -> receiver on a virtual clock.
+
+    Both directions (DATA and ACK) traverse the same faulty channel.
+    Returns the payload ids delivered at the receiver, in order.
+    """
+    policy = RetryPolicy(timeout_ms=25.0, backoff=1.5,
+                         max_timeout_ms=400.0, max_retries=60)
+    sender = ReliableEndpoint(1, policy)
+    receiver = ReliableEndpoint(2, policy)
+    channel = FaultyTransport(plan, spawn_rng(seed, "lossy-channel"))
+    wire: list[tuple[float, int, Frame]] = []  # (at_ms, tiebreak, frame)
+    tiebreak = 0
+    now = 0.0
+    delivered: list[int] = []
+
+    def transmit(frame: Frame, at_ms: float) -> None:
+        nonlocal tiebreak
+        for deliver_at, copy in channel.transmit(frame, at_ms):
+            wire.append((deliver_at, tiebreak, copy))
+            tiebreak += 1
+
+    for payload_id in range(message_count):
+        transmit(sender.package(
+            2, Payload(1, payload_id, 1), MessageKind.PAYLOAD, now), now)
+
+    while now < horizon_ms and (wire or sender.unacked()):
+        next_wire = min((at for at, _, _ in wire), default=None)
+        next_retry = sender.next_due_ms()
+        candidates = [t for t in (next_wire, next_retry) if t is not None]
+        if not candidates:
+            break
+        now = max(now, min(candidates))
+        arrived = sorted(
+            [entry for entry in wire if entry[0] <= now])
+        wire[:] = [entry for entry in wire if entry[0] > now]
+        for _, _, frame in arrived:
+            if frame.recipient == 2:
+                result = receiver.on_frame(frame, now)
+                if result.deliver:
+                    delivered.append(frame.payload.payload_id)
+                if result.ack is not None:
+                    transmit(result.ack, now)
+            else:
+                sender.on_frame(frame, now)
+        for frame in sender.due_retransmits(now):
+            transmit(frame, now)
+    return delivered
+
+
+@given(seed=st.integers(0, 2**31 - 1),
+       drop_probability=st.floats(0.05, 0.9),
+       message_count=st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_every_payload_delivered_exactly_once_despite_drops(
+        seed, drop_probability, message_count):
+    plan = FaultPlan(windows=(
+        FaultWindow("drop", 0.0, 4_000.0, drop_probability),
+    ))
+    delivered = _run_lossy_exchange(seed, plan, message_count)
+    assert sorted(delivered) == list(range(message_count))
+
+
+@given(seed=st.integers(0, 2**31 - 1), message_count=st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_exactly_once_under_adversarial_duplication_and_reorder(
+        seed, message_count):
+    plan = FaultPlan(windows=(
+        FaultWindow("drop", 0.0, 2_000.0, 0.3),
+        FaultWindow("duplicate", 0.0, 3_000.0, 0.5, 40.0),
+        FaultWindow("reorder", 0.0, 3_000.0, 0.5, 60.0),
+    ))
+    delivered = _run_lossy_exchange(seed, plan, message_count)
+    assert sorted(delivered) == list(range(message_count))
+
+
+def test_expired_frames_surface_after_budget_exhaustion():
+    """A permanently dead link expires the frame instead of retrying
+    forever; the expiry is reported exactly once."""
+    policy = RetryPolicy(timeout_ms=10.0, backoff=1.0,
+                         max_timeout_ms=10.0, max_retries=3)
+    sender = ReliableEndpoint(1, policy)
+    sender.package(2, Payload(1, 0, 1), MessageKind.PAYLOAD, 0.0)
+    retransmits = 0
+    now = 0.0
+    for _ in range(10):
+        now += 10.0
+        retransmits += len(sender.due_retransmits(now))
+    assert retransmits == policy.max_retries
+    expired = sender.take_expired()
+    assert len(expired) == 1
+    assert sender.take_expired() == []
+    assert sender.unacked() == 0
+    assert sender.registry.counter("runtime.expired").value == 1
+
+
+def test_retry_policy_validation():
+    with pytest.raises(TransportError):
+        RetryPolicy(timeout_ms=0.0)
+    with pytest.raises(TransportError):
+        RetryPolicy(backoff=0.5)
+    with pytest.raises(TransportError):
+        RetryPolicy(max_timeout_ms=1.0, timeout_ms=2.0)
+    policy = RetryPolicy(timeout_ms=100.0, backoff=2.0,
+                         max_timeout_ms=350.0)
+    assert policy.delay_ms(0) == 100.0
+    assert policy.delay_ms(1) == 200.0
+    assert policy.delay_ms(2) == 350.0  # capped

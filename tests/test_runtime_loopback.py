@@ -1,0 +1,205 @@
+"""Live asyncio loopback integration, checked against the sim twin.
+
+A 10-peer cluster runs the full protocol life-cycle over real UDP
+loopback sockets — advertise → subscribe → publish → crash → repair →
+publish — using the *identical* node code the simulator runs.  The same
+episode is replayed on a :class:`~repro.groupcast.session.GroupSession`
+(the deterministic twin) and the two are compared through the
+canonicalizing conformance oracle: same tree shape, same member
+reachability, same logical message-kind counts, same delivery sets,
+all modulo wire-level reordering.
+
+Determinism strategy: the topology is hand-crafted so every peer's
+best advertisement path beats its runner-up by >= 14 ms of path-latency
+sum, and the live transport *paces* deliveries with the same latency
+table the sim uses — loopback jitter (~1-2 ms) cannot flip any
+first-arrival decision, so the live NSSA tree converges to the
+simulated one on every run.
+
+All waits are deadline-based (transport quiescence / predicate polls),
+budgeted by ``REPRO_RUNTIME_BUDGET_S`` (default 30 s for the module).
+Marked ``runtime``: excluded from tier-1, run by the CI runtime job.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.groupcast.session import GroupSession
+from repro.overlay.graph import OverlayNetwork
+from repro.peers.peer import PeerInfo
+from repro.runtime import (
+    RuntimeCluster,
+    assert_equivalent,
+    transcript_from_cluster,
+    transcript_from_session,
+)
+from repro.sim.random import spawn_rng
+
+pytestmark = pytest.mark.runtime
+
+#: Wall-clock budget for the whole module's waits (seconds).
+BUDGET_S = float(os.environ.get("REPRO_RUNTIME_BUDGET_S", "30"))
+#: Per-phase settle deadline; six settles per episode fit the budget.
+SETTLE_S = max(1.0, BUDGET_S / 10.0)
+
+GROUP = 1
+RENDEZVOUS = 0
+MEMBERS = [3, 7, 8, 9]
+SEED = 7
+ANNOUNCEMENT = AnnouncementConfig(advertisement_ttl=7,
+                                  subscription_search_ttl=3)
+
+#: Hand-crafted 10-peer topology.  Path sums from the rendezvous are
+#: unique with >= 14 ms separation between any peer's best and
+#: second-best advertisement arrival (peer 4: 15 vs 29; peer 9: 32 vs
+#: 49), far above loopback jitter.
+EDGES = {
+    (0, 1): 4.0,
+    (0, 2): 9.0,
+    (1, 3): 4.0,
+    (1, 4): 25.0,
+    (2, 4): 6.0,
+    (2, 5): 23.0,
+    (3, 6): 4.0,
+    (4, 7): 6.0,
+    (5, 8): 5.0,
+    (6, 9): 37.0,
+    (7, 9): 11.0,
+}
+_LATENCY = {frozenset(edge): ms for edge, ms in EDGES.items()}
+
+
+def latency_ms(a: int, b: int) -> float:
+    return _LATENCY[frozenset((a, b))]
+
+
+def build_overlay() -> OverlayNetwork:
+    overlay = OverlayNetwork()
+    for peer_id in range(10):
+        overlay.add_peer(PeerInfo(
+            peer_id=peer_id, capacity=10.0,
+            coordinate=np.array([float(peer_id), 0.0])))
+    for a, b in EDGES:
+        overlay.add_link(a, b)
+    return overlay
+
+
+# ----------------------------------------------------------------------
+# The two substrates running the same episode
+# ----------------------------------------------------------------------
+def run_sim_episode():
+    """The deterministic twin; returns (pre_crash, post_repair)."""
+    session = GroupSession(
+        overlay=build_overlay(),
+        latency_fn=latency_ms,
+        rng=spawn_rng(SEED, "loopback-sim"),
+        announcement=ANNOUNCEMENT,
+    )
+    session.establish(GROUP, RENDEZVOUS, MEMBERS, scheme="nssa")
+    session.publish(GROUP, 9)
+    pre_crash = transcript_from_session(session, GROUP)
+    session.crash_peer(7)
+    session.rejoin(GROUP, 9)
+    session.publish(GROUP, 3)
+    post_repair = transcript_from_session(session, GROUP)
+    return pre_crash, post_repair
+
+
+async def run_live_episode():
+    """The same episode over UDP loopback; returns the transcripts."""
+    cluster = RuntimeCluster(
+        overlay=build_overlay(),
+        seed=SEED,
+        announcement=ANNOUNCEMENT,
+        latency_fn=latency_ms,
+    )
+    async with cluster:
+        cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
+        assert await cluster.settle(SETTLE_S), "advertisement stalled"
+        cluster.subscribe(GROUP, MEMBERS)
+        assert await cluster.settle(SETTLE_S), "subscriptions stalled"
+        cluster.publish(GROUP, 9)
+        assert await cluster.settle(SETTLE_S), "publish stalled"
+        pre_crash = transcript_from_cluster(cluster, GROUP)
+
+        await cluster.crash(7)
+        cluster.rejoin(GROUP, 9)
+        reattached = await cluster.wait_until(
+            lambda: 9 in cluster.members_on_tree(GROUP), SETTLE_S)
+        assert reattached, "orphan 9 never reattached after the crash"
+        assert await cluster.settle(SETTLE_S), "repair traffic stalled"
+        cluster.publish(GROUP, 3)
+        assert await cluster.settle(SETTLE_S), "post-repair publish stalled"
+        post_repair = transcript_from_cluster(cluster, GROUP)
+    return pre_crash, post_repair
+
+
+# ----------------------------------------------------------------------
+# Tests
+# ----------------------------------------------------------------------
+def test_loopback_episode_matches_simulated_twin():
+    sim_pre, sim_post = run_sim_episode()
+    live_pre, live_post = asyncio.run(run_live_episode())
+    assert_equivalent(sim_pre, live_pre)
+    assert_equivalent(sim_post, live_post)
+
+
+def test_crash_and_repair_reattach_via_search():
+    """After its upstream crashes, the orphan ripple-searches and
+    reattaches through the surviving branch (9 -> 6 -> 3)."""
+
+    async def episode():
+        cluster = RuntimeCluster(
+            overlay=build_overlay(), seed=SEED,
+            announcement=ANNOUNCEMENT, latency_fn=latency_ms)
+        async with cluster:
+            cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
+            assert await cluster.settle(SETTLE_S)
+            cluster.subscribe(GROUP, MEMBERS)
+            assert await cluster.settle(SETTLE_S)
+            edges = cluster.tree_edges(GROUP)
+            assert (9, 7) in edges  # pre-crash: 9 rides through 7
+
+            await cluster.crash(7)
+            cluster.rejoin(GROUP, 9)
+            assert await cluster.wait_until(
+                lambda: 9 in cluster.members_on_tree(GROUP), SETTLE_S)
+            assert await cluster.settle(SETTLE_S)
+            edges = cluster.tree_edges(GROUP)
+            assert (9, 6) in edges  # repaired through the survivor
+            assert 7 not in cluster.members_on_tree(GROUP)
+
+            payload_id = cluster.publish(GROUP, 3)
+            assert await cluster.settle(SETTLE_S)
+            delivered = set(cluster.deliveries(GROUP, payload_id))
+            for member in (3, 8, 9):
+                assert member in delivered
+
+    asyncio.run(episode())
+
+
+def test_restarted_peer_comes_back_blank():
+    """A restarted peer holds no protocol state until it resubscribes."""
+
+    async def episode():
+        cluster = RuntimeCluster(
+            overlay=build_overlay(), seed=SEED,
+            announcement=ANNOUNCEMENT, latency_fn=latency_ms)
+        async with cluster:
+            cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
+            assert await cluster.settle(SETTLE_S)
+            cluster.subscribe(GROUP, MEMBERS)
+            assert await cluster.settle(SETTLE_S)
+
+            await cluster.crash(7)
+            await cluster.restart(7)
+            assert not cluster.peers[7].node.groups  # amnesia
+            cluster.rejoin(GROUP, 7)
+            assert await cluster.wait_until(
+                lambda: 7 in cluster.members_on_tree(GROUP), SETTLE_S)
+
+    asyncio.run(episode())

@@ -1,0 +1,165 @@
+"""Differential conformance: the transport seam vs pre-PR dispatch.
+
+The runtime refactor routes every protocol send and timer through a
+:class:`~repro.runtime.Transport`.  Its contract is that the simulator
+adapter (:class:`~repro.runtime.SimTransport`) is *observably
+indistinguishable* from the direct ``MessageNetwork``/``Simulator``
+dispatch it replaced: any protocol episode replayed through the seam
+must produce a trace digest **bit-identical** to pre-PR behavior.
+
+The pinned values below were captured on the commit *before* the seam
+existed, running the exact scenario of :func:`_run_episode`: a full
+event-driven session (SSA and NSSA) under the PR-3 adversarial fault
+plan (reorder + duplicate windows, a two-component partition, drops,
+crashes with partial restarts) for all three recovery policies.  A
+mismatch means the transport extraction changed protocol behavior —
+that is a bug, not an acceptable approximation (same contract as
+``tests/test_soa_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.deployment import build_deployment
+from repro.experiments.resilience import (
+    POLICIES,
+    _publish_if_alive,
+    _reset_branch,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.groupcast.session import GroupSession
+from repro.obs.registry import Registry
+from repro.obs.tracer import Tracer
+from repro.sim.random import spawn_rng
+
+from .conftest import SMALL_CONFIG
+
+SEED = 7
+GROUP = 1
+SPAN_MS = 2_000.0
+ANNOUNCEMENT = AnnouncementConfig(advertisement_ttl=7,
+                                  subscription_search_ttl=3)
+
+#: ``(scheme, policy) -> trace digest`` captured before the transport
+#: seam existed.  Any change here invalidates the conformance oracle.
+PRE_PR_DIGESTS = {
+    ("ssa", "none"):
+        "d28009baec8e491c6dce8a8cf0fd4a76f33ae6093d077b3d90a7720336086a24",
+    ("ssa", "repair"):
+        "f15ece6731dd5c939c39420d3f16d032ea915dfec3e90bf801aecc0f95967533",
+    ("ssa", "replication"):
+        "cb7cc0b7a0b2aec9c1394ab2a60309b5e497b7089b2d4fd926f297b1fe1ed654",
+    ("nssa", "none"):
+        "6432c7d7d32b84591d9583a89dbaa4e47b8405dfa626656ac3138b457c9f4a15",
+    ("nssa", "repair"):
+        "6922347c11496b32b2b7db897e0bab3161a589bc912ebd9729b68579c253afff",
+    ("nssa", "replication"):
+        "7b91d31a749dd7a8209f85d33099ddb6700a740f80d8471ad9c28981694ef97c",
+}
+
+
+def _run_episode(scheme: str, policy: str, members_count: int = 30):
+    """One adversarial fault-schedule session; returns observables.
+
+    Mirrors the ``run_adversarial`` scenario at unit-test scale: the
+    overlay is built once, a group establishes over ``scheme``, and a
+    seeded :meth:`FaultPlan.adversarial` schedule runs against the
+    chosen recovery policy while payloads flow.
+    """
+    deployment = build_deployment(150, kind="groupcast",
+                                  config=SMALL_CONFIG, seed=SEED)
+    overlay = deployment.overlay
+    registry = Registry()
+    tracer = Tracer()
+    session = GroupSession(
+        overlay, deployment.peer_distance_ms,
+        spawn_rng(SEED, "conf-session"), announcement=ANNOUNCEMENT,
+        utility=deployment.config.utility, registry=registry,
+        tracer=tracer)
+    member_rng = spawn_rng(SEED, "conf-members")
+    ids = deployment.peer_ids()
+    picks = member_rng.choice(len(ids), size=members_count, replace=False)
+    members = [ids[int(i)] for i in picks]
+    rendezvous = members[0]
+    session.establish(GROUP, rendezvous, members, scheme)
+
+    t0 = session.simulator.now
+    interior = [peer for peer in sorted(session.nodes)
+                if peer != rendezvous
+                and session.upstream_children(GROUP, peer)]
+    plan = FaultPlan.adversarial(
+        SEED, ids, start_ms=t0, duration_ms=SPAN_MS,
+        crash_candidates=interior, crash_count=2)
+    injector = FaultInjector(plan, spawn_rng(SEED, "conf-faults"),
+                             registry, tracer)
+    injector.attach(session.network)
+    backups = session.backup_parents(GROUP)
+
+    def on_crash(victim: int) -> None:
+        orphans = sorted(session.upstream_children(GROUP, victim))
+        session.crash_peer(victim)
+        if policy == "replication":
+            for orphan in orphans:
+                backup = backups.get(orphan)
+                if backup is None or not session.failover_upstream(
+                        GROUP, orphan, backup):
+                    _reset_branch(session, GROUP, [orphan])
+        elif policy == "repair":
+            _reset_branch(session, GROUP, orphans)
+
+    def on_restart(peer_id: int) -> None:
+        if peer_id in overlay:
+            session.restart_peer(peer_id)
+
+    injector.arm(session.simulator, overlay=overlay,
+                 on_crash=on_crash, on_restart=on_restart)
+
+    if policy != "none":
+        def sweep() -> None:
+            broken = session.broken_upstream_peers(GROUP)
+            if broken:
+                _reset_branch(session, GROUP, broken)
+
+        session.simulator.every(SPAN_MS / 8, sweep)
+
+    for index in range(4):
+        payload_id = next(session._payload_ids)
+        session.simulator.schedule_at(
+            t0 + (index + 0.5) * SPAN_MS / 4,
+            lambda p=payload_id: _publish_if_alive(
+                session, GROUP, rendezvous, p))
+    session.simulator.run()
+
+    return {
+        "digest": tracer.trace_digest(),
+        "conservation_gap": session.network.conservation_gap(),
+        "members_on_tree": sorted(session.members_on_tree(GROUP)),
+        "events": session.simulator.events_processed,
+    }
+
+
+@pytest.mark.telemetry
+@pytest.mark.slow
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("scheme", ["ssa", "nssa"])
+def test_sim_transport_digest_matches_pre_pr(scheme, policy):
+    outcome = _run_episode(scheme, policy)
+    assert outcome["digest"] == PRE_PR_DIGESTS[(scheme, policy)]
+    assert outcome["conservation_gap"] == 0
+
+
+@pytest.mark.telemetry
+def test_session_routes_through_sim_transport():
+    """The refactored session must actually use the seam."""
+    from repro.runtime import SimTransport
+
+    deployment = build_deployment(120, kind="groupcast",
+                                  config=SMALL_CONFIG, seed=SEED)
+    session = GroupSession(
+        deployment.overlay, deployment.peer_distance_ms,
+        spawn_rng(SEED, "seam"), announcement=ANNOUNCEMENT)
+    assert isinstance(session.transport, SimTransport)
+    assert session.transport.network is session.network
+    assert session.transport.now() == session.simulator.now
