@@ -8,18 +8,22 @@ of payloads.  Reported metrics are wall-clock per phase, datagram
 throughput (DATA + ACK frames per second), and the ARQ overhead
 observed on a healthy loopback (retransmits, suppressed duplicates).
 
-Unlike the routing/scale benchmarks this one is **informational**: it
-measures socket and event-loop behaviour of the host machine, which
-varies too much across CI runners to gate on.  CI runs it to prove the
-live substrate works end to end and uploads the fresh report; the
-committed ``BENCH_runtime.json`` documents a reference machine.
+The absolute timings are **informational**: they measure socket and
+event-loop behaviour of the host machine, which varies too much across
+CI runners to gate on.  What *is* gated is the **live-telemetry
+overhead ratio**: the same episode runs twice, bare and with a
+:class:`~repro.obs.live.LiveTelemetry` pump attached (streaming tracer,
+registry sampling, online watchdogs), and
+``metrics.runtime.telemetry_overhead_ratio`` = telemetry / bare wall
+time must stay under the 15% budget — a host-relative ratio that is
+stable across machines the way the BENCH_obs overhead gate is.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py \
-        --write BENCH_runtime.json           # refresh the committed file
+        --write BENCH_runtime.json            # refresh the committed file
     PYTHONPATH=src python benchmarks/bench_runtime.py \
-        --json fresh_bench_runtime.json      # CI (no gate)
+        --repeat 2 --check BENCH_runtime.json # CI regression gate
 """
 
 from __future__ import annotations
@@ -34,22 +38,32 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.deployment import build_deployment  # noqa: E402
+from repro.obs import default_watchdogs  # noqa: E402
+from repro.obs.live import LiveTelemetry  # noqa: E402
 
 SEED = 7
 GROUP = 1
 
 
 async def _run_episode(peers: int, members_count: int, publishes: int,
-                       settle_s: float) -> dict:
+                       settle_s: float, telemetry: bool = False) -> dict:
     """One full live life-cycle; returns the phase timings + counters."""
     deployment = build_deployment(peers, kind="groupcast", seed=SEED)
     # Raw substrate speed: no latency pacing (pacing measures the
     # latency table, not the transport).
     cluster = deployment.serve(pace_latencies=False)
+    live = None
+    if telemetry:
+        # The full ops plane: streaming tracer with spans, registry
+        # sampling and the standard watchdog pack — no output files,
+        # so the ratio isolates the in-process cost.
+        live = LiveTelemetry(cluster, rules=default_watchdogs())
     ids = deployment.peer_ids()
     members = ids[:members_count]
     phases: dict[str, float] = {}
     async with cluster:
+        if live is not None:
+            live.start()
         start = time.perf_counter()
         cluster.advertise(GROUP, members[0], scheme="nssa")
         if not await cluster.settle(settle_s):
@@ -82,6 +96,8 @@ async def _run_episode(peers: int, members_count: int, publishes: int,
                          "runtime.acks_sent", "runtime.retransmits",
                          "runtime.duplicates_suppressed",
                          "runtime.expired")}
+        if live is not None:
+            await live.close()
     total_s = sum(phases.values())
     datagrams = counters["net.sent"] + counters["runtime.acks_sent"]
     return {
@@ -96,13 +112,27 @@ async def _run_episode(peers: int, members_count: int, publishes: int,
 
 def run_benchmark(peers: int, members_count: int, publishes: int,
                   repeat: int, settle_s: float) -> dict:
-    """Best-of-``repeat`` episode; returns the report dict."""
+    """Best-of-``repeat``, bare and with the live-telemetry pump."""
     best = None
+    best_telemetry = None
     for _ in range(repeat):
         result = asyncio.run(
             _run_episode(peers, members_count, publishes, settle_s))
         if best is None or result["total_s"] < best["total_s"]:
             best = result
+        observed = asyncio.run(
+            _run_episode(peers, members_count, publishes, settle_s,
+                         telemetry=True))
+        if best_telemetry is None \
+                or observed["total_s"] < best_telemetry["total_s"]:
+            best_telemetry = observed
+    ratio = (best_telemetry["total_s"] / best["total_s"]
+             if best["total_s"] > 0 else float("inf"))
+    best["telemetry"] = {
+        "total_s": best_telemetry["total_s"],
+        "datagrams_per_s": best_telemetry["datagrams_per_s"],
+    }
+    best["telemetry_overhead_ratio"] = round(ratio, 4)
     report = {
         "peers": peers,
         "members": members_count,
@@ -113,8 +143,24 @@ def run_benchmark(peers: int, members_count: int, publishes: int,
     print(f"runtime loopback  {peers} peers  "
           f"total {best['total_s']:8.4f}s  "
           f"{best['datagrams_per_s']:10.1f} datagrams/s  "
-          f"retransmits {best['counters']['runtime.retransmits']}")
+          f"retransmits {best['counters']['runtime.retransmits']}  "
+          f"telemetry overhead {ratio:6.3f}x")
     return report
+
+
+def check_against(report: dict, baseline_path: Path,
+                  slack: float) -> int:
+    """Gate: measured telemetry overhead within ``slack``x of the
+    committed ratio (floored at the 1.15 budget, so tightening the
+    baseline never makes the gate impossible on slower machines)."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    committed = baseline["metrics"]["runtime"]["telemetry_overhead_ratio"]
+    measured = report["metrics"]["runtime"]["telemetry_overhead_ratio"]
+    ceiling = max(1.15, committed * slack)
+    status = "ok" if measured <= ceiling else "FAIL"
+    print(f"{status:4s} live telemetry overhead: measured {measured}x, "
+          f"committed {committed}x (ceiling {ceiling:.3f}x)")
+    return 0 if measured <= ceiling else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -132,6 +178,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the report to this path")
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="PATH",
+        help="gate the telemetry overhead against a committed baseline")
+    parser.add_argument(
+        "--slack", type=float, default=2.0,
+        help="allowed measured/committed overhead factor under --check")
     args = parser.parse_args(argv)
 
     report = run_benchmark(args.peers, args.members, args.publishes,
@@ -141,6 +193,8 @@ def main(argv: list[str] | None = None) -> int:
             target.write_text(json.dumps(report, indent=2) + "\n",
                               encoding="utf-8")
             print(f"wrote {target}")
+    if args.check is not None:
+        return check_against(report, args.check, args.slack)
     return 0
 
 

@@ -1,0 +1,122 @@
+"""One-screen operator console for a live GroupCast cluster.
+
+Brings up the 10-peer loopback cluster of the live experiment, runs
+the advertise → subscribe → publish episode, then polls every peer
+over the wire with the OPS introspection vocabulary
+(:meth:`~repro.runtime.cluster.RuntimeCluster.ops_survey`) and renders
+the replies as a status table — upstream, tree membership, children,
+in-flight ARQ window, incarnation and the stalest neighbor contact —
+the view an operator would watch to spot a wedged branch.  A crash is
+injected between polls so the table visibly degrades (the crashed peer
+drops out, its downstream member goes off-tree) and then recovers
+after the rejoin.
+
+Run::
+
+    PYTHONPATH=src python examples/ops_console.py --polls 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.live_run import (  # noqa: E402
+    GROUP,
+    MEMBERS,
+    RENDEZVOUS,
+    build_overlay,
+    latency_ms,
+)
+from repro.experiments.live_run import ANNOUNCEMENT, DEFAULT_SEED  # noqa: E402
+from repro.runtime import RuntimeCluster  # noqa: E402
+
+COLUMNS = ("peer", "inc", "up", "tree", "member", "children",
+           "unacked", "stalest ms")
+
+
+def render(survey, group_id: int) -> str:
+    """The survey as one aligned status screen."""
+    rows = []
+    for peer_id, reply in survey.items():
+        row = reply.group_row(group_id)
+        stalest = max((age for _, age in reply.last_seen), default=0.0)
+        rows.append((
+            str(peer_id),
+            str(reply.incarnation),
+            "-" if row is None or row[1] < 0 else str(row[1]),
+            "yes" if row is not None and row[2] else "no",
+            "yes" if row is not None and row[3] else "no",
+            "0" if row is None else str(row[4]),
+            str(reply.unacked),
+            f"{stalest:.0f}",
+        ))
+    widths = [max(len(COLUMNS[i]), max((len(r[i]) for r in rows),
+                                       default=0))
+              for i in range(len(COLUMNS))]
+    header = "  ".join(c.rjust(widths[i])
+                       for i, c in enumerate(COLUMNS))
+    rule = "  ".join("-" * w for w in widths)
+    body = ["  ".join(r[i].rjust(widths[i]) for i in range(len(r)))
+            for r in rows]
+    return "\n".join([header, rule, *body])
+
+
+async def console(polls: int, settle_s: float) -> int:
+    cluster = RuntimeCluster(
+        overlay=build_overlay(), seed=DEFAULT_SEED,
+        announcement=ANNOUNCEMENT, latency_fn=latency_ms)
+    async with cluster:
+        cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
+        await cluster.settle(settle_s)
+        cluster.subscribe(GROUP, MEMBERS)
+        await cluster.settle(settle_s)
+        cluster.publish(GROUP, 9)
+        await cluster.settle(settle_s)
+
+        print(f"established group {GROUP}: rendezvous {RENDEZVOUS}, "
+              f"members {sorted(MEMBERS)}\n")
+        survey = await cluster.ops_survey()
+        print("poll 1 — healthy cluster")
+        print(render(survey, GROUP))
+
+        await cluster.crash(7)
+        cluster.rejoin(GROUP, 9)
+        survey = await cluster.ops_survey()
+        print("\npoll 2 — peer 7 crashed, member 9 repairing")
+        print(render(survey, GROUP))
+
+        await cluster.wait_until(
+            lambda: 9 in cluster.members_on_tree(GROUP), settle_s)
+        await cluster.settle(settle_s)
+        for extra in range(3, polls + 1):
+            survey = await cluster.ops_survey()
+            print(f"\npoll {extra} — after repair")
+            print(render(survey, GROUP))
+
+        healthy = cluster.members_on_tree(GROUP)
+        expected = set(MEMBERS) - {7}
+        if not expected <= healthy:
+            print(f"\nmembers still off-tree: {sorted(expected - healthy)}")
+            return 1
+    print("\nall surviving members back on the tree")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Poll a live cluster's OPS endpoints and render "
+                    "a status table.")
+    parser.add_argument("--polls", type=int, default=3,
+                        help="total survey polls (>= 2)")
+    parser.add_argument("--settle", type=float, default=5.0)
+    args = parser.parse_args(argv)
+    return asyncio.run(console(max(2, args.polls), args.settle))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

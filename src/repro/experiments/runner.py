@@ -16,6 +16,12 @@ the run and writes a per-run report (Markdown + JSON: top episodes by
 critical path, message cost by kind and protocol phase, time-series
 summaries, conservation check) plus the span trace as JSON lines under
 ``out/`` (or ``--output``).
+
+The ``live`` experiment (opt-in, excluded from ``all``) runs a real
+asyncio loopback episode under a fault plan; with ``--report`` its
+streaming telemetry produces the report's "Live run" section plus the
+streamed ``trace.jsonl``/``snapshots.jsonl``/``incidents.json``, and
+``--watchdogs`` arms the online anomaly rules against it.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from ..obs.report import build_report, write_report
 from . import (
     app_performance,
     churn_cost,
+    live_run,
     resilience,
     overlay_structure,
     preference,
@@ -53,6 +60,17 @@ from .common import ExperimentResult
 
 def _preference(args) -> list[ExperimentResult]:
     return [preference.run(seed=args.seed)]
+
+
+def _live(args) -> list[ExperimentResult]:
+    # Stream the live artifacts (trace.jsonl / snapshots.jsonl /
+    # incidents.json) whenever a report was requested; the report
+    # itself is assembled afterwards from live_run.LAST_TELEMETRY.
+    out_dir = args.output if args.output is not None else Path("out")
+    return live_run.run(
+        seed=args.seed,
+        output_dir=out_dir if args.report else None,
+        watchdogs=args.watchdogs)
 
 
 def _degree(args) -> list[ExperimentResult]:
@@ -115,6 +133,8 @@ EXPERIMENTS: dict[str, Callable] = {
         resilience.run_partition(seed=args.seed),
         resilience.run_adversarial(seed=args.seed),
     ],
+    # Runs over real loopback sockets, so it is opt-in (not in 'all').
+    "live": _live,
 }
 
 ALL_GROUPS = ("preference", "degree", "neighbor", "diameter", "lookup",
@@ -212,15 +232,31 @@ def main(argv: list[str] | None = None) -> int:
                 print()
     out_dir = args.output if args.output is not None else Path("out")
     if args.report:
-        report = build_report(
-            title=f"GroupCast run report: {' '.join(names)} "
-                  f"(seed {args.seed})",
-            tracer=tracer, registry=registry, profiler=profiler,
-            topology=topology)
-        md_path, json_path = write_report(report, out_dir)
-        trace_path = tracer.export_jsonl(
-            out_dir / "trace.jsonl", include_meta=True)
-        for path in (md_path, json_path, trace_path):
+        live = live_run.LAST_TELEMETRY
+        if live is not None:
+            # A live episode ran: report from its streaming stack (the
+            # trace was already streamed to trace.jsonl by the pump).
+            report = build_report(
+                title=f"GroupCast live run report: {' '.join(names)} "
+                      f"(seed {args.seed})",
+                tracer=live.tracer, registry=live.registry,
+                profiler=live.profiler, topology=live.recorder,
+                live=live)
+            paths = list(write_report(report, out_dir))
+            if live.trace_path is not None:
+                paths.append(live.trace_path)
+            if live.incidents_path is not None:
+                paths.append(live.incidents_path)
+        else:
+            report = build_report(
+                title=f"GroupCast run report: {' '.join(names)} "
+                      f"(seed {args.seed})",
+                tracer=tracer, registry=registry, profiler=profiler,
+                topology=topology)
+            paths = list(write_report(report, out_dir))
+            paths.append(tracer.export_jsonl(
+                out_dir / "trace.jsonl", include_meta=True))
+        for path in paths:
             print(f"wrote {path}")
         disable_tracing()
         disable_profiling()

@@ -25,7 +25,11 @@ Four pieces:
   (partition, metric spikes, orphaned members, conservation-gap growth,
   heartbeat staleness) evaluated against every topology snapshot;
 * :mod:`.diff` — structural + metric diffing between snapshots,
-  checkpoints and exported run artifacts, gating cross-run drift in CI.
+  checkpoints and exported run artifacts, gating cross-run drift in CI;
+* :mod:`.live` — a :class:`LiveTelemetry` pump running the same stack
+  against a live asyncio cluster through the clock seam: streaming
+  trace/snapshot JSONL, online watchdogs (halt stops the cluster) and
+  the report's "Live run" section.
 
 Every paper-figure metric maps onto a named instrument; the table lives
 in the README's Observability section.  :mod:`.report` assembles all of
@@ -33,6 +37,7 @@ the above into per-run experiment reports.
 """
 
 from .causality import Span, SpanForest, SpanTree, TreeStats
+from .live import LIVE_INTERVAL_S, LiveTelemetry
 from .diff import (
     EpochDiff,
     TopologyDiff,
@@ -96,6 +101,7 @@ from .tracer import (
     KIND_SEND,
     KIND_SPAN,
     KIND_WATCHDOG,
+    Clock,
     SpanContext,
     TraceRecord,
     Tracer,
@@ -122,6 +128,7 @@ from .watchdog import (
 __all__ = [
     "ACTIONS",
     "Alert",
+    "Clock",
     "ConservationGapGrowth",
     "DEFAULT_BUCKETS",
     "EpochDiff",
@@ -133,6 +140,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSample",
+    "LIVE_INTERVAL_S",
+    "LiveTelemetry",
     "OrphanedMembers",
     "OverlayPartition",
     "Profiler",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..errors import TelemetryError
 from .tracer import (
@@ -212,6 +212,24 @@ class SpanTree:
         return path[-1].finish_ms() - self.root.start_ms
 
     # ------------------------------------------------------------------
+    def shape(self) -> tuple:
+        """Canonical timing-free structural signature of the episode.
+
+        Each node reduces to ``(kind, a, b, status, sorted child
+        shapes)``: everything a live run must reproduce from its sim
+        twin — who caused which message to whom and how each span
+        closed — with all timestamps and span-id numbering erased, and
+        sibling order canonicalized (wall-clock runs interleave
+        siblings freely).  Two episodes with equal shapes are the same
+        causal tree.
+        """
+        def walk(span: Span) -> tuple:
+            return (span.kind, span.a, span.b, span.status,
+                    tuple(sorted(walk(child)
+                                 for child in span.children)))
+
+        return walk(self.root)
+
     def depth(self) -> int:
         """Longest root-to-leaf edge count."""
         def walk(span: Span) -> int:
@@ -387,6 +405,21 @@ class SpanForest:
         stats = [tree.stats() for tree in self._trees]
         stats.sort(key=lambda s: (-s.critical_path_ms, s.trace_id))
         return stats[:limit]
+
+    def shape_signature(self, kinds: Optional[Sequence[str]] = None
+                        ) -> tuple:
+        """Order-free structural signature of the whole forest.
+
+        The sorted tuple of :meth:`SpanTree.shape` over every episode
+        (optionally restricted to the episode ``kinds`` of interest —
+        live runs also trace ops probes and wire chatter that a sim
+        twin never emits).  Two runs whose signatures are equal built
+        causally identical episode trees, timestamps aside; this is
+        the live-vs-sim conformance oracle for causal tracing.
+        """
+        trees = self._trees if kinds is None else [
+            tree for tree in self._trees if tree.kind in set(kinds)]
+        return tuple(sorted(tree.shape() for tree in trees))
 
     def cost_by_kind(self) -> dict[str, dict[str, float]]:
         """Message cost aggregated over every episode, by message kind."""

@@ -1,0 +1,299 @@
+"""Live telemetry pump: the observability stack on a running cluster.
+
+Everything PR 1/4/5 built for the simulator — registry counters,
+causal spans, topology snapshots, watchdog rules, reports — was driven
+by a virtual clock that the experimenter single-steps.  A live
+:class:`~repro.runtime.cluster.RuntimeCluster` has no such driver: time
+passes on its own and telemetry must be *pumped*.  :class:`LiveTelemetry`
+is that pump.  It wires one tracer/profiler/recorder trio to a cluster
+through the clock seam (every component samples
+``AsyncioTransport.now()`` exactly as it would sample
+``Simulator.now``), then runs an asyncio task that periodically:
+
+* samples every registry instrument into profiler time series,
+* drains the tracer ring into an append-only ``trace.jsonl`` stream
+  (falling behind is *counted* — ``stream_dropped`` — never silent),
+* appends a registry snapshot line to ``snapshots.jsonl``,
+* takes a topology snapshot and evaluates the attached watchdog rules
+  online — a ``halt``-action rule cleanly stops the cluster.
+
+The pump's outputs are the same artifacts a sim run produces (span
+JSONL that :class:`~repro.obs.causality.SpanForest` reconstructs,
+snapshots :mod:`repro.obs.diff` can gate on, watchdog incidents), so
+the live half of the system reads exactly like the simulated half.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from ..errors import TelemetryError, WatchdogHalt
+from .profiler import Profiler
+from .topology import TopologyRecorder
+from .tracer import Tracer
+
+#: Default pump cadence (seconds of wall-clock time between polls).
+LIVE_INTERVAL_S = 0.05
+
+
+class LiveTelemetry:
+    """Streaming observability attached to one running cluster.
+
+    Construction wires the components (and installs the tracer on the
+    cluster's transport so frames start carrying spans); :meth:`start`
+    — called with the cluster running — opens the output streams and
+    spawns the pump task; :meth:`close` drains everything a final time
+    and writes ``incidents.json``.  :meth:`poll` is the synchronous
+    single-step the pump loops over; tests drive it directly for
+    deterministic capture points.
+
+    ``rules`` are watchdog rules evaluated online against every
+    topology snapshot.  A rule with ``action="halt"`` raises
+    :class:`~repro.errors.WatchdogHalt` out of :meth:`poll`; the pump
+    task catches it, stops the cluster, and finalizes the streams —
+    the operational kill-switch the sim's halting watchdogs promise.
+    """
+
+    def __init__(self, cluster, interval_s: float = LIVE_INTERVAL_S,
+                 output_dir: Optional[str | Path] = None,
+                 rules: Iterable = (),
+                 tracer_capacity: int = 262144) -> None:
+        if interval_s <= 0.0:
+            raise TelemetryError("live telemetry interval must be positive")
+        self.cluster = cluster
+        self.interval_s = interval_s
+        self.output_dir = Path(output_dir) if output_dir is not None \
+            else None
+        self.registry = cluster.registry
+        # The clock seam: one bound method, sampled by every component
+        # exactly as a sim-backed stack samples Simulator.now.
+        self.clock = cluster.transport.now
+        self.tracer = Tracer(capacity=tracer_capacity, spans=True,
+                             registry=self.registry, clock=self.clock)
+        cluster.transport.tracer = self.tracer
+        interval_ms = interval_s * 1000.0
+        self.profiler = Profiler(self.registry, interval_ms=interval_ms,
+                                 clock=self.clock)
+        self.recorder = TopologyRecorder(interval_ms=interval_ms,
+                                         tracer=self.tracer,
+                                         clock=self.clock)
+        self.recorder.watch_cluster(cluster)
+        self.recorder.watch_conservation(self.registry)
+        for rule in rules:
+            self.recorder.add_watchdog(rule)
+        self._task: Optional[asyncio.Task] = None
+        self._trace_file = None
+        self._snapshot_file = None
+        self._polls = 0
+        self._streamed = 0
+        self._last_poll_ms = 0.0
+        self._halted: Optional[str] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> Optional[str]:
+        """The halting watchdog's message, or None while healthy."""
+        return self._halted
+
+    @property
+    def trace_path(self) -> Optional[Path]:
+        return None if self.output_dir is None \
+            else self.output_dir / "trace.jsonl"
+
+    @property
+    def snapshots_path(self) -> Optional[Path]:
+        return None if self.output_dir is None \
+            else self.output_dir / "snapshots.jsonl"
+
+    @property
+    def incidents_path(self) -> Optional[Path]:
+        return None if self.output_dir is None \
+            else self.output_dir / "incidents.json"
+
+    def start(self) -> None:
+        """Open the output streams and spawn the pump task.
+
+        Call with the cluster started (the clock reads the transport's
+        loop time) and a running event loop.
+        """
+        if self._task is not None:
+            raise TelemetryError("live telemetry already started")
+        if self.output_dir is not None:
+            self.output_dir.mkdir(parents=True, exist_ok=True)
+            self._trace_file = self.trace_path.open(
+                "w", encoding="utf-8", newline="")
+            self._snapshot_file = self.snapshots_path.open(
+                "w", encoding="utf-8", newline="")
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            try:
+                self.poll()
+            except WatchdogHalt as halt:
+                # The kill-switch: a halt-action rule fired online.
+                # Stop the cluster cleanly, finalize the streams, and
+                # leave the alert trail in place for the post-mortem.
+                self._halted = str(halt)
+                await self.cluster.stop()
+                self._finalize()
+                return
+
+    def poll(self) -> float:
+        """One pump step at the current wall-clock time; returns it.
+
+        Order matters: the trace stream is flushed *before* watchdogs
+        evaluate, so a halt leaves everything recorded up to the
+        incident on disk.  Raises :class:`~repro.errors.WatchdogHalt`
+        when a halt-action rule fires.
+        """
+        at_ms = float(self.clock())
+        self._polls += 1
+        self._last_poll_ms = at_ms
+        self.profiler.sample(at_ms)
+        self._flush()
+        self.recorder.snapshot(at_ms, kind="cadence")
+        return at_ms
+
+    def _flush(self) -> None:
+        """Drain the tracer ring and append one registry snapshot."""
+        fresh, _missed = self.tracer.drain_records()
+        self._streamed += len(fresh)
+        if self._trace_file is not None:
+            for rec in fresh:
+                self._trace_file.write(rec.to_json() + "\n")
+            self._trace_file.flush()
+        if self._snapshot_file is not None:
+            line = {"at_ms": self._last_poll_ms,
+                    "counters": self.registry.snapshot()}
+            self._snapshot_file.write(
+                json.dumps(line, sort_keys=True,
+                           separators=(",", ":")) + "\n")
+            self._snapshot_file.flush()
+
+    async def close(self) -> None:
+        """Stop the pump, take a final sample, finalize the streams."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if not self._closed and self._halted is None:
+            try:
+                self.poll()
+            except WatchdogHalt as halt:
+                self._halted = str(halt)
+        self._finalize()
+
+    def _finalize(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._flush()
+        if self._trace_file is not None:
+            # Trailing meta line: parsers skip it, operators read the
+            # accounting (including stream_dropped) from the file alone.
+            self._trace_file.write(
+                json.dumps({"meta": self.tracer.export_meta()},
+                           sort_keys=True, separators=(",", ":")) + "\n")
+            self._trace_file.close()
+            self._trace_file = None
+        if self._snapshot_file is not None:
+            self._snapshot_file.close()
+            self._snapshot_file = None
+        if self.output_dir is not None:
+            engine = self.recorder.watchdogs
+            incidents = {"halted": self._halted}
+            if engine is not None:
+                incidents.update(engine.summary())
+            self.incidents_path.write_text(
+                json.dumps(incidents, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def phase(self, name: str):
+        """Wall-clock phase timer (delegates to the profiler)."""
+        return self.profiler.phase(name)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def live_section(self) -> dict[str, object]:
+        """The report's "Live run" section (see
+        :func:`repro.obs.report.build_report`)."""
+        return {
+            "polls": self._polls,
+            "interval_ms": self.interval_s * 1000.0,
+            "clock_ms": self._last_poll_ms,
+            "halted": self._halted,
+            "stream": {
+                "records": self._streamed,
+                "stream_dropped": self.tracer.stream_dropped,
+                "path": (str(self.trace_path)
+                         if self.trace_path is not None else None),
+            },
+            "phases": self.profiler.phase_stats(),
+            "delivery_lag": self._delivery_lag(),
+            "arq": self._arq_section(),
+        }
+
+    def _delivery_lag(self) -> dict[int, dict[str, float]]:
+        """Per-peer payload delivery lag behind the first delivery.
+
+        For each published payload the earliest recorded delivery is
+        the reference; every peer's lag is its own delivery time minus
+        that reference, aggregated per peer.
+        """
+        per_peer: dict[int, list[float]] = {}
+        for records in self.cluster.delivery_log().values():
+            if not records:
+                continue
+            first_ms = min(records.values())
+            for peer_id, at_ms in records.items():
+                per_peer.setdefault(peer_id, []).append(at_ms - first_ms)
+        return {
+            peer_id: {
+                "payloads": float(len(lags)),
+                "mean_ms": sum(lags) / len(lags),
+                "max_ms": max(lags),
+            }
+            for peer_id, lags in sorted(per_peer.items())}
+
+    def _arq_section(self) -> dict[str, object]:
+        """Retry/duplicate counters plus the attempts histogram."""
+        def counter(name: str) -> int:
+            instrument = self.registry.get(name)
+            return 0 if instrument is None else int(instrument.value)
+
+        out: dict[str, object] = {
+            "retransmits": counter("runtime.retransmits"),
+            "expired": counter("runtime.expired"),
+            "duplicates_suppressed": counter(
+                "runtime.duplicates_suppressed"),
+            "fault_dropped": counter("runtime.fault_dropped"),
+            "fault_duplicated": counter("runtime.fault_duplicated"),
+        }
+        histogram = self.registry.get("runtime.arq.attempts")
+        if histogram is not None and getattr(histogram, "count", 0):
+            bounds = [f"<= {bound:g}" for bound in histogram.bounds]
+            bounds.append("overflow")
+            out["attempts"] = {
+                "count": int(histogram.count),
+                "mean": float(histogram.mean),
+                "buckets": [
+                    [label, int(count)]
+                    for label, count in zip(
+                        bounds, histogram.bucket_counts())],
+            }
+        return out

@@ -161,16 +161,23 @@ class Profiler:
     Wall-clock phases are independent of virtual time:
     :meth:`phase` times a block with ``time.perf_counter`` and
     accumulates per-name call counts and seconds.
+
+    The sampler is clock-agnostic: ``on_advance`` feeds it virtual
+    time, but attaching a ``clock`` (e.g. ``AsyncioTransport.now``)
+    lets a live telemetry pump call :meth:`tick` to sample at the wall
+    clock through the exact same cadence/dedup machinery.
     """
 
     def __init__(self, registry: Registry,
                  interval_ms: float = 250.0,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 clock=None) -> None:
         if interval_ms <= 0.0:
             raise TelemetryError("profiler interval must be positive")
         self.registry = registry
         self.interval_ms = interval_ms
         self.enabled = enabled
+        self.clock = clock
         self._series: dict[str, TimeSeries] = {}
         self._next_sample_ms = 0.0
         self._last_sampled_ms: float | None = None
@@ -216,6 +223,20 @@ class Profiler:
             else:  # Counter
                 series = self._series_for(name, "counter")
                 series.points.append((at_ms, instrument.value))
+
+    def tick(self) -> float:
+        """Sample at the attached clock's current time; returns it.
+
+        The live-pump entry point: a telemetry task with no virtual
+        clock calls ``tick()`` each period and the profiler stamps the
+        sample with transport wall-clock time.
+        """
+        if self.clock is None:
+            raise TelemetryError("profiler has no clock attached")
+        at_ms = float(self.clock())
+        if self.enabled:
+            self.sample(at_ms)
+        return at_ms
 
     def finish(self, now_ms: float) -> None:
         """Take a final closing sample at the run's end time."""

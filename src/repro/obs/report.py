@@ -43,14 +43,16 @@ def build_report(
     profiler: Optional[Profiler] = None,
     invariant_suite=None,
     topology=None,
+    live=None,
     top: int = 10,
 ) -> dict:
     """Assemble one run's observability state into a report dict.
 
     Every section is optional — pass whatever the run actually had.
     ``topology`` accepts a :class:`~repro.obs.topology.TopologyRecorder`
-    (duck-typed via its ``report_section``/``watchdog_section``).  The
-    result is JSON-serializable as-is.
+    (duck-typed via its ``report_section``/``watchdog_section``);
+    ``live`` a :class:`~repro.obs.live.LiveTelemetry` (duck-typed via
+    ``live_section``).  The result is JSON-serializable as-is.
     """
     report: dict = {"title": title}
 
@@ -89,6 +91,9 @@ def build_report(
         watchdog = topology.watchdog_section()
         if watchdog is not None:
             report["watchdog"] = watchdog
+
+    if live is not None:
+        report["live"] = live.live_section()
 
     if invariant_suite is not None:
         report["invariants"] = {
@@ -139,6 +144,10 @@ def render_markdown(report: dict) -> str:
                      f"{trace['buffered_records']} buffered, "
                      f"**{trace['dropped_records']} dropped** "
                      f"(ring capacity {trace['capacity']})")
+        if trace.get("stream_dropped"):
+            lines.append(f"- **{trace['stream_dropped']} records missed "
+                         "by the streaming drain** (pump fell behind "
+                         "the ring)")
         lines.append(f"- digest: `{trace['trace_digest']}`")
         lines.append("")
 
@@ -252,7 +261,73 @@ def render_markdown(report: dict) -> str:
                          f"| {stats['mean_ms']:.4f} |")
         lines.append("")
 
+    live = report.get("live")
+    if live is not None:
+        lines += _live_section(live)
+
     return "\n".join(lines)
+
+
+def _live_section(live: dict) -> list[str]:
+    """Render the streaming-telemetry view of a runtime episode."""
+    lines = ["## Live run", ""]
+    lines.append(f"- {live['polls']} telemetry polls at "
+                 f"{live['interval_ms']:.0f} ms cadence; wall clock at "
+                 f"last poll {live['clock_ms']:.1f} ms")
+    stream = live["stream"]
+    dropped = stream["stream_dropped"]
+    drop_note = (f", **{dropped} missed** (pump fell behind the ring)"
+                 if dropped else ", 0 missed")
+    where = f" → `{stream['path']}`" if stream.get("path") else ""
+    lines.append(f"- streamed {stream['records']} trace records"
+                 f"{drop_note}{where}")
+    if live.get("halted"):
+        lines.append(f"- **HALTED by watchdog**: {live['halted']}")
+    lines.append("")
+
+    phases = live.get("phases")
+    if phases:
+        lines += ["### Wall-clock phase costs", "",
+                  "| phase | calls | total (s) | mean (ms) |",
+                  "|---|---|---|---|"]
+        for name, stats in phases.items():
+            lines.append(f"| {name} | {int(stats['calls'])} "
+                         f"| {stats['total_s']:.4f} "
+                         f"| {stats['mean_ms']:.4f} |")
+        lines.append("")
+
+    lag = live.get("delivery_lag")
+    if lag:
+        lines += ["### Per-peer delivery lag", "",
+                  "(lag behind each payload's first delivery)", "",
+                  "| peer | payloads | mean lag (ms) | max lag (ms) |",
+                  "|---|---|---|---|"]
+        for peer_id, stats in lag.items():
+            lines.append(f"| {peer_id} | {int(stats['payloads'])} "
+                         f"| {stats['mean_ms']:.3f} "
+                         f"| {stats['max_ms']:.3f} |")
+        lines.append("")
+
+    arq = live.get("arq")
+    if arq is not None:
+        lines += ["### ARQ reliability", "",
+                  f"- retransmits: {arq['retransmits']}, "
+                  f"expired: {arq['expired']}, duplicates suppressed: "
+                  f"{arq['duplicates_suppressed']}",
+                  f"- injected faults recovered: {arq['fault_dropped']} "
+                  f"dropped, {arq['fault_duplicated']} duplicated"]
+        attempts = arq.get("attempts")
+        if attempts:
+            lines += ["", "| attempts per delivery | frames |",
+                      "|---|---|"]
+            for label, count in attempts["buckets"]:
+                if count:
+                    lines.append(f"| {label} | {count} |")
+            lines.append(f"| mean | {attempts['mean']:.2f} "
+                         f"(over {attempts['count']}) |")
+        lines.append("")
+
+    return lines
 
 
 def _series_detail(summary: dict) -> str:

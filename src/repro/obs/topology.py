@@ -262,7 +262,7 @@ class TopologyRecorder:
     def __init__(self, interval_ms: float = TOPOLOGY_INTERVAL_MS,
                  enabled: bool = True, detail: str = "structure",
                  registry: Optional[Registry] = None,
-                 tracer=None) -> None:
+                 tracer=None, clock=None) -> None:
         if interval_ms <= 0.0:
             raise TelemetryError("topology interval must be positive")
         if detail not in ("structure", "full"):
@@ -273,6 +273,7 @@ class TopologyRecorder:
         self.detail = detail
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
+        self.clock = clock
         self._snapshots: list[TopologySnapshot] = []
         self._epoch = 0
         self._next_sample_ms = 0.0
@@ -359,6 +360,23 @@ class TopologyRecorder:
         self._conservation_registry = session.registry
         session.simulator.topology = self
 
+    def watch_cluster(self, cluster) -> None:
+        """Observe a live :class:`~repro.runtime.cluster.RuntimeCluster`.
+
+        The runtime twin of :meth:`watch_session`: watches the
+        cluster's overlay (new epoch unless already watched), derives
+        per-group spanning trees from the peers' upstream pointers at
+        every snapshot, and reads the cluster registry for the
+        conservation gap.  No simulator is attached — drive the
+        cadence with :meth:`tick` from a telemetry pump, using the
+        transport wall clock.
+        """
+        if cluster is self._session:
+            return
+        self.watch_overlay(cluster.overlay)
+        self._session = cluster
+        self._conservation_registry = cluster.registry
+
     def watch_tree(self, group_id: int, tree) -> None:
         """Track a :class:`~repro.groupcast.spanning_tree.SpanningTree`
         object in every subsequent snapshot."""
@@ -420,6 +438,20 @@ class TopologyRecorder:
         at_ms = int(now_ms / self.interval_ms) * self.interval_ms
         self.snapshot(at_ms)
         self._next_sample_ms = at_ms + self.interval_ms
+
+    def tick(self, kind: str = "cadence") -> Optional["TopologySnapshot"]:
+        """Snapshot at the attached clock's current time.
+
+        The live-pump entry point (mirrors
+        :meth:`~repro.obs.profiler.Profiler.tick`): wall-clock sampling
+        for recorders watching a :class:`~repro.runtime.cluster.
+        RuntimeCluster`, where no simulator drives :meth:`on_advance`.
+        May raise :class:`~repro.errors.WatchdogHalt` when a
+        halt-action watchdog fires on the captured snapshot.
+        """
+        if self.clock is None:
+            raise TelemetryError("topology recorder has no clock attached")
+        return self.snapshot(float(self.clock()), kind=kind)
 
     def snapshot(self, at_ms: float, kind: str = "cadence",
                  extra_metrics: Optional[Mapping[str, float]] = None

@@ -24,6 +24,16 @@ reproducible as the record stream itself.  Span capture is **off by
 default** (``Tracer(spans=False)``); a span-less record canonicalizes to
 the exact pre-span encoding, keeping historical ``trace_digest`` values
 bit-identical unless span capture is explicitly enabled.
+
+The tracer is clock-agnostic: record sites always timestamp records
+explicitly, but a ``clock`` callable (virtual ``Simulator.now`` or
+wall-clock ``AsyncioTransport.now``) can be attached so call sites
+without a timestamp in hand may pass ``at_ms=None`` and let the tracer
+sample it.  Sim-backed runs never exercise the sampling path, so the
+seam is bit-transparent to pinned digests.  For live runs,
+:meth:`Tracer.drain_records` turns the ring buffer into a stream: each
+call hands back the records appended since the previous drain and
+accounts (never silently) for any that fell off the ring in between.
 """
 
 from __future__ import annotations
@@ -34,7 +44,14 @@ import itertools
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
+
+from ..errors import TelemetryError
+
+#: A time source: returns the current time in milliseconds.  Virtual
+#: (``Simulator.now``) and wall-clock (``AsyncioTransport.now``) sources
+#: share this shape, which is the whole point of the seam.
+Clock = Callable[[], float]
 
 #: Record kinds emitted by the built-in hooks.
 KIND_SCHEDULE = "schedule"
@@ -152,19 +169,28 @@ class Tracer:
     ``obs.trace.dropped`` counter so silent truncation is visible in
     snapshots and reports; :attr:`dropped_records` always tracks it
     locally regardless.
+
+    ``clock`` (optional) lets record sites pass ``at_ms=None``: the
+    tracer samples the attached time source instead.  Simulator-backed
+    hooks always pass explicit timestamps, so attaching a clock cannot
+    perturb a sim run's digest.
     """
 
     def __init__(self, capacity: int = 65536,
                  spans: bool = False,
-                 registry=None) -> None:
+                 registry=None,
+                 clock: Optional[Clock] = None) -> None:
         if capacity < 1:
             raise ValueError("tracer capacity must be >= 1")
         self.capacity = capacity
         self.spans = spans
+        self.clock = clock
         self._buffer: deque[TraceRecord] = deque(maxlen=capacity)
         self._digest = hashlib.sha256()
         self._total = 0
         self._dropped = 0
+        self._drained = 0
+        self._stream_dropped = 0
         self._c_dropped = (registry.counter("obs.trace.dropped")
                            if registry is not None else None)
         self._trace_ids = itertools.count(1)
@@ -202,10 +228,23 @@ class Tracer:
                            parent.span_id)
 
     # ------------------------------------------------------------------
-    def record(self, at_ms: float, kind: str, seq: int = -1,
+    def now(self) -> float:
+        """Current time from the attached clock."""
+        if self.clock is None:
+            raise TelemetryError("tracer has no clock attached")
+        return float(self.clock())
+
+    def record(self, at_ms: Optional[float], kind: str, seq: int = -1,
                a: int = -1, b: int = -1, detail: str = "",
                span: Optional[SpanContext] = None) -> None:
-        """Append one record and fold it into the running digest."""
+        """Append one record and fold it into the running digest.
+
+        ``at_ms=None`` samples the attached clock (wall or virtual) —
+        the clock-agnostic path used by live call sites that have no
+        timestamp in hand.
+        """
+        if at_ms is None:
+            at_ms = self.now()
         if span is None:
             rec = TraceRecord(at_ms, kind, seq, a, b, detail)
         else:
@@ -235,9 +274,39 @@ class Tracer:
         """Records currently held in the ring buffer."""
         return len(self._buffer)
 
+    @property
+    def stream_dropped(self) -> int:
+        """Records lost to the ring between :meth:`drain_records` calls
+        (the live pump fell behind; they are in the digest but never
+        reached the streamed export)."""
+        return self._stream_dropped
+
     def records(self) -> tuple[TraceRecord, ...]:
         """The buffered window, oldest first."""
         return tuple(self._buffer)
+
+    def drain_records(self) -> tuple[tuple[TraceRecord, ...], int]:
+        """Records appended since the last drain, plus the missed count.
+
+        The streaming counterpart of :meth:`records`: a live pump calls
+        this periodically and appends the fresh window to its JSONL
+        sink.  When the pump falls behind and the ring overwrites
+        records it never saw, the second element reports how many were
+        missed — they are folded into :attr:`stream_dropped` (and were
+        already counted by ``obs.trace.dropped`` when the ring evicted
+        them), so a lossy stream is detectable instead of silent.
+        """
+        start = self._total - len(self._buffer)
+        behind = start - self._drained
+        if behind > 0:
+            missed, skip = behind, 0
+        else:
+            missed, skip = 0, -behind
+        window = tuple(self._buffer)
+        fresh = window[skip:] if skip else window
+        self._drained = self._total
+        self._stream_dropped += missed
+        return fresh, missed
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(tuple(self._buffer))
@@ -262,6 +331,7 @@ class Tracer:
             "total_records": self._total,
             "buffered_records": len(self._buffer),
             "dropped_records": self._dropped,
+            "stream_dropped": self._stream_dropped,
             "capacity": self.capacity,
             "spans": self.spans,
             "trace_digest": self.trace_digest(),
@@ -312,6 +382,8 @@ class Tracer:
         self._digest = hashlib.sha256()
         self._total = 0
         self._dropped = 0
+        self._drained = 0
+        self._stream_dropped = 0
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
 

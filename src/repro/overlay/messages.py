@@ -36,6 +36,10 @@ class MessageKind(enum.Enum):
     SEARCH_RESPONSE = "search_response"
     RANDOM_WALK = "random_walk"
     PAYLOAD = "payload"
+    # Operational introspection (live runtime only, never part of the
+    # logical protocol vocabulary the conformance oracle compares).
+    OPS = "ops"
+    OPS_REPLY = "ops_reply"
 
 
 #: Kinds that Figure 11 groups as "advertising" messages.

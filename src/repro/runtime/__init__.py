@@ -14,7 +14,10 @@ asyncio UDP sockets:
 * :class:`RuntimeCluster` / :class:`PeerRuntime` / :class:`LocalView`
   — per-peer hosting of the session node class over a live transport;
 * :mod:`~repro.runtime.conformance` — the canonicalizing comparator
-  that checks live episodes against their simulated twins.
+  that checks live episodes against their simulated twins;
+* :mod:`~repro.runtime.ops` — the per-peer introspection vocabulary
+  (:class:`OpsRequest` / :class:`OpsReply`) behind
+  :meth:`RuntimeCluster.ops_survey` and the ops console example.
 """
 
 from .asyncio_transport import AsyncioTransport
@@ -40,6 +43,7 @@ from .framing import (
     encode_payload,
 )
 from .node import LocalView, PeerRuntime
+from .ops import GROUP_ROW_FIELDS, OpsReply, OpsRequest
 from .reliability import ReceiveResult, ReliableEndpoint, RetryPolicy
 from .sim import SimTransport
 from .transport import (
@@ -61,8 +65,11 @@ __all__ = [
     "EpisodeTranscript",
     "FaultyTransport",
     "Frame",
+    "GROUP_ROW_FIELDS",
     "Handler",
     "LocalView",
+    "OpsReply",
+    "OpsRequest",
     "PeerRuntime",
     "ReceiveResult",
     "ReliableEndpoint",

@@ -21,6 +21,16 @@ jitter is ~1-2 ms, so pacing with the sim's own latency model (plus
 topologies whose path sums differ by more than the jitter) makes the
 live NSSA tree converge to the simulated one — the basis of the
 loopback conformance test.
+
+Causal spans ride the frames themselves: :meth:`send` mints a child
+span of the ambient :attr:`current_span` and stamps it into the
+frame's ``"c"`` header, so the receiving side — even a peer in another
+process — reconstructs the cross-datagram causality without any shared
+span table.  Wire-level mishaps injected through an attached
+:class:`~repro.runtime.faulty.FaultyTransport` (see
+:meth:`inject_faults`) are recovered by the ARQ layer, so they count
+under ``runtime.fault_*`` — never ``faults.*``, which would break the
+transport conservation identity the reports check.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from ..obs.registry import Counter, Registry
 from ..obs.tracer import (
     KIND_DEAD_LETTER,
     KIND_DELIVER,
+    KIND_FAULT_DROP,
     KIND_SEND,
     SpanContext,
     Tracer,
@@ -100,11 +111,15 @@ class AsyncioTransport(Transport):
         self._routes: dict[int, tuple[str, int]] = {}
         self._handlers: dict[int, Handler] = {}
         self._pending = 0
-        self._spans: dict[tuple[int, int, int], SpanContext] = {}
+        self.faults = None  # optional FaultyTransport (inject_faults)
         self._c_sent = self.registry.counter("net.sent")
         self._c_delivered = self.registry.counter("net.delivered")
         self._c_dead = self.registry.counter("net.dead_lettered")
         self._c_malformed = self.registry.counter("runtime.malformed")
+        self._c_fault_dropped = self.registry.counter(
+            "runtime.fault_dropped")
+        self._c_fault_duplicated = self.registry.counter(
+            "runtime.fault_duplicated")
         self._kind_counters: dict[MessageKind, Counter] = {}
 
     # ------------------------------------------------------------------
@@ -153,25 +168,39 @@ class AsyncioTransport(Transport):
         Models a crash with failure detection already converged: no
         goodbye traffic, and the surviving endpoints abandon their
         in-flight frames toward the dead peer (counted as
-        dead-lettered) instead of retransmitting into the void.
+        dead-lettered) instead of retransmitting into the void.  The
+        purge runs even when the peer is hosted elsewhere (known only
+        through :meth:`add_route`) — local survivors must stop burning
+        retry budget against the dead incarnation either way.
         """
         endpoint = self._endpoints.pop(peer_id, None)
-        if endpoint is None:
-            return
-        if endpoint.pump_handle is not None:
-            endpoint.pump_handle.cancel()
-        endpoint.transport.close()
+        if endpoint is not None:
+            if endpoint.pump_handle is not None:
+                endpoint.pump_handle.cancel()
+            endpoint.transport.close()
+        self.forget_peer(peer_id)
+
+    def forget_peer(self, peer_id: int) -> int:
+        """Converge local failure detection on ``peer_id``.
+
+        Drops its route, marks it dead (new sends dead-letter
+        immediately), and purges every surviving endpoint's ARQ state
+        toward it — in-flight retransmit windows (abandoned frames are
+        counted dead-lettered) and dedup sets for its late incarnation.
+        Returns the number of in-flight frames abandoned.
+        """
         self._routes.pop(peer_id, None)
         self._dead.add(peer_id)
         self.unregister(peer_id)
+        total_abandoned = 0
         for survivor in self._endpoints.values():
             abandoned = survivor.reliable.forget_peer(peer_id)
+            total_abandoned += abandoned
             for _ in range(abandoned):
                 self._c_dead.inc()
             if abandoned:
                 self._schedule_pump(survivor)
-        for key in [k for k in self._spans if k[1] == peer_id]:
-            del self._spans[key]
+        return total_abandoned
 
     async def close(self) -> None:
         """Stop every locally hosted peer."""
@@ -238,13 +267,16 @@ class AsyncioTransport(Transport):
                 self.tracer.record(self.now(), KIND_DEAD_LETTER, a=sender,
                                    b=recipient, detail=detail, span=span)
             return
-        frame = endpoint.reliable.package(recipient, payload, kind,
-                                          self.now())
+        span = None
         if self.tracer is not None:
             span = self.tracer.child_span(self.current_span)
             self.tracer.record(self.now(), KIND_SEND, a=sender,
                                b=recipient, detail=detail, span=span)
-            self._spans[(sender, recipient, frame.seq)] = span
+        # The span travels in the frame header itself, so the receiver
+        # — even one in another process — closes the same causal span
+        # the sender opened.
+        frame = endpoint.reliable.package(recipient, payload, kind,
+                                          self.now(), span=span)
         self._transmit(endpoint, frame)
         self._schedule_pump(endpoint)
 
@@ -257,6 +289,28 @@ class AsyncioTransport(Transport):
             yield
         finally:
             self.current_span = previous
+
+    # ------------------------------------------------------------------
+    # Introspection (the ops endpoint reads these)
+    # ------------------------------------------------------------------
+    def incarnation(self, peer_id: int) -> int:
+        """The peer's current incarnation number (-1 if never started
+        here)."""
+        return self._incarnations.get(peer_id, -1)
+
+    def arq_window(self, peer_id: int) -> int:
+        """Frames the locally hosted peer still holds unacked (0 for
+        peers hosted elsewhere)."""
+        endpoint = self._endpoints.get(peer_id)
+        return 0 if endpoint is None else endpoint.reliable.unacked()
+
+    def arq_window_to(self, sender: int, recipient: int) -> int:
+        """In-flight frames from a local ``sender`` toward
+        ``recipient`` — the window :meth:`forget_peer` purges."""
+        endpoint = self._endpoints.get(sender)
+        if endpoint is None:
+            return 0
+        return endpoint.reliable.unacked_to(recipient)
 
     # ------------------------------------------------------------------
     # Quiescence (tests wait on this instead of sleeping)
@@ -289,11 +343,60 @@ class AsyncioTransport(Transport):
             self._kind_counters[kind] = counter
         return counter
 
+    def inject_faults(self, faulty) -> None:
+        """Route every wire transmission (DATA and ACK alike) through a
+        :class:`~repro.runtime.faulty.FaultyTransport`.
+
+        Wire-level drops/duplicates/delays are *recovered* by the ARQ
+        layer, so they are accounted under ``runtime.fault_dropped`` /
+        ``runtime.fault_duplicated`` — not the ``faults.*`` counters,
+        which feed the conservation identity of unrecovered losses.
+        Construct the injector with a small ``base_latency_ms``: its
+        latency adds to real loopback time underneath any pacing.
+        """
+        self.faults = faulty
+
     def _transmit(self, endpoint: _PeerEndpoint, frame: Frame) -> None:
         address = self._routes.get(frame.recipient)
         if address is None:
             return  # crashed/unknown peer: let the ARQ budget expire
-        endpoint.transport.sendto(encode_frame(frame), address)
+        data = encode_frame(frame)
+        if self.faults is None:
+            endpoint.transport.sendto(data, address)
+            return
+        now_ms = self.now()
+        deliveries = self.faults.transmit(frame, now_ms)
+        if not deliveries:
+            self._c_fault_dropped.inc()
+            if self.tracer is not None:
+                # Span-less on purpose: the ARQ layer will retransmit,
+                # so the logical span stays open instead of closing as
+                # "dropped" (which would diverge live span-tree shapes
+                # from the loss-free sim twin).
+                self.tracer.record(now_ms, KIND_FAULT_DROP,
+                                   a=frame.sender, b=frame.recipient,
+                                   detail=frame.kind)
+            return
+        if len(deliveries) > 1:
+            self._c_fault_duplicated.inc()
+        for deliver_at_ms, _ in deliveries:
+            delay_ms = deliver_at_ms - now_ms
+            if delay_ms <= 0.0:
+                endpoint.transport.sendto(data, address)
+            else:
+                self.arm_timer(
+                    delay_ms,
+                    lambda: self._wire_send(endpoint, data, address))
+
+    def _wire_send(self, endpoint: _PeerEndpoint, data: bytes,
+                   address: tuple[str, int]) -> None:
+        """Late (fault-delayed) wire emission; drops if the sender's
+        socket closed while the timer was in flight."""
+        if endpoint.peer_id not in self._endpoints:
+            return
+        if endpoint.transport.is_closing():
+            return
+        endpoint.transport.sendto(data, address)
 
     def _schedule_pump(self, endpoint: _PeerEndpoint) -> None:
         """(Re)arm the retransmit pump at the earliest ARQ deadline."""
@@ -315,12 +418,11 @@ class AsyncioTransport(Transport):
             self._transmit(endpoint, frame)
         for frame in endpoint.reliable.take_expired():
             self._c_dead.inc()
-            self._spans.pop(
-                (frame.sender, frame.recipient, frame.seq), None)
             if self.tracer is not None:
                 self.tracer.record(
                     self.now(), KIND_DEAD_LETTER, a=frame.sender,
-                    b=frame.recipient, detail=frame.kind)
+                    b=frame.recipient, detail=frame.kind,
+                    span=frame.span)
         self._schedule_pump(endpoint)
 
     def _on_datagram(self, peer_id: int, data: bytes) -> None:
@@ -340,11 +442,18 @@ class AsyncioTransport(Transport):
             self._transmit(endpoint, result.ack)
         if not result.deliver:
             return
-        span = self._spans.get((frame.sender, frame.recipient, frame.seq))
+        span = frame.span
         delay_ms = 0.0
         if self.latency_fn is not None:
-            target_ms = frame.sent_at_ms + self.latency_fn(
-                frame.sender, frame.recipient)
+            try:
+                target_ms = frame.sent_at_ms + self.latency_fn(
+                    frame.sender, frame.recipient)
+            except Exception:
+                # Pairs outside the pacing table (ops probes cross the
+                # overlay; edge-keyed tables only cover neighbors) are
+                # delivered unpaced instead of wedging the socket
+                # callback.
+                target_ms = self.now()
             delay_ms = max(0.0, target_ms - self.now())
         self._pending += 1
         self.arm_timer(delay_ms, lambda: self._deliver(frame, span))
@@ -353,7 +462,6 @@ class AsyncioTransport(Transport):
         from ..sim.messaging import Envelope
 
         self._pending -= 1
-        self._spans.pop((frame.sender, frame.recipient, frame.seq), None)
         handler = self._handlers.get(frame.recipient)
         detail = frame.kind
         if handler is None:

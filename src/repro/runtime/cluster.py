@@ -27,9 +27,11 @@ from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import TransportError
 from ..obs.registry import Registry
 from ..overlay.graph import OverlayNetwork
+from ..overlay.messages import MessageKind
 from ..sim.random import spawn_rng
 from .asyncio_transport import AsyncioTransport, LatencyFn
 from .node import LocalView, PeerRuntime
+from .ops import OpsReply, OpsRequest
 from .reliability import RetryPolicy
 
 
@@ -46,6 +48,7 @@ class RuntimeCluster:
         policy: Optional[RetryPolicy] = None,
         registry: Optional[Registry] = None,
         host: str = "127.0.0.1",
+        faults=None,
     ) -> None:
         self.overlay = overlay
         self.seed = seed
@@ -55,10 +58,13 @@ class RuntimeCluster:
         self.transport = AsyncioTransport(
             host=host, policy=policy, latency_fn=latency_fn,
             registry=self.registry)
+        if faults is not None:
+            self.transport.inject_faults(faults)
         self.peers: dict[int, PeerRuntime] = {}
         self.crashed: set[int] = set()
         self.rendezvous: dict[int, int] = {}
         self._payload_ids = itertools.count(1)
+        self._probe_ids = itertools.count(1)
         # Delivery records salvaged from crashed peers, keyed
         # (group_id, payload_id) -> {peer_id: delivered_at_ms}.  The
         # sim session's delivery log survives crashes (it is the
@@ -87,11 +93,22 @@ class RuntimeCluster:
             self.announcement, self.utility,
             spawn_rng(self.seed, "runtime-peer", peer_id))
         self.peers[peer_id] = runtime
-        await self.transport.start_peer(peer_id, runtime.node.handle)
+        # The runtime's own handle wrapper, not node.handle: it layers
+        # liveness tracking and ops interception over the state machine.
+        await self.transport.start_peer(peer_id, runtime.handle)
 
     async def stop(self) -> None:
-        """Take the whole cluster down."""
+        """Take the whole cluster down.
+
+        Delivery records move to the archive first — the delivery log
+        is the experimenter's ledger, and post-mortem readers (the live
+        report's lag table, the experiment summary) consult it after
+        the sockets are gone.
+        """
         await self.transport.close()
+        for runtime in self.peers.values():
+            for key, records in runtime.deliveries.items():
+                self._delivery_archive.setdefault(key, {}).update(records)
         self.peers.clear()
 
     async def __aenter__(self) -> "RuntimeCluster":
@@ -181,6 +198,77 @@ class RuntimeCluster:
     # ------------------------------------------------------------------
     # Introspection (cluster-side aggregation of per-peer state)
     # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> dict[int, object]:
+        """Running protocol nodes by peer id.
+
+        The duck-typed surface a :class:`~repro.obs.topology.
+        TopologyRecorder` reads (``watch_cluster``): same shape as
+        ``GroupSession.nodes``, restricted to live peers.
+        """
+        return {peer_id: runtime.node
+                for peer_id, runtime in self.peers.items()}
+
+    def broken_upstream_peers(self, group_id: int) -> set[int]:
+        """On-tree peers whose upstream crashed or fell off the tree.
+
+        The live analogue of ``GroupSession.broken_upstream_peers``:
+        the set of peers whose branch needs repair, which the orphan /
+        broken-upstream watchdogs read through the recorder.
+        """
+        broken = set()
+        rendezvous = self.rendezvous.get(group_id)
+        for peer_id, runtime in self.peers.items():
+            if peer_id == rendezvous:
+                continue
+            state = runtime.node.groups.get(group_id)
+            if state is None or not state.on_tree \
+                    or state.upstream is None:
+                continue
+            upstream = self.peers.get(state.upstream)
+            if upstream is None:
+                broken.add(peer_id)
+                continue
+            up_state = upstream.node.groups.get(group_id)
+            if up_state is None or not up_state.on_tree:
+                broken.add(peer_id)
+        return broken
+
+    async def ops_survey(self, observer: Optional[int] = None,
+                         timeout_s: float = 5.0
+                         ) -> dict[int, OpsReply]:
+        """Probe every running peer over the wire; returns their views.
+
+        ``observer`` (default: the lowest running peer id) sends one
+        :class:`~repro.runtime.ops.OpsRequest` to each other peer and
+        collects the :class:`~repro.runtime.ops.OpsReply` datagrams;
+        its own view is read locally.  Replies that miss the deadline
+        are simply absent from the result — an operator's console must
+        render a partial cluster rather than hang on it.
+        """
+        if not self.peers:
+            return {}
+        if observer is None:
+            observer = min(self.peers)
+        prober = self.peers.get(observer)
+        if prober is None:
+            raise TransportError(f"observer {observer} is not running")
+        probe_id = next(self._probe_ids)
+        targets = [peer_id for peer_id in sorted(self.peers)
+                   if peer_id != observer]
+        for target in targets:
+            self.transport.send(observer, target, OpsRequest(probe_id),
+                                MessageKind.OPS)
+        await self.wait_until(
+            lambda: all((probe_id, target) in prober.ops_replies
+                        for target in targets),
+            timeout_s)
+        replies = {target: prober.ops_replies[(probe_id, target)]
+                   for target in targets
+                   if (probe_id, target) in prober.ops_replies}
+        replies[observer] = prober.ops_view(probe_id)
+        return dict(sorted(replies.items()))
+
     def members_on_tree(self, group_id: int) -> set[int]:
         """Running members whose subscription completed."""
         members = set()

@@ -7,11 +7,23 @@ free (the container ships no msgpack/protobuf).
 
 Protocol payloads are dataclasses registered in :data:`PAYLOAD_TYPES`
 (the session wire vocabulary: advertise, subscribe, search, search
-reply, payload).  Encoding stores the dataclass fields; decoding
-rebuilds the registered type, coercing JSON arrays back to tuples —
+reply, payload — plus the ops introspection pair).  Encoding stores
+the dataclass fields; decoding rebuilds the registered type, coercing
+JSON arrays back to tuples (recursively — ops replies nest tuples) —
 every registered payload uses tuples for its sequence fields, so
 ``decode(encode(x)) == x`` holds exactly (property-tested in
 ``tests/test_runtime_framing.py``).
+
+Frames optionally carry a causal span header ``"c"``: the
+``(trace_id, span_id, parent_id)`` triple of the
+:class:`~repro.obs.tracer.SpanContext` minted at the sender, so a live
+episode's cross-datagram causality reconstructs into the same
+:class:`~repro.obs.causality.SpanForest` a sim run produces.  The
+header is omitted for span-less frames — wire bytes are unchanged when
+span capture is off, and frames encoded before this header existed
+still decode (``span=None``).  The sender's *incarnation* already
+rides the frame ``nonce``, completing the span context triple plus
+incarnation the live tracing needs.
 """
 
 from __future__ import annotations
@@ -19,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional
 
 from ..errors import FramingError
 from ..groupcast.session import (
@@ -29,7 +41,9 @@ from ..groupcast.session import (
     SearchReply,
     Subscribe,
 )
+from ..obs.tracer import SpanContext
 from ..overlay.messages import MessageKind
+from .ops import OpsReply, OpsRequest
 
 #: Wire magic + codec version.  Bump on any incompatible layout change.
 MAGIC = b"RPR1"
@@ -48,6 +62,8 @@ PAYLOAD_TYPES: Mapping[str, type] = {
     "search": Search,
     "search_reply": SearchReply,
     "payload": Payload,
+    "ops_request": OpsRequest,
+    "ops_reply": OpsReply,
 }
 
 _TYPE_NAMES = {cls: name for name, cls in PAYLOAD_TYPES.items()}
@@ -74,6 +90,7 @@ class Frame:
     sent_at_ms: float = 0.0
     payload: object | None = None
     nonce: int = 0
+    span: Optional[SpanContext] = None
 
     def message_kind(self) -> MessageKind | None:
         """The :class:`MessageKind` this frame carries, if any."""
@@ -89,6 +106,13 @@ def encode_payload(payload: object) -> dict:
     return {"t": name, "f": dataclasses.asdict(payload)}
 
 
+def _coerce(value: object) -> object:
+    """JSON arrays back to tuples, recursively (ops rows nest)."""
+    if isinstance(value, list):
+        return tuple(_coerce(item) for item in value)
+    return value
+
+
 def decode_payload(obj: dict) -> object:
     """Rebuild a registered payload dataclass from its wire dict."""
     try:
@@ -96,10 +120,7 @@ def decode_payload(obj: dict) -> object:
         fields = obj["f"]
     except (KeyError, TypeError) as exc:
         raise FramingError(f"malformed payload object: {obj!r}") from exc
-    coerced = {
-        key: tuple(value) if isinstance(value, list) else value
-        for key, value in fields.items()
-    }
+    coerced = {key: _coerce(value) for key, value in fields.items()}
     try:
         return cls(**coerced)
     except TypeError as exc:
@@ -122,6 +143,12 @@ def encode_frame(frame: Frame) -> bytes:
     }
     if frame.payload is not None:
         body["p"] = encode_payload(frame.payload)
+    if frame.span is not None:
+        # Causal span header: omitted when absent so span-less frames
+        # keep the exact pre-header wire bytes (back-compat is pinned
+        # by the framing property suite).
+        body["c"] = [frame.span.trace_id, frame.span.span_id,
+                     frame.span.parent_id]
     encoded = MAGIC + json.dumps(
         body, separators=(",", ":"), sort_keys=True).encode("utf-8")
     if len(encoded) > MAX_FRAME_BYTES:
@@ -152,6 +179,13 @@ def decode_frame(datagram: bytes) -> Frame:
     payload = None
     if "p" in body:
         payload = decode_payload(body["p"])
+    span = None
+    if "c" in body:
+        triple = body["c"]
+        if not isinstance(triple, list) or len(triple) != 3:
+            raise FramingError(f"malformed span header: {triple!r}")
+        span = SpanContext(int(triple[0]), int(triple[1]),
+                           int(triple[2]))
     return Frame(
         frame_type=frame_type,
         sender=int(sender),
@@ -161,4 +195,5 @@ def decode_frame(datagram: bytes) -> Frame:
         sent_at_ms=float(body.get("s", 0.0)),
         payload=payload,
         nonce=int(body.get("n", 0)),
+        span=span,
     )

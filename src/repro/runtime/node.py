@@ -17,6 +17,13 @@ peer works.  This module provides the honest per-peer analogue:
   **identical** node class that runs inside ``GroupSession`` on the
   simulator runs here over an
   :class:`~repro.runtime.asyncio_transport.AsyncioTransport`.
+
+:meth:`PeerRuntime.handle` is the transport entry point: it tracks
+per-neighbor last-contact times (the heartbeat view an operator reads),
+intercepts the ops introspection vocabulary
+(:class:`~repro.runtime.ops.OpsRequest` is answered with this peer's
+:meth:`~PeerRuntime.ops_view`, replies are collected for the prober),
+and forwards everything else to the protocol state machine.
 """
 
 from __future__ import annotations
@@ -26,8 +33,10 @@ from typing import Iterable
 from ..config import AnnouncementConfig, UtilityConfig
 from ..errors import PeerNotFoundError
 from ..groupcast.session import GroupSessionNode
+from ..overlay.messages import MessageKind
 from ..peers.peer import PeerInfo
 from ..sim.random import RandomSource
+from .ops import OpsReply, OpsRequest
 from .transport import Transport
 
 
@@ -93,11 +102,69 @@ class PeerRuntime:
         self.receipts: dict[int, dict[int, float]] = {}
         self.failures: dict[int, set[int]] = {}
         self.deliveries: dict[tuple[int, int], dict[int, float]] = {}
+        # Operational state: when each neighbor was last heard from and
+        # the ops replies collected when this peer acts as a prober,
+        # keyed (probe_id, replying peer).
+        self.last_seen: dict[int, float] = {}
+        self.ops_replies: dict[tuple[int, int], OpsReply] = {}
 
     @property
     def peer_id(self) -> int:
         """The hosted peer's identifier."""
         return self.overlay.peer_id
+
+    # ------------------------------------------------------------------
+    # Transport entry point
+    # ------------------------------------------------------------------
+    def handle(self, envelope) -> None:
+        """Deliver one envelope: liveness tracking, ops interception,
+        then the protocol state machine."""
+        self.last_seen[envelope.sender] = envelope.delivered_at_ms
+        payload = envelope.payload
+        if isinstance(payload, OpsRequest):
+            self.transport.send(self.peer_id, envelope.sender,
+                                self.ops_view(payload.probe_id),
+                                MessageKind.OPS_REPLY)
+            return
+        if isinstance(payload, OpsReply):
+            self.ops_replies[(payload.probe_id, payload.peer_id)] = payload
+            return
+        self.node.handle(envelope)
+
+    # ------------------------------------------------------------------
+    # Ops introspection
+    # ------------------------------------------------------------------
+    def ops_view(self, probe_id: int = 0) -> OpsReply:
+        """This peer's operational self-portrait, wire-encodable.
+
+        Reads only local state plus the transport's introspection
+        accessors (``incarnation`` / ``arq_window``, absent on the sim
+        transport, default to -1/0).
+        """
+        now_ms = self.transport.now()
+        groups = tuple(
+            (group_id,
+             state.upstream if state.upstream is not None else -1,
+             int(state.on_tree),
+             int(state.is_member),
+             len(state.children))
+            for group_id, state in sorted(self.node.groups.items()))
+        ages = tuple(
+            (peer_id, float(now_ms - at_ms))
+            for peer_id, at_ms in sorted(self.last_seen.items()))
+        incarnation_of = getattr(self.transport, "incarnation", None)
+        window_of = getattr(self.transport, "arq_window", None)
+        return OpsReply(
+            peer_id=self.peer_id,
+            probe_id=probe_id,
+            incarnation=(int(incarnation_of(self.peer_id))
+                         if incarnation_of is not None else -1),
+            at_ms=float(now_ms),
+            unacked=(int(window_of(self.peer_id))
+                     if window_of is not None else 0),
+            groups=groups,
+            last_seen=ages,
+        )
 
     # ------------------------------------------------------------------
     # Measurement hooks (the GroupSession contract, scoped to one peer)

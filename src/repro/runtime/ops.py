@@ -1,0 +1,73 @@
+"""Per-peer introspection payloads for the live operations plane.
+
+A running cluster is only operable if an operator can ask any peer
+"what do *you* think is going on?" without stopping it.  The ``OPS``
+datagram kind carries an :class:`OpsRequest` probe; the probed
+:class:`~repro.runtime.node.PeerRuntime` answers with an
+:class:`OpsReply` snapshot of its local view — per-group upstream and
+child counts, its transport incarnation, how long ago it last heard
+from each neighbor, and how many frames its ARQ window still holds.
+Both payloads ride the ordinary reliable DATA path (framed, acked,
+retransmitted), so the ops plane observes the cluster through the same
+wire it is diagnosing.
+
+Ops traffic is deliberately **not** part of the logical protocol
+vocabulary: :data:`~repro.runtime.conformance.LOGICAL_KINDS` excludes
+it, so probing a cluster never perturbs a conformance transcript.
+
+The field encodings are wire-friendly on purpose (flat tuples of
+numbers, ``-1`` for "no upstream"), matching the canonical-JSON frame
+codec's tuple coercion on decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Index layout of one group row inside :attr:`OpsReply.groups`.
+#: Rows travel as plain tuples (``upstream`` is -1 when unset,
+#: booleans as 0/1) because the frame codec round-trips nested tuples,
+#: not nested dataclasses.
+GROUP_ROW_FIELDS = ("group_id", "upstream", "on_tree", "is_member",
+                    "children")
+
+
+@dataclass(frozen=True)
+class OpsRequest:
+    """Probe one peer for its local operational view.
+
+    ``probe_id`` correlates replies when a console polls many peers in
+    one sweep; it is minted by the prober and echoed back verbatim.
+    """
+
+    probe_id: int
+
+
+@dataclass(frozen=True)
+class OpsReply:
+    """One peer's answer: its complete local operational view.
+
+    ``groups`` holds one row per group this peer has protocol state
+    for, laid out per :data:`GROUP_ROW_FIELDS` (``upstream`` is ``-1``
+    when unset, booleans travel as 0/1).  ``last_seen`` is
+    ``(peer_id, age_ms)`` pairs — how long before ``at_ms`` this peer
+    last delivered a frame from each neighbor (its heartbeat view).
+    ``unacked`` is the peer's in-flight ARQ window size at reply time.
+    """
+
+    peer_id: int
+    probe_id: int
+    incarnation: int
+    at_ms: float
+    unacked: int
+    groups: tuple[tuple[int, int, int, int, int], ...] = ()
+    last_seen: tuple[tuple[int, float], ...] = ()
+
+    def group_row(self, group_id: int
+                  ) -> tuple[int, int, int, int, int] | None:
+        """The row for ``group_id``, or None if the peer never saw it."""
+        for row in self.groups:
+            if row[0] == group_id:
+                return row
+        return None

@@ -28,8 +28,14 @@ from dataclasses import dataclass, field
 
 from ..errors import TransportError
 from ..obs.registry import Registry
+from ..obs.tracer import SpanContext
 from ..overlay.messages import MessageKind
 from .framing import ACK, DATA, Frame
+
+#: Bucket bounds for the per-frame transmission-attempt histogram:
+#: 1 = first try acked, 2 = one retransmit, ... the overflow bucket
+#: collects frames that needed most of their retry budget.
+ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 9.0)
 
 
 @dataclass(frozen=True)
@@ -107,16 +113,22 @@ class ReliableEndpoint:
             "runtime.duplicates_suppressed")
         self._c_expired = self.registry.counter("runtime.expired")
         self._c_acks = self.registry.counter("runtime.acks_sent")
+        self._h_attempts = self.registry.histogram(
+            "runtime.arq.attempts", bounds=ATTEMPT_BUCKETS)
 
     # ------------------------------------------------------------------
     # Sender side
     # ------------------------------------------------------------------
     def package(self, recipient: int, payload: object,
-                kind: MessageKind | None, now_ms: float) -> Frame:
+                kind: MessageKind | None, now_ms: float,
+                span: SpanContext | None = None) -> Frame:
         """Wrap one payload into a sequenced DATA frame and track it.
 
         The returned frame must be transmitted by the caller; it stays
         in the in-flight window until its ack arrives or it expires.
+        ``span`` stamps the frame's causal span header: retransmissions
+        reuse the stored frame, so one logical send keeps one span no
+        matter how many times it crosses the wire.
         """
         seq = self._next_seq.get(recipient, 0)
         self._next_seq[recipient] = seq + 1
@@ -129,6 +141,7 @@ class ReliableEndpoint:
             sent_at_ms=now_ms,
             payload=payload,
             nonce=self.nonce,
+            span=span,
         )
         self._in_flight[(recipient, seq)] = _InFlight(
             frame=frame, due_ms=now_ms + self.policy.delay_ms(0))
@@ -149,6 +162,7 @@ class ReliableEndpoint:
                 del self._in_flight[key]
                 self._expired.append(entry.frame)
                 self._c_expired.inc()
+                self._h_attempts.observe(float(entry.attempts))
                 continue
             entry.due_ms = now_ms + self.policy.delay_ms(entry.attempts)
             entry.attempts += 1
@@ -165,6 +179,11 @@ class ReliableEndpoint:
     def unacked(self) -> int:
         """Frames still awaiting acknowledgement."""
         return len(self._in_flight)
+
+    def unacked_to(self, recipient: int) -> int:
+        """In-flight frames addressed to one recipient (the per-peer
+        ARQ window an ops probe or a crash-purge assertion reads)."""
+        return sum(1 for key in self._in_flight if key[0] == recipient)
 
     def take_expired(self) -> list[Frame]:
         """Drain frames that exhausted their retransmit budget."""
@@ -194,7 +213,10 @@ class ReliableEndpoint:
         """Advance the state machine with one incoming frame."""
         if frame.frame_type == ACK:
             if frame.nonce == self.nonce:
-                self._in_flight.pop((frame.sender, frame.seq), None)
+                entry = self._in_flight.pop(
+                    (frame.sender, frame.seq), None)
+                if entry is not None:
+                    self._h_attempts.observe(float(entry.attempts))
             return ReceiveResult()
         if frame.recipient != self.peer_id:
             return ReceiveResult()  # stray datagram; drop silently

@@ -1,0 +1,257 @@
+"""End-to-end tests for the live operations plane (real sockets).
+
+One faulted 10-peer loopback episode runs once per module with the
+full :class:`~repro.obs.live.LiveTelemetry` pump attached — streaming
+tracer, registry sampling, online watchdogs, artifact files — and the
+tests check the ISSUE's acceptance criteria against it:
+
+* the live span forest's episode-tree shapes match the simulated
+  twin's (cross-datagram span propagation survives real UDP, injected
+  drops and duplicates included),
+* the streamed ``trace.jsonl`` reconstructs the identical forest,
+* the crash window trips the same watchdog class online as in the sim
+  twin, with the incident trail written to ``incidents.json``,
+* the generated report carries the "Live run" section,
+* the OPS introspection survey reflects the repaired cluster.
+
+Separate episodes cover the halt-action kill-switch and the
+crash-purges-ARQ-windows regression.  Marked ``runtime``: excluded
+from tier-1, run by the CI runtime job.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.experiments import live_run
+from repro.obs import (
+    OrphanedMembers,
+    Registry,
+    SpanForest,
+    TopologyRecorder,
+    Tracer,
+    default_watchdogs,
+)
+from repro.obs.live import LIVE_INTERVAL_S, LiveTelemetry
+from repro.obs.report import build_report, render_markdown
+from repro.groupcast.session import GroupSession, Payload
+from repro.overlay.messages import MessageKind
+from repro.runtime import RuntimeCluster
+from repro.sim.random import spawn_rng
+
+pytestmark = pytest.mark.runtime
+
+BUDGET_S = float(os.environ.get("REPRO_RUNTIME_BUDGET_S", "30"))
+SETTLE_S = max(1.0, BUDGET_S / 10.0)
+
+GROUP = live_run.GROUP
+RENDEZVOUS = live_run.RENDEZVOUS
+MEMBERS = live_run.MEMBERS
+SEED = live_run.DEFAULT_SEED
+
+#: The episode kinds whose tree shapes must match the sim twin.
+EPISODE_KINDS = ("advertisement", "subscription", "dissemination")
+
+
+# ----------------------------------------------------------------------
+# The shared faulted episode (one live run per module) and its twin
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_episode(tmp_path_factory):
+    out = tmp_path_factory.mktemp("live_out")
+    cluster, live, survey = asyncio.run(
+        live_run._episode(SEED, out, default_watchdogs(),
+                          LIVE_INTERVAL_S, BUDGET_S))
+    return cluster, live, survey, out
+
+
+@pytest.fixture(scope="module")
+def sim_twin():
+    """The same episode on the deterministic simulator, with spans and
+    an online orphaned-members watchdog snapshotted at the same
+    logical capture points the live pump hits."""
+    registry = Registry()
+    tracer = Tracer(spans=True, registry=registry)
+    session = GroupSession(
+        overlay=live_run.build_overlay(), latency_fn=live_run.latency_ms,
+        rng=spawn_rng(SEED, "live-sim-twin"),
+        announcement=live_run.ANNOUNCEMENT,
+        registry=registry, tracer=tracer)
+    recorder = TopologyRecorder(interval_ms=50.0, tracer=tracer)
+    recorder.watch_session(session)
+    recorder.add_watchdog(OrphanedMembers())
+    session.establish(GROUP, RENDEZVOUS, list(MEMBERS), scheme="nssa")
+    recorder.snapshot(session.simulator.now)
+    session.publish(GROUP, 9)
+    session.crash_peer(7)
+    session.rejoin_async(GROUP, 9)
+    # Same deterministic capture point as the live pump: member 9 is
+    # off the tree between the crash and the repair settling.
+    recorder.snapshot(session.simulator.now)
+    session.simulator.run()
+    recorder.snapshot(session.simulator.now)
+    session.publish(GROUP, 3)
+    return session, tracer, recorder
+
+
+def test_span_forest_shape_matches_sim_twin(live_episode, sim_twin):
+    _cluster, live, _survey, _out = live_episode
+    _session, sim_tracer, _recorder = sim_twin
+    live_sig = SpanForest.from_tracer(live.tracer) \
+        .shape_signature(kinds=EPISODE_KINDS)
+    sim_sig = SpanForest.from_tracer(sim_tracer) \
+        .shape_signature(kinds=EPISODE_KINDS)
+    assert live_sig, "live run produced no episode trees"
+    assert live_sig == sim_sig
+
+
+def test_streamed_jsonl_reconstructs_identical_forest(live_episode):
+    _cluster, live, _survey, out = live_episode
+    trace_path = out / "trace.jsonl"
+    assert trace_path.exists()
+    streamed = SpanForest.from_jsonl(trace_path).shape_signature()
+    in_memory = SpanForest.from_tracer(live.tracer).shape_signature()
+    assert streamed == in_memory
+    # Nothing fell behind the ring at this episode's scale.
+    assert live.tracer.stream_dropped == 0
+
+
+def test_online_watchdog_fires_same_class_as_sim_twin(live_episode,
+                                                      sim_twin):
+    _cluster, live, _survey, out = live_episode
+    _session, _tracer, sim_recorder = sim_twin
+    live_summary = live.recorder.watchdogs.summary()
+    assert live_summary["fired"] >= 1
+    assert live_summary["by_rule"]["orphaned-members"]["fired"] >= 1
+    # The crash window must also heal: the rule clears after repair.
+    assert live_summary["by_rule"]["orphaned-members"]["cleared"] >= 1
+    sim_summary = sim_recorder.watchdogs.summary()
+    assert sim_summary["by_rule"]["orphaned-members"]["fired"] >= 1
+    assert sim_summary["by_rule"]["orphaned-members"]["cleared"] >= 1
+    incidents = json.loads((out / "incidents.json").read_text())
+    assert incidents["halted"] is None
+    assert incidents["by_rule"]["orphaned-members"]["fired"] >= 1
+
+
+def test_live_report_renders_live_section(live_episode):
+    _cluster, live, _survey, _out = live_episode
+    report = build_report(
+        "live episode", tracer=live.tracer, registry=live.registry,
+        profiler=live.profiler, topology=live.recorder, live=live)
+    text = render_markdown(report)
+    assert "## Live run" in text
+    assert "Wall-clock phase costs" in text
+    assert "advertise" in text
+    assert "Per-peer delivery lag" in text
+    assert "ARQ reliability" in text
+    section = report["live"]
+    assert section["polls"] >= 3
+    assert section["stream"]["records"] > 0
+    assert section["arq"]["fault_dropped"] > 0, \
+        "the fault plan injected no drops"
+    assert section["arq"]["fault_duplicated"] > 0
+
+
+def test_deliveries_survive_faults_and_crash(live_episode):
+    cluster, _live, _survey, _out = live_episode
+    log = cluster.delivery_log()
+    # Two publishes; every on-tree member hears each (source included
+    # in the record for the pre-crash publish's surviving peers).
+    assert len(log) == 2
+    for records in log.values():
+        assert set(records) & (set(MEMBERS) - {7})
+
+
+def test_ops_survey_reflects_repaired_cluster(live_episode):
+    _cluster, _live, survey, _out = live_episode
+    assert sorted(survey) == sorted(set(range(10)) - {7})
+    for member in (3, 8, 9):
+        row = survey[member].group_row(GROUP)
+        assert row is not None
+        assert row[2], f"member {member} not on the tree"
+        assert row[3], f"member {member} lost its membership"
+    for reply in survey.values():
+        assert reply.incarnation >= 0
+        assert all(age >= 0.0 for _, age in reply.last_seen)
+
+
+# ----------------------------------------------------------------------
+# The halt-action kill-switch
+# ----------------------------------------------------------------------
+async def _halting_episode():
+    cluster = RuntimeCluster(
+        overlay=live_run.build_overlay(), seed=SEED,
+        announcement=live_run.ANNOUNCEMENT,
+        latency_fn=live_run.latency_ms)
+    live = LiveTelemetry(cluster, interval_s=0.02,
+                         rules=(OrphanedMembers(action="halt"),))
+    async with cluster:
+        live.start()
+        cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
+        await cluster.settle(SETTLE_S)
+        cluster.subscribe(GROUP, MEMBERS)
+        await cluster.settle(SETTLE_S)
+        await cluster.crash(7)
+        cluster.rejoin(GROUP, 9)
+        # The pump's next tick sees member 9 off the tree and the
+        # halt-action rule takes the cluster down from inside the task.
+        await cluster.wait_until(lambda: live.halted is not None,
+                                 SETTLE_S)
+    await live.close()
+    return cluster, live
+
+
+def test_halt_watchdog_stops_the_cluster():
+    cluster, live = asyncio.run(_halting_episode())
+    assert live.halted is not None
+    assert "off the tree" in live.halted
+    assert not cluster.peers, "halt did not stop the cluster"
+    summary = live.recorder.watchdogs.summary()
+    assert summary["by_rule"]["orphaned-members"]["fired"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Crash/restart purges reliability state (the satellite bugfix)
+# ----------------------------------------------------------------------
+async def _purge_episode():
+    cluster = RuntimeCluster(
+        overlay=live_run.build_overlay(), seed=SEED,
+        announcement=live_run.ANNOUNCEMENT,
+        latency_fn=live_run.latency_ms)
+    async with cluster:
+        transport = cluster.transport
+        # A routed-but-unbound phantom: frames toward it never ack, so
+        # the sender's retransmit window stays pinned open.
+        transport.add_route(42, "127.0.0.1", 1)
+        transport.send(0, 42, Payload(GROUP, 1, 0), MessageKind.PAYLOAD)
+        assert transport.arq_window_to(0, 42) == 1
+        dead_before = cluster.registry.counter("net.dead_lettered").value
+        abandoned = transport.forget_peer(42)
+        dead_after = cluster.registry.counter("net.dead_lettered").value
+        purged = (abandoned, transport.arq_window_to(0, 42),
+                  dead_after - dead_before)
+
+        # A real crash must do the same purge for every survivor.
+        cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
+        await cluster.settle(SETTLE_S)
+        cluster.subscribe(GROUP, MEMBERS)
+        await cluster.settle(SETTLE_S)
+        await cluster.crash(7)
+        survivors = [
+            transport.arq_window_to(pid, 7) for pid in cluster.peers]
+        # New traffic toward the dead peer dead-letters immediately
+        # instead of re-opening a window.
+        transport.send(4, 7, Payload(GROUP, 2, 4), MessageKind.PAYLOAD)
+        survivors.append(transport.arq_window_to(4, 7))
+    return purged, survivors
+
+
+def test_crash_purges_arq_windows_and_dedup_state():
+    (abandoned, window, dead_lettered), survivors = asyncio.run(
+        _purge_episode())
+    assert abandoned == 1
+    assert window == 0
+    assert dead_lettered >= 1
+    assert all(w == 0 for w in survivors)

@@ -1,0 +1,310 @@
+"""Tier-1 tests for the live operations plane's socket-free parts.
+
+The clock seam (tracer/profiler/recorder sampling an attached time
+source exactly as sim code passes explicit timestamps), the streaming
+drain with its fell-behind accounting, span-forest shape signatures
+(the conformance currency between live episodes and their sim twins),
+the ARQ attempts histogram and per-recipient window introspection, and
+the report's "Live run" section.  Everything here runs without sockets
+— the end-to-end live half lives in ``tests/test_live_obs.py`` under
+the ``runtime`` marker.
+"""
+
+import pytest
+
+from repro.config import AnnouncementConfig
+from repro.errors import TelemetryError
+from repro.experiments.live_run import build_overlay, latency_ms
+from repro.groupcast.session import GroupSession, Payload
+from repro.obs import (
+    KIND_DELIVER,
+    KIND_SEND,
+    Profiler,
+    Registry,
+    SpanForest,
+    TopologyRecorder,
+    Tracer,
+)
+from repro.obs.report import build_report, render_markdown
+from repro.overlay.messages import MessageKind
+from repro.runtime.reliability import ReliableEndpoint
+from repro.sim.random import spawn_rng
+
+ANNOUNCEMENT = AnnouncementConfig(advertisement_ttl=7,
+                                  subscription_search_ttl=3)
+
+
+def _forbidden_clock() -> float:
+    raise AssertionError("sim paths must never sample the clock")
+
+
+def _run_session(tracer: Tracer) -> str:
+    session = GroupSession(
+        overlay=build_overlay(), latency_fn=latency_ms,
+        rng=spawn_rng(7, "clock-seam"), announcement=ANNOUNCEMENT,
+        registry=Registry(), tracer=tracer)
+    session.establish(1, 0, [3, 7, 8, 9], scheme="nssa")
+    session.publish(1, 9)
+    return tracer.trace_digest()
+
+
+# ----------------------------------------------------------------------
+# Clock seam
+# ----------------------------------------------------------------------
+def test_sim_digest_bit_identical_with_clock_attached():
+    """Attaching a clock cannot move a sim run's digest: every sim
+    record site passes an explicit timestamp, proven by a clock that
+    explodes if sampled."""
+    bare = _run_session(Tracer(spans=True))
+    clocked = _run_session(Tracer(spans=True, clock=_forbidden_clock))
+    assert clocked == bare
+
+
+def test_tracer_samples_clock_when_no_timestamp_given():
+    ticks = iter([12.5, 40.0])
+    tracer = Tracer(clock=lambda: next(ticks))
+    tracer.record(None, KIND_SEND, a=1, b=2)
+    tracer.record(None, KIND_DELIVER, a=1, b=2)
+    at = [rec.at_ms for rec in tracer.records()]
+    assert at == [12.5, 40.0]
+
+
+def test_tracer_without_clock_rejects_sampling():
+    tracer = Tracer()
+    with pytest.raises(TelemetryError):
+        tracer.record(None, KIND_SEND)
+
+
+def test_profiler_tick_samples_at_clock_time():
+    registry = Registry()
+    registry.counter("net.sent").inc(3)
+    now = [0.0]
+    profiler = Profiler(registry, interval_ms=10.0,
+                        clock=lambda: now[0])
+    now[0] = 25.0
+    assert profiler.tick() == 25.0
+    series = profiler.series("net.sent")
+    assert series.points
+    assert series.points[-1][0] == 25.0
+
+
+def test_profiler_tick_without_clock_raises():
+    with pytest.raises(TelemetryError):
+        Profiler(Registry(), interval_ms=10.0).tick()
+
+
+def test_topology_recorder_tick_uses_clock():
+    now = [100.0]
+    recorder = TopologyRecorder(interval_ms=10.0,
+                                clock=lambda: now[0])
+    recorder.watch_overlay(build_overlay())
+    recorder.tick()
+    assert recorder.snapshots
+    assert recorder.snapshots[-1].at_ms == 100.0
+
+
+def test_topology_recorder_tick_without_clock_raises():
+    recorder = TopologyRecorder(interval_ms=10.0)
+    recorder.watch_overlay(build_overlay())
+    with pytest.raises(TelemetryError):
+        recorder.tick()
+
+
+# ----------------------------------------------------------------------
+# Streaming drain
+# ----------------------------------------------------------------------
+def test_drain_returns_only_fresh_records():
+    tracer = Tracer(capacity=64)
+    for i in range(3):
+        tracer.record(float(i), KIND_SEND, seq=i)
+    fresh, missed = tracer.drain_records()
+    assert [r.seq for r in fresh] == [0, 1, 2]
+    assert missed == 0
+    for i in range(3, 5):
+        tracer.record(float(i), KIND_SEND, seq=i)
+    fresh, missed = tracer.drain_records()
+    assert [r.seq for r in fresh] == [3, 4]
+    assert missed == 0
+    assert tracer.drain_records() == ((), 0)
+    assert tracer.stream_dropped == 0
+
+
+def test_drain_counts_records_lost_to_the_ring():
+    """A pump that falls behind the ring must see the loss, not a
+    silently shortened stream."""
+    registry = Registry()
+    tracer = Tracer(capacity=4, registry=registry)
+    tracer.record(0.0, KIND_SEND, seq=0)
+    tracer.drain_records()
+    for i in range(1, 11):  # 10 more; ring keeps the last 4
+        tracer.record(float(i), KIND_SEND, seq=i)
+    fresh, missed = tracer.drain_records()
+    assert [r.seq for r in fresh] == [7, 8, 9, 10]
+    assert missed == 6
+    assert tracer.stream_dropped == 6
+    assert tracer.export_meta()["stream_dropped"] == 6
+    # Ring eviction itself is already metered by obs.trace.dropped.
+    assert registry.counter("obs.trace.dropped").value == 7
+
+
+def test_clear_resets_stream_accounting():
+    tracer = Tracer(capacity=2)
+    for i in range(5):
+        tracer.record(float(i), KIND_SEND, seq=i)
+    tracer.drain_records()
+    assert tracer.stream_dropped == 3
+    tracer.clear()
+    assert tracer.stream_dropped == 0
+    assert tracer.drain_records() == ((), 0)
+
+
+# ----------------------------------------------------------------------
+# Span-forest shape signatures
+# ----------------------------------------------------------------------
+def _toy_episode(tracer: Tracer, offset: float, kind: str) -> None:
+    root = tracer.root_span(at_ms=offset, kind=kind)
+    hop = tracer.child_span(root)
+    tracer.record(offset + 1.0, KIND_SEND, a=1, b=2,
+                  detail="payload", span=hop)
+    tracer.record(offset + 2.0, KIND_DELIVER, a=1, b=2,
+                  detail="payload", span=hop)
+    leaf = tracer.child_span(hop)
+    tracer.record(offset + 2.0, KIND_SEND, a=2, b=3,
+                  detail="payload", span=leaf)
+    tracer.record(offset + 5.0, KIND_DELIVER, a=2, b=3,
+                  detail="payload", span=leaf)
+
+
+def test_shape_ignores_timing_but_keeps_structure():
+    """Two episodes with identical structure but different timings have
+    the same shape — the property that lets a jittery live run compare
+    against its virtual-time twin."""
+    a, b = Tracer(spans=True), Tracer(spans=True)
+    _toy_episode(a, 0.0, "dissemination")
+    _toy_episode(b, 1000.0, "dissemination")
+    tree_a = SpanForest.from_tracer(a).trees()[0]
+    tree_b = SpanForest.from_tracer(b).trees()[0]
+    assert tree_a.shape() == tree_b.shape()
+
+
+def test_shape_distinguishes_different_structures():
+    a, b = Tracer(spans=True), Tracer(spans=True)
+    _toy_episode(a, 0.0, "dissemination")
+    root = b.root_span(at_ms=0.0, kind="dissemination")
+    hop = b.child_span(root)
+    b.record(1.0, KIND_SEND, a=1, b=2, detail="payload", span=hop)
+    b.record(2.0, KIND_DELIVER, a=1, b=2, detail="payload", span=hop)
+    tree_a = SpanForest.from_tracer(a).trees()[0]
+    tree_b = SpanForest.from_tracer(b).trees()[0]
+    assert tree_a.shape() != tree_b.shape()
+
+
+def test_shape_signature_filters_by_episode_kind():
+    tracer = Tracer(spans=True)
+    _toy_episode(tracer, 0.0, "dissemination")
+    _toy_episode(tracer, 100.0, "heartbeat")
+    forest = SpanForest.from_tracer(tracer)
+    assert len(forest.shape_signature()) == 2
+    filtered = forest.shape_signature(kinds=("dissemination",))
+    assert len(filtered) == 1
+    assert forest.shape_signature(kinds=("advertisement",)) == ()
+
+
+def test_shape_signature_is_order_independent():
+    a, b = Tracer(spans=True), Tracer(spans=True)
+    _toy_episode(a, 0.0, "dissemination")
+    _toy_episode(a, 50.0, "heartbeat")
+    _toy_episode(b, 0.0, "heartbeat")
+    _toy_episode(b, 50.0, "dissemination")
+    sig_a = SpanForest.from_tracer(a).shape_signature()
+    sig_b = SpanForest.from_tracer(b).shape_signature()
+    assert sig_a == sig_b
+
+
+# ----------------------------------------------------------------------
+# ARQ introspection: attempts histogram, per-recipient windows
+# ----------------------------------------------------------------------
+def test_ack_observes_attempts_histogram():
+    registry = Registry()
+    sender = ReliableEndpoint(1, registry=registry)
+    receiver = ReliableEndpoint(2)
+    frame = sender.package(2, Payload(1, 1, 1), MessageKind.PAYLOAD, 0.0)
+    # Two retransmits before the ACK lands: 3 attempts total.
+    assert len(sender.due_retransmits(300.0)) == 1
+    assert len(sender.due_retransmits(900.0)) == 1
+    ack = receiver.on_frame(frame, 900.0).ack
+    sender.on_frame(ack, 901.0)
+    histogram = registry.get("runtime.arq.attempts")
+    assert histogram.count == 1
+    assert histogram.mean == pytest.approx(3.0)
+    assert sender.unacked() == 0
+
+
+def test_unacked_to_counts_per_recipient_windows():
+    sender = ReliableEndpoint(1)
+    sender.package(2, Payload(1, 1, 1), MessageKind.PAYLOAD, 0.0)
+    sender.package(2, Payload(1, 2, 1), MessageKind.PAYLOAD, 0.0)
+    sender.package(3, Payload(1, 3, 1), MessageKind.PAYLOAD, 0.0)
+    assert sender.unacked() == 3
+    assert sender.unacked_to(2) == 2
+    assert sender.unacked_to(3) == 1
+    assert sender.unacked_to(9) == 0
+    assert sender.forget_peer(2) == 2
+    assert sender.unacked_to(2) == 0
+    assert sender.unacked() == 1
+
+
+def test_package_stamps_span_onto_frame():
+    from repro.obs import SpanContext
+
+    sender = ReliableEndpoint(1)
+    span = SpanContext(3, 14, 1)
+    frame = sender.package(2, Payload(1, 1, 1), MessageKind.PAYLOAD,
+                           0.0, span=span)
+    assert frame.span == span
+    assert sender.package(2, Payload(1, 2, 1), MessageKind.PAYLOAD,
+                          0.0).span is None
+
+
+# ----------------------------------------------------------------------
+# The report's "Live run" section
+# ----------------------------------------------------------------------
+class _StubLive:
+    def live_section(self):
+        return {
+            "polls": 42,
+            "interval_ms": 50.0,
+            "clock_ms": 2100.0,
+            "halted": "group 1 has 2 members off the tree (allowed 0)",
+            "stream": {"records": 420, "stream_dropped": 7,
+                       "path": "out/trace.jsonl"},
+            "phases": {"publish": {"calls": 2.0, "total_s": 0.5,
+                                   "mean_ms": 250.0}},
+            "delivery_lag": {3: {"payloads": 2.0, "mean_ms": 12.0,
+                                 "max_ms": 20.0}},
+            "arq": {"retransmits": 5, "expired": 0,
+                    "duplicates_suppressed": 4, "fault_dropped": 9,
+                    "fault_duplicated": 11,
+                    "attempts": {"count": 30, "mean": 1.3,
+                                 "buckets": [["<= 1", 25], ["<= 2", 5],
+                                             ["overflow", 0]]}},
+        }
+
+
+def test_live_report_section_renders():
+    report = build_report("live test", live=_StubLive())
+    assert report["live"]["polls"] == 42
+    text = render_markdown(report)
+    assert "## Live run" in text
+    assert "42 telemetry polls at 50 ms cadence" in text
+    assert "**7 missed**" in text
+    assert "HALTED by watchdog" in text
+    assert "| publish | 2 | 0.5000 | 250.0000 |" in text
+    assert "| 3 | 2 | 12.000 | 20.000 |" in text
+    assert "9 dropped, 11 duplicated" in text
+    assert "| <= 1 | 25 |" in text
+
+
+def test_report_without_live_section_unchanged():
+    text = render_markdown(build_report("plain"))
+    assert "## Live run" not in text

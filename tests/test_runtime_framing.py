@@ -3,8 +3,11 @@
 Hypothesis drives three families of invariants:
 
 * **Round trip** — ``decode(encode(frame)) == frame`` for every frame
-  type and every registered payload dataclass, and decode never
-  accepts garbage silently (it raises :class:`FramingError`).
+  type and every registered payload dataclass, with and without the
+  optional causal span header, and decode never accepts garbage
+  silently (it raises :class:`FramingError`).  Span-less frames must
+  produce the exact pre-header wire bytes (back-compat: peers that
+  never heard of spans interoperate).
 * **Idempotent delivery** — a duplicated DATA frame is re-acked but
   delivered at most once, no matter how often it arrives.
 * **Retransmit-until-ack** — over a seeded lossy channel built from
@@ -29,8 +32,10 @@ from repro.groupcast.session import (
     SearchReply,
     Subscribe,
 )
+from repro.obs import SpanContext
 from repro.overlay.messages import MessageKind
 from repro.runtime.faulty import FaultyTransport
+from repro.runtime.ops import OpsReply, OpsRequest
 from repro.runtime.framing import (
     ACK,
     DATA,
@@ -47,6 +52,12 @@ paths = st.lists(ids, min_size=1, max_size=6).map(tuple)
 finite_ms = st.floats(min_value=0.0, max_value=1e12,
                       allow_nan=False, allow_infinity=False)
 
+group_rows = st.lists(
+    st.tuples(ids, st.one_of(st.just(-1), ids), st.integers(0, 1),
+              st.integers(0, 1), st.integers(0, 64)),
+    max_size=4).map(tuple)
+ages = st.lists(st.tuples(ids, finite_ms), max_size=4).map(tuple)
+
 payloads = st.one_of(
     st.builds(Advertise, group_id=ids, rendezvous=ids, path=paths,
               ttl=st.integers(1, 12),
@@ -56,6 +67,17 @@ payloads = st.one_of(
               ttl=st.integers(0, 12)),
     st.builds(SearchReply, group_id=ids, informed_peer=ids),
     st.builds(Payload, group_id=ids, payload_id=ids, source=ids),
+    st.builds(OpsRequest, probe_id=ids),
+    st.builds(OpsReply, peer_id=ids, probe_id=ids,
+              incarnation=st.integers(-1, 2**31 - 1), at_ms=finite_ms,
+              unacked=st.integers(0, 2**31 - 1), groups=group_rows,
+              last_seen=ages),
+)
+
+spans = st.one_of(
+    st.none(),
+    st.builds(SpanContext, trace_id=ids, span_id=ids,
+              parent_id=st.one_of(st.just(-1), ids)),
 )
 
 data_frames = st.builds(
@@ -68,6 +90,7 @@ data_frames = st.builds(
         [k.value for k in MessageKind] + [""]),
     sent_at_ms=finite_ms,
     payload=payloads,
+    span=spans,
 )
 
 ack_frames = st.builds(
@@ -77,6 +100,7 @@ ack_frames = st.builds(
     recipient=ids,
     seq=st.integers(0, 2**31 - 1),
     sent_at_ms=finite_ms,
+    span=spans,
 )
 
 
@@ -107,6 +131,51 @@ def test_decode_rejects_garbage(garbage):
         return
     # Only a datagram that *is* a valid encoding may decode.
     assert encode_frame(frame) == garbage
+
+
+@given(frame=st.one_of(data_frames, ack_frames))
+@settings(max_examples=100, deadline=None)
+def test_spanless_wire_bytes_carry_no_span_header(frame):
+    """Frames without a span encode to the exact pre-header format: no
+    ``"c"`` key on the wire, so historical captures and span-unaware
+    peers round-trip unchanged."""
+    import dataclasses
+    import json
+
+    bare = dataclasses.replace(frame, span=None)
+    body = json.loads(encode_frame(bare)[len(b"GC1\x00"):])
+    assert "c" not in body
+    decoded = decode_frame(encode_frame(bare))
+    assert decoded.span is None
+    assert decoded == bare
+
+
+def test_headerless_datagram_decodes_with_no_span():
+    """A datagram hand-built without the span header (the pre-span wire
+    format) still decodes — back-compat is a hard wire contract."""
+    frame = Frame(DATA, 1, 2, 9, "payload", 41.5, Payload(1, 3, 1))
+    datagram = encode_frame(frame)
+    assert b'"c"' not in datagram
+    decoded = decode_frame(datagram)
+    assert decoded == frame
+    assert decoded.span is None
+
+
+def test_span_header_round_trips():
+    span = SpanContext(trace_id=5, span_id=17, parent_id=4)
+    frame = Frame(DATA, 1, 2, 0, "payload", 0.0, Payload(1, 3, 1),
+                  span=span)
+    datagram = encode_frame(frame)
+    assert b'"c":[5,17,4]' in datagram
+    assert decode_frame(datagram).span == span
+
+
+def test_malformed_span_header_rejected():
+    span = SpanContext(1, 2, 3)
+    good = encode_frame(Frame(DATA, 1, 2, 0, "", 0.0, span=span))
+    bad = good.replace(b'"c":[1,2,3]', b'"c":[1,2]')
+    with pytest.raises(FramingError):
+        decode_frame(bad)
 
 
 def test_unregistered_payload_rejected():
