@@ -22,6 +22,12 @@ a noisy CI box cannot fail the gate while a real per-snapshot cost
 regression still does.  The run also asserts digest equality between
 the bare and observed sessions — the benchmark doubles as an end-to-end
 bit-transparency check at scale.
+
+The second section times the *dimensional* telemetry columns: one
+thousand-group batched pass with the per-group delay-sketch columns off
+vs on (``metrics.obs.dims_overhead_ratio``).  The columns are pure
+segmented numpy reductions, so their budget is the same < 15%, and the
+run asserts the merged digest is bit-identical with dims on or off.
 """
 
 from __future__ import annotations
@@ -35,9 +41,15 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import AnnouncementConfig  # noqa: E402
+from repro.core import (  # noqa: E402
+    edge_latencies_from_coords,
+    run_group_pass,
+    synthetic_power_law_csr,
+)
 from repro.deployment import build_deployment  # noqa: E402
 from repro.groupcast.session import GroupSession  # noqa: E402
 from repro.obs import (  # noqa: E402
+    DEFAULT_SKETCH_LAYOUT,
     Registry,
     Tracer,
     default_watchdogs,
@@ -45,6 +57,7 @@ from repro.obs import (  # noqa: E402
     enable_topology,
 )
 from repro.sim.random import spawn_rng  # noqa: E402
+from repro.workloads.groups import sample_group_rows  # noqa: E402
 
 SEED = 7
 
@@ -119,19 +132,72 @@ def run_benchmark(peers: int, members_count: int, publishes: int,
     return report
 
 
+def run_dims_benchmark(dims_peers: int, dims_groups: int,
+                       repeat: int) -> dict:
+    """Dims-column overhead over one thousand-group batched pass.
+
+    Times :func:`repro.core.parallel.run_group_pass` with the per-group
+    delay-sketch columns off vs on (same world, same groups) and
+    asserts the merged digest is bit-identical either way.
+    """
+    rng = spawn_rng(SEED, "bench-dims-world")
+    csr = synthetic_power_law_csr(dims_peers, rng)
+    coords = rng.uniform(0.0, 100.0, size=(dims_peers, 2))
+    latency = edge_latencies_from_coords(csr, coords)
+    roots, member_rows, indptr = sample_group_rows(
+        spawn_rng(SEED, "bench-dims-groups"), dims_groups, dims_peers,
+        max_size=256)
+
+    def one_pass(layout):
+        return run_group_pass(csr, latency, coords, roots, member_rows,
+                              indptr, ttl=8, dims_layout=layout)
+
+    off_s, off = _time(lambda: one_pass(None), repeat)
+    on_s, on = _time(lambda: one_pass(DEFAULT_SKETCH_LAYOUT), repeat)
+    if on.merged_digest() != off.merged_digest():
+        raise RuntimeError(
+            "dims columns broke digest bit-transparency: "
+            f"{on.merged_digest()} != {off.merged_digest()}")
+    ratio = on_s / off_s if off_s > 0 else float("inf")
+    print(f"dims columns     off  {off_s:9.4f}s   "
+          f"on       {on_s:9.4f}s   overhead {ratio:7.3f}x"
+          f"   ({dims_groups} groups, {dims_peers} rows)")
+    return {
+        "dims_peers": dims_peers,
+        "dims_groups": dims_groups,
+        "obs": {
+            "dims_disabled_s": round(off_s, 6),
+            "dims_enabled_s": round(on_s, 6),
+            "dims_overhead_ratio": round(ratio, 4),
+        },
+    }
+
+
 def check_against(report: dict, baseline_path: Path,
                   slack: float) -> int:
-    """Gate: measured overhead within ``slack``x of the committed ratio
-    (floored at the 1.15 budget, so tightening the baseline never makes
-    the gate impossible on slower machines)."""
+    """Gate: measured overheads within ``slack``x of the committed
+    ratios (floored at the 1.15 budget, so tightening the baseline
+    never makes the gate impossible on slower machines)."""
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    committed = baseline["metrics"]["observatory"]["overhead_ratio"]
-    measured = report["metrics"]["observatory"]["overhead_ratio"]
-    ceiling = max(1.15, committed * slack)
-    status = "ok" if measured <= ceiling else "FAIL"
-    print(f"{status:4s} observatory overhead: measured {measured}x, "
-          f"committed {committed}x (ceiling {ceiling:.3f}x)")
-    return 0 if measured <= ceiling else 1
+    failures = 0
+    gates = (
+        ("observatory overhead",
+         ("metrics", "observatory", "overhead_ratio")),
+        ("dims overhead",
+         ("metrics", "obs", "dims_overhead_ratio")),
+    )
+    for label, path in gates:
+        committed, measured = baseline, report
+        for key in path:
+            committed = committed[key]
+            measured = measured[key]
+        ceiling = max(1.15, committed * slack)
+        ok = measured <= ceiling
+        failures += 0 if ok else 1
+        print(f"{'ok' if ok else 'FAIL':4s} {label}: measured "
+              f"{measured}x, committed {committed}x "
+              f"(ceiling {ceiling:.3f}x)")
+    return 0 if failures == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -141,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--members", type=int, default=40)
     parser.add_argument("--publishes", type=int, default=6)
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--dims-peers", type=int, default=2048)
+    parser.add_argument("--dims-groups", type=int, default=1000)
     parser.add_argument(
         "--write", type=Path, default=None, metavar="PATH",
         help="write the report as JSON (the committed baseline)")
@@ -157,6 +225,11 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_benchmark(args.peers, args.members, args.publishes,
                            args.repeat)
+    dims = run_dims_benchmark(args.dims_peers, args.dims_groups,
+                              args.repeat)
+    report["dims_peers"] = dims["dims_peers"]
+    report["dims_groups"] = dims["dims_groups"]
+    report["metrics"]["obs"] = dims["obs"]
     for target in (args.write, args.json):
         if target is not None:
             target.write_text(json.dumps(report, indent=2) + "\n",

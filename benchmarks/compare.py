@@ -79,11 +79,14 @@ def compare(
     For every baseline metric matched by ``patterns``, the fresh value
     must exist and the ratio ``fresh / baseline`` must satisfy
     ``min_ratio <= ratio <= max_ratio`` (each bound optional).  A zero
-    baseline only compares for equality with zero.
+    baseline only compares for equality with zero.  *Each* pattern
+    must match at least one baseline metric: a pattern that matches
+    nothing is a hard failure (a renamed metric would otherwise turn
+    its gate into a silent no-op).
     """
     failures: list[str] = []
-    matched = 0
     for pattern in patterns:
+        matched = 0
         for path, committed in iter_metrics(baseline, pattern):
             matched += 1
             measured = lookup(fresh, path)
@@ -109,10 +112,10 @@ def compare(
             print(("ok   " if ok else "FAIL ") + detail)
             if not ok:
                 failures.append(detail)
-    if matched == 0:
-        message = f"no baseline metrics matched {patterns!r}"
-        print(f"FAIL {message}")
-        failures.append(message)
+        if matched == 0:
+            message = f"no baseline metrics matched {pattern!r}"
+            print(f"FAIL {message}")
+            failures.append(message)
     return failures
 
 

@@ -11,6 +11,12 @@ injected between polls so the table visibly degrades (the crashed peer
 drops out, its downstream member goes off-tree) and then recovers
 after the rejoin.
 
+Below each survey the console renders the per-tenant SLO attainment
+table (worst offenders first) from a record-action
+:class:`~repro.obs.slo.SLOEngine` riding the live telemetry pump; pass
+``--no-slo`` — or run without the obs.slo stack installed — and the
+console degrades gracefully to the survey table alone.
+
 Run::
 
     PYTHONPATH=src python examples/ops_console.py --polls 3
@@ -35,8 +41,54 @@ from repro.experiments.live_run import (  # noqa: E402
 from repro.experiments.live_run import ANNOUNCEMENT, DEFAULT_SEED  # noqa: E402
 from repro.runtime import RuntimeCluster  # noqa: E402
 
+try:  # The SLO engine is optional: the console degrades to the plain
+    # survey table when the obs.slo stack is unavailable.
+    from repro.obs import LiveTelemetry, SLOEngine, SLOSpec  # noqa: E402
+except ImportError:  # pragma: no cover - degraded deployments only
+    LiveTelemetry = SLOEngine = SLOSpec = None
+
 COLUMNS = ("peer", "inc", "up", "tree", "member", "children",
            "unacked", "stalest ms")
+
+SLO_COLUMNS = ("tenant", "burn", "delivery", "members", "orphans",
+               "attained")
+
+
+def render_attainment(engine) -> str:
+    """Per-tenant SLO attainment, worst offenders first.
+
+    Returns a one-line note instead of a table when the SLO engine is
+    absent or has not observed a snapshot yet, so the console renders
+    usefully in degraded deployments.
+    """
+    if engine is None:
+        return "(slo engine unavailable — attainment column skipped)"
+    states = engine.tenant_states()
+    if not states:
+        return "(no per-tenant slo state observed yet)"
+    spec = engine.spec
+    rows = []
+    for state in states:
+        attained = (state["burn"] < spec.burn_threshold
+                    and state["delivery_ratio"]
+                    >= spec.min_delivery_ratio)
+        rows.append((
+            str(state["tenant"]),
+            f"{state['burn']:.2f}",
+            f"{state['delivery_ratio']:.3f}",
+            str(state["members"]),
+            str(state["orphans"]),
+            "yes" if attained else "NO",
+        ))
+    widths = [max(len(SLO_COLUMNS[i]),
+                  max((len(r[i]) for r in rows), default=0))
+              for i in range(len(SLO_COLUMNS))]
+    header = "  ".join(c.rjust(widths[i])
+                       for i, c in enumerate(SLO_COLUMNS))
+    rule = "  ".join("-" * w for w in widths)
+    body = ["  ".join(r[i].rjust(widths[i]) for i in range(len(r)))
+            for r in rows]
+    return "\n".join([header, rule, *body])
 
 
 def render(survey, group_id: int) -> str:
@@ -66,10 +118,18 @@ def render(survey, group_id: int) -> str:
     return "\n".join([header, rule, *body])
 
 
-async def console(polls: int, settle_s: float) -> int:
+async def console(polls: int, settle_s: float,
+                  slo: bool = True) -> int:
     cluster = RuntimeCluster(
         overlay=build_overlay(), seed=DEFAULT_SEED,
         announcement=ANNOUNCEMENT, latency_fn=latency_ms)
+    engine = live = None
+    if slo and SLOEngine is not None:
+        # Record-action burn watchdogs over a 2-snapshot window: the
+        # crash shows up as burn within one poll.  The telemetry pump
+        # is driven manually (poll per survey) instead of started.
+        engine = SLOEngine(SLOSpec(min_delivery_ratio=0.99, window=2))
+        live = LiveTelemetry(cluster, slo=engine)
     async with cluster:
         cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
         await cluster.settle(settle_s)
@@ -78,25 +138,35 @@ async def console(polls: int, settle_s: float) -> int:
         cluster.publish(GROUP, 9)
         await cluster.settle(settle_s)
 
+        def observe() -> None:
+            if live is not None:
+                live.poll()
+
         print(f"established group {GROUP}: rendezvous {RENDEZVOUS}, "
               f"members {sorted(MEMBERS)}\n")
         survey = await cluster.ops_survey()
+        observe()
         print("poll 1 — healthy cluster")
         print(render(survey, GROUP))
+        print(render_attainment(engine))
 
         await cluster.crash(7)
         cluster.rejoin(GROUP, 9)
         survey = await cluster.ops_survey()
+        observe()
         print("\npoll 2 — peer 7 crashed, member 9 repairing")
         print(render(survey, GROUP))
+        print(render_attainment(engine))
 
         await cluster.wait_until(
             lambda: 9 in cluster.members_on_tree(GROUP), settle_s)
         await cluster.settle(settle_s)
         for extra in range(3, polls + 1):
             survey = await cluster.ops_survey()
+            observe()
             print(f"\npoll {extra} — after repair")
             print(render(survey, GROUP))
+            print(render_attainment(engine))
 
         healthy = cluster.members_on_tree(GROUP)
         expected = set(MEMBERS) - {7}
@@ -114,8 +184,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--polls", type=int, default=3,
                         help="total survey polls (>= 2)")
     parser.add_argument("--settle", type=float, default=5.0)
+    parser.add_argument("--no-slo", action="store_true",
+                        help="skip the per-tenant SLO attainment table")
     args = parser.parse_args(argv)
-    return asyncio.run(console(max(2, args.polls), args.settle))
+    return asyncio.run(console(max(2, args.polls), args.settle,
+                               slo=not args.no_slo))
 
 
 if __name__ == "__main__":

@@ -38,6 +38,8 @@ from .multigroup import (
     GroupBatch,
     climb_subscriptions_batch,
     flood_advertisements_batch,
+    group_delay_cells_batch,
+    group_depths_batch,
     pack_members,
     tree_delays_batch,
 )
@@ -82,6 +84,8 @@ __all__ = [
     "flood_advertisements_batch",
     "climb_subscriptions_batch",
     "tree_delays_batch",
+    "group_depths_batch",
+    "group_delay_cells_batch",
     "GroupPassResult",
     "SharedWorld",
     "merge_results",

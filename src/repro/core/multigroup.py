@@ -619,3 +619,45 @@ def tree_delays_batch(parent: np.ndarray, on_tree: np.ndarray,
         child, par = child[wait], par[wait]
         edge_cost = edge_cost[wait]
     return delays
+
+
+# ----------------------------------------------------------------------
+# Segmented per-group aggregation (dimensional telemetry columns)
+# ----------------------------------------------------------------------
+def group_depths_batch(hops: np.ndarray,
+                       on_tree: np.ndarray) -> np.ndarray:
+    """Per-group tree depth as one masked segmented max (int64).
+
+    A dissemination tree is assembled from the flood's upstream
+    pointers, so an on-tree row's depth below the root *is* its flood
+    hop count; the group's tree depth is the deepest on-tree row.
+    Groups with no tree (or a bare root) report 0.  Pure numpy over the
+    ``(n_groups, n_rows)`` batch — no per-peer-group Python loop.
+    """
+    masked = np.where(on_tree, hops, -1)
+    return np.maximum(masked.max(axis=1), 0).astype(np.int64)
+
+
+def group_delay_cells_batch(delays: np.ndarray, member_mask: np.ndarray,
+                            layout) -> np.ndarray:
+    """Per-group delay-distribution rows via one flat ``bincount``.
+
+    ``layout`` is any object with a ``cells`` attribute and a
+    vectorized ``bin_indices(values) -> int64`` method mapping finite
+    member delays (ms) to cell indices — in practice a
+    :class:`repro.obs.dims.SketchLayout`, duck-typed so this kernel
+    stays decoupled from the telemetry layer.  The segmented reduction
+    flattens the key to ``group * cells + cell`` so the whole
+    ``(n_groups, cells)`` int64 matrix costs one vectorized pass over
+    the delivered members.
+    """
+    cells = layout.cells
+    n_groups = delays.shape[0]
+    sample_mask = member_mask & np.isfinite(delays)
+    g, v = np.nonzero(sample_mask)
+    if g.size == 0:
+        return np.zeros((n_groups, cells), dtype=np.int64)
+    flat = g.astype(np.int64) * cells + layout.bin_indices(delays[g, v])
+    return np.bincount(
+        flat, minlength=n_groups * cells).astype(np.int64).reshape(
+            n_groups, cells)

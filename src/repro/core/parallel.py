@@ -35,6 +35,8 @@ from .arrays import CSRGraph
 from .multigroup import (
     climb_subscriptions_batch,
     flood_advertisements_batch,
+    group_delay_cells_batch,
+    group_depths_batch,
     tree_delays_batch,
 )
 from .protocol import climb_subscriptions, flood_advertisement, tree_delays
@@ -53,6 +55,16 @@ class GroupPassResult:
     dense result rows (arrival / upstream / tree parent / delays), so
     any two executions that agree per group agree on
     :meth:`merged_digest` regardless of how the groups were sharded.
+
+    The dimensional-telemetry columns ride along: ``depth`` is the
+    per-group tree depth (always computed — one segmented max), and
+    ``delay_cells`` holds one log-scale sketch row per group
+    (``(n_groups, layout.cells)`` int64) when the pass ran with a
+    ``dims_layout``, else a ``(n_groups, 0)`` placeholder.  Both merge
+    by concatenation in shard order like every other column, and the
+    sketch rows merge across epochs/workers by integer addition, so
+    per-tenant percentiles are bit-identical for any shard or worker
+    count.
     """
 
     receipts: np.ndarray
@@ -62,6 +74,8 @@ class GroupPassResult:
     delay_sum_ms: np.ndarray
     delay_max_ms: np.ndarray
     digests: np.ndarray
+    depth: np.ndarray
+    delay_cells: np.ndarray
 
     @property
     def n_groups(self) -> int:
@@ -84,6 +98,7 @@ class GroupPassResult:
             "delay_sum_ms": float(self.delay_sum_ms[finite].sum()),
             "delay_max_ms": float(
                 self.delay_max_ms[finite].max()) if finite.any() else 0.0,
+            "depth_max": int(self.depth.max()) if self.depth.size else 0,
             "digest": self.merged_digest(),
         }
 
@@ -121,7 +136,7 @@ def _group_digests(arrival: np.ndarray, upstream: np.ndarray,
 
 
 def _pass_metrics(arrival, upstream, parent, on_tree, is_member, delays,
-                  member_indptr) -> GroupPassResult:
+                  member_indptr, hops, dims_layout) -> GroupPassResult:
     member_mask = is_member & on_tree
     finite = member_mask & np.isfinite(delays)
     delay_sum = np.where(finite, delays, 0.0).sum(axis=1)
@@ -129,6 +144,11 @@ def _pass_metrics(arrival, upstream, parent, on_tree, is_member, delays,
         finite.any(axis=1),
         np.where(finite, delays, -np.inf).max(axis=1),
         np.inf)
+    if dims_layout is not None:
+        delay_cells = group_delay_cells_batch(delays, member_mask,
+                                              dims_layout)
+    else:
+        delay_cells = np.zeros((arrival.shape[0], 0), dtype=np.int64)
     return GroupPassResult(
         receipts=np.count_nonzero(np.isfinite(arrival), axis=1),
         tree_nodes=on_tree.sum(axis=1).astype(np.int64),
@@ -136,7 +156,9 @@ def _pass_metrics(arrival, upstream, parent, on_tree, is_member, delays,
         members_on_tree=member_mask.sum(axis=1).astype(np.int64),
         delay_sum_ms=delay_sum,
         delay_max_ms=delay_max,
-        digests=_group_digests(arrival, upstream, parent, delays))
+        digests=_group_digests(arrival, upstream, parent, delays),
+        depth=group_depths_batch(hops, on_tree),
+        delay_cells=delay_cells)
 
 
 def run_group_pass(csr: CSRGraph, latency: np.ndarray,
@@ -146,12 +168,17 @@ def run_group_pass(csr: CSRGraph, latency: np.ndarray,
                    capacities: np.ndarray | None = None,
                    ssa_seed: int | None = None,
                    group_offset: int = 0,
-                   epoch_ms: float | None = None) -> GroupPassResult:
+                   epoch_ms: float | None = None,
+                   dims_layout=None) -> GroupPassResult:
     """One batched flood + climb + delay pass over a slice of groups.
 
     ``group_offset`` is the slice's position in the *global* group
     order; SSA generators are spawned per global group index so results
-    do not depend on how the group set was sharded.
+    do not depend on how the group set was sharded.  ``dims_layout``
+    (a :class:`repro.obs.dims.SketchLayout`, duck-typed) switches on
+    the per-group delay sketch columns; it never touches the dense
+    result rows, so per-group digests are bit-identical with dims on
+    or off.
     """
     rngs = None
     if scheme == "ssa":
@@ -168,7 +195,8 @@ def run_group_pass(csr: CSRGraph, latency: np.ndarray,
     delays = tree_delays_batch(parent, on_tree, coords=coords,
                                roots=roots)
     return _pass_metrics(flood.arrival, flood.upstream, parent, on_tree,
-                         is_member, delays, member_indptr)
+                         is_member, delays, member_indptr, flood.hops,
+                         dims_layout)
 
 
 def run_group_pass_loop(csr: CSRGraph, latency: np.ndarray,
@@ -179,8 +207,8 @@ def run_group_pass_loop(csr: CSRGraph, latency: np.ndarray,
                         capacities: np.ndarray | None = None,
                         ssa_seed: int | None = None,
                         group_offset: int = 0,
-                        epoch_ms: float | None = None
-                        ) -> GroupPassResult:
+                        epoch_ms: float | None = None,
+                        dims_layout=None) -> GroupPassResult:
     """Differential reference: the same pass as a per-group kernel loop.
 
     Calls the single-group PR-6 kernels once per group; the batched
@@ -195,6 +223,7 @@ def run_group_pass_loop(csr: CSRGraph, latency: np.ndarray,
     on_tree = np.empty((n_groups, n), dtype=bool)
     is_member = np.empty((n_groups, n), dtype=bool)
     delays = np.empty((n_groups, n))
+    hops = np.empty((n_groups, n), dtype=np.int64)
     for g in range(n_groups):
         rng = None
         if scheme == "ssa":
@@ -212,10 +241,11 @@ def run_group_pass_loop(csr: CSRGraph, latency: np.ndarray,
         parent[g] = tree_parent
         on_tree[g] = tree_mask
         is_member[g] = member_mask
+        hops[g] = flood.hops
         delays[g] = tree_delays(tree_parent, tree_mask, coords=coords,
                                 root=int(roots[g]))
     return _pass_metrics(arrival, upstream, parent, on_tree, is_member,
-                         delays, member_indptr)
+                         delays, member_indptr, hops, dims_layout)
 
 
 # ----------------------------------------------------------------------
@@ -318,7 +348,8 @@ def _run_shard(payload: tuple) -> GroupPassResult:
             ttl=params["ttl"], scheme=params["scheme"],
             capacities=capacities if params["scheme"] == "ssa" else None,
             ssa_seed=params["ssa_seed"], group_offset=lo,
-            epoch_ms=params["epoch_ms"])
+            epoch_ms=params["epoch_ms"],
+            dims_layout=params["dims_layout"])
     finally:
         _detach(segments)
 
@@ -330,7 +361,7 @@ def run_sharded(csr: CSRGraph, latency: np.ndarray, coords: np.ndarray,
                 capacities: np.ndarray | None = None,
                 ssa_seed: int | None = None,
                 epoch_ms: float | None = None, shards: int = 4,
-                jobs: int = 1) -> GroupPassResult:
+                jobs: int = 1, dims_layout=None) -> GroupPassResult:
     """Run a multi-group pass over deterministic group shards.
 
     ``jobs <= 1`` runs the shards inline (no pool, no shared memory);
@@ -343,7 +374,7 @@ def run_sharded(csr: CSRGraph, latency: np.ndarray, coords: np.ndarray,
     member_indptr = np.asarray(member_indptr, dtype=np.int64)
     bounds = shard_bounds(roots.shape[0], shards)
     params = {"ttl": int(ttl), "scheme": scheme, "ssa_seed": ssa_seed,
-              "epoch_ms": epoch_ms,
+              "epoch_ms": epoch_ms, "dims_layout": dims_layout,
               "unregister": pool_context().get_start_method() != "fork"}
     if scheme == "ssa" and capacities is None:
         raise GroupError("ssa passes need capacities")
@@ -356,7 +387,8 @@ def run_sharded(csr: CSRGraph, latency: np.ndarray, coords: np.ndarray,
                 member_rows[member_indptr[lo]:member_indptr[hi]],
                 member_indptr[lo:hi + 1] - member_indptr[lo],
                 ttl=int(ttl), scheme=scheme, capacities=capacities,
-                ssa_seed=ssa_seed, group_offset=lo, epoch_ms=epoch_ms))
+                ssa_seed=ssa_seed, group_offset=lo, epoch_ms=epoch_ms,
+                dims_layout=dims_layout))
         return merge_results(parts)
     world = SharedWorld()
     try:

@@ -53,6 +53,7 @@ from . import (
     overlay_structure,
     preference,
     service_lookup,
+    tenancy,
 )
 from . import export
 from .common import ExperimentResult
@@ -71,6 +72,15 @@ def _live(args) -> list[ExperimentResult]:
         seed=args.seed,
         output_dir=out_dir if args.report else None,
         watchdogs=args.watchdogs)
+
+
+def _tenancy(args) -> list[ExperimentResult]:
+    # Writes the canonical attainment.json artifact whenever an output
+    # directory is given; CI compares those bytes across --jobs values.
+    peers = args.sizes[0] if args.sizes else tenancy.DEFAULT_PEERS
+    result, _table = tenancy.run(seed=args.seed, peers=peers,
+                                 jobs=args.jobs, output_dir=args.output)
+    return [result]
 
 
 def _degree(args) -> list[ExperimentResult]:
@@ -135,6 +145,8 @@ EXPERIMENTS: dict[str, Callable] = {
     ],
     # Runs over real loopback sockets, so it is opt-in (not in 'all').
     "live": _live,
+    # Thousand-group SLO scoreboard; opt-in (heavier than the sweeps).
+    "tenancy": _tenancy,
 }
 
 ALL_GROUPS = ("preference", "degree", "neighbor", "diameter", "lookup",

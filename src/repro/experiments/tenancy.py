@@ -1,0 +1,97 @@
+"""Per-tenant SLO attainment over the Zipf thousand-group workload.
+
+The ROADMAP item-4 scoreboard as a runnable experiment: a synthetic
+power-law overlay hosts ~1000 Zipf-sized groups owned by a heavy-tailed
+tenant population, one batched epoch pass runs with dimensional
+telemetry on (per-group depth + delay sketch columns), and the
+:class:`~repro.obs.slo.AttainmentTable` folds the group columns onto
+tenants with segmented reductions.
+
+Determinism contract: the pass runs through
+:func:`repro.core.parallel.run_sharded` with a *fixed* shard count, so
+the result — and therefore the canonical ``attainment.json`` bytes —
+is bit-identical for every ``--jobs`` value.  The CI ``tenancy`` job
+pins exactly that: same seed, ``--jobs {1, 2, 4}``, byte-identical
+attainment tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core import (
+    edge_latencies_from_coords,
+    run_sharded,
+    synthetic_power_law_csr,
+)
+from ..obs.dims import DEFAULT_SKETCH_LAYOUT
+from ..obs.slo import AttainmentTable, SLOSpec
+from ..sim.random import spawn_rng
+from ..workloads.groups import assign_tenants, sample_group_rows
+from .common import ExperimentResult
+
+#: Default workload shape: 1k Zipf-sized groups over 2k rows, owned by
+#: a Zipf-weighted tenant population.
+DEFAULT_PEERS = 2048
+DEFAULT_GROUPS = 1000
+DEFAULT_TENANTS = 50
+DEFAULT_TTL = 8
+
+#: Fixed shard count — independent of ``jobs`` so the merged result is
+#: bit-identical for any worker count.
+SHARDS = 8
+
+#: The objectives the workload is judged against.
+DEFAULT_SPEC = SLOSpec(min_delivery_ratio=0.95,
+                       max_p99_delay_ms=500.0)
+
+
+def run(seed: int = 7, peers: int = DEFAULT_PEERS,
+        groups: int = DEFAULT_GROUPS, tenants: int = DEFAULT_TENANTS,
+        ttl: int = DEFAULT_TTL, jobs: int = 1,
+        spec: SLOSpec = DEFAULT_SPEC,
+        output_dir: str | Path | None = None,
+        ) -> tuple[ExperimentResult, AttainmentTable]:
+    """One dims-on epoch pass scored per tenant.
+
+    Returns the printable worst-tenant table and the full
+    :class:`AttainmentTable`; with ``output_dir`` set, also writes the
+    canonical ``attainment.json`` bytes there (the CI byte-identity
+    artifact).
+    """
+    rng = spawn_rng(seed, "tenancy-world")
+    csr = synthetic_power_law_csr(peers, rng)
+    coords = rng.uniform(0.0, 100.0, size=(peers, 2))
+    latency = edge_latencies_from_coords(csr, coords)
+    roots, member_rows, indptr = sample_group_rows(
+        spawn_rng(seed, "tenancy-groups"), groups, peers, max_size=256)
+    tenant_of_group = assign_tenants(
+        spawn_rng(seed, "tenancy-tenants"), groups, tenants)
+
+    result = run_sharded(
+        csr, latency, coords, roots, member_rows, indptr, ttl=ttl,
+        scheme="nssa", shards=SHARDS, jobs=jobs,
+        dims_layout=DEFAULT_SKETCH_LAYOUT)
+    table = AttainmentTable.from_pass(
+        result, spec, tenant_of_group, DEFAULT_SKETCH_LAYOUT)
+
+    if output_dir is not None:
+        target = Path(output_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        (target / "attainment.json").write_bytes(
+            table.to_canonical_json())
+
+    cdf = table.attainment_cdf()
+    out = ExperimentResult(
+        title=(f"Per-tenant SLO attainment: {groups} groups, "
+               f"{tenants} tenants, {peers} rows (seed {seed}; "
+               f"attained {cdf['attained_fraction']:.1%})"),
+        columns=("tenant", "groups", "members", "delivered",
+                 "delivery_ratio", "p99_ms", "depth", "attained"))
+    for row in table.worst(10):
+        p99 = row.get("p99_ms")
+        out.add_row(row["tenant"], row["groups"], row["members"],
+                    row["delivered"], round(row["delivery_ratio"], 4),
+                    round(p99, 2) if p99 is not None else float("inf"),
+                    row["depth"], "yes" if row["attained"] else "NO")
+    return out, table

@@ -29,7 +29,15 @@ Four pieces:
 * :mod:`.live` — a :class:`LiveTelemetry` pump running the same stack
   against a live asyncio cluster through the clock seam: streaming
   trace/snapshot JSONL, online watchdogs (halt stops the cluster) and
-  the report's "Live run" section.
+  the report's "Live run" section;
+* :mod:`.dims` — dimensional telemetry primitives: the deterministic
+  log-scale :class:`QuantileSketch` (integer-only state, bit-identical
+  merges) and the segmented group-indexed column kernels behind
+  per-tenant percentiles at thousand-group scale;
+* :mod:`.slo` — declarative per-tenant objectives (:class:`SLOSpec`),
+  per-tenant :class:`AttainmentTable` scoreboards with canonical byte
+  encodings, and :class:`SLOBurnRule` error-budget burn watchdogs
+  riding the record/warn/halt machinery.
 
 Every paper-figure metric maps onto a named instrument; the table lives
 in the README's Observability section.  :mod:`.report` assembles all of
@@ -37,7 +45,15 @@ the above into per-run experiment reports.
 """
 
 from .causality import Span, SpanForest, SpanTree, TreeStats
+from .dims import (
+    DEFAULT_SKETCH_LAYOUT,
+    QuantileSketch,
+    SketchLayout,
+    segment_log_histogram,
+    sketch_quantiles,
+)
 from .live import LIVE_INTERVAL_S, LiveTelemetry
+from .slo import AttainmentTable, SLOBurnRule, SLOEngine, SLOSpec
 from .diff import (
     EpochDiff,
     TopologyDiff,
@@ -60,10 +76,13 @@ from .profiler import (
 )
 from .registry import (
     DEFAULT_BUCKETS,
+    FAMILY_KINDS,
     NULL_REGISTRY,
+    OVERFLOW_SERIES,
     Counter,
     Gauge,
     Histogram,
+    MetricFamily,
     Registry,
     disable_telemetry,
     enable_telemetry,
@@ -128,14 +147,19 @@ from .watchdog import (
 __all__ = [
     "ACTIONS",
     "Alert",
+    "AttainmentTable",
     "Clock",
     "ConservationGapGrowth",
     "DEFAULT_BUCKETS",
+    "DEFAULT_SKETCH_LAYOUT",
     "EpochDiff",
+    "FAMILY_KINDS",
     "GraphDelta",
     "HeartbeatStaleness",
+    "MetricFamily",
     "MetricSpike",
     "NULL_REGISTRY",
+    "OVERFLOW_SERIES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -146,7 +170,12 @@ __all__ = [
     "OverlayPartition",
     "Profiler",
     "QUANTILES",
+    "QuantileSketch",
     "Registry",
+    "SLOBurnRule",
+    "SLOEngine",
+    "SLOSpec",
+    "SketchLayout",
     "Span",
     "SpanContext",
     "SpanForest",
@@ -181,10 +210,12 @@ __all__ = [
     "phase_timer",
     "pseudo_diameter",
     "reconstruct_epochs",
+    "segment_log_histogram",
     "set_default_profiler",
     "set_default_registry",
     "set_default_topology_recorder",
     "set_default_tracer",
+    "sketch_quantiles",
     "tree_cost_metrics",
     "tree_depth_spike",
     "KIND_CRASH",

@@ -55,12 +55,19 @@ class LiveTelemetry:
     :class:`~repro.errors.WatchdogHalt` out of :meth:`poll`; the pump
     task catches it, stops the cluster, and finalizes the streams —
     the operational kill-switch the sim's halting watchdogs promise.
+
+    ``slo`` optionally attaches a :class:`~repro.obs.slo.SLOEngine`:
+    its burn-rate rules are armed on the same watchdog engine (with
+    ``slo_action`` selecting record/warn/halt), live per-tenant burn
+    state joins :meth:`live_section` and ``incidents.json``, and the
+    ops console can read attainment through ``cluster`` consumers.
     """
 
     def __init__(self, cluster, interval_s: float = LIVE_INTERVAL_S,
                  output_dir: Optional[str | Path] = None,
                  rules: Iterable = (),
-                 tracer_capacity: int = 262144) -> None:
+                 tracer_capacity: int = 262144,
+                 slo=None, slo_action: str = "record") -> None:
         if interval_s <= 0.0:
             raise TelemetryError("live telemetry interval must be positive")
         self.cluster = cluster
@@ -84,6 +91,10 @@ class LiveTelemetry:
         self.recorder.watch_conservation(self.registry)
         for rule in rules:
             self.recorder.add_watchdog(rule)
+        self.slo = slo
+        if slo is not None:
+            for rule in slo.rules(action=slo_action):
+                self.recorder.add_watchdog(rule)
         self._task: Optional[asyncio.Task] = None
         self._trace_file = None
         self._snapshot_file = None
@@ -215,6 +226,8 @@ class LiveTelemetry:
             incidents = {"halted": self._halted}
             if engine is not None:
                 incidents.update(engine.summary())
+            if self.slo is not None:
+                incidents["slo"] = self.slo.summary()
             self.incidents_path.write_text(
                 json.dumps(incidents, indent=2, sort_keys=True) + "\n",
                 encoding="utf-8")
@@ -232,7 +245,7 @@ class LiveTelemetry:
     def live_section(self) -> dict[str, object]:
         """The report's "Live run" section (see
         :func:`repro.obs.report.build_report`)."""
-        return {
+        section: dict[str, object] = {
             "polls": self._polls,
             "interval_ms": self.interval_s * 1000.0,
             "clock_ms": self._last_poll_ms,
@@ -247,6 +260,9 @@ class LiveTelemetry:
             "delivery_lag": self._delivery_lag(),
             "arq": self._arq_section(),
         }
+        if self.slo is not None:
+            section["slo"] = self.slo.summary()
+        return section
 
     def _delivery_lag(self) -> dict[int, dict[str, float]]:
         """Per-peer payload delivery lag behind the first delivery.

@@ -17,9 +17,10 @@ instrument names is documented in the README's Observability section.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..errors import TelemetryError
+from .dims import DEFAULT_SKETCH_LAYOUT, QuantileSketch, SketchLayout
 
 #: Default histogram buckets, tuned for millisecond latencies.
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -164,6 +165,124 @@ class Histogram:
                 f"mean={self.mean:.3f})")
 
 
+#: Reserved label rendering for the shared catch-all series a bounded
+#: family routes observations to once ``max_series`` is reached.
+OVERFLOW_SERIES = "__overflow__"
+
+#: Family child kinds, in the order the dump encoding documents them.
+FAMILY_KINDS = ("counter", "gauge", "histogram", "sketch")
+
+
+def _series_name(name: str, label_names: Sequence[str],
+                 label_values: Sequence[str]) -> str:
+    pairs = ",".join(
+        f"{k}={v}" for k, v in zip(label_names, label_values))
+    return f"{name}{{{pairs}}}"
+
+
+class MetricFamily:
+    """A labeled family of instruments with bounded cardinality.
+
+    ``labels(*values)`` returns the child instrument for that label
+    tuple, creating it on first use — until ``max_series`` distinct
+    tuples exist.  Beyond the bound, every further label tuple routes to
+    one shared overflow child (series ``name{__overflow__}``) and bumps
+    :attr:`overflow_routed`, so no observation is ever dropped: the sum
+    over all children (overflow included) conserves the total, and the
+    overflow accounting is explicit rather than silent.
+    """
+
+    __slots__ = ("name", "kind", "label_names", "max_series", "_factory",
+                 "_series", "_overflow", "overflow_routed")
+
+    def __init__(self, name: str, label_names: Sequence[str], kind: str,
+                 factory: Callable[[str], "Instrument"],
+                 max_series: int) -> None:
+        names = tuple(str(n) for n in label_names)
+        if not names:
+            raise TelemetryError(
+                f"family {name!r} needs at least one label name")
+        if kind not in FAMILY_KINDS:
+            raise TelemetryError(
+                f"family {name!r} kind {kind!r} not in {FAMILY_KINDS}")
+        if max_series < 1:
+            raise TelemetryError(
+                f"family {name!r} needs max_series >= 1, got {max_series}")
+        self.name = name
+        self.kind = kind
+        self.label_names = names
+        self.max_series = int(max_series)
+        self._factory = factory
+        self._series: dict[tuple[str, ...], Instrument] = {}
+        self._overflow: Optional[Instrument] = None
+        self.overflow_routed = 0
+
+    # ------------------------------------------------------------------
+    def labels(self, *values: object) -> "Instrument":
+        """The child instrument for this label tuple (bounded)."""
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.label_names):
+            raise TelemetryError(
+                f"family {self.name!r} takes labels {self.label_names}, "
+                f"got {len(key)} values")
+        child = self._series.get(key)
+        if child is not None:
+            return child
+        if len(self._series) < self.max_series:
+            child = self._factory(
+                _series_name(self.name, self.label_names, key))
+            self._series[key] = child
+            return child
+        self.overflow_routed += 1
+        return self._ensure_overflow()
+
+    def _ensure_overflow(self) -> "Instrument":
+        if self._overflow is None:
+            self._overflow = self._factory(
+                f"{self.name}{{{OVERFLOW_SERIES}}}")
+        return self._overflow
+
+    # ------------------------------------------------------------------
+    @property
+    def series_count(self) -> int:
+        """Distinct dedicated (non-overflow) series created so far."""
+        return len(self._series)
+
+    @property
+    def overflow(self) -> Optional["Instrument"]:
+        """The shared catch-all child, or None if never needed."""
+        return self._overflow
+
+    def series(self) -> list[tuple[tuple[str, ...], "Instrument"]]:
+        """``(label_values, child)`` pairs in sorted label order."""
+        return [(key, self._series[key]) for key in sorted(self._series)]
+
+    def reset(self) -> None:
+        """Zero every child (series set and types are kept)."""
+        for child in self._series.values():
+            child.reset()
+        if self._overflow is not None:
+            self._overflow.reset()
+        self.overflow_routed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetricFamily({self.name!r}, kind={self.kind!r}, "
+                f"series={len(self._series)}/{self.max_series})")
+
+
+class _NullFamily(MetricFamily):
+    """Shared do-nothing family handed out by disabled registries."""
+
+    __slots__ = ("_null",)
+
+    def __init__(self, kind: str, null: "Instrument") -> None:
+        super().__init__("null", ("label",), kind, lambda name: null, 1)
+        self._null = null
+
+    def labels(self, *values: object) -> "Instrument":  # noqa: D102
+        return self._null
+
+
 class _NullCounter(Counter):
     """Shared do-nothing counter handed out by disabled registries."""
 
@@ -197,11 +316,31 @@ class _NullHistogram(Histogram):
         pass
 
 
+class _NullSketch(QuantileSketch):
+    """Shared do-nothing sketch handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def observe_many(self, values) -> None:  # noqa: D102 - no-op
+        pass
+
+
 _NULL_COUNTER = _NullCounter("null")
 _NULL_GAUGE = _NullGauge("null")
 _NULL_HISTOGRAM = _NullHistogram("null")
+_NULL_SKETCH = _NullSketch("null")
 
-Instrument = Union[Counter, Gauge, Histogram]
+Instrument = Union[Counter, Gauge, Histogram, QuantileSketch]
+
+_NULL_FAMILIES = {
+    "counter": _NullFamily("counter", _NULL_COUNTER),
+    "gauge": _NullFamily("gauge", _NULL_GAUGE),
+    "histogram": _NullFamily("histogram", _NULL_HISTOGRAM),
+    "sketch": _NullFamily("sketch", _NULL_SKETCH),
+}
 
 
 class Registry:
@@ -217,6 +356,7 @@ class Registry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._instruments: dict[str, Instrument] = {}
+        self._families: dict[str, MetricFamily] = {}
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -245,9 +385,75 @@ class Registry:
                 f"{name!r} is a {type(instrument).__name__}, not a Histogram")
         return instrument
 
+    def sketch(self, name: str,
+               layout: SketchLayout = DEFAULT_SKETCH_LAYOUT,
+               ) -> QuantileSketch:
+        """The quantile sketch called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_SKETCH
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = QuantileSketch(name, layout)
+            self._instruments[name] = instrument
+        elif type(instrument) is not QuantileSketch:
+            raise TelemetryError(
+                f"{name!r} is a {type(instrument).__name__}, "
+                f"not a QuantileSketch")
+        elif instrument.layout != layout:
+            raise TelemetryError(
+                f"sketch {name!r} exists with layout {instrument.layout}, "
+                f"asked for {layout}")
+        return instrument
+
+    def family(self, name: str, label_names: Sequence[str],
+               kind: str = "counter", *,
+               bounds: Sequence[float] = DEFAULT_BUCKETS,
+               layout: SketchLayout = DEFAULT_SKETCH_LAYOUT,
+               max_series: int = 64) -> MetricFamily:
+        """The labeled family called ``name`` (created on first use).
+
+        ``kind`` selects the child instrument type (one of
+        :data:`FAMILY_KINDS`); ``max_series`` bounds the cardinality —
+        label tuples beyond the bound share one overflow child with
+        explicit accounting (see :class:`MetricFamily`).
+        """
+        if not self.enabled:
+            return _NULL_FAMILIES[kind]
+        family = self._families.get(name)
+        if family is None:
+            if name in self._instruments:
+                raise TelemetryError(
+                    f"{name!r} is already a plain instrument, "
+                    f"not a family")
+            if kind == "histogram":
+                edges = tuple(float(b) for b in bounds)
+                factory = lambda n: Histogram(n, edges)  # noqa: E731
+            elif kind == "sketch":
+                factory = lambda n: QuantileSketch(n, layout)  # noqa: E731
+            elif kind == "gauge":
+                factory = Gauge
+            else:
+                factory = Counter
+            family = MetricFamily(name, label_names, kind, factory,
+                                  max_series)
+            self._families[name] = family
+        else:
+            if family.kind != kind:
+                raise TelemetryError(
+                    f"family {name!r} is kind {family.kind!r}, "
+                    f"not {kind!r}")
+            if family.label_names != tuple(str(n) for n in label_names):
+                raise TelemetryError(
+                    f"family {name!r} has labels {family.label_names}, "
+                    f"asked for {tuple(label_names)}")
+        return family
+
     def _lookup(self, name: str, cls: type) -> Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
+            if name in self._families:
+                raise TelemetryError(
+                    f"{name!r} is already a family, not a {cls.__name__}")
             instrument = cls(name)
             self._instruments[name] = instrument
         elif type(instrument) is not cls:
@@ -257,13 +463,16 @@ class Registry:
         return instrument
 
     # ------------------------------------------------------------------
-    def get(self, name: str) -> Optional[Instrument]:
-        """The instrument called ``name``, or None if never created."""
-        return self._instruments.get(name)
+    def get(self, name: str) -> Optional[Union[Instrument, MetricFamily]]:
+        """The instrument or family called ``name``, or None."""
+        inst = self._instruments.get(name)
+        if inst is not None:
+            return inst
+        return self._families.get(name)
 
     def names(self) -> list[str]:
-        """Sorted names of every instrument created so far."""
-        return sorted(self._instruments)
+        """Sorted names of every instrument and family created so far."""
+        return sorted((*self._instruments, *self._families))
 
     def counters(self, prefix: str = "") -> dict[str, int]:
         """``{name: value}`` of every counter under ``prefix``."""
@@ -280,48 +489,75 @@ class Registry:
         of ``count``/``sum``/``mean``/``buckets``.
         """
         out: dict[str, object] = {}
-        for name in sorted(self._instruments):
-            inst = self._instruments[name]
-            if isinstance(inst, Histogram):
-                out[name] = {
-                    "count": inst.count,
-                    "sum": inst.sum,
-                    "mean": inst.mean,
-                    "buckets": inst.bucket_counts(),
-                }
-            else:
-                out[name] = inst.value
-        return out
+        for name, inst in self._instruments.items():
+            out[name] = _snapshot_value(inst)
+        for name, family in self._families.items():
+            for key, child in family.series():
+                out[_series_name(name, family.label_names, key)] = \
+                    _snapshot_value(child)
+            if family.overflow is not None:
+                out[f"{name}{{{OVERFLOW_SERIES}}}"] = \
+                    _snapshot_value(family.overflow)
+            if family.overflow_routed:
+                out[f"{name}.__overflow_routed"] = family.overflow_routed
+        return dict(sorted(out.items()))
 
     def dump_state(self) -> dict[str, tuple]:
         """Typed, lossless export of every instrument for merging.
 
         Unlike :meth:`snapshot` (a human-facing view), the dump carries
-        enough structure (instrument type, histogram bucket bounds) to
-        reconstruct instruments in another registry — the transport used
-        by the process-parallel experiment runner to fold worker
-        telemetry back into the parent.
+        enough structure (instrument type, histogram bucket bounds,
+        sketch layout, family shape) to reconstruct instruments in
+        another registry — the transport used by the process-parallel
+        experiment runner to fold worker telemetry back into the parent.
+
+        A family dumps as one entry under the family name::
+
+            ("family", kind, label_names, max_series, extra,
+             ((label_values, child_entry), ...),   # sorted label order
+             overflow_entry_or_None, overflow_routed)
+
+        where ``extra`` pins the child constructor parameters (histogram
+        bounds, sketch ``(lo, hi, bins)``, else None) and each child
+        entry reuses the plain-instrument encoding.  This layout is the
+        pinned wire format regression-tested in ``tests/test_dims.py``.
         """
         out: dict[str, tuple] = {}
-        for name in sorted(self._instruments):
-            inst = self._instruments[name]
-            if isinstance(inst, Histogram):
-                out[name] = ("histogram", inst.bounds,
-                             inst.bucket_counts(), inst.sum, inst.count)
-            elif isinstance(inst, Gauge):
-                out[name] = ("gauge", inst.value)
+        for name, inst in self._instruments.items():
+            out[name] = _dump_value(inst)
+        for name, family in self._families.items():
+            if family.kind == "histogram":
+                probe = family._factory("__probe__")
+                extra: object = probe.bounds
+            elif family.kind == "sketch":
+                probe = family._factory("__probe__")
+                extra = (probe.layout.lo, probe.layout.hi,
+                         probe.layout.bins)
             else:
-                out[name] = ("counter", inst.value)
-        return out
+                extra = None
+            series = tuple(
+                (key, _dump_value(child)) for key, child in family.series())
+            overflow = (_dump_value(family.overflow)
+                        if family.overflow is not None else None)
+            out[name] = ("family", family.kind, family.label_names,
+                         family.max_series, extra, series, overflow,
+                         family.overflow_routed)
+        return dict(sorted(out.items()))
 
     def merge_state(self, state: dict[str, tuple]) -> None:
         """Fold a :meth:`dump_state` export into this registry.
 
-        Counters and histograms merge additively; gauges (levels) merge
-        additively too, which is correct for the per-worker deltas the
-        parallel runner produces.  Merging in sorted-name order keeps
-        instrument creation order — and therefore snapshots —
-        deterministic regardless of worker count.
+        Counters, histograms and sketches merge additively; gauges
+        (levels) merge additively too, which is correct for the
+        per-worker deltas the parallel runner produces.  Family entries
+        merge child-by-child in sorted label order: disjoint label sets
+        union (missing series are created), overlapping label sets add.
+        Children that land beyond this registry's ``max_series`` bound
+        route to the overflow child with the routing counted, so the
+        merged totals still conserve every worker's observations.
+        Merging in sorted-name order keeps instrument creation order —
+        and therefore snapshots — deterministic regardless of worker
+        count.
         """
         if not self.enabled:
             return
@@ -332,6 +568,23 @@ class Registry:
                 _, bounds, buckets, total_sum, total_count = entry
                 self.histogram(name, bounds).merge(
                     buckets, total_sum, total_count)
+            elif kind == "sketch":
+                _, lo, hi, bins, counts = entry
+                self.sketch(name, SketchLayout(lo, hi, bins)).merge(counts)
+            elif kind == "family":
+                (_, fkind, label_names, max_series, extra,
+                 series, overflow, routed) = entry
+                kwargs: dict[str, object] = {"max_series": max_series}
+                if fkind == "histogram" and extra is not None:
+                    kwargs["bounds"] = extra
+                elif fkind == "sketch" and extra is not None:
+                    kwargs["layout"] = SketchLayout(*extra)
+                family = self.family(name, label_names, fkind, **kwargs)
+                for key, child_entry in series:
+                    _apply_state(family.labels(*key), child_entry)
+                if overflow is not None:
+                    _apply_state(family._ensure_overflow(), overflow)
+                family.overflow_routed += routed
             elif kind == "gauge":
                 self.gauge(name).inc(entry[1])
             else:
@@ -341,16 +594,61 @@ class Registry:
         """Zero every instrument (names and types are kept)."""
         for inst in self._instruments.values():
             inst.reset()
+        for family in self._families.values():
+            family.reset()
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        return name in self._instruments or name in self._families
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        return len(self._instruments) + len(self._families)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
-        return f"Registry({state}, {len(self._instruments)} instruments)"
+        count = len(self._instruments) + len(self._families)
+        return f"Registry({state}, {count} instruments)"
+
+
+def _snapshot_value(inst: Instrument) -> object:
+    """Human-facing snapshot view of one instrument."""
+    if isinstance(inst, Histogram):
+        return {
+            "count": inst.count,
+            "sum": inst.sum,
+            "mean": inst.mean,
+            "buckets": inst.bucket_counts(),
+        }
+    if isinstance(inst, QuantileSketch):
+        return {
+            "count": inst.count,
+            "p50": inst.quantile(0.50),
+            "p99": inst.quantile(0.99),
+        }
+    return inst.value
+
+
+def _dump_value(inst: Instrument) -> tuple:
+    """Typed transport tuple for one instrument."""
+    if isinstance(inst, Histogram):
+        return ("histogram", inst.bounds, inst.bucket_counts(),
+                inst.sum, inst.count)
+    if isinstance(inst, QuantileSketch):
+        return ("sketch", inst.layout.lo, inst.layout.hi,
+                inst.layout.bins, tuple(int(c) for c in inst.cell_counts()))
+    if isinstance(inst, Gauge):
+        return ("gauge", inst.value)
+    return ("counter", inst.value)
+
+
+def _apply_state(inst: Instrument, entry: tuple) -> None:
+    """Fold one :func:`_dump_value` entry into a live instrument."""
+    kind = entry[0]
+    if kind == "histogram":
+        inst.merge(entry[2], entry[3], entry[4])
+    elif kind == "sketch":
+        inst.merge(entry[4])
+    else:
+        inst.inc(entry[1])
 
 
 #: Shared disabled registry: the default for the procedural fast paths,

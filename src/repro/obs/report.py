@@ -44,6 +44,7 @@ def build_report(
     invariant_suite=None,
     topology=None,
     live=None,
+    slo=None,
     top: int = 10,
 ) -> dict:
     """Assemble one run's observability state into a report dict.
@@ -52,7 +53,9 @@ def build_report(
     ``topology`` accepts a :class:`~repro.obs.topology.TopologyRecorder`
     (duck-typed via its ``report_section``/``watchdog_section``);
     ``live`` a :class:`~repro.obs.live.LiveTelemetry` (duck-typed via
-    ``live_section``).  The result is JSON-serializable as-is.
+    ``live_section``); ``slo`` a :class:`~repro.obs.slo.SLOEngine` or
+    :class:`~repro.obs.slo.AttainmentTable` (duck-typed via
+    ``summary``).  The result is JSON-serializable as-is.
     """
     report: dict = {"title": title}
 
@@ -94,6 +97,9 @@ def build_report(
 
     if live is not None:
         report["live"] = live.live_section()
+
+    if slo is not None:
+        report["slo"] = slo.summary()
 
     if invariant_suite is not None:
         report["invariants"] = {
@@ -265,7 +271,66 @@ def render_markdown(report: dict) -> str:
     if live is not None:
         lines += _live_section(live)
 
+    slo = report.get("slo")
+    if slo is not None:
+        lines += _slo_section(slo)
+
     return "\n".join(lines)
+
+
+def _slo_section(slo: dict) -> list[str]:
+    """Render per-tenant SLO attainment: objectives, CDF, worst-N."""
+    lines = ["## Per-tenant SLO attainment", ""]
+    spec = slo.get("spec", {})
+    objectives = []
+    if spec.get("min_delivery_ratio") is not None:
+        objectives.append(
+            f"delivery ≥ {spec['min_delivery_ratio']:g}")
+    if spec.get("max_p99_delay_ms") is not None:
+        objectives.append(f"p99 ≤ {spec['max_p99_delay_ms']:g} ms")
+    if spec.get("max_repair_ms") is not None:
+        objectives.append(f"repair ≤ {spec['max_repair_ms']:g} ms")
+    lines.append(f"- objectives: {', '.join(objectives) or '(none)'} "
+                 f"(window {spec.get('window', '?')}, burn threshold "
+                 f"{spec.get('burn_threshold', '?')}x)")
+    attainment = slo.get("attainment")
+    if attainment is not None:
+        cdf = attainment["cdf"]
+        lines.append(
+            f"- **{attainment['attained']} of {attainment['tenants']} "
+            f"tenants attained** "
+            f"({cdf['attained_fraction']:.1%})")
+        levels = ", ".join(
+            f"≥{level}: {fraction:.1%}"
+            for level, fraction in cdf["levels"].items())
+        lines.append(f"- delivery-ratio CDF: {levels}")
+        worst = attainment.get("worst")
+        if worst:
+            lines += ["", "Worst tenants (lowest delivery first):", "",
+                      "| tenant | groups | members | delivered "
+                      "| ratio | p99 (ms) | depth | attained |",
+                      "|---|---|---|---|---|---|---|---|"]
+            for row in worst:
+                p99 = row.get("p99_ms")
+                p99_cell = f"{p99:.2f}" if p99 is not None else "-"
+                lines.append(
+                    f"| {row['tenant']} | {row['groups']} "
+                    f"| {row['members']} | {row['delivered']} "
+                    f"| {row['delivery_ratio']:.4f} | {p99_cell} "
+                    f"| {row['depth']} "
+                    f"| {'yes' if row['attained'] else '**NO**'} |")
+    burn = slo.get("burn")
+    if burn:
+        lines += ["", "Live error-budget burn (worst first):", "",
+                  "| tenant | burn | delivery | orphans | members |",
+                  "|---|---|---|---|---|"]
+        for row in burn:
+            lines.append(
+                f"| {row['tenant']} | {row['burn']:.2f}x "
+                f"| {row['delivery_ratio']:.3f} "
+                f"| {row['orphans']:.0f} | {row['members']:.0f} |")
+    lines.append("")
+    return lines
 
 
 def _live_section(live: dict) -> list[str]:

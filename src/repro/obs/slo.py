@@ -1,0 +1,439 @@
+"""Per-tenant SLO objectives, attainment tables and burn-rate watchdogs.
+
+ROADMAP item 4 demands "per-tenant SLO attainment, not just per-run
+averages".  This module is that scoreboard:
+
+* :class:`SLOSpec` — declarative per-tenant objectives: minimum
+  delivery ratio, maximum p99 delivery delay, and a repair-convergence
+  deadline (how long a tenant may sit out of compliance before the
+  repair itself is the incident).
+* :class:`AttainmentTable` — per-tenant attainment computed from a
+  :class:`~repro.core.parallel.GroupPassResult`'s dimensional columns
+  with segmented ``bincount`` reductions (O(tenants), never a
+  per-peer-group Python loop), with worst-N ordering, an attainment
+  CDF, and a canonical byte encoding that is identical for any
+  shard/worker count.
+* :class:`SLOBurnRule` — a :class:`~repro.obs.watchdog.WatchdogRule`
+  that turns topology snapshots into windowed error-budget burn rates
+  per tenant and rides the existing record/warn/halt action machinery,
+  so an SLO breach can kill a run exactly like any other watchdog.
+  Per-tenant incident counts go to a bounded-cardinality
+  :class:`~repro.obs.registry.MetricFamily` on the engine's registry.
+* :class:`SLOEngine` — the convenience bundle the experiments runner,
+  :class:`~repro.obs.live.LiveTelemetry` and the ops console share.
+
+Burn rate is the standard error-budget form: with a delivery objective
+of ``r`` the budget is ``1 - r``; a tenant failing a fraction ``f`` of
+its members burns at ``f / (1 - r)``.  Burn 1.0 spends the budget
+exactly; the default threshold 2.0 fires at twice that pace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TelemetryError
+from .dims import DEFAULT_SKETCH_LAYOUT, SketchLayout, sketch_quantiles
+from .watchdog import WatchdogRule
+
+__all__ = [
+    "AttainmentTable",
+    "SLOBurnRule",
+    "SLOEngine",
+    "SLOSpec",
+]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Declarative per-tenant objectives.
+
+    ``None`` disables an objective.  ``window`` is the number of
+    consecutive topology snapshots a burn-rate judgement averages over;
+    ``burn_threshold`` is the multiple of budget-neutral pace at which
+    the watchdog fires.
+    """
+
+    min_delivery_ratio: Optional[float] = 0.99
+    max_p99_delay_ms: Optional[float] = None
+    max_repair_ms: Optional[float] = None
+    window: int = 4
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        ratio = self.min_delivery_ratio
+        if ratio is not None and not (0.0 < ratio <= 1.0):
+            raise TelemetryError(
+                f"min_delivery_ratio must be in (0, 1], got {ratio}")
+        if self.max_p99_delay_ms is not None \
+                and self.max_p99_delay_ms <= 0.0:
+            raise TelemetryError("max_p99_delay_ms must be positive")
+        if self.max_repair_ms is not None and self.max_repair_ms <= 0.0:
+            raise TelemetryError("max_repair_ms must be positive")
+        if self.window < 1:
+            raise TelemetryError("window must be >= 1")
+        if self.burn_threshold <= 0.0:
+            raise TelemetryError("burn_threshold must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        """Tolerated failure fraction (0.0 when no delivery objective)."""
+        if self.min_delivery_ratio is None:
+            return 0.0
+        return 1.0 - self.min_delivery_ratio
+
+    def burn_rate(self, bad: float, total: float) -> float:
+        """Error-budget burn multiple for ``bad`` failures of ``total``.
+
+        Budget-neutral pace is 1.0; with a zero budget any failure
+        burns infinitely fast.
+        """
+        if total <= 0.0 or bad <= 0.0:
+            return 0.0
+        rate = bad / total
+        budget = self.error_budget
+        if budget <= 0.0:
+            return float("inf")
+        return rate / budget
+
+    def to_dict(self) -> dict:
+        return {
+            "min_delivery_ratio": self.min_delivery_ratio,
+            "max_p99_delay_ms": self.max_p99_delay_ms,
+            "max_repair_ms": self.max_repair_ms,
+            "window": self.window,
+            "burn_threshold": self.burn_threshold,
+        }
+
+
+class AttainmentTable:
+    """Per-tenant SLO attainment from one (or more merged) batch passes.
+
+    Rows are integer-exact: member and delivery counts come from
+    segmented ``bincount`` reductions over the pass's dense columns and
+    p99 delays from the integer sketch rows, so the canonical byte
+    encoding is identical no matter how groups were sharded or how many
+    workers folded their partial results.
+    """
+
+    def __init__(self, spec: SLOSpec, tenants: np.ndarray,
+                 groups: np.ndarray, members: np.ndarray,
+                 delivered: np.ndarray, depth: np.ndarray,
+                 p99_ms: np.ndarray | None) -> None:
+        self.spec = spec
+        self.tenants = tenants
+        self.groups = groups
+        self.members = members
+        self.delivered = delivered
+        self.depth = depth
+        self.p99_ms = p99_ms
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pass(cls, result, spec: SLOSpec,
+                  tenant_of_group: np.ndarray | None = None,
+                  layout: SketchLayout = DEFAULT_SKETCH_LAYOUT,
+                  ) -> "AttainmentTable":
+        """Segmented per-tenant reduction of a ``GroupPassResult``.
+
+        ``tenant_of_group`` maps each group row to a tenant id; omitted,
+        every group is its own tenant.  p99 columns appear only when the
+        pass ran with dimensional telemetry (``delay_cells`` non-empty).
+        """
+        n_groups = result.n_groups
+        if tenant_of_group is None:
+            tenants = np.arange(n_groups, dtype=np.int64)
+        else:
+            tenants = np.asarray(tenant_of_group, dtype=np.int64)
+            if tenants.shape != (n_groups,):
+                raise TelemetryError(
+                    f"tenant map covers {tenants.shape[0]} groups, "
+                    f"pass has {n_groups}")
+        n_tenants = int(tenants.max()) + 1 if n_groups else 0
+        groups = np.bincount(tenants, minlength=n_tenants)
+        members = np.bincount(
+            tenants, weights=result.member_counts,
+            minlength=n_tenants).astype(np.int64)
+        delivered = np.bincount(
+            tenants, weights=result.members_on_tree,
+            minlength=n_tenants).astype(np.int64)
+        depth = np.zeros(n_tenants, dtype=np.int64)
+        np.maximum.at(depth, tenants, result.depth)
+        p99 = None
+        if result.delay_cells.shape[1]:
+            cells = np.zeros((n_tenants, result.delay_cells.shape[1]),
+                             dtype=np.int64)
+            np.add.at(cells, tenants, result.delay_cells)
+            p99 = sketch_quantiles(cells, 0.99, layout)
+        return cls(spec, np.arange(n_tenants, dtype=np.int64), groups,
+                   members, delivered, depth, p99)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tenants(self) -> int:
+        return self.tenants.shape[0]
+
+    def delivery_ratio(self) -> np.ndarray:
+        """Delivered / members per tenant (1.0 for empty tenants)."""
+        members = self.members
+        return np.where(members > 0, self.delivered /
+                        np.maximum(members, 1), 1.0)
+
+    def attained(self) -> np.ndarray:
+        """Boolean per-tenant attainment against every set objective."""
+        ok = np.ones(self.n_tenants, dtype=bool)
+        if self.spec.min_delivery_ratio is not None:
+            ok &= self.delivery_ratio() >= self.spec.min_delivery_ratio
+        if self.spec.max_p99_delay_ms is not None \
+                and self.p99_ms is not None:
+            ok &= (self.p99_ms <= self.spec.max_p99_delay_ms) \
+                | (self.members == 0)
+        return ok
+
+    def rows(self) -> list[dict]:
+        """One plain dict per tenant, in tenant order."""
+        ratio = self.delivery_ratio()
+        attained = self.attained()
+        out = []
+        for i in range(self.n_tenants):
+            row = {
+                "tenant": int(self.tenants[i]),
+                "groups": int(self.groups[i]),
+                "members": int(self.members[i]),
+                "delivered": int(self.delivered[i]),
+                "delivery_ratio": float(ratio[i]),
+                "depth": int(self.depth[i]),
+                "attained": bool(attained[i]),
+            }
+            if self.p99_ms is not None:
+                p99 = float(self.p99_ms[i])
+                row["p99_ms"] = p99 if np.isfinite(p99) else None
+            out.append(row)
+        return out
+
+    def worst(self, n: int = 10) -> list[dict]:
+        """The ``n`` worst tenants: lowest delivery ratio first, ties
+        broken by higher p99, then tenant id — a total deterministic
+        order."""
+        def key(row: dict) -> tuple:
+            p99 = row.get("p99_ms")
+            return (row["delivery_ratio"],
+                    -(p99 if p99 is not None else float("inf")),
+                    row["tenant"])
+        return sorted(self.rows(), key=key)[:max(0, int(n))]
+
+    def attainment_cdf(
+        self, points: Sequence[float] = (0.5, 0.9, 0.95, 0.99, 1.0),
+    ) -> dict:
+        """Fraction of tenants at or above each delivery-ratio level,
+        plus the overall attained fraction."""
+        ratio = self.delivery_ratio()
+        n = max(1, self.n_tenants)
+        return {
+            "attained_fraction": float(self.attained().sum() / n),
+            "levels": {
+                f"{p:g}": float((ratio >= p).sum() / n) for p in points
+            },
+        }
+
+    def to_canonical_json(self) -> bytes:
+        """Byte-exact encoding: the artifact CI compares across
+        ``--jobs`` counts."""
+        doc = {
+            "spec": self.spec.to_dict(),
+            "cdf": self.attainment_cdf(),
+            "rows": self.rows(),
+        }
+        return json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("ascii")
+
+    def summary(self) -> dict:
+        """Report-facing roll-up (worst offenders + CDF)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "tenants": self.n_tenants,
+            "attained": int(self.attained().sum()),
+            "cdf": self.attainment_cdf(),
+            "worst": self.worst(10),
+        }
+
+
+class SLOBurnRule(WatchdogRule):
+    """Windowed per-tenant error-budget burn over topology snapshots.
+
+    Every snapshot contributes one ``(orphans, members)`` observation
+    per tenant, read from the recorder's ``tree.<gid>.members`` /
+    ``tree.<gid>.orphans`` metrics (groups fold onto tenants through
+    ``tenant_of_group``; unmapped groups are their own tenant).  The
+    rule fires while any tenant's burn rate over the last
+    ``spec.window`` snapshots meets ``spec.burn_threshold`` — or, with
+    ``max_repair_ms`` set, while any tenant has been out of compliance
+    longer than the repair deadline.  Firing rides the standard
+    watchdog edge/action machinery, so ``action="halt"`` aborts the
+    run like any other rule; per-tenant incident counts land in the
+    bounded ``slo.burn.incidents`` counter family on the engine's
+    registry.
+    """
+
+    def __init__(self, spec: SLOSpec,
+                 tenant_of_group: Mapping[int, int] | None = None,
+                 action: str = "record", name: str = "slo-burn",
+                 max_tenant_series: int = 64) -> None:
+        super().__init__(name, action)
+        self.spec = spec
+        self.tenant_of_group = dict(tenant_of_group or {})
+        self.max_tenant_series = max_tenant_series
+        self._windows: dict[int, deque] = {}
+        self._violating: set[int] = set()
+        self._violation_started: dict[int, float] = {}
+        self.last_by_tenant: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    def _tenant_samples(self, metrics: Mapping[str, float]
+                        ) -> dict[int, tuple[float, float]]:
+        """Aggregate ``(orphans, members)`` per tenant from a snapshot."""
+        samples: dict[int, list[float]] = {}
+        for key, members in metrics.items():
+            if not key.startswith("tree.") or not key.endswith(".members"):
+                continue
+            gid = int(key.split(".")[1])
+            orphans = float(metrics.get(f"tree.{gid}.orphans", 0.0))
+            tenant = self.tenant_of_group.get(gid, gid)
+            entry = samples.setdefault(tenant, [0.0, 0.0])
+            entry[0] += orphans
+            entry[1] += float(members)
+        return {tenant: (bad, total)
+                for tenant, (bad, total) in samples.items()}
+
+    def check(self, snapshot, recorder) -> Optional[str]:
+        samples = self._tenant_samples(snapshot.metrics)
+        if not samples:
+            return None
+        worst: tuple[float, int, str] | None = None
+        messaging: set[int] = set()
+        for tenant in sorted(samples):
+            bad, total = samples[tenant]
+            window = self._windows.setdefault(
+                tenant, deque(maxlen=self.spec.window))
+            window.append((bad, total))
+            burn = self.spec.burn_rate(
+                sum(b for b, _ in window), sum(t for _, t in window))
+            ratio = 1.0 - (bad / total if total > 0.0 else 0.0)
+            self.last_by_tenant[tenant] = {
+                "burn": burn, "delivery_ratio": ratio,
+                "orphans": bad, "members": total,
+            }
+            message = None
+            if len(window) >= self.spec.window \
+                    and burn >= self.spec.burn_threshold:
+                message = (f"tenant {tenant} burning error budget at "
+                           f"{burn:.1f}x over the last "
+                           f"{len(window)} snapshots "
+                           f"(delivery {ratio:.3f}, objective "
+                           f"{self.spec.min_delivery_ratio})")
+            out_of_compliance = bad > 0.0
+            if out_of_compliance:
+                started = self._violation_started.setdefault(
+                    tenant, snapshot.at_ms)
+                lateness = snapshot.at_ms - started
+                if self.spec.max_repair_ms is not None \
+                        and lateness > self.spec.max_repair_ms \
+                        and message is None:
+                    message = (
+                        f"tenant {tenant} out of compliance for "
+                        f"{lateness:.0f} ms (repair deadline "
+                        f"{self.spec.max_repair_ms:.0f} ms)")
+            else:
+                self._violation_started.pop(tenant, None)
+            if message is not None:
+                messaging.add(tenant)
+                if worst is None or burn > worst[0]:
+                    worst = (burn, tenant, message)
+        newly_violating = sorted(messaging - self._violating)
+        engine = getattr(recorder, "watchdogs", None)
+        if newly_violating and engine is not None:
+            family = engine.registry.family(
+                "slo.burn.incidents", ("tenant",), "counter",
+                max_series=self.max_tenant_series)
+            for tenant in newly_violating:
+                family.labels(tenant).inc()
+        self._violating = messaging
+        if worst is None:
+            return None
+        return worst[2]
+
+    def reset(self) -> None:
+        self._windows.clear()
+        self._violating.clear()
+        self._violation_started.clear()
+
+    # ------------------------------------------------------------------
+    def tenant_states(self) -> list[dict]:
+        """Last observed per-tenant burn states, worst first."""
+        rows = [{"tenant": tenant, **state}
+                for tenant, state in self.last_by_tenant.items()]
+        rows.sort(key=lambda r: (-r["burn"], r["delivery_ratio"],
+                                 r["tenant"]))
+        return rows
+
+
+class SLOEngine:
+    """One spec, its burn-rate watchdog, and the latest attainment.
+
+    The bundle the runner, :class:`~repro.obs.live.LiveTelemetry` and
+    the ops console share: :meth:`rules` yields the watchdog rules to
+    arm (they ride the existing engine), :meth:`observe_pass` folds a
+    batch pass into an :class:`AttainmentTable`, and :meth:`summary`
+    renders both sides for reports.
+    """
+
+    def __init__(self, spec: SLOSpec | None = None,
+                 tenant_of_group: Mapping[int, int] | None = None,
+                 layout: SketchLayout = DEFAULT_SKETCH_LAYOUT) -> None:
+        self.spec = spec if spec is not None else SLOSpec()
+        self.tenant_of_group = dict(tenant_of_group or {})
+        self.layout = layout
+        self.last_table: AttainmentTable | None = None
+        self._burn_rules: list[SLOBurnRule] = []
+
+    def rules(self, action: str = "record") -> list[WatchdogRule]:
+        """The watchdog rules enforcing this spec (remembered so live
+        burn state stays readable through the engine)."""
+        rule = SLOBurnRule(self.spec, self.tenant_of_group,
+                           action=action)
+        self._burn_rules.append(rule)
+        return [rule]
+
+    def observe_pass(self, result,
+                     tenant_of_group: np.ndarray | None = None,
+                     ) -> AttainmentTable:
+        """Fold one batch pass into the current attainment table."""
+        self.last_table = AttainmentTable.from_pass(
+            result, self.spec, tenant_of_group, self.layout)
+        return self.last_table
+
+    def tenant_states(self) -> list[dict]:
+        """Merged live burn states from every armed rule, worst first."""
+        merged: dict[int, dict] = {}
+        for rule in self._burn_rules:
+            merged.update(
+                {row["tenant"]: row for row in rule.tenant_states()})
+        rows = list(merged.values())
+        rows.sort(key=lambda r: (-r["burn"], r["delivery_ratio"],
+                                 r["tenant"]))
+        return rows
+
+    def summary(self) -> dict:
+        """Report-facing roll-up of objectives, attainment and burn."""
+        out: dict = {"spec": self.spec.to_dict()}
+        if self.last_table is not None:
+            out["attainment"] = self.last_table.summary()
+        states = self.tenant_states()
+        if states:
+            out["burn"] = states[:10]
+        return out

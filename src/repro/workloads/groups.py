@@ -84,6 +84,29 @@ def sample_group_rows(rng: RandomSource, n_groups: int, n_rows: int,
     return roots, member_rows, indptr
 
 
+def assign_tenants(rng: RandomSource, n_groups: int, n_tenants: int,
+                   exponent: float = 1.2) -> np.ndarray:
+    """Seed-deterministic Zipf-weighted tenant id per group.
+
+    Production multi-tenant traffic is heavy-tailed: a few tenants own
+    many groups.  Tenants draw by explicit inverse-CDF lookup
+    (``P(tenant = t) ∝ (t + 1)^-exponent``) against ``rng.random`` for
+    the same numpy-version stability as :func:`zipf_group_sizes` — one
+    uniform draw per group, every tenant id in ``[0, n_tenants)``.
+    """
+    if n_groups < 0:
+        raise ConfigurationError("n_groups must be non-negative")
+    if n_tenants < 1:
+        raise ConfigurationError("need at least one tenant")
+    if exponent <= 0.0:
+        raise ConfigurationError("exponent must be positive")
+    weights = np.arange(1, n_tenants + 1, dtype=np.float64) ** -exponent
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    picks = np.searchsorted(cdf, rng.random(n_groups), side="right")
+    return np.minimum(picks, n_tenants - 1).astype(np.int64)
+
+
 @dataclass(frozen=True)
 class GroupSpec:
     """One generated group: creation time and initial roster."""

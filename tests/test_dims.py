@@ -1,0 +1,285 @@
+"""Dimensional telemetry: sketch algebra, labeled families, encodings.
+
+Three property groups pin the obs v4 primitives:
+
+* **Sketch merge algebra** (Hypothesis) — the log-scale
+  :class:`QuantileSketch`'s state is one integer count vector, so merge
+  must be commutative, associative and bit-identical however a value
+  stream is split into shards; quantiles obey the geometric rank-error
+  bound ``x <= q(v) <= x * gamma``.
+* **Label-set overflow accounting** (Hypothesis) — a bounded
+  :class:`MetricFamily` must conserve every observation: beyond
+  ``max_series`` the shared overflow child absorbs the rest and
+  ``overflow_routed`` counts exactly the routed observations — nothing
+  is silently dropped.
+* **Pinned dump/merge encoding** — the family entry layout inside
+  :meth:`Registry.dump_state` is a cross-process wire format; this file
+  is the regression test that keeps it stable, including histogram
+  family merges with disjoint and overlapping label sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import group_delay_cells_batch
+from repro.errors import TelemetryError
+from repro.obs import (
+    OVERFLOW_SERIES,
+    MetricFamily,
+    QuantileSketch,
+    Registry,
+    SketchLayout,
+    segment_log_histogram,
+    sketch_quantiles,
+)
+
+LAYOUT = SketchLayout(lo=0.1, hi=1e4, bins=64)
+
+# Delay-like values spanning the layout, plus under/overflow outliers.
+_VALUES = st.lists(
+    st.one_of(
+        st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+        st.floats(min_value=1e-4, max_value=0.1, allow_nan=False),
+        st.floats(min_value=1e4, max_value=1e8, allow_nan=False),
+    ),
+    max_size=80)
+
+
+def _sketch(values) -> QuantileSketch:
+    sketch = QuantileSketch("s", LAYOUT)
+    sketch.observe_many(np.asarray(values, dtype=np.float64))
+    return sketch
+
+
+# ----------------------------------------------------------------------
+# Sketch merge algebra
+# ----------------------------------------------------------------------
+class TestSketchAlgebra:
+    @given(a=_VALUES, b=_VALUES)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes(self, a, b):
+        ab, ba = _sketch(a), _sketch(b)
+        ab.merge(_sketch(b))
+        ba.merge(_sketch(a))
+        assert ab.state_bytes() == ba.state_bytes()
+
+    @given(a=_VALUES, b=_VALUES, c=_VALUES)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        left = _sketch(a)
+        left.merge(_sketch(b))
+        left.merge(_sketch(c))
+        bc = _sketch(b)
+        bc.merge(_sketch(c))
+        right = _sketch(a)
+        right.merge(bc)
+        assert left.state_bytes() == right.state_bytes()
+
+    @given(values=_VALUES, shards=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_merge_bit_identical(self, values, shards):
+        whole = _sketch(values)
+        merged = QuantileSketch("s", LAYOUT)
+        for chunk in np.array_split(
+                np.asarray(values, dtype=np.float64), shards):
+            merged.merge(_sketch(chunk))
+        assert merged.state_bytes() == whole.state_bytes()
+        assert merged.count == len(values)
+
+    @given(values=st.lists(
+        # Strictly inside (lo, hi): the geometric bound is only
+        # promised for values the finite bins cover — under/overflow
+        # cells clamp to lo / inf by design.
+        st.floats(min_value=0.11, max_value=9.9e3, allow_nan=False),
+        min_size=1, max_size=80),
+        q=st.sampled_from([0.5, 0.9, 0.99, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_rank_error_bound(self, values, q):
+        sketch = _sketch(values)
+        estimate = sketch.quantile(q)
+        rank = max(1, int(np.ceil(q * len(values))))
+        exact = sorted(values)[rank - 1]
+        # The estimate is the upper edge of the exact value's cell.
+        assert exact <= estimate * (1.0 + 1e-9)
+        assert estimate <= exact * LAYOUT.gamma * (1.0 + 1e-9)
+
+    def test_layout_edges(self):
+        sketch = QuantileSketch("s", LAYOUT)
+        sketch.observe_many(np.array([1e-9, LAYOUT.lo / 2,
+                                      LAYOUT.hi * 2, np.nan]))
+        cells = sketch.cell_counts()
+        assert cells[0] == 2          # underflow
+        assert cells[-1] == 2         # overflow (incl. NaN)
+        assert sketch.count == 4
+
+    def test_layout_mismatch_rejected(self):
+        other = QuantileSketch("s", SketchLayout(lo=0.1, hi=1e4,
+                                                 bins=32))
+        with pytest.raises(TelemetryError):
+            _sketch([1.0]).merge(other)
+
+    @given(values=_VALUES)
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_quantiles_match_scalar(self, values):
+        sketch = _sketch(values)
+        rows = sketch.cell_counts()[np.newaxis, :]
+        for q in (0.5, 0.9, 0.99):
+            vector = sketch_quantiles(rows, q, LAYOUT)[0]
+            assert vector == sketch.quantile(q)
+
+    @given(values=_VALUES,
+           groups=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_segmented_histogram_matches_per_group_sketches(
+            self, values, groups):
+        data = np.asarray(values, dtype=np.float64)
+        gids = np.arange(data.shape[0], dtype=np.int64) % groups
+        rows = segment_log_histogram(gids, data, groups, LAYOUT)
+        for g in range(groups):
+            assert np.array_equal(
+                rows[g], _sketch(data[gids == g]).cell_counts())
+
+
+def test_group_delay_cells_conserve_memberships():
+    delays = np.array([[1.0, np.inf, 10.0], [np.nan, 5.0, 2.0]])
+    member = np.array([[True, True, True], [True, True, False]])
+    cells = group_delay_cells_batch(delays, member, LAYOUT)
+    assert cells.shape == (2, LAYOUT.cells)
+    # Only finite delays of members are counted, none lost or invented.
+    assert cells[0].sum() == 2 and cells[1].sum() == 1
+
+
+# ----------------------------------------------------------------------
+# Bounded label sets
+# ----------------------------------------------------------------------
+class TestFamilyOverflow:
+    @given(labels=st.lists(st.integers(min_value=0, max_value=30),
+                           max_size=120),
+           max_series=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_observation_conservation(self, labels, max_series):
+        registry = Registry()
+        family = registry.family("f.count", ("tenant",),
+                                 max_series=max_series)
+        for label in labels:
+            family.labels(label).inc()
+        dedicated = sum(child.value for _, child in family.series())
+        overflow = 0 if family.overflow is None else family.overflow.value
+        assert dedicated + overflow == len(labels)
+        assert family.series_count <= max_series
+        # overflow_routed counts exactly the observations whose label
+        # arrived after the series budget was spent.
+        owners: list[str] = []
+        for label in labels:
+            text = str(label)
+            if text not in owners and len(owners) < max_series:
+                owners.append(text)
+        routed = sum(1 for label in labels if str(label) not in owners)
+        assert family.overflow_routed == routed == overflow
+
+    def test_overflow_series_name_in_snapshot(self):
+        registry = Registry()
+        family = registry.family("f.count", ("tenant",), max_series=1)
+        family.labels("a").inc(3)
+        family.labels("b").inc(2)
+        snap = registry.snapshot()
+        assert snap["f.count{tenant=a}"] == 3
+        assert snap[f"f.count{{{OVERFLOW_SERIES}}}"] == 2
+        # One routed labels() lookup (the overflow child keeps the
+        # observation values themselves).
+        assert snap["f.count.__overflow_routed"] == 1
+
+    def test_disabled_registry_family_is_free(self):
+        family = Registry(enabled=False).family("f", ("t",))
+        family.labels("x").inc()
+        assert isinstance(family, MetricFamily)
+        assert family.series_count == 0
+
+
+# ----------------------------------------------------------------------
+# Pinned dump/merge encoding
+# ----------------------------------------------------------------------
+def _labeled_registry(pairs) -> Registry:
+    registry = Registry()
+    family = registry.family("lat.ms", ("tenant",), "histogram",
+                             bounds=(1.0, 10.0), max_series=4)
+    for tenant, value in pairs:
+        family.labels(tenant).observe(value)
+    return registry
+
+
+class TestFamilyStateEncoding:
+    def test_dump_entry_layout_is_pinned(self):
+        registry = Registry()
+        family = registry.family("f.count", ("tenant", "region"),
+                                 max_series=2)
+        family.labels("a", "eu").inc(3)
+        family.labels("b", "us").inc(1)
+        family.labels("c", "ap").inc(2)       # routed to overflow
+        entry = dict(registry.dump_state())["f.count"]
+        assert entry == (
+            "family", "counter", ("tenant", "region"), 2, None,
+            ((("a", "eu"), ("counter", 3)),
+             (("b", "us"), ("counter", 1))),
+            ("counter", 2),
+            1,
+        )
+
+    def test_merge_state_doubles_family_values(self):
+        registry = Registry()
+        family = registry.family("f.count", ("tenant",), max_series=2)
+        family.labels("a").inc(5)
+        family.labels("b").inc(1)
+        family.labels("c").inc(2)
+        state = registry.dump_state()
+        registry.merge_state(state)
+        assert family.labels("a").value == 10
+        assert family.overflow.value == 4
+        assert family.overflow_routed == 2
+
+    def test_histogram_merge_disjoint_label_sets(self):
+        left = _labeled_registry([("a", 0.5), ("a", 5.0)])
+        right = _labeled_registry([("b", 20.0)])
+        left.merge_state(right.dump_state())
+        family = left.get("lat.ms")
+        by_label = dict(family.series())
+        assert by_label[("a",)].count == 2
+        assert by_label[("b",)].count == 1
+        assert by_label[("b",)].sum == 20.0
+
+    def test_histogram_merge_overlapping_label_sets(self):
+        left = _labeled_registry([("a", 0.5), ("b", 2.0)])
+        right = _labeled_registry([("a", 5.0), ("c", 1.0)])
+        left.merge_state(right.dump_state())
+        by_label = dict(left.get("lat.ms").series())
+        assert by_label[("a",)].count == 2
+        assert by_label[("a",)].sum == 5.5
+        assert by_label[("b",)].count == 1
+        assert by_label[("c",)].count == 1
+
+    def test_merged_dump_is_deterministic(self):
+        # Merging B into A and A into B must agree on every series
+        # (the merge is commutative series-by-series; dump order is
+        # sorted, so the encodings line up exactly).
+        left = _labeled_registry([("a", 0.5), ("b", 2.0)])
+        right = _labeled_registry([("a", 5.0), ("c", 1.0)])
+        mirror_left = _labeled_registry([("a", 0.5), ("b", 2.0)])
+        mirror_right = _labeled_registry([("a", 5.0), ("c", 1.0)])
+        left.merge_state(mirror_right.dump_state())
+        mirror_right.merge_state(mirror_left.dump_state())
+        assert left.dump_state() == mirror_right.dump_state()
+        assert right.dump_state() != left.dump_state()
+
+    def test_sketch_round_trips_through_state(self):
+        registry = Registry()
+        sketch = registry.sketch("delay", LAYOUT)
+        sketch.observe_many(np.array([0.5, 3.0, 700.0]))
+        clone = Registry()
+        clone.merge_state(registry.dump_state())
+        merged = clone.get("delay")
+        assert merged.state_bytes() == sketch.state_bytes()
+        assert merged.layout == LAYOUT

@@ -255,3 +255,54 @@ def test_crash_purges_arq_windows_and_dedup_state():
     assert window == 0
     assert dead_lettered >= 1
     assert all(w == 0 for w in survivors)
+
+
+# ----------------------------------------------------------------------
+# Per-tenant SLO burn: the halt action over real sockets
+# ----------------------------------------------------------------------
+async def _slo_halt_episode(tmp_path):
+    from repro.obs import SLOEngine, SLOSpec
+
+    cluster = RuntimeCluster(
+        overlay=live_run.build_overlay(), seed=SEED,
+        announcement=live_run.ANNOUNCEMENT,
+        latency_fn=live_run.latency_ms)
+    # Group -> tenant 0; one orphaned member of this small roster
+    # burns the 1% error budget orders of magnitude too fast.
+    engine = SLOEngine(SLOSpec(min_delivery_ratio=0.99, window=1),
+                       tenant_of_group={GROUP: 0})
+    live = LiveTelemetry(cluster, interval_s=0.02, output_dir=tmp_path,
+                         slo=engine, slo_action="halt")
+    async with cluster:
+        live.start()
+        cluster.advertise(GROUP, RENDEZVOUS, scheme="nssa")
+        await cluster.settle(SETTLE_S)
+        cluster.subscribe(GROUP, MEMBERS)
+        await cluster.settle(SETTLE_S)
+        await cluster.crash(7)
+        cluster.rejoin(GROUP, 9)
+        await cluster.wait_until(lambda: live.halted is not None,
+                                 SETTLE_S)
+    await live.close()
+    return cluster, live, engine
+
+
+def test_slo_burn_halts_live_cluster(tmp_path):
+    cluster, live, engine = asyncio.run(_slo_halt_episode(tmp_path))
+    assert live.halted is not None
+    assert "tenant 0" in live.halted
+    assert "burning error budget" in live.halted
+    assert not cluster.peers, "SLO halt did not stop the cluster"
+    summary = live.recorder.watchdogs.summary()
+    assert summary["by_rule"]["slo-burn"]["fired"] >= 1
+    # The per-tenant incident landed in the bounded counter family.
+    family = live.recorder.watchdogs.registry.get("slo.burn.incidents")
+    assert family.labels(0).value >= 1
+    # Burn state is readable through the engine and the incident file.
+    states = engine.tenant_states()
+    assert states and states[0]["tenant"] == 0
+    incidents = json.loads(
+        (tmp_path / "incidents.json").read_text(encoding="utf-8"))
+    assert incidents["halted"] == live.halted
+    assert incidents["slo"]["spec"]["min_delivery_ratio"] == 0.99
+    assert incidents["slo"]["burn"][0]["tenant"] == 0

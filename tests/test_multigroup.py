@@ -289,3 +289,54 @@ def test_edge_latencies_bulk_matches_scalar(groupcast_deployment):
     assert scalar.bulk_latency_fn is None
     assert np.array_equal(bulk.edge_latencies(csr, ids),
                           scalar.edge_latencies(csr, ids))
+
+
+# ----------------------------------------------------------------------
+# Dimensional telemetry columns (depth + per-group delay sketch rows)
+# ----------------------------------------------------------------------
+def _dims_layout():
+    from repro.obs import DEFAULT_SKETCH_LAYOUT
+    return DEFAULT_SKETCH_LAYOUT
+
+
+@pytest.mark.parametrize("scheme", ["nssa", "ssa"])
+def test_dims_columns_batch_match_loop(world, scheme):
+    args, kwargs = _pass_kwargs(world, scheme)
+    layout = _dims_layout()
+    batched = run_group_pass(*args, dims_layout=layout, **kwargs)
+    loop = run_group_pass_loop(*args, dims_layout=layout, **kwargs)
+    assert np.array_equal(batched.delay_cells, loop.delay_cells)
+    assert np.array_equal(batched.depth, loop.depth)
+    assert batched.delay_cells.shape == (GROUPS, layout.cells)
+
+
+def test_dims_columns_sharded_bit_identical(world):
+    args, kwargs = _pass_kwargs(world, "nssa")
+    layout = _dims_layout()
+    reference = run_group_pass(*args, dims_layout=layout, **kwargs)
+    for shards, jobs in ((1, 1), (3, 1), (3, 2), (4, 4)):
+        result = run_sharded(*args, shards=shards, jobs=jobs,
+                             dims_layout=layout, **kwargs)
+        assert result.delay_cells.tobytes() == \
+            reference.delay_cells.tobytes(), f"{shards=} {jobs=}"
+        assert np.array_equal(result.depth, reference.depth)
+
+
+def test_dims_columns_are_digest_transparent(world):
+    args, kwargs = _pass_kwargs(world, "nssa")
+    with_dims = run_group_pass(*args, dims_layout=_dims_layout(),
+                               **kwargs)
+    without = run_group_pass(*args, **kwargs)
+    assert with_dims.merged_digest() == without.merged_digest()
+    # Dims off: a (n_groups, 0) placeholder, not a missing column.
+    assert without.delay_cells.shape == (GROUPS, 0)
+    # Depth is always on (one segmented max), dims or not.
+    assert np.array_equal(with_dims.depth, without.depth)
+
+
+def test_delay_cells_conserve_on_tree_members(world):
+    args, kwargs = _pass_kwargs(world, "nssa")
+    result = run_group_pass(*args, dims_layout=_dims_layout(), **kwargs)
+    assert np.array_equal(result.delay_cells.sum(axis=1),
+                          result.members_on_tree)
+    assert result.metrics()["depth_max"] == int(result.depth.max())

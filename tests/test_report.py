@@ -153,6 +153,20 @@ class TestCompareGate:
                                    min_ratio=0.5)
         assert failures
 
+    def test_each_pattern_must_match(self):
+        # A pattern matching nothing is a hard failure even when the
+        # other patterns matched — a renamed metric must not turn its
+        # gate into a silent no-op.
+        compare = _load_compare()
+        baseline = {"metrics": {"m": {"speedup": 10.0}}}
+        fresh = {"metrics": {"m": {"speedup": 10.0}}}
+        failures = compare.compare(
+            fresh, baseline,
+            ["metrics.*.speedup", "metrics.*.renamed_ratio"],
+            min_ratio=0.5)
+        assert len(failures) == 1
+        assert "metrics.*.renamed_ratio" in failures[0]
+
     def test_cli_end_to_end(self, tmp_path, capsys):
         compare = _load_compare()
         baseline = tmp_path / "baseline.json"

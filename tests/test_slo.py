@@ -1,0 +1,293 @@
+"""Per-tenant SLO engine: attainment tables and burn-rate watchdogs.
+
+The determinism contract is the centerpiece: the canonical attainment
+bytes of a sharded thousand-group pass must be identical for every
+worker count, and the burn-rate incident stream of a faulted run must
+replay bit-for-bit on the same seed.  Unit tests drive
+:class:`SLOBurnRule` through a hand-held
+:class:`~repro.obs.topology.TopologyRecorder` exactly like the other
+watchdog suites; the end-to-end tests ride the PR-3 adversarial
+scenario with per-tenant objectives armed, including the halt action.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import run_sharded, synthetic_power_law_csr
+from repro.core.protocol import edge_latencies_from_coords
+from repro.errors import TelemetryError, WatchdogHalt
+from repro.experiments import resilience, tenancy
+from repro.obs import (
+    DEFAULT_SKETCH_LAYOUT,
+    AttainmentTable,
+    SLOBurnRule,
+    SLOEngine,
+    SLOSpec,
+    TopologyRecorder,
+)
+from repro.obs.report import build_report, render_markdown
+from repro.sim.random import spawn_rng
+from repro.workloads.groups import assign_tenants, sample_group_rows
+
+
+def _small_world(peers=256, groups=60, tenants=8, seed=7):
+    rng = spawn_rng(seed, "slo-world")
+    csr = synthetic_power_law_csr(peers, rng)
+    coords = rng.uniform(0.0, 100.0, size=(peers, 2))
+    latency = edge_latencies_from_coords(csr, coords)
+    rosters = sample_group_rows(spawn_rng(seed, "slo-groups"), groups,
+                                peers, max_size=64)
+    tenant_map = assign_tenants(spawn_rng(seed, "slo-tenants"), groups,
+                                tenants)
+    return csr, latency, coords, rosters, tenant_map
+
+
+def _pass(jobs=1, dims=True, shards=4):
+    csr, latency, coords, (roots, rows, indptr), tenant_map = \
+        _small_world()
+    result = run_sharded(
+        csr, latency, coords, roots, rows, indptr, ttl=8,
+        shards=shards, jobs=jobs,
+        dims_layout=DEFAULT_SKETCH_LAYOUT if dims else None)
+    return result, tenant_map
+
+
+# ----------------------------------------------------------------------
+# Spec validation and burn math
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            SLOSpec(min_delivery_ratio=0.0)
+        with pytest.raises(TelemetryError):
+            SLOSpec(min_delivery_ratio=1.5)
+        with pytest.raises(TelemetryError):
+            SLOSpec(max_p99_delay_ms=-1.0)
+        with pytest.raises(TelemetryError):
+            SLOSpec(max_repair_ms=0.0)
+        with pytest.raises(TelemetryError):
+            SLOSpec(window=0)
+        with pytest.raises(TelemetryError):
+            SLOSpec(burn_threshold=0.0)
+
+    def test_burn_rate(self):
+        spec = SLOSpec(min_delivery_ratio=0.9)
+        assert spec.error_budget == pytest.approx(0.1)
+        assert spec.burn_rate(0.0, 100.0) == 0.0
+        assert spec.burn_rate(10.0, 100.0) == pytest.approx(1.0)
+        assert spec.burn_rate(20.0, 100.0) == pytest.approx(2.0)
+        assert SLOSpec(min_delivery_ratio=1.0).burn_rate(1.0, 10.0) \
+            == float("inf")
+
+
+# ----------------------------------------------------------------------
+# Attainment tables
+# ----------------------------------------------------------------------
+class TestAttainment:
+    def test_bytes_identical_across_worker_counts(self):
+        spec = SLOSpec(min_delivery_ratio=0.95,
+                       max_p99_delay_ms=500.0)
+        encodings = []
+        for jobs in (1, 2, 4):
+            result, tenant_map = _pass(jobs=jobs)
+            table = AttainmentTable.from_pass(result, spec, tenant_map)
+            encodings.append(table.to_canonical_json())
+        assert encodings[0] == encodings[1] == encodings[2]
+
+    def test_counts_are_segmented_sums(self):
+        result, tenant_map = _pass()
+        table = AttainmentTable.from_pass(result, SLOSpec(), tenant_map)
+        assert int(table.members.sum()) == \
+            int(result.member_counts.sum())
+        assert int(table.delivered.sum()) == \
+            int(result.members_on_tree.sum())
+        assert int(table.groups.sum()) == result.n_groups
+        # Sketch rows fold by addition: total samples conserved.
+        assert table.p99_ms is not None
+
+    def test_worst_ordering_and_cdf(self):
+        spec = SLOSpec(min_delivery_ratio=0.9)
+        table = AttainmentTable(
+            spec,
+            tenants=np.arange(3), groups=np.array([1, 1, 1]),
+            members=np.array([10, 10, 0]),
+            delivered=np.array([10, 5, 0]),
+            depth=np.array([3, 4, 0]), p99_ms=None)
+        worst = table.worst(3)
+        assert [row["tenant"] for row in worst] == [1, 0, 2]
+        assert not worst[0]["attained"]
+        # Empty tenants count as fully delivered.
+        assert table.delivery_ratio()[2] == 1.0
+        cdf = table.attainment_cdf()
+        assert cdf["attained_fraction"] == pytest.approx(2 / 3)
+        assert cdf["levels"]["1"] == pytest.approx(2 / 3)
+
+    def test_dims_off_pass_has_no_p99(self):
+        result, tenant_map = _pass(dims=False)
+        table = AttainmentTable.from_pass(result, SLOSpec(), tenant_map)
+        assert table.p99_ms is None
+        assert "p99_ms" not in table.rows()[0]
+
+    def test_tenant_map_shape_checked(self):
+        result, _ = _pass(dims=False)
+        with pytest.raises(TelemetryError):
+            AttainmentTable.from_pass(result, SLOSpec(),
+                                      np.array([0, 1]))
+
+    def test_p99_objective_gates_attainment(self):
+        result, tenant_map = _pass()
+        tight = AttainmentTable.from_pass(
+            result, SLOSpec(min_delivery_ratio=0.01,
+                            max_p99_delay_ms=0.5), tenant_map)
+        loose = AttainmentTable.from_pass(
+            result, SLOSpec(min_delivery_ratio=0.01,
+                            max_p99_delay_ms=1e6), tenant_map)
+        assert tight.attained().sum() < loose.attained().sum()
+
+    def test_report_renders_slo_section(self):
+        result, tenant_map = _pass()
+        engine = SLOEngine(SLOSpec(min_delivery_ratio=0.95))
+        engine.observe_pass(result, tenant_map)
+        report = build_report(title="slo", slo=engine)
+        assert report["slo"]["attainment"]["tenants"] == \
+            int(tenant_map.max()) + 1
+        text = render_markdown(report)
+        assert "Per-tenant SLO attainment" in text
+        assert "| tenant |" in text
+
+
+# ----------------------------------------------------------------------
+# Burn-rate watchdogs
+# ----------------------------------------------------------------------
+def _recorder(*rules):
+    recorder = TopologyRecorder()
+    for rule in rules:
+        recorder.add_watchdog(rule)
+    return recorder
+
+
+def _metrics(orphans_by_group, members=10.0):
+    out = {}
+    for gid, orphans in orphans_by_group.items():
+        out[f"tree.{gid}.members"] = members
+        out[f"tree.{gid}.orphans"] = orphans
+    return out
+
+
+class TestBurnRule:
+    def test_windowed_burn_fires_and_clears(self):
+        spec = SLOSpec(min_delivery_ratio=0.9, window=2)
+        recorder = _recorder(SLOBurnRule(spec))
+        # Cold start: one bad snapshot cannot fill the 2-wide window.
+        recorder.snapshot(0.0, extra_metrics=_metrics({1: 5.0}))
+        assert recorder.alerts == []
+        recorder.snapshot(100.0, extra_metrics=_metrics({1: 5.0}))
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+        assert "burning error budget" in recorder.alerts[0].message
+        recorder.snapshot(200.0, extra_metrics=_metrics({1: 0.0}))
+        recorder.snapshot(300.0, extra_metrics=_metrics({1: 0.0}))
+        assert [a.kind for a in recorder.alerts] == ["fired", "cleared"]
+
+    def test_incident_counter_family_per_tenant(self):
+        spec = SLOSpec(min_delivery_ratio=0.9, window=1)
+        recorder = _recorder(SLOBurnRule(spec))
+        recorder.snapshot(0.0, extra_metrics=_metrics({1: 5.0, 2: 0.0}))
+        family = recorder.watchdogs.registry.get("slo.burn.incidents")
+        assert family.labels(1).value == 1
+        assert family.labels(2).value == 0
+        # Still violating: the edge machinery records one incident.
+        recorder.snapshot(100.0, extra_metrics=_metrics({1: 5.0}))
+        assert family.labels(1).value == 1
+
+    def test_tenant_mapping_folds_groups(self):
+        spec = SLOSpec(min_delivery_ratio=0.9, window=1)
+        rule = SLOBurnRule(spec, tenant_of_group={1: 7, 2: 7})
+        recorder = _recorder(rule)
+        recorder.snapshot(0.0, extra_metrics=_metrics({1: 2.0, 2: 2.0}))
+        states = rule.tenant_states()
+        assert [row["tenant"] for row in states] == [7]
+        assert states[0]["members"] == 20.0
+        assert states[0]["orphans"] == 4.0
+
+    def test_repair_deadline_fires_below_burn_threshold(self):
+        # One orphan of 100 members burns at 0.1x — far below the
+        # threshold — but staying out of compliance past the repair
+        # deadline is an incident on its own.
+        spec = SLOSpec(min_delivery_ratio=0.9, window=1,
+                       burn_threshold=100.0, max_repair_ms=250.0)
+        recorder = _recorder(SLOBurnRule(spec))
+        for at_ms in (0.0, 100.0, 200.0):
+            recorder.snapshot(at_ms, extra_metrics=_metrics(
+                {1: 1.0}, members=100.0))
+        assert recorder.alerts == []
+        recorder.snapshot(300.0, extra_metrics=_metrics(
+            {1: 1.0}, members=100.0))
+        assert [a.kind for a in recorder.alerts] == ["fired"]
+        assert "repair deadline" in recorder.alerts[0].message
+
+    def test_halt_action_raises(self):
+        spec = SLOSpec(min_delivery_ratio=0.9, window=1)
+        recorder = _recorder(SLOBurnRule(spec, action="halt"))
+        with pytest.raises(WatchdogHalt, match="burning error budget"):
+            recorder.snapshot(0.0, extra_metrics=_metrics({1: 9.0}))
+
+    def test_engine_bundles_rules_and_states(self):
+        engine = SLOEngine(SLOSpec(min_delivery_ratio=0.9, window=1))
+        (rule,) = engine.rules()
+        recorder = _recorder(rule)
+        recorder.snapshot(0.0, extra_metrics=_metrics({1: 5.0}))
+        summary = engine.summary()
+        assert summary["burn"][0]["tenant"] == 1
+        assert summary["burn"][0]["burn"] == pytest.approx(5.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: adversarial faults under per-tenant SLOs
+# ----------------------------------------------------------------------
+def _adversarial_with_slo(action="record"):
+    spec = SLOSpec(min_delivery_ratio=0.99, window=2)
+    recorder = TopologyRecorder(interval_ms=500.0)
+    for rule in SLOEngine(spec).rules(action=action):
+        recorder.add_watchdog(rule)
+    table = resilience.run_adversarial(
+        peer_count=100, members_count=24, seed=7, topology=recorder)
+    return recorder, table
+
+
+@pytest.mark.faults
+@pytest.mark.slow
+def test_adversarial_burn_incidents_are_deterministic():
+    first, table_a = _adversarial_with_slo()
+    second, table_b = _adversarial_with_slo()
+    incidents = [(a.rule, a.kind, a.at_ms, a.message)
+                 for a in first.alerts]
+    assert incidents, "adversarial faults produced no burn incident"
+    assert any(kind == "fired" for _, kind, _, _ in incidents)
+    assert incidents == [(a.rule, a.kind, a.at_ms, a.message)
+                         for a in second.alerts]
+    digest_col = list(table_a.columns).index("trace_digest")
+    assert [row[digest_col] for row in table_a.rows] == \
+        [row[digest_col] for row in table_b.rows]
+
+
+@pytest.mark.faults
+@pytest.mark.slow
+def test_adversarial_halt_action_aborts_sim_run():
+    with pytest.raises(WatchdogHalt, match="slo-burn"):
+        _adversarial_with_slo(action="halt")
+
+
+# ----------------------------------------------------------------------
+# The tenancy experiment artifact
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_tenancy_experiment_artifact_round_trip(tmp_path):
+    result, table = tenancy.run(
+        seed=7, peers=512, groups=200, tenants=10, jobs=1,
+        output_dir=tmp_path)
+    artifact = (tmp_path / "attainment.json").read_bytes()
+    assert artifact == table.to_canonical_json()
+    assert list(result.columns)[0] == "tenant"
+    assert len(result.rows) == 10
